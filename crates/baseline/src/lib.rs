@@ -1,0 +1,250 @@
+//! # parendi-baseline
+//!
+//! A Verilator-like full-cycle baseline on the x64 machine model — the
+//! comparator for every speedup the paper reports (§6).
+//!
+//! Verilator compiles the whole design into straight-line code and, when
+//! multithreaded, schedules fine-grained macro-tasks across threads with
+//! point-to-point synchronization. We model it as:
+//!
+//! * **single thread** — the total instruction stream at the host's
+//!   effective IPC, degraded by the working-set miss factor (RTL code
+//!   and data have reuse distances of a whole simulated cycle, §3.1);
+//! * **multi thread** — fibers are packed into per-thread macro-tasks
+//!   with a locality-preserving balanced partition (Verilator's
+//!   scheduler also works from the module structure), plus the x64
+//!   barrier/communication costs of §4.1–4.2.
+//!
+//! The shapes this produces — no speedup for small designs, chiplet and
+//! socket cliffs, a superlinear region for cache-resident working sets —
+//! are the ones Figs. 4, 8 and Table 3 report.
+
+#![warn(missing_docs)]
+
+use parendi_graph::cost::CostModel;
+use parendi_graph::fiber::{extract_fibers, FiberSet};
+use parendi_machine::x64::{X64Config, X64Timings};
+use parendi_rtl::bits::words_for;
+use parendi_rtl::Circuit;
+
+/// A Verilator-like performance model of one design.
+#[derive(Debug)]
+pub struct VerilatorModel {
+    /// Total x64 instructions per simulated cycle (Table 3 column #I).
+    pub total_instrs: u64,
+    /// Estimated working set: code plus touched data, bytes (Table 3 MiB).
+    pub working_set_bytes: u64,
+    /// Per-fiber instruction costs, in construction order.
+    fiber_instrs: Vec<u64>,
+    /// Per-fiber output bytes (for cross-thread traffic).
+    fiber_out_bytes: Vec<u64>,
+    /// Fiber adjacency encoded as (writer fiber, reader fiber) pairs via
+    /// registers, used to price cross-thread traffic.
+    edges: Vec<(u32, u32, u64)>,
+}
+
+impl VerilatorModel {
+    /// Builds the model for `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let costs = CostModel::of(circuit);
+        let fibers = extract_fibers(circuit, &costs);
+        Self::from_parts(circuit, &costs, &fibers)
+    }
+
+    /// Builds the model from already-extracted fibers.
+    pub fn from_parts(circuit: &Circuit, costs: &CostModel, fibers: &FiberSet) -> Self {
+        // Verilator evaluates each node once (no duplication): the
+        // single-thread stream is the deduplicated sum.
+        let total_instrs = costs.total_x64_instrs();
+        let code_bytes: u64 = costs.x64_instrs.iter().map(|&i| i as u64 * 4).sum();
+        let data_bytes: u64 = costs.data_bytes.iter().map(|&b| b as u64).sum();
+        let array_bytes = circuit.array_bytes();
+        let working_set_bytes = code_bytes + data_bytes + array_bytes;
+
+        let fiber_instrs: Vec<u64> = fibers.fibers.iter().map(|f| f.x64_cost).collect();
+        let fiber_out_bytes: Vec<u64> =
+            fibers.fibers.iter().map(|f| f.out_bytes as u64).collect();
+
+        // Register edges: writer fiber -> each reader fiber.
+        let adj = parendi_graph::analysis::adjacency(circuit, fibers);
+        let mut edges = Vec::new();
+        for (ri, readers) in adj.reg_readers.iter().enumerate() {
+            if let Some(w) = adj.reg_writer[ri] {
+                let bytes = words_for(circuit.regs[ri].width) as u64 * 8;
+                for &r in readers {
+                    if r != w {
+                        edges.push((w.0, r.0, bytes));
+                    }
+                }
+            }
+        }
+        VerilatorModel { total_instrs, working_set_bytes, fiber_instrs, fiber_out_bytes, edges }
+    }
+
+    /// Number of fibers (macro-task atoms).
+    pub fn fibers(&self) -> usize {
+        self.fiber_instrs.len()
+    }
+
+    /// Locality-preserving balanced assignment of fibers to `threads`
+    /// contiguous blocks (fiber construction order follows the module
+    /// structure, so contiguity is locality).
+    pub fn thread_assignment(&self, threads: u32) -> Vec<u32> {
+        let threads = threads.max(1) as u64;
+        let total: u64 = self.fiber_instrs.iter().sum();
+        let target = total.div_ceil(threads).max(1);
+        let mut assign = vec![0u32; self.fiber_instrs.len()];
+        let mut t = 0u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.fiber_instrs.iter().enumerate() {
+            if acc >= target && t + 1 < threads {
+                t += 1;
+                acc = 0;
+            }
+            assign[i] = t as u32;
+            acc += c;
+        }
+        assign
+    }
+
+    /// The per-cycle cost breakdown with `threads` threads on `host`.
+    pub fn timings(&self, host: &X64Config, threads: u32) -> X64Timings {
+        let threads = threads.clamp(1, host.total_cores());
+        let assign = self.thread_assignment(threads);
+        let mut per_thread = vec![0u64; threads as usize];
+        for (i, &t) in assign.iter().enumerate() {
+            per_thread[t as usize] += self.fiber_instrs[i];
+        }
+        let max_thread = per_thread.iter().copied().max().unwrap_or(0);
+        let mut cross_bytes = 0u64;
+        if threads > 1 {
+            for &(w, r, bytes) in &self.edges {
+                if assign[w as usize] != assign[r as usize] {
+                    cross_bytes += bytes;
+                }
+            }
+        }
+        let comp = host.comp_cycles(max_thread, self.working_set_bytes, threads);
+        let comm = host.comm_cycles(cross_bytes, threads);
+        let sync = if threads > 1 { host.sync_cycles(threads) as f64 } else { 0.0 };
+        X64Timings { comp, comm, sync }
+    }
+
+    /// Simulation rate in kHz with `threads` threads on `host`.
+    pub fn rate_khz(&self, host: &X64Config, threads: u32) -> f64 {
+        self.timings(host, threads).rate_khz(host)
+    }
+
+    /// Scans thread counts (the paper sweeps 2..=32 step 2, plus 1) and
+    /// returns `(best_threads, best_khz, self_relative_gain)`.
+    pub fn best(&self, host: &X64Config, max_threads: u32) -> (u32, f64, f64) {
+        let single = self.rate_khz(host, 1);
+        let mut best = (1u32, single);
+        let mut t = 2;
+        while t <= max_threads.min(host.total_cores()) {
+            let r = self.rate_khz(host, t);
+            if r > best.1 {
+                best = (t, r);
+            }
+            t += 2;
+        }
+        (best.0, best.1, best.1 / single)
+    }
+
+    /// Verilator-equivalent binary size estimate in bytes.
+    pub fn binary_bytes(&self) -> u64 {
+        self.total_instrs * 4
+    }
+
+    /// Unused-fiber escape hatch for tests: total output bytes of all
+    /// fibers (proxy for exchangeable state).
+    pub fn total_out_bytes(&self) -> u64 {
+        self.fiber_out_bytes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_rtl::Builder;
+
+    /// A design with `n` loosely-coupled blocks of `depth` multiplies.
+    fn blocks(n: usize, depth: usize) -> Circuit {
+        let mut b = Builder::new("blocks");
+        let mut prev_q = None;
+        for i in 0..n {
+            let r = b.reg(format!("r{i}"), 32, i as u64 + 1);
+            let mut v = r.q();
+            for _ in 0..depth {
+                v = b.mul(v, v);
+            }
+            if let Some(pq) = prev_q {
+                v = b.xor(v, pq);
+            }
+            b.connect(r, v);
+            prev_q = Some(r.q());
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn small_designs_do_not_scale() {
+        // §4.1 / Fig. 8a: tiny designs lose to synchronization.
+        let c = blocks(8, 2);
+        let m = VerilatorModel::new(&c);
+        let ix3 = X64Config::ix3();
+        let (best_t, _khz, gain) = m.best(&ix3, 32);
+        assert!(gain < 1.5, "a tiny design must not scale: gain {gain} at {best_t} threads");
+    }
+
+    #[test]
+    fn large_designs_scale_well() {
+        // Fig. 8b: large designs reach large self-speedups.
+        let c = blocks(20_000, 8);
+        let m = VerilatorModel::new(&c);
+        let ix3 = X64Config::ix3();
+        let (best_t, _khz, gain) = m.best(&ix3, 32);
+        assert!(gain > 4.0, "large design gain only {gain} at {best_t} threads");
+        assert!(best_t >= 8);
+    }
+
+    #[test]
+    fn assignment_is_balanced_and_contiguous() {
+        let c = blocks(100, 3);
+        let m = VerilatorModel::new(&c);
+        let assign = m.thread_assignment(4);
+        // Contiguous: thread ids are non-decreasing.
+        assert!(assign.windows(2).all(|w| w[0] <= w[1]));
+        // All four threads used.
+        assert_eq!(*assign.last().unwrap(), 3);
+        let mut per = [0u64; 4];
+        for (i, &t) in assign.iter().enumerate() {
+            per[t as usize] += m.fiber_instrs[i];
+        }
+        let max = *per.iter().max().unwrap() as f64;
+        let min = *per.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "imbalance {per:?}");
+    }
+
+    #[test]
+    fn more_threads_cut_more_edges() {
+        let c = blocks(200, 2);
+        let m = VerilatorModel::new(&c);
+        let host = X64Config::ae4();
+        let t2 = m.timings(&host, 2);
+        let t16 = m.timings(&host, 16);
+        assert!(t16.comm >= t2.comm, "{t2:?} vs {t16:?}");
+        assert!(t16.sync > t2.sync);
+        assert!(t16.comp < t2.comp);
+    }
+
+    #[test]
+    fn working_set_and_binary_size_grow_with_design() {
+        let small = VerilatorModel::new(&blocks(10, 2));
+        let large = VerilatorModel::new(&blocks(1000, 2));
+        assert!(large.working_set_bytes > 10 * small.working_set_bytes);
+        assert!(large.binary_bytes() > 10 * small.binary_bytes());
+        assert!(large.total_out_bytes() > small.total_out_bytes());
+        assert!(large.fibers() > small.fibers());
+    }
+}

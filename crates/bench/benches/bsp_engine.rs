@@ -1,0 +1,25 @@
+//! Parallel BSP engine throughput: the same partitioned design executed
+//! with 1 vs several host threads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parendi_core::{compile, PartitionConfig};
+use parendi_designs::Benchmark;
+use parendi_sim::BspSimulator;
+
+fn bench_bsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsp_engine");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let circuit = Benchmark::Sr(4).build();
+    let comp = compile(&circuit, &PartitionConfig::with_tiles(64)).expect("fits");
+    for threads in [1usize, 4] {
+        g.throughput(Throughput::Elements(50));
+        g.bench_function(format!("sr4_64tiles_{threads}thr"), |b| {
+            let mut sim = BspSimulator::new(&circuit, &comp.partition, threads);
+            b.iter(|| sim.run(50));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bsp);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Multilevel hypergraph partitioner throughput (the KaHyPar substitute
+//! used by stage 2 and the RepCut strategy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parendi_hypergraph::Hypergraph;
+use std::hint::black_box;
+
+fn mesh_graph(side: u32) -> Hypergraph {
+    let n = side * side;
+    let mut hg = Hypergraph::new(vec![1; n as usize]);
+    for y in 0..side {
+        for x in 0..side {
+            let id = y * side + x;
+            if x + 1 < side {
+                hg.add_edge(2, vec![id, id + 1]);
+            }
+            if y + 1 < side {
+                hg.add_edge(2, vec![id, id + side]);
+            }
+        }
+    }
+    hg
+}
+
+fn bench_hypergraph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypergraph");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let hg = mesh_graph(48); // 2304 nodes
+    for k in [2u32, 4] {
+        g.bench_function(format!("mesh48_k{k}"), |b| {
+            b.iter(|| black_box(&hg).partition(k, 0.05, 7))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hypergraph);
+criterion_main!(benches);

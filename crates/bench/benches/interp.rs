@@ -1,0 +1,24 @@
+//! Reference-interpreter throughput (simulated cycles per second) on
+//! representative designs — our equivalent of single-thread Verilator
+//! performance on the host running the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parendi_designs::Benchmark;
+use parendi_sim::Simulator;
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for bench in [Benchmark::Pico, Benchmark::Bitcoin, Benchmark::Sr(3)] {
+        let circuit = bench.build();
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(bench.name(), |b| {
+            let mut sim = Simulator::new(&circuit);
+            b.iter(|| sim.step_n(100));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

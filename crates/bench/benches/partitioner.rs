@@ -1,0 +1,30 @@
+//! Compiler throughput: the four-stage partitioner end to end, plus the
+//! differential-exchange ablation (§5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parendi_core::{compile, PartitionConfig, Strategy};
+use parendi_designs::Benchmark;
+use std::hint::black_box;
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioner");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    let circuit = Benchmark::Sr(6).build();
+    g.bench_function("sr6_bottom_up_1472", |b| {
+        b.iter(|| compile(black_box(&circuit), &PartitionConfig::with_tiles(1472)).unwrap())
+    });
+    g.bench_function("sr6_hypergraph_1472", |b| {
+        let mut cfg = PartitionConfig::with_tiles(1472);
+        cfg.strategy = Strategy::Hypergraph;
+        b.iter(|| compile(black_box(&circuit), &cfg).unwrap())
+    });
+    g.bench_function("sr6_no_diff_exchange", |b| {
+        let mut cfg = PartitionConfig::with_tiles(1472);
+        cfg.differential_exchange = false;
+        b.iter(|| compile(black_box(&circuit), &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioner);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 17: multi-IPU partitioning strategies on 4 chips — partitioning
+//! fibers *pre* merge (Parendi default) vs *post* merge vs ignoring chip
+//! boundaries entirely (*none*).
+
+use parendi_bench::{lr_max, sr_max};
+use parendi_core::{compile, MultiChipStrategy, PartitionConfig};
+use parendi_designs::Benchmark;
+use parendi_machine::ipu::IpuConfig;
+use parendi_sim::timing::{ipu_rate_khz, ipu_timings};
+
+fn main() {
+    let ipu = IpuConfig::m2000();
+    println!("Fig. 17: 4-IPU strategies, rate normalized to `pre`");
+    println!(
+        "{:>8} {:>6} | {:>9} {:>11} {:>8}",
+        "design", "strat", "kHz", "offchipKiB", "norm"
+    );
+    let benches = [
+        Benchmark::Sr(sr_max().saturating_sub(5).max(2)),
+        Benchmark::Sr(sr_max()),
+        Benchmark::Lr(lr_max().saturating_sub(2).max(2)),
+        Benchmark::Lr(lr_max()),
+    ];
+    for bench in benches {
+        let c = bench.build();
+        let mut base = None;
+        for (label, mc) in [
+            ("pre", MultiChipStrategy::Pre),
+            ("post", MultiChipStrategy::Post),
+            ("none", MultiChipStrategy::None),
+        ] {
+            let mut cfg = PartitionConfig::with_tiles(5888);
+            cfg.multi_chip = mc;
+            let comp = compile(&c, &cfg).expect("fits 4 IPUs");
+            let khz = ipu_rate_khz(&comp, &ipu);
+            let t = ipu_timings(&comp, &ipu);
+            let _ = t;
+            let b = *base.get_or_insert(khz);
+            println!(
+                "{:>8} {:>6} | {:>9.1} {:>11.1} {:>8.3}",
+                bench.name(),
+                label,
+                khz,
+                comp.plan.offchip_total_bytes as f64 / 1024.0,
+                khz / b
+            );
+        }
+        println!();
+    }
+    println!("Shape check: pre >= post >> none (the paper's Fig. 17 ordering);");
+    println!("`none` pays a much larger off-chip volume.");
+}

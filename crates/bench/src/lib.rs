@@ -1,0 +1,158 @@
+//! # parendi-bench
+//!
+//! The experiment harness: shared helpers used by the per-figure
+//! binaries (`src/bin/fig*.rs`, `src/bin/table*.rs`) that regenerate
+//! every table and figure of the paper's evaluation, plus Criterion
+//! micro-benchmarks (`benches/`).
+//!
+//! Environment knobs honoured by the binaries:
+//!
+//! * `PARENDI_SR_MAX` / `PARENDI_LR_MAX` — largest mesh sides (default
+//!   15 / 10, the paper's sweep);
+//! * `PARENDI_QUICK=1` — shrink every sweep for a fast smoke run.
+
+#![warn(missing_docs)]
+
+use parendi_baseline::VerilatorModel;
+use parendi_core::{compile, Compilation, PartitionConfig};
+use parendi_machine::ipu::{IpuConfig, IpuTimings};
+use parendi_machine::x64::X64Config;
+use parendi_rtl::Circuit;
+use parendi_sim::timing::ipu_timings;
+
+/// The paper's IPU tile sweep: 1, 2, 3 and 4 chips.
+pub const TILE_SWEEP: [u32; 4] = [1472, 2944, 4416, 5888];
+
+/// Whether quick mode is requested.
+pub fn quick() -> bool {
+    std::env::var("PARENDI_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Largest srN mesh side (default 15; quick mode 6).
+pub fn sr_max() -> u32 {
+    std::env::var("PARENDI_SR_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick() { 6 } else { 15 })
+}
+
+/// Largest lrN mesh side (default 10; quick mode 4).
+pub fn lr_max() -> u32 {
+    std::env::var("PARENDI_LR_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick() { 4 } else { 10 })
+}
+
+/// One Parendi compilation + timing data point.
+#[derive(Debug)]
+pub struct IpuPoint {
+    /// Tiles requested.
+    pub tiles: u32,
+    /// Tiles actually used.
+    pub tiles_used: u32,
+    /// Cost breakdown.
+    pub timings: IpuTimings,
+    /// Simulation rate in kHz.
+    pub khz: f64,
+    /// The compilation itself.
+    pub comp: Compilation,
+}
+
+/// Compiles `circuit` for `tiles` tiles and evaluates it on `ipu`.
+///
+/// # Panics
+///
+/// Panics if compilation fails (benchmark designs are sized to fit).
+pub fn ipu_point(circuit: &Circuit, tiles: u32, ipu: &IpuConfig) -> IpuPoint {
+    let mut cfg = PartitionConfig::with_tiles(tiles);
+    cfg.tiles_per_chip = ipu.tiles_per_chip;
+    cfg.data_bytes_per_tile = ipu.data_bytes_per_tile;
+    cfg.code_bytes_per_tile = ipu.code_bytes_per_tile;
+    let comp = compile(circuit, &cfg)
+        .unwrap_or_else(|e| panic!("{} does not compile at {tiles} tiles: {e}", circuit.name));
+    let timings = ipu_timings(&comp, ipu);
+    IpuPoint { tiles, tiles_used: comp.partition.tiles_used(), khz: timings.rate_khz(ipu), timings, comp }
+}
+
+/// The best Parendi rate over the paper's tile sweep.
+pub fn best_ipu(circuit: &Circuit, ipu: &IpuConfig) -> IpuPoint {
+    let sweep: &[u32] = if quick() { &TILE_SWEEP[..2] } else { &TILE_SWEEP };
+    sweep
+        .iter()
+        .map(|&t| ipu_point(circuit, t, ipu))
+        .max_by(|a, b| a.khz.partial_cmp(&b.khz).expect("rates are finite"))
+        .expect("non-empty sweep")
+}
+
+/// One Verilator data point on an x64 host.
+#[derive(Clone, Copy, Debug)]
+pub struct VerilatorPoint {
+    /// Single-thread rate in kHz.
+    pub st_khz: f64,
+    /// Best multithread rate in kHz.
+    pub mt_khz: f64,
+    /// Threads achieving the best rate.
+    pub threads: u32,
+    /// Self-relative gain.
+    pub gain: f64,
+}
+
+/// Evaluates the Verilator model on `host` with the paper's 2..=32 sweep.
+pub fn verilator_point(model: &VerilatorModel, host: &X64Config) -> VerilatorPoint {
+    let st = model.rate_khz(host, 1);
+    let (threads, mt, gain) = model.best(host, 32);
+    VerilatorPoint { st_khz: st, mt_khz: mt, threads, gain }
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (sum, n) = values.into_iter().fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        return 0.0;
+    }
+    (sum / n as f64).exp()
+}
+
+/// Prints a rule line sized for `width` columns.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a f64 with 2 decimals, right-aligned to 9 chars.
+pub fn f2(v: f64) -> String {
+    format!("{v:9.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_designs::Benchmark;
+
+    #[test]
+    fn gmean_is_geometric() {
+        assert!((gmean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(gmean([]), 0.0);
+    }
+
+    #[test]
+    fn ipu_point_monotone_tiles() {
+        let c = Benchmark::Bitcoin.build();
+        let ipu = IpuConfig::m2000();
+        let p1 = ipu_point(&c, 64, &ipu);
+        let p2 = ipu_point(&c, 1472, &ipu);
+        assert!(p2.tiles_used >= p1.tiles_used);
+        assert!(p2.timings.comp <= p1.timings.comp);
+    }
+
+    #[test]
+    fn verilator_point_sane() {
+        let c = Benchmark::Mc.build();
+        let m = VerilatorModel::new(&c);
+        let p = verilator_point(&m, &X64Config::ix3());
+        assert!(p.st_khz > 0.0);
+        assert!(p.mt_khz >= p.st_khz * 0.5);
+        assert!(p.threads >= 1);
+    }
+}

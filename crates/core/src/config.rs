@@ -1,0 +1,141 @@
+//! Compiler configuration and errors.
+
+use std::fmt;
+
+/// Which single-device partitioning strategy to use (paper §6.6, Fig. 16).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Parendi's bottom-up submodular merge (`B`, §5.1 stages 3–4).
+    #[default]
+    BottomUp,
+    /// RepCut-style hypergraph partitioning over replication clusters (`H`).
+    Hypergraph,
+}
+
+/// How fibers are distributed across IPU chips (paper §6.6, Fig. 17).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MultiChipStrategy {
+    /// Partition *fibers* across chips before merging (Parendi default).
+    #[default]
+    Pre,
+    /// Merge into processes first, then partition processes across chips.
+    Post,
+    /// Ignore chip boundaries entirely (assign processes round-robin).
+    None,
+}
+
+/// Parameters of a compilation.
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// Desired number of processes (= tiles used), across all chips.
+    pub tiles: u32,
+    /// Tiles available per chip (1472 on a GC200).
+    pub tiles_per_chip: u32,
+    /// Data memory budget per tile in bytes (≈400 KiB).
+    pub data_bytes_per_tile: u64,
+    /// Code memory budget per tile in bytes (≈200 KiB).
+    pub code_bytes_per_tile: u64,
+    /// Stage-1 threshold: arrays at least this large get their fibers
+    /// pre-merged (default 128 KiB, tunable — paper §5.1).
+    pub array_threshold_bytes: u64,
+    /// Single-device strategy.
+    pub strategy: Strategy,
+    /// Multi-chip strategy.
+    pub multi_chip: MultiChipStrategy,
+    /// Enable the differential-exchange optimization (§5.2).
+    pub differential_exchange: bool,
+    /// RNG seed for the hypergraph partitioner.
+    pub seed: u64,
+}
+
+impl PartitionConfig {
+    /// A configuration for `tiles` tiles with M2000-like budgets.
+    pub fn with_tiles(tiles: u32) -> Self {
+        PartitionConfig {
+            tiles,
+            tiles_per_chip: 1472,
+            data_bytes_per_tile: 400 << 10,
+            code_bytes_per_tile: 200 << 10,
+            array_threshold_bytes: 128 << 10,
+            strategy: Strategy::BottomUp,
+            multi_chip: MultiChipStrategy::Pre,
+            differential_exchange: true,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Number of chips this configuration spans.
+    pub fn chips(&self) -> u32 {
+        self.tiles.div_ceil(self.tiles_per_chip).max(1)
+    }
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self::with_tiles(1472)
+    }
+}
+
+/// A compilation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The design cannot be reduced to the requested tile count within
+    /// the per-tile memory budgets (paper §5.1 stage 4 / §5.3).
+    DoesNotFit {
+        /// Processes remaining when merging got stuck.
+        processes: usize,
+        /// Requested tiles.
+        tiles: u32,
+    },
+    /// A single fiber exceeds a per-tile budget on its own (§5.3: e.g. a
+    /// Verilog array larger than tile data memory).
+    FiberTooLarge {
+        /// Offending fiber index.
+        fiber: u32,
+        /// Bytes needed.
+        needed: u64,
+        /// Bytes available.
+        budget: u64,
+    },
+    /// The circuit has no fibers (nothing to simulate).
+    EmptyDesign,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::DoesNotFit { processes, tiles } => write!(
+                f,
+                "design does not fit: {processes} processes cannot merge down to {tiles} tiles \
+                 within memory budgets"
+            ),
+            CompileError::FiberTooLarge { fiber, needed, budget } => write!(
+                f,
+                "fiber {fiber} needs {needed} bytes, exceeding the per-tile budget of {budget}"
+            ),
+            CompileError::EmptyDesign => write!(f, "design has no fibers"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chips_derived_from_tiles() {
+        assert_eq!(PartitionConfig::with_tiles(1472).chips(), 1);
+        assert_eq!(PartitionConfig::with_tiles(1473).chips(), 2);
+        assert_eq!(PartitionConfig::with_tiles(5888).chips(), 4);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CompileError::DoesNotFit { processes: 10, tiles: 4 };
+        assert!(e.to_string().contains("does not fit"));
+        let e = CompileError::FiberTooLarge { fiber: 3, needed: 1024, budget: 512 };
+        assert!(e.to_string().contains("fiber 3"));
+    }
+}

@@ -1,0 +1,63 @@
+//! The output of the Parendi compiler: processes assigned to tiles.
+
+use crate::process::Process;
+use parendi_graph::fiber::{FiberSet, SinkKind};
+
+/// A complete partition: one [`Process`] per tile, grouped by chip.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Processes in tile order (chip-major).
+    pub processes: Vec<Process>,
+    /// Number of chips spanned.
+    pub chips: u32,
+    /// Sink kind of every fiber (copied from extraction, indexed by
+    /// `FiberId`), kept here so consumers need not re-extract.
+    pub fiber_sinks: Vec<SinkKind>,
+}
+
+impl Partition {
+    /// Builds a partition from processes (will be sorted chip-major).
+    pub fn new(mut processes: Vec<Process>, fs: &FiberSet) -> Self {
+        processes.sort_by_key(|p| p.chip);
+        let chips = processes.iter().map(|p| p.chip + 1).max().unwrap_or(1);
+        Partition {
+            processes,
+            chips,
+            fiber_sinks: fs.fibers.iter().map(|f| f.sink).collect(),
+        }
+    }
+
+    /// Number of tiles used.
+    pub fn tiles_used(&self) -> u32 {
+        self.processes.len() as u32
+    }
+
+    /// `t_comp`: the straggler process cost in IPU cycles.
+    pub fn straggler_cost(&self) -> u64 {
+        self.processes.iter().map(|p| p.ipu_cost).max().unwrap_or(0)
+    }
+
+    /// Mean process cost in IPU cycles (for utilization reporting).
+    pub fn mean_cost(&self) -> f64 {
+        if self.processes.is_empty() {
+            return 0.0;
+        }
+        self.processes.iter().map(|p| p.ipu_cost as f64).sum::<f64>()
+            / self.processes.len() as f64
+    }
+
+    /// Tile utilization: mean/straggler (1.0 = perfectly balanced).
+    pub fn utilization(&self) -> f64 {
+        let s = self.straggler_cost();
+        if s == 0 {
+            1.0
+        } else {
+            self.mean_cost() / s as f64
+        }
+    }
+
+    /// Tiles on the given chip.
+    pub fn tiles_on_chip(&self, chip: u32) -> usize {
+        self.processes.iter().filter(|p| p.chip == chip).count()
+    }
+}

@@ -1,0 +1,197 @@
+//! BSP processes: merged groups of fibers destined for one tile.
+//!
+//! The submodular cost function of §4.3 is implemented here: merging
+//! processes `A` and `B` costs `τ(A∪B) = τ(A) + τ(B) − τ(A∩B)` because
+//! duplicated nodes execute once, and the same identity applies to code
+//! and data footprints (tracked with the bitsets of §5.1).
+
+use parendi_graph::bitset::HybridSet;
+use parendi_graph::cost::CostModel;
+use parendi_graph::fiber::{FiberId, FiberSet, SinkKind};
+use parendi_rtl::{ArrayId, Circuit, RegId};
+
+/// A set of fibers that will run on one tile.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// Fibers merged into this process.
+    pub fibers: Vec<FiberId>,
+    /// Union of the fibers' cones.
+    pub nodes: HybridSet,
+    /// Deduplicated IPU cycles to execute the process once.
+    pub ipu_cost: u64,
+    /// Deduplicated x64 instructions (for the baseline model).
+    pub x64_cost: u64,
+    /// Deduplicated code bytes.
+    pub code_bytes: u64,
+    /// Registers read by any member fiber (sorted, unique).
+    pub regs_read: Vec<RegId>,
+    /// Registers written (one per register-sink fiber; sorted, unique).
+    pub regs_written: Vec<RegId>,
+    /// Arrays referenced (read or written; sorted, unique).
+    pub arrays: Vec<ArrayId>,
+    /// Chip this process is assigned to.
+    pub chip: u32,
+}
+
+impl Process {
+    /// Creates a process containing a single fiber.
+    pub fn singleton(fs: &FiberSet, id: FiberId) -> Self {
+        let f = &fs.fibers[id.index()];
+        let mut regs_read = f.regs_read.clone();
+        regs_read.sort_unstable();
+        regs_read.dedup();
+        let mut regs_written = Vec::new();
+        let mut arrays = f.arrays_read.clone();
+        match f.sink {
+            SinkKind::Reg(r) => regs_written.push(r),
+            SinkKind::ArrayPort { array, .. } => arrays.push(array),
+            SinkKind::Output(_) => {}
+        }
+        arrays.sort_unstable();
+        arrays.dedup();
+        Process {
+            fibers: vec![id],
+            nodes: HybridSet::from_iter(fs.universe, f.cone.iter().copied()),
+            ipu_cost: f.ipu_cost,
+            x64_cost: f.x64_cost,
+            code_bytes: f.code_bytes,
+            regs_read,
+            regs_written,
+            arrays,
+            chip: 0,
+        }
+    }
+
+    /// The cost of the merged process `self ∪ other` *without* merging:
+    /// `τ(A) + τ(B) − τ(A∩B)` over IPU cycles.
+    pub fn merged_ipu_cost(&self, other: &Process, costs: &CostModel) -> u64 {
+        let shared = self.nodes.weighted_intersection(&other.nodes, &costs.ipu_cycles);
+        self.ipu_cost + other.ipu_cost - shared
+    }
+
+    /// The merged code footprint, deduplicated the same way.
+    pub fn merged_code_bytes(&self, other: &Process, costs: &CostModel) -> u64 {
+        let shared = self.nodes.weighted_intersection(&other.nodes, &costs.code_bytes);
+        self.code_bytes + other.code_bytes - shared
+    }
+
+    /// Data footprint of this process on a tile: unique node values plus
+    /// one full copy of every referenced array plus register state.
+    pub fn data_bytes(&self, circuit: &Circuit, costs: &CostModel) -> u64 {
+        let node_bytes = self.nodes.weighted_len(&costs.data_bytes);
+        let array_bytes: u64 =
+            self.arrays.iter().map(|a| circuit.arrays[a.index()].size_bytes()).sum();
+        node_bytes + array_bytes
+    }
+
+    /// The merged data footprint (arrays shared by both count once).
+    pub fn merged_data_bytes(&self, other: &Process, circuit: &Circuit, costs: &CostModel) -> u64 {
+        let node_bytes = self.nodes.weighted_len(&costs.data_bytes)
+            + other.nodes.weighted_len(&costs.data_bytes)
+            - self.nodes.weighted_intersection(&other.nodes, &costs.data_bytes);
+        let mut arrays = self.arrays.clone();
+        arrays.extend_from_slice(&other.arrays);
+        arrays.sort_unstable();
+        arrays.dedup();
+        let array_bytes: u64 =
+            arrays.iter().map(|a| circuit.arrays[a.index()].size_bytes()).sum();
+        node_bytes + array_bytes
+    }
+
+    /// Absorbs `other` into `self`, maintaining all invariants.
+    pub fn merge(&mut self, other: &Process, costs: &CostModel) {
+        self.ipu_cost = self.merged_ipu_cost(other, costs);
+        self.x64_cost = self.x64_cost + other.x64_cost
+            - self.nodes.weighted_intersection(&other.nodes, &costs.x64_instrs);
+        self.code_bytes = self.merged_code_bytes(other, costs);
+        self.nodes.union_with(&other.nodes);
+        self.fibers.extend_from_slice(&other.fibers);
+        merge_sorted(&mut self.regs_read, &other.regs_read);
+        merge_sorted(&mut self.regs_written, &other.regs_written);
+        merge_sorted(&mut self.arrays, &other.arrays);
+    }
+}
+
+fn merge_sorted<T: Ord + Copy>(dst: &mut Vec<T>, src: &[T]) {
+    dst.extend_from_slice(src);
+    dst.sort_unstable();
+    dst.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_graph::extract_fibers;
+    use parendi_rtl::Builder;
+
+    fn shared_pair() -> (Circuit, CostModel, FiberSet) {
+        // Two registers whose next values share an expensive multiply.
+        let mut b = Builder::new("t");
+        let a = b.input("a", 32);
+        let shared = b.mul(a, a);
+        let r1 = b.reg("r1", 32, 0);
+        let r2 = b.reg("r2", 32, 0);
+        b.connect(r1, shared);
+        let x = b.xor(shared, r2.q());
+        b.connect(r2, x);
+        let c = b.finish().unwrap();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        (c, costs, fs)
+    }
+
+    #[test]
+    fn merge_is_submodular() {
+        let (_c, costs, fs) = shared_pair();
+        let p0 = Process::singleton(&fs, FiberId(0));
+        let p1 = Process::singleton(&fs, FiberId(1));
+        let merged = p0.merged_ipu_cost(&p1, &costs);
+        assert!(
+            merged < p0.ipu_cost + p1.ipu_cost,
+            "shared multiply must be deducted: {merged} vs {} + {}",
+            p0.ipu_cost,
+            p1.ipu_cost
+        );
+        assert!(merged >= p0.ipu_cost.max(p1.ipu_cost));
+    }
+
+    #[test]
+    fn merge_updates_state_consistently() {
+        let (c, costs, fs) = shared_pair();
+        let mut p0 = Process::singleton(&fs, FiberId(0));
+        let p1 = Process::singleton(&fs, FiberId(1));
+        let predicted = p0.merged_ipu_cost(&p1, &costs);
+        let predicted_data = p0.merged_data_bytes(&p1, &c, &costs);
+        p0.merge(&p1, &costs);
+        assert_eq!(p0.ipu_cost, predicted);
+        assert_eq!(p0.data_bytes(&c, &costs), predicted_data);
+        assert_eq!(p0.fibers.len(), 2);
+        assert_eq!(p0.regs_written, vec![RegId(0), RegId(1)]);
+        // Union of cones: no node counted twice.
+        assert_eq!(p0.nodes.len(), {
+            let mut all: Vec<u32> = fs.fibers[0].cone.clone();
+            all.extend_from_slice(&fs.fibers[1].cone);
+            all.sort_unstable();
+            all.dedup();
+            all.len()
+        });
+    }
+
+    #[test]
+    fn disjoint_merge_adds_exactly() {
+        // Two fibers with no shared logic: τ(A∪B) = τ(A)+τ(B).
+        let mut b = Builder::new("d");
+        for i in 0..2 {
+            let r = b.reg(format!("r{i}"), 16, 0);
+            let k = b.lit(16, 5);
+            let v = b.add(r.q(), k);
+            b.connect(r, v);
+        }
+        let c = b.finish().unwrap();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        let p0 = Process::singleton(&fs, FiberId(0));
+        let p1 = Process::singleton(&fs, FiberId(1));
+        assert_eq!(p0.merged_ipu_cost(&p1, &costs), p0.ipu_cost + p1.ipu_cost);
+    }
+}

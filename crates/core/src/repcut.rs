@@ -1,0 +1,118 @@
+//! The RepCut-style alternative partitioning strategy (paper §6.6).
+//!
+//! RepCut formulates SLB as hypergraph partitioning: hypernodes are
+//! fibers and hyperedges are the *replication clusters* — maximal node
+//! groups shared by the same fibers — so a good cut keeps sharing fibers
+//! together and bounds duplicated work. We reuse our multilevel
+//! partitioner over exactly that hypergraph.
+
+use crate::process::Process;
+use parendi_graph::analysis::replication_clusters;
+use parendi_graph::cost::CostModel;
+use parendi_graph::fiber::{FiberId, FiberSet};
+use parendi_hypergraph::Hypergraph;
+
+/// Partitions the fibers of one chip into `k` processes with the RepCut
+/// hypergraph formulation. `fiber_ids` selects the chip's fibers.
+pub fn partition_fibers(
+    fs: &FiberSet,
+    costs: &CostModel,
+    fiber_ids: &[FiberId],
+    k: u32,
+    seed: u64,
+) -> Vec<Process> {
+    if fiber_ids.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(fiber_ids.len() as u32).max(1);
+    // Local index of each selected fiber.
+    let mut local = vec![u32::MAX; fs.len()];
+    for (i, f) in fiber_ids.iter().enumerate() {
+        local[f.index()] = i as u32;
+    }
+    let weights: Vec<u64> =
+        fiber_ids.iter().map(|f| fs.fibers[f.index()].ipu_cost.max(1)).collect();
+    let mut hg = Hypergraph::new(weights);
+    for cluster in replication_clusters(fs, &costs.ipu_cycles) {
+        let pins: Vec<u32> =
+            cluster.fibers.iter().filter_map(|f| {
+                let l = local[f.index()];
+                (l != u32::MAX).then_some(l)
+            }).collect();
+        if pins.len() >= 2 {
+            hg.add_edge(cluster.ipu_cost.max(1), pins);
+        }
+    }
+    let result = hg.partition(k, 0.08, seed);
+
+    let mut buckets: Vec<Vec<FiberId>> = vec![Vec::new(); k as usize];
+    for (i, &f) in fiber_ids.iter().enumerate() {
+        buckets[result.parts[i] as usize].push(f);
+    }
+    buckets
+        .into_iter()
+        .filter(|b| !b.is_empty())
+        .map(|b| {
+            let mut it = b.into_iter();
+            let mut p = Process::singleton(fs, it.next().expect("non-empty bucket"));
+            for f in it {
+                let q = Process::singleton(fs, f);
+                p.merge(&q, costs);
+            }
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_graph::extract_fibers;
+    use parendi_rtl::Builder;
+
+    #[test]
+    fn repcut_groups_sharing_fibers() {
+        // Two families of fibers; each family shares one expensive cone.
+        let mut b = Builder::new("fam");
+        for fam in 0..2 {
+            let x = b.input(format!("x{fam}"), 32);
+            let mut shared = x;
+            for _ in 0..6 {
+                shared = b.mul(shared, shared);
+            }
+            for i in 0..4 {
+                let r = b.reg(format!("f{fam}_r{i}"), 32, 0);
+                let k = b.lit(32, i as u64);
+                let v = b.add(shared, k);
+                let v = b.xor(v, r.q());
+                b.connect(r, v);
+            }
+        }
+        let c = b.finish().unwrap();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        let all: Vec<FiberId> = (0..fs.len() as u32).map(FiberId).collect();
+        let procs = partition_fibers(&fs, &costs, &all, 2, 1);
+        assert_eq!(procs.len(), 2);
+        // Each process should hold one complete family (fibers 0-3 / 4-7).
+        for p in &procs {
+            let fams: Vec<u32> = p.fibers.iter().map(|f| f.0 / 4).collect();
+            assert!(fams.iter().all(|&x| x == fams[0]), "family split: {:?}", p.fibers);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_fibers_is_clamped() {
+        let mut b = Builder::new("one");
+        let r = b.reg("r", 8, 0);
+        let one = b.lit(8, 1);
+        let n = b.add(r.q(), one);
+        b.connect(r, n);
+        let c = b.finish().unwrap();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        let all: Vec<FiberId> = (0..fs.len() as u32).map(FiberId).collect();
+        let procs = partition_fibers(&fs, &costs, &all, 64, 1);
+        assert_eq!(procs.len(), 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! The four-stage compilation driver (paper §5.1).
+//!
+//! 1. **Array pre-merge** — fibers referencing the same *large* array
+//!    (≥ threshold) merge so at most one copy of each big array lands on
+//!    a tile (footnote 4).
+//! 2. **Multi-chip split** — a fiber hypergraph (hyperedges = registers
+//!    and arrays, weighted by their word size) is k-way partitioned to
+//!    minimize off-chip cut.
+//! 3. **Bottom-up merge** — the submodular loop of [`crate::slb`],
+//!    holding the straggler bound.
+//! 4. **Forced merge** — only if stage 3 missed the tile count; the
+//!    bound may grow, and if memory still prevents fitting, compilation
+//!    fails.
+
+use crate::config::{CompileError, MultiChipStrategy, PartitionConfig, Strategy};
+use crate::exchange::{plan, ExchangePlan};
+use crate::partition::Partition;
+use crate::process::Process;
+use crate::repcut;
+use crate::slb::Merger;
+use parendi_graph::analysis::{adjacency, Adjacency};
+use parendi_graph::cost::CostModel;
+use parendi_graph::fiber::{extract_fibers, FiberId, FiberSet};
+use parendi_hypergraph::Hypergraph;
+use parendi_rtl::bits::words_for;
+use parendi_rtl::Circuit;
+use std::time::Instant;
+
+/// The result of [`compile`].
+#[derive(Clone, Debug)]
+pub struct Compilation {
+    /// Per-node costs.
+    pub costs: CostModel,
+    /// Extracted fibers.
+    pub fibers: FiberSet,
+    /// The tile partition.
+    pub partition: Partition,
+    /// Per-cycle exchange volumes.
+    pub plan: ExchangePlan,
+    /// Wall-clock compile time in seconds.
+    pub compile_seconds: f64,
+    /// Approximate compiler working memory in bytes (cones + sets).
+    pub approx_memory_bytes: u64,
+}
+
+/// Compiles `circuit` for the configuration `cfg`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::EmptyDesign`] for fiberless circuits,
+/// [`CompileError::FiberTooLarge`] when a single fiber exceeds a tile
+/// budget, and [`CompileError::DoesNotFit`] when stage 4 cannot reach
+/// the requested tile count (paper §5.3).
+pub fn compile(circuit: &Circuit, cfg: &PartitionConfig) -> Result<Compilation, CompileError> {
+    let start = Instant::now();
+    let costs = CostModel::of(circuit);
+    let fibers = extract_fibers(circuit, &costs);
+    if fibers.is_empty() {
+        return Err(CompileError::EmptyDesign);
+    }
+    let adj = adjacency(circuit, &fibers);
+
+    // ---- Stage 1: pre-merge fibers sharing large arrays.
+    let units = stage1_array_premerge(circuit, &costs, &fibers, cfg.array_threshold_bytes);
+
+    // ---- Stage 2: assign units to chips.
+    let chips = cfg.chips();
+    let mut units = units;
+    if chips > 1 && cfg.multi_chip == MultiChipStrategy::Pre {
+        stage2_chip_split(circuit, &mut units, chips, cfg.seed);
+    }
+
+    // ---- Stages 3-4 (or the RepCut alternative), per chip for Pre,
+    // globally otherwise.
+    let processes = match cfg.multi_chip {
+        MultiChipStrategy::Pre => {
+            let mut all = Vec::new();
+            for chip in 0..chips {
+                let chip_units: Vec<Process> =
+                    units.iter().filter(|u| u.chip == chip).cloned().collect();
+                if chip_units.is_empty() {
+                    continue;
+                }
+                let budget = chip_tile_budget(cfg, chip);
+                let mut procs = reduce_to_tiles(
+                    circuit, &costs, &fibers, &adj, chip_units, budget, cfg,
+                )?;
+                for p in &mut procs {
+                    p.chip = chip;
+                }
+                all.extend(procs);
+            }
+            all
+        }
+        MultiChipStrategy::Post | MultiChipStrategy::None => {
+            let mut procs =
+                reduce_to_tiles(circuit, &costs, &fibers, &adj, units, cfg.tiles, cfg)?;
+            if chips > 1 {
+                match cfg.multi_chip {
+                    MultiChipStrategy::Post => {
+                        stage2_chip_split(circuit, &mut procs, chips, cfg.seed);
+                    }
+                    _ => {
+                        // Oblivious: fill chips in index order.
+                        let per = procs.len().div_ceil(chips as usize).max(1);
+                        for (i, p) in procs.iter_mut().enumerate() {
+                            p.chip = (i / per) as u32;
+                        }
+                    }
+                }
+            }
+            procs
+        }
+    };
+
+    let partition = Partition::new(processes, &fibers);
+    let xplan = plan(circuit, &partition, cfg.differential_exchange);
+    let approx_memory_bytes = approx_memory(&fibers, &partition);
+    Ok(Compilation {
+        costs,
+        fibers,
+        partition,
+        plan: xplan,
+        compile_seconds: start.elapsed().as_secs_f64(),
+        approx_memory_bytes,
+    })
+}
+
+/// Tiles allotted to `chip` when `cfg.tiles` spans several chips.
+fn chip_tile_budget(cfg: &PartitionConfig, chip: u32) -> u32 {
+    let remaining = cfg.tiles.saturating_sub(chip * cfg.tiles_per_chip);
+    remaining.min(cfg.tiles_per_chip).max(1)
+}
+
+/// Stage 1: group fibers sharing arrays of at least `threshold` bytes.
+fn stage1_array_premerge(
+    circuit: &Circuit,
+    costs: &CostModel,
+    fibers: &FiberSet,
+    threshold: u64,
+) -> Vec<Process> {
+    let mut uf = UnionFind::new(fibers.len());
+    for (ai, a) in circuit.arrays.iter().enumerate() {
+        if a.size_bytes() < threshold {
+            continue;
+        }
+        let aid = parendi_rtl::ArrayId(ai as u32);
+        let mut first: Option<usize> = None;
+        for (fi, f) in fibers.fibers.iter().enumerate() {
+            let touches = f.arrays_read.contains(&aid)
+                || matches!(f.sink,
+                    parendi_graph::fiber::SinkKind::ArrayPort { array, .. } if array == aid);
+            if touches {
+                match first {
+                    None => first = Some(fi),
+                    Some(f0) => uf.union(f0, fi),
+                }
+            }
+        }
+    }
+    // Roots -> processes.
+    let mut proc_of_root: Vec<Option<usize>> = vec![None; fibers.len()];
+    let mut units: Vec<Process> = Vec::new();
+    for fi in 0..fibers.len() {
+        let root = uf.find(fi);
+        match proc_of_root[root] {
+            None => {
+                proc_of_root[root] = Some(units.len());
+                units.push(Process::singleton(fibers, FiberId(fi as u32)));
+            }
+            Some(pi) => {
+                let q = Process::singleton(fibers, FiberId(fi as u32));
+                units[pi].merge(&q, costs);
+            }
+        }
+    }
+    units
+}
+
+/// Stage 2: k-way split of units across chips, minimizing register/array
+/// cut weighted by word size.
+fn stage2_chip_split(circuit: &Circuit, units: &mut [Process], chips: u32, seed: u64) {
+    let weights: Vec<u64> = units.iter().map(|u| u.ipu_cost.max(1)).collect();
+    let mut hg = Hypergraph::new(weights);
+    let mut reg_pins: Vec<Vec<u32>> = vec![Vec::new(); circuit.regs.len()];
+    let mut array_pins: Vec<Vec<u32>> = vec![Vec::new(); circuit.arrays.len()];
+    for (ui, u) in units.iter().enumerate() {
+        for &r in u.regs_read.iter().chain(&u.regs_written) {
+            reg_pins[r.index()].push(ui as u32);
+        }
+        for &a in &u.arrays {
+            array_pins[a.index()].push(ui as u32);
+        }
+    }
+    for (ri, pins) in reg_pins.into_iter().enumerate() {
+        hg.add_edge(words_for(circuit.regs[ri].width) as u64, pins);
+    }
+    for (ai, pins) in array_pins.into_iter().enumerate() {
+        hg.add_edge(words_for(circuit.arrays[ai].width) as u64, pins);
+    }
+    let result = hg.partition(chips, 0.05, seed);
+    for (ui, u) in units.iter_mut().enumerate() {
+        u.chip = result.parts[ui];
+    }
+}
+
+/// Stages 3-4 (BottomUp) or the hypergraph alternative, reducing `units`
+/// to at most `tiles` processes.
+fn reduce_to_tiles(
+    circuit: &Circuit,
+    costs: &CostModel,
+    fibers: &FiberSet,
+    adj: &Adjacency,
+    units: Vec<Process>,
+    tiles: u32,
+    cfg: &PartitionConfig,
+) -> Result<Vec<Process>, CompileError> {
+    match cfg.strategy {
+        Strategy::BottomUp => {
+            let mut merger = Merger::new(
+                circuit,
+                costs,
+                fibers,
+                adj,
+                units,
+                cfg.data_bytes_per_tile,
+                cfg.code_bytes_per_tile,
+            )?;
+            merger.run(tiles as usize, false); // stage 3
+            if merger.active() > tiles as usize {
+                merger.run(tiles as usize, true); // stage 4
+            }
+            if merger.active() > tiles as usize {
+                return Err(CompileError::DoesNotFit {
+                    processes: merger.active(),
+                    tiles,
+                });
+            }
+            Ok(merger.into_processes())
+        }
+        Strategy::Hypergraph => {
+            // RepCut-style: partition this chip's fibers directly.
+            let fiber_ids: Vec<FiberId> =
+                units.iter().flat_map(|u| u.fibers.iter().copied()).collect();
+            let procs = repcut::partition_fibers(fibers, costs, &fiber_ids, tiles, cfg.seed);
+            // Enforce the same per-tile budget rule as BottomUp.
+            for p in &procs {
+                if p.data_bytes(circuit, costs) > cfg.data_bytes_per_tile && p.fibers.len() == 1 {
+                    return Err(CompileError::FiberTooLarge {
+                        fiber: p.fibers[0].0,
+                        needed: p.data_bytes(circuit, costs),
+                        budget: cfg.data_bytes_per_tile,
+                    });
+                }
+            }
+            Ok(procs)
+        }
+    }
+}
+
+fn approx_memory(fibers: &FiberSet, partition: &Partition) -> u64 {
+    let cones: u64 = fibers.fibers.iter().map(|f| f.cone.len() as u64 * 4).sum();
+    let sets: u64 = partition.processes.iter().map(|p| p.nodes.memory_bytes() as u64).sum();
+    cones + sets
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.parent[r] as usize != r {
+            r = self.parent[r] as usize;
+        }
+        let mut c = x;
+        while c != r {
+            let next = self.parent[c] as usize;
+            self.parent[c] = r as u32;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_rtl::Builder;
+
+    /// Ring of n simple counters, each feeding the next.
+    fn ring(n: usize) -> Circuit {
+        let mut b = Builder::new("ring");
+        let regs: Vec<_> = (0..n).map(|i| b.reg(format!("r{i}"), 16, 0)).collect();
+        for i in 0..n {
+            let prev = regs[(i + n - 1) % n].q();
+            let k = b.lit(16, 3);
+            let v = b.mul(prev, k);
+            let w = b.add(v, regs[i].q());
+            b.connect(regs[i], w);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn compile_ring_to_four_tiles() {
+        let c = ring(32);
+        let cfg = PartitionConfig { tiles: 4, ..PartitionConfig::with_tiles(4) };
+        let comp = compile(&c, &cfg).unwrap();
+        assert!(comp.partition.tiles_used() <= 4);
+        assert_eq!(
+            comp.partition.processes.iter().map(|p| p.fibers.len()).sum::<usize>(),
+            32
+        );
+        assert!(comp.plan.max_tile_onchip_bytes > 0, "ring tiles must communicate");
+        assert!(comp.compile_seconds >= 0.0);
+        assert!(comp.approx_memory_bytes > 0);
+    }
+
+    #[test]
+    fn trivial_case_one_fiber_per_tile() {
+        // n <= m: optimal solution is a fiber per tile (§4.3).
+        let c = ring(8);
+        let cfg = PartitionConfig::with_tiles(64);
+        let comp = compile(&c, &cfg).unwrap();
+        assert_eq!(comp.partition.tiles_used(), 8);
+        assert!(comp.partition.processes.iter().all(|p| p.fibers.len() == 1));
+    }
+
+    #[test]
+    fn multi_chip_pre_assigns_chips() {
+        let c = ring(64);
+        let mut cfg = PartitionConfig::with_tiles(32);
+        cfg.tiles_per_chip = 16; // force 2 chips
+        let comp = compile(&c, &cfg).unwrap();
+        assert_eq!(comp.partition.chips, 2);
+        assert!(comp.partition.tiles_on_chip(0) > 0);
+        assert!(comp.partition.tiles_on_chip(1) > 0);
+        // A ring split across 2 chips cuts at least 2 registers.
+        assert!(comp.plan.offchip_cut_bytes >= 2);
+    }
+
+    #[test]
+    fn strategies_produce_valid_partitions() {
+        let c = ring(24);
+        for strategy in [Strategy::BottomUp, Strategy::Hypergraph] {
+            let mut cfg = PartitionConfig::with_tiles(6);
+            cfg.strategy = strategy;
+            let comp = compile(&c, &cfg).unwrap();
+            assert!(comp.partition.tiles_used() <= 6, "{strategy:?}");
+            let covered: usize =
+                comp.partition.processes.iter().map(|p| p.fibers.len()).sum();
+            assert_eq!(covered, 24, "{strategy:?} must cover all fibers");
+        }
+    }
+
+    #[test]
+    fn multi_chip_strategies_differ_in_cut() {
+        let c = ring(64);
+        let mut cut_of = std::collections::HashMap::new();
+        for mc in [MultiChipStrategy::Pre, MultiChipStrategy::Post, MultiChipStrategy::None] {
+            let mut cfg = PartitionConfig::with_tiles(32);
+            cfg.tiles_per_chip = 16;
+            cfg.multi_chip = mc;
+            let comp = compile(&c, &cfg).unwrap();
+            cut_of.insert(format!("{mc:?}"), comp.plan.offchip_total_bytes);
+        }
+        // Pre should be no worse than None on a ring (Fig. 17 trend).
+        assert!(
+            cut_of["Pre"] <= cut_of["None"],
+            "pre {} vs none {}",
+            cut_of["Pre"],
+            cut_of["None"]
+        );
+    }
+
+    #[test]
+    fn array_premerge_groups_fibers() {
+        // Three fibers reading one big array: stage 1 must co-locate them.
+        let mut b = Builder::new("big");
+        let mem = b.array("mem", 64, 4096); // 32 KiB
+        for i in 0..3 {
+            let r = b.reg(format!("r{i}"), 64, 0);
+            let idx = b.slice(r.q(), 11, 0);
+            let v = b.array_read(mem, idx);
+            let nx = b.add(v, r.q());
+            b.connect(r, nx);
+        }
+        // Writer port to make the array live.
+        let r0 = b.reg("w", 12, 0);
+        let one = b.lit(12, 1);
+        let ni = b.add(r0.q(), one);
+        b.connect(r0, ni);
+        let d = b.lit(64, 7);
+        let en = b.lit(1, 1);
+        b.array_write(mem, r0.q(), d, en);
+        let c = b.finish().unwrap();
+        let mut cfg = PartitionConfig::with_tiles(8);
+        cfg.array_threshold_bytes = 16 << 10; // 32 KiB array qualifies
+        let comp = compile(&c, &cfg).unwrap();
+        // All array-touching fibers in one process: exactly one process
+        // holds the array.
+        let holders = comp
+            .partition
+            .processes
+            .iter()
+            .filter(|p| !p.arrays.is_empty())
+            .count();
+        assert_eq!(holders, 1, "stage 1 must keep one copy of the big array");
+    }
+
+    #[test]
+    fn does_not_fit_is_reported() {
+        // Two 32 KiB arrays per fiber-group with a 40 KiB budget and
+        // tiles=1: cannot merge into one tile.
+        let mut b = Builder::new("nofit");
+        for i in 0..2 {
+            let addr = b.input(format!("a{i}"), 9);
+            let mem = b.array(format!("m{i}"), 512, 512);
+            let rd = b.array_read(mem, addr);
+            let r = b.reg(format!("r{i}"), 512, 0);
+            let x = b.xor(rd, r.q());
+            b.connect(r, x);
+        }
+        let c = b.finish().unwrap();
+        let mut cfg = PartitionConfig::with_tiles(1);
+        cfg.data_bytes_per_tile = 40 << 10;
+        let err = compile(&c, &cfg).unwrap_err();
+        assert!(matches!(err, CompileError::DoesNotFit { .. }), "{err}");
+    }
+}

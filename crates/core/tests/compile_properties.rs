@@ -1,0 +1,133 @@
+//! Compiler invariants that must hold for every circuit and every
+//! configuration: total fiber coverage, tile-count compliance, memory
+//! budgets, exchange-plan flow conservation, and submodular cost sanity.
+
+use parendi_core::{compile, MultiChipStrategy, PartitionConfig, Strategy};
+use parendi_rtl::{Builder, Circuit, Signal};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A mesh-ish random circuit: clusters of local logic with sparse
+/// cross-cluster links — the communication structure the partitioner is
+/// built for.
+fn clustered_circuit(seed: u64, clusters: usize, per_cluster: usize) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(format!("cluster{seed}"));
+    let mut cluster_regs: Vec<Vec<parendi_rtl::Reg>> = Vec::new();
+    for c in 0..clusters {
+        b.push_scope(format!("c{c}"));
+        let regs: Vec<_> =
+            (0..per_cluster).map(|i| b.reg(format!("r{i}"), 16, rng.random::<u64>())).collect();
+        cluster_regs.push(regs);
+        b.pop_scope();
+    }
+    for c in 0..clusters {
+        for i in 0..per_cluster {
+            let me = cluster_regs[c][i];
+            // Mostly local neighbours, occasionally remote.
+            let (oc, oi) = if rng.random_bool(0.15) {
+                (rng.random_range(0..clusters), rng.random_range(0..per_cluster))
+            } else {
+                (c, rng.random_range(0..per_cluster))
+            };
+            let other = cluster_regs[oc][oi].q();
+            let k = b.lit(16, rng.random::<u64>());
+            let mixed = b.xor(me.q(), other);
+            let v: Signal = match rng.random_range(0..3) {
+                0 => b.add(mixed, k),
+                1 => b.mul(mixed, k),
+                _ => b.sub(mixed, k),
+            };
+            b.connect(me, v);
+        }
+    }
+    b.finish().expect("validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compile_invariants(
+        seed in 0u64..50_000,
+        clusters in 2usize..6,
+        per_cluster in 2usize..8,
+        tiles in 1u32..24,
+        strategy_pick in 0u8..2,
+        chip_pick in 0u8..3,
+    ) {
+        let c = clustered_circuit(seed, clusters, per_cluster);
+        let mut cfg = PartitionConfig::with_tiles(tiles);
+        cfg.tiles_per_chip = tiles.div_ceil(2).max(1);
+        cfg.strategy =
+            if strategy_pick == 0 { Strategy::BottomUp } else { Strategy::Hypergraph };
+        cfg.multi_chip = match chip_pick {
+            0 => MultiChipStrategy::Pre,
+            1 => MultiChipStrategy::Post,
+            _ => MultiChipStrategy::None,
+        };
+        let comp = compile(&c, &cfg).expect("must compile");
+
+        // 1. Tile budget respected.
+        prop_assert!(comp.partition.tiles_used() <= tiles.max(1));
+        // 2. Every fiber on exactly one tile.
+        let mut owned = vec![0u32; comp.fibers.len()];
+        for p in &comp.partition.processes {
+            for f in &p.fibers {
+                owned[f.index()] += 1;
+            }
+        }
+        prop_assert!(owned.iter().all(|&o| o == 1), "fiber ownership broken");
+        // 3. Process costs are at least the max member fiber and at most
+        //    the sum (submodularity bounds).
+        for p in &comp.partition.processes {
+            let max: u64 =
+                p.fibers.iter().map(|f| comp.fibers.fibers[f.index()].ipu_cost).max().unwrap();
+            let sum: u64 =
+                p.fibers.iter().map(|f| comp.fibers.fibers[f.index()].ipu_cost).sum();
+            prop_assert!(p.ipu_cost >= max, "cost below straggler member");
+            prop_assert!(p.ipu_cost <= sum, "cost above additive bound");
+        }
+        // 4. Flow conservation: total sent == total received.
+        let sent: u64 = comp.plan.tile_out_bytes.iter().sum();
+        let received: u64 = comp.plan.tile_in_bytes.iter().sum();
+        prop_assert_eq!(sent, received, "exchange plan must conserve bytes");
+        // 5. Off-chip volume can't exceed total traffic.
+        prop_assert!(comp.plan.offchip_total_bytes <= sent);
+        // 6. Memory budgets hold per process.
+        for p in &comp.partition.processes {
+            prop_assert!(
+                p.data_bytes(&c, &comp.costs) <= cfg.data_bytes_per_tile,
+                "data budget exceeded"
+            );
+            prop_assert!(p.code_bytes <= cfg.code_bytes_per_tile, "code budget exceeded");
+        }
+    }
+
+    #[test]
+    fn more_tiles_never_raise_the_straggler(
+        seed in 0u64..10_000,
+        small in 2u32..6,
+        extra in 1u32..20,
+    ) {
+        let c = clustered_circuit(seed, 4, 6);
+        let a = compile(&c, &PartitionConfig::with_tiles(small)).unwrap();
+        let b = compile(&c, &PartitionConfig::with_tiles(small + extra)).unwrap();
+        prop_assert!(
+            b.partition.straggler_cost() <= a.partition.straggler_cost(),
+            "straggler grew with more tiles: {} -> {}",
+            a.partition.straggler_cost(),
+            b.partition.straggler_cost()
+        );
+    }
+
+    #[test]
+    fn single_tile_means_no_traffic(seed in 0u64..10_000) {
+        let c = clustered_circuit(seed, 3, 4);
+        let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
+        prop_assert_eq!(comp.partition.tiles_used(), 1);
+        prop_assert_eq!(comp.plan.total_sent(), 0);
+        prop_assert_eq!(comp.plan.offchip_total_bytes, 0);
+    }
+}

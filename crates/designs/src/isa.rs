@@ -1,0 +1,522 @@
+//! A minimal RV32I assembler for driving the RISC-V core designs.
+//!
+//! Encodes the RV32I subset implemented by [`crate::pico`] and
+//! [`crate::rocket`] (no byte/halfword memory ops, no fences/CSRs) and
+//! ships the small test programs the benchmark designs run.
+
+/// Register aliases.
+pub mod reg {
+    /// x0: hardwired zero.
+    pub const ZERO: u32 = 0;
+    /// x1: return address.
+    pub const RA: u32 = 1;
+    /// x2: stack pointer.
+    pub const SP: u32 = 2;
+    /// x5-x7: temporaries.
+    pub const T0: u32 = 5;
+    /// Temporary t1.
+    pub const T1: u32 = 6;
+    /// Temporary t2.
+    pub const T2: u32 = 7;
+    /// x10-x11: arguments / return values.
+    pub const A0: u32 = 10;
+    /// Argument a1.
+    pub const A1: u32 = 11;
+    /// Argument a2.
+    pub const A2: u32 = 12;
+    /// Argument a3.
+    pub const A3: u32 = 13;
+    /// Saved register s0.
+    pub const S0: u32 = 8;
+    /// Saved register s1.
+    pub const S1: u32 = 9;
+}
+
+fn imm12(imm: i32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "imm12 out of range: {imm}");
+    (imm as u32) & 0xfff
+}
+
+fn rtype(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn itype(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (imm12(imm) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+/// `add rd, rs1, rs2`
+pub fn add(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b000, rd, 0b0110011)
+}
+
+/// `sub rd, rs1, rs2`
+pub fn sub(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0b0100000, rs2, rs1, 0b000, rd, 0b0110011)
+}
+
+/// `sll rd, rs1, rs2`
+pub fn sll(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b001, rd, 0b0110011)
+}
+
+/// `slt rd, rs1, rs2`
+pub fn slt(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b010, rd, 0b0110011)
+}
+
+/// `sltu rd, rs1, rs2`
+pub fn sltu(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b011, rd, 0b0110011)
+}
+
+/// `xor rd, rs1, rs2`
+pub fn xor(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b100, rd, 0b0110011)
+}
+
+/// `srl rd, rs1, rs2`
+pub fn srl(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b101, rd, 0b0110011)
+}
+
+/// `sra rd, rs1, rs2`
+pub fn sra(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0b0100000, rs2, rs1, 0b101, rd, 0b0110011)
+}
+
+/// `or rd, rs1, rs2`
+pub fn or(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b110, rd, 0b0110011)
+}
+
+/// `and rd, rs1, rs2`
+pub fn and(rd: u32, rs1: u32, rs2: u32) -> u32 {
+    rtype(0, rs2, rs1, 0b111, rd, 0b0110011)
+}
+
+/// `addi rd, rs1, imm`
+pub fn addi(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b000, rd, 0b0010011)
+}
+
+/// `slti rd, rs1, imm`
+pub fn slti(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b010, rd, 0b0010011)
+}
+
+/// `sltiu rd, rs1, imm`
+pub fn sltiu(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b011, rd, 0b0010011)
+}
+
+/// `xori rd, rs1, imm`
+pub fn xori(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b100, rd, 0b0010011)
+}
+
+/// `ori rd, rs1, imm`
+pub fn ori(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b110, rd, 0b0010011)
+}
+
+/// `andi rd, rs1, imm`
+pub fn andi(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b111, rd, 0b0010011)
+}
+
+/// `slli rd, rs1, sh`
+pub fn slli(rd: u32, rs1: u32, sh: u32) -> u32 {
+    itype(sh as i32, rs1, 0b001, rd, 0b0010011)
+}
+
+/// `srli rd, rs1, sh`
+pub fn srli(rd: u32, rs1: u32, sh: u32) -> u32 {
+    itype(sh as i32, rs1, 0b101, rd, 0b0010011)
+}
+
+/// `srai rd, rs1, sh`
+pub fn srai(rd: u32, rs1: u32, sh: u32) -> u32 {
+    itype((sh | 0x400) as i32, rs1, 0b101, rd, 0b0010011)
+}
+
+/// `lw rd, imm(rs1)`
+pub fn lw(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b010, rd, 0b0000011)
+}
+
+/// `sw rs2, imm(rs1)`
+pub fn sw(rs2: u32, rs1: u32, imm: i32) -> u32 {
+    let imm = imm12(imm);
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (0b010 << 12) | ((imm & 0x1f) << 7) | 0b0100011
+}
+
+/// `lui rd, imm20` (imm is the upper 20 bits, pre-shifted right).
+pub fn lui(rd: u32, imm20: u32) -> u32 {
+    (imm20 << 12) | (rd << 7) | 0b0110111
+}
+
+/// `auipc rd, imm20`
+pub fn auipc(rd: u32, imm20: u32) -> u32 {
+    (imm20 << 12) | (rd << 7) | 0b0010111
+}
+
+fn btype(imm: i32, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    assert!((-4096..=4095).contains(&imm) && imm % 2 == 0, "b-imm out of range: {imm}");
+    let i = imm as u32;
+    ((i >> 12) & 1) << 31
+        | ((i >> 5) & 0x3f) << 25
+        | rs2 << 20
+        | rs1 << 15
+        | funct3 << 12
+        | ((i >> 1) & 0xf) << 8
+        | ((i >> 11) & 1) << 7
+        | 0b1100011
+}
+
+/// `beq rs1, rs2, offset`
+pub fn beq(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    btype(offset, rs2, rs1, 0b000)
+}
+
+/// `bne rs1, rs2, offset`
+pub fn bne(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    btype(offset, rs2, rs1, 0b001)
+}
+
+/// `blt rs1, rs2, offset`
+pub fn blt(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    btype(offset, rs2, rs1, 0b100)
+}
+
+/// `bge rs1, rs2, offset`
+pub fn bge(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    btype(offset, rs2, rs1, 0b101)
+}
+
+/// `bltu rs1, rs2, offset`
+pub fn bltu(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    btype(offset, rs2, rs1, 0b110)
+}
+
+/// `bgeu rs1, rs2, offset`
+pub fn bgeu(rs1: u32, rs2: u32, offset: i32) -> u32 {
+    btype(offset, rs2, rs1, 0b111)
+}
+
+/// `jal rd, offset`
+pub fn jal(rd: u32, offset: i32) -> u32 {
+    assert!((-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0);
+    let i = offset as u32;
+    ((i >> 20) & 1) << 31
+        | ((i >> 1) & 0x3ff) << 21
+        | ((i >> 11) & 1) << 20
+        | ((i >> 12) & 0xff) << 12
+        | rd << 7
+        | 0b1101111
+}
+
+/// `jalr rd, rs1, imm`
+pub fn jalr(rd: u32, rs1: u32, imm: i32) -> u32 {
+    itype(imm, rs1, 0b000, rd, 0b1100111)
+}
+
+/// `nop`
+pub fn nop() -> u32 {
+    addi(0, 0, 0)
+}
+
+/// The convention for "done": an unconditional self-loop.
+pub fn halt() -> u32 {
+    jal(0, 0)
+}
+
+/// Loads a full 32-bit constant into `rd` (lui+addi pair).
+pub fn li(rd: u32, value: u32) -> Vec<u32> {
+    let lo = (value & 0xfff) as i32;
+    let lo = if lo >= 2048 { lo - 4096 } else { lo };
+    let hi = value.wrapping_sub(lo as u32) >> 12;
+    if hi == 0 {
+        vec![addi(rd, 0, lo)]
+    } else {
+        vec![lui(rd, hi), addi(rd, rd, lo)]
+    }
+}
+
+/// Test programs used by the benchmark designs.
+pub mod programs {
+    use super::*;
+
+    /// Iterative Fibonacci: leaves `fib(n)` in `a0` and stores it to
+    /// data address 0, then halts.
+    pub fn fibonacci(n: u32) -> Vec<u32> {
+        let mut p = vec![
+            addi(reg::T0, 0, 0),        // t0 = fib(i)
+            addi(reg::T1, 0, 1),        // t1 = fib(i+1)
+            addi(reg::T2, 0, n as i32), // t2 = counter
+            // loop: (skip past the jal to the epilogue when t2 == 0)
+            beq(reg::T2, reg::ZERO, 24), // while t2 != 0
+            add(reg::A0, reg::T0, reg::T1),
+            add(reg::T0, reg::T1, reg::ZERO),
+            add(reg::T1, reg::A0, reg::ZERO),
+            addi(reg::T2, reg::T2, -1),
+            jal(0, -20),
+            // done: a0 = fib(n+1); fix to fib(n) = t0
+        ];
+        p.push(add(reg::A0, reg::T0, reg::ZERO));
+        p.push(sw(reg::A0, reg::ZERO, 0));
+        p.push(halt());
+        p
+    }
+
+    /// Sums data memory words `[0, n)` into `a0`, stores the sum at
+    /// address `4*n`, then halts. Memory is pre-initialized by the test.
+    pub fn sum_array(n: u32) -> Vec<u32> {
+        vec![
+            addi(reg::T0, 0, 0),              // t0 = i*4
+            addi(reg::A0, 0, 0),              // a0 = sum
+            addi(reg::T2, 0, (4 * n) as i32), // t2 = end offset
+            // loop:
+            beq(reg::T0, reg::T2, 20),
+            lw(reg::T1, reg::T0, 0),
+            add(reg::A0, reg::A0, reg::T1),
+            addi(reg::T0, reg::T0, 4),
+            jal(0, -16),
+            // done:
+            sw(reg::A0, reg::T0, 0), // mem[n] = sum
+            halt(),
+        ]
+    }
+
+    /// A small arithmetic torture loop: mixes shifts, logic, compares and
+    /// memory traffic; result lands in `a0`. Runs `iters` iterations.
+    pub fn mixed(iters: u32) -> Vec<u32> {
+        let mut p = li(reg::S0, 0xdeadbeef);
+        p.extend([
+            addi(reg::T2, 0, iters as i32),
+            addi(reg::A0, 0, 0),
+            // loop:
+            beq(reg::T2, reg::ZERO, 52),
+            slli(reg::T0, reg::T2, 3),
+            xor(reg::T0, reg::T0, reg::S0),
+            srli(reg::T1, reg::T0, 5),
+            add(reg::A0, reg::A0, reg::T1),
+            sltu(reg::T1, reg::A0, reg::T0),
+            add(reg::A0, reg::A0, reg::T1),
+            sw(reg::A0, reg::ZERO, 16),
+            lw(reg::T1, reg::ZERO, 16),
+            sub(reg::A0, reg::A0, reg::T1),
+            add(reg::A0, reg::A0, reg::T1),
+            addi(reg::T2, reg::T2, -1),
+            jal(0, -48),
+            halt(),
+        ]);
+        p
+    }
+}
+
+/// A tiny RV32I golden-model interpreter used to check the cores.
+#[derive(Clone, Debug)]
+pub struct GoldenRv32 {
+    /// Register file.
+    pub regs: [u32; 32],
+    /// Program counter (byte address).
+    pub pc: u32,
+    /// Word-addressed data memory.
+    pub dmem: Vec<u32>,
+}
+
+impl GoldenRv32 {
+    /// Creates a golden model with `dmem_words` words of data memory.
+    pub fn new(dmem_words: usize) -> Self {
+        GoldenRv32 { regs: [0; 32], pc: 0, dmem: vec![0; dmem_words] }
+    }
+
+    /// Executes one instruction from `imem`. Returns false on halt
+    /// (self-loop) or out-of-range PC.
+    pub fn step(&mut self, imem: &[u32]) -> bool {
+        let word = match imem.get((self.pc / 4) as usize) {
+            Some(&w) => w,
+            None => return false,
+        };
+        if word == halt() {
+            return false;
+        }
+        let opcode = word & 0x7f;
+        let rd = (word >> 7) & 0x1f;
+        let rs1 = ((word >> 15) & 0x1f) as usize;
+        let rs2 = ((word >> 20) & 0x1f) as usize;
+        let funct3 = (word >> 12) & 0x7;
+        let funct7 = word >> 25;
+        let i_imm = (word as i32) >> 20;
+        let s_imm = (((word >> 25) << 5 | ((word >> 7) & 0x1f)) as i32) << 20 >> 20;
+        let b_imm = ((((word >> 31) & 1) << 12
+            | ((word >> 7) & 1) << 11
+            | ((word >> 25) & 0x3f) << 5
+            | ((word >> 8) & 0xf) << 1) as i32)
+            << 19
+            >> 19;
+        let u_imm = word & 0xfffff000;
+        let j_imm = ((((word >> 31) & 1) << 20
+            | ((word >> 12) & 0xff) << 12
+            | ((word >> 20) & 1) << 11
+            | ((word >> 21) & 0x3ff) << 1) as i32)
+            << 11
+            >> 11;
+        let r1 = self.regs[rs1];
+        let r2 = self.regs[rs2];
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut wb: Option<u32> = None;
+        match opcode {
+            0b0110111 => wb = Some(u_imm),
+            0b0010111 => wb = Some(self.pc.wrapping_add(u_imm)),
+            0b1101111 => {
+                wb = Some(self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(j_imm as u32);
+            }
+            0b1100111 => {
+                wb = Some(self.pc.wrapping_add(4));
+                next_pc = r1.wrapping_add(i_imm as u32) & !1;
+            }
+            0b1100011 => {
+                let taken = match funct3 {
+                    0b000 => r1 == r2,
+                    0b001 => r1 != r2,
+                    0b100 => (r1 as i32) < (r2 as i32),
+                    0b101 => (r1 as i32) >= (r2 as i32),
+                    0b110 => r1 < r2,
+                    _ => r1 >= r2,
+                };
+                if taken {
+                    next_pc = self.pc.wrapping_add(b_imm as u32);
+                }
+            }
+            0b0000011 => {
+                let addr = r1.wrapping_add(i_imm as u32) / 4;
+                wb = Some(self.dmem.get(addr as usize).copied().unwrap_or(0));
+            }
+            0b0100011 => {
+                let addr = r1.wrapping_add(s_imm as u32) / 4;
+                if let Some(slot) = self.dmem.get_mut(addr as usize) {
+                    *slot = r2;
+                }
+            }
+            0b0010011 => {
+                let imm = i_imm as u32;
+                let sh = imm & 0x1f;
+                wb = Some(match funct3 {
+                    0b000 => r1.wrapping_add(imm),
+                    0b010 => ((r1 as i32) < (imm as i32)) as u32,
+                    0b011 => (r1 < imm) as u32,
+                    0b100 => r1 ^ imm,
+                    0b110 => r1 | imm,
+                    0b111 => r1 & imm,
+                    0b001 => r1 << sh,
+                    _ => {
+                        if imm & 0x400 != 0 {
+                            ((r1 as i32) >> sh) as u32
+                        } else {
+                            r1 >> sh
+                        }
+                    }
+                });
+            }
+            0b0110011 => {
+                let sh = r2 & 0x1f;
+                wb = Some(match (funct3, funct7) {
+                    (0b000, 0) => r1.wrapping_add(r2),
+                    (0b000, _) => r1.wrapping_sub(r2),
+                    (0b001, _) => r1 << sh,
+                    (0b010, _) => ((r1 as i32) < (r2 as i32)) as u32,
+                    (0b011, _) => (r1 < r2) as u32,
+                    (0b100, _) => r1 ^ r2,
+                    (0b101, 0) => r1 >> sh,
+                    (0b101, _) => ((r1 as i32) >> sh) as u32,
+                    (0b110, _) => r1 | r2,
+                    _ => r1 & r2,
+                });
+            }
+            _ => {}
+        }
+        if let Some(v) = wb {
+            if rd != 0 {
+                self.regs[rd as usize] = v;
+            }
+        }
+        self.pc = next_pc;
+        true
+    }
+
+    /// Runs until halt or `max_instructions`. Returns instructions retired.
+    pub fn run(&mut self, imem: &[u32], max_instructions: u64) -> u64 {
+        for i in 0..max_instructions {
+            if !self.step(imem) {
+                return i;
+            }
+        }
+        max_instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_fibonacci() {
+        let prog = programs::fibonacci(10);
+        let mut g = GoldenRv32::new(64);
+        g.run(&prog, 10_000);
+        assert_eq!(g.regs[reg::A0 as usize], 55);
+        assert_eq!(g.dmem[0], 55);
+    }
+
+    #[test]
+    fn golden_sum_array() {
+        let prog = programs::sum_array(5);
+        let mut g = GoldenRv32::new(64);
+        for i in 0..5 {
+            g.dmem[i] = (i as u32 + 1) * 10;
+        }
+        g.run(&prog, 10_000);
+        assert_eq!(g.regs[reg::A0 as usize], 150);
+        assert_eq!(g.dmem[5], 150);
+    }
+
+    #[test]
+    fn li_round_trips() {
+        for v in [0u32, 1, 0x7ff, 0x800, 0xdead_beef, 0xffff_ffff, 0x8000_0000] {
+            let prog: Vec<u32> = li(reg::A0, v).into_iter().chain([halt()]).collect();
+            let mut g = GoldenRv32::new(4);
+            g.run(&prog, 10);
+            assert_eq!(g.regs[reg::A0 as usize], v, "li({v:#x})");
+        }
+    }
+
+    #[test]
+    fn encodings_have_correct_opcodes() {
+        assert_eq!(add(1, 2, 3) & 0x7f, 0b0110011);
+        assert_eq!(addi(1, 2, -5) & 0x7f, 0b0010011);
+        assert_eq!(lw(1, 2, 8) & 0x7f, 0b0000011);
+        assert_eq!(sw(1, 2, 8) & 0x7f, 0b0100011);
+        assert_eq!(beq(1, 2, 8) & 0x7f, 0b1100011);
+        assert_eq!(jal(1, 8) & 0x7f, 0b1101111);
+        assert_eq!(nop(), 0x13);
+    }
+
+    #[test]
+    fn branch_offsets_encode_negative() {
+        // jal 0, -20 must round-trip through the golden model.
+        let prog = vec![
+            addi(reg::T0, 0, 3),
+            // loop: t0 -= 1; if t0 != 0 goto loop
+            addi(reg::T0, reg::T0, -1),
+            bne(reg::T0, reg::ZERO, -4),
+            halt(),
+        ];
+        let mut g = GoldenRv32::new(4);
+        let retired = g.run(&prog, 100);
+        assert_eq!(g.regs[reg::T0 as usize], 0);
+        assert_eq!(retired, 1 + 3 * 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! The `mc` benchmark: a Monte-Carlo stock-option price predictor \[54\].
+//!
+//! `paths` independent fixed-point (16.16) geometric-random-walk lanes,
+//! each driven by its own xorshift32, plus an adder-tree reduction into
+//! a global payoff accumulator. The reduction gives the design *some*
+//! cross-fiber communication (unlike the pure PRNG bank) while the lanes
+//! stay embarrassingly parallel — the structure of an FPGA Monte-Carlo
+//! engine.
+
+use parendi_rtl::{Bits, Builder, Circuit, Signal};
+
+/// Configuration of the Monte-Carlo engine.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// Number of parallel simulation lanes.
+    pub paths: u32,
+    /// Initial asset price in 16.16 fixed point.
+    pub s0: u32,
+    /// Strike price in 16.16 fixed point.
+    pub strike: u32,
+    /// Per-step drift in 16.16 fixed point (signed, small).
+    pub drift: i32,
+    /// Volatility scale: shift applied to the random step.
+    pub vol_shift: u32,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            paths: 32,
+            s0: 100 << 16,
+            strike: 105 << 16,
+            drift: 1 << 8,
+            vol_shift: 10,
+        }
+    }
+}
+
+fn xorshift32_step(b: &mut Builder, s: Signal) -> Signal {
+    let t1 = b.shli(s, 13);
+    let x1 = b.xor(s, t1);
+    let t2 = b.lshri(x1, 17);
+    let x2 = b.xor(x1, t2);
+    let t3 = b.shli(x2, 5);
+    b.xor(x2, t3)
+}
+
+/// Software model of one lane step (used by tests).
+pub fn soft_lane_step(cfg: &McConfig, state: (u32, u32)) -> (u32, u32) {
+    let (rng, price) = state;
+    let mut s = rng;
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    // Mirror the RTL exactly: wrapping 32-bit arithmetic with the
+    // sign-flip underflow clamp. The step is centered on zero using the
+    // *pre-update* rng value, as the RTL reads `rng.q()`.
+    let step = (rng >> cfg.vol_shift).wrapping_sub(1u32 << (31 - cfg.vol_shift));
+    let moved = price.wrapping_add(cfg.drift as u32).wrapping_add(step);
+    let wrapped = moved >> 31 == 1 && price >> 31 == 0;
+    let next = if wrapped { 0 } else { moved };
+    (s, next)
+}
+
+/// Software payoff of a lane: `max(price - strike, 0)` in fixed point.
+pub fn soft_payoff(cfg: &McConfig, price: u32) -> u32 {
+    price.saturating_sub(cfg.strike)
+}
+
+/// Builds the Monte-Carlo engine into a builder.
+///
+/// Registers (scoped): `lane{i}.rng`, `lane{i}.price`, `acc` (the 48-bit
+/// payoff accumulator) and `steps`.
+pub fn build_mc_into(b: &mut Builder, cfg: &McConfig) {
+    let mut payoffs: Vec<Signal> = Vec::with_capacity(cfg.paths as usize);
+    for i in 0..cfg.paths {
+        b.push_scope(format!("lane{i}"));
+        let seed = 0x1234_5678u32.wrapping_mul(i.wrapping_add(7));
+        let rng = b.reg_init("rng", Bits::from_u64(32, seed.max(1) as u64));
+        let nxt = xorshift32_step(b, rng.q());
+        b.connect(rng, nxt);
+
+        let price = b.reg_init("price", Bits::from_u64(32, cfg.s0 as u64));
+        // step = (rng >> vol_shift) - midpoint  (centered uniform).
+        let raw = b.lshri(rng.q(), cfg.vol_shift);
+        let mid = b.lit(32, 1u64 << (31 - cfg.vol_shift));
+        let step = b.sub(raw, mid);
+        let drift = b.lit(32, cfg.drift as u32 as u64);
+        let moved0 = b.add(price.q(), drift);
+        let moved = b.add(moved0, step);
+        // Clamp at zero: if the step underflowed past zero (detected by
+        // the sign bit after a huge wrap), hold zero.
+        let sign = b.bit(moved, 31);
+        let was_small = b.bit(price.q(), 31);
+        let not_small = b.lnot(was_small);
+        let wrapped = b.and(sign, not_small);
+        let zero = b.lit(32, 0);
+        let clamped = b.mux(wrapped, zero, moved);
+        b.connect(price, clamped);
+
+        // payoff = max(price - strike, 0).
+        let strike = b.lit(32, cfg.strike as u64);
+        let above = b.gt_u(price.q(), strike);
+        let diff = b.sub(price.q(), strike);
+        let payoff = b.mux(above, diff, zero);
+        payoffs.push(payoff);
+        b.pop_scope();
+    }
+
+    // Adder-tree reduction to a 48-bit sum.
+    let mut level: Vec<Signal> = payoffs.iter().map(|&p| b.zext(p, 48)).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.add(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let acc = b.reg("acc", 48, 0);
+    let acc_next = b.add(acc.q(), level[0]);
+    b.connect(acc, acc_next);
+
+    let steps = b.reg("steps", 32, 0);
+    let one = b.lit(32, 1);
+    let s1 = b.add(steps.q(), one);
+    b.connect(steps, s1);
+
+    b.output("acc", acc.q());
+    b.output("steps", steps.q());
+}
+
+/// Builds the standalone `mc` benchmark circuit.
+pub fn build_mc(cfg: &McConfig) -> Circuit {
+    let mut b = Builder::new("mc");
+    build_mc_into(&mut b, cfg);
+    b.finish().expect("mc must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_sim::Simulator;
+
+    #[test]
+    fn accumulator_matches_software_model() {
+        let cfg = McConfig { paths: 4, ..Default::default() };
+        let c = build_mc(&cfg);
+        let mut sim = Simulator::new(&c);
+
+        // Software lanes with identical seeds.
+        let mut lanes: Vec<(u32, u32)> = (0..cfg.paths)
+            .map(|i| (0x1234_5678u32.wrapping_mul(i.wrapping_add(7)).max(1), cfg.s0))
+            .collect();
+        let mut acc: u64 = 0;
+        for _ in 0..50 {
+            // Payoff accumulates from the *current* prices, then lanes step.
+            for l in lanes.iter() {
+                acc += soft_payoff(&cfg, l.1) as u64;
+            }
+            sim.step();
+            for l in lanes.iter_mut() {
+                *l = soft_lane_step(&cfg, *l);
+            }
+            assert_eq!(sim.output("acc").unwrap().to_u64(), acc, "acc diverged");
+        }
+        assert_eq!(sim.output("steps").unwrap().to_u64(), 50);
+    }
+
+    #[test]
+    fn lanes_only_communicate_through_the_tree() {
+        let cfg = McConfig { paths: 16, ..Default::default() };
+        let c = build_mc(&cfg);
+        let costs = parendi_graph::CostModel::of(&c);
+        let fs = parendi_graph::extract_fibers(&c, &costs);
+        // 2 regs per lane + acc + steps (+2 outputs).
+        assert!(fs.len() as u32 >= 2 * cfg.paths + 2);
+        let adj = parendi_graph::adjacency(&c, &fs);
+        // rng fibers are self-contained; price fibers read their rng.
+        let prices_talk = adj.neighbors.iter().filter(|n| !n.is_empty()).count();
+        assert!(prices_talk > 0, "the adder tree must couple lanes to acc");
+    }
+}

@@ -1,0 +1,243 @@
+//! The `rocket` benchmark: a pipelined RV32I core.
+//!
+//! Three-stage organization — Fetch, eXecute, Writeback — with full
+//! W→X forwarding and a one-bubble flush on taken control transfers, so
+//! straight-line code retires one instruction per cycle. Compared to
+//! [`crate::pico`] the datapath is spread across pipeline registers,
+//! which is exactly why the paper finds rocket *slightly* more scalable
+//! than pico but still straggler-bound (§4.3, Fig. 6b/6c).
+
+use crate::rv32;
+use parendi_rtl::{Bits, Builder, Circuit};
+
+/// Configuration of a rocket-like core instance.
+#[derive(Clone, Debug)]
+pub struct RocketConfig {
+    /// Program (word 0 executes at PC 0).
+    pub program: Vec<u32>,
+    /// Data memory words.
+    pub dmem_words: u32,
+    /// Initial data memory contents (zero-padded).
+    pub dmem_init: Vec<u32>,
+}
+
+impl RocketConfig {
+    /// A config running `program` with 256 words of zeroed data memory.
+    pub fn new(program: Vec<u32>) -> Self {
+        RocketConfig { program, dmem_words: 256, dmem_init: Vec::new() }
+    }
+}
+
+/// Elaborates a rocket core into an existing builder.
+pub fn build_rocket_into(b: &mut Builder, cfg: &RocketConfig) {
+    let imem_depth = (cfg.program.len() as u32).max(4).next_power_of_two();
+    let dmem_depth = cfg.dmem_words.max(4).next_power_of_two();
+    let ibits = rv32::addr_bits(imem_depth);
+    let dbits = rv32::addr_bits(dmem_depth);
+
+    let imem_init: Vec<Bits> = (0..imem_depth)
+        .map(|i| Bits::from_u64(32, cfg.program.get(i as usize).copied().unwrap_or(0) as u64))
+        .collect();
+    let imem = b.array_init("imem", imem_init);
+    let dmem_init: Vec<Bits> = (0..dmem_depth)
+        .map(|i| Bits::from_u64(32, cfg.dmem_init.get(i as usize).copied().unwrap_or(0) as u64))
+        .collect();
+    let dmem = b.array_init("dmem", dmem_init);
+
+    // ---- F stage.
+    let pc = b.reg("pc", 32, 0);
+    let pc_fx = b.reg("pc_fx", 32, 0);
+    let ir_fx = b.reg("ir_fx", 32, 0);
+    let valid_fx = b.reg("valid_fx", 1, 0);
+    let halted = b.reg("halted", 1, 0);
+
+    let pc_word = b.slice(pc.q(), ibits + 1, 2);
+    let fetched = b.array_read(imem, pc_word);
+
+    // ---- X stage: decode + regread + forwarding + execute.
+    let f = rv32::decode(b, ir_fx.q());
+    let (rf, r1_raw, r2_raw) = rv32::regfile(b, f.rs1, f.rs2);
+
+    // W-stage registers (declared early so X can forward from them).
+    let w_rd = b.reg("w_rd", 5, 0);
+    let w_val = b.reg("w_val", 32, 0);
+    let w_en = b.reg("w_en", 1, 0);
+
+    let fwd1_hit0 = b.eq(w_rd.q(), f.rs1);
+    let fwd1_hit = b.and(fwd1_hit0, w_en.q());
+    let r1 = b.mux(fwd1_hit, w_val.q(), r1_raw);
+    let fwd2_hit0 = b.eq(w_rd.q(), f.rs2);
+    let fwd2_hit = b.and(fwd2_hit0, w_en.q());
+    let r2 = b.mux(fwd2_hit, w_val.q(), r2_raw);
+
+    let ex = rv32::execute(b, &f, pc_fx.q(), r1, r2, dmem, dbits);
+
+    let not_halted = b.lnot(halted.q());
+    let x_fire = b.and(valid_fx.q(), not_halted);
+    let halt_now = b.and(ex.is_halt, x_fire);
+    let halted_next = b.or(halted.q(), halt_now);
+    b.connect(halted, halted_next);
+
+    let redirect = b.and(ex.redirect, x_fire);
+    let mem_we = b.and(ex.mem_we, x_fire);
+    b.array_write(dmem, ex.mem_word_addr, ex.mem_wdata, mem_we);
+
+    // ---- X/W pipeline registers and the register-file write port.
+    let wb_fire = b.and(ex.wb_en, x_fire);
+    b.connect(w_rd, f.rd);
+    b.connect(w_val, ex.wb_value);
+    b.connect(w_en, wb_fire);
+    b.array_write(rf, w_rd.q(), w_val.q(), w_en.q());
+
+    // ---- Next PC and F/X registers.
+    let four = b.lit(32, 4);
+    let pc4 = b.add(pc.q(), four);
+    let seq_or_target = b.mux(redirect, ex.next_pc, pc4);
+    let pc_next = b.mux(halted_next, pc.q(), seq_or_target);
+    b.connect(pc, pc_next);
+    b.connect(ir_fx, fetched);
+    let pcq = pc.q();
+    b.connect(pc_fx, pcq);
+    // The instruction fetched this cycle is squashed on redirect.
+    let no_redirect = b.lnot(redirect);
+    let nh = b.lnot(halted_next);
+    let fetch_valid = b.and(no_redirect, nh);
+    b.connect(valid_fx, fetch_valid);
+
+    // Retired-instruction counter.
+    let retired = b.reg("retired", 32, 0);
+    let one = b.lit(32, 1);
+    let inc = b.add(retired.q(), one);
+    let retired_next = b.mux(x_fire, inc, retired.q());
+    b.connect(retired, retired_next);
+}
+
+/// Builds a standalone rocket design.
+pub fn build_rocket(cfg: &RocketConfig) -> Circuit {
+    let mut b = Builder::new("rocket");
+    build_rocket_into(&mut b, cfg);
+    b.finish().expect("rocket must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{self, programs, reg};
+    use parendi_rtl::{ArrayId, RegId};
+    use parendi_sim::Simulator;
+
+    fn reg_id(c: &Circuit, name: &str) -> RegId {
+        RegId(c.regs.iter().position(|r| r.name == name).expect("reg") as u32)
+    }
+
+    fn array_id(c: &Circuit, name: &str) -> ArrayId {
+        ArrayId(c.arrays.iter().position(|a| a.name == name).expect("array") as u32)
+    }
+
+    fn run_to_halt(c: &Circuit, max_cycles: u64) -> (Simulator<'_>, u64) {
+        let mut sim = Simulator::new(c);
+        let halted = reg_id(c, "halted");
+        let mut cycles = 0;
+        while sim.reg_value(halted).to_u64() == 0 {
+            sim.step();
+            cycles += 1;
+            assert!(cycles < max_cycles, "core did not halt in {max_cycles} cycles");
+        }
+        (sim, cycles)
+    }
+
+    #[test]
+    fn fibonacci_matches_golden() {
+        let prog = programs::fibonacci(12);
+        let mut golden = isa::GoldenRv32::new(256);
+        golden.run(&prog, 100_000);
+        let c = build_rocket(&RocketConfig::new(prog));
+        let (sim, _) = run_to_halt(&c, 20_000);
+        let rf = array_id(&c, "regfile");
+        assert_eq!(sim.array_value(rf, reg::A0).to_u64() as u32, golden.regs[reg::A0 as usize]);
+        let dmem = array_id(&c, "dmem");
+        assert_eq!(sim.array_value(dmem, 0).to_u64() as u32, golden.dmem[0]);
+    }
+
+    #[test]
+    fn full_state_matches_golden_on_mixed_program() {
+        let prog = programs::mixed(25);
+        let mut golden = isa::GoldenRv32::new(256);
+        golden.run(&prog, 100_000);
+        let c = build_rocket(&RocketConfig::new(prog));
+        let (sim, _) = run_to_halt(&c, 50_000);
+        let rf = array_id(&c, "regfile");
+        let dmem = array_id(&c, "dmem");
+        for r in 1..32u32 {
+            assert_eq!(
+                sim.array_value(rf, r).to_u64() as u32,
+                golden.regs[r as usize],
+                "x{r}"
+            );
+        }
+        for w in 0..64u32 {
+            assert_eq!(sim.array_value(dmem, w).to_u64() as u32, golden.dmem[w as usize], "dmem[{w}]");
+        }
+    }
+
+    #[test]
+    fn back_to_back_dependencies_forward() {
+        // x5 = 1; x5 = x5+2; x5 = x5+3; ... all dependent, no bubbles.
+        let prog = vec![
+            isa::addi(reg::T0, 0, 1),
+            isa::addi(reg::T0, reg::T0, 2),
+            isa::addi(reg::T0, reg::T0, 3),
+            isa::addi(reg::T0, reg::T0, 4),
+            isa::halt(),
+        ];
+        let c = build_rocket(&RocketConfig::new(prog));
+        let (sim, _) = run_to_halt(&c, 100);
+        let rf = array_id(&c, "regfile");
+        assert_eq!(sim.array_value(rf, reg::T0).to_u64(), 10);
+    }
+
+    #[test]
+    fn pipeline_beats_pico_on_ipc() {
+        let prog = programs::fibonacci(10);
+        let rocket = build_rocket(&RocketConfig::new(prog.clone()));
+        let (rsim, rcycles) = run_to_halt(&rocket, 20_000);
+        let retired_r = rsim.reg_value(reg_id(&rocket, "retired")).to_u64();
+
+        let pico = crate::pico::build_pico(&crate::pico::PicoConfig::new(prog));
+        let mut psim = Simulator::new(&pico);
+        let phalted = reg_id(&pico, "halted");
+        let mut pcycles = 0u64;
+        while psim.reg_value(phalted).to_u64() == 0 {
+            psim.step();
+            pcycles += 1;
+            assert!(pcycles < 40_000);
+        }
+        let retired_p = psim.reg_value(reg_id(&pico, "retired")).to_u64();
+
+        // Same architectural work...
+        assert_eq!(retired_r, retired_p, "same program, same instruction count");
+        // ...in significantly fewer cycles.
+        let ipc_r = retired_r as f64 / rcycles as f64;
+        let ipc_p = retired_p as f64 / pcycles as f64;
+        assert!(
+            ipc_r > 1.5 * ipc_p,
+            "rocket IPC {ipc_r:.2} must beat pico IPC {ipc_p:.2}"
+        );
+    }
+
+    #[test]
+    fn store_then_load_roundtrip() {
+        let prog = vec![
+            isa::addi(reg::T0, 0, 0x5a),
+            isa::sw(reg::T0, reg::ZERO, 8),
+            isa::lw(reg::T1, reg::ZERO, 8),
+            isa::add(reg::T2, reg::T1, reg::T1),
+            isa::halt(),
+        ];
+        let c = build_rocket(&RocketConfig::new(prog));
+        let (sim, _) = run_to_halt(&c, 100);
+        let rf = array_id(&c, "regfile");
+        assert_eq!(sim.array_value(rf, reg::T1).to_u64(), 0x5a);
+        assert_eq!(sim.array_value(rf, reg::T2).to_u64(), 0xb4);
+    }
+}

@@ -1,0 +1,255 @@
+//! Shared RV32I datapath builders used by both RISC-V cores.
+//!
+//! These helpers elaborate decode, immediate extraction, ALU, branch
+//! resolution and load/store address generation into the RTL eDSL. The
+//! multi-cycle [`crate::pico`] core and the pipelined [`crate::rocket`]
+//! core instantiate the same logic in different control structures —
+//! exactly how the two designs differ in the paper's §4.3.
+
+use parendi_rtl::{ArrayHandle, Builder, Signal};
+
+/// Decoded instruction fields (all combinational).
+#[derive(Clone, Copy, Debug)]
+pub struct Fields {
+    /// Bits \[6:0\].
+    pub opcode: Signal,
+    /// Destination register index.
+    pub rd: Signal,
+    /// Source register 1 index.
+    pub rs1: Signal,
+    /// Source register 2 index.
+    pub rs2: Signal,
+    /// Bits \[14:12\].
+    pub funct3: Signal,
+    /// Bit 30 (the ADD/SUB, SRL/SRA selector).
+    pub funct7b5: Signal,
+    /// I-type immediate, sign-extended to 32 bits.
+    pub imm_i: Signal,
+    /// S-type immediate.
+    pub imm_s: Signal,
+    /// B-type immediate.
+    pub imm_b: Signal,
+    /// U-type immediate.
+    pub imm_u: Signal,
+    /// J-type immediate.
+    pub imm_j: Signal,
+}
+
+/// Extracts all instruction fields from a 32-bit instruction word.
+pub fn decode(b: &mut Builder, instr: Signal) -> Fields {
+    assert_eq!(instr.width(), 32);
+    let opcode = b.slice(instr, 6, 0);
+    let rd = b.slice(instr, 11, 7);
+    let rs1 = b.slice(instr, 19, 15);
+    let rs2 = b.slice(instr, 24, 20);
+    let funct3 = b.slice(instr, 14, 12);
+    let funct7b5 = b.bit(instr, 30);
+    let i_hi = b.slice(instr, 31, 20);
+    let imm_i = b.sext(i_hi, 32);
+    let s_hi = b.slice(instr, 31, 25);
+    let s_lo = b.slice(instr, 11, 7);
+    let s_cat = b.concat(s_hi, s_lo);
+    let imm_s = b.sext(s_cat, 32);
+    // B-type: imm[12|10:5|4:1|11] scattered.
+    let b12 = b.bit(instr, 31);
+    let b11 = b.bit(instr, 7);
+    let b10_5 = b.slice(instr, 30, 25);
+    let b4_1 = b.slice(instr, 11, 8);
+    let zero1 = b.lit(1, 0);
+    let b_cat = b.cat(&[b12, b11, b10_5, b4_1, zero1]);
+    let imm_b = b.sext(b_cat, 32);
+    let u_hi = b.slice(instr, 31, 12);
+    let zeros12 = b.lit(12, 0);
+    let imm_u = b.concat(u_hi, zeros12);
+    // J-type: imm[20|10:1|11|19:12].
+    let j20 = b.bit(instr, 31);
+    let j19_12 = b.slice(instr, 19, 12);
+    let j11 = b.bit(instr, 20);
+    let j10_1 = b.slice(instr, 30, 21);
+    let j_cat = b.cat(&[j20, j19_12, j11, j10_1, zero1]);
+    let imm_j = b.sext(j_cat, 32);
+    Fields { opcode, rd, rs1, rs2, funct3, funct7b5, imm_i, imm_s, imm_b, imm_u, imm_j }
+}
+
+/// Everything the control structure needs from one instruction's
+/// execution.
+#[derive(Clone, Copy, Debug)]
+pub struct Exec {
+    /// The next program counter.
+    pub next_pc: Signal,
+    /// Register writeback value.
+    pub wb_value: Signal,
+    /// Register writeback enable (x0 already excluded).
+    pub wb_en: Signal,
+    /// Whether this instruction is a taken control transfer.
+    pub redirect: Signal,
+    /// Data-memory word index for LW/SW.
+    pub mem_word_addr: Signal,
+    /// SW store data.
+    pub mem_wdata: Signal,
+    /// SW write enable.
+    pub mem_we: Signal,
+    /// Whether the instruction is the `halt` self-loop.
+    pub is_halt: Signal,
+}
+
+/// Elaborates the execute stage: ALU, branches, load/store, next-PC.
+///
+/// `dmem` is read combinationally for loads; the caller hooks the
+/// returned store port to the same array gated by its own control.
+pub fn execute(
+    b: &mut Builder,
+    f: &Fields,
+    pc: Signal,
+    r1: Signal,
+    r2: Signal,
+    dmem: ArrayHandle,
+    dmem_addr_bits: u32,
+) -> Exec {
+    let op = |b: &mut Builder, code: u64| {
+        let f7 = b.lit(7, code);
+        b.eq(f.opcode, f7)
+    };
+    let is_lui = op(b, 0b0110111);
+    let is_auipc = op(b, 0b0010111);
+    let is_jal = op(b, 0b1101111);
+    let is_jalr = op(b, 0b1100111);
+    let is_branch = op(b, 0b1100011);
+    let is_load = op(b, 0b0000011);
+    let is_store = op(b, 0b0100011);
+    let is_opimm = op(b, 0b0010011);
+    let is_op = op(b, 0b0110011);
+
+    // ---- ALU.
+    let alu_b = b.mux(is_op, r2, f.imm_i);
+    let add_r = b.add(r1, alu_b);
+    let sub_r = b.sub(r1, r2);
+    // SUB only exists for register-register ops.
+    let use_sub = b.and(is_op, f.funct7b5);
+    let addsub = b.mux(use_sub, sub_r, add_r);
+    let xor_r = b.xor(r1, alu_b);
+    let or_r = b.or(r1, alu_b);
+    let and_r = b.and(r1, alu_b);
+    let shamt = b.slice(alu_b, 4, 0);
+    let sll_r = b.shl(r1, shamt);
+    let srl_r = b.lshr(r1, shamt);
+    let sra_r = b.ashr(r1, shamt);
+    let sr_r = b.mux(f.funct7b5, sra_r, srl_r);
+    let lt_s = b.lt_s(r1, alu_b);
+    let lt_u = b.lt_u(r1, alu_b);
+    let slt_r = b.zext(lt_s, 32);
+    let sltu_r = b.zext(lt_u, 32);
+
+    let f3 = |b: &mut Builder, v: u64| {
+        let k = b.lit(3, v);
+        b.eq(f.funct3, k)
+    };
+    let f3_0 = f3(b, 0);
+    let f3_1 = f3(b, 1);
+    let f3_2 = f3(b, 2);
+    let f3_3 = f3(b, 3);
+    let f3_4 = f3(b, 4);
+    let f3_5 = f3(b, 5);
+    let f3_6 = f3(b, 6);
+    let alu = b.select(
+        &[
+            (f3_0, addsub),
+            (f3_1, sll_r),
+            (f3_2, slt_r),
+            (f3_3, sltu_r),
+            (f3_4, xor_r),
+            (f3_5, sr_r),
+            (f3_6, or_r),
+        ],
+        and_r,
+    );
+
+    // ---- Branch resolution.
+    let beq_t = b.eq(r1, r2);
+    let bne_t = b.ne(r1, r2);
+    let blt_t = b.lt_s(r1, r2);
+    let bge_t = b.lnot(blt_t);
+    let bltu_t = b.lt_u(r1, r2);
+    let bgeu_t = b.lnot(bltu_t);
+    let br_taken0 = b.select(
+        &[(f3_0, beq_t), (f3_1, bne_t), (f3_4, blt_t), (f3_5, bge_t), (f3_6, bltu_t)],
+        bgeu_t,
+    );
+    let branch_taken = b.and(is_branch, br_taken0);
+
+    // ---- Next PC.
+    let four = b.lit(32, 4);
+    let pc4 = b.add(pc, four);
+    let pc_br = b.add(pc, f.imm_b);
+    let pc_jal = b.add(pc, f.imm_j);
+    let jalr_t = b.add(r1, f.imm_i);
+    let one32 = b.lit(32, 0xffff_fffe);
+    let pc_jalr = b.and(jalr_t, one32);
+    let next_pc = b.select(
+        &[(branch_taken, pc_br), (is_jal, pc_jal), (is_jalr, pc_jalr)],
+        pc4,
+    );
+    let jump = b.or(is_jal, is_jalr);
+    let redirect = b.or(branch_taken, jump);
+
+    // ---- Memory.
+    let ls_imm = b.mux(is_store, f.imm_s, f.imm_i);
+    let addr = b.add(r1, ls_imm);
+    let mem_word_addr = b.slice(addr, dmem_addr_bits + 1, 2);
+    let load_val = b.array_read(dmem, mem_word_addr);
+
+    // ---- Writeback.
+    let pc_u = b.add(pc, f.imm_u);
+    let wb_value = b.select(
+        &[
+            (is_lui, f.imm_u),
+            (is_auipc, pc_u),
+            (jump, pc4),
+            (is_load, load_val),
+        ],
+        alu,
+    );
+    let writes = b.or(is_op, is_opimm);
+    let writes = b.or(writes, is_load);
+    let writes = b.or(writes, is_lui);
+    let writes = b.or(writes, is_auipc);
+    let writes = b.or(writes, jump);
+    let zero5 = b.lit(5, 0);
+    let rd_nz = b.ne(f.rd, zero5);
+    let wb_en = b.and(writes, rd_nz);
+
+    // halt = `jal x0, 0`: a jal whose target is its own pc.
+    let self_jump = b.eq(next_pc, pc);
+    let is_halt = b.and(jump, self_jump);
+
+    Exec {
+        next_pc,
+        wb_value,
+        wb_en,
+        redirect,
+        mem_word_addr,
+        mem_wdata: r2,
+        mem_we: is_store,
+        is_halt,
+    }
+}
+
+/// Builds the architectural register file with two combinational read
+/// ports (x0 reads as zero) and returns `(array, r1, r2)`.
+pub fn regfile(b: &mut Builder, rs1: Signal, rs2: Signal) -> (ArrayHandle, Signal, Signal) {
+    let rf = b.array("regfile", 32, 32);
+    let raw1 = b.array_read(rf, rs1);
+    let raw2 = b.array_read(rf, rs2);
+    let zero5 = b.lit(5, 0);
+    let zero32 = b.lit(32, 0);
+    let rs1_is0 = b.eq(rs1, zero5);
+    let rs2_is0 = b.eq(rs2, zero5);
+    let r1 = b.mux(rs1_is0, zero32, raw1);
+    let r2 = b.mux(rs2_is0, zero32, raw2);
+    (rf, r1, r2)
+}
+
+/// Number of address bits needed for `depth` entries.
+pub fn addr_bits(depth: u32) -> u32 {
+    32 - (depth.max(2) - 1).leading_zeros()
+}

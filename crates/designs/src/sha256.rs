@@ -1,0 +1,403 @@
+//! The `bitcoin` benchmark: a fully pipelined double-SHA-256 miner.
+//!
+//! One pipeline stage per compression round (64 stages per hash, two
+//! hashes chained), each carrying the 8-word state and a 16-word message
+//! schedule window. This is the classic FPGA miner structure the paper
+//! benchmarks \[5\], and the reason bitcoin's fibers are "roughly
+//! balanced" (§4.3, Fig. 6b): every stage is the same size.
+
+use parendi_rtl::{Builder, Circuit, Signal};
+
+/// SHA-256 round constants.
+pub const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 initial hash state.
+pub const IV: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+fn rotr(b: &mut Builder, x: Signal, n: u32) -> Signal {
+    b.rotr(x, n)
+}
+
+fn small_sigma0(b: &mut Builder, x: Signal) -> Signal {
+    let r7 = rotr(b, x, 7);
+    let r18 = rotr(b, x, 18);
+    let s3 = b.lshri(x, 3);
+    let t = b.xor(r7, r18);
+    b.xor(t, s3)
+}
+
+fn small_sigma1(b: &mut Builder, x: Signal) -> Signal {
+    let r17 = rotr(b, x, 17);
+    let r19 = rotr(b, x, 19);
+    let s10 = b.lshri(x, 10);
+    let t = b.xor(r17, r19);
+    b.xor(t, s10)
+}
+
+fn big_sigma0(b: &mut Builder, x: Signal) -> Signal {
+    let a = rotr(b, x, 2);
+    let c = rotr(b, x, 13);
+    let d = rotr(b, x, 22);
+    let t = b.xor(a, c);
+    b.xor(t, d)
+}
+
+fn big_sigma1(b: &mut Builder, x: Signal) -> Signal {
+    let a = rotr(b, x, 6);
+    let c = rotr(b, x, 11);
+    let d = rotr(b, x, 25);
+    let t = b.xor(a, c);
+    b.xor(t, d)
+}
+
+fn ch(b: &mut Builder, e: Signal, f: Signal, g: Signal) -> Signal {
+    let ef = b.and(e, f);
+    let ne = b.not(e);
+    let ng = b.and(ne, g);
+    b.xor(ef, ng)
+}
+
+fn maj(b: &mut Builder, x: Signal, y: Signal, z: Signal) -> Signal {
+    let xy = b.and(x, y);
+    let xz = b.and(x, z);
+    let yz = b.and(y, z);
+    let t = b.xor(xy, xz);
+    b.xor(t, yz)
+}
+
+/// Elaborates a fully pipelined SHA-256 compression: 64 stages, one
+/// round each, message schedule computed in flight.
+///
+/// Returns the 8 digest words (IV added) and the delayed valid bit.
+/// Latency is exactly 64 cycles.
+pub fn sha256_pipeline(
+    b: &mut Builder,
+    scope: &str,
+    block: &[Signal; 16],
+    valid_in: Signal,
+) -> ([Signal; 8], Signal) {
+    b.push_scope(scope);
+    let mut state: Vec<Signal> = IV.iter().map(|&h| b.lit(32, h as u64)).collect();
+    let mut window: Vec<Signal> = block.to_vec();
+    let mut valid = valid_in;
+    for t in 0..64 {
+        // Round t from the incoming state/window.
+        let (a, bb, c, d, e, f, g, h) = (
+            state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7],
+        );
+        let kt = b.lit(32, K[t] as u64);
+        let wt = window[0];
+        let s1 = big_sigma1(b, e);
+        let chv = ch(b, e, f, g);
+        let t1a = b.add(h, s1);
+        let t1b = b.add(t1a, chv);
+        let t1c = b.add(t1b, kt);
+        let t1 = b.add(t1c, wt);
+        let s0 = big_sigma0(b, a);
+        let mjv = maj(b, a, bb, c);
+        let t2 = b.add(s0, mjv);
+        let new_a = b.add(t1, t2);
+        let new_e = b.add(d, t1);
+        let next_state = [new_a, a, bb, c, new_e, e, f, g];
+        // Schedule extension: W[t+16] from the current window.
+        let sig1 = small_sigma1(b, window[14]);
+        let sig0 = small_sigma0(b, window[1]);
+        let wa = b.add(sig1, window[9]);
+        let wb = b.add(wa, sig0);
+        let new_w = b.add(wb, window[0]);
+
+        // Pipeline registers for stage t.
+        b.push_scope(format!("s{t}"));
+        let mut latched_state = Vec::with_capacity(8);
+        for (i, &v) in next_state.iter().enumerate() {
+            let r = b.reg(format!("h{i}"), 32, 0);
+            b.connect(r, v);
+            latched_state.push(r.q());
+        }
+        let mut latched_window = Vec::with_capacity(16);
+        for i in 0..16 {
+            let v = if i < 15 { window[i + 1] } else { new_w };
+            let r = b.reg(format!("w{i}"), 32, 0);
+            b.connect(r, v);
+            latched_window.push(r.q());
+        }
+        let vr = b.reg("valid", 1, 0);
+        b.connect(vr, valid);
+        valid = vr.q();
+        b.pop_scope();
+
+        state = latched_state;
+        window = latched_window;
+    }
+    // Final digest: add the IV.
+    let mut digest = [state[0]; 8];
+    for i in 0..8 {
+        let iv = b.lit(32, IV[i] as u64);
+        digest[i] = b.add(state[i], iv);
+    }
+    b.pop_scope();
+    (digest, valid)
+}
+
+/// Configuration of the bitcoin miner design.
+#[derive(Clone, Debug)]
+pub struct MinerConfig {
+    /// 12 fixed header words; word 12 is the nonce, 13..16 are padding.
+    pub header: [u32; 12],
+    /// The digest's first word must be strictly below this target.
+    pub target: u32,
+    /// Starting nonce.
+    pub start_nonce: u32,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig { header: [0x50415245; 12], target: 1 << 24, start_nonce: 0 }
+    }
+}
+
+/// Message words 13..16 for our 52-byte single-block message: `0x80`
+/// terminator then the 416-bit length.
+pub const PAD13: u32 = 0x8000_0000;
+/// Padding word 14.
+pub const PAD14: u32 = 0;
+/// Padding word 15 (bit length of 13 words).
+pub const PAD15: u32 = 416;
+
+/// Second-block padding for hashing a 32-byte digest.
+pub const PAD2_8: u32 = 0x8000_0000;
+/// Bit length of an 8-word message.
+pub const PAD2_15: u32 = 256;
+
+/// Builds the double-SHA-256 miner into an existing builder.
+///
+/// Pipeline: nonce counter → SHA-256 → SHA-256 → target compare. A
+/// `found` register latches the first passing nonce.
+pub fn build_miner_into(b: &mut Builder, cfg: &MinerConfig) {
+    let nonce = b.reg("nonce", 32, cfg.start_nonce as u64);
+    let one = b.lit(32, 1);
+    let n1 = b.add(nonce.q(), one);
+    b.connect(nonce, n1);
+
+    let mut block1 = [nonce.q(); 16];
+    for (i, &h) in cfg.header.iter().enumerate() {
+        block1[i] = b.lit(32, h as u64);
+    }
+    block1[12] = nonce.q();
+    block1[13] = b.lit(32, PAD13 as u64);
+    block1[14] = b.lit(32, PAD14 as u64);
+    block1[15] = b.lit(32, PAD15 as u64);
+    let always = b.lit(1, 1);
+    let (digest1, v1) = sha256_pipeline(b, "sha_a", &block1, always);
+
+    let zero32 = b.lit(32, 0);
+    let mut block2 = [zero32; 16];
+    block2[..8].copy_from_slice(&digest1);
+    block2[8] = b.lit(32, PAD2_8 as u64);
+    block2[15] = b.lit(32, PAD2_15 as u64);
+    let (digest2, v2) = sha256_pipeline(b, "sha_b", &block2, v1);
+
+    // The nonce that produced the digest leaving the pipe: two 64-stage
+    // pipelines behind the counter.
+    let latency = b.lit(32, 128);
+    let lagged = b.sub(nonce.q(), latency);
+
+    let target = b.lit(32, cfg.target as u64);
+    let below = b.lt_u(digest2[0], target);
+    let hit = b.and(below, v2);
+
+    let found = b.reg("found", 1, 0);
+    let found_next = b.or(found.q(), hit);
+    b.connect(found, found_next);
+    let not_found_yet = b.lnot(found.q());
+    let latch_en = b.and(hit, not_found_yet);
+    let found_nonce = b.reg("found_nonce", 32, 0);
+    let fn_next = b.mux(latch_en, lagged, found_nonce.q());
+    b.connect(found_nonce, fn_next);
+
+    b.output("found", found.q());
+    b.output("found_nonce", found_nonce.q());
+    b.output("digest0", digest2[0]);
+}
+
+/// Builds the standalone `bitcoin` benchmark circuit.
+pub fn build_miner(cfg: &MinerConfig) -> Circuit {
+    let mut b = Builder::new("bitcoin");
+    build_miner_into(&mut b, cfg);
+    b.finish().expect("miner must validate")
+}
+
+/// Software SHA-256 compression of one 512-bit block (for verification).
+pub fn soft_compress(state: [u32; 8], block: &[u32; 16]) -> [u32; 8] {
+    let mut w = [0u32; 64];
+    w[..16].copy_from_slice(block);
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = state;
+    for t in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let mj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(mj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    [
+        state[0].wrapping_add(a),
+        state[1].wrapping_add(b),
+        state[2].wrapping_add(c),
+        state[3].wrapping_add(d),
+        state[4].wrapping_add(e),
+        state[5].wrapping_add(f),
+        state[6].wrapping_add(g),
+        state[7].wrapping_add(h),
+    ]
+}
+
+/// Software double-SHA of the miner's message for nonce `n`.
+pub fn soft_miner_digest(cfg: &MinerConfig, nonce: u32) -> [u32; 8] {
+    let mut block1 = [0u32; 16];
+    block1[..12].copy_from_slice(&cfg.header);
+    block1[12] = nonce;
+    block1[13] = PAD13;
+    block1[14] = PAD14;
+    block1[15] = PAD15;
+    let d1 = soft_compress(IV, &block1);
+    let mut block2 = [0u32; 16];
+    block2[..8].copy_from_slice(&d1);
+    block2[8] = PAD2_8;
+    block2[15] = PAD2_15;
+    soft_compress(IV, &block2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_sim::Simulator;
+
+    #[test]
+    fn soft_sha256_matches_fips_vector() {
+        // SHA-256("abc") — FIPS 180-2 appendix B.1.
+        let mut block = [0u32; 16];
+        block[0] = 0x61626380;
+        block[15] = 24;
+        let d = soft_compress(IV, &block);
+        assert_eq!(
+            d,
+            [
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c, 0xb410ff61,
+                0xf20015ad
+            ]
+        );
+    }
+
+    #[test]
+    fn rtl_pipeline_matches_soft_compress() {
+        // A standalone pipeline fed by constants.
+        let mut b = Builder::new("sha_test");
+        let words: Vec<Signal> =
+            (0..16).map(|i| b.lit(32, (0x01020304u32.wrapping_mul(i + 3)) as u64)).collect();
+        let block: [Signal; 16] = words.try_into().unwrap();
+        let hi = b.lit(1, 1);
+        let (digest, valid) = sha256_pipeline(&mut b, "p", &block, hi);
+        for (i, d) in digest.iter().enumerate() {
+            b.output(format!("d{i}"), *d);
+        }
+        b.output("valid", valid);
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        sim.step_n(64);
+        assert_eq!(sim.output("valid").unwrap().to_u64(), 1);
+        let mut soft_block = [0u32; 16];
+        for (i, w) in soft_block.iter_mut().enumerate() {
+            *w = 0x01020304u32.wrapping_mul(i as u32 + 3);
+        }
+        let expect = soft_compress(IV, &soft_block);
+        for i in 0..8 {
+            assert_eq!(
+                sim.output(&format!("d{i}")).unwrap().to_u64() as u32,
+                expect[i],
+                "digest word {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn miner_finds_a_valid_nonce() {
+        // Easy target so a nonce lands within a few hundred attempts.
+        let cfg = MinerConfig { target: 1 << 28, ..Default::default() };
+        // Find the first passing nonce in software.
+        let expect_nonce = (0u32..10_000)
+            .find(|&n| soft_miner_digest(&cfg, n)[0] < cfg.target)
+            .expect("target too hard for the test");
+        let c = build_miner(&cfg);
+        let mut sim = Simulator::new(&c);
+        // Latency 128 + nonce index + slack.
+        sim.step_n(expect_nonce as u64 + 128 + 8);
+        assert_eq!(sim.output("found").unwrap().to_u64(), 1, "miner never fired");
+        let got = sim.output("found_nonce").unwrap().to_u64() as u32;
+        assert_eq!(got, expect_nonce, "wrong nonce");
+        assert!(soft_miner_digest(&cfg, got)[0] < cfg.target);
+    }
+
+    /// `m_crit` = total fiber work / straggler fiber: the maximum useful
+    /// parallelism before the straggler bounds `t_comp` (§4.3, Fig. 6a).
+    fn m_crit(c: &parendi_rtl::Circuit) -> f64 {
+        let costs = parendi_graph::CostModel::of(c);
+        let fs = parendi_graph::extract_fibers(c, &costs);
+        let straggler = fs.straggler().unwrap().1 as f64;
+        let total: f64 = fs.fibers.iter().map(|f| f.ipu_cost as f64).sum();
+        total / straggler
+    }
+
+    #[test]
+    fn miner_scales_far_wider_than_pico() {
+        // The paper's point (Fig. 6b/6c): bitcoin's balanced pipeline
+        // stages admit hundreds-way parallelism, while pico's one giant
+        // execute cone caps useful parallelism almost immediately.
+        let miner = build_miner(&MinerConfig::default());
+        let costs = parendi_graph::CostModel::of(&miner);
+        let fs = parendi_graph::extract_fibers(&miner, &costs);
+        assert!(fs.len() > 1000, "two 64-stage pipelines: {} fibers", fs.len());
+
+        let pico = crate::pico::build_pico(&crate::pico::PicoConfig::new(
+            crate::isa::programs::fibonacci(8),
+        ));
+        let bc = m_crit(&miner);
+        let pc = m_crit(&pico);
+        assert!(
+            bc > 20.0 * pc,
+            "bitcoin m_crit {bc:.0} should dwarf pico's {pc:.1}"
+        );
+        assert!(bc > 100.0, "bitcoin should admit hundreds-way parallelism: {bc:.0}");
+    }
+}

@@ -1,0 +1,75 @@
+//! The optimizer must shrink the real benchmark designs without
+//! changing their behaviour (checked architecturally via the golden
+//! models where available).
+
+use parendi_designs::{isa, pico, sha256, Benchmark};
+use parendi_rtl::optimize;
+use parendi_sim::Simulator;
+
+#[test]
+fn miner_shrinks_substantially() {
+    // The SHA-256 pipelines carry 128 K-constants and fixed padding
+    // words: folding must collapse the constant block inputs. (Each
+    // pipeline stage reads distinct registers, so CSE finds little —
+    // the sigma shapes are structurally unique per stage.)
+    let c = Benchmark::Bitcoin.build();
+    let (o, stats) = optimize(&c);
+    assert!(stats.folded >= 50, "constant padding/IV math must fold: {stats:?}");
+    assert!(stats.nodes_after < stats.nodes_before, "{stats:?}");
+    o.validate().unwrap();
+}
+
+#[test]
+fn optimized_miner_finds_the_same_nonce() {
+    let cfg = sha256::MinerConfig { target: 1 << 28, ..Default::default() };
+    let c = sha256::build_miner(&cfg);
+    let (o, _) = optimize(&c);
+    let expect = (0u32..10_000)
+        .find(|&n| sha256::soft_miner_digest(&cfg, n)[0] < cfg.target)
+        .expect("target reachable");
+    let mut sim = Simulator::new(&o);
+    sim.step_n(expect as u64 + 140);
+    assert_eq!(sim.output("found").unwrap().to_u64(), 1);
+    assert_eq!(sim.output("found_nonce").unwrap().to_u64() as u32, expect);
+}
+
+#[test]
+fn optimized_pico_still_matches_golden() {
+    let prog = isa::programs::fibonacci(11);
+    let mut golden = isa::GoldenRv32::new(256);
+    golden.run(&prog, 100_000);
+
+    let c = pico::build_pico(&pico::PicoConfig::new(prog));
+    let (o, stats) = optimize(&c);
+    assert!(stats.nodes_after < stats.nodes_before);
+    let halted =
+        parendi_rtl::RegId(o.regs.iter().position(|r| r.name == "halted").unwrap() as u32);
+    let rf = parendi_rtl::ArrayId(
+        o.arrays.iter().position(|a| a.name == "regfile").unwrap() as u32
+    );
+    let mut sim = Simulator::new(&o);
+    for _ in 0..20_000 {
+        if sim.reg_value(halted).to_u64() == 1 {
+            break;
+        }
+        sim.step();
+    }
+    assert_eq!(sim.reg_value(halted).to_u64(), 1, "optimized core must still halt");
+    assert_eq!(sim.array_value(rf, isa::reg::A0).to_u64() as u32, golden.regs[10]);
+}
+
+#[test]
+fn every_benchmark_survives_optimization() {
+    for bench in [
+        Benchmark::Vta,
+        Benchmark::Mc,
+        Benchmark::Sr(2),
+        Benchmark::Prng(8),
+        Benchmark::Rocket,
+    ] {
+        let c = bench.build();
+        let (o, stats) = optimize(&c);
+        assert!(o.validate().is_ok(), "{}: {stats:?}", bench.name());
+        assert!(stats.nodes_after <= stats.nodes_before, "{}", bench.name());
+    }
+}

@@ -1,0 +1,235 @@
+//! Whole-design analyses over a [`FiberSet`]: communication adjacency,
+//! replication clusters, and the static array-write bound behind the
+//! differential-exchange optimization (§5.2).
+
+use crate::fiber::{FiberId, FiberSet, SinkKind};
+use parendi_rtl::Circuit;
+use std::collections::HashMap;
+
+/// Producer/consumer relationships between fibers, through registers and
+/// arrays. This is the communication structure stage 3 merges along.
+#[derive(Clone, Debug)]
+pub struct Adjacency {
+    /// For each register, the fiber computing its next value.
+    pub reg_writer: Vec<Option<FiberId>>,
+    /// For each register, the fibers reading its current value.
+    pub reg_readers: Vec<Vec<FiberId>>,
+    /// For each array, the write-port fibers.
+    pub array_writers: Vec<Vec<FiberId>>,
+    /// For each array, the fibers with a read port on it.
+    pub array_readers: Vec<Vec<FiberId>>,
+    /// For each fiber, the distinct fibers it communicates with (either
+    /// direction), excluding itself.
+    pub neighbors: Vec<Vec<FiberId>>,
+}
+
+/// Builds the [`Adjacency`] of a fiber set.
+pub fn adjacency(circuit: &Circuit, fs: &FiberSet) -> Adjacency {
+    let mut reg_writer = vec![None; circuit.regs.len()];
+    let mut reg_readers = vec![Vec::new(); circuit.regs.len()];
+    let mut array_writers = vec![Vec::new(); circuit.arrays.len()];
+    let mut array_readers = vec![Vec::new(); circuit.arrays.len()];
+
+    for (i, f) in fs.fibers.iter().enumerate() {
+        let id = FiberId(i as u32);
+        match f.sink {
+            SinkKind::Reg(r) => reg_writer[r.index()] = Some(id),
+            SinkKind::ArrayPort { array, .. } => array_writers[array.index()].push(id),
+            SinkKind::Output(_) => {}
+        }
+        for &r in &f.regs_read {
+            reg_readers[r.index()].push(id);
+        }
+        for &a in &f.arrays_read {
+            array_readers[a.index()].push(id);
+        }
+    }
+    for readers in reg_readers.iter_mut().chain(array_readers.iter_mut()) {
+        readers.sort_unstable();
+        readers.dedup();
+    }
+
+    // neighbors: writer <-> each reader of the same register/array.
+    let mut neighbors = vec![Vec::new(); fs.len()];
+    for (ri, readers) in reg_readers.iter().enumerate() {
+        if let Some(w) = reg_writer[ri] {
+            for &r in readers {
+                if r != w {
+                    neighbors[w.index()].push(r);
+                    neighbors[r.index()].push(w);
+                }
+            }
+        }
+    }
+    for (ai, readers) in array_readers.iter().enumerate() {
+        for &w in &array_writers[ai] {
+            for &r in readers {
+                if r != w {
+                    neighbors[w.index()].push(r);
+                    neighbors[r.index()].push(w);
+                }
+            }
+        }
+    }
+    for n in &mut neighbors {
+        n.sort_unstable();
+        n.dedup();
+    }
+
+    Adjacency { reg_writer, reg_readers, array_writers, array_readers, neighbors }
+}
+
+/// A maximal group of nodes shared by exactly the same set of fibers.
+///
+/// RepCut's formulation (§6.6) uses these as hyperedges: placing all the
+/// pinned fibers together avoids re-computing the cluster.
+#[derive(Clone, Debug)]
+pub struct ReplicationCluster {
+    /// Nodes in the cluster.
+    pub nodes: Vec<u32>,
+    /// Σ IPU cycles of those nodes.
+    pub ipu_cost: u64,
+    /// The fibers whose cones contain the cluster.
+    pub fibers: Vec<FiberId>,
+}
+
+/// Groups all nodes by their owning-fiber signature.
+///
+/// Nodes belonging to a single fiber form per-fiber private clusters and
+/// are *excluded*; only genuinely shared clusters are returned.
+pub fn replication_clusters(fs: &FiberSet, ipu_cycles: &[u32]) -> Vec<ReplicationCluster> {
+    // node -> owning fibers (fiber ids visited in ascending order, so the
+    // per-node lists are already sorted).
+    let mut owners: Vec<Vec<u32>> = vec![Vec::new(); fs.universe];
+    for (i, f) in fs.fibers.iter().enumerate() {
+        for &n in &f.cone {
+            owners[n as usize].push(i as u32);
+        }
+    }
+    let mut by_sig: HashMap<&[u32], ReplicationCluster> = HashMap::new();
+    for (n, sig) in owners.iter().enumerate() {
+        if sig.len() < 2 {
+            continue;
+        }
+        let e = by_sig.entry(sig.as_slice()).or_insert_with(|| ReplicationCluster {
+            nodes: Vec::new(),
+            ipu_cost: 0,
+            fibers: sig.iter().map(|&f| FiberId(f)).collect(),
+        });
+        e.nodes.push(n as u32);
+        e.ipu_cost += ipu_cycles[n] as u64;
+    }
+    let mut out: Vec<ReplicationCluster> = by_sig.into_values().collect();
+    out.sort_by(|a, b| b.ipu_cost.cmp(&a.ipu_cost));
+    out
+}
+
+/// Static bound on the number of element writes per cycle for each array
+/// (the differential-exchange analysis of §5.2: we can bound *how many*
+/// updates happen, though not where).
+pub fn array_write_bounds(circuit: &Circuit) -> Vec<u32> {
+    circuit.arrays.iter().map(|a| a.write_ports.len() as u32).collect()
+}
+
+/// Per-register fanout: how many distinct fibers read each register.
+pub fn register_fanout(adj: &Adjacency) -> Vec<u32> {
+    adj.reg_readers.iter().map(|r| r.len() as u32).collect()
+}
+
+/// Summary statistics in the paper's Table 3 units.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DdgStats {
+    /// Data-dependence-graph nodes (#N).
+    pub nodes: u64,
+    /// Fibers (#F).
+    pub fibers: u64,
+    /// Duplication factor (Σ cone / #N).
+    pub duplication: f64,
+    /// Straggler fiber cost in IPU cycles.
+    pub straggler_cycles: u64,
+    /// Total single-tile IPU cycles per simulated cycle.
+    pub total_ipu_cycles: u64,
+}
+
+/// Computes [`DdgStats`] for a fiber set.
+pub fn ddg_stats(fs: &FiberSet, total_ipu_cycles: u64) -> DdgStats {
+    DdgStats {
+        nodes: fs.universe as u64,
+        fibers: fs.len() as u64,
+        duplication: fs.duplication_factor(),
+        straggler_cycles: fs.straggler().map(|(_, c)| c).unwrap_or(0),
+        total_ipu_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::fiber::extract_fibers;
+    use parendi_rtl::Builder;
+
+    fn chain_circuit() -> Circuit {
+        // r0 -> r1 -> r2 pipeline, r0 free-running counter.
+        let mut b = Builder::new("chain");
+        let r0 = b.reg("r0", 8, 0);
+        let r1 = b.reg("r1", 8, 0);
+        let r2 = b.reg("r2", 8, 0);
+        let one = b.lit(8, 1);
+        let n0 = b.add(r0.q(), one);
+        b.connect(r0, n0);
+        b.connect(r1, r0.q());
+        b.connect(r2, r1.q());
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn adjacency_follows_the_pipeline() {
+        let c = chain_circuit();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        let adj = adjacency(&c, &fs);
+        assert_eq!(adj.reg_writer[0], Some(FiberId(0)));
+        // r0 is read by fiber 0 (itself) and fiber 1.
+        assert_eq!(adj.reg_readers[0], vec![FiberId(0), FiberId(1)]);
+        // fiber1's neighbors: writer of r0 (fiber0) and reader of r1 (fiber2).
+        assert_eq!(adj.neighbors[1], vec![FiberId(0), FiberId(2)]);
+        assert_eq!(register_fanout(&adj)[0], 2);
+    }
+
+    #[test]
+    fn replication_clusters_found_for_shared_logic() {
+        let mut b = Builder::new("t");
+        let a = b.input("a", 16);
+        let one = b.lit(16, 1);
+        let shared = b.add(a, one);
+        let shared2 = b.mul(shared, shared);
+        let r1 = b.reg("r1", 16, 0);
+        let r2 = b.reg("r2", 16, 0);
+        b.connect(r1, shared2);
+        let x = b.xor(shared2, r2.q());
+        b.connect(r2, x);
+        let c = b.finish().unwrap();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        let clusters = replication_clusters(&fs, &costs.ipu_cycles);
+        assert_eq!(clusters.len(), 1, "one shared cluster between the two fibers");
+        assert_eq!(clusters[0].fibers.len(), 2);
+        assert!(clusters[0].ipu_cost > 0);
+    }
+
+    #[test]
+    fn write_bounds_count_ports() {
+        let mut b = Builder::new("t");
+        let addr = b.input("addr", 4);
+        let d = b.input("d", 8);
+        let we = b.input("we", 1);
+        let m = b.array("m", 8, 16);
+        b.array_write(m, addr, d, we);
+        b.array_write(m, addr, d, we);
+        let rd = b.array_read(m, addr);
+        b.output("o", rd);
+        let c = b.finish().unwrap();
+        assert_eq!(array_write_bounds(&c), vec![2]);
+    }
+}

@@ -1,0 +1,411 @@
+//! Dense and hybrid bit sets over a fixed universe.
+//!
+//! The paper's stage-3 merge "uses a dense bitset data structure to
+//! represent duplication across fibers and efficiently compute
+//! intersection and union in the submodular cost function" (§5.1). For
+//! large designs most fibers touch a tiny fraction of the node universe,
+//! so we additionally provide [`HybridSet`], which stays a sorted vector
+//! until a density threshold and then promotes itself to a dense bitset —
+//! the same memory/speed trade the paper's footprint numbers imply.
+
+/// A fixed-universe dense bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl DenseBitSet {
+    /// Creates an empty set over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        DenseBitSet { words: vec![0; universe.div_ceil(64)], universe }
+    }
+
+    /// The universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe`.
+    #[inline]
+    pub fn insert(&mut self, i: u32) -> bool {
+        assert!((i as usize) < self.universe, "element {i} outside universe");
+        let w = &mut self.words[(i / 64) as usize];
+        let m = 1u64 << (i % 64);
+        let fresh = *w & m == 0;
+        *w |= m;
+        fresh
+    }
+
+    /// Whether `i` is present.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        (i as usize) < self.universe && (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Adds all elements of `other` (same universe).
+    pub fn union_with(&mut self, other: &DenseBitSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Size of the intersection with `other`.
+    pub fn intersection_len(&self, other: &DenseBitSet) -> usize {
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// Sum of `weights[i]` over elements `i` in the intersection.
+    pub fn weighted_intersection(&self, other: &DenseBitSet, weights: &[u32]) -> u64 {
+        let mut total = 0u64;
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut bits = a & b;
+            while bits != 0 {
+                let tz = bits.trailing_zeros();
+                total += weights[wi * 64 + tz as usize] as u64;
+                bits &= bits - 1;
+            }
+        }
+        total
+    }
+
+    /// Sum of `weights[i]` over all elements.
+    pub fn weighted_len(&self, weights: &[u32]) -> u64 {
+        let mut total = 0u64;
+        for (wi, a) in self.words.iter().enumerate() {
+            let mut bits = *a;
+            while bits != 0 {
+                let tz = bits.trailing_zeros();
+                total += weights[wi * 64 + tz as usize] as u64;
+                bits &= bits - 1;
+            }
+        }
+        total
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(wi as u32 * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+/// A set over `0..universe` that is a sorted vector while sparse and a
+/// [`DenseBitSet`] once it would be cheaper dense.
+///
+/// A sparse element costs 4 bytes; the dense form costs `universe/8`
+/// bytes, so promotion happens at `len > universe/32`.
+#[derive(Clone, Debug)]
+pub enum HybridSet {
+    /// Sorted, deduplicated element vector.
+    Sparse {
+        /// Universe size.
+        universe: usize,
+        /// Sorted unique elements.
+        elems: Vec<u32>,
+    },
+    /// Dense bitset form.
+    Dense(DenseBitSet),
+}
+
+impl HybridSet {
+    /// Creates an empty set over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        HybridSet::Sparse { universe, elems: Vec::new() }
+    }
+
+    /// Creates a set from an iterator of elements.
+    pub fn from_iter(universe: usize, iter: impl IntoIterator<Item = u32>) -> Self {
+        let mut elems: Vec<u32> = iter.into_iter().collect();
+        elems.sort_unstable();
+        elems.dedup();
+        let mut s = HybridSet::Sparse { universe, elems };
+        s.maybe_promote();
+        s
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> usize {
+        match self {
+            HybridSet::Sparse { universe, .. } => *universe,
+            HybridSet::Dense(d) => d.universe(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            HybridSet::Sparse { elems, .. } => elems.len(),
+            HybridSet::Dense(d) => d.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `i` is present.
+    pub fn contains(&self, i: u32) -> bool {
+        match self {
+            HybridSet::Sparse { elems, .. } => elems.binary_search(&i).is_ok(),
+            HybridSet::Dense(d) => d.contains(i),
+        }
+    }
+
+    fn maybe_promote(&mut self) {
+        if let HybridSet::Sparse { universe, elems } = self {
+            if elems.len() > *universe / 32 {
+                let mut d = DenseBitSet::new(*universe);
+                for &e in elems.iter() {
+                    d.insert(e);
+                }
+                *self = HybridSet::Dense(d);
+            }
+        }
+    }
+
+    /// Adds all elements of `other`.
+    pub fn union_with(&mut self, other: &HybridSet) {
+        match (&mut *self, other) {
+            (HybridSet::Dense(a), HybridSet::Dense(b)) => a.union_with(b),
+            (HybridSet::Dense(a), HybridSet::Sparse { elems, .. }) => {
+                for &e in elems {
+                    a.insert(e);
+                }
+            }
+            (HybridSet::Sparse { universe, elems }, HybridSet::Dense(b)) => {
+                let mut d = DenseBitSet::new(*universe);
+                for &e in elems.iter() {
+                    d.insert(e);
+                }
+                d.union_with(b);
+                *self = HybridSet::Dense(d);
+            }
+            (HybridSet::Sparse { elems: a, .. }, HybridSet::Sparse { elems: b, .. }) => {
+                let mut merged = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&a[i..]);
+                merged.extend_from_slice(&b[j..]);
+                *a = merged;
+                self.maybe_promote();
+            }
+        }
+    }
+
+    /// Sum of `weights[i]` over elements `i` shared with `other`.
+    pub fn weighted_intersection(&self, other: &HybridSet, weights: &[u32]) -> u64 {
+        match (self, other) {
+            (HybridSet::Dense(a), HybridSet::Dense(b)) => a.weighted_intersection(b, weights),
+            (HybridSet::Sparse { elems, .. }, d @ HybridSet::Dense(_))
+            | (d @ HybridSet::Dense(_), HybridSet::Sparse { elems, .. }) => {
+                elems.iter().filter(|&&e| d.contains(e)).map(|&e| weights[e as usize] as u64).sum()
+            }
+            (HybridSet::Sparse { elems: a, .. }, HybridSet::Sparse { elems: b, .. }) => {
+                // Walk the smaller, binary-search the larger when very skewed;
+                // otherwise two-pointer merge.
+                let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                if small.len() * 16 < large.len() {
+                    small
+                        .iter()
+                        .filter(|e| large.binary_search(e).is_ok())
+                        .map(|&e| weights[e as usize] as u64)
+                        .sum()
+                } else {
+                    let mut total = 0u64;
+                    let (mut i, mut j) = (0, 0);
+                    while i < small.len() && j < large.len() {
+                        match small[i].cmp(&large[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                total += weights[small[i] as usize] as u64;
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                    total
+                }
+            }
+        }
+    }
+
+    /// Sum of `weights[i]` over all elements.
+    pub fn weighted_len(&self, weights: &[u32]) -> u64 {
+        match self {
+            HybridSet::Sparse { elems, .. } => {
+                elems.iter().map(|&e| weights[e as usize] as u64).sum()
+            }
+            HybridSet::Dense(d) => d.weighted_len(weights),
+        }
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        match self {
+            HybridSet::Sparse { elems, .. } => Box::new(elems.iter().copied()),
+            HybridSet::Dense(d) => Box::new(d.iter()),
+        }
+    }
+
+    /// Approximate heap memory used by this set, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            HybridSet::Sparse { elems, .. } => elems.capacity() * 4,
+            HybridSet::Dense(d) => d.words.len() * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_basics() {
+        let mut s = DenseBitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn dense_union_intersection() {
+        let mut a = DenseBitSet::new(100);
+        let mut b = DenseBitSet::new(100);
+        for i in 0..50 {
+            a.insert(i);
+        }
+        for i in 25..75 {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_len(&b), 25);
+        a.union_with(&b);
+        assert_eq!(a.len(), 75);
+        let weights: Vec<u32> = (0..100).collect();
+        assert_eq!(a.weighted_len(&weights), (0..75u64).sum());
+    }
+
+    #[test]
+    fn weighted_intersection_matches_naive() {
+        let mut a = DenseBitSet::new(256);
+        let mut b = DenseBitSet::new(256);
+        for i in (0..256).step_by(3) {
+            a.insert(i);
+        }
+        for i in (0..256).step_by(5) {
+            b.insert(i);
+        }
+        let weights: Vec<u32> = (0..256).map(|i| i * 2 + 1).collect();
+        let naive: u64 =
+            (0..256u32).filter(|i| i % 15 == 0).map(|i| weights[i as usize] as u64).sum();
+        assert_eq!(a.weighted_intersection(&b, &weights), naive);
+    }
+
+    #[test]
+    fn hybrid_promotes_when_dense() {
+        let mut s = HybridSet::new(1000);
+        assert!(matches!(s, HybridSet::Sparse { .. }));
+        let other = HybridSet::from_iter(1000, 0..40);
+        s.union_with(&other);
+        assert!(matches!(s, HybridSet::Dense(_)), "40 > 1000/32 must promote");
+        assert_eq!(s.len(), 40);
+    }
+
+    #[test]
+    fn hybrid_union_all_forms() {
+        let universe = 4096;
+        let sparse_a = HybridSet::from_iter(universe, [1, 5, 9]);
+        let sparse_b = HybridSet::from_iter(universe, [5, 7]);
+        let dense_a = HybridSet::from_iter(universe, 0..200);
+        let dense_b = HybridSet::from_iter(universe, 150..400);
+
+        let mut s = sparse_a.clone();
+        s.union_with(&sparse_b);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 7, 9]);
+
+        let mut s = sparse_a.clone();
+        s.union_with(&dense_a);
+        assert_eq!(s.len(), 200); // 1,5,9 already inside 0..200
+
+        let mut s = dense_a.clone();
+        s.union_with(&sparse_b);
+        assert_eq!(s.len(), 200);
+
+        let mut s = dense_a.clone();
+        s.union_with(&dense_b);
+        assert_eq!(s.len(), 400);
+    }
+
+    #[test]
+    fn hybrid_weighted_intersection_all_forms() {
+        let universe = 4096;
+        let weights = vec![2u32; universe];
+        let sparse_a = HybridSet::from_iter(universe, (0..120).step_by(3));
+        let sparse_b = HybridSet::from_iter(universe, (0..120).step_by(4));
+        let dense_a = HybridSet::from_iter(universe, 0..2000);
+        let dense_b = HybridSet::from_iter(universe, 1000..3000);
+
+        assert_eq!(sparse_a.weighted_intersection(&sparse_b, &weights), 10 * 2);
+        assert_eq!(sparse_a.weighted_intersection(&dense_a, &weights), 40 * 2);
+        assert_eq!(dense_a.weighted_intersection(&sparse_a, &weights), 40 * 2);
+        assert_eq!(dense_a.weighted_intersection(&dense_b, &weights), 1000 * 2);
+    }
+
+    #[test]
+    fn skewed_sparse_intersection_uses_binary_search_path() {
+        let universe = 1 << 16;
+        let small = HybridSet::from_iter(universe, [10u32, 500, 900]);
+        let large = HybridSet::from_iter(universe, (0..2000).map(|i| i * 2));
+        let weights = vec![1u32; universe];
+        assert_eq!(small.weighted_intersection(&large, &weights), 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-node execution-cost models.
+//!
+//! The partitioner and the timing layers need, for every combinational
+//! node, an estimate of (a) IPU tile cycles, (b) x64 instructions, (c)
+//! generated code bytes, and (d) live data bytes. The IPU numbers are
+//! anchored to the paper's observation that a xorshift PRNG fiber —
+//! three XORs and three shifts on 64-bit values (§4.1) — is "roughly 6
+//! instructions", i.e. about one cycle per word-wide ALU operation.
+
+use parendi_rtl::bits::words_for;
+use parendi_rtl::{BinOp, Circuit, NodeKind, UnOp};
+
+/// Cost of a single node in several units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCost {
+    /// IPU tile cycles to evaluate the node once.
+    pub ipu_cycles: u32,
+    /// x64 instructions to evaluate the node once.
+    pub x64_instrs: u32,
+    /// Code bytes the node contributes to its tile's binary.
+    pub code_bytes: u32,
+    /// Data bytes held live for the node's result.
+    pub data_bytes: u32,
+}
+
+/// Computes per-node costs for every node of a circuit.
+///
+/// Returned vectors are indexed by `NodeId`.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// IPU cycles per node.
+    pub ipu_cycles: Vec<u32>,
+    /// x64 instructions per node.
+    pub x64_instrs: Vec<u32>,
+    /// Code bytes per node.
+    pub code_bytes: Vec<u32>,
+    /// Result data bytes per node.
+    pub data_bytes: Vec<u32>,
+}
+
+/// Cost of one node, independent of its neighbours.
+pub fn node_cost(kind: &NodeKind, width: u32) -> NodeCost {
+    let w = words_for(width) as u32;
+    // (ipu cycles, x64 instrs) for the operation itself.
+    let (cycles, instrs) = match kind {
+        // Constants fold into immediates; sources are loads.
+        NodeKind::Const(_) => (0, 0),
+        NodeKind::Input(_) | NodeKind::RegRead(_) => (w, w),
+        NodeKind::ArrayRead { .. } => (2 + w, 2 + w),
+        NodeKind::Slice { .. } | NodeKind::Zext(_) | NodeKind::Sext(_) => (w, w),
+        NodeKind::Concat { .. } => (w, w),
+        NodeKind::Un(op, _) => match op {
+            UnOp::Not | UnOp::Neg => (w, w),
+            UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => (w + 1, w + 1),
+        },
+        NodeKind::Bin(op, _, _) => match op {
+            BinOp::And | BinOp::Or | BinOp::Xor => (w, w),
+            BinOp::Add | BinOp::Sub => (w + (w > 1) as u32, w + (w > 1) as u32),
+            BinOp::Mul => (2 * w * w + 1, w * w + 1),
+            BinOp::Eq | BinOp::Ne | BinOp::LtU | BinOp::LeU => (w + 1, w + 1),
+            BinOp::LtS | BinOp::LeS => (w + 2, w + 2),
+            BinOp::Shl | BinOp::Lshr | BinOp::Ashr => (2 * w + 1, 2 * w + 1),
+        },
+        NodeKind::Mux { .. } => (w + 1, w + 1),
+    };
+    NodeCost {
+        ipu_cycles: cycles,
+        x64_instrs: instrs,
+        // IPU instructions are 4 or 8 bytes; call it 6 on average, and free
+        // nodes still occupy nothing.
+        code_bytes: cycles * 6,
+        data_bytes: w * 8,
+    }
+}
+
+impl CostModel {
+    /// Builds the cost tables for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let n = circuit.nodes.len();
+        let mut m = CostModel {
+            ipu_cycles: Vec::with_capacity(n),
+            x64_instrs: Vec::with_capacity(n),
+            code_bytes: Vec::with_capacity(n),
+            data_bytes: Vec::with_capacity(n),
+        };
+        for node in &circuit.nodes {
+            let c = node_cost(&node.kind, node.width);
+            m.ipu_cycles.push(c.ipu_cycles);
+            m.x64_instrs.push(c.x64_instrs);
+            m.code_bytes.push(c.code_bytes);
+            m.data_bytes.push(c.data_bytes);
+        }
+        m
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.ipu_cycles.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ipu_cycles.is_empty()
+    }
+
+    /// Total IPU cycles of the whole circuit evaluated once on one tile.
+    pub fn total_ipu_cycles(&self) -> u64 {
+        self.ipu_cycles.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Total x64 instructions of the whole circuit evaluated once.
+    pub fn total_x64_instrs(&self) -> u64 {
+        self.x64_instrs.iter().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_rtl::{Bits, Builder};
+
+    #[test]
+    fn xorshift_fiber_is_a_few_instructions() {
+        // The paper's PRNG fiber: 3 xors + 3 shifts on 64 bits ≈ 6 instrs.
+        let mut b = Builder::new("prng");
+        let s = b.reg_init("s", Bits::from_u64(64, 1));
+        let t1 = b.shli(s.q(), 13);
+        let x1 = b.xor(s.q(), t1);
+        let t2 = b.lshri(x1, 7);
+        let x2 = b.xor(x1, t2);
+        let t3 = b.shli(x2, 17);
+        let x3 = b.xor(x2, t3);
+        b.connect(s, x3);
+        let c = b.finish().unwrap();
+        let m = CostModel::of(&c);
+        let total = m.total_ipu_cycles();
+        assert!((4..=20).contains(&total), "xorshift fiber cost {total} out of expected band");
+    }
+
+    #[test]
+    fn wide_ops_cost_more() {
+        let narrow = node_cost(&NodeKind::Bin(BinOp::Add, parendi_rtl::NodeId(0), parendi_rtl::NodeId(0)), 32);
+        let wide = node_cost(&NodeKind::Bin(BinOp::Add, parendi_rtl::NodeId(0), parendi_rtl::NodeId(0)), 512);
+        assert!(wide.ipu_cycles > narrow.ipu_cycles);
+        assert!(wide.data_bytes == 64);
+    }
+
+    #[test]
+    fn constants_are_free() {
+        let c = node_cost(&NodeKind::Const(Bits::zero(64)), 64);
+        assert_eq!(c.ipu_cycles, 0);
+        assert_eq!(c.code_bytes, 0);
+    }
+}

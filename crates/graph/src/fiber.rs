@@ -1,0 +1,277 @@
+//! Fiber extraction.
+//!
+//! A *fiber* is "the smallest set of operations that uniquely produces
+//! the next value of a single register" (paper §3.2): the backward cone
+//! of combinational logic rooted at one sink. Sinks are register
+//! next-values, array write ports (index/data/enable treated as one
+//! fiber), and primary outputs. Nodes shared between cones appear in
+//! *every* containing fiber — that duplication is exactly what the
+//! stage-3 submodular merge later exploits.
+
+use crate::cost::CostModel;
+use parendi_rtl::{ArrayId, Circuit, NodeId, NodeKind, RegId};
+
+/// Identifies a fiber within a [`FiberSet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FiberId(pub u32);
+
+impl FiberId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a fiber produces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SinkKind {
+    /// The next value of a register.
+    Reg(RegId),
+    /// One write port of an array (index, data and enable cones).
+    ArrayPort {
+        /// The array written.
+        array: ArrayId,
+        /// Port index within the array's `write_ports`.
+        port: u32,
+    },
+    /// A primary output (must be computed for the testbench).
+    Output(u32),
+}
+
+/// One fiber: a sink plus its backward cone.
+#[derive(Clone, Debug)]
+pub struct Fiber {
+    /// What this fiber produces.
+    pub sink: SinkKind,
+    /// Sorted node ids of the cone (sources included).
+    pub cone: Vec<u32>,
+    /// Σ IPU cycles over the cone.
+    pub ipu_cost: u64,
+    /// Σ x64 instructions over the cone.
+    pub x64_cost: u64,
+    /// Σ code bytes over the cone.
+    pub code_bytes: u64,
+    /// Registers whose current value the cone reads.
+    pub regs_read: Vec<RegId>,
+    /// Arrays the cone reads.
+    pub arrays_read: Vec<ArrayId>,
+    /// Bytes of produced state that may need to be communicated.
+    pub out_bytes: u32,
+}
+
+/// All fibers of a circuit.
+#[derive(Clone, Debug)]
+pub struct FiberSet {
+    /// The fibers, indexed by [`FiberId`].
+    pub fibers: Vec<Fiber>,
+    /// Node universe size (for bitsets over cones).
+    pub universe: usize,
+}
+
+impl FiberSet {
+    /// Number of fibers.
+    pub fn len(&self) -> usize {
+        self.fibers.len()
+    }
+
+    /// Whether there are no fibers.
+    pub fn is_empty(&self) -> bool {
+        self.fibers.is_empty()
+    }
+
+    /// The fiber with the largest IPU cost (the *straggler*), if any.
+    pub fn straggler(&self) -> Option<(FiberId, u64)> {
+        self.fibers
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, f)| f.ipu_cost)
+            .map(|(i, f)| (FiberId(i as u32), f.ipu_cost))
+    }
+
+    /// Total cone size across fibers divided by unique node count: the
+    /// duplication factor a fully split design would pay.
+    pub fn duplication_factor(&self) -> f64 {
+        let total: u64 = self.fibers.iter().map(|f| f.cone.len() as u64).sum();
+        if self.universe == 0 {
+            1.0
+        } else {
+            total as f64 / self.universe as f64
+        }
+    }
+}
+
+/// Walks the backward cone of `roots` and returns the visited node ids in
+/// sorted order. `stamp`/`generation` implement O(1) reset between calls.
+fn collect_cone(
+    circuit: &Circuit,
+    roots: &[NodeId],
+    stamp: &mut [u32],
+    generation: u32,
+    stack: &mut Vec<NodeId>,
+) -> Vec<u32> {
+    let mut cone = Vec::new();
+    for &r in roots {
+        if stamp[r.index()] != generation {
+            stamp[r.index()] = generation;
+            stack.push(r);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        cone.push(id.0);
+        circuit.node(id).for_each_operand(|op| {
+            if stamp[op.index()] != generation {
+                stamp[op.index()] = generation;
+                stack.push(op);
+            }
+        });
+    }
+    cone.sort_unstable();
+    cone
+}
+
+/// Extracts every fiber of `circuit`, costed with `costs`.
+///
+/// The fiber order is: one per register (in `RegId` order), one per array
+/// write port, one per primary output.
+pub fn extract_fibers(circuit: &Circuit, costs: &CostModel) -> FiberSet {
+    let n = circuit.nodes.len();
+    let mut stamp = vec![0u32; n];
+    let mut generation = 0u32;
+    let mut stack = Vec::new();
+    let mut fibers = Vec::new();
+
+    let mut make_fiber = |sink: SinkKind, roots: &[NodeId], out_bytes: u32,
+                          stamp: &mut Vec<u32>, generation: &mut u32| {
+        *generation += 1;
+        let cone = collect_cone(circuit, roots, stamp, *generation, &mut stack);
+        let mut ipu = 0u64;
+        let mut x64 = 0u64;
+        let mut code = 0u64;
+        let mut regs_read = Vec::new();
+        let mut arrays_read = Vec::new();
+        for &nid in &cone {
+            ipu += costs.ipu_cycles[nid as usize] as u64;
+            x64 += costs.x64_instrs[nid as usize] as u64;
+            code += costs.code_bytes[nid as usize] as u64;
+            match circuit.nodes[nid as usize].kind {
+                NodeKind::RegRead(r) => regs_read.push(r),
+                NodeKind::ArrayRead { array, .. } => arrays_read.push(array),
+                _ => {}
+            }
+        }
+        arrays_read.sort_unstable();
+        arrays_read.dedup();
+        // Every fiber also pays its sink store.
+        ipu += (out_bytes as u64).div_ceil(8).max(1);
+        x64 += (out_bytes as u64).div_ceil(8).max(1);
+        fibers.push(Fiber {
+            sink,
+            cone,
+            ipu_cost: ipu,
+            x64_cost: x64,
+            code_bytes: code,
+            regs_read,
+            arrays_read,
+            out_bytes,
+        });
+    };
+
+    for (i, r) in circuit.regs.iter().enumerate() {
+        let next = r.next.expect("validated circuit");
+        let bytes = parendi_rtl::bits::words_for(r.width) as u32 * 8;
+        make_fiber(SinkKind::Reg(RegId(i as u32)), &[next], bytes, &mut stamp, &mut generation);
+    }
+    for (ai, a) in circuit.arrays.iter().enumerate() {
+        let data_bytes = parendi_rtl::bits::words_for(a.width) as u32 * 8;
+        for (pi, p) in a.write_ports.iter().enumerate() {
+            // A write moves (index, data, enable) — the differential
+            // exchange payload (§5.2).
+            let bytes = data_bytes + 4 + 1;
+            make_fiber(
+                SinkKind::ArrayPort { array: ArrayId(ai as u32), port: pi as u32 },
+                &[p.index, p.data, p.enable],
+                bytes,
+                &mut stamp,
+                &mut generation,
+            );
+        }
+    }
+    for (oi, o) in circuit.outputs.iter().enumerate() {
+        let bytes = parendi_rtl::bits::words_for(circuit.width(o.node)) as u32 * 8;
+        make_fiber(SinkKind::Output(oi as u32), &[o.node], bytes, &mut stamp, &mut generation);
+    }
+
+    FiberSet { fibers, universe: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_rtl::Builder;
+
+    fn two_reg_shared_logic() -> Circuit {
+        // r1.next = f(a), r2.next = f(a) + r2  — the `f(a)` cone is shared.
+        let mut b = Builder::new("t");
+        let a = b.input("a", 8);
+        let r1 = b.reg("r1", 8, 0);
+        let r2 = b.reg("r2", 8, 0);
+        let one = b.lit(8, 1);
+        let shared = b.add(a, one); // shared intermediate (paper's a3)
+        b.connect(r1, shared);
+        let sum = b.add(shared, r2.q());
+        b.connect(r2, sum);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn shared_nodes_are_duplicated_into_both_cones() {
+        let c = two_reg_shared_logic();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        assert_eq!(fs.len(), 2);
+        let shared_nodes: Vec<u32> = fs.fibers[0]
+            .cone
+            .iter()
+            .filter(|n| fs.fibers[1].cone.contains(n))
+            .copied()
+            .collect();
+        assert!(!shared_nodes.is_empty(), "the add cone must appear in both fibers");
+        assert!(fs.duplication_factor() > 1.0);
+    }
+
+    #[test]
+    fn fiber_costs_are_positive_and_track_reads() {
+        let c = two_reg_shared_logic();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        for f in &fs.fibers {
+            assert!(f.ipu_cost > 0);
+            assert!(f.out_bytes >= 8);
+        }
+        // Fiber of r2 reads r2.
+        assert_eq!(fs.fibers[1].regs_read, vec![RegId(1)]);
+        let (straggler, cost) = fs.straggler().unwrap();
+        assert_eq!(straggler, FiberId(1));
+        assert!(cost >= fs.fibers[0].ipu_cost);
+    }
+
+    #[test]
+    fn array_port_is_one_fiber() {
+        let mut b = Builder::new("t");
+        let addr = b.input("addr", 4);
+        let data = b.input("d", 32);
+        let we = b.input("we", 1);
+        let mem = b.array("m", 32, 16);
+        b.array_write(mem, addr, data, we);
+        let rd = b.array_read(mem, addr);
+        b.output("q", rd);
+        let c = b.finish().unwrap();
+        let costs = CostModel::of(&c);
+        let fs = extract_fibers(&c, &costs);
+        // one port fiber + one output fiber
+        assert_eq!(fs.len(), 2);
+        assert!(matches!(fs.fibers[0].sink, SinkKind::ArrayPort { port: 0, .. }));
+        assert_eq!(fs.fibers[1].arrays_read, vec![ArrayId(0)]);
+    }
+}

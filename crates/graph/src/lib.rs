@@ -1,0 +1,39 @@
+//! # parendi-graph
+//!
+//! Data-dependence-graph tooling for the Parendi reproduction: per-node
+//! cost models ([`cost`]), fiber extraction ([`fiber`]), communication
+//! and replication analyses ([`analysis`]), and the dense/hybrid bitsets
+//! ([`bitset`]) that back the submodular partitioner.
+//!
+//! # Examples
+//!
+//! ```
+//! use parendi_rtl::Builder;
+//! use parendi_graph::{CostModel, extract_fibers};
+//!
+//! let mut b = Builder::new("demo");
+//! let r = b.reg("r", 8, 0);
+//! let one = b.lit(8, 1);
+//! let next = b.add(r.q(), one);
+//! b.connect(r, next);
+//! let circuit = b.finish().unwrap();
+//!
+//! let costs = CostModel::of(&circuit);
+//! let fibers = extract_fibers(&circuit, &costs);
+//! assert_eq!(fibers.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bitset;
+pub mod cost;
+pub mod fiber;
+
+pub use analysis::{
+    adjacency, array_write_bounds, ddg_stats, replication_clusters, Adjacency, DdgStats,
+    ReplicationCluster,
+};
+pub use bitset::{DenseBitSet, HybridSet};
+pub use cost::{node_cost, CostModel, NodeCost};
+pub use fiber::{extract_fibers, Fiber, FiberId, FiberSet, SinkKind};

@@ -1,0 +1,73 @@
+//! Property tests pinning `HybridSet`/`DenseBitSet` behaviour to a
+//! `BTreeSet` reference model across the sparse→dense promotion.
+
+use parendi_graph::{DenseBitSet, HybridSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const UNIVERSE: usize = 2048;
+
+fn model_of(elems: &[u32]) -> BTreeSet<u32> {
+    elems.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hybrid_union_matches_model(
+        a in proptest::collection::vec(0u32..UNIVERSE as u32, 0..300),
+        b in proptest::collection::vec(0u32..UNIVERSE as u32, 0..300),
+    ) {
+        let mut s = HybridSet::from_iter(UNIVERSE, a.iter().copied());
+        let t = HybridSet::from_iter(UNIVERSE, b.iter().copied());
+        s.union_with(&t);
+        let mut m = model_of(&a);
+        m.extend(model_of(&b));
+        prop_assert_eq!(s.len(), m.len());
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), m.iter().copied().collect::<Vec<_>>());
+        for probe in [0u32, 7, 100, 2047] {
+            prop_assert_eq!(s.contains(probe), m.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn weighted_intersection_matches_model(
+        a in proptest::collection::vec(0u32..UNIVERSE as u32, 0..300),
+        b in proptest::collection::vec(0u32..UNIVERSE as u32, 0..300),
+        seed in any::<u64>(),
+    ) {
+        let weights: Vec<u32> =
+            (0..UNIVERSE as u64).map(|i| ((i * 2654435761).wrapping_add(seed) % 97) as u32).collect();
+        let s = HybridSet::from_iter(UNIVERSE, a.iter().copied());
+        let t = HybridSet::from_iter(UNIVERSE, b.iter().copied());
+        let (ma, mb) = (model_of(&a), model_of(&b));
+        let expect: u64 = ma.intersection(&mb).map(|&e| weights[e as usize] as u64).sum();
+        prop_assert_eq!(s.weighted_intersection(&t, &weights), expect);
+        prop_assert_eq!(t.weighted_intersection(&s, &weights), expect, "symmetry");
+        let expect_len: u64 = ma.iter().map(|&e| weights[e as usize] as u64).sum();
+        prop_assert_eq!(s.weighted_len(&weights), expect_len);
+    }
+
+    #[test]
+    fn dense_matches_model(
+        a in proptest::collection::vec(0u32..UNIVERSE as u32, 0..500),
+        b in proptest::collection::vec(0u32..UNIVERSE as u32, 0..500),
+    ) {
+        let mut s = DenseBitSet::new(UNIVERSE);
+        for &e in &a {
+            s.insert(e);
+        }
+        let mut t = DenseBitSet::new(UNIVERSE);
+        for &e in &b {
+            t.insert(e);
+        }
+        let (ma, mb) = (model_of(&a), model_of(&b));
+        prop_assert_eq!(s.len(), ma.len());
+        prop_assert_eq!(s.intersection_len(&t), ma.intersection(&mb).count());
+        s.union_with(&t);
+        let mut mu = ma.clone();
+        mu.extend(mb.iter().copied());
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), mu.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,646 @@
+//! # parendi-hypergraph
+//!
+//! A self-contained multilevel hypergraph partitioner, standing in for
+//! KaHyPar in the Parendi reproduction (paper §5.1 stage 2 and the
+//! RepCut-style strategy of §6.6).
+//!
+//! The algorithm is the classic multilevel scheme:
+//!
+//! 1. **Coarsening** — heavy-edge matching contracts pairs of nodes that
+//!    share high `w(e)/(|e|-1)` ratings until the graph is small.
+//! 2. **Initial partitioning** — greedy balanced growth from random
+//!    seeds, best of several tries.
+//! 3. **Uncoarsening** — the partition is projected back level by level
+//!    and improved with FM-style move refinement under a balance
+//!    constraint.
+//!
+//! K-way partitions are produced by recursive bisection with
+//! proportional weight targets.
+//!
+//! # Examples
+//!
+//! ```
+//! use parendi_hypergraph::Hypergraph;
+//!
+//! // Two 3-cliques joined by one light edge: the cut should split them.
+//! let mut hg = Hypergraph::new(vec![1; 6]);
+//! hg.add_edge(10, vec![0, 1, 2]);
+//! hg.add_edge(10, vec![3, 4, 5]);
+//! hg.add_edge(1, vec![2, 3]);
+//! let p = hg.partition(2, 0.1, 42);
+//! assert_eq!(p.cut, 1);
+//! assert_ne!(p.parts[0], p.parts[3]);
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A weighted hypergraph.
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    node_weights: Vec<u64>,
+    edge_weights: Vec<u64>,
+    /// Pin list per edge (sorted, unique).
+    pins: Vec<Vec<u32>>,
+    /// Incident edge ids per node.
+    incidence: Vec<Vec<u32>>,
+}
+
+/// The result of [`Hypergraph::partition`].
+#[derive(Clone, Debug)]
+pub struct PartitionResult {
+    /// Block id per node.
+    pub parts: Vec<u32>,
+    /// Σ weight of hyperedges spanning more than one block.
+    pub cut: u64,
+    /// Σ `w(e) * (λ(e) - 1)` connectivity metric.
+    pub connectivity: u64,
+    /// Σ node weight per block.
+    pub part_weights: Vec<u64>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with the given node weights and no edges.
+    pub fn new(node_weights: Vec<u64>) -> Self {
+        let n = node_weights.len();
+        Hypergraph {
+            node_weights,
+            edge_weights: Vec::new(),
+            pins: Vec::new(),
+            incidence: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a hyperedge over `pins` with the given weight.
+    ///
+    /// Duplicate pins are removed; edges with fewer than two distinct
+    /// pins are ignored (they can never be cut).
+    pub fn add_edge(&mut self, weight: u64, mut pins: Vec<u32>) {
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            return;
+        }
+        let id = self.pins.len() as u32;
+        for &p in &pins {
+            self.incidence[p as usize].push(id);
+        }
+        self.edge_weights.push(weight);
+        self.pins.push(pins);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Total node weight.
+    pub fn total_weight(&self) -> u64 {
+        self.node_weights.iter().sum()
+    }
+
+    /// Node weights slice.
+    pub fn node_weights(&self) -> &[u64] {
+        &self.node_weights
+    }
+
+    /// Σ weight of edges whose pins span more than one block.
+    pub fn cut(&self, parts: &[u32]) -> u64 {
+        self.pins
+            .iter()
+            .zip(&self.edge_weights)
+            .filter(|(pins, _)| {
+                let first = parts[pins[0] as usize];
+                pins.iter().any(|&p| parts[p as usize] != first)
+            })
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Σ `w(e) * (λ(e) - 1)` where λ is the number of blocks an edge touches.
+    pub fn connectivity(&self, parts: &[u32]) -> u64 {
+        let mut seen = Vec::new();
+        self.pins
+            .iter()
+            .zip(&self.edge_weights)
+            .map(|(pins, &w)| {
+                seen.clear();
+                for &p in pins {
+                    let b = parts[p as usize];
+                    if !seen.contains(&b) {
+                        seen.push(b);
+                    }
+                }
+                w * (seen.len() as u64 - 1)
+            })
+            .sum()
+    }
+
+    /// Partitions into `k` blocks with `epsilon` allowed imbalance.
+    ///
+    /// Deterministic for a given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn partition(&self, k: u32, epsilon: f64, seed: u64) -> PartitionResult {
+        assert!(k > 0, "k must be positive");
+        let mut parts = vec![0u32; self.num_nodes()];
+        if k > 1 && self.num_nodes() > 1 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nodes: Vec<u32> = (0..self.num_nodes() as u32).collect();
+            self.recurse(&nodes, k, 0, epsilon, &mut parts, &mut rng);
+        }
+        let mut part_weights = vec![0u64; k as usize];
+        for (n, &p) in parts.iter().enumerate() {
+            part_weights[p as usize] += self.node_weights[n];
+        }
+        PartitionResult {
+            cut: self.cut(&parts),
+            connectivity: self.connectivity(&parts),
+            parts,
+            part_weights,
+        }
+    }
+
+    /// Recursive bisection on the sub-hypergraph induced by `nodes`,
+    /// assigning blocks `base..base+k`.
+    fn recurse(
+        &self,
+        nodes: &[u32],
+        k: u32,
+        base: u32,
+        epsilon: f64,
+        parts: &mut [u32],
+        rng: &mut StdRng,
+    ) {
+        if k == 1 || nodes.len() <= 1 {
+            for &n in nodes {
+                parts[n as usize] = base;
+            }
+            return;
+        }
+        let k_left = k.div_ceil(2);
+        let k_right = k / 2;
+        let sub = SubGraph::induced(self, nodes);
+        let total: u64 = sub.node_weights.iter().sum();
+        let target0 = (total as f64 * k_left as f64 / k as f64).round() as u64;
+        let cap0 = (target0 as f64 * (1.0 + epsilon)).ceil() as u64;
+        let cap1 =
+            ((total - target0) as f64 * (1.0 + epsilon)).ceil() as u64;
+        let side = sub.bisect(target0, cap0, cap1, epsilon, rng);
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for (i, &n) in nodes.iter().enumerate() {
+            if side[i] == 0 {
+                left.push(n);
+            } else {
+                right.push(n);
+            }
+        }
+        self.recurse(&left, k_left, base, epsilon, parts, rng);
+        self.recurse(&right, k_right, base + k_left, epsilon, parts, rng);
+    }
+}
+
+/// A self-contained working copy used during recursion/coarsening.
+struct SubGraph {
+    node_weights: Vec<u64>,
+    edge_weights: Vec<u64>,
+    pins: Vec<Vec<u32>>,
+    incidence: Vec<Vec<u32>>,
+}
+
+impl SubGraph {
+    fn induced(hg: &Hypergraph, nodes: &[u32]) -> SubGraph {
+        let mut index_of: HashMap<u32, u32> = HashMap::with_capacity(nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            index_of.insert(n, i as u32);
+        }
+        let node_weights: Vec<u64> =
+            nodes.iter().map(|&n| hg.node_weights[n as usize]).collect();
+        let mut sub = SubGraph {
+            node_weights,
+            edge_weights: Vec::new(),
+            pins: Vec::new(),
+            incidence: vec![Vec::new(); nodes.len()],
+        };
+        let mut touched: Vec<u32> = nodes
+            .iter()
+            .flat_map(|&n| hg.incidence[n as usize].iter().copied())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for e in touched {
+            let pins: Vec<u32> = hg.pins[e as usize]
+                .iter()
+                .filter_map(|p| index_of.get(p).copied())
+                .collect();
+            sub.add_edge(hg.edge_weights[e as usize], pins);
+        }
+        sub
+    }
+
+    fn add_edge(&mut self, weight: u64, mut pins: Vec<u32>) {
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            return;
+        }
+        let id = self.pins.len() as u32;
+        for &p in &pins {
+            self.incidence[p as usize].push(id);
+        }
+        self.edge_weights.push(weight);
+        self.pins.push(pins);
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Bisects into sides 0/1 under the weight caps. Multilevel when large.
+    fn bisect(&self, target0: u64, cap0: u64, cap1: u64, epsilon: f64, rng: &mut StdRng) -> Vec<u8> {
+        const COARSE_LIMIT: usize = 160;
+        if self.num_nodes() <= COARSE_LIMIT {
+            let mut best: Option<(u64, Vec<u8>)> = None;
+            for _ in 0..4 {
+                let mut side = self.initial_bisection(target0, cap0, rng);
+                self.fm_refine(&mut side, cap0, cap1);
+                let cut = self.side_cut(&side);
+                if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+                    best = Some((cut, side));
+                }
+            }
+            return best.unwrap().1;
+        }
+        // Coarsen one level, solve, project, refine.
+        let (coarse, map) = self.coarsen(rng);
+        if coarse.num_nodes() >= self.num_nodes() {
+            // Matching failed to shrink; fall back to flat solve.
+            let mut side = self.initial_bisection(target0, cap0, rng);
+            self.fm_refine(&mut side, cap0, cap1);
+            return side;
+        }
+        let coarse_side = coarse.bisect(target0, cap0, cap1, epsilon, rng);
+        let mut side: Vec<u8> =
+            (0..self.num_nodes()).map(|n| coarse_side[map[n] as usize]).collect();
+        self.fm_refine(&mut side, cap0, cap1);
+        side
+    }
+
+    /// Heavy-edge matching contraction. Returns (coarse graph, fine→coarse map).
+    fn coarsen(&self, rng: &mut StdRng) -> (SubGraph, Vec<u32>) {
+        let n = self.num_nodes();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        let mut mate: Vec<Option<u32>> = vec![None; n];
+        // Rating of neighbour v from node u: Σ w(e)/(|e|-1) over shared edges.
+        let mut rating: HashMap<u32, f64> = HashMap::new();
+        // Cap coarse-node weight so one giant node cannot absorb everything.
+        let max_nw = (self.node_weights.iter().sum::<u64>() / 8).max(1);
+        for &u in &order {
+            if mate[u as usize].is_some() {
+                continue;
+            }
+            rating.clear();
+            for &e in &self.incidence[u as usize] {
+                let pins = &self.pins[e as usize];
+                if pins.len() > 64 {
+                    continue; // skip huge edges for speed; they rarely guide matching
+                }
+                let r = self.edge_weights[e as usize] as f64 / (pins.len() - 1) as f64;
+                for &v in pins {
+                    if v != u && mate[v as usize].is_none() {
+                        *rating.entry(v).or_insert(0.0) += r;
+                    }
+                }
+            }
+            let best = rating
+                .iter()
+                .filter(|(&v, _)| {
+                    self.node_weights[u as usize] + self.node_weights[v as usize] <= max_nw
+                })
+                // Deterministic tie-break on the node id: HashMap iteration
+                // order must not leak into the partition.
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+                .map(|(&v, _)| v);
+            if let Some(v) = best {
+                mate[u as usize] = Some(v);
+                mate[v as usize] = Some(u);
+            }
+        }
+        // Build the coarse graph.
+        let mut map = vec![u32::MAX; n];
+        let mut coarse_weights = Vec::new();
+        for u in 0..n {
+            if map[u] != u32::MAX {
+                continue;
+            }
+            let id = coarse_weights.len() as u32;
+            map[u] = id;
+            let mut w = self.node_weights[u];
+            if let Some(v) = mate[u] {
+                if map[v as usize] == u32::MAX {
+                    map[v as usize] = id;
+                    w += self.node_weights[v as usize];
+                }
+            }
+            coarse_weights.push(w);
+        }
+        let mut coarse = SubGraph {
+            incidence: vec![Vec::new(); coarse_weights.len()],
+            node_weights: coarse_weights,
+            edge_weights: Vec::new(),
+            pins: Vec::new(),
+        };
+        // Merge identical coarse pin-sets.
+        let mut edge_of: HashMap<Vec<u32>, usize> = HashMap::new();
+        for (e, pins) in self.pins.iter().enumerate() {
+            let mut cp: Vec<u32> = pins.iter().map(|&p| map[p as usize]).collect();
+            cp.sort_unstable();
+            cp.dedup();
+            if cp.len() < 2 {
+                continue;
+            }
+            if let Some(&idx) = edge_of.get(&cp) {
+                coarse.edge_weights[idx] += self.edge_weights[e];
+            } else {
+                edge_of.insert(cp.clone(), coarse.pins.len());
+                coarse.add_edge(self.edge_weights[e], cp);
+            }
+        }
+        (coarse, map)
+    }
+
+    /// Greedy growth: random seed node grows side 0 along heavy edges
+    /// until it reaches half the weight.
+    fn initial_bisection(&self, target0: u64, cap0: u64, rng: &mut StdRng) -> Vec<u8> {
+        let n = self.num_nodes();
+        let target = target0.min(cap0);
+        let mut side = vec![1u8; n];
+        let mut weight0 = 0u64;
+        let mut frontier: Vec<u32> = Vec::new();
+        let seed = rng.random_range(0..n as u32);
+        frontier.push(seed);
+        let mut in_frontier = vec![false; n];
+        in_frontier[seed as usize] = true;
+        while weight0 < target {
+            let u = match frontier.pop() {
+                Some(u) => u,
+                None => {
+                    // Disconnected: pick any remaining unvisited side-1 node
+                    // (and mark it visited so an over-cap node cannot be
+                    // re-selected forever).
+                    match (0..n as u32).find(|&v| side[v as usize] == 1 && !in_frontier[v as usize])
+                    {
+                        Some(v) => {
+                            in_frontier[v as usize] = true;
+                            v
+                        }
+                        None => break,
+                    }
+                }
+            };
+            if side[u as usize] == 0 {
+                continue;
+            }
+            if weight0 + self.node_weights[u as usize] > cap0 {
+                continue;
+            }
+            side[u as usize] = 0;
+            weight0 += self.node_weights[u as usize];
+            for &e in &self.incidence[u as usize] {
+                for &v in &self.pins[e as usize] {
+                    if side[v as usize] == 1 && !in_frontier[v as usize] {
+                        in_frontier[v as usize] = true;
+                        frontier.push(v);
+                    }
+                }
+            }
+        }
+        side
+    }
+
+    fn side_cut(&self, side: &[u8]) -> u64 {
+        self.pins
+            .iter()
+            .zip(&self.edge_weights)
+            .filter(|(pins, _)| {
+                let s = side[pins[0] as usize];
+                pins.iter().any(|&p| side[p as usize] != s)
+            })
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// FM-style pass-based refinement with rollback to the best prefix.
+    fn fm_refine(&self, side: &mut [u8], cap0: u64, cap1: u64) {
+        let n = self.num_nodes();
+        if n < 2 {
+            return;
+        }
+        let caps = [cap0, cap1];
+        for _pass in 0..3 {
+            // Pin counts per side per edge.
+            let mut count: Vec<[u32; 2]> = self
+                .pins
+                .iter()
+                .map(|pins| {
+                    let ones = pins.iter().filter(|&&p| side[p as usize] == 1).count() as u32;
+                    [pins.len() as u32 - ones, ones]
+                })
+                .collect();
+            let mut weights = [0u64, 0u64];
+            for (u, &s) in side.iter().enumerate() {
+                weights[s as usize] += self.node_weights[u];
+            }
+            let gain = |u: usize, side: &[u8], count: &[[u32; 2]]| -> i64 {
+                let from = side[u] as usize;
+                let to = 1 - from;
+                let mut g = 0i64;
+                for &e in &self.incidence[u] {
+                    let c = count[e as usize];
+                    let w = self.edge_weights[e as usize] as i64;
+                    if c[from] == 1 && c[to] > 0 {
+                        g += w; // this move uncuts e
+                    }
+                    if c[to] == 0 {
+                        g -= w; // this move cuts e
+                    }
+                }
+                g
+            };
+            let mut locked = vec![false; n];
+            let mut moves: Vec<(u32, i64)> = Vec::new();
+            let mut cum = 0i64;
+            let mut best_cum = 0i64;
+            let mut best_len = 0usize;
+            for _step in 0..n.min(512) {
+                // Pick the best feasible unlocked move (linear scan keeps
+                // the implementation simple; graphs here are modest).
+                let mut best: Option<(usize, i64)> = None;
+                for u in 0..n {
+                    if locked[u] {
+                        continue;
+                    }
+                    let to = 1 - side[u] as usize;
+                    if weights[to] + self.node_weights[u] > caps[to] {
+                        continue;
+                    }
+                    let g = gain(u, side, &count);
+                    if best.is_none_or(|(_, bg)| g > bg) {
+                        best = Some((u, g));
+                    }
+                }
+                let Some((u, g)) = best else { break };
+                if g < 0 && cum + g < best_cum - (self.edge_weights.iter().sum::<u64>() as i64) {
+                    break; // hopeless
+                }
+                let from = side[u] as usize;
+                let to = 1 - from;
+                for &e in &self.incidence[u] {
+                    count[e as usize][from] -= 1;
+                    count[e as usize][to] += 1;
+                }
+                weights[from] -= self.node_weights[u];
+                weights[to] += self.node_weights[u];
+                side[u] = to as u8;
+                locked[u] = true;
+                cum += g;
+                moves.push((u as u32, g));
+                if cum > best_cum {
+                    best_cum = cum;
+                    best_len = moves.len();
+                }
+            }
+            // Roll back past the best prefix.
+            for &(u, _) in moves[best_len..].iter().rev() {
+                let u = u as usize;
+                side[u] = 1 - side[u];
+            }
+            if best_cum <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Hypergraph {
+        let mut hg = Hypergraph::new(vec![1; n]);
+        for i in 0..n {
+            hg.add_edge(1, vec![i as u32, ((i + 1) % n) as u32]);
+        }
+        hg
+    }
+
+    #[test]
+    fn ring_bisection_cuts_two_edges() {
+        let hg = ring(64);
+        let p = hg.partition(2, 0.05, 1);
+        assert_eq!(p.cut, 2, "a ring bisection must cut exactly two edges");
+        let imbalance = p.part_weights.iter().max().unwrap() - p.part_weights.iter().min().unwrap();
+        assert!(imbalance <= 4, "imbalance {imbalance} too high");
+    }
+
+    #[test]
+    fn two_clusters_split_cleanly() {
+        // Two dense 20-cliques with a single light bridge.
+        let mut hg = Hypergraph::new(vec![1; 40]);
+        for c in 0..2u32 {
+            let base = c * 20;
+            for i in 0..20 {
+                for j in i + 1..20 {
+                    hg.add_edge(4, vec![base + i, base + j]);
+                }
+            }
+        }
+        hg.add_edge(1, vec![0, 39]);
+        let p = hg.partition(2, 0.1, 7);
+        assert_eq!(p.cut, 1);
+        for i in 0..20 {
+            assert_eq!(p.parts[i], p.parts[0]);
+            assert_eq!(p.parts[20 + i], p.parts[20]);
+        }
+    }
+
+    #[test]
+    fn kway_respects_counts_and_balance() {
+        let hg = ring(128);
+        for k in [3u32, 4, 7] {
+            let p = hg.partition(k, 0.1, 3);
+            assert_eq!(p.part_weights.len(), k as usize);
+            assert!(p.part_weights.iter().all(|&w| w > 0), "empty block at k={k}");
+            let max = *p.part_weights.iter().max().unwrap() as f64;
+            let avg = 128.0 / k as f64;
+            assert!(max <= avg * 1.35, "k={k} max block {max} vs avg {avg}");
+        }
+    }
+
+    #[test]
+    fn hyperedges_with_many_pins() {
+        // Groups of 8 nodes bound by one strong hyperedge each.
+        let mut hg = Hypergraph::new(vec![1; 64]);
+        for g in 0..8u32 {
+            hg.add_edge(16, (0..8).map(|i| g * 8 + i).collect());
+        }
+        // weak chain between groups
+        for g in 0..7u32 {
+            hg.add_edge(1, vec![g * 8, (g + 1) * 8]);
+        }
+        let p = hg.partition(4, 0.1, 11);
+        // No strong group edge should be cut.
+        for g in 0..8usize {
+            let b = p.parts[g * 8];
+            for i in 1..8 {
+                assert_eq!(p.parts[g * 8 + i], b, "group {g} split");
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_at_least_cut() {
+        let hg = ring(32);
+        let p = hg.partition(4, 0.1, 5);
+        assert!(p.connectivity >= p.cut);
+    }
+
+    #[test]
+    fn multilevel_path_used_for_large_graphs() {
+        // 2048-node ring exercises coarsening.
+        let hg = ring(2048);
+        let p = hg.partition(2, 0.05, 9);
+        assert!(p.cut <= 8, "multilevel ring cut {} too poor", p.cut);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let hg = ring(100);
+        let a = hg.partition(4, 0.1, 13);
+        let b = hg.partition(4, 0.1, 13);
+        assert_eq!(a.parts, b.parts);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let hg = Hypergraph::new(vec![5]);
+        let p = hg.partition(2, 0.1, 0);
+        assert_eq!(p.parts, vec![0]);
+        assert_eq!(p.cut, 0);
+        let empty = Hypergraph::new(vec![]);
+        let p = empty.partition(3, 0.1, 0);
+        assert!(p.parts.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Partitioner invariants on random hypergraphs: block validity,
+//! balance, cut consistency, and determinism.
+
+use parendi_hypergraph::Hypergraph;
+use proptest::prelude::*;
+
+fn random_hypergraph(
+    nodes: usize,
+    edges: &[(u64, Vec<u32>)],
+    weights: &[u64],
+) -> Hypergraph {
+    let w: Vec<u64> = (0..nodes).map(|i| weights[i % weights.len()].max(1)).collect();
+    let mut hg = Hypergraph::new(w);
+    for (weight, pins) in edges {
+        let pins: Vec<u32> = pins.iter().map(|p| p % nodes as u32).collect();
+        hg.add_edge(weight.max(&1).to_owned(), pins);
+    }
+    hg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_invariants(
+        nodes in 2usize..200,
+        edges in proptest::collection::vec(
+            (1u64..50, proptest::collection::vec(any::<u32>(), 2..6)),
+            0..300
+        ),
+        weights in proptest::collection::vec(1u64..20, 1..8),
+        k in 1u32..9,
+        seed in any::<u64>(),
+    ) {
+        let hg = random_hypergraph(nodes, &edges, &weights);
+        let p = hg.partition(k, 0.1, seed);
+
+        // Every node gets a valid block.
+        prop_assert_eq!(p.parts.len(), nodes);
+        prop_assert!(p.parts.iter().all(|&b| b < k), "block id out of range");
+        // Reported weights are consistent.
+        let mut recomputed = vec![0u64; k as usize];
+        for (n, &b) in p.parts.iter().enumerate() {
+            recomputed[b as usize] += hg.node_weights()[n];
+        }
+        prop_assert_eq!(&recomputed, &p.part_weights);
+        prop_assert_eq!(recomputed.iter().sum::<u64>(), hg.total_weight());
+        // Cut/connectivity consistency.
+        prop_assert_eq!(p.cut, hg.cut(&p.parts));
+        prop_assert!(p.connectivity >= p.cut);
+        // Determinism.
+        let q = hg.partition(k, 0.1, seed);
+        prop_assert_eq!(p.parts, q.parts);
+    }
+
+    #[test]
+    fn k1_is_uncut(
+        nodes in 2usize..100,
+        edges in proptest::collection::vec(
+            (1u64..50, proptest::collection::vec(any::<u32>(), 2..5)),
+            0..100
+        ),
+    ) {
+        let hg = random_hypergraph(nodes, &edges, &[1]);
+        let p = hg.partition(1, 0.1, 0);
+        prop_assert_eq!(p.cut, 0);
+        prop_assert_eq!(p.connectivity, 0);
+        prop_assert!(p.parts.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unit_weight_balance(nodes in 16usize..256, k in 2u32..5, seed in any::<u64>()) {
+        // A path graph with unit weights must balance within epsilon-ish.
+        let mut hg = Hypergraph::new(vec![1; nodes]);
+        for i in 0..nodes - 1 {
+            hg.add_edge(1, vec![i as u32, i as u32 + 1]);
+        }
+        let p = hg.partition(k, 0.1, seed);
+        let max = *p.part_weights.iter().max().unwrap() as f64;
+        let avg = nodes as f64 / k as f64;
+        prop_assert!(max <= (avg * 1.6).max(avg + 2.0), "imbalance {max} vs avg {avg}");
+    }
+}

@@ -1,0 +1,20 @@
+//! # parendi-machine
+//!
+//! Machine models for the Parendi reproduction. These substitute for the
+//! hardware the paper measured (Graphcore M2000 IPUs, Intel ix3 and AMD
+//! ae4 x64 servers, the Manticore FPGA prototype) with analytical cost
+//! models calibrated to the paper's published constants — see DESIGN.md
+//! §2 for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod ipu;
+pub mod manticore;
+pub mod pricing;
+pub mod trends;
+pub mod x64;
+
+pub use ipu::{IpuConfig, IpuTimings};
+pub use manticore::ManticoreConfig;
+pub use pricing::{CloudInstance, CostReport};
+pub use x64::{X64Config, X64Timings};

@@ -1,0 +1,92 @@
+//! A Manticore-like machine model for the Fig. 15 comparison.
+//!
+//! Manticore (Emami et al., ASPLOS '23) is a 225-core, statically
+//! scheduled, deeply pipelined BSP RTL-simulation architecture prototyped
+//! on an FPGA at a modest clock. The paper's Fig. 15 comparison uses
+//! Manticore's published numbers; we model the same first-order facts:
+//! a *higher per-core simulation rate* than an IPU tile (huge register
+//! file, no load/store in the inner loop) but *far less parallelism*
+//! (225 vs 1472 cores) and tight FPGA memory limits.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Manticore-like model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ManticoreConfig {
+    /// Number of cores (225 in the prototype).
+    pub cores: u32,
+    /// Core clock in GHz (FPGA prototype ≈ 0.475 GHz).
+    pub clock_ghz: f64,
+    /// Per-operation cycle advantage over an IPU tile: Manticore's
+    /// register file removes most loads/stores, so the same fiber takes
+    /// fewer machine cycles.
+    pub cycles_scale: f64,
+    /// Barrier cost in cycles (static global schedule, very cheap).
+    pub barrier_cycles: u64,
+    /// On-FPGA memory available for design state, bytes.
+    pub memory_bytes: u64,
+    /// Network bytes per cycle per core.
+    pub net_bytes_per_cycle: f64,
+}
+
+impl ManticoreConfig {
+    /// The published 225-core FPGA prototype.
+    pub fn prototype() -> Self {
+        ManticoreConfig {
+            cores: 225,
+            clock_ghz: 0.475,
+            cycles_scale: 0.45,
+            barrier_cycles: 40,
+            memory_bytes: 32 << 20,
+            net_bytes_per_cycle: 2.0,
+        }
+    }
+
+    /// Whether a design with the given state fits the FPGA memory.
+    pub fn fits(&self, state_bytes: u64) -> bool {
+        state_bytes <= self.memory_bytes
+    }
+
+    /// Per-RTL-cycle machine cycles given the straggler core's IPU-cycle
+    /// cost and the per-core communication bytes.
+    pub fn cycles_per_rtl_cycle(&self, straggler_ipu_cycles: u64, comm_bytes_per_core: u64) -> f64 {
+        straggler_ipu_cycles as f64 * self.cycles_scale
+            + comm_bytes_per_core as f64 / self.net_bytes_per_cycle
+            + 2.0 * self.barrier_cycles as f64
+    }
+
+    /// Simulation rate in kHz.
+    pub fn rate_khz(&self, cycles_per_rtl_cycle: f64) -> f64 {
+        if cycles_per_rtl_cycle <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.clock_ghz * 1e6 / cycles_per_rtl_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_faster_but_fewer_cores() {
+        let m = ManticoreConfig::prototype();
+        assert!(m.cycles_scale < 1.0, "a Manticore core beats an IPU tile per op");
+        assert!(m.cores < 1472);
+    }
+
+    #[test]
+    fn memory_gate() {
+        let m = ManticoreConfig::prototype();
+        assert!(m.fits(1 << 20));
+        assert!(!m.fits(1 << 30));
+    }
+
+    #[test]
+    fn rate_math() {
+        let m = ManticoreConfig::prototype();
+        let c = m.cycles_per_rtl_cycle(100, 16);
+        assert!(c > 100.0 * m.cycles_scale);
+        assert!(m.rate_khz(c) > 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Cloud pricing model for the §6.4 cost comparison.
+//!
+//! The paper's numbers: GCore offered an IPU-POD4 classic (one M2000)
+//! for $2.13/hour; a Microsoft Azure Dv4 (Xeon 8272CL) costs $0.048 per
+//! core-hour. Compile time and cost are excluded, as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// A rentable instance with an hourly price.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CloudInstance {
+    /// Instance name.
+    pub name: String,
+    /// Price in USD per hour.
+    pub usd_per_hour: f64,
+}
+
+impl CloudInstance {
+    /// The IPU-POD4 classic instance (§6.4).
+    pub fn ipu_pod4() -> Self {
+        CloudInstance { name: "IPU-POD4".into(), usd_per_hour: 2.13 }
+    }
+
+    /// An Azure Dv4 slice with `cores` cores at $0.048/core-hour (§6.4).
+    pub fn dv4(cores: u32) -> Self {
+        CloudInstance { name: format!("Dv4-{cores}"), usd_per_hour: 0.048 * cores as f64 }
+    }
+
+    /// Cost of `hours` of use.
+    pub fn cost(&self, hours: f64) -> f64 {
+        self.usd_per_hour * hours
+    }
+}
+
+/// Time and cost of one simulation campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Instance used.
+    pub instance: String,
+    /// Wall-clock hours.
+    pub hours: f64,
+    /// Total cost in USD.
+    pub usd: f64,
+}
+
+/// Time/cost to simulate `cycles` RTL cycles at `rate_khz` on `instance`.
+pub fn simulate_cost(instance: &CloudInstance, cycles: u64, rate_khz: f64) -> CostReport {
+    let seconds = cycles as f64 / (rate_khz * 1e3);
+    let hours = seconds / 3600.0;
+    CostReport { instance: instance.name.clone(), hours, usd: instance.cost(hours) }
+}
+
+/// Time/cost to run `n_tests` independent tests of `cycles_per_test`
+/// cycles with `parallel_tests` running at once, each at `rate_khz`.
+pub fn campaign_cost(
+    instance: &CloudInstance,
+    n_tests: u32,
+    cycles_per_test: u64,
+    rate_khz: f64,
+    parallel_tests: u32,
+) -> CostReport {
+    let waves = n_tests.div_ceil(parallel_tests.max(1)) as f64;
+    let seconds_per_wave = cycles_per_test as f64 / (rate_khz * 1e3);
+    let hours = waves * seconds_per_wave / 3600.0;
+    CostReport { instance: instance.name.clone(), hours, usd: instance.cost(hours) }
+}
+
+/// The paper's break-even rule (§6.4): Dv4 with `t` threads at self-
+/// relative speedup `s` beats the 4-IPU Parendi run only when
+/// `s/t > ipu_speedup_vs_1thread * (dv4_core_price / ipu_price)`.
+pub fn dv4_breakeven_ratio(ipu_speedup_vs_single_thread: f64) -> f64 {
+    ipu_speedup_vs_single_thread * 0.048 / 2.13
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        // §6.4: sr15 for 1e9 cycles — 31.69 kHz on 4 IPUs ≈ 8.8 h, ≈ $19.
+        let r = simulate_cost(&CloudInstance::ipu_pod4(), 1_000_000_000, 31.69);
+        assert!((r.hours - 8.77).abs() < 0.1, "hours {}", r.hours);
+        assert!((r.usd - 18.67).abs() < 1.0, "usd {}", r.usd);
+        // Dv4 16-thread at 4.88 kHz ≈ 57 h, ≈ $43.7.
+        let r = simulate_cost(&CloudInstance::dv4(16), 1_000_000_000, 4.88);
+        assert!((r.hours - 56.9).abs() < 1.0, "hours {}", r.hours);
+        assert!((r.usd - 43.7).abs() < 1.0, "usd {}", r.usd);
+    }
+
+    #[test]
+    fn breakeven_matches_paper() {
+        // 142.74× IPU-vs-1-thread speedup gives the paper's 3.2 threshold.
+        let b = dv4_breakeven_ratio(142.74);
+        assert!((b - 3.216).abs() < 0.01, "breakeven {b}");
+    }
+
+    #[test]
+    fn campaign_waves() {
+        let inst = CloudInstance::dv4(16);
+        // 32 tests, 16 at a time = 2 waves.
+        let seq = campaign_cost(&inst, 32, 1_000_000, 1.0, 16);
+        let one = campaign_cost(&inst, 16, 1_000_000, 1.0, 16);
+        assert!((seq.hours / one.hours - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! The Fig. 1 trend model: package transistor counts vs single-thread
+//! performance, and the implied core count needed to simulate a
+//! state-of-the-art chip at the 2006 rate.
+//!
+//! The paper plots Rupp's microprocessor trend data. We reproduce the
+//! figure from fitted exponentials: transistor counts kept doubling
+//! roughly every 2.5 years, while single-thread SPECint growth slowed to
+//! a few percent per year after ~2006. The *required cores* line is the
+//! ratio of the two, normalized to 1 at 2006 — exactly how the paper's
+//! dashed line is constructed.
+
+/// Fitted transistor count (thousands) for a flagship package.
+pub fn transistors_k(year: f64) -> f64 {
+    // ~600 M transistors in 2006, doubling every 2 years at the package
+    // level (chiplets keep the package trend on Moore pace even as
+    // monolithic dies slow down — visible in Rupp's dataset).
+    600_000.0 * 2f64.powf((year - 2006.0) / 2.0)
+}
+
+/// Fitted single-thread SPECint (scaled ×1000 as in the figure).
+pub fn single_thread_k(year: f64) -> f64 {
+    // ~17 SPECint2006 ×1000 in 2006; ≈ +5%/year afterwards, faster before.
+    if year <= 2006.0 {
+        17_000.0 * 2f64.powf((year - 2006.0) / 1.5)
+    } else {
+        17_000.0 * 1.05f64.powf(year - 2006.0)
+    }
+}
+
+/// Cores needed to simulate a `year` flagship at the 2006 rate, assuming
+/// simulation time scales with transistors and per-core speed with
+/// single-thread performance (the dashed line of Fig. 1).
+pub fn required_cores(year: f64) -> f64 {
+    let t_growth = transistors_k(year) / transistors_k(2006.0);
+    let s_growth = single_thread_k(year) / single_thread_k(2006.0);
+    (t_growth / s_growth).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_cores_is_one_at_2006() {
+        assert!((required_cores(2006.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thousands_of_cores_by_the_2030s() {
+        // The paper's point: thousands of cores are needed by ~2030.
+        let c2024 = required_cores(2024.0);
+        let c2034 = required_cores(2034.0);
+        assert!(c2024 > 50.0, "2024 needs {c2024}");
+        assert!(c2034 > 1000.0, "2034 needs {c2034}");
+        assert!(c2034 > c2024);
+    }
+
+    #[test]
+    fn growth_gap_widens() {
+        let gap_2010 = transistors_k(2010.0) / single_thread_k(2010.0);
+        let gap_2030 = transistors_k(2030.0) / single_thread_k(2030.0);
+        assert!(gap_2030 > 10.0 * gap_2010);
+    }
+}

@@ -1,0 +1,631 @@
+//! An ergonomic, width-checked builder for [`Circuit`]s.
+//!
+//! The builder plays the role of the Verilog frontend in this
+//! reproduction (see DESIGN.md §2): designs are *constructed* through a
+//! typed Rust eDSL rather than parsed. Width errors panic at
+//! construction time with the offending hierarchical scope in the
+//! message, which is the moral equivalent of an elaboration error.
+//!
+//! # Examples
+//!
+//! A 8-bit counter with an enable input:
+//!
+//! ```
+//! use parendi_rtl::Builder;
+//!
+//! let mut b = Builder::new("counter");
+//! let en = b.input("en", 1);
+//! let count = b.reg("count", 8, 0);
+//! let one = b.lit(8, 1);
+//! let next = b.add(count.q(), one);
+//! let next = b.mux(en, next, count.q());
+//! b.connect(count, next);
+//! b.output("value", count.q());
+//! let circuit = b.finish().unwrap();
+//! assert_eq!(circuit.regs.len(), 1);
+//! ```
+
+use crate::bits::Bits;
+use crate::ir::{
+    Array, ArrayId, BinOp, Circuit, InputDecl, InputId, Node, NodeId, NodeKind, OutputDecl, RegId,
+    Register, RtlError, UnOp, WritePort,
+};
+
+/// A handle to a combinational value under construction.
+///
+/// `Signal`s are cheap copies of `(node id, width)`; all operations on
+/// them go through the [`Builder`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Signal {
+    id: NodeId,
+    width: u32,
+}
+
+impl Signal {
+    /// The node backing this signal.
+    #[inline]
+    pub fn id(self) -> NodeId {
+        self.id
+    }
+
+    /// The signal width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+}
+
+/// A handle to a register: its id plus its read (current-value) signal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Reg {
+    id: RegId,
+    q: Signal,
+}
+
+impl Reg {
+    /// The register id.
+    #[inline]
+    pub fn id(self) -> RegId {
+        self.id
+    }
+
+    /// The register's current-value (`q`) signal.
+    #[inline]
+    pub fn q(self) -> Signal {
+        self.q
+    }
+}
+
+/// A handle to a memory array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArrayHandle {
+    id: ArrayId,
+    width: u32,
+    depth: u32,
+}
+
+impl ArrayHandle {
+    /// The array id.
+    #[inline]
+    pub fn id(self) -> ArrayId {
+        self.id
+    }
+
+    /// Element width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn depth(self) -> u32 {
+        self.depth
+    }
+}
+
+/// Incrementally builds a [`Circuit`].
+///
+/// See the [module documentation](self) for an example.
+#[derive(Debug)]
+pub struct Builder {
+    circuit: Circuit,
+    scopes: Vec<String>,
+}
+
+impl Builder {
+    /// Starts a new design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Builder { circuit: Circuit::new(name), scopes: Vec::new() }
+    }
+
+    /// Enters a naming scope; registers and arrays declared inside get
+    /// `scope.`-prefixed hierarchical names.
+    pub fn push_scope(&mut self, name: impl Into<String>) {
+        self.scopes.push(name.into());
+    }
+
+    /// Leaves the innermost naming scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop().expect("pop_scope with no open scope");
+    }
+
+    /// Runs `f` inside a named scope.
+    pub fn scoped<T>(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.push_scope(name);
+        let out = f(self);
+        self.pop_scope();
+        out
+    }
+
+    fn qualified(&self, name: &str) -> String {
+        if self.scopes.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scopes.join("."), name)
+        }
+    }
+
+    fn push(&mut self, kind: NodeKind, width: u32) -> Signal {
+        assert!(width >= 1, "zero-width signal in scope `{}`", self.scopes.join("."));
+        let id = NodeId(self.circuit.nodes.len() as u32);
+        self.circuit.nodes.push(Node { kind, width });
+        Signal { id, width }
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> Signal {
+        let id = InputId(self.circuit.inputs.len() as u32);
+        self.circuit.inputs.push(InputDecl { name: self.qualified(&name.into()), width });
+        self.push(NodeKind::Input(id), width)
+    }
+
+    /// Declares a primary output driven by `sig`.
+    pub fn output(&mut self, name: impl Into<String>, sig: Signal) {
+        let name = self.qualified(&name.into());
+        self.circuit.outputs.push(OutputDecl { name, node: sig.id() });
+    }
+
+    /// A literal constant of the given width (value truncated).
+    pub fn lit(&mut self, width: u32, value: u64) -> Signal {
+        self.lit_bits(Bits::from_u64(width, value))
+    }
+
+    /// A literal constant from a [`Bits`] value.
+    pub fn lit_bits(&mut self, value: Bits) -> Signal {
+        let w = value.width();
+        self.push(NodeKind::Const(value), w)
+    }
+
+    /// Declares a register with a `u64` power-on value.
+    pub fn reg(&mut self, name: impl Into<String>, width: u32, init: u64) -> Reg {
+        self.reg_init(name, Bits::from_u64(width, init))
+    }
+
+    /// Declares a register with an arbitrary power-on value.
+    pub fn reg_init(&mut self, name: impl Into<String>, init: Bits) -> Reg {
+        let width = init.width();
+        let id = RegId(self.circuit.regs.len() as u32);
+        self.circuit.regs.push(Register {
+            name: self.qualified(&name.into()),
+            width,
+            init,
+            next: None,
+        });
+        let q = self.push(NodeKind::RegRead(id), width);
+        Reg { id, q }
+    }
+
+    /// Connects a register's next value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or double connection.
+    pub fn connect(&mut self, reg: Reg, next: Signal) {
+        let r = &mut self.circuit.regs[reg.id.index()];
+        assert_eq!(r.width, next.width(), "connect width mismatch on reg `{}`", r.name);
+        assert!(r.next.is_none(), "register `{}` connected twice", r.name);
+        r.next = Some(next.id());
+    }
+
+    /// Declares a register that loads `d` when `en` is high, else holds.
+    pub fn reg_en(&mut self, name: impl Into<String>, en: Signal, d: Signal, init: u64) -> Reg {
+        let r = self.reg(name, d.width(), init);
+        let next = self.mux(en, d, r.q());
+        self.connect(r, next);
+        r
+    }
+
+    /// Declares a memory array with all-zero initial contents.
+    pub fn array(&mut self, name: impl Into<String>, width: u32, depth: u32) -> ArrayHandle {
+        assert!(width >= 1 && depth >= 1, "degenerate array");
+        let id = ArrayId(self.circuit.arrays.len() as u32);
+        self.circuit.arrays.push(Array {
+            name: self.qualified(&name.into()),
+            width,
+            depth,
+            init: None,
+            write_ports: Vec::new(),
+        });
+        ArrayHandle { id, width, depth }
+    }
+
+    /// Declares a memory array with explicit initial contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is empty or element widths differ.
+    pub fn array_init(&mut self, name: impl Into<String>, init: Vec<Bits>) -> ArrayHandle {
+        assert!(!init.is_empty(), "empty array init");
+        let width = init[0].width();
+        assert!(init.iter().all(|b| b.width() == width), "ragged array init");
+        let depth = init.len() as u32;
+        let h = self.array(name, width, depth);
+        self.circuit.arrays[h.id.index()].init = Some(init);
+        h
+    }
+
+    /// A combinational read port on `arr` at `index`.
+    pub fn array_read(&mut self, arr: ArrayHandle, index: Signal) -> Signal {
+        self.push(NodeKind::ArrayRead { array: arr.id, index: index.id() }, arr.width)
+    }
+
+    /// Adds a clocked write port to `arr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not match the element width or `enable` is
+    /// not 1 bit.
+    pub fn array_write(&mut self, arr: ArrayHandle, index: Signal, data: Signal, enable: Signal) {
+        assert_eq!(data.width(), arr.width, "array write data width");
+        assert_eq!(enable.width(), 1, "array write enable width");
+        self.circuit.arrays[arr.id.index()].write_ports.push(WritePort {
+            index: index.id(),
+            data: data.id(),
+            enable: enable.id(),
+        });
+    }
+
+    fn bin(&mut self, op: BinOp, a: Signal, b: Signal) -> Signal {
+        if !op.is_shift() {
+            assert_eq!(
+                a.width(),
+                b.width(),
+                "{op:?} width mismatch in scope `{}`",
+                self.scopes.join(".")
+            );
+        }
+        let w = if op.is_comparison() { 1 } else { a.width() };
+        self.push(NodeKind::Bin(op, a.id(), b.id()), w)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication (truncated).
+    pub fn mul(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Equality comparison (1 bit).
+    pub fn eq(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::Eq, a, b)
+    }
+
+    /// Inequality comparison (1 bit).
+    pub fn ne(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::Ne, a, b)
+    }
+
+    /// Unsigned less-than (1 bit).
+    pub fn lt_u(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::LtU, a, b)
+    }
+
+    /// Signed less-than (1 bit).
+    pub fn lt_s(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::LtS, a, b)
+    }
+
+    /// Unsigned less-or-equal (1 bit).
+    pub fn le_u(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::LeU, a, b)
+    }
+
+    /// Signed less-or-equal (1 bit).
+    pub fn le_s(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::LeS, a, b)
+    }
+
+    /// Unsigned greater-or-equal (1 bit).
+    pub fn ge_u(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::LeU, b, a)
+    }
+
+    /// Unsigned greater-than (1 bit).
+    pub fn gt_u(&mut self, a: Signal, b: Signal) -> Signal {
+        self.bin(BinOp::LtU, b, a)
+    }
+
+    /// Dynamic logical shift left.
+    pub fn shl(&mut self, a: Signal, sh: Signal) -> Signal {
+        self.bin(BinOp::Shl, a, sh)
+    }
+
+    /// Dynamic logical shift right.
+    pub fn lshr(&mut self, a: Signal, sh: Signal) -> Signal {
+        self.bin(BinOp::Lshr, a, sh)
+    }
+
+    /// Dynamic arithmetic shift right.
+    pub fn ashr(&mut self, a: Signal, sh: Signal) -> Signal {
+        self.bin(BinOp::Ashr, a, sh)
+    }
+
+    /// Shift left by a constant (free: wired as slice + concat-with-zeros).
+    pub fn shli(&mut self, a: Signal, sh: u32) -> Signal {
+        if sh == 0 {
+            return a;
+        }
+        if sh >= a.width() {
+            return self.lit(a.width(), 0);
+        }
+        let kept = self.slice(a, a.width() - 1 - sh, 0);
+        let zeros = self.lit(sh, 0);
+        self.concat(kept, zeros)
+    }
+
+    /// Logical shift right by a constant (free).
+    pub fn lshri(&mut self, a: Signal, sh: u32) -> Signal {
+        if sh == 0 {
+            return a;
+        }
+        if sh >= a.width() {
+            return self.lit(a.width(), 0);
+        }
+        let kept = self.slice(a, a.width() - 1, sh);
+        self.zext(kept, a.width())
+    }
+
+    /// Rotate right by a constant (free).
+    pub fn rotr(&mut self, a: Signal, sh: u32) -> Signal {
+        let sh = sh % a.width();
+        if sh == 0 {
+            return a;
+        }
+        let low = self.slice(a, sh - 1, 0);
+        let high = self.slice(a, a.width() - 1, sh);
+        self.concat(low, high)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: Signal) -> Signal {
+        let w = a.width();
+        self.push(NodeKind::Un(UnOp::Not, a.id()), w)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: Signal) -> Signal {
+        let w = a.width();
+        self.push(NodeKind::Un(UnOp::Neg, a.id()), w)
+    }
+
+    /// AND-reduction to 1 bit.
+    pub fn red_and(&mut self, a: Signal) -> Signal {
+        self.push(NodeKind::Un(UnOp::RedAnd, a.id()), 1)
+    }
+
+    /// OR-reduction to 1 bit.
+    pub fn red_or(&mut self, a: Signal) -> Signal {
+        self.push(NodeKind::Un(UnOp::RedOr, a.id()), 1)
+    }
+
+    /// XOR-reduction to 1 bit.
+    pub fn red_xor(&mut self, a: Signal) -> Signal {
+        self.push(NodeKind::Un(UnOp::RedXor, a.id()), 1)
+    }
+
+    /// Two-way multiplexer: `if sel { t } else { f }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel` is not 1 bit or the arms differ in width.
+    pub fn mux(&mut self, sel: Signal, t: Signal, f: Signal) -> Signal {
+        assert_eq!(sel.width(), 1, "mux select must be 1 bit");
+        assert_eq!(t.width(), f.width(), "mux arm width mismatch");
+        let w = t.width();
+        self.push(NodeKind::Mux { sel: sel.id(), t: t.id(), f: f.id() }, w)
+    }
+
+    /// N-way one-hot style selection from `(sel_bit, value)` pairs with a
+    /// default; later entries take priority.
+    pub fn select(&mut self, cases: &[(Signal, Signal)], default: Signal) -> Signal {
+        let mut out = default;
+        for &(cond, val) in cases {
+            out = self.mux(cond, val, out);
+        }
+        out
+    }
+
+    /// Bit extraction `a[hi..=lo]`.
+    pub fn slice(&mut self, a: Signal, hi: u32, lo: u32) -> Signal {
+        assert!(hi >= lo && hi < a.width(), "bad slice [{hi}:{lo}] of {} bits", a.width());
+        if lo == 0 && hi == a.width() - 1 {
+            return a;
+        }
+        self.push(NodeKind::Slice { src: a.id(), lo }, hi - lo + 1)
+    }
+
+    /// The single bit `a[i]`.
+    pub fn bit(&mut self, a: Signal, i: u32) -> Signal {
+        self.slice(a, i, i)
+    }
+
+    /// Zero-extension (or truncation) to `width`.
+    pub fn zext(&mut self, a: Signal, width: u32) -> Signal {
+        if width == a.width() {
+            return a;
+        }
+        self.push(NodeKind::Zext(a.id()), width)
+    }
+
+    /// Sign-extension (or truncation) to `width`.
+    pub fn sext(&mut self, a: Signal, width: u32) -> Signal {
+        if width == a.width() {
+            return a;
+        }
+        self.push(NodeKind::Sext(a.id()), width)
+    }
+
+    /// Concatenation `{hi, lo}`.
+    pub fn concat(&mut self, hi: Signal, lo: Signal) -> Signal {
+        let w = hi.width() + lo.width();
+        self.push(NodeKind::Concat { hi: hi.id(), lo: lo.id() }, w)
+    }
+
+    /// Concatenation of many parts, first element highest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn cat(&mut self, parts: &[Signal]) -> Signal {
+        let (&first, rest) = parts.split_first().expect("cat of zero signals");
+        rest.iter().fold(first, |acc, &p| self.concat(acc, p))
+    }
+
+    /// Replicates `a` `n` times.
+    pub fn repeat(&mut self, a: Signal, n: u32) -> Signal {
+        assert!(n >= 1, "repeat count must be >= 1");
+        let mut out = a;
+        for _ in 1..n {
+            out = self.concat(out, a);
+        }
+        out
+    }
+
+    /// 1-bit logical negation.
+    pub fn lnot(&mut self, a: Signal) -> Signal {
+        assert_eq!(a.width(), 1, "lnot expects a 1-bit signal");
+        self.not(a)
+    }
+
+    /// Nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.circuit.nodes.len()
+    }
+
+    /// Finishes the design and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`RtlError`] found by [`Circuit::validate`], e.g. an
+    /// unconnected register.
+    pub fn finish(self) -> Result<Circuit, RtlError> {
+        self.circuit.validate()?;
+        Ok(self.circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_builds_and_validates() {
+        let mut b = Builder::new("c");
+        let en = b.input("en", 1);
+        let r = b.reg("count", 8, 0);
+        let one = b.lit(8, 1);
+        let inc = b.add(r.q(), one);
+        let nxt = b.mux(en, inc, r.q());
+        b.connect(r, nxt);
+        b.output("q", r.q());
+        let c = b.finish().unwrap();
+        assert_eq!(c.regs.len(), 1);
+        assert_eq!(c.inputs.len(), 1);
+        assert_eq!(c.outputs.len(), 1);
+        assert_eq!(c.sink_nodes().len(), 1);
+    }
+
+    #[test]
+    fn unconnected_register_is_an_error() {
+        let mut b = Builder::new("c");
+        let _ = b.reg("r", 4, 0);
+        assert!(matches!(b.finish(), Err(RtlError::UnconnectedRegister { .. })));
+    }
+
+    #[test]
+    fn scoped_names() {
+        let mut b = Builder::new("c");
+        b.scoped("core0", |b| {
+            b.scoped("alu", |b| {
+                let r = b.reg("acc", 8, 0);
+                b.connect(r, r.q());
+            });
+        });
+        let c = b.finish().unwrap();
+        assert_eq!(c.regs[0].name, "core0.alu.acc");
+    }
+
+    #[test]
+    fn static_shift_helpers() {
+        let mut b = Builder::new("c");
+        let r = b.reg("r", 8, 0);
+        let s1 = b.shli(r.q(), 3);
+        let s2 = b.lshri(r.q(), 3);
+        let s3 = b.rotr(r.q(), 3);
+        assert_eq!(s1.width(), 8);
+        assert_eq!(s2.width(), 8);
+        assert_eq!(s3.width(), 8);
+        let z = b.shli(r.q(), 8);
+        let f = b.xor(s1, s2);
+        let g = b.xor(f, s3);
+        let h = b.xor(g, z);
+        b.connect(r, h);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn array_ports_validate() {
+        let mut b = Builder::new("c");
+        let addr = b.input("addr", 4);
+        let data = b.input("data", 32);
+        let we = b.input("we", 1);
+        let mem = b.array("mem", 32, 16);
+        let rd = b.array_read(mem, addr);
+        b.array_write(mem, addr, data, we);
+        b.output("rdata", rd);
+        let c = b.finish().unwrap();
+        assert_eq!(c.arrays[0].write_ports.len(), 1);
+        assert_eq!(c.arrays[0].size_bytes(), 16 * 8);
+        // Three sink nodes per write port.
+        assert_eq!(c.sink_nodes().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mux arm width mismatch")]
+    fn mux_width_mismatch_panics() {
+        let mut b = Builder::new("c");
+        let s = b.input("s", 1);
+        let a = b.input("a", 4);
+        let c = b.input("c", 5);
+        let _ = b.mux(s, a, c);
+    }
+
+    #[test]
+    fn repeat_and_cat() {
+        let mut b = Builder::new("c");
+        let a = b.input("a", 2);
+        let r = b.repeat(a, 3);
+        assert_eq!(r.width(), 6);
+        let d = b.input("d", 3);
+        let x = b.cat(&[a, d, a]);
+        assert_eq!(x.width(), 7);
+    }
+}

@@ -1,0 +1,543 @@
+//! The structural RTL intermediate representation.
+//!
+//! A [`Circuit`] is a flat data-dependence graph: an append-only list of
+//! combinational [`Node`]s plus the stateful elements they connect —
+//! [`Register`]s and [`Array`]s (SRAM-like memories with explicit write
+//! ports). Because nodes may only reference earlier nodes, the
+//! combinational graph is acyclic *by construction*; registers and arrays
+//! are the only cycle-breaking elements, exactly as in the paper's §3.2
+//! data-dependence-graph formulation (each register is split into a
+//! read-only *current* value and a write-only *next* value).
+//!
+//! Circuits are normally built through [`crate::builder::Builder`], which
+//! maintains width invariants as it goes; [`Circuit::validate`] re-checks
+//! them wholesale.
+
+use crate::bits::Bits;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a combinational node within a [`Circuit`].
+    NodeId
+);
+id_type!(
+    /// Identifies a register within a [`Circuit`].
+    RegId
+);
+id_type!(
+    /// Identifies a memory array within a [`Circuit`].
+    ArrayId
+);
+id_type!(
+    /// Identifies a primary input within a [`Circuit`].
+    InputId
+);
+
+/// Unary combinational operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// AND-reduction to 1 bit.
+    RedAnd,
+    /// OR-reduction to 1 bit.
+    RedOr,
+    /// XOR-reduction (parity) to 1 bit.
+    RedXor,
+}
+
+/// Binary combinational operators.
+///
+/// Logic/arithmetic operators require equal operand widths and produce
+/// that width; comparisons produce 1 bit; shifts take an arbitrary-width
+/// shift amount and preserve the left operand's width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (truncated to operand width).
+    Mul,
+    /// Equality (1-bit result).
+    Eq,
+    /// Inequality (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    LtU,
+    /// Signed less-than (1-bit result).
+    LtS,
+    /// Unsigned less-or-equal (1-bit result).
+    LeU,
+    /// Signed less-or-equal (1-bit result).
+    LeS,
+    /// Logical shift left by a dynamic amount.
+    Shl,
+    /// Logical shift right by a dynamic amount.
+    Lshr,
+    /// Arithmetic shift right by a dynamic amount.
+    Ashr,
+}
+
+impl BinOp {
+    /// Whether this operator produces a 1-bit comparison result.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::LtU | BinOp::LtS | BinOp::LeU | BinOp::LeS)
+    }
+
+    /// Whether this operator is a shift (right operand width is free).
+    pub fn is_shift(self) -> bool {
+        matches!(self, BinOp::Shl | BinOp::Lshr | BinOp::Ashr)
+    }
+}
+
+/// The operation computed by a [`Node`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NodeKind {
+    /// A literal constant.
+    Const(Bits),
+    /// A primary input of the circuit.
+    Input(InputId),
+    /// The *current* (leading-edge) value of a register.
+    RegRead(RegId),
+    /// A combinational read port on an array.
+    ArrayRead {
+        /// The array being read.
+        array: ArrayId,
+        /// Element index (any width; out-of-range reads return zero).
+        index: NodeId,
+    },
+    /// A unary operator.
+    Un(UnOp, NodeId),
+    /// A binary operator.
+    Bin(BinOp, NodeId, NodeId),
+    /// A two-way multiplexer: `if sel { t } else { f }`.
+    Mux {
+        /// 1-bit select.
+        sel: NodeId,
+        /// Value when `sel` is one.
+        t: NodeId,
+        /// Value when `sel` is zero.
+        f: NodeId,
+    },
+    /// Bit extraction `src[lo + width - 1 .. lo]` (width is the node width).
+    Slice {
+        /// Source node.
+        src: NodeId,
+        /// Low bit index.
+        lo: u32,
+    },
+    /// Zero-extension (or truncation) to the node width.
+    Zext(NodeId),
+    /// Sign-extension (or truncation) to the node width.
+    Sext(NodeId),
+    /// Concatenation `{hi, lo}`.
+    Concat {
+        /// High bits.
+        hi: NodeId,
+        /// Low bits.
+        lo: NodeId,
+    },
+}
+
+/// A combinational node: an operation plus its result width.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    /// The operation.
+    pub kind: NodeKind,
+    /// Result width in bits.
+    pub width: u32,
+}
+
+impl Node {
+    /// Visits every node this node depends on.
+    pub fn for_each_operand(&self, mut f: impl FnMut(NodeId)) {
+        match &self.kind {
+            NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => {}
+            NodeKind::ArrayRead { index, .. } => f(*index),
+            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a) | NodeKind::Sext(a) => f(*a),
+            NodeKind::Bin(_, a, b) | NodeKind::Concat { hi: a, lo: b } => {
+                f(*a);
+                f(*b);
+            }
+            NodeKind::Mux { sel, t, f: fv } => {
+                f(*sel);
+                f(*t);
+                f(*fv);
+            }
+        }
+    }
+
+    /// Whether this node is a source (has no operands).
+    pub fn is_source(&self) -> bool {
+        matches!(self.kind, NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_))
+    }
+}
+
+/// A clocked register.
+#[derive(Clone, Debug)]
+pub struct Register {
+    /// Hierarchical name (scopes joined with `.`).
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+    /// Power-on value.
+    pub init: Bits,
+    /// The node computing the next value; `None` until connected.
+    pub next: Option<NodeId>,
+}
+
+/// A write port on an [`Array`].
+#[derive(Clone, Copy, Debug)]
+pub struct WritePort {
+    /// Element index to write.
+    pub index: NodeId,
+    /// Data to write.
+    pub data: NodeId,
+    /// 1-bit write enable.
+    pub enable: NodeId,
+}
+
+/// A memory array (e.g. a register file or SRAM bank).
+///
+/// Reads are combinational ([`NodeKind::ArrayRead`]); writes happen at the
+/// clock edge through [`WritePort`]s. When several enabled ports target
+/// the same index in one cycle, the *last-declared* port wins.
+#[derive(Clone, Debug)]
+pub struct Array {
+    /// Hierarchical name.
+    pub name: String,
+    /// Element width in bits.
+    pub width: u32,
+    /// Number of elements.
+    pub depth: u32,
+    /// Optional per-element initial contents (defaults to zeros).
+    pub init: Option<Vec<Bits>>,
+    /// Write ports, applied in declaration order.
+    pub write_ports: Vec<WritePort>,
+}
+
+impl Array {
+    /// Total data size of the array in bytes (width rounded up to words).
+    pub fn size_bytes(&self) -> u64 {
+        crate::bits::words_for(self.width) as u64 * 8 * self.depth as u64
+    }
+}
+
+/// A primary input declaration.
+#[derive(Clone, Debug)]
+pub struct InputDecl {
+    /// Name of the input.
+    pub name: String,
+    /// Width in bits.
+    pub width: u32,
+}
+
+/// A primary output declaration.
+#[derive(Clone, Debug)]
+pub struct OutputDecl {
+    /// Name of the output.
+    pub name: String,
+    /// The node driving this output.
+    pub node: NodeId,
+}
+
+/// A complete RTL design as a data-dependence graph.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    /// Design name.
+    pub name: String,
+    /// Combinational nodes in topological (construction) order.
+    pub nodes: Vec<Node>,
+    /// Registers.
+    pub regs: Vec<Register>,
+    /// Memory arrays.
+    pub arrays: Vec<Array>,
+    /// Primary inputs.
+    pub inputs: Vec<InputDecl>,
+    /// Primary outputs.
+    pub outputs: Vec<OutputDecl>,
+}
+
+/// An error found by [`Circuit::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlError {
+    /// A node's operand widths are inconsistent with its kind.
+    WidthMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A node references a node at or after itself (graph not topological).
+    ForwardReference {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A register's `next` was never connected.
+    UnconnectedRegister {
+        /// The offending register.
+        reg: RegId,
+    },
+    /// An id is out of range.
+    DanglingId {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::WidthMismatch { node, detail } => {
+                write!(f, "width mismatch at {node:?}: {detail}")
+            }
+            RtlError::ForwardReference { node } => {
+                write!(f, "node {node:?} references a later node")
+            }
+            RtlError::UnconnectedRegister { reg } => {
+                write!(f, "register {reg:?} has no next-value connection")
+            }
+            RtlError::DanglingId { detail } => write!(f, "dangling id: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+impl Circuit {
+    /// Creates an empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit { name: name.into(), ..Default::default() }
+    }
+
+    /// The node table entry for `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The width of node `id`.
+    #[inline]
+    pub fn width(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].width
+    }
+
+    /// All *sink* nodes: register next-values plus array write-port
+    /// index/data/enable nodes. These are the roots of fiber extraction.
+    pub fn sink_nodes(&self) -> Vec<NodeId> {
+        let mut sinks = Vec::new();
+        for r in &self.regs {
+            if let Some(n) = r.next {
+                sinks.push(n);
+            }
+        }
+        for a in &self.arrays {
+            for p in &a.write_ports {
+                sinks.push(p.index);
+                sinks.push(p.data);
+                sinks.push(p.enable);
+            }
+        }
+        sinks
+    }
+
+    /// Total register state in bits.
+    pub fn state_bits(&self) -> u64 {
+        self.regs.iter().map(|r| r.width as u64).sum()
+    }
+
+    /// Total array state in bytes.
+    pub fn array_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.size_bytes()).sum()
+    }
+
+    /// Checks all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found: width mismatches, forward
+    /// references, unconnected registers, or out-of-range ids.
+    pub fn validate(&self) -> Result<(), RtlError> {
+        let n = self.nodes.len() as u32;
+        let check_id = |at: NodeId, id: NodeId| {
+            if id.0 >= at.0 {
+                Err(RtlError::ForwardReference { node: at })
+            } else {
+                Ok(())
+            }
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            let mut op_err = None;
+            node.for_each_operand(|op| {
+                if op_err.is_none() {
+                    op_err = check_id(id, op).err();
+                }
+            });
+            if let Some(e) = op_err {
+                return Err(e);
+            }
+            self.validate_node(id, node)?;
+        }
+        for (i, r) in self.regs.iter().enumerate() {
+            let next = r.next.ok_or(RtlError::UnconnectedRegister { reg: RegId(i as u32) })?;
+            if next.0 >= n {
+                return Err(RtlError::DanglingId { detail: format!("reg {} next {next:?}", r.name) });
+            }
+            if self.width(next) != r.width {
+                return Err(RtlError::WidthMismatch {
+                    node: next,
+                    detail: format!("reg {} is {} bits but next is {}", r.name, r.width, self.width(next)),
+                });
+            }
+            if r.init.width() != r.width {
+                return Err(RtlError::WidthMismatch {
+                    node: next,
+                    detail: format!("reg {} init width {}", r.name, r.init.width()),
+                });
+            }
+        }
+        for a in &self.arrays {
+            if let Some(init) = &a.init {
+                if init.len() != a.depth as usize || init.iter().any(|b| b.width() != a.width) {
+                    return Err(RtlError::DanglingId {
+                        detail: format!("array {} init shape mismatch", a.name),
+                    });
+                }
+            }
+            for p in &a.write_ports {
+                for (what, id) in [("index", p.index), ("data", p.data), ("enable", p.enable)] {
+                    if id.0 >= n {
+                        return Err(RtlError::DanglingId {
+                            detail: format!("array {} port {what} {id:?}", a.name),
+                        });
+                    }
+                }
+                if self.width(p.data) != a.width {
+                    return Err(RtlError::WidthMismatch {
+                        node: p.data,
+                        detail: format!("array {} data width {}", a.name, self.width(p.data)),
+                    });
+                }
+                if self.width(p.enable) != 1 {
+                    return Err(RtlError::WidthMismatch {
+                        node: p.enable,
+                        detail: format!("array {} enable must be 1 bit", a.name),
+                    });
+                }
+            }
+        }
+        for o in &self.outputs {
+            if o.node.0 >= n {
+                return Err(RtlError::DanglingId { detail: format!("output {}", o.name) });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_node(&self, id: NodeId, node: &Node) -> Result<(), RtlError> {
+        let w = |nid: NodeId| self.width(nid);
+        let err = |detail: String| Err(RtlError::WidthMismatch { node: id, detail });
+        match &node.kind {
+            NodeKind::Const(b) => {
+                if b.width() != node.width {
+                    return err(format!("const width {} vs node {}", b.width(), node.width));
+                }
+            }
+            NodeKind::Input(i) => {
+                let decl = self
+                    .inputs
+                    .get(i.index())
+                    .ok_or(RtlError::DanglingId { detail: format!("{i:?}") })?;
+                if decl.width != node.width {
+                    return err(format!("input {} width {}", decl.name, decl.width));
+                }
+            }
+            NodeKind::RegRead(r) => {
+                let reg =
+                    self.regs.get(r.index()).ok_or(RtlError::DanglingId { detail: format!("{r:?}") })?;
+                if reg.width != node.width {
+                    return err(format!("reg {} width {}", reg.name, reg.width));
+                }
+            }
+            NodeKind::ArrayRead { array, .. } => {
+                let arr = self
+                    .arrays
+                    .get(array.index())
+                    .ok_or(RtlError::DanglingId { detail: format!("{array:?}") })?;
+                if arr.width != node.width {
+                    return err(format!("array {} width {}", arr.name, arr.width));
+                }
+            }
+            NodeKind::Un(op, a) => {
+                let expect = match op {
+                    UnOp::Not | UnOp::Neg => w(*a),
+                    UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => 1,
+                };
+                if node.width != expect {
+                    return err(format!("{op:?} produces {expect} bits"));
+                }
+            }
+            NodeKind::Bin(op, a, b) => {
+                if !op.is_shift() && w(*a) != w(*b) {
+                    return err(format!("{op:?} operands {} vs {}", w(*a), w(*b)));
+                }
+                let expect = if op.is_comparison() { 1 } else { w(*a) };
+                if node.width != expect {
+                    return err(format!("{op:?} produces {expect} bits"));
+                }
+            }
+            NodeKind::Mux { sel, t, f } => {
+                if w(*sel) != 1 {
+                    return err("mux select must be 1 bit".into());
+                }
+                if w(*t) != w(*f) || w(*t) != node.width {
+                    return err(format!("mux arms {} vs {}", w(*t), w(*f)));
+                }
+            }
+            NodeKind::Slice { src, lo } => {
+                if lo + node.width > w(*src) {
+                    return err(format!("slice [{}..{}] of {} bits", lo + node.width - 1, lo, w(*src)));
+                }
+            }
+            NodeKind::Zext(_) | NodeKind::Sext(_) => {}
+            NodeKind::Concat { hi, lo } => {
+                if node.width != w(*hi) + w(*lo) {
+                    return err(format!("concat {} + {}", w(*hi), w(*lo)));
+                }
+            }
+        }
+        Ok(())
+    }
+}

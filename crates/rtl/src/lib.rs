@@ -1,0 +1,50 @@
+//! # parendi-rtl
+//!
+//! The RTL substrate of the Parendi reproduction: arbitrary-width
+//! [`Bits`] values, a structural data-dependence-graph IR
+//! ([`ir::Circuit`]), a width-checked construction eDSL
+//! ([`builder::Builder`]) that stands in for the Verilog frontend, and
+//! design-size statistics ([`stats()`](stats()) in the [`stats`](stats/index.html) module).
+//!
+//! Downstream crates consume circuits produced here: `parendi-graph`
+//! extracts fibers, `parendi-core` partitions them, and `parendi-sim`
+//! executes them under the BSP model.
+//!
+//! # Examples
+//!
+//! ```
+//! use parendi_rtl::{Builder, Bits};
+//!
+//! let mut b = Builder::new("xorshift");
+//! let state = b.reg_init("s", Bits::from_u64(64, 0x2545F4914F6CDD1D));
+//! let t1 = b.shli(state.q(), 13);
+//! let x1 = b.xor(state.q(), t1);
+//! let t2 = b.lshri(x1, 7);
+//! let x2 = b.xor(x1, t2);
+//! let t3 = b.shli(x2, 17);
+//! let x3 = b.xor(x2, t3);
+//! b.connect(state, x3);
+//! b.output("out", state.q());
+//! let circuit = b.finish()?;
+//! assert!(circuit.nodes.len() > 6);
+//! # Ok::<(), parendi_rtl::RtlError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod builder;
+pub mod ir;
+pub mod opt;
+pub mod stats;
+pub mod verilog;
+
+pub use bits::{Bits, MAX_WIDTH};
+pub use builder::{ArrayHandle, Builder, Reg, Signal};
+pub use ir::{
+    Array, ArrayId, BinOp, Circuit, InputDecl, InputId, Node, NodeId, NodeKind, OutputDecl, RegId,
+    Register, RtlError, UnOp, WritePort,
+};
+pub use opt::{optimize, OptStats};
+pub use stats::{stats, CircuitStats};
+pub use verilog::to_verilog;

@@ -1,0 +1,373 @@
+//! Circuit optimization passes.
+//!
+//! Parendi inherits Verilator's optimizer and extends it (§5.2); this
+//! module provides the equivalents that matter for a structural IR:
+//! constant folding, common-subexpression elimination, and dead-code
+//! elimination, fused into one rebuild. [`optimize`] preserves observable
+//! semantics exactly — registers, arrays, inputs and outputs keep their
+//! indices — which the simulator-backed property tests verify.
+
+use crate::bits::Bits;
+use crate::ir::{BinOp, Circuit, Node, NodeId, NodeKind, UnOp};
+use std::collections::HashMap;
+
+/// Statistics from one [`optimize`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Nodes in the input circuit.
+    pub nodes_before: u64,
+    /// Nodes after folding/CSE/DCE.
+    pub nodes_after: u64,
+    /// Nodes replaced by literal constants.
+    pub folded: u64,
+    /// Nodes deduplicated by CSE.
+    pub deduped: u64,
+}
+
+/// Evaluates a node whose operands are all literal constants.
+fn fold(kind: &NodeKind, width: u32, operand: impl Fn(NodeId) -> Option<Bits>) -> Option<Bits> {
+    Some(match kind {
+        NodeKind::Const(b) => b.clone(),
+        NodeKind::Un(op, a) => {
+            let a = operand(*a)?;
+            match op {
+                UnOp::Not => a.not(),
+                UnOp::Neg => a.neg(),
+                UnOp::RedAnd => Bits::from(a.red_and()),
+                UnOp::RedOr => Bits::from(a.red_or()),
+                UnOp::RedXor => Bits::from(a.red_xor()),
+            }
+        }
+        NodeKind::Bin(op, a, b) => {
+            let (a, b) = (operand(*a)?, operand(*b)?);
+            match op {
+                BinOp::And => a.and(&b),
+                BinOp::Or => a.or(&b),
+                BinOp::Xor => a.xor(&b),
+                BinOp::Add => a.add(&b),
+                BinOp::Sub => a.sub(&b),
+                BinOp::Mul => a.mul(&b),
+                BinOp::Eq => Bits::from(a == b),
+                BinOp::Ne => Bits::from(a != b),
+                BinOp::LtU => Bits::from(a.lt_u(&b)),
+                BinOp::LtS => Bits::from(a.lt_s(&b)),
+                BinOp::LeU => Bits::from(!b.lt_u(&a)),
+                BinOp::LeS => Bits::from(!b.lt_s(&a)),
+                BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                    let sh = b.try_to_u64().unwrap_or(u64::MAX).min(a.width() as u64) as u32;
+                    match op {
+                        BinOp::Shl => a.shl(sh),
+                        BinOp::Lshr => a.lshr(sh),
+                        _ => a.ashr(sh),
+                    }
+                }
+            }
+        }
+        NodeKind::Mux { sel, t, f } => {
+            let s = operand(*sel)?;
+            if s.to_u64() & 1 == 1 {
+                operand(*t)?
+            } else {
+                operand(*f)?
+            }
+        }
+        NodeKind::Slice { src, lo } => operand(*src)?.slice(lo + width - 1, *lo),
+        NodeKind::Zext(a) => operand(*a)?.zext(width),
+        NodeKind::Sext(a) => operand(*a)?.sext(width),
+        NodeKind::Concat { hi, lo } => operand(*hi)?.concat(&operand(*lo)?),
+        NodeKind::Input(_) | NodeKind::RegRead(_) | NodeKind::ArrayRead { .. } => return None,
+    })
+}
+
+/// A hashable structural key for CSE (operands already remapped).
+fn cse_key(kind: &NodeKind, width: u32) -> Option<(String, u32)> {
+    // Sources are never deduplicated (each RegRead/Input node is already
+    // unique per register/input after remapping anyway, but keeping them
+    // out avoids aliasing array reads with side-conditions).
+    match kind {
+        NodeKind::ArrayRead { .. } => None,
+        _ => Some((format!("{kind:?}"), width)),
+    }
+}
+
+/// Constant-folds, deduplicates and dead-code-eliminates `circuit`.
+///
+/// Registers, arrays, inputs and outputs are preserved with their
+/// original indices; only combinational nodes are rewritten.
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
+    let n = circuit.nodes.len();
+    let mut stats =
+        OptStats { nodes_before: n as u64, ..Default::default() };
+
+    // ---- Pass 1 (forward): fold + CSE into a tentative node list.
+    let mut remap = vec![NodeId(0); n];
+    let mut new_nodes: Vec<Node> = Vec::with_capacity(n);
+    let mut const_of: HashMap<u32, Bits> = HashMap::new(); // new-node id -> value
+    let mut cse: HashMap<(String, u32), NodeId> = HashMap::new();
+    let mut const_ids: HashMap<(u32, Vec<u64>), NodeId> = HashMap::new();
+
+    let push =
+        |nodes: &mut Vec<Node>, kind: NodeKind, width: u32| -> NodeId {
+            let id = NodeId(nodes.len() as u32);
+            nodes.push(Node { kind, width });
+            id
+        };
+
+    for (i, node) in circuit.nodes.iter().enumerate() {
+        // Remap operands.
+        let mut kind = node.kind.clone();
+        match &mut kind {
+            NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => {}
+            NodeKind::ArrayRead { index, .. } => *index = remap[index.index()],
+            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a)
+            | NodeKind::Sext(a) => *a = remap[a.index()],
+            NodeKind::Bin(_, a, b) => {
+                *a = remap[a.index()];
+                *b = remap[b.index()];
+            }
+            NodeKind::Concat { hi, lo } => {
+                *hi = remap[hi.index()];
+                *lo = remap[lo.index()];
+            }
+            NodeKind::Mux { sel, t, f } => {
+                *sel = remap[sel.index()];
+                *t = remap[t.index()];
+                *f = remap[f.index()];
+            }
+        }
+        // Try constant folding.
+        let folded = fold(&kind, node.width, |id| const_of.get(&id.0).cloned());
+        if let Some(value) = folded {
+            if !matches!(kind, NodeKind::Const(_)) {
+                stats.folded += 1;
+            }
+            let key = (value.width(), value.words().to_vec());
+            let id = *const_ids.entry(key).or_insert_with(|| {
+                let id = push(&mut new_nodes, NodeKind::Const(value.clone()), node.width);
+                const_of.insert(id.0, value.clone());
+                id
+            });
+            remap[i] = id;
+            continue;
+        }
+        // CSE.
+        if let Some(key) = cse_key(&kind, node.width) {
+            if let Some(&prev) = cse.get(&key) {
+                stats.deduped += 1;
+                remap[i] = prev;
+                continue;
+            }
+            let id = push(&mut new_nodes, kind, node.width);
+            cse.insert(key, id);
+            remap[i] = id;
+        } else {
+            remap[i] = push(&mut new_nodes, kind, node.width);
+        }
+    }
+
+    // ---- Pass 2 (backward): mark live nodes from the sinks.
+    let mut out = Circuit::new(circuit.name.clone());
+    out.inputs = circuit.inputs.clone();
+    out.regs = circuit.regs.clone();
+    out.arrays = circuit.arrays.clone();
+    out.outputs = circuit.outputs.clone();
+    for r in &mut out.regs {
+        r.next = r.next.map(|id| remap[id.index()]);
+    }
+    for a in &mut out.arrays {
+        for p in &mut a.write_ports {
+            p.index = remap[p.index.index()];
+            p.data = remap[p.data.index()];
+            p.enable = remap[p.enable.index()];
+        }
+    }
+    for o in &mut out.outputs {
+        o.node = remap[o.node.index()];
+    }
+    let mut live = vec![false; new_nodes.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let root = |id: NodeId, live: &mut Vec<bool>, stack: &mut Vec<NodeId>| {
+        if !live[id.index()] {
+            live[id.index()] = true;
+            stack.push(id);
+        }
+    };
+    for r in &out.regs {
+        root(r.next.expect("validated"), &mut live, &mut stack);
+    }
+    for a in &out.arrays {
+        for p in &a.write_ports {
+            root(p.index, &mut live, &mut stack);
+            root(p.data, &mut live, &mut stack);
+            root(p.enable, &mut live, &mut stack);
+        }
+    }
+    for o in &out.outputs {
+        root(o.node, &mut live, &mut stack);
+    }
+    while let Some(id) = stack.pop() {
+        new_nodes[id.index()].for_each_operand(|op| {
+            if !live[op.index()] {
+                live[op.index()] = true;
+                stack.push(op);
+            }
+        });
+    }
+
+    // ---- Pass 3: compact.
+    let mut compact = vec![NodeId(0); new_nodes.len()];
+    for (i, node) in new_nodes.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let mut kind = node.kind.clone();
+        let mapper = |id: &mut NodeId| *id = compact[id.index()];
+        match &mut kind {
+            NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => {}
+            NodeKind::ArrayRead { index, .. } => mapper(index),
+            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a)
+            | NodeKind::Sext(a) => mapper(a),
+            NodeKind::Bin(_, a, b) => {
+                mapper(a);
+                mapper(b);
+            }
+            NodeKind::Concat { hi, lo } => {
+                mapper(hi);
+                mapper(lo);
+            }
+            NodeKind::Mux { sel, t, f } => {
+                mapper(sel);
+                mapper(t);
+                mapper(f);
+            }
+        }
+        compact[i] = NodeId(out.nodes.len() as u32);
+        out.nodes.push(Node { kind, width: node.width });
+    }
+    for r in &mut out.regs {
+        r.next = r.next.map(|id| compact[id.index()]);
+    }
+    for a in &mut out.arrays {
+        for p in &mut a.write_ports {
+            p.index = compact[p.index.index()];
+            p.data = compact[p.data.index()];
+            p.enable = compact[p.enable.index()];
+        }
+    }
+    for o in &mut out.outputs {
+        o.node = compact[o.node.index()];
+    }
+    stats.nodes_after = out.nodes.len() as u64;
+    debug_assert!(out.validate().is_ok(), "optimizer broke the circuit");
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    #[test]
+    fn constants_fold_through_arithmetic() {
+        let mut b = Builder::new("f");
+        let x = b.lit(16, 20);
+        let y = b.lit(16, 22);
+        let s = b.add(x, y);
+        let r = b.reg("r", 16, 0);
+        let v = b.add(r.q(), s);
+        b.connect(r, v);
+        let c = b.finish().unwrap();
+        let (o, stats) = optimize(&c);
+        assert!(stats.folded >= 1);
+        // The 20+22 add disappears into a 42 literal.
+        let has42 = o.nodes.iter().any(|n| matches!(&n.kind,
+            NodeKind::Const(b) if b.to_u64() == 42));
+        assert!(has42, "folded constant 42 must exist");
+        assert!(o.nodes.len() < c.nodes.len());
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn cse_merges_identical_expressions() {
+        let mut b = Builder::new("cse");
+        let x = b.input("x", 32);
+        let r1 = b.reg("r1", 32, 0);
+        let r2 = b.reg("r2", 32, 0);
+        let a1 = b.mul(x, x);
+        // Rebuild the same expression separately.
+        let a2 = b.mul(x, x);
+        let v1 = b.add(a1, r1.q());
+        let v2 = b.sub(a2, r2.q());
+        b.connect(r1, v1);
+        b.connect(r2, v2);
+        let c = b.finish().unwrap();
+        let (o, stats) = optimize(&c);
+        assert!(stats.deduped >= 1, "{stats:?}");
+        let muls = o
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Bin(BinOp::Mul, _, _)))
+            .count();
+        assert_eq!(muls, 1, "one multiply must remain");
+    }
+
+    #[test]
+    fn dead_logic_is_removed() {
+        let mut b = Builder::new("dce");
+        let x = b.input("x", 8);
+        let _dead = {
+            let a = b.mul(x, x);
+            b.add(a, x) // never used
+        };
+        let r = b.reg("r", 8, 0);
+        let v = b.xor(r.q(), x);
+        b.connect(r, v);
+        let c = b.finish().unwrap();
+        let (o, _) = optimize(&c);
+        let muls = o
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Bin(BinOp::Mul, _, _)))
+            .count();
+        assert_eq!(muls, 0, "dead multiply must be eliminated");
+    }
+
+    #[test]
+    fn mux_with_constant_select_folds() {
+        let mut b = Builder::new("mux");
+        let x = b.input("x", 8);
+        let one = b.lit(1, 1);
+        let y = b.lit(8, 9);
+        let m = b.mux(one, y, x); // always 9
+        let r = b.reg("r", 8, 0);
+        let v = b.add(r.q(), m);
+        b.connect(r, v);
+        let c = b.finish().unwrap();
+        let (o, stats) = optimize(&c);
+        assert!(stats.folded >= 1);
+        assert!(!o.nodes.iter().any(|n| matches!(n.kind, NodeKind::Mux { .. })));
+    }
+
+    #[test]
+    fn interface_is_preserved() {
+        let mut b = Builder::new("io");
+        let x = b.input("x", 4);
+        let r = b.reg("r", 4, 3);
+        let v = b.xor(r.q(), x);
+        b.connect(r, v);
+        b.output("q", r.q());
+        let mem = b.array("m", 8, 4);
+        let idx = b.slice(x, 1, 0);
+        let d = b.lit(8, 5);
+        let en = b.bit(x, 3);
+        b.array_write(mem, idx, d, en);
+        let c = b.finish().unwrap();
+        let (o, _) = optimize(&c);
+        assert_eq!(o.inputs.len(), 1);
+        assert_eq!(o.outputs.len(), 1);
+        assert_eq!(o.regs.len(), 1);
+        assert_eq!(o.arrays.len(), 1);
+        assert_eq!(o.regs[0].init.to_u64(), 3);
+        o.validate().unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! Design-size statistics: node counts and generic-gate estimates.
+//!
+//! The paper reports benchmark sizes in data-dependence-graph nodes (#N)
+//! and estimated gates "using a generic gate library" (§6). This module
+//! provides the same two metrics so harness output can be compared
+//! against Table 3.
+
+use crate::bits::words_for;
+use crate::ir::{BinOp, Circuit, NodeKind, UnOp};
+
+/// Summary statistics for a circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Combinational nodes (paper column #N).
+    pub nodes: u64,
+    /// Registers.
+    pub regs: u64,
+    /// Total register bits.
+    pub reg_bits: u64,
+    /// Memory arrays.
+    pub arrays: u64,
+    /// Total array bytes.
+    pub array_bytes: u64,
+    /// Estimated generic gates, excluding SRAM (paper §6 convention).
+    pub gates: u64,
+}
+
+/// Estimated generic gates for a single node of the given kind/width.
+///
+/// The estimates are deliberately coarse (ripple-carry adders, array
+/// multipliers, log-depth shifters) — they only need to rank designs the
+/// way the paper's gate counts do.
+pub fn node_gates(kind: &NodeKind, width: u32) -> u64 {
+    let w = width as u64;
+    match kind {
+        NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => 0,
+        NodeKind::Slice { .. } | NodeKind::Zext(_) | NodeKind::Sext(_) | NodeKind::Concat { .. } => 0,
+        NodeKind::ArrayRead { .. } => 2 * w, // address decode + output mux amortized
+        NodeKind::Un(op, _) => match op {
+            UnOp::Not => w,
+            UnOp::Neg => 2 * w,
+            UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => w.saturating_sub(1),
+        },
+        NodeKind::Bin(op, _, _) => match op {
+            BinOp::And | BinOp::Or | BinOp::Xor => w,
+            BinOp::Add | BinOp::Sub => 5 * w,
+            BinOp::Mul => 6 * w * w,
+            BinOp::Eq | BinOp::Ne => 2 * w,
+            BinOp::LtU | BinOp::LeU => 3 * w,
+            BinOp::LtS | BinOp::LeS => 3 * w + 2,
+            BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                // log-depth barrel shifter: width muxes per stage
+                3 * w * (64 - w.leading_zeros() as u64).max(1)
+            }
+        },
+        NodeKind::Mux { .. } => 3 * w,
+    }
+}
+
+/// Computes [`CircuitStats`] for a circuit.
+pub fn stats(c: &Circuit) -> CircuitStats {
+    let mut s = CircuitStats {
+        nodes: c.nodes.len() as u64,
+        regs: c.regs.len() as u64,
+        reg_bits: c.state_bits(),
+        arrays: c.arrays.len() as u64,
+        array_bytes: c.array_bytes(),
+        gates: 0,
+    };
+    for n in &c.nodes {
+        s.gates += node_gates(&n.kind, n.width);
+    }
+    // Each register bit is roughly 6 gates (DFF) in a generic library.
+    s.gates += 6 * s.reg_bits;
+    s
+}
+
+/// Total bytes needed to hold every node value (one word-aligned slot per
+/// node), used for memory-footprint accounting.
+pub fn value_bytes(c: &Circuit) -> u64 {
+    c.nodes.iter().map(|n| words_for(n.width) as u64 * 8).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    #[test]
+    fn stats_count_gates_and_state() {
+        let mut b = Builder::new("c");
+        let r = b.reg("r", 32, 0);
+        let one = b.lit(32, 1);
+        let n = b.add(r.q(), one);
+        b.connect(r, n);
+        let mem = b.array("m", 64, 128);
+        let idx = b.lit(7, 0);
+        let rd = b.array_read(mem, idx);
+        b.output("o", rd);
+        let c = b.finish().unwrap();
+        let s = stats(&c);
+        assert_eq!(s.regs, 1);
+        assert_eq!(s.reg_bits, 32);
+        assert_eq!(s.array_bytes, 128 * 8);
+        // add(32) = 160 gates + DFF 192 + array read 128
+        assert!(s.gates >= 160 + 192);
+        assert!(value_bytes(&c) > 0);
+    }
+
+    #[test]
+    fn wider_mul_costs_more() {
+        assert!(
+            node_gates(&NodeKind::Bin(BinOp::Mul, crate::ir::NodeId(0), crate::ir::NodeId(0)), 32)
+                > node_gates(&NodeKind::Bin(BinOp::Mul, crate::ir::NodeId(0), crate::ir::NodeId(0)), 8)
+        );
+    }
+}

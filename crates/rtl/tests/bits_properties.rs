@@ -1,0 +1,137 @@
+//! Property tests pinning `Bits` semantics to `u128` reference
+//! arithmetic for widths ≤ 128, plus algebraic laws at any width.
+
+use parendi_rtl::Bits;
+use proptest::prelude::*;
+
+fn mask(width: u32) -> u128 {
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+prop_compose! {
+    fn width_and_values()(width in 1u32..=128)(
+        width in Just(width),
+        a in any::<u128>(),
+        b in any::<u128>(),
+    ) -> (u32, u128, u128) {
+        (width, a & mask(width), b & mask(width))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_u128((w, a, b) in width_and_values()) {
+        let expect = a.wrapping_add(b) & mask(w);
+        prop_assert_eq!(
+            Bits::from_u128(w, a).add(&Bits::from_u128(w, b)),
+            Bits::from_u128(w, expect)
+        );
+    }
+
+    #[test]
+    fn sub_matches_u128((w, a, b) in width_and_values()) {
+        let expect = a.wrapping_sub(b) & mask(w);
+        prop_assert_eq!(
+            Bits::from_u128(w, a).sub(&Bits::from_u128(w, b)),
+            Bits::from_u128(w, expect)
+        );
+    }
+
+    #[test]
+    fn mul_matches_u128((w, a, b) in width_and_values()) {
+        let expect = a.wrapping_mul(b) & mask(w);
+        prop_assert_eq!(
+            Bits::from_u128(w, a).mul(&Bits::from_u128(w, b)),
+            Bits::from_u128(w, expect)
+        );
+    }
+
+    #[test]
+    fn logic_matches_u128((w, a, b) in width_and_values()) {
+        prop_assert_eq!(Bits::from_u128(w, a).and(&Bits::from_u128(w, b)), Bits::from_u128(w, a & b));
+        prop_assert_eq!(Bits::from_u128(w, a).or(&Bits::from_u128(w, b)), Bits::from_u128(w, a | b));
+        prop_assert_eq!(Bits::from_u128(w, a).xor(&Bits::from_u128(w, b)), Bits::from_u128(w, a ^ b));
+        prop_assert_eq!(Bits::from_u128(w, a).not(), Bits::from_u128(w, !a & mask(w)));
+    }
+
+    #[test]
+    fn shifts_match_u128((w, a, _b) in width_and_values(), sh in 0u32..140) {
+        let shl = if sh >= w { 0 } else { (a << sh) & mask(w) };
+        let lshr = if sh >= w { 0 } else { a >> sh };
+        prop_assert_eq!(Bits::from_u128(w, a).shl(sh), Bits::from_u128(w, shl));
+        prop_assert_eq!(Bits::from_u128(w, a).lshr(sh), Bits::from_u128(w, lshr));
+        // ashr: sign-fill from bit w-1.
+        let sign = (a >> (w - 1)) & 1 == 1;
+        let s = sh.min(w);
+        let mut ashr = if s >= 128 { 0 } else { a >> s };
+        if sign {
+            for bit in w.saturating_sub(s)..w {
+                ashr |= 1u128 << bit;
+            }
+        }
+        prop_assert_eq!(Bits::from_u128(w, a).ashr(sh), Bits::from_u128(w, ashr & mask(w)));
+    }
+
+    #[test]
+    fn comparisons_match_u128((w, a, b) in width_and_values()) {
+        prop_assert_eq!(Bits::from_u128(w, a).lt_u(&Bits::from_u128(w, b)), a < b);
+        // Signed: interpret via sign extension to i128.
+        let sx = |v: u128| -> i128 {
+            let sign = (v >> (w - 1)) & 1 == 1;
+            if sign && w < 128 { (v | !mask(w)) as i128 } else { v as i128 }
+        };
+        prop_assert_eq!(Bits::from_u128(w, a).lt_s(&Bits::from_u128(w, b)), sx(a) < sx(b));
+    }
+
+    #[test]
+    fn slice_concat_roundtrip((w, a, _b) in width_and_values(), cut in 1u32..127) {
+        prop_assume!(cut < w);
+        let v = Bits::from_u128(w, a);
+        let hi = v.slice(w - 1, cut);
+        let lo = v.slice(cut - 1, 0);
+        prop_assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn extension_laws((w, a, _b) in width_and_values(), extra in 1u32..64) {
+        let v = Bits::from_u128(w, a);
+        let z = v.zext(w + extra);
+        prop_assert_eq!(z.slice(w - 1, 0), v.clone());
+        prop_assert!(z.slice(w + extra - 1, w).is_zero());
+        let s = v.sext(w + extra);
+        prop_assert_eq!(s.slice(w - 1, 0), v.clone());
+        let fill = s.slice(w + extra - 1, w);
+        if v.bit(w - 1) {
+            prop_assert!(fill.red_and(), "sign fill must be ones");
+        } else {
+            prop_assert!(fill.is_zero(), "zero fill expected");
+        }
+    }
+
+    #[test]
+    fn reductions_match((w, a, _b) in width_and_values()) {
+        let v = Bits::from_u128(w, a);
+        prop_assert_eq!(v.red_or(), a != 0);
+        prop_assert_eq!(v.red_and(), a == mask(w));
+        prop_assert_eq!(v.red_xor(), a.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn very_wide_algebra(words in proptest::collection::vec(any::<u64>(), 8), sh in 0u32..500) {
+        // Beyond-u128 widths: check algebraic laws instead of a reference.
+        let w = 509u32;
+        let v = Bits::from_words(w, &words);
+        prop_assert_eq!(v.add(&v.neg()), Bits::zero(w));
+        prop_assert_eq!(v.xor(&v), Bits::zero(w));
+        prop_assert_eq!(v.not().not(), v.clone());
+        prop_assert_eq!(v.shl(sh).lshr(sh).shl(sh), v.shl(sh), "shift roundtrip");
+        let one = Bits::from_u64(w, 1).zext(w);
+        prop_assert_eq!(v.mul(&one), v.clone());
+    }
+}

@@ -1,0 +1,543 @@
+//! The parallel BSP execution engine.
+//!
+//! Executes a compiled [`Partition`] on host threads with exactly the
+//! structure of Fig. 3: a *computation* phase in which every process
+//! evaluates its (possibly duplicated) cone into private memory, a
+//! barrier, a *communication* phase in which newly computed register and
+//! array-port values are published, and a second barrier. Functional
+//! results are bit-identical to the reference [`Simulator`]
+//! (`crate::interp`) — the engine is the correctness check for the
+//! partitioner, not a model.
+//!
+//! [`Simulator`]: crate::interp::Simulator
+
+use parendi_core::Partition;
+use parendi_graph::fiber::SinkKind;
+use parendi_rtl::bits::{word, words_for, Bits};
+use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, RegId, UnOp};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Barrier;
+
+/// One resolved evaluation step of a process program.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Copy from the global input buffer.
+    Input { dst: u32, src: u32, nw: u32 },
+    /// Copy a register's current value from global state.
+    RegRead { dst: u32, src: u32, nw: u32 },
+    /// Combinational read of a global array.
+    ArrayRead { dst: u32, array: u32, idx: u32, idx_w: u32, nw: u32 },
+    /// Pure op on process-local values; `node` indexes the circuit for
+    /// kind/width, `a`/`b`/`c` are local word offsets.
+    Pure { node: u32, dst: u32, a: u32, b: u32, c: u32 },
+}
+
+/// A register value this process must publish.
+#[derive(Clone, Copy, Debug)]
+struct RegPublish {
+    reg: u32,
+    local: u32,
+    global: u32,
+    nw: u32,
+}
+
+/// An array write port this process owns.
+#[derive(Clone, Copy, Debug)]
+struct PortPublish {
+    array: u32,
+    port: u32,
+    en: u32,
+    idx: u32,
+    idx_w: u32,
+    data: u32,
+    nw: u32,
+}
+
+/// A compiled per-tile program.
+#[derive(Debug)]
+struct Program {
+    steps: Vec<Step>,
+    arena_words: usize,
+    const_init: Vec<(u32, Vec<u64>)>,
+    regs: Vec<RegPublish>,
+    ports: Vec<PortPublish>,
+}
+
+/// Mutable per-tile state (arena plus the publish staging buffers).
+#[derive(Debug)]
+struct TileState {
+    arena: Vec<u64>,
+    /// Latched register words, in `Program::regs` order.
+    reg_stash: Vec<u64>,
+    /// `(array, port, enable, index, data)` records.
+    port_stash: Vec<(u32, u32, bool, u64, Vec<u64>)>,
+}
+
+/// Shared global state: register currents, arrays, inputs.
+#[derive(Debug)]
+struct Global {
+    reg_cur: Vec<u64>,
+    arrays: Vec<Vec<u64>>,
+    inputs: Vec<u64>,
+}
+
+/// A parallel BSP simulator for a compiled partition.
+pub struct BspSimulator<'c> {
+    circuit: &'c Circuit,
+    programs: Vec<Program>,
+    tiles: Vec<Mutex<TileState>>,
+    global: RwLock<Global>,
+    reg_off: Vec<u32>,
+    input_off: Vec<u32>,
+    input_by_name: HashMap<String, InputId>,
+    threads: usize,
+    cycle: u64,
+}
+
+impl<'c> BspSimulator<'c> {
+    /// Compiles `partition` into per-tile programs run on `threads` host
+    /// threads (tiles are folded round-robin onto threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        let mut reg_off = Vec::with_capacity(circuit.regs.len());
+        let mut rwords = 0u32;
+        for r in &circuit.regs {
+            reg_off.push(rwords);
+            rwords += words_for(r.width) as u32;
+        }
+        let mut input_off = Vec::with_capacity(circuit.inputs.len());
+        let mut iwords = 0u32;
+        let mut input_by_name = HashMap::new();
+        for (i, d) in circuit.inputs.iter().enumerate() {
+            input_off.push(iwords);
+            iwords += words_for(d.width) as u32;
+            input_by_name.insert(d.name.clone(), InputId(i as u32));
+        }
+        let mut reg_cur = vec![0u64; rwords as usize];
+        for (r, off) in circuit.regs.iter().zip(&reg_off) {
+            let w = words_for(r.width);
+            reg_cur[*off as usize..*off as usize + w].copy_from_slice(r.init.words());
+        }
+        let arrays = circuit
+            .arrays
+            .iter()
+            .map(|a| {
+                let w = words_for(a.width);
+                let mut buf = vec![0u64; w * a.depth as usize];
+                if let Some(init) = &a.init {
+                    for (i, v) in init.iter().enumerate() {
+                        buf[i * w..(i + 1) * w].copy_from_slice(v.words());
+                    }
+                }
+                buf
+            })
+            .collect();
+
+        let programs: Vec<Program> = partition
+            .processes
+            .iter()
+            .map(|p| build_program(circuit, partition, p, &reg_off, &input_off))
+            .collect();
+        let tiles = programs
+            .iter()
+            .map(|p| {
+                let mut arena = vec![0u64; p.arena_words];
+                for (off, words) in &p.const_init {
+                    arena[*off as usize..*off as usize + words.len()].copy_from_slice(words);
+                }
+                let reg_words: usize = p.regs.iter().map(|r| r.nw as usize).sum();
+                Mutex::new(TileState {
+                    arena,
+                    reg_stash: vec![0; reg_words],
+                    port_stash: Vec::with_capacity(p.ports.len()),
+                })
+            })
+            .collect();
+        BspSimulator {
+            circuit,
+            programs,
+            tiles,
+            global: RwLock::new(Global { reg_cur, arrays, inputs: vec![0u64; iwords as usize] }),
+            reg_off,
+            input_off,
+            input_by_name,
+            threads,
+            cycle: 0,
+        }
+    }
+
+    /// Number of completed RTL cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of tiles (processes) being simulated.
+    pub fn tiles(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Drives an input (held until changed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width does not match.
+    pub fn set_input(&mut self, id: InputId, value: &Bits) {
+        let decl = &self.circuit.inputs[id.index()];
+        assert_eq!(decl.width, value.width(), "input {} width", decl.name);
+        let off = self.input_off[id.index()] as usize;
+        let mut g = self.global.write();
+        g.inputs[off..off + value.words().len()].copy_from_slice(value.words());
+    }
+
+    /// Convenience: drive input `name` with a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such input exists.
+    pub fn poke(&mut self, name: &str, value: u64) {
+        let id = *self.input_by_name.get(name).unwrap_or_else(|| panic!("no input {name}"));
+        let width = self.circuit.inputs[id.index()].width;
+        self.set_input(id, &Bits::from_u64(width, value));
+    }
+
+    /// The current value of a register.
+    pub fn reg_value(&self, id: RegId) -> Bits {
+        let r = &self.circuit.regs[id.index()];
+        let off = self.reg_off[id.index()] as usize;
+        let g = self.global.read();
+        Bits::from_words(r.width, &g.reg_cur[off..off + words_for(r.width)])
+    }
+
+    /// An element of an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn array_value(&self, id: parendi_rtl::ArrayId, index: u32) -> Bits {
+        let a = &self.circuit.arrays[id.index()];
+        assert!(index < a.depth);
+        let w = words_for(a.width);
+        let g = self.global.read();
+        Bits::from_words(a.width, &g.arrays[id.index()][index as usize * w..][..w])
+    }
+
+    /// Runs `cycles` RTL cycles in parallel. Returns wall-clock seconds.
+    pub fn run(&mut self, cycles: u64) -> f64 {
+        let start = std::time::Instant::now();
+        if self.threads == 1 || self.programs.len() == 1 {
+            for _ in 0..cycles {
+                self.sequential_cycle();
+            }
+        } else {
+            self.parallel_run(cycles);
+        }
+        self.cycle += cycles;
+        start.elapsed().as_secs_f64()
+    }
+
+    fn sequential_cycle(&mut self) {
+        let global = self.global.get_mut();
+        for (prog, tile) in self.programs.iter().zip(&self.tiles) {
+            compute_phase(self.circuit, prog, &mut tile.lock(), global);
+        }
+        let mut stashes: Vec<_> = self.tiles.iter().map(|t| t.lock()).collect();
+        commit_phase(&self.programs, &mut stashes, global);
+    }
+
+    fn parallel_run(&mut self, cycles: u64) {
+        let threads = self.threads.min(self.programs.len());
+        let barrier = Barrier::new(threads);
+        let circuit = self.circuit;
+        let programs = &self.programs;
+        let tiles = &self.tiles;
+        let global = &self.global;
+        crossbeam::scope(|scope| {
+            for t in 0..threads {
+                let barrier = &barrier;
+                scope.spawn(move |_| {
+                    let mine: Vec<usize> =
+                        (t..programs.len()).step_by(threads).collect();
+                    for _ in 0..cycles {
+                        // Computation phase: read shared state, write
+                        // private arenas and staging buffers.
+                        {
+                            let g = global.read();
+                            for &pi in &mine {
+                                compute_phase(
+                                    circuit,
+                                    &programs[pi],
+                                    &mut tiles[pi].lock(),
+                                    &g,
+                                );
+                            }
+                        }
+                        // Barrier 1: end of computation.
+                        let leader = barrier.wait().is_leader();
+                        // Communication phase: one writer publishes all
+                        // staged values (the exchange).
+                        if leader {
+                            let mut g = global.write();
+                            let mut stashes: Vec<_> =
+                                tiles.iter().map(|t| t.lock()).collect();
+                            commit_phase(programs, &mut stashes, &mut g);
+                        }
+                        // Barrier 2: end of communication.
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .expect("BSP worker panicked");
+    }
+}
+
+/// Evaluates one process's program against the shared state.
+fn compute_phase(circuit: &Circuit, prog: &Program, tile: &mut TileState, g: &Global) {
+    let arena = &mut tile.arena;
+    for step in &prog.steps {
+        match *step {
+            Step::Input { dst, src, nw } => {
+                let (d, s) = (dst as usize, src as usize);
+                arena[d..d + nw as usize].copy_from_slice(&g.inputs[s..s + nw as usize]);
+            }
+            Step::RegRead { dst, src, nw } => {
+                let (d, s) = (dst as usize, src as usize);
+                arena[d..d + nw as usize].copy_from_slice(&g.reg_cur[s..s + nw as usize]);
+            }
+            Step::ArrayRead { dst, array, idx, idx_w, nw } => {
+                let index = read_index(arena, idx as usize, idx_w as usize);
+                let a = &g.arrays[array as usize];
+                let depth = circuit.arrays[array as usize].depth as u64;
+                let d = dst as usize;
+                if index < depth {
+                    let s = index as usize * nw as usize;
+                    arena[d..d + nw as usize].copy_from_slice(&a[s..s + nw as usize]);
+                } else {
+                    arena[d..d + nw as usize].fill(0);
+                }
+            }
+            Step::Pure { node, dst, a, b, c } => {
+                eval_local(circuit, arena, node, dst, a, b, c);
+            }
+        }
+    }
+    // Latch next-values into the register stash.
+    let mut off = 0usize;
+    for r in &prog.regs {
+        let nw = r.nw as usize;
+        tile.reg_stash[off..off + nw]
+            .copy_from_slice(&arena[r.local as usize..r.local as usize + nw]);
+        off += nw;
+    }
+    // Stage array-port records (the differential exchange payload).
+    tile.port_stash.clear();
+    for p in &prog.ports {
+        let en = arena[p.en as usize] & 1 == 1;
+        let idx = read_index(arena, p.idx as usize, p.idx_w as usize);
+        let data = arena[p.data as usize..p.data as usize + p.nw as usize].to_vec();
+        tile.port_stash.push((p.array, p.port, en, idx, data));
+    }
+}
+
+/// Publishes all staged values: registers swap to their new currents and
+/// array ports apply in declaration order (last port wins).
+fn commit_phase(
+    programs: &[Program],
+    stashes: &mut [parking_lot::MutexGuard<'_, TileState>],
+    g: &mut Global,
+) {
+    for (prog, tile) in programs.iter().zip(stashes.iter()) {
+        let mut off = 0usize;
+        for r in &prog.regs {
+            let nw = r.nw as usize;
+            g.reg_cur[r.global as usize..r.global as usize + nw]
+                .copy_from_slice(&tile.reg_stash[off..off + nw]);
+            off += nw;
+        }
+    }
+    // Deterministic port order across all tiles.
+    let mut writes: Vec<&(u32, u32, bool, u64, Vec<u64>)> =
+        stashes.iter().flat_map(|t| t.port_stash.iter()).collect();
+    writes.sort_by_key(|w| (w.0, w.1));
+    for &(array, _port, en, idx, ref data) in writes {
+        if !en {
+            continue;
+        }
+        let buf = &mut g.arrays[array as usize];
+        let nw = data.len();
+        let depth = buf.len() / nw.max(1);
+        if (idx as usize) < depth {
+            buf[idx as usize * nw..(idx as usize + 1) * nw].copy_from_slice(data);
+        }
+    }
+}
+
+fn read_index(arena: &[u64], off: usize, nw: usize) -> u64 {
+    if arena[off + 1..off + nw].iter().any(|&x| x != 0) || arena[off] > u32::MAX as u64 {
+        u64::MAX
+    } else {
+        arena[off]
+    }
+}
+
+/// Evaluates a pure node with process-local operand offsets.
+fn eval_local(circuit: &Circuit, arena: &mut [u64], node: u32, dst: u32, a: u32, b: u32, c: u32) {
+    let n = &circuit.nodes[node as usize];
+    let w = n.width;
+    let nw = words_for(w);
+    let (src, dst_tail) = arena.split_at_mut(dst as usize);
+    let out = &mut dst_tail[..nw];
+    let opw = |id: parendi_rtl::NodeId| words_for(circuit.width(id));
+    match &n.kind {
+        NodeKind::Un(op, arg) => {
+            let av = &src[a as usize..a as usize + opw(*arg)];
+            match op {
+                UnOp::Not => word::not(out, av, w),
+                UnOp::Neg => {
+                    let zero = vec![0u64; av.len()];
+                    word::sub(out, &zero, av, w);
+                }
+                UnOp::RedAnd => out[0] = word::red_and(av, circuit.width(*arg)) as u64,
+                UnOp::RedOr => out[0] = word::red_or(av) as u64,
+                UnOp::RedXor => out[0] = word::red_xor(av) as u64,
+            }
+        }
+        NodeKind::Bin(op, na, nb) => {
+            let aw = circuit.width(*na);
+            let av = &src[a as usize..a as usize + opw(*na)];
+            let bv = &src[b as usize..b as usize + opw(*nb)];
+            match op {
+                BinOp::And => word::and(out, av, bv, w),
+                BinOp::Or => word::or(out, av, bv, w),
+                BinOp::Xor => word::xor(out, av, bv, w),
+                BinOp::Add => word::add(out, av, bv, w),
+                BinOp::Sub => word::sub(out, av, bv, w),
+                BinOp::Mul => word::mul(out, av, bv, w),
+                BinOp::Eq => out[0] = word::eq(av, bv) as u64,
+                BinOp::Ne => out[0] = !word::eq(av, bv) as u64,
+                BinOp::LtU => out[0] = word::lt_u(av, bv) as u64,
+                BinOp::LtS => out[0] = word::lt_s(av, bv, aw) as u64,
+                BinOp::LeU => out[0] = !word::lt_u(bv, av) as u64,
+                BinOp::LeS => out[0] = !word::lt_s(bv, av, aw) as u64,
+                BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                    let sh = if bv[1..].iter().any(|&x| x != 0) || bv[0] > u32::MAX as u64 {
+                        aw
+                    } else {
+                        (bv[0] as u32).min(aw)
+                    };
+                    match op {
+                        BinOp::Shl => word::shl(out, av, sh, w),
+                        BinOp::Lshr => word::lshr(out, av, sh, w),
+                        _ => word::ashr(out, av, sh, w),
+                    }
+                }
+            }
+        }
+        NodeKind::Mux { sel: _, t: nt, f: nf } => {
+            let s = src[a as usize] & 1 == 1;
+            let (src_off, n_id) = if s { (b, nt) } else { (c, nf) };
+            word::copy(out, &src[src_off as usize..src_off as usize + opw(*n_id)]);
+        }
+        NodeKind::Slice { src: ns, lo } => {
+            let sv = &src[a as usize..a as usize + opw(*ns)];
+            word::slice(out, sv, lo + w - 1, *lo);
+        }
+        NodeKind::Zext(ns) => word::zext(out, &src[a as usize..a as usize + opw(*ns)], w),
+        NodeKind::Sext(ns) => {
+            word::sext(out, &src[a as usize..a as usize + opw(*ns)], circuit.width(*ns), w)
+        }
+        NodeKind::Concat { hi, lo } => {
+            let hv = &src[a as usize..a as usize + opw(*hi)];
+            let lv = &src[b as usize..b as usize + opw(*lo)];
+            word::concat(out, hv, lv, circuit.width(*lo));
+        }
+        _ => unreachable!("sources are separate steps"),
+    }
+}
+
+/// Compiles one process into a [`Program`] with local offsets.
+fn build_program(
+    circuit: &Circuit,
+    partition: &Partition,
+    p: &parendi_core::Process,
+    reg_off: &[u32],
+    input_off: &[u32],
+) -> Program {
+    let mut local: HashMap<u32, u32> = HashMap::new();
+    let mut words = 0u32;
+    let mut steps = Vec::new();
+    let mut const_init = Vec::new();
+    for nid in p.nodes.iter() {
+        let node = &circuit.nodes[nid as usize];
+        let nw = words_for(node.width) as u32;
+        let dst = words;
+        local.insert(nid, dst);
+        words += nw;
+        let lo = |id: parendi_rtl::NodeId| local[&id.0];
+        match &node.kind {
+            NodeKind::Const(b) => const_init.push((dst, b.words().to_vec())),
+            NodeKind::Input(i) => {
+                steps.push(Step::Input { dst, src: input_off[i.index()], nw })
+            }
+            NodeKind::RegRead(r) => {
+                steps.push(Step::RegRead { dst, src: reg_off[r.index()], nw })
+            }
+            NodeKind::ArrayRead { array, index } => steps.push(Step::ArrayRead {
+                dst,
+                array: array.0,
+                idx: lo(*index),
+                idx_w: words_for(circuit.width(*index)) as u32,
+                nw,
+            }),
+            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a)
+            | NodeKind::Sext(a) => {
+                steps.push(Step::Pure { node: nid, dst, a: lo(*a), b: u32::MAX, c: u32::MAX })
+            }
+            NodeKind::Bin(_, a, b) | NodeKind::Concat { hi: a, lo: b } => {
+                steps.push(Step::Pure { node: nid, dst, a: lo(*a), b: lo(*b), c: u32::MAX })
+            }
+            NodeKind::Mux { sel, t, f } => {
+                steps.push(Step::Pure { node: nid, dst, a: lo(*sel), b: lo(*t), c: lo(*f) })
+            }
+        }
+    }
+    // Registers this process publishes.
+    let mut regs = Vec::new();
+    let mut ports = Vec::new();
+    for &f in &p.fibers {
+        match partition.fiber_sinks[f.index()] {
+            SinkKind::Reg(r) => {
+                let reg = &circuit.regs[r.index()];
+                let next = reg.next.expect("validated circuit");
+                regs.push(RegPublish {
+                    reg: r.0,
+                    local: local[&next.0],
+                    global: reg_off[r.index()],
+                    nw: words_for(reg.width) as u32,
+                });
+            }
+            SinkKind::ArrayPort { array, port } => {
+                let a = &circuit.arrays[array.index()];
+                let wp = &a.write_ports[port as usize];
+                ports.push(PortPublish {
+                    array: array.0,
+                    port,
+                    en: local[&wp.enable.0],
+                    idx: local[&wp.index.0],
+                    idx_w: words_for(circuit.width(wp.index)) as u32,
+                    data: local[&wp.data.0],
+                    nw: words_for(a.width) as u32,
+                });
+            }
+            SinkKind::Output(_) => {}
+        }
+    }
+    regs.sort_by_key(|r| r.reg);
+    ports.sort_by_key(|p| (p.array, p.port));
+    Program { steps, arena_words: words as usize, const_init, regs, ports }
+}

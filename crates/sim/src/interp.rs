@@ -1,0 +1,563 @@
+//! The reference single-threaded full-cycle interpreter.
+//!
+//! Evaluates the entire circuit once per RTL cycle (activity-oblivious,
+//! §3: "full-cycle simulators perform better ... than event-driven"),
+//! using a flat `u64` word arena and the kernels of
+//! [`parendi_rtl::bits::word`]. This is the semantic oracle every
+//! parallel execution is checked against.
+
+use parendi_rtl::bits::{word, words_for, Bits};
+use parendi_rtl::{ArrayId, Circuit, InputId, NodeId, NodeKind, RegId, UnOp};
+use std::collections::HashMap;
+
+/// A single-threaded cycle-accurate simulator.
+#[derive(Debug)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+    /// Word offset of each node's value in `arena`.
+    node_off: Vec<u32>,
+    arena: Vec<u64>,
+    /// Word offset of each register in `reg_cur` / `reg_next`.
+    reg_off: Vec<u32>,
+    reg_cur: Vec<u64>,
+    reg_next: Vec<u64>,
+    /// Array contents, one flat buffer per array.
+    arrays: Vec<Vec<u64>>,
+    /// Word offset of each input in `input_buf`.
+    input_off: Vec<u32>,
+    input_buf: Vec<u64>,
+    input_by_name: HashMap<String, InputId>,
+    output_by_name: HashMap<String, NodeId>,
+    inputs_dirty: bool,
+    cycle: u64,
+}
+
+impl<'c> Simulator<'c> {
+    /// Prepares a simulator for `circuit` (registers/arrays at their
+    /// power-on values, inputs zero).
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let mut node_off = Vec::with_capacity(circuit.nodes.len());
+        let mut words = 0u32;
+        for n in &circuit.nodes {
+            node_off.push(words);
+            words += words_for(n.width) as u32;
+        }
+        let mut reg_off = Vec::with_capacity(circuit.regs.len());
+        let mut rwords = 0u32;
+        for r in &circuit.regs {
+            reg_off.push(rwords);
+            rwords += words_for(r.width) as u32;
+        }
+        let mut reg_cur = vec![0u64; rwords as usize];
+        for (r, off) in circuit.regs.iter().zip(&reg_off) {
+            let w = words_for(r.width);
+            reg_cur[*off as usize..*off as usize + w].copy_from_slice(r.init.words());
+        }
+        let arrays = circuit
+            .arrays
+            .iter()
+            .map(|a| {
+                let w = words_for(a.width);
+                let mut buf = vec![0u64; w * a.depth as usize];
+                if let Some(init) = &a.init {
+                    for (i, v) in init.iter().enumerate() {
+                        buf[i * w..(i + 1) * w].copy_from_slice(v.words());
+                    }
+                }
+                buf
+            })
+            .collect();
+        let mut input_off = Vec::with_capacity(circuit.inputs.len());
+        let mut iwords = 0u32;
+        let mut input_by_name = HashMap::new();
+        for (i, d) in circuit.inputs.iter().enumerate() {
+            input_off.push(iwords);
+            iwords += words_for(d.width) as u32;
+            input_by_name.insert(d.name.clone(), InputId(i as u32));
+        }
+        let output_by_name =
+            circuit.outputs.iter().map(|o| (o.name.clone(), o.node)).collect();
+        let mut sim = Simulator {
+            circuit,
+            node_off,
+            arena: vec![0u64; words as usize],
+            reg_off,
+            reg_next: reg_cur.clone(),
+            reg_cur,
+            arrays,
+            input_off,
+            input_buf: vec![0u64; iwords as usize],
+            input_by_name,
+            output_by_name,
+            inputs_dirty: false,
+            cycle: 0,
+        };
+        sim.preload_constants();
+        sim.eval_comb();
+        sim
+    }
+
+    fn preload_constants(&mut self) {
+        for (i, n) in self.circuit.nodes.iter().enumerate() {
+            if let NodeKind::Const(b) = &n.kind {
+                let off = self.node_off[i] as usize;
+                self.arena[off..off + b.words().len()].copy_from_slice(b.words());
+            }
+        }
+    }
+
+    /// Number of completed RTL cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Looks up an input by hierarchical name.
+    pub fn input_id(&self, name: &str) -> Option<InputId> {
+        self.input_by_name.get(name).copied()
+    }
+
+    /// Drives an input. Takes effect from the next [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width does not match the declaration.
+    pub fn set_input(&mut self, id: InputId, value: &Bits) {
+        let decl = &self.circuit.inputs[id.index()];
+        assert_eq!(decl.width, value.width(), "input {} width", decl.name);
+        let off = self.input_off[id.index()] as usize;
+        self.input_buf[off..off + value.words().len()].copy_from_slice(value.words());
+        self.inputs_dirty = true;
+    }
+
+    /// Convenience: drive input `name` with a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such input exists.
+    pub fn poke(&mut self, name: &str, value: u64) {
+        let id = self.input_id(name).unwrap_or_else(|| panic!("no input named {name}"));
+        let width = self.circuit.inputs[id.index()].width;
+        self.set_input(id, &Bits::from_u64(width, value));
+    }
+
+    /// The current value of a combinational node (as of the last eval).
+    pub fn peek_node(&self, id: NodeId) -> Bits {
+        let n = self.circuit.node(id);
+        let off = self.node_off[id.index()] as usize;
+        Bits::from_words(n.width, &self.arena[off..off + words_for(n.width)])
+    }
+
+    /// The current value of output `name`, or `None` if it doesn't exist.
+    pub fn output(&self, name: &str) -> Option<Bits> {
+        self.output_by_name.get(name).map(|&n| self.peek_node(n))
+    }
+
+    /// The current value of a register.
+    pub fn reg_value(&self, id: RegId) -> Bits {
+        let r = &self.circuit.regs[id.index()];
+        let off = self.reg_off[id.index()] as usize;
+        Bits::from_words(r.width, &self.reg_cur[off..off + words_for(r.width)])
+    }
+
+    /// The register with the given hierarchical name, if any.
+    pub fn reg_by_name(&self, name: &str) -> Option<RegId> {
+        self.circuit.regs.iter().position(|r| r.name == name).map(|i| RegId(i as u32))
+    }
+
+    /// An element of an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn array_value(&self, id: ArrayId, index: u32) -> Bits {
+        let a = &self.circuit.arrays[id.index()];
+        assert!(index < a.depth, "array index out of range");
+        let w = words_for(a.width);
+        let off = index as usize * w;
+        Bits::from_words(a.width, &self.arrays[id.index()][off..off + w])
+    }
+
+    /// Writes an array element directly (testbench backdoor).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or out-of-range index.
+    pub fn write_array(&mut self, id: ArrayId, index: u32, value: &Bits) {
+        let a = &self.circuit.arrays[id.index()];
+        assert!(index < a.depth, "array index out of range");
+        assert_eq!(a.width, value.width(), "array element width");
+        let w = words_for(a.width);
+        let off = index as usize * w;
+        self.arrays[id.index()][off..off + w].copy_from_slice(value.words());
+        // Keep combinational reads coherent.
+        self.eval_comb();
+    }
+
+    /// Raw word slice of a node value (used by the BSP engine checks).
+    pub fn node_words(&self, id: NodeId) -> &[u64] {
+        let off = self.node_off[id.index()] as usize;
+        let w = words_for(self.circuit.width(id));
+        &self.arena[off..off + w]
+    }
+
+    /// Advances one full RTL clock cycle.
+    ///
+    /// Inputs driven since the previous step are observed by this cycle's
+    /// clock edge, and all peeked values reflect the post-edge state.
+    pub fn step(&mut self) {
+        if self.inputs_dirty {
+            self.eval_comb();
+            self.inputs_dirty = false;
+        }
+        self.clock_edge();
+        self.eval_comb();
+        self.cycle += 1;
+    }
+
+    /// Advances `n` cycles.
+    pub fn step_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Evaluates all combinational nodes in topological (id) order.
+    fn eval_comb(&mut self) {
+        for i in 0..self.circuit.nodes.len() {
+            self.eval_node(i);
+        }
+    }
+
+    fn eval_node(&mut self, i: usize) {
+        let node = &self.circuit.nodes[i];
+        let off = self.node_off[i] as usize;
+        let nw = words_for(node.width);
+        match &node.kind {
+            NodeKind::Const(_) => {} // preloaded
+            NodeKind::Input(id) => {
+                let src = self.input_off[id.index()] as usize;
+                // Input and node widths match (validated).
+                let (a, b) = (src, src + nw);
+                let tmp: Vec<u64> = self.input_buf[a..b].to_vec();
+                self.arena[off..off + nw].copy_from_slice(&tmp);
+            }
+            NodeKind::RegRead(r) => {
+                let src = self.reg_off[r.index()] as usize;
+                let tmp: Vec<u64> = self.reg_cur[src..src + nw].to_vec();
+                self.arena[off..off + nw].copy_from_slice(&tmp);
+            }
+            NodeKind::ArrayRead { array, index } => {
+                let idx = self.read_index(*index);
+                let a = &self.arrays[array.index()];
+                let depth = self.circuit.arrays[array.index()].depth as u64;
+                if idx < depth {
+                    let src = idx as usize * nw;
+                    let tmp: Vec<u64> = a[src..src + nw].to_vec();
+                    self.arena[off..off + nw].copy_from_slice(&tmp);
+                } else {
+                    self.arena[off..off + nw].fill(0);
+                }
+            }
+            _ => {
+                // Pure combinational op: operands strictly precede `i`,
+                // so the arena splits into read/write halves.
+                let (src, dst_tail) = self.arena.split_at_mut(off);
+                let dst = &mut dst_tail[..nw];
+                eval_pure(self.circuit, &self.node_off, node, i, src, dst);
+            }
+        }
+    }
+
+    fn read_index(&self, id: NodeId) -> u64 {
+        let off = self.node_off[id.index()] as usize;
+        let w = words_for(self.circuit.width(id));
+        if self.arena[off + 1..off + w].iter().any(|&x| x != 0) {
+            u64::MAX // definitely out of range for any real array
+        } else {
+            self.arena[off]
+        }
+    }
+
+    fn clock_edge(&mut self) {
+        // Latch register next-values.
+        for (ri, r) in self.circuit.regs.iter().enumerate() {
+            let next = r.next.expect("validated circuit");
+            let src = self.node_off[next.index()] as usize;
+            let dst = self.reg_off[ri] as usize;
+            let w = words_for(r.width);
+            self.reg_next[dst..dst + w].copy_from_slice(&self.arena[src..src + w]);
+        }
+        std::mem::swap(&mut self.reg_cur, &mut self.reg_next);
+        // Apply array write ports in declaration order (last wins).
+        for (ai, a) in self.circuit.arrays.iter().enumerate() {
+            let w = words_for(a.width);
+            for p in &a.write_ports {
+                let en_off = self.node_off[p.enable.index()] as usize;
+                if self.arena[en_off] & 1 == 0 {
+                    continue;
+                }
+                let idx = self.read_index(p.index);
+                if idx >= a.depth as u64 {
+                    continue;
+                }
+                let src = self.node_off[p.data.index()] as usize;
+                let dst = idx as usize * w;
+                let (arena, arrays) = (&self.arena, &mut self.arrays);
+                arrays[ai][dst..dst + w].copy_from_slice(&arena[src..src + w]);
+            }
+        }
+    }
+}
+
+/// Evaluates a pure combinational node whose operands live in `src`
+/// (all words before the node's own offset) into `dst`.
+///
+/// Shared by the reference interpreter and the BSP engine (which passes
+/// process-local offsets through `off_of`).
+pub(crate) fn eval_pure(
+    circuit: &Circuit,
+    off_of: &[u32],
+    node: &parendi_rtl::Node,
+    _index: usize,
+    src: &[u64],
+    dst: &mut [u64],
+) {
+    use parendi_rtl::BinOp;
+    let w = node.width;
+    let opnd = |id: NodeId| {
+        let off = off_of[id.index()] as usize;
+        &src[off..off + words_for(circuit.width(id))]
+    };
+    match &node.kind {
+        NodeKind::Un(op, a) => {
+            let a = opnd(*a);
+            match op {
+                UnOp::Not => word::not(dst, a, w),
+                UnOp::Neg => {
+                    let zero = vec![0u64; a.len()];
+                    word::sub(dst, &zero, a, w);
+                }
+                UnOp::RedAnd => dst[0] = word::red_and(a, circuit.width(unop_arg(node))) as u64,
+                UnOp::RedOr => dst[0] = word::red_or(a) as u64,
+                UnOp::RedXor => dst[0] = word::red_xor(a) as u64,
+            }
+        }
+        NodeKind::Bin(op, a, b) => {
+            let (aw, av, bv) = (circuit.width(*a), opnd(*a), opnd(*b));
+            match op {
+                BinOp::And => word::and(dst, av, bv, w),
+                BinOp::Or => word::or(dst, av, bv, w),
+                BinOp::Xor => word::xor(dst, av, bv, w),
+                BinOp::Add => word::add(dst, av, bv, w),
+                BinOp::Sub => word::sub(dst, av, bv, w),
+                BinOp::Mul => word::mul(dst, av, bv, w),
+                BinOp::Eq => dst[0] = word::eq(av, bv) as u64,
+                BinOp::Ne => dst[0] = !word::eq(av, bv) as u64,
+                BinOp::LtU => dst[0] = word::lt_u(av, bv) as u64,
+                BinOp::LtS => dst[0] = word::lt_s(av, bv, aw) as u64,
+                BinOp::LeU => dst[0] = !word::lt_u(bv, av) as u64,
+                BinOp::LeS => dst[0] = !word::lt_s(bv, av, aw) as u64,
+                BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                    let sh = shift_amount(bv, aw);
+                    match op {
+                        BinOp::Shl => word::shl(dst, av, sh, w),
+                        BinOp::Lshr => word::lshr(dst, av, sh, w),
+                        _ => word::ashr(dst, av, sh, w),
+                    }
+                }
+            }
+        }
+        NodeKind::Mux { sel, t, f } => {
+            let s = opnd(*sel)[0] & 1 == 1;
+            word::copy(dst, if s { opnd(*t) } else { opnd(*f) });
+        }
+        NodeKind::Slice { src: s, lo } => {
+            word::slice(dst, opnd(*s), lo + w - 1, *lo);
+        }
+        NodeKind::Zext(a) => word::zext(dst, opnd(*a), w),
+        NodeKind::Sext(a) => word::sext(dst, opnd(*a), circuit.width(*a), w),
+        NodeKind::Concat { hi, lo } => {
+            word::concat(dst, opnd(*hi), opnd(*lo), circuit.width(*lo));
+        }
+        NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) | NodeKind::ArrayRead { .. } => {
+            unreachable!("sources handled by the caller")
+        }
+    }
+}
+
+fn unop_arg(node: &parendi_rtl::Node) -> NodeId {
+    match node.kind {
+        NodeKind::Un(_, a) => a,
+        _ => unreachable!(),
+    }
+}
+
+/// Saturating shift amount: anything ≥ the value width behaves as width.
+fn shift_amount(bv: &[u64], width: u32) -> u32 {
+    if bv[1..].iter().any(|&x| x != 0) || bv[0] > u32::MAX as u64 {
+        width
+    } else {
+        (bv[0] as u32).min(width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_rtl::Builder;
+
+    #[test]
+    fn counter_counts() {
+        let mut b = Builder::new("c");
+        let r = b.reg("count", 8, 0);
+        let one = b.lit(8, 1);
+        let n = b.add(r.q(), one);
+        b.connect(r, n);
+        b.output("q", r.q());
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        assert_eq!(sim.output("q").unwrap().to_u64(), 0);
+        sim.step_n(5);
+        assert_eq!(sim.output("q").unwrap().to_u64(), 5);
+        sim.step_n(251);
+        assert_eq!(sim.output("q").unwrap().to_u64(), 0, "8-bit wraparound");
+        assert_eq!(sim.cycle(), 256);
+    }
+
+    #[test]
+    fn xorshift64_matches_software() {
+        let seed = 0x2545_F491_4F6C_DD1Du64;
+        let mut b = Builder::new("prng");
+        let s = b.reg_init("s", Bits::from_u64(64, seed));
+        let t1 = b.shli(s.q(), 13);
+        let x1 = b.xor(s.q(), t1);
+        let t2 = b.lshri(x1, 7);
+        let x2 = b.xor(x1, t2);
+        let t3 = b.shli(x2, 17);
+        let x3 = b.xor(x2, t3);
+        b.connect(s, x3);
+        b.output("out", s.q());
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        let mut sw = seed;
+        for _ in 0..100 {
+            assert_eq!(sim.output("out").unwrap().to_u64(), sw);
+            sw ^= sw << 13;
+            sw ^= sw >> 7;
+            sw ^= sw << 17;
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn inputs_drive_logic() {
+        let mut b = Builder::new("mux");
+        let sel = b.input("sel", 1);
+        let a = b.input("a", 16);
+        let bb = b.input("b", 16);
+        let m = b.mux(sel, a, bb);
+        b.output("o", m);
+        let r = b.reg("dummy", 1, 0);
+        b.connect(r, r.q());
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        sim.poke("a", 0xaaaa);
+        sim.poke("b", 0xbbbb);
+        sim.poke("sel", 0);
+        sim.step();
+        assert_eq!(sim.output("o").unwrap().to_u64(), 0xbbbb);
+        sim.poke("sel", 1);
+        sim.step();
+        assert_eq!(sim.output("o").unwrap().to_u64(), 0xaaaa);
+    }
+
+    #[test]
+    fn memory_write_read_with_port_priority() {
+        let mut b = Builder::new("mem");
+        let we = b.input("we", 1);
+        let addr = b.input("addr", 4);
+        let d0 = b.input("d0", 32);
+        let d1 = b.input("d1", 32);
+        let mem = b.array("m", 32, 16);
+        b.array_write(mem, addr, d0, we);
+        b.array_write(mem, addr, d1, we); // same index: port 1 wins
+        let rd = b.array_read(mem, addr);
+        b.output("q", rd);
+        let r = b.reg("dummy", 1, 0);
+        b.connect(r, r.q());
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        sim.poke("we", 1);
+        sim.poke("addr", 3);
+        sim.poke("d0", 111);
+        sim.poke("d1", 222);
+        sim.step();
+        assert_eq!(sim.array_value(ArrayId(0), 3).to_u64(), 222, "last port wins");
+        assert_eq!(sim.output("q").unwrap().to_u64(), 222);
+        sim.poke("we", 0);
+        sim.poke("d1", 999);
+        sim.step();
+        assert_eq!(sim.array_value(ArrayId(0), 3).to_u64(), 222, "disabled port holds");
+    }
+
+    #[test]
+    fn wide_datapath() {
+        // 200-bit accumulator.
+        let mut b = Builder::new("wide");
+        let r = b.reg("acc", 200, 0);
+        let k = b.lit_bits(Bits::from_hex(200, "ffffffffffffffffff").unwrap());
+        let n = b.add(r.q(), k);
+        b.connect(r, n);
+        b.output("acc", r.q());
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        sim.step_n(3);
+        let expect = Bits::from_hex(200, "ffffffffffffffffff")
+            .unwrap()
+            .mul(&Bits::from_u64(200, 3).zext(200));
+        assert_eq!(sim.output("acc").unwrap(), expect);
+    }
+
+    #[test]
+    fn array_backdoor_and_oob_read() {
+        let mut b = Builder::new("bd");
+        let idx = b.input("i", 8); // can address beyond depth 16
+        let mem = b.array("m", 8, 16);
+        let rd = b.array_read(mem, idx);
+        b.output("q", rd);
+        let r = b.reg("dummy", 1, 0);
+        b.connect(r, r.q());
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        sim.write_array(ArrayId(0), 7, &Bits::from_u64(8, 0x5a));
+        sim.poke("i", 7);
+        sim.step();
+        assert_eq!(sim.output("q").unwrap().to_u64(), 0x5a);
+        sim.poke("i", 200); // out of range reads zero
+        sim.step();
+        assert_eq!(sim.output("q").unwrap().to_u64(), 0);
+    }
+
+    #[test]
+    fn registers_update_simultaneously() {
+        // Swap network: a <-> b every cycle.
+        let mut b = Builder::new("swap");
+        let ra = b.reg("a", 8, 1);
+        let rb = b.reg("b", 8, 2);
+        b.connect(ra, rb.q());
+        b.connect(rb, ra.q());
+        let c = b.finish().unwrap();
+        let mut sim = Simulator::new(&c);
+        sim.step();
+        assert_eq!(sim.reg_value(RegId(0)).to_u64(), 2);
+        assert_eq!(sim.reg_value(RegId(1)).to_u64(), 1);
+        sim.step();
+        assert_eq!(sim.reg_value(RegId(0)).to_u64(), 1);
+        assert_eq!(sim.reg_value(RegId(1)).to_u64(), 2);
+    }
+}

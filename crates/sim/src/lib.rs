@@ -1,0 +1,48 @@
+//! # parendi-sim
+//!
+//! The BSP simulation engine of the Parendi reproduction:
+//!
+//! * [`interp::Simulator`] — the single-threaded full-cycle reference
+//!   interpreter (the semantic oracle);
+//! * [`bsp::BspSimulator`] — parallel host execution of a compiled
+//!   partition with the two-barrier BSP structure of Fig. 3;
+//! * [`timing`] — the Eq. 1 cost breakdown
+//!   (`t_comp`/`t_comm`/`t_sync`) on the IPU machine model.
+//!
+//! # Examples
+//!
+//! ```
+//! use parendi_rtl::Builder;
+//! use parendi_core::{compile, PartitionConfig};
+//! use parendi_sim::{Simulator, BspSimulator};
+//! use parendi_rtl::RegId;
+//!
+//! let mut b = Builder::new("counter");
+//! let r = b.reg("c", 16, 0);
+//! let one = b.lit(16, 1);
+//! let n = b.add(r.q(), one);
+//! b.connect(r, n);
+//! let circuit = b.finish().unwrap();
+//!
+//! // Reference run.
+//! let mut reference = Simulator::new(&circuit);
+//! reference.step_n(10);
+//!
+//! // Parallel BSP run of the compiled partition.
+//! let comp = compile(&circuit, &PartitionConfig::with_tiles(2)).unwrap();
+//! let mut bsp = BspSimulator::new(&circuit, &comp.partition, 2);
+//! bsp.run(10);
+//! assert_eq!(bsp.reg_value(RegId(0)), reference.reg_value(RegId(0)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bsp;
+pub mod interp;
+pub mod timing;
+pub mod vcd;
+
+pub use bsp::BspSimulator;
+pub use interp::Simulator;
+pub use timing::{ipu_rate_khz, ipu_timings};
+pub use vcd::{dump_vcd, VcdWriter};

@@ -1,0 +1,115 @@
+//! The BSP engine must be bit-identical to the reference interpreter for
+//! every circuit, partition shape, and thread count — this is the
+//! correctness claim behind cycle-accurate parallel simulation (§3.2).
+
+mod common;
+
+use common::random_circuit;
+use parendi_core::{compile, MultiChipStrategy, PartitionConfig, Strategy};
+use parendi_rtl::{Builder, Circuit, RegId};
+use parendi_sim::{BspSimulator, Simulator};
+use proptest::prelude::*;
+
+/// Runs both engines and asserts identical architectural state.
+fn check_equivalence(circuit: &Circuit, tiles: u32, threads: usize, cycles: u64) {
+    let mut cfg = PartitionConfig::with_tiles(tiles);
+    cfg.tiles_per_chip = (tiles.div_ceil(2)).max(1); // force multi-chip paths too
+    let comp = compile(circuit, &cfg).expect("compiles");
+    let mut reference = Simulator::new(circuit);
+    let mut bsp = BspSimulator::new(circuit, &comp.partition, threads);
+    reference.step_n(cycles);
+    bsp.run(cycles);
+    for i in 0..circuit.regs.len() {
+        assert_eq!(
+            bsp.reg_value(RegId(i as u32)),
+            reference.reg_value(RegId(i as u32)),
+            "register {} ({}) diverged after {cycles} cycles on {tiles} tiles / {threads} threads",
+            i,
+            circuit.regs[i].name,
+        );
+    }
+    for (ai, a) in circuit.arrays.iter().enumerate() {
+        for idx in 0..a.depth {
+            assert_eq!(
+                bsp.array_value(parendi_rtl::ArrayId(ai as u32), idx),
+                reference.array_value(parendi_rtl::ArrayId(ai as u32), idx),
+                "array {} [{}] diverged",
+                a.name,
+                idx
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_seeds_all_tile_and_thread_shapes() {
+    for seed in 0..6u64 {
+        let c = random_circuit(seed, 12, 60);
+        for &(tiles, threads) in &[(1u32, 1usize), (2, 2), (4, 2), (8, 4), (13, 3)] {
+            check_equivalence(&c, tiles, threads, 25);
+        }
+    }
+}
+
+#[test]
+fn strategies_are_equivalent_too() {
+    let c = random_circuit(99, 16, 80);
+    for strategy in [Strategy::BottomUp, Strategy::Hypergraph] {
+        for mc in [MultiChipStrategy::Pre, MultiChipStrategy::Post, MultiChipStrategy::None] {
+            let mut cfg = PartitionConfig::with_tiles(6);
+            cfg.tiles_per_chip = 3;
+            cfg.strategy = strategy;
+            cfg.multi_chip = mc;
+            let comp = compile(&c, &cfg).expect("compiles");
+            let mut reference = Simulator::new(&c);
+            let mut bsp = BspSimulator::new(&c, &comp.partition, 3);
+            reference.step_n(20);
+            bsp.run(20);
+            for i in 0..c.regs.len() {
+                assert_eq!(
+                    bsp.reg_value(RegId(i as u32)),
+                    reference.reg_value(RegId(i as u32)),
+                    "{strategy:?}/{mc:?} diverged at reg {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inputs_propagate_identically() {
+    let mut b = Builder::new("io");
+    let x = b.input("x", 32);
+    let r = b.reg("acc", 32, 0);
+    let s = b.add(r.q(), x);
+    b.connect(r, s);
+    let c = b.finish().unwrap();
+    let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
+    let mut reference = Simulator::new(&c);
+    let mut bsp = BspSimulator::new(&c, &comp.partition, 1);
+    for v in [5u64, 7, 11] {
+        reference.poke("x", v);
+        bsp.poke("x", v);
+        reference.step_n(2);
+        bsp.run(2);
+    }
+    assert_eq!(reference.reg_value(RegId(0)).to_u64(), 2 * (5 + 7 + 11));
+    assert_eq!(bsp.reg_value(RegId(0)), reference.reg_value(RegId(0)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: any random circuit, any partition width, any thread
+    /// count — identical state after a random number of cycles.
+    #[test]
+    fn bsp_matches_reference(
+        seed in 0u64..10_000,
+        tiles in 1u32..10,
+        threads in 1usize..5,
+        cycles in 1u64..40,
+    ) {
+        let c = random_circuit(seed, 8, 40);
+        check_equivalence(&c, tiles, threads, cycles);
+    }
+}

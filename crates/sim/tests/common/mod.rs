@@ -1,0 +1,100 @@
+//! Shared random-circuit generator for integration tests.
+
+use parendi_rtl::{Builder, Circuit, Signal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random but well-formed circuit from a seed: a soup of
+/// registers, arrays and combinational ops with data-dependent control.
+pub fn random_circuit(seed: u64, regs: usize, ops: usize) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Builder::new(format!("rand{seed}"));
+    let widths = [1u32, 7, 8, 16, 31, 32, 64, 65, 96];
+    let mut pool: Vec<Signal> = Vec::new();
+    let regs: Vec<_> = (0..regs)
+        .map(|i| {
+            let w = widths[rng.random_range(0..widths.len())];
+            let r = b.reg(format!("r{i}"), w, rng.random::<u64>());
+            pool.push(r.q());
+            r
+        })
+        .collect();
+    // A couple of memories with write traffic derived from registers.
+    let mem = b.array("mem", 32, 32);
+    let seed_sig = b.lit(32, rng.random::<u64>());
+    pool.push(seed_sig);
+
+    let pick = |b: &mut Builder, pool: &[Signal], rng: &mut StdRng, width: u32| -> Signal {
+        // Find a pool signal and adapt its width.
+        let s = pool[rng.random_range(0..pool.len())];
+        match s.width().cmp(&width) {
+            std::cmp::Ordering::Equal => s,
+            std::cmp::Ordering::Less => {
+                if rng.random_bool(0.5) {
+                    b.zext(s, width)
+                } else {
+                    b.sext(s, width)
+                }
+            }
+            std::cmp::Ordering::Greater => b.slice(s, width - 1, 0),
+        }
+    };
+
+    for _ in 0..ops {
+        let w = widths[rng.random_range(0..widths.len())];
+        let a = pick(&mut b, &pool, &mut rng, w);
+        let c = pick(&mut b, &pool, &mut rng, w);
+        let v = match rng.random_range(0..12) {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.mul(a, c),
+            3 => b.and(a, c),
+            4 => b.or(a, c),
+            5 => b.xor(a, c),
+            6 => {
+                let sh = b.lit(8, rng.random_range(0..=(w as u64 + 4)));
+                b.shl(a, sh)
+            }
+            7 => {
+                let sh = b.lit(8, rng.random_range(0..=(w as u64 + 4)));
+                b.ashr(a, sh)
+            }
+            8 => {
+                let sel = b.bit(a, rng.random_range(0..w));
+                b.mux(sel, a, c)
+            }
+            9 => {
+                let lt = b.lt_s(a, c);
+                b.zext(lt, w)
+            }
+            10 => {
+                let idx = pick(&mut b, &pool, &mut rng, 5);
+                let rd = b.array_read(mem, idx);
+                if w == 32 {
+                    rd
+                } else if w < 32 {
+                    b.slice(rd, w - 1, 0)
+                } else {
+                    b.zext(rd, w)
+                }
+            }
+            _ => {
+                let r = b.red_xor(a);
+                b.zext(r, w)
+            }
+        };
+        pool.push(v);
+    }
+    // Connect every register to a random pool value of its width.
+    for r in &regs {
+        let v = pick(&mut b, &pool, &mut rng, r.q().width());
+        b.connect(*r, v);
+    }
+    // One write port on the memory.
+    let idx = pick(&mut b, &pool, &mut rng, 5);
+    let data = pick(&mut b, &pool, &mut rng, 32);
+    let en = pick(&mut b, &pool, &mut rng, 1);
+    b.array_write(mem, idx, data, en);
+    b.finish().expect("random circuit must validate")
+}
+

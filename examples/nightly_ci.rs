@@ -1,0 +1,57 @@
+//! Plan a nightly regression campaign: given a design and a test count,
+//! compare ad-hoc vs fine-grained parallelism on a Dv4 x64 slice and an
+//! IPU-POD4, with dollar costs (the paper's §6.4 / Fig. 13 analysis).
+//!
+//! ```sh
+//! cargo run --release --example nightly_ci [n_tests]
+//! ```
+
+use parendi::baseline::VerilatorModel;
+use parendi::core::{compile, PartitionConfig};
+use parendi::designs::Benchmark;
+use parendi::machine::ipu::IpuConfig;
+use parendi::machine::pricing::{campaign_cost, CloudInstance};
+use parendi::machine::x64::X64Config;
+use parendi::sim::ipu_timings;
+
+fn main() {
+    let n_tests: u32 =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+    let design = Benchmark::Sr(8);
+    let circuit = design.build();
+    println!("campaign: {n_tests} tests of 1M cycles each on {}", design.name());
+
+    let dv4 = X64Config::dv4();
+    let vm = VerilatorModel::new(&circuit);
+    let x64_1t = vm.rate_khz(&dv4, 1);
+    let (t, x64_best, _) = vm.best(&dv4, 16);
+
+    let ipu = IpuConfig::m2000();
+    let chip = compile(&circuit, &PartitionConfig::with_tiles(1472)).expect("fits");
+    let ipu_chip = ipu_timings(&chip, &ipu).rate_khz(&ipu);
+    let pod = compile(&circuit, &PartitionConfig::with_tiles(5888)).expect("fits");
+    let ipu_pod = ipu_timings(&pod, &ipu).rate_khz(&ipu).max(ipu_chip);
+
+    let slice = CloudInstance::dv4(16);
+    let pod_inst = CloudInstance::ipu_pod4();
+    let plans = [
+        ("x64 ad-hoc (16 tests || 1T)", campaign_cost(&slice, n_tests, 1_000_000, x64_1t, 16)),
+        (
+            "x64 fine  (serial, best T)",
+            campaign_cost(&slice, n_tests, 1_000_000, x64_best, 1),
+        ),
+        ("ipu ad-hoc (4 tests || 1chip)", campaign_cost(&pod_inst, n_tests, 1_000_000, ipu_chip, 4)),
+        ("ipu fine  (serial, 4 chips)", campaign_cost(&pod_inst, n_tests, 1_000_000, ipu_pod, 1)),
+    ];
+    println!("x64 rates: {x64_1t:.1} kHz @1T, {x64_best:.1} kHz @{t}T");
+    println!("ipu rates: {ipu_chip:.1} kHz @1 chip, {ipu_pod:.1} kHz @4 chips\n");
+    println!("{:<30} {:>10} {:>10}", "strategy", "hours", "USD");
+    let mut best = &plans[0];
+    for p in &plans {
+        println!("{:<30} {:>10.3} {:>10.2}", p.0, p.1.hours, p.1.usd);
+        if p.1.usd < best.1.usd {
+            best = p;
+        }
+    }
+    println!("\ncheapest: {} at ${:.2}", best.0, best.1.usd);
+}

@@ -1,0 +1,66 @@
+//! Explore partitioning strategies on one design: bottom-up vs
+//! hypergraph, multi-chip pre/post/none, and the differential-exchange
+//! ablation — the paper's §5.1/§5.2/§6.6 design space in one run.
+//!
+//! ```sh
+//! cargo run --release --example partition_lab
+//! ```
+
+use parendi::core::{compile, MultiChipStrategy, PartitionConfig, Strategy};
+use parendi::designs::Benchmark;
+use parendi::machine::ipu::IpuConfig;
+use parendi::sim::ipu_timings;
+
+fn main() {
+    let design = Benchmark::Sr(6);
+    let circuit = design.build();
+    let ipu = IpuConfig::m2000();
+    println!("design: {} ({} nodes)\n", design.name(), circuit.nodes.len());
+
+    println!("single-chip strategy (1472 tiles):");
+    for (name, strategy) in [("bottom-up", Strategy::BottomUp), ("hypergraph", Strategy::Hypergraph)] {
+        let mut cfg = PartitionConfig::with_tiles(1472);
+        cfg.strategy = strategy;
+        let comp = compile(&circuit, &cfg).expect("fits");
+        let t = ipu_timings(&comp, &ipu);
+        println!(
+            "  {name:<12} {:>8.1} kHz | straggler {:>5} cyc | util {:>4.0}% | cut {:>6} B",
+            t.rate_khz(&ipu),
+            comp.partition.straggler_cost(),
+            100.0 * comp.partition.utilization(),
+            comp.plan.onchip_cut_bytes,
+        );
+    }
+
+    println!("\nmulti-chip strategy (2 chips of 64 tiles):");
+    for (name, mc) in [
+        ("pre", MultiChipStrategy::Pre),
+        ("post", MultiChipStrategy::Post),
+        ("none", MultiChipStrategy::None),
+    ] {
+        let mut cfg = PartitionConfig::with_tiles(128);
+        cfg.tiles_per_chip = 64;
+        cfg.multi_chip = mc;
+        let comp = compile(&circuit, &cfg).expect("fits");
+        let t = ipu_timings(&comp, &ipu);
+        println!(
+            "  {name:<12} {:>8.1} kHz | off-chip volume {:>8} B",
+            t.rate_khz(&ipu),
+            comp.plan.offchip_total_bytes,
+        );
+    }
+
+    println!("\ndifferential exchange (§5.2) on a register-file heavy design:");
+    let rf_design = Benchmark::Pico.build();
+    for (name, diff) in [("on", true), ("off", false)] {
+        let mut cfg = PartitionConfig::with_tiles(8);
+        cfg.differential_exchange = diff;
+        let comp = compile(&rf_design, &cfg).expect("fits");
+        let t = ipu_timings(&comp, &ipu);
+        println!(
+            "  {name:<4} {:>8.1} kHz | worst tile traffic {:>8} B/cycle",
+            t.rate_khz(&ipu),
+            comp.plan.max_tile_onchip_bytes,
+        );
+    }
+}

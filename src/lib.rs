@@ -1,0 +1,36 @@
+//! # parendi
+//!
+//! Workspace facade for the Parendi reproduction (ASPLOS 2025,
+//! "Parendi: Thousand-Way Parallel RTL Simulation"). Re-exports every
+//! member crate so examples and integration tests can span the stack:
+//!
+//! * [`rtl`] — bit vectors, RTL IR, builder eDSL;
+//! * [`graph`] — cost model, fibers, bitsets, analyses;
+//! * [`hypergraph`] — the multilevel partitioner;
+//! * [`machine`] — IPU / x64 / Manticore / pricing models;
+//! * [`core`] — the four-stage Parendi compiler;
+//! * [`sim`] — reference interpreter, parallel BSP engine, timing;
+//! * [`baseline`] — the Verilator-like comparator;
+//! * [`designs`] — the benchmark designs.
+//!
+//! # Examples
+//!
+//! ```
+//! use parendi::core::{compile, PartitionConfig};
+//! use parendi::designs::Benchmark;
+//!
+//! let circuit = Benchmark::Bitcoin.build();
+//! let comp = compile(&circuit, &PartitionConfig::with_tiles(256)).unwrap();
+//! assert!(comp.partition.tiles_used() <= 256);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use parendi_baseline as baseline;
+pub use parendi_core as core;
+pub use parendi_designs as designs;
+pub use parendi_graph as graph;
+pub use parendi_hypergraph as hypergraph;
+pub use parendi_machine as machine;
+pub use parendi_rtl as rtl;
+pub use parendi_sim as sim;
