@@ -62,8 +62,7 @@ impl VerilatorModel {
         let working_set_bytes = code_bytes + data_bytes + array_bytes;
 
         let fiber_instrs: Vec<u64> = fibers.fibers.iter().map(|f| f.x64_cost).collect();
-        let fiber_out_bytes: Vec<u64> =
-            fibers.fibers.iter().map(|f| f.out_bytes as u64).collect();
+        let fiber_out_bytes: Vec<u64> = fibers.fibers.iter().map(|f| f.out_bytes as u64).collect();
 
         // Register edges: writer fiber -> each reader fiber.
         let adj = parendi_graph::analysis::adjacency(circuit, fibers);
@@ -78,7 +77,13 @@ impl VerilatorModel {
                 }
             }
         }
-        VerilatorModel { total_instrs, working_set_bytes, fiber_instrs, fiber_out_bytes, edges }
+        VerilatorModel {
+            total_instrs,
+            working_set_bytes,
+            fiber_instrs,
+            fiber_out_bytes,
+            edges,
+        }
     }
 
     /// Number of fibers (macro-task atoms).
@@ -126,7 +131,11 @@ impl VerilatorModel {
         }
         let comp = host.comp_cycles(max_thread, self.working_set_bytes, threads);
         let comm = host.comm_cycles(cross_bytes, threads);
-        let sync = if threads > 1 { host.sync_cycles(threads) as f64 } else { 0.0 };
+        let sync = if threads > 1 {
+            host.sync_cycles(threads) as f64
+        } else {
+            0.0
+        };
         X64Timings { comp, comm, sync }
     }
 
@@ -194,7 +203,10 @@ mod tests {
         let m = VerilatorModel::new(&c);
         let ix3 = X64Config::ix3();
         let (best_t, _khz, gain) = m.best(&ix3, 32);
-        assert!(gain < 1.5, "a tiny design must not scale: gain {gain} at {best_t} threads");
+        assert!(
+            gain < 1.5,
+            "a tiny design must not scale: gain {gain} at {best_t} threads"
+        );
     }
 
     #[test]
@@ -204,7 +216,10 @@ mod tests {
         let m = VerilatorModel::new(&c);
         let ix3 = X64Config::ix3();
         let (best_t, _khz, gain) = m.best(&ix3, 32);
-        assert!(gain > 4.0, "large design gain only {gain} at {best_t} threads");
+        assert!(
+            gain > 4.0,
+            "large design gain only {gain} at {best_t} threads"
+        );
         assert!(best_t >= 8);
     }
 

@@ -7,16 +7,23 @@ use std::hint::black_box;
 
 fn bench_bits(c: &mut Criterion) {
     let mut g = c.benchmark_group("bits");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(1));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1));
     let a64 = Bits::from_u64(64, 0x0123_4567_89ab_cdef);
     let b64 = Bits::from_u64(64, 0xfedc_ba98_7654_3210);
     let a512 = Bits::from_hex(512, &"ab".repeat(64)).unwrap();
     let b512 = Bits::from_hex(512, &"cd".repeat(64)).unwrap();
     g.bench_function("add64", |b| b.iter(|| black_box(&a64).add(black_box(&b64))));
-    g.bench_function("add512", |b| b.iter(|| black_box(&a512).add(black_box(&b512))));
-    g.bench_function("mul512", |b| b.iter(|| black_box(&a512).mul(black_box(&b512))));
+    g.bench_function("add512", |b| {
+        b.iter(|| black_box(&a512).add(black_box(&b512)))
+    });
+    g.bench_function("mul512", |b| {
+        b.iter(|| black_box(&a512).mul(black_box(&b512)))
+    });
     g.bench_function("shl512", |b| b.iter(|| black_box(&a512).shl(137)));
-    g.bench_function("concat", |b| b.iter(|| black_box(&a512).concat(black_box(&b64))));
+    g.bench_function("concat", |b| {
+        b.iter(|| black_box(&a512).concat(black_box(&b64)))
+    });
     g.finish();
 }
 

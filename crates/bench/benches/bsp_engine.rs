@@ -1,5 +1,8 @@
 //! Parallel BSP engine throughput: the same partitioned design executed
-//! with 1 vs several host threads.
+//! with 1 vs several host threads, plus the measured compute/exchange
+//! phase split next to the modeled exchange cost — the engine executes
+//! the very hops the `Routing`-derived `ExchangePlan` sums over, so the
+//! two columns describe one structure.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use parendi_core::{compile, PartitionConfig};
@@ -8,10 +11,11 @@ use parendi_sim::BspSimulator;
 
 fn bench_bsp(c: &mut Criterion) {
     let mut g = c.benchmark_group("bsp_engine");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let circuit = Benchmark::Sr(4).build();
     let comp = compile(&circuit, &PartitionConfig::with_tiles(64)).expect("fits");
-    for threads in [1usize, 4] {
+    for threads in [1usize, 4, 8] {
         g.throughput(Throughput::Elements(50));
         g.bench_function(format!("sr4_64tiles_{threads}thr"), |b| {
             let mut sim = BspSimulator::new(&circuit, &comp.partition, threads);
@@ -21,5 +25,40 @@ fn bench_bsp(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bsp);
+/// Measured engine phase split vs the modeled exchange volumes, at the
+/// tile counts the paper's figures sweep.
+fn phase_split_report(_c: &mut Criterion) {
+    println!("\nbsp_engine phase split: measured engine vs modeled exchange");
+    println!(
+        "{:>10} {:>6} {:>4} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "design", "tiles", "thr", "b(bytes)", "mb(bytes)", "compute", "exchange", "cyc/s"
+    );
+    for (bench, tiles) in [
+        (Benchmark::Sr(4), 64u32),
+        (Benchmark::Mc, 32),
+        (Benchmark::Vta, 48),
+    ] {
+        let circuit = bench.build();
+        let comp = compile(&circuit, &PartitionConfig::with_tiles(tiles)).expect("fits");
+        for threads in [1usize, 4] {
+            let mut sim = BspSimulator::new(&circuit, &comp.partition, threads);
+            sim.run(20); // warm the pool and the caches
+            let cycles = 200u64;
+            let ph = sim.run_timed(cycles);
+            println!(
+                "{:>10} {:>6} {:>4} {:>10} {:>10} {:>10.1}µs {:>10.1}µs {:>12.0}",
+                bench.name(),
+                comp.partition.tiles_used(),
+                threads,
+                comp.plan.max_tile_onchip_bytes,
+                comp.plan.offchip_total_bytes,
+                ph.compute_s * 1e6 / cycles as f64,
+                ph.exchange_s * 1e6 / cycles as f64,
+                cycles as f64 / ph.total_s,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_bsp, phase_split_report);
 criterion_main!(benches);

@@ -24,7 +24,8 @@ fn mesh_graph(side: u32) -> Hypergraph {
 
 fn bench_hypergraph(c: &mut Criterion) {
     let mut g = c.benchmark_group("hypergraph");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     let hg = mesh_graph(48); // 2304 nodes
     for k in [2u32, 4] {
         g.bench_function(format!("mesh48_k{k}"), |b| {

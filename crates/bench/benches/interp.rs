@@ -8,7 +8,8 @@ use parendi_sim::Simulator;
 
 fn bench_interp(c: &mut Criterion) {
     let mut g = c.benchmark_group("interp");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
     for bench in [Benchmark::Pico, Benchmark::Bitcoin, Benchmark::Sr(3)] {
         let circuit = bench.build();
         g.throughput(Throughput::Elements(100));

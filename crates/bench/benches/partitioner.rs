@@ -8,7 +8,8 @@ use std::hint::black_box;
 
 fn bench_partitioner(c: &mut Criterion) {
     let mut g = c.benchmark_group("partitioner");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3));
     let circuit = Benchmark::Sr(6).build();
     g.bench_function("sr6_bottom_up_1472", |b| {
         b.iter(|| compile(black_box(&circuit), &PartitionConfig::with_tiles(1472)).unwrap())

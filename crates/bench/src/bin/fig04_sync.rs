@@ -6,10 +6,12 @@
 //! cost is *measured* from the real xorshift design via the cost model;
 //! the barrier costs come from the machine models of §4.1.
 
+use parendi_core::{compile, PartitionConfig};
 use parendi_designs::prng::build_prng_bank;
 use parendi_graph::{extract_fibers, CostModel};
 use parendi_machine::ipu::IpuConfig;
 use parendi_machine::x64::X64Config;
+use parendi_sim::BspSimulator;
 
 fn main() {
     // Measure one fiber's cost from the real design.
@@ -18,9 +20,7 @@ fn main() {
     let fibers = extract_fibers(&bank, &costs);
     let ipu_fiber = fibers.fibers[0].ipu_cost;
     let x64_fiber = fibers.fibers[0].x64_cost;
-    println!(
-        "measured xorshift fiber: {ipu_fiber} IPU cycles, {x64_fiber} x64 instructions\n"
-    );
+    println!("measured xorshift fiber: {ipu_fiber} IPU cycles, {x64_fiber} x64 instructions\n");
 
     let ipu = IpuConfig::m2000();
     println!("Fig. 4 (left): IPU, rate normalized to 64 tiles");
@@ -47,16 +47,20 @@ fn main() {
 
     let ix3 = X64Config::ix3();
     println!("\nFig. 4 (right): x64 (ix3 barrier), rate normalized to 1 thread");
-    println!("{:>8} {:>9} {:>9} {:>9}", "threads", "736f", "5888f", "47104f");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9}",
+        "threads", "736f", "5888f", "47104f"
+    );
     let fs = [736u64, 5888, 47104];
-    let base: Vec<f64> =
-        fs.iter().map(|&f| 1.0 / (f as f64 * x64_fiber as f64 / ix3.base_ipc)).collect();
+    let base: Vec<f64> = fs
+        .iter()
+        .map(|&f| 1.0 / (f as f64 * x64_fiber as f64 / ix3.base_ipc))
+        .collect();
     for threads in [1u32, 7, 14, 21, 28, 35, 42, 49, 56] {
         let rates: Vec<f64> = fs
             .iter()
             .map(|&f| {
-                1.0 / (ix3.sync_cycles(threads) as f64
-                    + f as f64 * x64_fiber as f64 / ix3.base_ipc)
+                1.0 / (ix3.sync_cycles(threads) as f64 + f as f64 * x64_fiber as f64 / ix3.base_ipc)
             })
             .collect();
         println!(
@@ -66,5 +70,34 @@ fn main() {
             rates[2] / base[2]
         );
     }
-    println!("\nShape check: IPU\u{2019}s 448f line stays near 1.0; x64 falls sharply even at 47104f.");
+    println!(
+        "\nShape check: IPU\u{2019}s 448f line stays near 1.0; x64 falls sharply even at 47104f."
+    );
+
+    // Host-engine cross-check: the PRNGs are independent (`t_comm = 0`),
+    // so the measured exchange phase of the real point-to-point engine is
+    // pure synchronization — the executable counterpart of the modeled
+    // barrier costs above.
+    let bank = build_prng_bank(64);
+    let comp = compile(&bank, &PartitionConfig::with_tiles(32)).expect("prng bank fits");
+    println!(
+        "\nHost engine (measured, {} tiles, t_comm = 0): exchange phase is barrier cost",
+        comp.partition.tiles_used()
+    );
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "threads", "compute/cyc", "exchange/cyc", "kcyc/s"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let mut sim = BspSimulator::new(&bank, &comp.partition, threads);
+        sim.run(100); // warm the persistent pool
+        let cycles = 2000u64;
+        let ph = sim.run_timed(cycles);
+        println!(
+            "{threads:>8} {:>10.2}µs {:>12.2}µs {:>12.1}",
+            ph.compute_s * 1e6 / cycles as f64,
+            ph.exchange_s * 1e6 / cycles as f64,
+            cycles as f64 / ph.total_s / 1e3,
+        );
+    }
 }

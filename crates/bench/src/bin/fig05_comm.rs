@@ -2,7 +2,10 @@
 //! cost follows the per-tile byte count `b`; off-chip cost follows the
 //! total volume `m×b` and saturates the 107 GiB/s fabric.
 
+use parendi_core::{compile, PartitionConfig};
+use parendi_designs::Benchmark;
 use parendi_machine::ipu::IpuConfig;
+use parendi_sim::BspSimulator;
 
 fn main() {
     let ipu = IpuConfig::m2000();
@@ -47,4 +50,38 @@ fn main() {
     let off_small = ipu.offchip_exchange_cycles(2 * 64 * 512);
     println!("\nShape check: on-chip grows only with b ({on_small} -> {on_col} cycles),");
     println!("off-chip grows with m at fixed b ({off_small} -> {off_corner} cycles).");
+
+    // Measured counterpart: the point-to-point engine's exchange phase on
+    // array-carrying designs, next to the modeled per-tile byte count `b`
+    // the on-chip cost follows. Both columns are views of the same
+    // compiled `Routing`.
+    let ipu = IpuConfig::m2000();
+    println!("\nHost engine (measured): exchange phase vs routed volume");
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>12} {:>14}",
+        "design", "tiles", "b(bytes)", "chans", "model(cyc)", "exchange/cyc"
+    );
+    for (bench, tiles) in [
+        (Benchmark::Mc, 16u32),
+        (Benchmark::Vta, 32),
+        (Benchmark::Sr(3), 48),
+    ] {
+        let circuit = bench.build();
+        let comp = compile(&circuit, &PartitionConfig::with_tiles(tiles)).expect("fits");
+        let model_cycles = ipu.sync_cycles(comp.partition.tiles_used())
+            + ipu.onchip_exchange_cycles(comp.plan.max_tile_onchip_bytes);
+        let mut sim = BspSimulator::new(&circuit, &comp.partition, 4);
+        sim.run(50); // warm the persistent pool
+        let cycles = 500u64;
+        let ph = sim.run_timed(cycles);
+        println!(
+            "{:>8} {:>6} {:>10} {:>10} {:>12} {:>12.2}µs",
+            bench.name(),
+            comp.partition.tiles_used(),
+            comp.plan.max_tile_onchip_bytes,
+            sim.channels(),
+            model_cycles,
+            ph.exchange_s * 1e6 / cycles as f64,
+        );
+    }
 }

@@ -16,10 +16,14 @@ fn panel(title: &str, benches: &[Benchmark], threads: &[u32]) {
         print!(" {:>9}-ix3 {:>9}-ae4", b.name(), b.name());
     }
     println!();
-    let models: Vec<VerilatorModel> =
-        benches.iter().map(|b| VerilatorModel::new(&b.build())).collect();
-    let base: Vec<(f64, f64)> =
-        models.iter().map(|m| (m.rate_khz(&ix3, 1), m.rate_khz(&ae4, 1))).collect();
+    let models: Vec<VerilatorModel> = benches
+        .iter()
+        .map(|b| VerilatorModel::new(&b.build()))
+        .collect();
+    let base: Vec<(f64, f64)> = models
+        .iter()
+        .map(|m| (m.rate_khz(&ix3, 1), m.rate_khz(&ae4, 1)))
+        .collect();
     for &t in threads {
         print!("{t:>8}");
         for (m, (b_ix3, b_ae4)) in models.iter().zip(&base) {
@@ -44,12 +48,20 @@ fn main() {
     let (sr, lr) = (sr_max(), lr_max());
     panel(
         "(b) large designs: chiplet/socket cliffs",
-        &[Benchmark::Sr(sr), Benchmark::Lr(lr.saturating_sub(2).max(2)), Benchmark::Lr(lr)],
+        &[
+            Benchmark::Sr(sr),
+            Benchmark::Lr(lr.saturating_sub(2).max(2)),
+            Benchmark::Lr(lr),
+        ],
         &[1, 4, 8, 12, 16, 20, 24, 28, 32],
     );
     panel(
         "(c) architecture differences",
-        &[Benchmark::Sr(sr.min(6)), Benchmark::Sr(sr.min(9)), Benchmark::Lr(lr.min(4))],
+        &[
+            Benchmark::Sr(sr.min(6)),
+            Benchmark::Sr(sr.min(9)),
+            Benchmark::Lr(lr.min(4)),
+        ],
         &[1, 2, 4, 8, 12, 16],
     );
     println!("Shape check: (a) flat beyond a few threads; (b) ae4 gains fade past 8");

@@ -20,8 +20,10 @@ fn main() {
     }
     println!();
     let circuits: Vec<_> = benches.iter().map(|b| b.build()).collect();
-    let base: Vec<f64> =
-        circuits.iter().map(|c| ipu_point(c, TILE_SWEEP[0], &ipu).khz).collect();
+    let base: Vec<f64> = circuits
+        .iter()
+        .map(|c| ipu_point(c, TILE_SWEEP[0], &ipu).khz)
+        .collect();
     for (i, &tiles) in TILE_SWEEP.iter().enumerate() {
         print!("{:>6}", i + 1);
         for (c, b) in circuits.iter().zip(&base) {

@@ -47,7 +47,13 @@ fn bus_soc(cores: u32) -> Circuit {
 /// processes map 1:1 to threads.
 fn x64_bsp_khz(comp: &Compilation, host: &X64Config) -> f64 {
     let threads = comp.partition.tiles_used().min(host.total_cores());
-    let max_thread = comp.partition.processes.iter().map(|p| p.x64_cost).max().unwrap_or(0);
+    let max_thread = comp
+        .partition
+        .processes
+        .iter()
+        .map(|p| p.x64_cost)
+        .max()
+        .unwrap_or(0);
     let ws: u64 = comp
         .partition
         .processes

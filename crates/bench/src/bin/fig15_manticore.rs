@@ -32,10 +32,8 @@ fn main() {
         let mut cfg = PartitionConfig::with_tiles(225);
         cfg.tiles_per_chip = 225;
         let comp = compile(&c, &cfg).expect("fits 225 cores");
-        let per_core_comm =
-            comp.plan.total_sent() / comp.partition.tiles_used().max(1) as u64;
-        let cycles =
-            mcr.cycles_per_rtl_cycle(comp.partition.straggler_cost(), per_core_comm);
+        let per_core_comm = comp.plan.total_sent() / comp.partition.tiles_used().max(1) as u64;
+        let cycles = mcr.cycles_per_rtl_cycle(comp.partition.straggler_cost(), per_core_comm);
         let mcr_khz = mcr.rate_khz(cycles);
         let state = c.array_bytes() + c.state_bits() / 8;
         println!(

@@ -20,8 +20,7 @@ fn main() {
             host.name,
             host.cores_per_socket,
             host.clock_ghz,
-            (host.l3_bytes_per_chiplet * (host.cores_per_socket / host.chiplet_cores) as u64)
-                >> 20,
+            (host.l3_bytes_per_chiplet * (host.cores_per_socket / host.chiplet_cores) as u64) >> 20,
             host.sockets,
             host.barrier_cycles(host.total_cores()),
         );

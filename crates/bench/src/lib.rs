@@ -25,7 +25,9 @@ pub const TILE_SWEEP: [u32; 4] = [1472, 2944, 4416, 5888];
 
 /// Whether quick mode is requested.
 pub fn quick() -> bool {
-    std::env::var("PARENDI_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("PARENDI_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Largest srN mesh side (default 15; quick mode 6).
@@ -72,12 +74,22 @@ pub fn ipu_point(circuit: &Circuit, tiles: u32, ipu: &IpuConfig) -> IpuPoint {
     let comp = compile(circuit, &cfg)
         .unwrap_or_else(|e| panic!("{} does not compile at {tiles} tiles: {e}", circuit.name));
     let timings = ipu_timings(&comp, ipu);
-    IpuPoint { tiles, tiles_used: comp.partition.tiles_used(), khz: timings.rate_khz(ipu), timings, comp }
+    IpuPoint {
+        tiles,
+        tiles_used: comp.partition.tiles_used(),
+        khz: timings.rate_khz(ipu),
+        timings,
+        comp,
+    }
 }
 
 /// The best Parendi rate over the paper's tile sweep.
 pub fn best_ipu(circuit: &Circuit, ipu: &IpuConfig) -> IpuPoint {
-    let sweep: &[u32] = if quick() { &TILE_SWEEP[..2] } else { &TILE_SWEEP };
+    let sweep: &[u32] = if quick() {
+        &TILE_SWEEP[..2]
+    } else {
+        &TILE_SWEEP
+    };
     sweep
         .iter()
         .map(|&t| ipu_point(circuit, t, ipu))
@@ -102,12 +114,19 @@ pub struct VerilatorPoint {
 pub fn verilator_point(model: &VerilatorModel, host: &X64Config) -> VerilatorPoint {
     let st = model.rate_khz(host, 1);
     let (threads, mt, gain) = model.best(host, 32);
-    VerilatorPoint { st_khz: st, mt_khz: mt, threads, gain }
+    VerilatorPoint {
+        st_khz: st,
+        mt_khz: mt,
+        threads,
+        gain,
+    }
 }
 
 /// Geometric mean of an iterator of positive values.
 pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
-    let (sum, n) = values.into_iter().fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
+    let (sum, n) = values
+        .into_iter()
+        .fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
     if n == 0 {
         return 0.0;
     }

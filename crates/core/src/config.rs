@@ -109,7 +109,11 @@ impl fmt::Display for CompileError {
                 "design does not fit: {processes} processes cannot merge down to {tiles} tiles \
                  within memory budgets"
             ),
-            CompileError::FiberTooLarge { fiber, needed, budget } => write!(
+            CompileError::FiberTooLarge {
+                fiber,
+                needed,
+                budget,
+            } => write!(
                 f,
                 "fiber {fiber} needs {needed} bytes, exceeding the per-tile budget of {budget}"
             ),
@@ -133,9 +137,16 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = CompileError::DoesNotFit { processes: 10, tiles: 4 };
+        let e = CompileError::DoesNotFit {
+            processes: 10,
+            tiles: 4,
+        };
         assert!(e.to_string().contains("does not fit"));
-        let e = CompileError::FiberTooLarge { fiber: 3, needed: 1024, budget: 512 };
+        let e = CompileError::FiberTooLarge {
+            fiber: 3,
+            needed: 1024,
+            budget: 512,
+        };
         assert!(e.to_string().contains("fiber 3"));
     }
 }

@@ -5,10 +5,15 @@
 //! phase. The differential-exchange optimization (§5.2) replaces
 //! whole-array transfers with per-port `(index, data, enable)` records,
 //! using the static bound on writes per cycle.
+//!
+//! Since the point-to-point refactor, the volumes reported here are a
+//! *derived view* of the executable [`crate::routing::Routing`]: the
+//! planner sums bytes over exactly the hops the BSP engine executes, so
+//! the cost model and the engine cannot diverge. [`plan`] remains as a
+//! convenience wrapper that compiles a throwaway routing.
 
 use crate::partition::Partition;
-use parendi_graph::fiber::SinkKind;
-use parendi_rtl::bits::words_for;
+use crate::routing::Routing;
 use parendi_rtl::Circuit;
 
 /// Per-cycle communication volumes implied by a partition.
@@ -38,125 +43,12 @@ impl ExchangePlan {
     }
 }
 
-/// Computes the [`ExchangePlan`] of `partition`.
+/// Computes the [`ExchangePlan`] of `partition` by compiling its
+/// point-to-point routing and summing bytes over the routed hops.
+///
+/// Callers that also need the routes themselves (the BSP engine, the
+/// figure binaries) should build a [`Routing`] once and call
+/// [`Routing::exchange_plan`] instead of paying for two compilations.
 pub fn plan(circuit: &Circuit, partition: &Partition, differential: bool) -> ExchangePlan {
-    let n = partition.processes.len();
-    let mut out = ExchangePlan {
-        tile_out_bytes: vec![0; n],
-        tile_in_bytes: vec![0; n],
-        ..Default::default()
-    };
-
-    // Producer tile of each register / array port.
-    let mut reg_writer = vec![u32::MAX; circuit.regs.len()];
-    // Array -> (writer tiles of its ports, total differential bytes/cycle).
-    let mut array_port_tiles: Vec<Vec<(u32, u64)>> = vec![Vec::new(); circuit.arrays.len()];
-    for (pi, p) in partition.processes.iter().enumerate() {
-        for &f in &p.fibers {
-            match partition.fiber_sinks[f.index()] {
-                SinkKind::Reg(r) => reg_writer[r.index()] = pi as u32,
-                SinkKind::ArrayPort { array, .. } => {
-                    let a = &circuit.arrays[array.index()];
-                    let bytes = words_for(a.width) as u64 * 8 + 4 + 1;
-                    array_port_tiles[array.index()].push((pi as u32, bytes));
-                }
-                SinkKind::Output(_) => {}
-            }
-        }
-    }
-
-    // Register traffic.
-    for (pi, p) in partition.processes.iter().enumerate() {
-        for &r in &p.regs_read {
-            let w = reg_writer[r.index()];
-            if w == u32::MAX || w == pi as u32 {
-                continue;
-            }
-            let bytes = words_for(circuit.regs[r.index()].width) as u64 * 8;
-            out.tile_out_bytes[w as usize] += bytes;
-            out.tile_in_bytes[pi] += bytes;
-            let cross_chip = partition.processes[w as usize].chip != p.chip;
-            if cross_chip {
-                out.offchip_total_bytes += bytes;
-            }
-        }
-    }
-    // Unique cut bytes (no fanout): a register counts once if any remote
-    // tile/chip reads it.
-    for (ri, reg) in circuit.regs.iter().enumerate() {
-        let w = reg_writer[ri];
-        if w == u32::MAX {
-            continue;
-        }
-        let bytes = words_for(reg.width) as u64 * 8;
-        let mut crosses_tile = false;
-        let mut crosses_chip = false;
-        for (pi, p) in partition.processes.iter().enumerate() {
-            if pi as u32 == w {
-                continue;
-            }
-            if p.regs_read.binary_search(&parendi_rtl::RegId(ri as u32)).is_ok() {
-                crosses_tile = true;
-                if p.chip != partition.processes[w as usize].chip {
-                    crosses_chip = true;
-                }
-            }
-        }
-        if crosses_tile {
-            out.onchip_cut_bytes += bytes;
-        }
-        if crosses_chip {
-            out.offchip_cut_bytes += bytes;
-        }
-    }
-
-    // Array traffic: every tile holding a copy (reader) must observe every
-    // write port's updates.
-    for (ai, a) in circuit.arrays.iter().enumerate() {
-        let full_bytes = a.size_bytes();
-        let readers: Vec<u32> = partition
-            .processes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.arrays.binary_search(&parendi_rtl::ArrayId(ai as u32)).is_ok())
-            .map(|(i, _)| i as u32)
-            .collect();
-        let mut crossed_tile = false;
-        let mut crossed_chip = false;
-        for &(wt, diff_bytes) in &array_port_tiles[ai] {
-            let payload = if differential { diff_bytes } else { full_bytes };
-            for &rt in &readers {
-                if rt == wt {
-                    continue;
-                }
-                crossed_tile = true;
-                out.tile_out_bytes[wt as usize] += payload;
-                out.tile_in_bytes[rt as usize] += payload;
-                if partition.processes[rt as usize].chip != partition.processes[wt as usize].chip {
-                    out.offchip_total_bytes += payload;
-                    crossed_chip = true;
-                }
-            }
-        }
-        if crossed_tile {
-            out.onchip_cut_bytes += if differential {
-                array_port_tiles[ai].iter().map(|&(_, b)| b).sum()
-            } else {
-                full_bytes
-            };
-        }
-        if crossed_chip {
-            out.offchip_cut_bytes += if differential {
-                array_port_tiles[ai].iter().map(|&(_, b)| b).sum()
-            } else {
-                full_bytes
-            };
-        }
-    }
-
-    out.max_tile_onchip_bytes = (0..n)
-        .map(|i| out.tile_out_bytes[i] + out.tile_in_bytes[i])
-        .max()
-        .unwrap_or(0);
-    out
+    Routing::new(circuit, partition).exchange_plan(circuit, differential)
 }

@@ -3,8 +3,19 @@
 //! The Parendi compiler: the paper's primary contribution. Given an RTL
 //! circuit (from `parendi-rtl`) it extracts fibers, solves the
 //! submodular load-balancing problem with the four-stage algorithm of
-//! §5.1, assigns processes to IPU tiles and chips, and plans the BSP
+//! §5.1, assigns processes to IPU tiles and chips, and compiles the BSP
 //! exchange (including the differential-exchange optimization of §5.2).
+//!
+//! # Exchange architecture
+//!
+//! Compilation produces an executable [`Routing`] ([`routing`]): for
+//! every register and array write port, the producer tile, the explicit
+//! consumer tiles, and pre-resolved word offsets into per-tile-pair
+//! channel buffers. The [`ExchangePlan`] byte counts the cost model
+//! consumes are *derived* from this structure
+//! ([`routing::Routing::exchange_plan`]), and the parallel BSP engine in
+//! `parendi-sim` executes the very same hops through double-buffered
+//! mailboxes — one source of truth for what moves between tiles.
 //!
 //! # Examples
 //!
@@ -32,6 +43,7 @@ pub mod exchange;
 pub mod partition;
 pub mod process;
 pub mod repcut;
+pub mod routing;
 pub mod slb;
 pub mod stages;
 
@@ -39,4 +51,5 @@ pub use config::{CompileError, MultiChipStrategy, PartitionConfig, Strategy};
 pub use exchange::{plan, ExchangePlan};
 pub use partition::Partition;
 pub use process::Process;
+pub use routing::{ChannelSpec, Hop, PortRoute, RegRoute, Routing};
 pub use stages::{compile, Compilation};

@@ -42,7 +42,10 @@ impl Partition {
         if self.processes.is_empty() {
             return 0.0;
         }
-        self.processes.iter().map(|p| p.ipu_cost as f64).sum::<f64>()
+        self.processes
+            .iter()
+            .map(|p| p.ipu_cost as f64)
+            .sum::<f64>()
             / self.processes.len() as f64
     }
 

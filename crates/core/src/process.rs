@@ -65,13 +65,17 @@ impl Process {
     /// The cost of the merged process `self ∪ other` *without* merging:
     /// `τ(A) + τ(B) − τ(A∩B)` over IPU cycles.
     pub fn merged_ipu_cost(&self, other: &Process, costs: &CostModel) -> u64 {
-        let shared = self.nodes.weighted_intersection(&other.nodes, &costs.ipu_cycles);
+        let shared = self
+            .nodes
+            .weighted_intersection(&other.nodes, &costs.ipu_cycles);
         self.ipu_cost + other.ipu_cost - shared
     }
 
     /// The merged code footprint, deduplicated the same way.
     pub fn merged_code_bytes(&self, other: &Process, costs: &CostModel) -> u64 {
-        let shared = self.nodes.weighted_intersection(&other.nodes, &costs.code_bytes);
+        let shared = self
+            .nodes
+            .weighted_intersection(&other.nodes, &costs.code_bytes);
         self.code_bytes + other.code_bytes - shared
     }
 
@@ -79,8 +83,11 @@ impl Process {
     /// one full copy of every referenced array plus register state.
     pub fn data_bytes(&self, circuit: &Circuit, costs: &CostModel) -> u64 {
         let node_bytes = self.nodes.weighted_len(&costs.data_bytes);
-        let array_bytes: u64 =
-            self.arrays.iter().map(|a| circuit.arrays[a.index()].size_bytes()).sum();
+        let array_bytes: u64 = self
+            .arrays
+            .iter()
+            .map(|a| circuit.arrays[a.index()].size_bytes())
+            .sum();
         node_bytes + array_bytes
     }
 
@@ -88,13 +95,17 @@ impl Process {
     pub fn merged_data_bytes(&self, other: &Process, circuit: &Circuit, costs: &CostModel) -> u64 {
         let node_bytes = self.nodes.weighted_len(&costs.data_bytes)
             + other.nodes.weighted_len(&costs.data_bytes)
-            - self.nodes.weighted_intersection(&other.nodes, &costs.data_bytes);
+            - self
+                .nodes
+                .weighted_intersection(&other.nodes, &costs.data_bytes);
         let mut arrays = self.arrays.clone();
         arrays.extend_from_slice(&other.arrays);
         arrays.sort_unstable();
         arrays.dedup();
-        let array_bytes: u64 =
-            arrays.iter().map(|a| circuit.arrays[a.index()].size_bytes()).sum();
+        let array_bytes: u64 = arrays
+            .iter()
+            .map(|a| circuit.arrays[a.index()].size_bytes())
+            .sum();
         node_bytes + array_bytes
     }
 
@@ -102,7 +113,9 @@ impl Process {
     pub fn merge(&mut self, other: &Process, costs: &CostModel) {
         self.ipu_cost = self.merged_ipu_cost(other, costs);
         self.x64_cost = self.x64_cost + other.x64_cost
-            - self.nodes.weighted_intersection(&other.nodes, &costs.x64_instrs);
+            - self
+                .nodes
+                .weighted_intersection(&other.nodes, &costs.x64_instrs);
         self.code_bytes = self.merged_code_bytes(other, costs);
         self.nodes.union_with(&other.nodes);
         self.fibers.extend_from_slice(&other.fibers);

@@ -30,15 +30,20 @@ pub fn partition_fibers(
     for (i, f) in fiber_ids.iter().enumerate() {
         local[f.index()] = i as u32;
     }
-    let weights: Vec<u64> =
-        fiber_ids.iter().map(|f| fs.fibers[f.index()].ipu_cost.max(1)).collect();
+    let weights: Vec<u64> = fiber_ids
+        .iter()
+        .map(|f| fs.fibers[f.index()].ipu_cost.max(1))
+        .collect();
     let mut hg = Hypergraph::new(weights);
     for cluster in replication_clusters(fs, &costs.ipu_cycles) {
-        let pins: Vec<u32> =
-            cluster.fibers.iter().filter_map(|f| {
+        let pins: Vec<u32> = cluster
+            .fibers
+            .iter()
+            .filter_map(|f| {
                 let l = local[f.index()];
                 (l != u32::MAX).then_some(l)
-            }).collect();
+            })
+            .collect();
         if pins.len() >= 2 {
             hg.add_edge(cluster.ipu_cost.max(1), pins);
         }
@@ -97,7 +102,11 @@ mod tests {
         // Each process should hold one complete family (fibers 0-3 / 4-7).
         for p in &procs {
             let fams: Vec<u32> = p.fibers.iter().map(|f| f.0 / 4).collect();
-            assert!(fams.iter().all(|&x| x == fams[0]), "family split: {:?}", p.fibers);
+            assert!(
+                fams.iter().all(|&x| x == fams[0]),
+                "family split: {:?}",
+                p.fibers
+            );
         }
     }
 

@@ -50,7 +50,7 @@ impl<'a> Merger<'a> {
             }
         }
         // Reject fibers that cannot fit a tile even alone (§5.3).
-        for (_pi, p) in processes.iter().enumerate() {
+        for p in processes.iter() {
             if p.fibers.len() == 1 {
                 let data = p.data_bytes(circuit, costs);
                 if data > data_budget {
@@ -100,7 +100,12 @@ impl<'a> Merger<'a> {
 
     /// The worst current execution time (the straggler process).
     pub fn straggler_cost(&self) -> u64 {
-        self.slots.iter().flatten().map(|p| p.ipu_cost).max().unwrap_or(0)
+        self.slots
+            .iter()
+            .flatten()
+            .map(|p| p.ipu_cost)
+            .max()
+            .unwrap_or(0)
     }
 
     fn memory_ok(&self, a: &Process, b: &Process) -> bool {
@@ -111,7 +116,9 @@ impl<'a> Merger<'a> {
     /// Merges slot `b` into slot `a`.
     fn do_merge(&mut self, a: u32, b: u32) {
         let pb = self.slots[b as usize].take().expect("merge of dead slot");
-        let pa = self.slots[a as usize].as_mut().expect("merge into dead slot");
+        let pa = self.slots[a as usize]
+            .as_mut()
+            .expect("merge into dead slot");
         pa.merge(&pb, self.costs);
         for &f in &pb.fibers {
             self.fiber_owner[f.index()] = a;
@@ -148,11 +155,15 @@ impl<'a> Merger<'a> {
     /// under `bound`, else the smallest other process. Returns the slot
     /// that absorbed `p`'s partner, if any merge happened.
     fn try_merge(&mut self, p: u32, bound: Option<u64>, order: &[u32]) -> bool {
-        let Some(cand) = self.slots[p as usize].as_ref() else { return false };
+        let Some(cand) = self.slots[p as usize].as_ref() else {
+            return false;
+        };
         // Best communicating partner by merged cost.
         let mut best: Option<(u64, u32)> = None;
         for &n in &self.neighbors[p as usize] {
-            let Some(pn) = self.slots[n as usize].as_ref() else { continue };
+            let Some(pn) = self.slots[n as usize].as_ref() else {
+                continue;
+            };
             let merged = cand.merged_ipu_cost(pn, self.costs);
             if let Some(b) = bound {
                 if merged > b {
@@ -193,7 +204,11 @@ impl<'a> Merger<'a> {
     /// merge is possible. `grow` selects stage-3 (false: straggler bound
     /// fixed) or stage-4 (true: bound lifted) behaviour.
     pub fn run(&mut self, target: usize, grow: bool) {
-        let bound = if grow { None } else { Some(self.straggler_cost()) };
+        let bound = if grow {
+            None
+        } else {
+            Some(self.straggler_cost())
+        };
         loop {
             if self.active <= target {
                 return;
@@ -235,7 +250,11 @@ mod tests {
         let mut b = Builder::new("chain");
         let regs: Vec<_> = (0..n).map(|i| b.reg(format!("r{i}"), 32, 0)).collect();
         for i in 0..n {
-            let prev = if i == 0 { regs[n - 1].q() } else { regs[i - 1].q() };
+            let prev = if i == 0 {
+                regs[n - 1].q()
+            } else {
+                regs[i - 1].q()
+            };
             let k = b.lit(32, i as u64 + 1);
             let sum = b.add(prev, k);
             b.connect(regs[i], sum);
@@ -254,8 +273,9 @@ mod tests {
         let c = chain(32);
         let (costs, fs) = build_merger(&c);
         let adj = adjacency(&c, &fs);
-        let procs: Vec<Process> =
-            (0..fs.len()).map(|i| Process::singleton(&fs, FiberId(i as u32))).collect();
+        let procs: Vec<Process> = (0..fs.len())
+            .map(|i| Process::singleton(&fs, FiberId(i as u32)))
+            .collect();
         let mut m = Merger::new(&c, &costs, &fs, &adj, procs, 400 << 10, 200 << 10).unwrap();
         let before = m.straggler_cost();
         m.run(8, false);
@@ -290,13 +310,21 @@ mod tests {
         let c = b.finish().unwrap();
         let (costs, fs) = build_merger(&c);
         let adj = adjacency(&c, &fs);
-        let procs: Vec<Process> =
-            (0..fs.len()).map(|i| Process::singleton(&fs, FiberId(i as u32))).collect();
+        let procs: Vec<Process> = (0..fs.len())
+            .map(|i| Process::singleton(&fs, FiberId(i as u32)))
+            .collect();
         let mut m = Merger::new(&c, &costs, &fs, &adj, procs, 400 << 10, 200 << 10).unwrap();
         let bound = m.straggler_cost();
         m.run(2, false);
-        assert!(m.straggler_cost() <= bound, "stage 3 must not grow the straggler");
-        assert!(m.active() <= 3, "independent small fibers should pack: {}", m.active());
+        assert!(
+            m.straggler_cost() <= bound,
+            "stage 3 must not grow the straggler"
+        );
+        assert!(
+            m.active() <= 3,
+            "independent small fibers should pack: {}",
+            m.active()
+        );
     }
 
     #[test]
@@ -311,8 +339,9 @@ mod tests {
         let c = b.finish().unwrap();
         let (costs, fs) = build_merger(&c);
         let adj = adjacency(&c, &fs);
-        let procs: Vec<Process> =
-            (0..fs.len()).map(|i| Process::singleton(&fs, FiberId(i as u32))).collect();
+        let procs: Vec<Process> = (0..fs.len())
+            .map(|i| Process::singleton(&fs, FiberId(i as u32)))
+            .collect();
         // Give a tiny budget so the array cannot fit.
         let r = Merger::new(&c, &costs, &fs, &adj, procs, 16 << 10, 200 << 10);
         assert!(matches!(r, Err(CompileError::FiberTooLarge { .. })));
@@ -333,8 +362,9 @@ mod tests {
         let c = b.finish().unwrap();
         let (costs, fs) = build_merger(&c);
         let adj = adjacency(&c, &fs);
-        let procs: Vec<Process> =
-            (0..fs.len()).map(|i| Process::singleton(&fs, FiberId(i as u32))).collect();
+        let procs: Vec<Process> = (0..fs.len())
+            .map(|i| Process::singleton(&fs, FiberId(i as u32)))
+            .collect();
         let mut m = Merger::new(&c, &costs, &fs, &adj, procs, 40 << 10, 200 << 10).unwrap();
         m.run(1, true);
         assert_eq!(m.active(), 2, "memory budget must prevent the final merge");

@@ -13,10 +13,11 @@
 //!    fails.
 
 use crate::config::{CompileError, MultiChipStrategy, PartitionConfig, Strategy};
-use crate::exchange::{plan, ExchangePlan};
+use crate::exchange::ExchangePlan;
 use crate::partition::Partition;
 use crate::process::Process;
 use crate::repcut;
+use crate::routing::Routing;
 use crate::slb::Merger;
 use parendi_graph::analysis::{adjacency, Adjacency};
 use parendi_graph::cost::CostModel;
@@ -35,7 +36,10 @@ pub struct Compilation {
     pub fibers: FiberSet,
     /// The tile partition.
     pub partition: Partition,
-    /// Per-cycle exchange volumes.
+    /// The executable point-to-point exchange: producers, consumers and
+    /// pre-resolved mailbox offsets for every routed value.
+    pub routing: Routing,
+    /// Per-cycle exchange volumes (derived from `routing`).
     pub plan: ExchangePlan,
     /// Wall-clock compile time in seconds.
     pub compile_seconds: f64,
@@ -82,9 +86,8 @@ pub fn compile(circuit: &Circuit, cfg: &PartitionConfig) -> Result<Compilation, 
                     continue;
                 }
                 let budget = chip_tile_budget(cfg, chip);
-                let mut procs = reduce_to_tiles(
-                    circuit, &costs, &fibers, &adj, chip_units, budget, cfg,
-                )?;
+                let mut procs =
+                    reduce_to_tiles(circuit, &costs, &fibers, &adj, chip_units, budget, cfg)?;
                 for p in &mut procs {
                     p.chip = chip;
                 }
@@ -93,8 +96,7 @@ pub fn compile(circuit: &Circuit, cfg: &PartitionConfig) -> Result<Compilation, 
             all
         }
         MultiChipStrategy::Post | MultiChipStrategy::None => {
-            let mut procs =
-                reduce_to_tiles(circuit, &costs, &fibers, &adj, units, cfg.tiles, cfg)?;
+            let mut procs = reduce_to_tiles(circuit, &costs, &fibers, &adj, units, cfg.tiles, cfg)?;
             if chips > 1 {
                 match cfg.multi_chip {
                     MultiChipStrategy::Post => {
@@ -114,12 +116,14 @@ pub fn compile(circuit: &Circuit, cfg: &PartitionConfig) -> Result<Compilation, 
     };
 
     let partition = Partition::new(processes, &fibers);
-    let xplan = plan(circuit, &partition, cfg.differential_exchange);
+    let routing = Routing::new(circuit, &partition);
+    let xplan = routing.exchange_plan(circuit, cfg.differential_exchange);
     let approx_memory_bytes = approx_memory(&fibers, &partition);
     Ok(Compilation {
         costs,
         fibers,
         partition,
+        routing,
         plan: xplan,
         compile_seconds: start.elapsed().as_secs_f64(),
         approx_memory_bytes,
@@ -240,8 +244,10 @@ fn reduce_to_tiles(
         }
         Strategy::Hypergraph => {
             // RepCut-style: partition this chip's fibers directly.
-            let fiber_ids: Vec<FiberId> =
-                units.iter().flat_map(|u| u.fibers.iter().copied()).collect();
+            let fiber_ids: Vec<FiberId> = units
+                .iter()
+                .flat_map(|u| u.fibers.iter().copied())
+                .collect();
             let procs = repcut::partition_fibers(fibers, costs, &fiber_ids, tiles, cfg.seed);
             // Enforce the same per-tile budget rule as BottomUp.
             for p in &procs {
@@ -260,7 +266,11 @@ fn reduce_to_tiles(
 
 fn approx_memory(fibers: &FiberSet, partition: &Partition) -> u64 {
     let cones: u64 = fibers.fibers.iter().map(|f| f.cone.len() as u64 * 4).sum();
-    let sets: u64 = partition.processes.iter().map(|p| p.nodes.memory_bytes() as u64).sum();
+    let sets: u64 = partition
+        .processes
+        .iter()
+        .map(|p| p.nodes.memory_bytes() as u64)
+        .sum();
     cones + sets
 }
 
@@ -270,7 +280,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -317,14 +329,24 @@ mod tests {
     #[test]
     fn compile_ring_to_four_tiles() {
         let c = ring(32);
-        let cfg = PartitionConfig { tiles: 4, ..PartitionConfig::with_tiles(4) };
+        let cfg = PartitionConfig {
+            tiles: 4,
+            ..PartitionConfig::with_tiles(4)
+        };
         let comp = compile(&c, &cfg).unwrap();
         assert!(comp.partition.tiles_used() <= 4);
         assert_eq!(
-            comp.partition.processes.iter().map(|p| p.fibers.len()).sum::<usize>(),
+            comp.partition
+                .processes
+                .iter()
+                .map(|p| p.fibers.len())
+                .sum::<usize>(),
             32
         );
-        assert!(comp.plan.max_tile_onchip_bytes > 0, "ring tiles must communicate");
+        assert!(
+            comp.plan.max_tile_onchip_bytes > 0,
+            "ring tiles must communicate"
+        );
         assert!(comp.compile_seconds >= 0.0);
         assert!(comp.approx_memory_bytes > 0);
     }
@@ -360,8 +382,12 @@ mod tests {
             cfg.strategy = strategy;
             let comp = compile(&c, &cfg).unwrap();
             assert!(comp.partition.tiles_used() <= 6, "{strategy:?}");
-            let covered: usize =
-                comp.partition.processes.iter().map(|p| p.fibers.len()).sum();
+            let covered: usize = comp
+                .partition
+                .processes
+                .iter()
+                .map(|p| p.fibers.len())
+                .sum();
             assert_eq!(covered, 24, "{strategy:?} must cover all fibers");
         }
     }
@@ -370,7 +396,11 @@ mod tests {
     fn multi_chip_strategies_differ_in_cut() {
         let c = ring(64);
         let mut cut_of = std::collections::HashMap::new();
-        for mc in [MultiChipStrategy::Pre, MultiChipStrategy::Post, MultiChipStrategy::None] {
+        for mc in [
+            MultiChipStrategy::Pre,
+            MultiChipStrategy::Post,
+            MultiChipStrategy::None,
+        ] {
             let mut cfg = PartitionConfig::with_tiles(32);
             cfg.tiles_per_chip = 16;
             cfg.multi_chip = mc;

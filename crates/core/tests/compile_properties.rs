@@ -17,8 +17,9 @@ fn clustered_circuit(seed: u64, clusters: usize, per_cluster: usize) -> Circuit 
     let mut cluster_regs: Vec<Vec<parendi_rtl::Reg>> = Vec::new();
     for c in 0..clusters {
         b.push_scope(format!("c{c}"));
-        let regs: Vec<_> =
-            (0..per_cluster).map(|i| b.reg(format!("r{i}"), 16, rng.random::<u64>())).collect();
+        let regs: Vec<_> = (0..per_cluster)
+            .map(|i| b.reg(format!("r{i}"), 16, rng.random::<u64>()))
+            .collect();
         cluster_regs.push(regs);
         b.pop_scope();
     }
@@ -27,7 +28,10 @@ fn clustered_circuit(seed: u64, clusters: usize, per_cluster: usize) -> Circuit 
             let me = cluster_regs[c][i];
             // Mostly local neighbours, occasionally remote.
             let (oc, oi) = if rng.random_bool(0.15) {
-                (rng.random_range(0..clusters), rng.random_range(0..per_cluster))
+                (
+                    rng.random_range(0..clusters),
+                    rng.random_range(0..per_cluster),
+                )
             } else {
                 (c, rng.random_range(0..per_cluster))
             };

@@ -1,0 +1,209 @@
+//! The executable `Routing` is the single source of truth for exchange
+//! volumes. This suite pins its derived `ExchangePlan` to the *legacy*
+//! accounting (the pre-routing direct computation, reimplemented here as
+//! a golden reference) across the benchmark-design corpus, so the
+//! refactor provably changed the representation and not the numbers.
+
+use parendi_core::{compile, ExchangePlan, MultiChipStrategy, Partition, PartitionConfig};
+use parendi_designs::Benchmark;
+use parendi_graph::fiber::{SinkKind, PORT_RECORD_OVERHEAD_BYTES};
+use parendi_rtl::bits::words_for;
+use parendi_rtl::Circuit;
+
+/// The original (pre-`Routing`) exchange-plan computation, kept verbatim
+/// as the golden reference for the equivalence claim.
+fn legacy_plan(circuit: &Circuit, partition: &Partition, differential: bool) -> ExchangePlan {
+    let n = partition.processes.len();
+    let mut out = ExchangePlan {
+        tile_out_bytes: vec![0; n],
+        tile_in_bytes: vec![0; n],
+        ..Default::default()
+    };
+
+    let mut reg_writer = vec![u32::MAX; circuit.regs.len()];
+    let mut array_port_tiles: Vec<Vec<(u32, u64)>> = vec![Vec::new(); circuit.arrays.len()];
+    for (pi, p) in partition.processes.iter().enumerate() {
+        for &f in &p.fibers {
+            match partition.fiber_sinks[f.index()] {
+                SinkKind::Reg(r) => reg_writer[r.index()] = pi as u32,
+                SinkKind::ArrayPort { array, .. } => {
+                    let a = &circuit.arrays[array.index()];
+                    let bytes = words_for(a.width) as u64 * 8 + PORT_RECORD_OVERHEAD_BYTES;
+                    array_port_tiles[array.index()].push((pi as u32, bytes));
+                }
+                SinkKind::Output(_) => {}
+            }
+        }
+    }
+
+    for (pi, p) in partition.processes.iter().enumerate() {
+        for &r in &p.regs_read {
+            let w = reg_writer[r.index()];
+            if w == u32::MAX || w == pi as u32 {
+                continue;
+            }
+            let bytes = words_for(circuit.regs[r.index()].width) as u64 * 8;
+            out.tile_out_bytes[w as usize] += bytes;
+            out.tile_in_bytes[pi] += bytes;
+            if partition.processes[w as usize].chip != p.chip {
+                out.offchip_total_bytes += bytes;
+            }
+        }
+    }
+    for (ri, reg) in circuit.regs.iter().enumerate() {
+        let w = reg_writer[ri];
+        if w == u32::MAX {
+            continue;
+        }
+        let bytes = words_for(reg.width) as u64 * 8;
+        let mut crosses_tile = false;
+        let mut crosses_chip = false;
+        for (pi, p) in partition.processes.iter().enumerate() {
+            if pi as u32 == w {
+                continue;
+            }
+            if p.regs_read
+                .binary_search(&parendi_rtl::RegId(ri as u32))
+                .is_ok()
+            {
+                crosses_tile = true;
+                if p.chip != partition.processes[w as usize].chip {
+                    crosses_chip = true;
+                }
+            }
+        }
+        if crosses_tile {
+            out.onchip_cut_bytes += bytes;
+        }
+        if crosses_chip {
+            out.offchip_cut_bytes += bytes;
+        }
+    }
+
+    for (ai, a) in circuit.arrays.iter().enumerate() {
+        let full_bytes = a.size_bytes();
+        let readers: Vec<u32> = partition
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.arrays
+                    .binary_search(&parendi_rtl::ArrayId(ai as u32))
+                    .is_ok()
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut crossed_tile = false;
+        let mut crossed_chip = false;
+        for &(wt, diff_bytes) in &array_port_tiles[ai] {
+            let payload = if differential { diff_bytes } else { full_bytes };
+            for &rt in &readers {
+                if rt == wt {
+                    continue;
+                }
+                crossed_tile = true;
+                out.tile_out_bytes[wt as usize] += payload;
+                out.tile_in_bytes[rt as usize] += payload;
+                if partition.processes[rt as usize].chip != partition.processes[wt as usize].chip {
+                    out.offchip_total_bytes += payload;
+                    crossed_chip = true;
+                }
+            }
+        }
+        let cut: u64 = if differential {
+            array_port_tiles[ai].iter().map(|&(_, b)| b).sum()
+        } else {
+            full_bytes
+        };
+        if crossed_tile {
+            out.onchip_cut_bytes += cut;
+        }
+        if crossed_chip {
+            out.offchip_cut_bytes += cut;
+        }
+    }
+
+    out.max_tile_onchip_bytes = (0..n)
+        .map(|i| out.tile_out_bytes[i] + out.tile_in_bytes[i])
+        .max()
+        .unwrap_or(0);
+    out
+}
+
+fn assert_plans_equal(bench: &str, tiles: u32, a: &ExchangePlan, b: &ExchangePlan) {
+    assert_eq!(
+        a.tile_out_bytes, b.tile_out_bytes,
+        "{bench}@{tiles}: tile_out_bytes"
+    );
+    assert_eq!(
+        a.tile_in_bytes, b.tile_in_bytes,
+        "{bench}@{tiles}: tile_in_bytes"
+    );
+    assert_eq!(
+        a.max_tile_onchip_bytes, b.max_tile_onchip_bytes,
+        "{bench}@{tiles}: max_tile_onchip_bytes"
+    );
+    assert_eq!(
+        a.offchip_total_bytes, b.offchip_total_bytes,
+        "{bench}@{tiles}: offchip_total_bytes"
+    );
+    assert_eq!(
+        a.onchip_cut_bytes, b.onchip_cut_bytes,
+        "{bench}@{tiles}: onchip_cut_bytes"
+    );
+    assert_eq!(
+        a.offchip_cut_bytes, b.offchip_cut_bytes,
+        "{bench}@{tiles}: offchip_cut_bytes"
+    );
+}
+
+#[test]
+fn routing_reproduces_legacy_plan_on_designs_corpus() {
+    let corpus = [
+        Benchmark::Pico,
+        Benchmark::Rocket,
+        Benchmark::Bitcoin,
+        Benchmark::Mc,
+        Benchmark::Vta,
+        Benchmark::Sr(3),
+        Benchmark::Lr(2),
+        Benchmark::Prng(32),
+    ];
+    for bench in corpus {
+        let circuit = bench.build();
+        for tiles in [4u32, 48, 192] {
+            for differential in [true, false] {
+                let mut cfg = PartitionConfig::with_tiles(tiles);
+                cfg.tiles_per_chip = tiles.div_ceil(2).max(1);
+                cfg.differential_exchange = differential;
+                let comp = compile(&circuit, &cfg)
+                    .unwrap_or_else(|e| panic!("{} at {tiles}: {e}", bench.name()));
+                let derived = comp.routing.exchange_plan(&circuit, differential);
+                let legacy = legacy_plan(&circuit, &comp.partition, differential);
+                assert_plans_equal(&bench.name(), tiles, &legacy, &derived);
+                // The plan stored in the compilation is the derived one.
+                assert_plans_equal(&bench.name(), tiles, &comp.plan, &derived);
+            }
+        }
+    }
+}
+
+#[test]
+fn routing_reproduces_legacy_plan_across_chip_strategies() {
+    let circuit = Benchmark::Sr(4).build();
+    for mc in [
+        MultiChipStrategy::Pre,
+        MultiChipStrategy::Post,
+        MultiChipStrategy::None,
+    ] {
+        let mut cfg = PartitionConfig::with_tiles(64);
+        cfg.tiles_per_chip = 16; // four chips
+        cfg.multi_chip = mc;
+        let comp = compile(&circuit, &cfg).unwrap();
+        let derived = comp
+            .routing
+            .exchange_plan(&circuit, cfg.differential_exchange);
+        let legacy = legacy_plan(&circuit, &comp.partition, cfg.differential_exchange);
+        assert_plans_equal(&format!("sr4/{mc:?}"), 64, &legacy, &derived);
+    }
+}

@@ -162,7 +162,10 @@ pub fn auipc(rd: u32, imm20: u32) -> u32 {
 }
 
 fn btype(imm: i32, rs2: u32, rs1: u32, funct3: u32) -> u32 {
-    assert!((-4096..=4095).contains(&imm) && imm % 2 == 0, "b-imm out of range: {imm}");
+    assert!(
+        (-4096..=4095).contains(&imm) && imm % 2 == 0,
+        "b-imm out of range: {imm}"
+    );
     let i = imm as u32;
     ((i >> 12) & 1) << 31
         | ((i >> 5) & 0x3f) << 25
@@ -329,7 +332,11 @@ pub struct GoldenRv32 {
 impl GoldenRv32 {
     /// Creates a golden model with `dmem_words` words of data memory.
     pub fn new(dmem_words: usize) -> Self {
-        GoldenRv32 { regs: [0; 32], pc: 0, dmem: vec![0; dmem_words] }
+        GoldenRv32 {
+            regs: [0; 32],
+            pc: 0,
+            dmem: vec![0; dmem_words],
+        }
     }
 
     /// Executes one instruction from `imem`. Returns false on halt

@@ -72,15 +72,16 @@ impl Benchmark {
         match self {
             // BlockIn/Out=64 in the paper; 16×16 at our scale.
             Benchmark::Vta => vta::build_vta(&vta::VtaConfig::new(16, 16, 32)),
-            Benchmark::Mc => mc::build_mc(&mc::McConfig { paths: 128, ..Default::default() }),
+            Benchmark::Mc => mc::build_mc(&mc::McConfig {
+                paths: 128,
+                ..Default::default()
+            }),
             Benchmark::Sr(n) => noc::build_mesh(&noc::MeshConfig::small(*n)),
             Benchmark::Lr(n) => noc::build_mesh(&noc::MeshConfig::large(*n)),
-            Benchmark::Pico => pico::build_pico(&pico::PicoConfig::new(
-                isa::programs::mixed(2000),
-            )),
-            Benchmark::Rocket => rocket::build_rocket(&rocket::RocketConfig::new(
-                isa::programs::mixed(2000),
-            )),
+            Benchmark::Pico => pico::build_pico(&pico::PicoConfig::new(isa::programs::mixed(2000))),
+            Benchmark::Rocket => {
+                rocket::build_rocket(&rocket::RocketConfig::new(isa::programs::mixed(2000)))
+            }
             Benchmark::Bitcoin => sha256::build_miner(&sha256::MinerConfig::default()),
             Benchmark::Prng(n) => prng::build_prng_bank(*n),
         }

@@ -147,13 +147,21 @@ mod tests {
 
     #[test]
     fn accumulator_matches_software_model() {
-        let cfg = McConfig { paths: 4, ..Default::default() };
+        let cfg = McConfig {
+            paths: 4,
+            ..Default::default()
+        };
         let c = build_mc(&cfg);
         let mut sim = Simulator::new(&c);
 
         // Software lanes with identical seeds.
         let mut lanes: Vec<(u32, u32)> = (0..cfg.paths)
-            .map(|i| (0x1234_5678u32.wrapping_mul(i.wrapping_add(7)).max(1), cfg.s0))
+            .map(|i| {
+                (
+                    0x1234_5678u32.wrapping_mul(i.wrapping_add(7)).max(1),
+                    cfg.s0,
+                )
+            })
             .collect();
         let mut acc: u64 = 0;
         for _ in 0..50 {
@@ -172,7 +180,10 @@ mod tests {
 
     #[test]
     fn lanes_only_communicate_through_the_tree() {
-        let cfg = McConfig { paths: 16, ..Default::default() };
+        let cfg = McConfig {
+            paths: 16,
+            ..Default::default()
+        };
         let c = build_mc(&cfg);
         let costs = parendi_graph::CostModel::of(&c);
         let fs = parendi_graph::extract_fibers(&c, &costs);

@@ -43,17 +43,32 @@ pub struct MeshConfig {
 impl MeshConfig {
     /// The paper's `srN` configuration.
     pub fn small(n: u32) -> Self {
-        MeshConfig { n, core: CoreKind::Small, inject_shift: 3, with_cores: true }
+        MeshConfig {
+            n,
+            core: CoreKind::Small,
+            inject_shift: 3,
+            with_cores: true,
+        }
     }
 
     /// The paper's `lrN` configuration.
     pub fn large(n: u32) -> Self {
-        MeshConfig { n, core: CoreKind::Large, inject_shift: 3, with_cores: true }
+        MeshConfig {
+            n,
+            core: CoreKind::Large,
+            inject_shift: 3,
+            with_cores: true,
+        }
     }
 
     /// A router-only mesh (for protocol tests).
     pub fn routers_only(n: u32) -> Self {
-        MeshConfig { n, core: CoreKind::Small, inject_shift: 2, with_cores: false }
+        MeshConfig {
+            n,
+            core: CoreKind::Small,
+            inject_shift: 2,
+            with_cores: false,
+        }
     }
 }
 
@@ -88,7 +103,11 @@ pub fn build_mesh(cfg: &MeshConfig) -> Circuit {
     let n = cfg.n as usize;
     let mut b = Builder::new(format!(
         "{}r{}",
-        if cfg.core == CoreKind::Small { "s" } else { "l" },
+        if cfg.core == CoreKind::Small {
+            "s"
+        } else {
+            "l"
+        },
         cfg.n
     ));
 
@@ -111,7 +130,11 @@ pub fn build_mesh(cfg: &MeshConfig) -> Circuit {
                         let prog = isa::programs::mixed(2000);
                         crate::pico::build_pico_into(
                             &mut b,
-                            &crate::pico::PicoConfig { program: prog, dmem_words: 64, dmem_init: Vec::new() },
+                            &crate::pico::PicoConfig {
+                                program: prog,
+                                dmem_words: 64,
+                                dmem_init: Vec::new(),
+                            },
                         );
                     }
                     CoreKind::Large => {
@@ -180,6 +203,7 @@ pub fn build_mesh(cfg: &MeshConfig) -> Circuit {
             let mut fires = Vec::with_capacity(DIRS);
             let mut datas = Vec::with_capacity(DIRS);
             let mut drain_acc: Vec<Signal> = (0..DIRS).map(|_| b.lit(1, 0)).collect();
+            #[allow(clippy::needless_range_loop)] // `o` is a mesh direction, not a plain index
             for o in 0..DIRS {
                 // Downstream readiness.
                 let ready = match o {
@@ -250,22 +274,21 @@ pub fn build_mesh(cfg: &MeshConfig) -> Circuit {
                         // The neighbour fires toward us through the
                         // opposite direction port.
                         let o = opposite(p);
-                        (out_fire[ny as usize][nx as usize][o], out_data[ny as usize][nx as usize][o])
+                        (
+                            out_fire[ny as usize][nx as usize][o],
+                            out_data[ny as usize][nx as usize][o],
+                        )
                     } else {
                         (b.lit(1, 0), b.lit(32, 0))
                     };
-                connect_buffer(
-                    &mut b,
-                    &bufs[y][x],
-                    p,
-                    inc_fire,
-                    inc_data,
-                    drained[y][x][p],
-                );
+                connect_buffer(&mut b, &bufs[y][x], p, inc_fire, inc_data, drained[y][x][p]);
             }
 
             // Local port: traffic generator injects, delivery consumes.
-            let seed = 0xACE1_u32.wrapping_add((y * n + x) as u32).wrapping_mul(0x9E37_79B9) | 1;
+            let seed = 0xACE1_u32
+                .wrapping_add((y * n + x) as u32)
+                .wrapping_mul(0x9E37_79B9)
+                | 1;
             let rng = b.reg_init("rng", Bits::from_u64(32, seed as u64));
             let rng_next = xorshift32(&mut b, rng.q());
             b.connect(rng, rng_next);
@@ -360,7 +383,12 @@ mod tests {
     use parendi_sim::Simulator;
 
     fn reg_named(c: &Circuit, name: &str) -> RegId {
-        RegId(c.regs.iter().position(|r| r.name == name).unwrap_or_else(|| panic!("{name}")) as u32)
+        RegId(
+            c.regs
+                .iter()
+                .position(|r| r.name == name)
+                .unwrap_or_else(|| panic!("{name}")) as u32,
+        )
     }
 
     fn sum_regs(c: &Circuit, sim: &Simulator<'_>, suffix: &str) -> u64 {
@@ -389,7 +417,10 @@ mod tests {
             );
         }
         // Traffic must actually flow.
-        assert!(sum_regs(&c, &sim, ".delivered") > 50, "mesh is not delivering");
+        assert!(
+            sum_regs(&c, &sim, ".delivered") > 50,
+            "mesh is not delivering"
+        );
     }
 
     #[test]
@@ -399,7 +430,9 @@ mod tests {
         sim.step_n(600);
         for y in 0..3 {
             for x in 0..3 {
-                let d = sim.reg_value(reg_named(&c, &format!("nx{x}_{y}.delivered"))).to_u64();
+                let d = sim
+                    .reg_value(reg_named(&c, &format!("nx{x}_{y}.delivered")))
+                    .to_u64();
                 assert!(d > 0, "node ({x},{y}) never received a flit");
             }
         }
@@ -413,8 +446,9 @@ mod tests {
         // Each core's retired counter advances.
         for y in 0..2 {
             for x in 0..2 {
-                let retired =
-                    sim.reg_value(reg_named(&c, &format!("n{x}_{y}.core.retired"))).to_u64();
+                let retired = sim
+                    .reg_value(reg_named(&c, &format!("n{x}_{y}.core.retired")))
+                    .to_u64();
                 assert!(retired > 40, "core ({x},{y}) retired only {retired}");
             }
         }

@@ -23,7 +23,11 @@ pub struct PicoConfig {
 impl PicoConfig {
     /// A config running `program` with 256 words of zeroed data memory.
     pub fn new(program: Vec<u32>) -> Self {
-        PicoConfig { program, dmem_words: 256, dmem_init: Vec::new() }
+        PicoConfig {
+            program,
+            dmem_words: 256,
+            dmem_init: Vec::new(),
+        }
     }
 }
 
@@ -42,7 +46,12 @@ pub fn build_pico_into(b: &mut Builder, cfg: &PicoConfig) {
         .collect();
     let imem = b.array_init("imem", imem_init);
     let dmem_init: Vec<Bits> = (0..dmem_depth)
-        .map(|i| Bits::from_u64(32, cfg.dmem_init.get(i as usize).copied().unwrap_or(0) as u64))
+        .map(|i| {
+            Bits::from_u64(
+                32,
+                cfg.dmem_init.get(i as usize).copied().unwrap_or(0) as u64,
+            )
+        })
         .collect();
     let dmem = b.array_init("dmem", dmem_init);
 
@@ -110,7 +119,12 @@ mod tests {
     use parendi_sim::Simulator;
 
     fn reg_id(c: &Circuit, name: &str) -> RegId {
-        RegId(c.regs.iter().position(|r| r.name == name).unwrap_or_else(|| panic!("{name}?")) as u32)
+        RegId(
+            c.regs
+                .iter()
+                .position(|r| r.name == name)
+                .unwrap_or_else(|| panic!("{name}?")) as u32,
+        )
     }
 
     fn array_id(c: &Circuit, name: &str) -> ArrayId {
@@ -141,7 +155,10 @@ mod tests {
         let sim = run_program(&c, 20_000);
         let rf = array_id(&c, "regfile");
         assert_eq!(sim.array_value(rf, reg::A0).to_u64(), 144);
-        assert_eq!(sim.array_value(rf, reg::A0).to_u64() as u32, golden.regs[reg::A0 as usize]);
+        assert_eq!(
+            sim.array_value(rf, reg::A0).to_u64() as u32,
+            golden.regs[reg::A0 as usize]
+        );
         let dmem = array_id(&c, "dmem");
         assert_eq!(sim.array_value(dmem, 0).to_u64() as u32, golden.dmem[0]);
     }
@@ -187,7 +204,11 @@ mod tests {
 
     #[test]
     fn two_cycles_per_instruction() {
-        let prog = vec![isa::addi(reg::T0, 0, 1), isa::addi(reg::T0, reg::T0, 2), isa::halt()];
+        let prog = vec![
+            isa::addi(reg::T0, 0, 1),
+            isa::addi(reg::T0, reg::T0, 2),
+            isa::halt(),
+        ];
         let c = build_pico(&PicoConfig::new(prog));
         let mut sim = Simulator::new(&c);
         let retired = reg_id(&c, "retired");

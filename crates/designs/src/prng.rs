@@ -22,7 +22,11 @@ pub fn build_xorshift_into(b: &mut Builder, name: &str, seed: u64) {
 pub fn build_prng_bank(n: u32) -> Circuit {
     let mut b = Builder::new(format!("prng{n}"));
     for i in 0..n {
-        build_xorshift_into(&mut b, &format!("g{i}"), 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        build_xorshift_into(
+            &mut b,
+            &format!("g{i}"),
+            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1),
+        );
     }
     b.finish().expect("prng bank must validate")
 }
@@ -64,7 +68,10 @@ mod tests {
         let fs = parendi_graph::extract_fibers(&c, &costs);
         assert_eq!(fs.len(), 16);
         let adj = parendi_graph::adjacency(&c, &fs);
-        assert!(adj.neighbors.iter().all(|n| n.is_empty()), "PRNGs must not communicate");
+        assert!(
+            adj.neighbors.iter().all(|n| n.is_empty()),
+            "PRNGs must not communicate"
+        );
         assert!((fs.duplication_factor() - 1.0).abs() < 1e-9);
     }
 }

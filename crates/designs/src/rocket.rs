@@ -24,7 +24,11 @@ pub struct RocketConfig {
 impl RocketConfig {
     /// A config running `program` with 256 words of zeroed data memory.
     pub fn new(program: Vec<u32>) -> Self {
-        RocketConfig { program, dmem_words: 256, dmem_init: Vec::new() }
+        RocketConfig {
+            program,
+            dmem_words: 256,
+            dmem_init: Vec::new(),
+        }
     }
 }
 
@@ -40,7 +44,12 @@ pub fn build_rocket_into(b: &mut Builder, cfg: &RocketConfig) {
         .collect();
     let imem = b.array_init("imem", imem_init);
     let dmem_init: Vec<Bits> = (0..dmem_depth)
-        .map(|i| Bits::from_u64(32, cfg.dmem_init.get(i as usize).copied().unwrap_or(0) as u64))
+        .map(|i| {
+            Bits::from_u64(
+                32,
+                cfg.dmem_init.get(i as usize).copied().unwrap_or(0) as u64,
+            )
+        })
         .collect();
     let dmem = b.array_init("dmem", dmem_init);
 
@@ -141,7 +150,10 @@ mod tests {
         while sim.reg_value(halted).to_u64() == 0 {
             sim.step();
             cycles += 1;
-            assert!(cycles < max_cycles, "core did not halt in {max_cycles} cycles");
+            assert!(
+                cycles < max_cycles,
+                "core did not halt in {max_cycles} cycles"
+            );
         }
         (sim, cycles)
     }
@@ -154,7 +166,10 @@ mod tests {
         let c = build_rocket(&RocketConfig::new(prog));
         let (sim, _) = run_to_halt(&c, 20_000);
         let rf = array_id(&c, "regfile");
-        assert_eq!(sim.array_value(rf, reg::A0).to_u64() as u32, golden.regs[reg::A0 as usize]);
+        assert_eq!(
+            sim.array_value(rf, reg::A0).to_u64() as u32,
+            golden.regs[reg::A0 as usize]
+        );
         let dmem = array_id(&c, "dmem");
         assert_eq!(sim.array_value(dmem, 0).to_u64() as u32, golden.dmem[0]);
     }
@@ -176,7 +191,11 @@ mod tests {
             );
         }
         for w in 0..64u32 {
-            assert_eq!(sim.array_value(dmem, w).to_u64() as u32, golden.dmem[w as usize], "dmem[{w}]");
+            assert_eq!(
+                sim.array_value(dmem, w).to_u64() as u32,
+                golden.dmem[w as usize],
+                "dmem[{w}]"
+            );
         }
     }
 

@@ -68,7 +68,19 @@ pub fn decode(b: &mut Builder, instr: Signal) -> Fields {
     let j10_1 = b.slice(instr, 30, 21);
     let j_cat = b.cat(&[j20, j19_12, j11, j10_1, zero1]);
     let imm_j = b.sext(j_cat, 32);
-    Fields { opcode, rd, rs1, rs2, funct3, funct7b5, imm_i, imm_s, imm_b, imm_u, imm_j }
+    Fields {
+        opcode,
+        rd,
+        rs1,
+        rs2,
+        funct3,
+        funct7b5,
+        imm_i,
+        imm_s,
+        imm_b,
+        imm_u,
+        imm_j,
+    }
 }
 
 /// Everything the control structure needs from one instruction's
@@ -172,7 +184,13 @@ pub fn execute(
     let bltu_t = b.lt_u(r1, r2);
     let bgeu_t = b.lnot(bltu_t);
     let br_taken0 = b.select(
-        &[(f3_0, beq_t), (f3_1, bne_t), (f3_4, blt_t), (f3_5, bge_t), (f3_6, bltu_t)],
+        &[
+            (f3_0, beq_t),
+            (f3_1, bne_t),
+            (f3_4, blt_t),
+            (f3_5, bge_t),
+            (f3_6, bltu_t),
+        ],
         bgeu_t,
     );
     let branch_taken = b.and(is_branch, br_taken0);

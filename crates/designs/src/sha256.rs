@@ -91,12 +91,12 @@ pub fn sha256_pipeline(
     let mut state: Vec<Signal> = IV.iter().map(|&h| b.lit(32, h as u64)).collect();
     let mut window: Vec<Signal> = block.to_vec();
     let mut valid = valid_in;
-    for t in 0..64 {
+    for (t, &k) in K.iter().enumerate() {
         // Round t from the incoming state/window.
         let (a, bb, c, d, e, f, g, h) = (
             state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7],
         );
-        let kt = b.lit(32, K[t] as u64);
+        let kt = b.lit(32, k as u64);
         let wt = window[0];
         let s1 = big_sigma1(b, e);
         let chv = ch(b, e, f, g);
@@ -163,7 +163,11 @@ pub struct MinerConfig {
 
 impl Default for MinerConfig {
     fn default() -> Self {
-        MinerConfig { header: [0x50415245; 12], target: 1 << 24, start_nonce: 0 }
+        MinerConfig {
+            header: [0x50415245; 12],
+            target: 1 << 24,
+            start_nonce: 0,
+        }
     }
 }
 
@@ -324,8 +328,9 @@ mod tests {
     fn rtl_pipeline_matches_soft_compress() {
         // A standalone pipeline fed by constants.
         let mut b = Builder::new("sha_test");
-        let words: Vec<Signal> =
-            (0..16).map(|i| b.lit(32, (0x01020304u32.wrapping_mul(i + 3)) as u64)).collect();
+        let words: Vec<Signal> = (0..16)
+            .map(|i| b.lit(32, (0x01020304u32.wrapping_mul(i + 3)) as u64))
+            .collect();
         let block: [Signal; 16] = words.try_into().unwrap();
         let hi = b.lit(1, 1);
         let (digest, valid) = sha256_pipeline(&mut b, "p", &block, hi);
@@ -342,10 +347,10 @@ mod tests {
             *w = 0x01020304u32.wrapping_mul(i as u32 + 3);
         }
         let expect = soft_compress(IV, &soft_block);
-        for i in 0..8 {
+        for (i, &e) in expect.iter().enumerate() {
             assert_eq!(
                 sim.output(&format!("d{i}")).unwrap().to_u64() as u32,
-                expect[i],
+                e,
                 "digest word {i}"
             );
         }
@@ -354,7 +359,10 @@ mod tests {
     #[test]
     fn miner_finds_a_valid_nonce() {
         // Easy target so a nonce lands within a few hundred attempts.
-        let cfg = MinerConfig { target: 1 << 28, ..Default::default() };
+        let cfg = MinerConfig {
+            target: 1 << 28,
+            ..Default::default()
+        };
         // Find the first passing nonce in software.
         let expect_nonce = (0u32..10_000)
             .find(|&n| soft_miner_digest(&cfg, n)[0] < cfg.target)
@@ -363,7 +371,11 @@ mod tests {
         let mut sim = Simulator::new(&c);
         // Latency 128 + nonce index + slack.
         sim.step_n(expect_nonce as u64 + 128 + 8);
-        assert_eq!(sim.output("found").unwrap().to_u64(), 1, "miner never fired");
+        assert_eq!(
+            sim.output("found").unwrap().to_u64(),
+            1,
+            "miner never fired"
+        );
         let got = sim.output("found_nonce").unwrap().to_u64() as u32;
         assert_eq!(got, expect_nonce, "wrong nonce");
         assert!(soft_miner_digest(&cfg, got)[0] < cfg.target);
@@ -387,7 +399,11 @@ mod tests {
         let miner = build_miner(&MinerConfig::default());
         let costs = parendi_graph::CostModel::of(&miner);
         let fs = parendi_graph::extract_fibers(&miner, &costs);
-        assert!(fs.len() > 1000, "two 64-stage pipelines: {} fibers", fs.len());
+        assert!(
+            fs.len() > 1000,
+            "two 64-stage pipelines: {} fibers",
+            fs.len()
+        );
 
         let pico = crate::pico::build_pico(&crate::pico::PicoConfig::new(
             crate::isa::programs::fibonacci(8),
@@ -398,6 +414,9 @@ mod tests {
             bc > 20.0 * pc,
             "bitcoin m_crit {bc:.0} should dwarf pico's {pc:.1}"
         );
-        assert!(bc > 100.0, "bitcoin should admit hundreds-way parallelism: {bc:.0}");
+        assert!(
+            bc > 100.0,
+            "bitcoin should admit hundreds-way parallelism: {bc:.0}"
+        );
     }
 }

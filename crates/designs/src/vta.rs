@@ -164,7 +164,11 @@ mod tests {
 
     fn acc_value(c: &Circuit, sim: &Simulator<'_>, r: u32, cc: u32) -> i32 {
         let name = format!("pe{r}_{cc}.acc");
-        let id = c.regs.iter().position(|reg| reg.name == name).expect("acc reg");
+        let id = c
+            .regs
+            .iter()
+            .position(|reg| reg.name == name)
+            .expect("acc reg");
         sim.reg_value(RegId(id as u32)).to_u64() as u32 as i32
     }
 
@@ -195,7 +199,11 @@ mod tests {
         sim.step_n(cfg.latency());
         let settled = acc_value(&c, &sim, 2, 4);
         sim.step_n(10);
-        assert_eq!(acc_value(&c, &sim, 2, 4), settled, "acc must be stable after drain");
+        assert_eq!(
+            acc_value(&c, &sim, 2, 4),
+            settled,
+            "acc must be stable after drain"
+        );
         assert_eq!(settled, cfg.expected()[(2 * cfg.cols + 4) as usize]);
     }
 

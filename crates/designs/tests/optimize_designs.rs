@@ -14,14 +14,20 @@ fn miner_shrinks_substantially() {
     // the sigma shapes are structurally unique per stage.)
     let c = Benchmark::Bitcoin.build();
     let (o, stats) = optimize(&c);
-    assert!(stats.folded >= 50, "constant padding/IV math must fold: {stats:?}");
+    assert!(
+        stats.folded >= 50,
+        "constant padding/IV math must fold: {stats:?}"
+    );
     assert!(stats.nodes_after < stats.nodes_before, "{stats:?}");
     o.validate().unwrap();
 }
 
 #[test]
 fn optimized_miner_finds_the_same_nonce() {
-    let cfg = sha256::MinerConfig { target: 1 << 28, ..Default::default() };
+    let cfg = sha256::MinerConfig {
+        target: 1 << 28,
+        ..Default::default()
+    };
     let c = sha256::build_miner(&cfg);
     let (o, _) = optimize(&c);
     let expect = (0u32..10_000)
@@ -42,11 +48,9 @@ fn optimized_pico_still_matches_golden() {
     let c = pico::build_pico(&pico::PicoConfig::new(prog));
     let (o, stats) = optimize(&c);
     assert!(stats.nodes_after < stats.nodes_before);
-    let halted =
-        parendi_rtl::RegId(o.regs.iter().position(|r| r.name == "halted").unwrap() as u32);
-    let rf = parendi_rtl::ArrayId(
-        o.arrays.iter().position(|a| a.name == "regfile").unwrap() as u32
-    );
+    let halted = parendi_rtl::RegId(o.regs.iter().position(|r| r.name == "halted").unwrap() as u32);
+    let rf =
+        parendi_rtl::ArrayId(o.arrays.iter().position(|a| a.name == "regfile").unwrap() as u32);
     let mut sim = Simulator::new(&o);
     for _ in 0..20_000 {
         if sim.reg_value(halted).to_u64() == 1 {
@@ -54,8 +58,15 @@ fn optimized_pico_still_matches_golden() {
         }
         sim.step();
     }
-    assert_eq!(sim.reg_value(halted).to_u64(), 1, "optimized core must still halt");
-    assert_eq!(sim.array_value(rf, isa::reg::A0).to_u64() as u32, golden.regs[10]);
+    assert_eq!(
+        sim.reg_value(halted).to_u64(),
+        1,
+        "optimized core must still halt"
+    );
+    assert_eq!(
+        sim.array_value(rf, isa::reg::A0).to_u64() as u32,
+        golden.regs[10]
+    );
 }
 
 #[test]

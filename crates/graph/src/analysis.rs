@@ -76,7 +76,13 @@ pub fn adjacency(circuit: &Circuit, fs: &FiberSet) -> Adjacency {
         n.dedup();
     }
 
-    Adjacency { reg_writer, reg_readers, array_writers, array_readers, neighbors }
+    Adjacency {
+        reg_writer,
+        reg_readers,
+        array_writers,
+        array_readers,
+        neighbors,
+    }
 }
 
 /// A maximal group of nodes shared by exactly the same set of fibers.
@@ -111,16 +117,18 @@ pub fn replication_clusters(fs: &FiberSet, ipu_cycles: &[u32]) -> Vec<Replicatio
         if sig.len() < 2 {
             continue;
         }
-        let e = by_sig.entry(sig.as_slice()).or_insert_with(|| ReplicationCluster {
-            nodes: Vec::new(),
-            ipu_cost: 0,
-            fibers: sig.iter().map(|&f| FiberId(f)).collect(),
-        });
+        let e = by_sig
+            .entry(sig.as_slice())
+            .or_insert_with(|| ReplicationCluster {
+                nodes: Vec::new(),
+                ipu_cost: 0,
+                fibers: sig.iter().map(|&f| FiberId(f)).collect(),
+            });
         e.nodes.push(n as u32);
         e.ipu_cost += ipu_cycles[n] as u64;
     }
     let mut out: Vec<ReplicationCluster> = by_sig.into_values().collect();
-    out.sort_by(|a, b| b.ipu_cost.cmp(&a.ipu_cost));
+    out.sort_by_key(|c| std::cmp::Reverse(c.ipu_cost));
     out
 }
 
@@ -128,7 +136,11 @@ pub fn replication_clusters(fs: &FiberSet, ipu_cycles: &[u32]) -> Vec<Replicatio
 /// (the differential-exchange analysis of §5.2: we can bound *how many*
 /// updates happen, though not where).
 pub fn array_write_bounds(circuit: &Circuit) -> Vec<u32> {
-    circuit.arrays.iter().map(|a| a.write_ports.len() as u32).collect()
+    circuit
+        .arrays
+        .iter()
+        .map(|a| a.write_ports.len() as u32)
+        .collect()
 }
 
 /// Per-register fanout: how many distinct fibers read each register.
@@ -213,7 +225,11 @@ mod tests {
         let costs = CostModel::of(&c);
         let fs = extract_fibers(&c, &costs);
         let clusters = replication_clusters(&fs, &costs.ipu_cycles);
-        assert_eq!(clusters.len(), 1, "one shared cluster between the two fibers");
+        assert_eq!(
+            clusters.len(),
+            1,
+            "one shared cluster between the two fibers"
+        );
         assert_eq!(clusters[0].fibers.len(), 2);
         assert!(clusters[0].ipu_cost > 0);
     }

@@ -18,7 +18,10 @@ pub struct DenseBitSet {
 impl DenseBitSet {
     /// Creates an empty set over `0..universe`.
     pub fn new(universe: usize) -> Self {
-        DenseBitSet { words: vec![0; universe.div_ceil(64)], universe }
+        DenseBitSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
     }
 
     /// The universe size.
@@ -68,7 +71,11 @@ impl DenseBitSet {
 
     /// Size of the intersection with `other`.
     pub fn intersection_len(&self, other: &DenseBitSet) -> usize {
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Sum of `weights[i]` over elements `i` in the intersection.
@@ -137,7 +144,10 @@ pub enum HybridSet {
 impl HybridSet {
     /// Creates an empty set over `0..universe`.
     pub fn new(universe: usize) -> Self {
-        HybridSet::Sparse { universe, elems: Vec::new() }
+        HybridSet::Sparse {
+            universe,
+            elems: Vec::new(),
+        }
     }
 
     /// Creates a set from an iterator of elements.
@@ -241,9 +251,11 @@ impl HybridSet {
         match (self, other) {
             (HybridSet::Dense(a), HybridSet::Dense(b)) => a.weighted_intersection(b, weights),
             (HybridSet::Sparse { elems, .. }, d @ HybridSet::Dense(_))
-            | (d @ HybridSet::Dense(_), HybridSet::Sparse { elems, .. }) => {
-                elems.iter().filter(|&&e| d.contains(e)).map(|&e| weights[e as usize] as u64).sum()
-            }
+            | (d @ HybridSet::Dense(_), HybridSet::Sparse { elems, .. }) => elems
+                .iter()
+                .filter(|&&e| d.contains(e))
+                .map(|&e| weights[e as usize] as u64)
+                .sum(),
             (HybridSet::Sparse { elems: a, .. }, HybridSet::Sparse { elems: b, .. }) => {
                 // Walk the smaller, binary-search the larger when very skewed;
                 // otherwise two-pointer merge.
@@ -345,8 +357,10 @@ mod tests {
             b.insert(i);
         }
         let weights: Vec<u32> = (0..256).map(|i| i * 2 + 1).collect();
-        let naive: u64 =
-            (0..256u32).filter(|i| i % 15 == 0).map(|i| weights[i as usize] as u64).sum();
+        let naive: u64 = (0..256u32)
+            .filter(|i| i % 15 == 0)
+            .map(|i| weights[i as usize] as u64)
+            .sum();
         assert_eq!(a.weighted_intersection(&b, &weights), naive);
     }
 
@@ -356,7 +370,10 @@ mod tests {
         assert!(matches!(s, HybridSet::Sparse { .. }));
         let other = HybridSet::from_iter(1000, 0..40);
         s.union_with(&other);
-        assert!(matches!(s, HybridSet::Dense(_)), "40 > 1000/32 must promote");
+        assert!(
+            matches!(s, HybridSet::Dense(_)),
+            "40 > 1000/32 must promote"
+        );
         assert_eq!(s.len(), 40);
     }
 

@@ -134,13 +134,22 @@ mod tests {
         let c = b.finish().unwrap();
         let m = CostModel::of(&c);
         let total = m.total_ipu_cycles();
-        assert!((4..=20).contains(&total), "xorshift fiber cost {total} out of expected band");
+        assert!(
+            (4..=20).contains(&total),
+            "xorshift fiber cost {total} out of expected band"
+        );
     }
 
     #[test]
     fn wide_ops_cost_more() {
-        let narrow = node_cost(&NodeKind::Bin(BinOp::Add, parendi_rtl::NodeId(0), parendi_rtl::NodeId(0)), 32);
-        let wide = node_cost(&NodeKind::Bin(BinOp::Add, parendi_rtl::NodeId(0), parendi_rtl::NodeId(0)), 512);
+        let narrow = node_cost(
+            &NodeKind::Bin(BinOp::Add, parendi_rtl::NodeId(0), parendi_rtl::NodeId(0)),
+            32,
+        );
+        let wide = node_cost(
+            &NodeKind::Bin(BinOp::Add, parendi_rtl::NodeId(0), parendi_rtl::NodeId(0)),
+            512,
+        );
         assert!(wide.ipu_cycles > narrow.ipu_cycles);
         assert!(wide.data_bytes == 64);
     }

@@ -39,6 +39,37 @@ pub enum SinkKind {
     Output(u32),
 }
 
+impl SinkKind {
+    /// The register this sink latches, if it is a register sink.
+    pub fn reg(self) -> Option<RegId> {
+        match self {
+            SinkKind::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The array write port this sink drives, if it is a port sink.
+    pub fn array_port(self) -> Option<(ArrayId, u32)> {
+        match self {
+            SinkKind::ArrayPort { array, port } => Some((array, port)),
+            _ => None,
+        }
+    }
+
+    /// Whether this sink carries architectural state across cycles (and
+    /// therefore participates in the BSP exchange when its consumers
+    /// live on other tiles). Output sinks are testbench-only.
+    pub fn is_state(self) -> bool {
+        !matches!(self, SinkKind::Output(_))
+    }
+}
+
+/// Bytes a differential array-port record carries beyond its data
+/// payload: a `u32` index plus an enable byte (§5.2). Shared by the
+/// fiber extractor, the exchange planner, and the routing layer so the
+/// three can never disagree on the record format.
+pub const PORT_RECORD_OVERHEAD_BYTES: u64 = 5;
+
 /// One fiber: a sink plus its backward cone.
 #[derive(Clone, Debug)]
 pub struct Fiber {
@@ -141,8 +172,11 @@ pub fn extract_fibers(circuit: &Circuit, costs: &CostModel) -> FiberSet {
     let mut stack = Vec::new();
     let mut fibers = Vec::new();
 
-    let mut make_fiber = |sink: SinkKind, roots: &[NodeId], out_bytes: u32,
-                          stamp: &mut Vec<u32>, generation: &mut u32| {
+    let mut make_fiber = |sink: SinkKind,
+                          roots: &[NodeId],
+                          out_bytes: u32,
+                          stamp: &mut Vec<u32>,
+                          generation: &mut u32| {
         *generation += 1;
         let cone = collect_cone(circuit, roots, stamp, *generation, &mut stack);
         let mut ipu = 0u64;
@@ -180,16 +214,25 @@ pub fn extract_fibers(circuit: &Circuit, costs: &CostModel) -> FiberSet {
     for (i, r) in circuit.regs.iter().enumerate() {
         let next = r.next.expect("validated circuit");
         let bytes = parendi_rtl::bits::words_for(r.width) as u32 * 8;
-        make_fiber(SinkKind::Reg(RegId(i as u32)), &[next], bytes, &mut stamp, &mut generation);
+        make_fiber(
+            SinkKind::Reg(RegId(i as u32)),
+            &[next],
+            bytes,
+            &mut stamp,
+            &mut generation,
+        );
     }
     for (ai, a) in circuit.arrays.iter().enumerate() {
         let data_bytes = parendi_rtl::bits::words_for(a.width) as u32 * 8;
         for (pi, p) in a.write_ports.iter().enumerate() {
             // A write moves (index, data, enable) — the differential
             // exchange payload (§5.2).
-            let bytes = data_bytes + 4 + 1;
+            let bytes = data_bytes + PORT_RECORD_OVERHEAD_BYTES as u32;
             make_fiber(
-                SinkKind::ArrayPort { array: ArrayId(ai as u32), port: pi as u32 },
+                SinkKind::ArrayPort {
+                    array: ArrayId(ai as u32),
+                    port: pi as u32,
+                },
                 &[p.index, p.data, p.enable],
                 bytes,
                 &mut stamp,
@@ -199,10 +242,19 @@ pub fn extract_fibers(circuit: &Circuit, costs: &CostModel) -> FiberSet {
     }
     for (oi, o) in circuit.outputs.iter().enumerate() {
         let bytes = parendi_rtl::bits::words_for(circuit.width(o.node)) as u32 * 8;
-        make_fiber(SinkKind::Output(oi as u32), &[o.node], bytes, &mut stamp, &mut generation);
+        make_fiber(
+            SinkKind::Output(oi as u32),
+            &[o.node],
+            bytes,
+            &mut stamp,
+            &mut generation,
+        );
     }
 
-    FiberSet { fibers, universe: n }
+    FiberSet {
+        fibers,
+        universe: n,
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +288,10 @@ mod tests {
             .filter(|n| fs.fibers[1].cone.contains(n))
             .copied()
             .collect();
-        assert!(!shared_nodes.is_empty(), "the add cone must appear in both fibers");
+        assert!(
+            !shared_nodes.is_empty(),
+            "the add cone must appear in both fibers"
+        );
         assert!(fs.duplication_factor() > 1.0);
     }
 
@@ -271,7 +326,10 @@ mod tests {
         let fs = extract_fibers(&c, &costs);
         // one port fiber + one output fiber
         assert_eq!(fs.len(), 2);
-        assert!(matches!(fs.fibers[0].sink, SinkKind::ArrayPort { port: 0, .. }));
+        assert!(matches!(
+            fs.fibers[0].sink,
+            SinkKind::ArrayPort { port: 0, .. }
+        ));
         assert_eq!(fs.fibers[1].arrays_read, vec![ArrayId(0)]);
     }
 }

@@ -36,4 +36,4 @@ pub use analysis::{
 };
 pub use bitset::{DenseBitSet, HybridSet};
 pub use cost::{node_cost, CostModel, NodeCost};
-pub use fiber::{extract_fibers, Fiber, FiberId, FiberSet, SinkKind};
+pub use fiber::{extract_fibers, Fiber, FiberId, FiberSet, SinkKind, PORT_RECORD_OVERHEAD_BYTES};

@@ -195,8 +195,7 @@ impl Hypergraph {
         let total: u64 = sub.node_weights.iter().sum();
         let target0 = (total as f64 * k_left as f64 / k as f64).round() as u64;
         let cap0 = (target0 as f64 * (1.0 + epsilon)).ceil() as u64;
-        let cap1 =
-            ((total - target0) as f64 * (1.0 + epsilon)).ceil() as u64;
+        let cap1 = ((total - target0) as f64 * (1.0 + epsilon)).ceil() as u64;
         let side = sub.bisect(target0, cap0, cap1, epsilon, rng);
         let (mut left, mut right) = (Vec::new(), Vec::new());
         for (i, &n) in nodes.iter().enumerate() {
@@ -225,8 +224,7 @@ impl SubGraph {
         for (i, &n) in nodes.iter().enumerate() {
             index_of.insert(n, i as u32);
         }
-        let node_weights: Vec<u64> =
-            nodes.iter().map(|&n| hg.node_weights[n as usize]).collect();
+        let node_weights: Vec<u64> = nodes.iter().map(|&n| hg.node_weights[n as usize]).collect();
         let mut sub = SubGraph {
             node_weights,
             edge_weights: Vec::new(),
@@ -268,7 +266,15 @@ impl SubGraph {
     }
 
     /// Bisects into sides 0/1 under the weight caps. Multilevel when large.
-    fn bisect(&self, target0: u64, cap0: u64, cap1: u64, epsilon: f64, rng: &mut StdRng) -> Vec<u8> {
+    #[allow(clippy::only_used_in_recursion)] // epsilon is part of the recursive contract
+    fn bisect(
+        &self,
+        target0: u64,
+        cap0: u64,
+        cap1: u64,
+        epsilon: f64,
+        rng: &mut StdRng,
+    ) -> Vec<u8> {
         const COARSE_LIMIT: usize = 160;
         if self.num_nodes() <= COARSE_LIMIT {
             let mut best: Option<(u64, Vec<u8>)> = None;
@@ -291,8 +297,9 @@ impl SubGraph {
             return side;
         }
         let coarse_side = coarse.bisect(target0, cap0, cap1, epsilon, rng);
-        let mut side: Vec<u8> =
-            (0..self.num_nodes()).map(|n| coarse_side[map[n] as usize]).collect();
+        let mut side: Vec<u8> = (0..self.num_nodes())
+            .map(|n| coarse_side[map[n] as usize])
+            .collect();
         self.fm_refine(&mut side, cap0, cap1);
         side
     }
@@ -582,7 +589,10 @@ mod tests {
         for k in [3u32, 4, 7] {
             let p = hg.partition(k, 0.1, 3);
             assert_eq!(p.part_weights.len(), k as usize);
-            assert!(p.part_weights.iter().all(|&w| w > 0), "empty block at k={k}");
+            assert!(
+                p.part_weights.iter().all(|&w| w > 0),
+                "empty block at k={k}"
+            );
             let max = *p.part_weights.iter().max().unwrap() as f64;
             let avg = 128.0 / k as f64;
             assert!(max <= avg * 1.35, "k={k} max block {max} vs avg {avg}");

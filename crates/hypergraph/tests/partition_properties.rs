@@ -4,12 +4,10 @@
 use parendi_hypergraph::Hypergraph;
 use proptest::prelude::*;
 
-fn random_hypergraph(
-    nodes: usize,
-    edges: &[(u64, Vec<u32>)],
-    weights: &[u64],
-) -> Hypergraph {
-    let w: Vec<u64> = (0..nodes).map(|i| weights[i % weights.len()].max(1)).collect();
+fn random_hypergraph(nodes: usize, edges: &[(u64, Vec<u32>)], weights: &[u64]) -> Hypergraph {
+    let w: Vec<u64> = (0..nodes)
+        .map(|i| weights[i % weights.len()].max(1))
+        .collect();
     let mut hg = Hypergraph::new(w);
     for (weight, pins) in edges {
         let pins: Vec<u32> = pins.iter().map(|p| p % nodes as u32).collect();

@@ -75,7 +75,11 @@ impl IpuConfig {
 
     /// The BOW-2000 variant (same tiles, 1.85 GHz — paper footnote 8).
     pub fn bow2000() -> Self {
-        IpuConfig { name: "BOW-2000".into(), clock_ghz: 1.85, ..Self::m2000() }
+        IpuConfig {
+            name: "BOW-2000".into(),
+            clock_ghz: 1.85,
+            ..Self::m2000()
+        }
     }
 
     /// Total tiles across all chips.
@@ -198,7 +202,11 @@ mod tests {
         let m = IpuConfig::m2000();
         // 1350 cycles per RTL cycle at 1.35 GHz = 1 MHz = 1000 kHz.
         assert!((m.rate_khz(1350.0) - 1000.0).abs() < 1e-6);
-        let t = IpuTimings { comp: 1000.0, comm: 250.0, sync: 100.0 };
+        let t = IpuTimings {
+            comp: 1000.0,
+            comm: 250.0,
+            sync: 100.0,
+        };
         assert!((t.total() - 1350.0).abs() < 1e-9);
         assert!((t.rate_khz(&m) - 1000.0).abs() < 1e-6);
     }

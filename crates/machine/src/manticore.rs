@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn per_core_faster_but_fewer_cores() {
         let m = ManticoreConfig::prototype();
-        assert!(m.cycles_scale < 1.0, "a Manticore core beats an IPU tile per op");
+        assert!(
+            m.cycles_scale < 1.0,
+            "a Manticore core beats an IPU tile per op"
+        );
         assert!(m.cores < 1472);
     }
 

@@ -18,12 +18,18 @@ pub struct CloudInstance {
 impl CloudInstance {
     /// The IPU-POD4 classic instance (§6.4).
     pub fn ipu_pod4() -> Self {
-        CloudInstance { name: "IPU-POD4".into(), usd_per_hour: 2.13 }
+        CloudInstance {
+            name: "IPU-POD4".into(),
+            usd_per_hour: 2.13,
+        }
     }
 
     /// An Azure Dv4 slice with `cores` cores at $0.048/core-hour (§6.4).
     pub fn dv4(cores: u32) -> Self {
-        CloudInstance { name: format!("Dv4-{cores}"), usd_per_hour: 0.048 * cores as f64 }
+        CloudInstance {
+            name: format!("Dv4-{cores}"),
+            usd_per_hour: 0.048 * cores as f64,
+        }
     }
 
     /// Cost of `hours` of use.
@@ -47,7 +53,11 @@ pub struct CostReport {
 pub fn simulate_cost(instance: &CloudInstance, cycles: u64, rate_khz: f64) -> CostReport {
     let seconds = cycles as f64 / (rate_khz * 1e3);
     let hours = seconds / 3600.0;
-    CostReport { instance: instance.name.clone(), hours, usd: instance.cost(hours) }
+    CostReport {
+        instance: instance.name.clone(),
+        hours,
+        usd: instance.cost(hours),
+    }
 }
 
 /// Time/cost to run `n_tests` independent tests of `cycles_per_test`
@@ -62,7 +72,11 @@ pub fn campaign_cost(
     let waves = n_tests.div_ceil(parallel_tests.max(1)) as f64;
     let seconds_per_wave = cycles_per_test as f64 / (rate_khz * 1e3);
     let hours = waves * seconds_per_wave / 3600.0;
-    CostReport { instance: instance.name.clone(), hours, usd: instance.cost(hours) }
+    CostReport {
+        instance: instance.name.clone(),
+        hours,
+        usd: instance.cost(hours),
+    }
 }
 
 /// The paper's break-even rule (§6.4): Dv4 with `t` threads at self-

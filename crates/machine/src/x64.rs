@@ -230,7 +230,10 @@ mod tests {
         let ix3 = X64Config::ix3();
         assert_eq!(ix3.barrier_cycles(1), 0);
         let b56 = ix3.barrier_cycles(56);
-        assert!(b56 > 3000, "56-thread barrier should cost thousands of cycles: {b56}");
+        assert!(
+            b56 > 3000,
+            "56-thread barrier should cost thousands of cycles: {b56}"
+        );
         assert!(ix3.barrier_cycles(8) < b56);
     }
 
@@ -279,7 +282,11 @@ mod tests {
 
     #[test]
     fn timings_sum() {
-        let t = X64Timings { comp: 10.0, comm: 5.0, sync: 1.0 };
+        let t = X64Timings {
+            comp: 10.0,
+            comm: 5.0,
+            sync: 1.0,
+        };
         assert_eq!(t.total(), 16.0);
     }
 }

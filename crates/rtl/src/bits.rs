@@ -64,8 +64,11 @@ impl Bits {
     ///
     /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
     pub fn zero(width: u32) -> Self {
-        assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
-        Bits { width, words: vec![0; words_for(width)] }
+        assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
+        Bits {
+            width,
+            words: vec![0; words_for(width)],
+        }
     }
 
     /// Creates an all-ones value of the given width.
@@ -115,12 +118,16 @@ impl Bits {
     /// Returns an error message if a character is not a hex digit or the
     /// value does not fit in `width` bits.
     pub fn from_hex(width: u32, s: &str) -> Result<Self, String> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         let mut b = Bits::zero(width);
-        let mut nibble = 0u32;
-        for c in s.chars().rev().filter(|&c| c != '_') {
-            let v = c.to_digit(16).ok_or_else(|| format!("invalid hex digit {c:?}"))? as u64;
-            let bit = nibble * 4;
+        for (nibble, c) in s.chars().rev().filter(|&c| c != '_').enumerate() {
+            let v = c
+                .to_digit(16)
+                .ok_or_else(|| format!("invalid hex digit {c:?}"))? as u64;
+            let bit = nibble as u32 * 4;
             if bit >= width && v != 0 {
                 return Err(format!("value does not fit in {width} bits"));
             }
@@ -132,7 +139,6 @@ impl Bits {
                     b.words[wi + 1] |= v >> (64 - bit % 64);
                 }
             }
-            nibble += 1;
         }
         let check = b.clone();
         b.normalize();
@@ -181,7 +187,11 @@ impl Bits {
     /// Panics if `i >= width`.
     #[inline]
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
@@ -191,7 +201,11 @@ impl Bits {
     ///
     /// Panics if `i >= width`.
     pub fn set_bit(&mut self, i: u32, v: bool) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let w = &mut self.words[(i / 64) as usize];
         if v {
             *w |= 1 << (i % 64);
@@ -211,7 +225,11 @@ impl Bits {
     }
 
     fn binop(&self, rhs: &Bits, f: impl Fn(&mut [u64], &[u64], &[u64], u32)) -> Bits {
-        assert_eq!(self.width, rhs.width, "width mismatch {} vs {}", self.width, rhs.width);
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch {} vs {}",
+            self.width, rhs.width
+        );
         let mut out = Bits::zero(self.width);
         f(&mut out.words, &self.words, &rhs.words, self.width);
         out
@@ -229,7 +247,9 @@ impl Bits {
 
     /// Wrapping negation (two's complement).
     pub fn neg(&self) -> Bits {
-        Bits::zero(self.width).sub(self)
+        let mut out = Bits::zero(self.width);
+        word::neg(&mut out.words, &self.words, self.width);
+        out
     }
 
     /// Wrapping multiplication (result truncated to the operand width).
@@ -313,7 +333,11 @@ impl Bits {
     ///
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn slice(&self, hi: u32, lo: u32) -> Bits {
-        assert!(hi >= lo && hi < self.width, "bad slice [{hi}:{lo}] of width {}", self.width);
+        assert!(
+            hi >= lo && hi < self.width,
+            "bad slice [{hi}:{lo}] of width {}",
+            self.width
+        );
         let mut out = Bits::zero(hi - lo + 1);
         word::slice(&mut out.words, &self.words, hi, lo);
         out
@@ -407,6 +431,19 @@ pub mod word {
         let mut borrow = 0u64;
         for i in 0..dst.len() {
             let (d1, b1) = a[i].overflowing_sub(b[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            dst[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        mask_top(dst, width);
+    }
+
+    /// `dst = -a (mod 2^width)`: two's complement without a zero
+    /// temporary (the hot path of `Neg` in both simulation engines).
+    pub fn neg(dst: &mut [u64], a: &[u64], width: u32) {
+        let mut borrow = 0u64;
+        for i in 0..dst.len() {
+            let (d1, b1) = 0u64.overflowing_sub(a[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
             dst[i] = d2;
             borrow = (b1 as u64) + (b2 as u64);
@@ -605,6 +642,29 @@ pub mod word {
         mask_top(dst, width);
     }
 
+    /// Folds a (normalized, little-endian) index value to `u64::MAX`
+    /// when it cannot address any real array — any high word set, or a
+    /// low word beyond `u32::MAX` (array depths fit in `u32`) — and to
+    /// its low word otherwise. Both simulation engines share this so
+    /// out-of-range semantics cannot drift between them.
+    pub fn fold_index(v: &[u64]) -> u64 {
+        if v[1..].iter().any(|&x| x != 0) || v[0] > u32::MAX as u64 {
+            u64::MAX
+        } else {
+            v[0]
+        }
+    }
+
+    /// Saturating shift amount: anything ≥ the value width behaves as
+    /// width (shared by both simulation engines).
+    pub fn shift_amount(bv: &[u64], width: u32) -> u32 {
+        if bv[1..].iter().any(|&x| x != 0) || bv[0] > u32::MAX as u64 {
+            width
+        } else {
+            (bv[0] as u32).min(width)
+        }
+    }
+
     /// Copies a normalized value.
     pub fn copy(dst: &mut [u64], src: &[u64]) {
         dst.copy_from_slice(src);
@@ -643,8 +703,14 @@ mod tests {
 
     #[test]
     fn hex_parsing() {
-        assert_eq!(Bits::from_hex(16, "0xBEEF").unwrap(), Bits::from_u64(16, 0xbeef));
-        assert_eq!(Bits::from_hex(12, "a_b_c").unwrap(), Bits::from_u64(12, 0xabc));
+        assert_eq!(
+            Bits::from_hex(16, "0xBEEF").unwrap(),
+            Bits::from_u64(16, 0xbeef)
+        );
+        assert_eq!(
+            Bits::from_hex(12, "a_b_c").unwrap(),
+            Bits::from_u64(12, 0xabc)
+        );
         assert!(Bits::from_hex(8, "100").is_err());
         assert!(Bits::from_hex(8, "zz").is_err());
         let wide = Bits::from_hex(130, "3ffffffffffffffffffffffffffffffff").unwrap();
@@ -671,7 +737,10 @@ mod tests {
         // 128-bit multiply.
         let x = Bits::from_u128(128, u64::MAX as u128);
         let y = x.mul(&x);
-        assert_eq!(y, Bits::from_u128(128, (u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(
+            y,
+            Bits::from_u128(128, (u64::MAX as u128) * (u64::MAX as u128))
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ pub struct Builder {
 impl Builder {
     /// Starts a new design with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Builder { circuit: Circuit::new(name), scopes: Vec::new() }
+        Builder {
+            circuit: Circuit::new(name),
+            scopes: Vec::new(),
+        }
     }
 
     /// Enters a naming scope; registers and arrays declared inside get
@@ -151,7 +154,11 @@ impl Builder {
     }
 
     fn push(&mut self, kind: NodeKind, width: u32) -> Signal {
-        assert!(width >= 1, "zero-width signal in scope `{}`", self.scopes.join("."));
+        assert!(
+            width >= 1,
+            "zero-width signal in scope `{}`",
+            self.scopes.join(".")
+        );
         let id = NodeId(self.circuit.nodes.len() as u32);
         self.circuit.nodes.push(Node { kind, width });
         Signal { id, width }
@@ -160,14 +167,20 @@ impl Builder {
     /// Declares a primary input.
     pub fn input(&mut self, name: impl Into<String>, width: u32) -> Signal {
         let id = InputId(self.circuit.inputs.len() as u32);
-        self.circuit.inputs.push(InputDecl { name: self.qualified(&name.into()), width });
+        self.circuit.inputs.push(InputDecl {
+            name: self.qualified(&name.into()),
+            width,
+        });
         self.push(NodeKind::Input(id), width)
     }
 
     /// Declares a primary output driven by `sig`.
     pub fn output(&mut self, name: impl Into<String>, sig: Signal) {
         let name = self.qualified(&name.into());
-        self.circuit.outputs.push(OutputDecl { name, node: sig.id() });
+        self.circuit.outputs.push(OutputDecl {
+            name,
+            node: sig.id(),
+        });
     }
 
     /// A literal constant of the given width (value truncated).
@@ -207,7 +220,12 @@ impl Builder {
     /// Panics on width mismatch or double connection.
     pub fn connect(&mut self, reg: Reg, next: Signal) {
         let r = &mut self.circuit.regs[reg.id.index()];
-        assert_eq!(r.width, next.width(), "connect width mismatch on reg `{}`", r.name);
+        assert_eq!(
+            r.width,
+            next.width(),
+            "connect width mismatch on reg `{}`",
+            r.name
+        );
         assert!(r.next.is_none(), "register `{}` connected twice", r.name);
         r.next = Some(next.id());
     }
@@ -251,7 +269,13 @@ impl Builder {
 
     /// A combinational read port on `arr` at `index`.
     pub fn array_read(&mut self, arr: ArrayHandle, index: Signal) -> Signal {
-        self.push(NodeKind::ArrayRead { array: arr.id, index: index.id() }, arr.width)
+        self.push(
+            NodeKind::ArrayRead {
+                array: arr.id,
+                index: index.id(),
+            },
+            arr.width,
+        )
     }
 
     /// Adds a clocked write port to `arr`.
@@ -263,11 +287,13 @@ impl Builder {
     pub fn array_write(&mut self, arr: ArrayHandle, index: Signal, data: Signal, enable: Signal) {
         assert_eq!(data.width(), arr.width, "array write data width");
         assert_eq!(enable.width(), 1, "array write enable width");
-        self.circuit.arrays[arr.id.index()].write_ports.push(WritePort {
-            index: index.id(),
-            data: data.id(),
-            enable: enable.id(),
-        });
+        self.circuit.arrays[arr.id.index()]
+            .write_ports
+            .push(WritePort {
+                index: index.id(),
+                data: data.id(),
+                enable: enable.id(),
+            });
     }
 
     fn bin(&mut self, op: BinOp, a: Signal, b: Signal) -> Signal {
@@ -440,7 +466,14 @@ impl Builder {
         assert_eq!(sel.width(), 1, "mux select must be 1 bit");
         assert_eq!(t.width(), f.width(), "mux arm width mismatch");
         let w = t.width();
-        self.push(NodeKind::Mux { sel: sel.id(), t: t.id(), f: f.id() }, w)
+        self.push(
+            NodeKind::Mux {
+                sel: sel.id(),
+                t: t.id(),
+                f: f.id(),
+            },
+            w,
+        )
     }
 
     /// N-way one-hot style selection from `(sel_bit, value)` pairs with a
@@ -455,7 +488,11 @@ impl Builder {
 
     /// Bit extraction `a[hi..=lo]`.
     pub fn slice(&mut self, a: Signal, hi: u32, lo: u32) -> Signal {
-        assert!(hi >= lo && hi < a.width(), "bad slice [{hi}:{lo}] of {} bits", a.width());
+        assert!(
+            hi >= lo && hi < a.width(),
+            "bad slice [{hi}:{lo}] of {} bits",
+            a.width()
+        );
         if lo == 0 && hi == a.width() - 1 {
             return a;
         }
@@ -486,7 +523,13 @@ impl Builder {
     /// Concatenation `{hi, lo}`.
     pub fn concat(&mut self, hi: Signal, lo: Signal) -> Signal {
         let w = hi.width() + lo.width();
-        self.push(NodeKind::Concat { hi: hi.id(), lo: lo.id() }, w)
+        self.push(
+            NodeKind::Concat {
+                hi: hi.id(),
+                lo: lo.id(),
+            },
+            w,
+        )
     }
 
     /// Concatenation of many parts, first element highest.
@@ -557,7 +600,10 @@ mod tests {
     fn unconnected_register_is_an_error() {
         let mut b = Builder::new("c");
         let _ = b.reg("r", 4, 0);
-        assert!(matches!(b.finish(), Err(RtlError::UnconnectedRegister { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(RtlError::UnconnectedRegister { .. })
+        ));
     }
 
     #[test]

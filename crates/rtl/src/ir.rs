@@ -112,7 +112,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether this operator produces a 1-bit comparison result.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::LtU | BinOp::LtS | BinOp::LeU | BinOp::LeS)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::LtU | BinOp::LtS | BinOp::LeU | BinOp::LeS
+        )
     }
 
     /// Whether this operator is a shift (right operand width is free).
@@ -185,7 +188,10 @@ impl Node {
         match &self.kind {
             NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => {}
             NodeKind::ArrayRead { index, .. } => f(*index),
-            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a) | NodeKind::Sext(a) => f(*a),
+            NodeKind::Un(_, a)
+            | NodeKind::Slice { src: a, .. }
+            | NodeKind::Zext(a)
+            | NodeKind::Sext(a) => f(*a),
             NodeKind::Bin(_, a, b) | NodeKind::Concat { hi: a, lo: b } => {
                 f(*a);
                 f(*b);
@@ -200,7 +206,10 @@ impl Node {
 
     /// Whether this node is a source (has no operands).
     pub fn is_source(&self) -> bool {
-        matches!(self.kind, NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_))
+        matches!(
+            self.kind,
+            NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_)
+        )
     }
 }
 
@@ -338,7 +347,10 @@ impl std::error::Error for RtlError {}
 impl Circuit {
     /// Creates an empty circuit with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Circuit { name: name.into(), ..Default::default() }
+        Circuit {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// The node table entry for `id`.
@@ -411,14 +423,23 @@ impl Circuit {
             self.validate_node(id, node)?;
         }
         for (i, r) in self.regs.iter().enumerate() {
-            let next = r.next.ok_or(RtlError::UnconnectedRegister { reg: RegId(i as u32) })?;
+            let next = r.next.ok_or(RtlError::UnconnectedRegister {
+                reg: RegId(i as u32),
+            })?;
             if next.0 >= n {
-                return Err(RtlError::DanglingId { detail: format!("reg {} next {next:?}", r.name) });
+                return Err(RtlError::DanglingId {
+                    detail: format!("reg {} next {next:?}", r.name),
+                });
             }
             if self.width(next) != r.width {
                 return Err(RtlError::WidthMismatch {
                     node: next,
-                    detail: format!("reg {} is {} bits but next is {}", r.name, r.width, self.width(next)),
+                    detail: format!(
+                        "reg {} is {} bits but next is {}",
+                        r.name,
+                        r.width,
+                        self.width(next)
+                    ),
                 });
             }
             if r.init.width() != r.width {
@@ -460,7 +481,9 @@ impl Circuit {
         }
         for o in &self.outputs {
             if o.node.0 >= n {
-                return Err(RtlError::DanglingId { detail: format!("output {}", o.name) });
+                return Err(RtlError::DanglingId {
+                    detail: format!("output {}", o.name),
+                });
             }
         }
         Ok(())
@@ -476,26 +499,25 @@ impl Circuit {
                 }
             }
             NodeKind::Input(i) => {
-                let decl = self
-                    .inputs
-                    .get(i.index())
-                    .ok_or(RtlError::DanglingId { detail: format!("{i:?}") })?;
+                let decl = self.inputs.get(i.index()).ok_or(RtlError::DanglingId {
+                    detail: format!("{i:?}"),
+                })?;
                 if decl.width != node.width {
                     return err(format!("input {} width {}", decl.name, decl.width));
                 }
             }
             NodeKind::RegRead(r) => {
-                let reg =
-                    self.regs.get(r.index()).ok_or(RtlError::DanglingId { detail: format!("{r:?}") })?;
+                let reg = self.regs.get(r.index()).ok_or(RtlError::DanglingId {
+                    detail: format!("{r:?}"),
+                })?;
                 if reg.width != node.width {
                     return err(format!("reg {} width {}", reg.name, reg.width));
                 }
             }
             NodeKind::ArrayRead { array, .. } => {
-                let arr = self
-                    .arrays
-                    .get(array.index())
-                    .ok_or(RtlError::DanglingId { detail: format!("{array:?}") })?;
+                let arr = self.arrays.get(array.index()).ok_or(RtlError::DanglingId {
+                    detail: format!("{array:?}"),
+                })?;
                 if arr.width != node.width {
                     return err(format!("array {} width {}", arr.name, arr.width));
                 }
@@ -528,7 +550,12 @@ impl Circuit {
             }
             NodeKind::Slice { src, lo } => {
                 if lo + node.width > w(*src) {
-                    return err(format!("slice [{}..{}] of {} bits", lo + node.width - 1, lo, w(*src)));
+                    return err(format!(
+                        "slice [{}..{}] of {} bits",
+                        lo + node.width - 1,
+                        lo,
+                        w(*src)
+                    ));
                 }
             }
             NodeKind::Zext(_) | NodeKind::Sext(_) => {}

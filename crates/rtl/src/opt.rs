@@ -96,8 +96,10 @@ fn cse_key(kind: &NodeKind, width: u32) -> Option<(String, u32)> {
 /// original indices; only combinational nodes are rewritten.
 pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
     let n = circuit.nodes.len();
-    let mut stats =
-        OptStats { nodes_before: n as u64, ..Default::default() };
+    let mut stats = OptStats {
+        nodes_before: n as u64,
+        ..Default::default()
+    };
 
     // ---- Pass 1 (forward): fold + CSE into a tentative node list.
     let mut remap = vec![NodeId(0); n];
@@ -106,12 +108,11 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
     let mut cse: HashMap<(String, u32), NodeId> = HashMap::new();
     let mut const_ids: HashMap<(u32, Vec<u64>), NodeId> = HashMap::new();
 
-    let push =
-        |nodes: &mut Vec<Node>, kind: NodeKind, width: u32| -> NodeId {
-            let id = NodeId(nodes.len() as u32);
-            nodes.push(Node { kind, width });
-            id
-        };
+    let push = |nodes: &mut Vec<Node>, kind: NodeKind, width: u32| -> NodeId {
+        let id = NodeId(nodes.len() as u32);
+        nodes.push(Node { kind, width });
+        id
+    };
 
     for (i, node) in circuit.nodes.iter().enumerate() {
         // Remap operands.
@@ -119,7 +120,9 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
         match &mut kind {
             NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => {}
             NodeKind::ArrayRead { index, .. } => *index = remap[index.index()],
-            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a)
+            NodeKind::Un(_, a)
+            | NodeKind::Slice { src: a, .. }
+            | NodeKind::Zext(a)
             | NodeKind::Sext(a) => *a = remap[a.index()],
             NodeKind::Bin(_, a, b) => {
                 *a = remap[a.index()];
@@ -225,7 +228,9 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
         match &mut kind {
             NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => {}
             NodeKind::ArrayRead { index, .. } => mapper(index),
-            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a)
+            NodeKind::Un(_, a)
+            | NodeKind::Slice { src: a, .. }
+            | NodeKind::Zext(a)
             | NodeKind::Sext(a) => mapper(a),
             NodeKind::Bin(_, a, b) => {
                 mapper(a);
@@ -242,7 +247,10 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptStats) {
             }
         }
         compact[i] = NodeId(out.nodes.len() as u32);
-        out.nodes.push(Node { kind, width: node.width });
+        out.nodes.push(Node {
+            kind,
+            width: node.width,
+        });
     }
     for r in &mut out.regs {
         r.next = r.next.map(|id| compact[id.index()]);
@@ -280,8 +288,10 @@ mod tests {
         let (o, stats) = optimize(&c);
         assert!(stats.folded >= 1);
         // The 20+22 add disappears into a 42 literal.
-        let has42 = o.nodes.iter().any(|n| matches!(&n.kind,
-            NodeKind::Const(b) if b.to_u64() == 42));
+        let has42 = o.nodes.iter().any(|n| {
+            matches!(&n.kind,
+            NodeKind::Const(b) if b.to_u64() == 42)
+        });
         assert!(has42, "folded constant 42 must exist");
         assert!(o.nodes.len() < c.nodes.len());
         o.validate().unwrap();
@@ -345,7 +355,10 @@ mod tests {
         let c = b.finish().unwrap();
         let (o, stats) = optimize(&c);
         assert!(stats.folded >= 1);
-        assert!(!o.nodes.iter().any(|n| matches!(n.kind, NodeKind::Mux { .. })));
+        assert!(!o
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Mux { .. })));
     }
 
     #[test]

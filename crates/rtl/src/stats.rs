@@ -34,7 +34,10 @@ pub fn node_gates(kind: &NodeKind, width: u32) -> u64 {
     let w = width as u64;
     match kind {
         NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => 0,
-        NodeKind::Slice { .. } | NodeKind::Zext(_) | NodeKind::Sext(_) | NodeKind::Concat { .. } => 0,
+        NodeKind::Slice { .. }
+        | NodeKind::Zext(_)
+        | NodeKind::Sext(_)
+        | NodeKind::Concat { .. } => 0,
         NodeKind::ArrayRead { .. } => 2 * w, // address decode + output mux amortized
         NodeKind::Un(op, _) => match op {
             UnOp::Not => w,
@@ -110,8 +113,13 @@ mod tests {
     #[test]
     fn wider_mul_costs_more() {
         assert!(
-            node_gates(&NodeKind::Bin(BinOp::Mul, crate::ir::NodeId(0), crate::ir::NodeId(0)), 32)
-                > node_gates(&NodeKind::Bin(BinOp::Mul, crate::ir::NodeId(0), crate::ir::NodeId(0)), 8)
+            node_gates(
+                &NodeKind::Bin(BinOp::Mul, crate::ir::NodeId(0), crate::ir::NodeId(0)),
+                32
+            ) > node_gates(
+                &NodeKind::Bin(BinOp::Mul, crate::ir::NodeId(0), crate::ir::NodeId(0)),
+                8
+            )
         );
     }
 }

@@ -11,7 +11,13 @@ use std::fmt::Write;
 fn ident(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, '_');
@@ -78,7 +84,11 @@ pub fn to_verilog(circuit: &Circuit) -> String {
             NodeKind::Input(input) => ident(&circuit.inputs[input.index()].name),
             NodeKind::RegRead(r) => ident(&circuit.regs[r.index()].name),
             NodeKind::ArrayRead { array, index } => {
-                format!("{}[{}]", ident(&circuit.arrays[array.index()].name), wire(*index))
+                format!(
+                    "{}[{}]",
+                    ident(&circuit.arrays[array.index()].name),
+                    wire(*index)
+                )
             }
             NodeKind::Un(op, a) => match op {
                 UnOp::Not => format!("~{}", wire(*a)),
@@ -137,14 +147,25 @@ pub fn to_verilog(circuit: &Circuit) -> String {
             }
             NodeKind::Concat { hi, lo } => format!("{{{}, {}}}", wire(*hi), wire(*lo)),
         };
-        let _ = writeln!(v, "  wire {}{} = {};", width_decl(node.width), wire(id), rhs);
+        let _ = writeln!(
+            v,
+            "  wire {}{} = {};",
+            width_decl(node.width),
+            wire(id),
+            rhs
+        );
     }
     let _ = writeln!(v);
 
     // Sequential logic.
     let _ = writeln!(v, "  always @(posedge clk) begin");
     for r in &circuit.regs {
-        let _ = writeln!(v, "    {} <= {};", ident(&r.name), wire(r.next.expect("validated")));
+        let _ = writeln!(
+            v,
+            "    {} <= {};",
+            ident(&r.name),
+            wire(r.next.expect("validated"))
+        );
     }
     for a in &circuit.arrays {
         for p in &a.write_ports {

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! the `criterion_group!` / `criterion_main!` macros) on plain
+//! wall-clock timing. Passing `--test` (as `cargo bench -- --test` does
+//! for smoke runs) executes every benchmark body exactly once and skips
+//! measurement, so CI can catch regressions without paying for a full
+//! measurement run.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Benchmark throughput annotation (reported alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id, self.test_mode, 10, Duration::from_secs(1), None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` (or runs it once under `--test`).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(
+            &id,
+            self.criterion.test_mode,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Handed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    /// Whether to run the body exactly once without timing.
+    smoke: bool,
+    /// Mean seconds per iteration of the best sample (output).
+    best_s: f64,
+    /// Iterations used per sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the best mean iteration time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.smoke {
+            black_box(f());
+            self.best_s = 0.0;
+            return;
+        }
+        // Calibrate the per-sample iteration count to ~10ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let per_sample = ((0.01 / once) as u64).clamp(1, 1_000_000);
+        self.iters = per_sample;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.iters_samples() {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            best = best.min(t.elapsed().as_secs_f64() / per_sample as f64);
+        }
+        self.best_s = best;
+    }
+
+    fn iters_samples(&self) -> u64 {
+        self.iters.clamp(3, 64)
+    }
+}
+
+fn run_one(
+    id: &str,
+    smoke: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let _ = (sample_size, measurement_time);
+    let mut b = Bencher {
+        smoke,
+        best_s: 0.0,
+        iters: 1,
+    };
+    let start = Instant::now();
+    f(&mut b);
+    if smoke {
+        println!("{id}: ok (smoke, {:.3}s)", start.elapsed().as_secs_f64());
+        return;
+    }
+    let per = b.best_s;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per > 0.0 => {
+            format!("  {:.3} Kelem/s", n as f64 / per / 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per > 0.0 => {
+            format!("  {:.3} MiB/s", n as f64 / per / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{id}: {:.3} µs/iter{rate}", per * 1e6);
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and the workspace only
+//! uses `#[derive(Serialize, Deserialize)]` as markers on plain data
+//! structs (no serialization is ever performed). These derives expand to
+//! nothing; swap in the real serde when a network is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

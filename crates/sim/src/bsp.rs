@@ -1,115 +1,404 @@
-//! The parallel BSP execution engine.
+//! The parallel BSP execution engine: compiled point-to-point exchange.
 //!
 //! Executes a compiled [`Partition`] on host threads with exactly the
 //! structure of Fig. 3: a *computation* phase in which every process
 //! evaluates its (possibly duplicated) cone into private memory, a
-//! barrier, a *communication* phase in which newly computed register and
-//! array-port values are published, and a second barrier. Functional
+//! barrier, a *communication* phase, and a second barrier. Functional
 //! results are bit-identical to the reference [`Simulator`]
 //! (`crate::interp`) — the engine is the correctness check for the
 //! partitioner, not a model.
 //!
+//! # Exchange architecture
+//!
+//! There is no shared mutable global state and no leader thread. Every
+//! tile *owns* the registers and array copies it produces or holds, and
+//! all cross-tile values move through the channels of the compiled
+//! [`Routing`] — one double-buffered mailbox per producer→consumer tile
+//! pair, laid out at compile time (register slots first, then array
+//! write-port records).
+//!
+//! The two epochs of a mailbox alternate by cycle parity. During the
+//! computation phase of cycle `c` every thread, for each of its tiles:
+//!
+//! 1. runs the tile's step program, reading its own registers and array
+//!    copies plus *epoch `c`* mailbox slots for remote registers;
+//! 2. latches its own registers (tile-local, nobody else reads them);
+//! 3. copies its outgoing register values and `(enable, index, data)`
+//!    port records into *epoch `c+1`* mailbox buffers.
+//!
+//! Writers touch only epoch-`c+1` buffers while readers touch only
+//! epoch-`c` buffers, so the phase needs no locks. After the first
+//! barrier, the communication phase has every *holder* of an array apply
+//! the staged port records (its own from its arena, remote ones from
+//! epoch-`c+1` mailboxes) in global `(array, port)` order, keeping every
+//! copy bit-identical; the second barrier ends the cycle. The only
+//! synchronization in the steady-state loop is those two barriers: no
+//! locks are taken and no heap allocation occurs. Per-tile `Mutex`es
+//! exist solely so the testbench API (`poke`/`reg_value`/`array_value`)
+//! can inspect state between [`run`](BspSimulator::run) calls, and are
+//! locked once per run, outside the cycle loop.
+//!
+//! Worker threads are spawned once in [`BspSimulator::new`] and persist
+//! across `run()` calls (the figure binaries call `run` in a loop), so
+//! repeated runs pay two barrier waits, not thread start-up.
+//!
 //! [`Simulator`]: crate::interp::Simulator
 
+use parendi_core::routing::{Routing, PORT_RECORD_HEADER_WORDS};
 use parendi_core::Partition;
-use parendi_graph::fiber::SinkKind;
 use parendi_rtl::bits::{word, words_for, Bits};
 use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, RegId, UnOp};
-use parking_lot::{Mutex, RwLock};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// One resolved evaluation step of a process program.
-#[derive(Clone, Debug)]
-enum Step {
-    /// Copy from the global input buffer.
-    Input { dst: u32, src: u32, nw: u32 },
-    /// Copy a register's current value from global state.
-    RegRead { dst: u32, src: u32, nw: u32 },
-    /// Combinational read of a global array.
-    ArrayRead { dst: u32, array: u32, idx: u32, idx_w: u32, nw: u32 },
-    /// Pure op on process-local values; `node` indexes the circuit for
-    /// kind/width, `a`/`b`/`c` are local word offsets.
-    Pure { node: u32, dst: u32, a: u32, b: u32, c: u32 },
+/// A sense-reversing hybrid barrier for the twice-per-cycle phase
+/// synchronization. BSP cycles are microseconds long, so when every
+/// worker has its own core, parking on a futex (`std::sync::Barrier`)
+/// costs more than an entire cycle — workers spin instead, and the
+/// entire wait is a handful of atomic operations with no lock. When the
+/// host is oversubscribed (more workers than cores), spinning burns the
+/// timeslice of the very thread that could make progress, so waiters
+/// park on a condvar; the leader only touches the condvar's mutex when
+/// `parked` says somebody actually sleeps there. The run hand-off
+/// barriers (`gate`/`done`) stay parking barriers — between runs,
+/// sleeping is exactly right.
+struct PhaseBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    /// Waiters that gave up spinning and (are about to) sleep.
+    parked: AtomicUsize,
+    lock: Mutex<()>,
+    cv: std::sync::Condvar,
+    n: usize,
+    spin_limit: u32,
 }
 
-/// A register value this process must publish.
+impl PhaseBarrier {
+    fn new(n: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        PhaseBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+            n,
+            spin_limit: if n <= cores { 1 << 14 } else { 0 },
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::SeqCst);
+        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            // Waiters increment `parked` (SeqCst) *before* re-checking the
+            // generation under the lock, so observing zero here proves no
+            // waiter can sleep through this release.
+            if self.parked.load(Ordering::SeqCst) != 0 {
+                drop(self.lock.lock().unwrap());
+                self.cv.notify_all();
+            }
+        } else {
+            for _ in 0..self.spin_limit {
+                if self.generation.load(Ordering::SeqCst) != gen {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            self.parked.fetch_add(1, Ordering::SeqCst);
+            let mut g = self.lock.lock().unwrap();
+            while self.generation.load(Ordering::SeqCst) == gen {
+                g = self.cv.wait(g).unwrap();
+            }
+            drop(g);
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One resolved evaluation step of a process program. Every operand
+/// width is pre-resolved at compile time so the cycle loop never touches
+/// the circuit.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Copy from the shared (read-only during a run) input buffer.
+    Input { dst: u32, src: u32, nw: u32 },
+    /// Copy one of this tile's own registers.
+    RegOwn { dst: u32, src: u32, nw: u32 },
+    /// Copy a remote register from an inbound mailbox slot (epoch `c`).
+    RegMail {
+        dst: u32,
+        ch: u32,
+        src: u32,
+        nw: u32,
+    },
+    /// Combinational read of a tile-local array copy.
+    ArrayRead {
+        dst: u32,
+        arr: u32,
+        idx: u32,
+        idx_w: u32,
+        nw: u32,
+        depth: u32,
+    },
+    /// Unary op (`aw` = argument width in bits for the reductions).
+    Un {
+        op: UnOp,
+        dst: u32,
+        a: u32,
+        w: u32,
+        aw: u32,
+        anw: u32,
+    },
+    /// Binary op (`aw` = left operand width, for comparisons/shifts).
+    Bin {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+        aw: u32,
+        anw: u32,
+        bnw: u32,
+    },
+    /// Two-way select; `t`/`f` are as wide as the result.
+    Mux {
+        dst: u32,
+        sel: u32,
+        t: u32,
+        f: u32,
+        nw: u32,
+    },
+    /// Bit extraction `[lo + w - 1 : lo]`.
+    Slice {
+        dst: u32,
+        a: u32,
+        lo: u32,
+        w: u32,
+        anw: u32,
+    },
+    /// Zero extension to `w` bits.
+    Zext { dst: u32, a: u32, w: u32, anw: u32 },
+    /// Sign extension from `aw` to `w` bits.
+    Sext {
+        dst: u32,
+        a: u32,
+        aw: u32,
+        w: u32,
+        anw: u32,
+    },
+    /// Concatenation with `lo` occupying the low `low_w` bits.
+    Concat {
+        dst: u32,
+        hi: u32,
+        lo: u32,
+        w: u32,
+        low_w: u32,
+        hnw: u32,
+        lnw: u32,
+    },
+}
+
+/// Latch one of this tile's own registers (arena → `reg_cur`).
 #[derive(Clone, Copy, Debug)]
-struct RegPublish {
-    reg: u32,
+struct RegCommit {
     local: u32,
-    global: u32,
+    dst: u32,
     nw: u32,
 }
 
-/// An array write port this process owns.
+/// Send a produced register value to one remote consumer's mailbox.
 #[derive(Clone, Copy, Debug)]
-struct PortPublish {
-    array: u32,
-    port: u32,
+struct RegSend {
+    local: u32,
+    ch: u32,
+    dst: u32,
+    nw: u32,
+}
+
+/// Stage one array write port's `(enable, index, data)` record into the
+/// mailboxes of every remote holder of the array.
+#[derive(Clone, Debug)]
+struct PortSend {
     en: u32,
     idx: u32,
     idx_w: u32,
     data: u32,
     nw: u32,
+    /// `(channel, word offset)` of the record slot per remote holder.
+    dests: Vec<(u32, u32)>,
 }
 
-/// A compiled per-tile program.
+/// Where an applied port record comes from.
+#[derive(Clone, Copy, Debug)]
+enum RecSrc {
+    /// This tile produced the port: read straight from its arena.
+    Own {
+        en: u32,
+        idx: u32,
+        idx_w: u32,
+        data: u32,
+    },
+    /// A remote tile produced it: read the mailbox record (epoch `c+1`).
+    Mail { ch: u32, off: u32 },
+}
+
+/// Apply one port record to a tile-local array copy (exchange phase).
+#[derive(Clone, Copy, Debug)]
+struct Apply {
+    arr: u32,
+    nw: u32,
+    depth: u32,
+    src: RecSrc,
+}
+
+/// A compiled per-tile program. Self-contained: executing it requires no
+/// access to the `Circuit`.
 #[derive(Debug)]
 struct Program {
     steps: Vec<Step>,
     arena_words: usize,
     const_init: Vec<(u32, Vec<u64>)>,
-    regs: Vec<RegPublish>,
-    ports: Vec<PortPublish>,
+    commits: Vec<RegCommit>,
+    sends: Vec<RegSend>,
+    port_sends: Vec<PortSend>,
+    /// In global `(array, port)` order per array, so every holder applies
+    /// identically (last port wins, as in the reference interpreter).
+    applies: Vec<Apply>,
 }
 
-/// Mutable per-tile state (arena plus the publish staging buffers).
+/// Mutable tile-owned state. Guarded by a `Mutex` purely for the
+/// testbench API; workers lock it once per `run`, not per cycle.
 #[derive(Debug)]
 struct TileState {
     arena: Vec<u64>,
-    /// Latched register words, in `Program::regs` order.
-    reg_stash: Vec<u64>,
-    /// `(array, port, enable, index, data)` records.
-    port_stash: Vec<(u32, u32, bool, u64, Vec<u64>)>,
+    /// This tile's own registers, packed in `RegId` order.
+    reg_cur: Vec<u64>,
+    /// Local copies of held arrays, in the process's sorted array order.
+    arrays: Vec<Vec<u64>>,
 }
 
-/// Shared global state: register currents, arrays, inputs.
-#[derive(Debug)]
-struct Global {
-    reg_cur: Vec<u64>,
-    arrays: Vec<Vec<u64>>,
-    inputs: Vec<u64>,
+/// A double-buffered mailbox for one producer→consumer tile pair.
+///
+/// Epoch discipline (enforced by the two BSP barriers, see the module
+/// docs): during cycle `c` the producer thread writes only buffer
+/// `(c + 1) & 1` and consumer threads read only buffer `c & 1`
+/// (computation phase) or `(c + 1) & 1` *after* the first barrier
+/// (communication phase). No two threads ever touch the same buffer
+/// concurrently with a writer present.
+struct Mailbox {
+    bufs: [UnsafeCell<Box<[u64]>>; 2],
+}
+
+// SAFETY: access is partitioned by the epoch/barrier discipline above;
+// the type itself hands out raw access only through unsafe accessors.
+unsafe impl Sync for Mailbox {}
+
+impl Mailbox {
+    fn new(words: usize) -> Self {
+        Mailbox {
+            bufs: [
+                UnsafeCell::new(vec![0u64; words].into_boxed_slice()),
+                UnsafeCell::new(vec![0u64; words].into_boxed_slice()),
+            ],
+        }
+    }
+
+    /// SAFETY: no concurrent writer of `parity` may exist (see epoch
+    /// discipline in the type docs).
+    unsafe fn read(&self, parity: usize) -> &[u64] {
+        &*self.bufs[parity].get()
+    }
+
+    /// SAFETY: this thread must be the unique accessor of `parity`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn write(&self, parity: usize) -> &mut [u64] {
+        &mut *self.bufs[parity].get()
+    }
+}
+
+/// Per-run phase timings (straggler view: the slowest worker's totals).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BspPhases {
+    /// Wall-clock seconds for the whole run.
+    pub total_s: f64,
+    /// Seconds the slowest worker spent in computation phases.
+    pub compute_s: f64,
+    /// Seconds the slowest worker spent in communication phases:
+    /// record application plus both barrier waits (mailbox pushes are
+    /// overlapped into compute).
+    pub exchange_s: f64,
+}
+
+/// State shared between the simulator facade and the worker pool.
+struct Shared {
+    programs: Vec<Program>,
+    tiles: Vec<Mutex<TileState>>,
+    channels: Vec<Mailbox>,
+    inputs: RwLock<Vec<u64>>,
+    /// Workers-only phase barrier (two waits per cycle).
+    phase_barrier: PhaseBarrier,
+    /// Run hand-off: workers + the control thread.
+    gate: Barrier,
+    done: Barrier,
+    cmd_cycles: AtomicU64,
+    cmd_start: AtomicU64,
+    cmd_timed: AtomicBool,
+    exit: AtomicBool,
+    /// Per-worker (compute_ns, exchange_ns) of the last timed run.
+    phase_ns: Vec<Mutex<(u64, u64)>>,
+}
+
+/// Where a register's current value lives.
+#[derive(Clone, Copy, Debug)]
+struct RegHome {
+    tile: u32,
+    off: u32,
+    words: u32,
+}
+
+/// Where an array's reference copy lives.
+#[derive(Clone, Debug)]
+enum ArrayHome {
+    /// Held by a tile (all holders are bit-identical; we read this one).
+    Held { tile: u32, slot: u32 },
+    /// No tile references it: it keeps its initial contents forever.
+    Spare(Vec<u64>),
 }
 
 /// A parallel BSP simulator for a compiled partition.
 pub struct BspSimulator<'c> {
     circuit: &'c Circuit,
-    programs: Vec<Program>,
-    tiles: Vec<Mutex<TileState>>,
-    global: RwLock<Global>,
-    reg_off: Vec<u32>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    reg_home: Vec<RegHome>,
+    array_home: Vec<ArrayHome>,
     input_off: Vec<u32>,
     input_by_name: HashMap<String, InputId>,
-    threads: usize,
     cycle: u64,
 }
 
 impl<'c> BspSimulator<'c> {
-    /// Compiles `partition` into per-tile programs run on `threads` host
-    /// threads (tiles are folded round-robin onto threads).
+    /// Compiles `partition` into per-tile programs and spawns a
+    /// persistent pool of `threads` workers (tiles are folded
+    /// round-robin onto threads; the pool is reused by every
+    /// [`run`](Self::run)).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
-        let mut reg_off = Vec::with_capacity(circuit.regs.len());
-        let mut rwords = 0u32;
-        for r in &circuit.regs {
-            reg_off.push(rwords);
-            rwords += words_for(r.width) as u32;
-        }
+        let routing = Routing::new(circuit, partition);
+
+        // Input packing (shared, read-only during runs).
         let mut input_off = Vec::with_capacity(circuit.inputs.len());
         let mut iwords = 0u32;
         let mut input_by_name = HashMap::new();
@@ -118,12 +407,35 @@ impl<'c> BspSimulator<'c> {
             iwords += words_for(d.width) as u32;
             input_by_name.insert(d.name.clone(), InputId(i as u32));
         }
-        let mut reg_cur = vec![0u64; rwords as usize];
-        for (r, off) in circuit.regs.iter().zip(&reg_off) {
-            let w = words_for(r.width);
-            reg_cur[*off as usize..*off as usize + w].copy_from_slice(r.init.words());
+
+        // Register homes: owner tile + offset among that tile's own regs.
+        let mut reg_home = vec![
+            RegHome {
+                tile: u32::MAX,
+                off: 0,
+                words: 0
+            };
+            circuit.regs.len()
+        ];
+        let mut tile_reg_words = vec![0u32; partition.processes.len()];
+        for route in &routing.reg_routes {
+            // reg_routes is in RegId order, so per-tile offsets pack in
+            // RegId order too.
+            if route.producer == u32::MAX {
+                continue;
+            }
+            let t = route.producer as usize;
+            reg_home[route.reg.index()] = RegHome {
+                tile: route.producer,
+                off: tile_reg_words[t],
+                words: route.words,
+            };
+            tile_reg_words[t] += route.words;
         }
-        let arrays = circuit
+
+        // Array homes: first holder, or a spare copy of the initial
+        // contents for arrays no process references.
+        let array_init: Vec<Vec<u64>> = circuit
             .arrays
             .iter()
             .map(|a| {
@@ -137,36 +449,115 @@ impl<'c> BspSimulator<'c> {
                 buf
             })
             .collect();
+        let array_home: Vec<ArrayHome> = routing
+            .array_holders
+            .iter()
+            .enumerate()
+            .map(|(ai, holders)| match holders.first() {
+                Some(&tile) => {
+                    let p = &partition.processes[tile as usize];
+                    let slot = p
+                        .arrays
+                        .binary_search(&parendi_rtl::ArrayId(ai as u32))
+                        .expect("holder lists the array") as u32;
+                    ArrayHome::Held { tile, slot }
+                }
+                None => ArrayHome::Spare(array_init[ai].clone()),
+            })
+            .collect();
 
+        // Mailboxes, with epoch-0 register slots preloaded with initial
+        // values so cycle 0 observes the power-on state.
+        let channels: Vec<Mailbox> = routing
+            .channels
+            .iter()
+            .map(|c| Mailbox::new(c.words() as usize))
+            .collect();
+        for route in &routing.reg_routes {
+            for hop in &route.hops {
+                let init = circuit.regs[route.reg.index()].init.words();
+                // SAFETY: construction is single-threaded.
+                let buf = unsafe { channels[hop.channel as usize].write(0) };
+                buf[hop.word_off as usize..hop.word_off as usize + init.len()]
+                    .copy_from_slice(init);
+            }
+        }
+
+        // Per-tile programs and state.
         let programs: Vec<Program> = partition
             .processes
             .iter()
-            .map(|p| build_program(circuit, partition, p, &reg_off, &input_off))
+            .enumerate()
+            .map(|(pi, p)| build_program(circuit, partition, &routing, pi as u32, p, &reg_home))
             .collect();
-        let tiles = programs
+        let tiles: Vec<Mutex<TileState>> = programs
             .iter()
-            .map(|p| {
-                let mut arena = vec![0u64; p.arena_words];
-                for (off, words) in &p.const_init {
+            .enumerate()
+            .map(|(pi, prog)| {
+                let mut arena = vec![0u64; prog.arena_words];
+                for (off, words) in &prog.const_init {
                     arena[*off as usize..*off as usize + words.len()].copy_from_slice(words);
                 }
-                let reg_words: usize = p.regs.iter().map(|r| r.nw as usize).sum();
+                let mut reg_cur = vec![0u64; tile_reg_words[pi] as usize];
+                for (ri, home) in reg_home.iter().enumerate() {
+                    if home.tile == pi as u32 {
+                        reg_cur[home.off as usize..(home.off + home.words) as usize]
+                            .copy_from_slice(circuit.regs[ri].init.words());
+                    }
+                }
+                let arrays = partition.processes[pi]
+                    .arrays
+                    .iter()
+                    .map(|a| array_init[a.index()].clone())
+                    .collect();
                 Mutex::new(TileState {
                     arena,
-                    reg_stash: vec![0; reg_words],
-                    port_stash: Vec::with_capacity(p.ports.len()),
+                    reg_cur,
+                    arrays,
                 })
             })
             .collect();
-        BspSimulator {
-            circuit,
+
+        let pool_threads = if programs.len() <= 1 {
+            1
+        } else {
+            threads.min(programs.len())
+        };
+        let worker_count = if pool_threads > 1 { pool_threads } else { 0 };
+        let shared = Arc::new(Shared {
             programs,
             tiles,
-            global: RwLock::new(Global { reg_cur, arrays, inputs: vec![0u64; iwords as usize] }),
-            reg_off,
+            channels,
+            inputs: RwLock::new(vec![0u64; iwords as usize]),
+            phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
+            gate: Barrier::new(worker_count + 1),
+            done: Barrier::new(worker_count + 1),
+            cmd_cycles: AtomicU64::new(0),
+            cmd_start: AtomicU64::new(0),
+            cmd_timed: AtomicBool::new(false),
+            exit: AtomicBool::new(false),
+            phase_ns: (0..worker_count.max(1))
+                .map(|_| Mutex::new((0, 0)))
+                .collect(),
+        });
+        let workers = (0..worker_count)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bsp-worker-{t}"))
+                    .spawn(move || worker_loop(&shared, t, worker_count))
+                    .expect("spawn BSP worker")
+            })
+            .collect();
+
+        BspSimulator {
+            circuit,
+            shared,
+            workers,
+            reg_home,
+            array_home,
             input_off,
             input_by_name,
-            threads,
             cycle: 0,
         }
     }
@@ -178,7 +569,12 @@ impl<'c> BspSimulator<'c> {
 
     /// Number of tiles (processes) being simulated.
     pub fn tiles(&self) -> usize {
-        self.programs.len()
+        self.shared.programs.len()
+    }
+
+    /// Number of point-to-point channels carrying traffic.
+    pub fn channels(&self) -> usize {
+        self.shared.channels.len()
     }
 
     /// Drives an input (held until changed).
@@ -190,8 +586,8 @@ impl<'c> BspSimulator<'c> {
         let decl = &self.circuit.inputs[id.index()];
         assert_eq!(decl.width, value.width(), "input {} width", decl.name);
         let off = self.input_off[id.index()] as usize;
-        let mut g = self.global.write();
-        g.inputs[off..off + value.words().len()].copy_from_slice(value.words());
+        let mut inputs = self.shared.inputs.write().unwrap();
+        inputs[off..off + value.words().len()].copy_from_slice(value.words());
     }
 
     /// Convenience: drive input `name` with a `u64`.
@@ -200,7 +596,10 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Panics if no such input exists.
     pub fn poke(&mut self, name: &str, value: u64) {
-        let id = *self.input_by_name.get(name).unwrap_or_else(|| panic!("no input {name}"));
+        let id = *self
+            .input_by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("no input {name}"));
         let width = self.circuit.inputs[id.index()].width;
         self.set_input(id, &Bits::from_u64(width, value));
     }
@@ -208,9 +607,13 @@ impl<'c> BspSimulator<'c> {
     /// The current value of a register.
     pub fn reg_value(&self, id: RegId) -> Bits {
         let r = &self.circuit.regs[id.index()];
-        let off = self.reg_off[id.index()] as usize;
-        let g = self.global.read();
-        Bits::from_words(r.width, &g.reg_cur[off..off + words_for(r.width)])
+        let home = self.reg_home[id.index()];
+        assert!(home.tile != u32::MAX, "register {} has no producer", r.name);
+        let tile = self.shared.tiles[home.tile as usize].lock().unwrap();
+        Bits::from_words(
+            r.width,
+            &tile.reg_cur[home.off as usize..(home.off + home.words) as usize],
+        )
     }
 
     /// An element of an array.
@@ -222,195 +625,312 @@ impl<'c> BspSimulator<'c> {
         let a = &self.circuit.arrays[id.index()];
         assert!(index < a.depth);
         let w = words_for(a.width);
-        let g = self.global.read();
-        Bits::from_words(a.width, &g.arrays[id.index()][index as usize * w..][..w])
+        match &self.array_home[id.index()] {
+            ArrayHome::Held { tile, slot } => {
+                let t = self.shared.tiles[*tile as usize].lock().unwrap();
+                Bits::from_words(
+                    a.width,
+                    &t.arrays[*slot as usize][index as usize * w..][..w],
+                )
+            }
+            ArrayHome::Spare(buf) => Bits::from_words(a.width, &buf[index as usize * w..][..w]),
+        }
     }
 
     /// Runs `cycles` RTL cycles in parallel. Returns wall-clock seconds.
+    ///
+    /// The cycle loop runs untimed — no per-cycle clock reads.
     pub fn run(&mut self, cycles: u64) -> f64 {
-        let start = std::time::Instant::now();
-        if self.threads == 1 || self.programs.len() == 1 {
-            for _ in 0..cycles {
-                self.sequential_cycle();
+        self.run_inner(cycles, false).total_s
+    }
+
+    /// Runs `cycles` RTL cycles and reports per-phase timings (the
+    /// measured counterpart of the modeled `t_comp`/`t_comm`+`t_sync`
+    /// split). Costs two clock reads per worker per cycle; use
+    /// [`run`](Self::run) for throughput measurements.
+    pub fn run_timed(&mut self, cycles: u64) -> BspPhases {
+        self.run_inner(cycles, true)
+    }
+
+    fn run_inner(&mut self, cycles: u64, timed: bool) -> BspPhases {
+        let start = Instant::now();
+        if cycles == 0 {
+            return BspPhases::default();
+        }
+        let (mut comp_ns, mut exch_ns) = (0u64, 0u64);
+        if self.workers.is_empty() {
+            let shared = &self.shared;
+            let inputs = shared.inputs.read().unwrap();
+            let mut guards: Vec<_> = shared.tiles.iter().map(|t| t.lock().unwrap()).collect();
+            for c in self.cycle..self.cycle + cycles {
+                let t0 = timed.then(Instant::now);
+                for (prog, tile) in shared.programs.iter().zip(guards.iter_mut()) {
+                    compute_phase(prog, tile, &inputs, &shared.channels, c);
+                }
+                let t1 = timed.then(Instant::now);
+                for (prog, tile) in shared.programs.iter().zip(guards.iter_mut()) {
+                    exchange_phase(prog, tile, &shared.channels, c);
+                }
+                if let (Some(t0), Some(t1)) = (t0, t1) {
+                    comp_ns += t1.duration_since(t0).as_nanos() as u64;
+                    exch_ns += t1.elapsed().as_nanos() as u64;
+                }
             }
         } else {
-            self.parallel_run(cycles);
+            self.shared.cmd_cycles.store(cycles, Ordering::SeqCst);
+            self.shared.cmd_start.store(self.cycle, Ordering::SeqCst);
+            self.shared.cmd_timed.store(timed, Ordering::SeqCst);
+            self.shared.gate.wait();
+            self.shared.done.wait();
+            if timed {
+                for slot in &self.shared.phase_ns {
+                    let (c, e) = *slot.lock().unwrap();
+                    comp_ns = comp_ns.max(c);
+                    exch_ns = exch_ns.max(e);
+                }
+            }
         }
         self.cycle += cycles;
-        start.elapsed().as_secs_f64()
-    }
-
-    fn sequential_cycle(&mut self) {
-        let global = self.global.get_mut();
-        for (prog, tile) in self.programs.iter().zip(&self.tiles) {
-            compute_phase(self.circuit, prog, &mut tile.lock(), global);
+        BspPhases {
+            total_s: start.elapsed().as_secs_f64(),
+            compute_s: comp_ns as f64 * 1e-9,
+            exchange_s: exch_ns as f64 * 1e-9,
         }
-        let mut stashes: Vec<_> = self.tiles.iter().map(|t| t.lock()).collect();
-        commit_phase(&self.programs, &mut stashes, global);
-    }
-
-    fn parallel_run(&mut self, cycles: u64) {
-        let threads = self.threads.min(self.programs.len());
-        let barrier = Barrier::new(threads);
-        let circuit = self.circuit;
-        let programs = &self.programs;
-        let tiles = &self.tiles;
-        let global = &self.global;
-        crossbeam::scope(|scope| {
-            for t in 0..threads {
-                let barrier = &barrier;
-                scope.spawn(move |_| {
-                    let mine: Vec<usize> =
-                        (t..programs.len()).step_by(threads).collect();
-                    for _ in 0..cycles {
-                        // Computation phase: read shared state, write
-                        // private arenas and staging buffers.
-                        {
-                            let g = global.read();
-                            for &pi in &mine {
-                                compute_phase(
-                                    circuit,
-                                    &programs[pi],
-                                    &mut tiles[pi].lock(),
-                                    &g,
-                                );
-                            }
-                        }
-                        // Barrier 1: end of computation.
-                        let leader = barrier.wait().is_leader();
-                        // Communication phase: one writer publishes all
-                        // staged values (the exchange).
-                        if leader {
-                            let mut g = global.write();
-                            let mut stashes: Vec<_> =
-                                tiles.iter().map(|t| t.lock()).collect();
-                            commit_phase(programs, &mut stashes, &mut g);
-                        }
-                        // Barrier 2: end of communication.
-                        barrier.wait();
-                    }
-                });
-            }
-        })
-        .expect("BSP worker panicked");
     }
 }
 
-/// Evaluates one process's program against the shared state.
-fn compute_phase(circuit: &Circuit, prog: &Program, tile: &mut TileState, g: &Global) {
-    let arena = &mut tile.arena;
+impl Drop for BspSimulator<'_> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shared.exit.store(true, Ordering::SeqCst);
+            self.shared.gate.wait();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// The persistent worker entry: a worker that unwound mid-cycle would
+/// leave every other thread blocked at a barrier forever, so engine
+/// bugs become a loud abort (the default panic hook has already printed
+/// the message and location) instead of a silent hang.
+fn worker_loop(shared: &Shared, t: usize, threads: usize) {
+    let body = std::panic::AssertUnwindSafe(|| worker_body(shared, t, threads));
+    if std::panic::catch_unwind(body).is_err() {
+        eprintln!("BSP worker {t} panicked; aborting (a hung barrier would deadlock the run)");
+        std::process::abort();
+    }
+}
+
+/// The worker run loop: park at the gate, execute a run, report.
+fn worker_body(shared: &Shared, t: usize, threads: usize) {
+    let mine: Vec<usize> = (t..shared.programs.len()).step_by(threads).collect();
+    loop {
+        shared.gate.wait();
+        if shared.exit.load(Ordering::SeqCst) {
+            return;
+        }
+        let cycles = shared.cmd_cycles.load(Ordering::SeqCst);
+        let start = shared.cmd_start.load(Ordering::SeqCst);
+        let timed = shared.cmd_timed.load(Ordering::SeqCst);
+        {
+            // One lock per tile per run; the steady-state cycle loop
+            // below acquires no locks and allocates nothing.
+            let inputs = shared.inputs.read().unwrap();
+            let mut guards: Vec<_> = mine
+                .iter()
+                .map(|&pi| shared.tiles[pi].lock().unwrap())
+                .collect();
+            let (mut comp_ns, mut exch_ns) = (0u64, 0u64);
+            for c in start..start + cycles {
+                let t0 = timed.then(Instant::now);
+                for (guard, &pi) in guards.iter_mut().zip(&mine) {
+                    compute_phase(&shared.programs[pi], guard, &inputs, &shared.channels, c);
+                }
+                // exchange_s starts *before* barrier 1 so the straggler
+                // wait — the measured `t_sync` — lands in the exchange
+                // column, matching the BspPhases contract.
+                let t1 = timed.then(Instant::now);
+                if let (Some(t0), Some(t1)) = (t0, t1) {
+                    comp_ns += t1.duration_since(t0).as_nanos() as u64;
+                }
+                // Barrier 1: all mailboxes for epoch c+1 are filled.
+                shared.phase_barrier.wait();
+                for (guard, &pi) in guards.iter_mut().zip(&mine) {
+                    exchange_phase(&shared.programs[pi], guard, &shared.channels, c);
+                }
+                // Barrier 2: every array copy has applied the records.
+                shared.phase_barrier.wait();
+                if let Some(t1) = t1 {
+                    exch_ns += t1.elapsed().as_nanos() as u64;
+                }
+            }
+            if timed {
+                *shared.phase_ns[t].lock().unwrap() = (comp_ns, exch_ns);
+            }
+        }
+        shared.done.wait();
+    }
+}
+
+/// Computation phase for one tile at cycle `c`: run the step program,
+/// latch own registers, push outgoing mailbox traffic for epoch `c+1`.
+fn compute_phase(
+    prog: &Program,
+    tile: &mut TileState,
+    inputs: &[u64],
+    channels: &[Mailbox],
+    c: u64,
+) {
+    let read_parity = (c & 1) as usize;
+    let write_parity = read_parity ^ 1;
+    let TileState {
+        arena,
+        reg_cur,
+        arrays,
+    } = tile;
     for step in &prog.steps {
         match *step {
             Step::Input { dst, src, nw } => {
                 let (d, s) = (dst as usize, src as usize);
-                arena[d..d + nw as usize].copy_from_slice(&g.inputs[s..s + nw as usize]);
+                arena[d..d + nw as usize].copy_from_slice(&inputs[s..s + nw as usize]);
             }
-            Step::RegRead { dst, src, nw } => {
+            Step::RegOwn { dst, src, nw } => {
                 let (d, s) = (dst as usize, src as usize);
-                arena[d..d + nw as usize].copy_from_slice(&g.reg_cur[s..s + nw as usize]);
+                arena[d..d + nw as usize].copy_from_slice(&reg_cur[s..s + nw as usize]);
             }
-            Step::ArrayRead { dst, array, idx, idx_w, nw } => {
-                let index = read_index(arena, idx as usize, idx_w as usize);
-                let a = &g.arrays[array as usize];
-                let depth = circuit.arrays[array as usize].depth as u64;
+            Step::RegMail { dst, ch, src, nw } => {
+                // SAFETY: epoch discipline — no writer of `read_parity`
+                // exists during the computation phase (see Mailbox).
+                let buf = unsafe { channels[ch as usize].read(read_parity) };
+                let (d, s) = (dst as usize, src as usize);
+                arena[d..d + nw as usize].copy_from_slice(&buf[s..s + nw as usize]);
+            }
+            Step::ArrayRead {
+                dst,
+                arr,
+                idx,
+                idx_w,
+                nw,
+                depth,
+            } => {
+                let index = word::fold_index(&arena[idx as usize..(idx + idx_w) as usize]);
                 let d = dst as usize;
-                if index < depth {
+                if index < depth as u64 {
                     let s = index as usize * nw as usize;
+                    let a = &arrays[arr as usize];
                     arena[d..d + nw as usize].copy_from_slice(&a[s..s + nw as usize]);
                 } else {
                     arena[d..d + nw as usize].fill(0);
                 }
             }
-            Step::Pure { node, dst, a, b, c } => {
-                eval_local(circuit, arena, node, dst, a, b, c);
+            _ => eval_op(arena, step),
+        }
+    }
+    // Latch own registers: tile-local, nobody else reads them.
+    for rc in &prog.commits {
+        let (d, s) = (rc.dst as usize, rc.local as usize);
+        reg_cur[d..d + rc.nw as usize].copy_from_slice(&arena[s..s + rc.nw as usize]);
+    }
+    // Push outgoing register values into epoch c+1 mailboxes.
+    for send in &prog.sends {
+        // SAFETY: this thread is the unique writer of `write_parity` for
+        // its tiles' outbound channels during this phase.
+        let buf = unsafe { channels[send.ch as usize].write(write_parity) };
+        let (d, s) = (send.dst as usize, send.local as usize);
+        buf[d..d + send.nw as usize].copy_from_slice(&arena[s..s + send.nw as usize]);
+    }
+    // Stage port records for every remote holder.
+    for ps in &prog.port_sends {
+        let en = arena[ps.en as usize] & 1;
+        let idx = word::fold_index(&arena[ps.idx as usize..(ps.idx + ps.idx_w) as usize]);
+        let data = &arena[ps.data as usize..(ps.data + ps.nw) as usize];
+        for &(ch, off) in &ps.dests {
+            // SAFETY: as above.
+            let buf = unsafe { channels[ch as usize].write(write_parity) };
+            let off = off as usize;
+            buf[off] = en;
+            buf[off + 1] = idx;
+            buf[off + PORT_RECORD_HEADER_WORDS as usize..][..ps.nw as usize].copy_from_slice(data);
+        }
+    }
+}
+
+/// Communication phase for one tile at cycle `c`: apply all staged port
+/// records (own and remote) to the tile's array copies in global
+/// `(array, port)` order.
+fn exchange_phase(prog: &Program, tile: &mut TileState, channels: &[Mailbox], c: u64) {
+    let record_parity = ((c & 1) ^ 1) as usize;
+    let TileState { arena, arrays, .. } = tile;
+    for ap in &prog.applies {
+        let nw = ap.nw as usize;
+        let (en, idx, data): (u64, u64, &[u64]) = match ap.src {
+            RecSrc::Own {
+                en,
+                idx,
+                idx_w,
+                data,
+            } => (
+                arena[en as usize] & 1,
+                word::fold_index(&arena[idx as usize..(idx + idx_w) as usize]),
+                &arena[data as usize..data as usize + nw],
+            ),
+            RecSrc::Mail { ch, off } => {
+                // SAFETY: after barrier 1 nobody writes `record_parity`.
+                let buf = unsafe { channels[ch as usize].read(record_parity) };
+                let off = off as usize;
+                (
+                    buf[off] & 1,
+                    buf[off + 1],
+                    &buf[off + PORT_RECORD_HEADER_WORDS as usize..][..nw],
+                )
             }
-        }
-    }
-    // Latch next-values into the register stash.
-    let mut off = 0usize;
-    for r in &prog.regs {
-        let nw = r.nw as usize;
-        tile.reg_stash[off..off + nw]
-            .copy_from_slice(&arena[r.local as usize..r.local as usize + nw]);
-        off += nw;
-    }
-    // Stage array-port records (the differential exchange payload).
-    tile.port_stash.clear();
-    for p in &prog.ports {
-        let en = arena[p.en as usize] & 1 == 1;
-        let idx = read_index(arena, p.idx as usize, p.idx_w as usize);
-        let data = arena[p.data as usize..p.data as usize + p.nw as usize].to_vec();
-        tile.port_stash.push((p.array, p.port, en, idx, data));
-    }
-}
-
-/// Publishes all staged values: registers swap to their new currents and
-/// array ports apply in declaration order (last port wins).
-fn commit_phase(
-    programs: &[Program],
-    stashes: &mut [parking_lot::MutexGuard<'_, TileState>],
-    g: &mut Global,
-) {
-    for (prog, tile) in programs.iter().zip(stashes.iter()) {
-        let mut off = 0usize;
-        for r in &prog.regs {
-            let nw = r.nw as usize;
-            g.reg_cur[r.global as usize..r.global as usize + nw]
-                .copy_from_slice(&tile.reg_stash[off..off + nw]);
-            off += nw;
-        }
-    }
-    // Deterministic port order across all tiles.
-    let mut writes: Vec<&(u32, u32, bool, u64, Vec<u64>)> =
-        stashes.iter().flat_map(|t| t.port_stash.iter()).collect();
-    writes.sort_by_key(|w| (w.0, w.1));
-    for &(array, _port, en, idx, ref data) in writes {
-        if !en {
-            continue;
-        }
-        let buf = &mut g.arrays[array as usize];
-        let nw = data.len();
-        let depth = buf.len() / nw.max(1);
-        if (idx as usize) < depth {
-            buf[idx as usize * nw..(idx as usize + 1) * nw].copy_from_slice(data);
+        };
+        if en == 1 && idx < ap.depth as u64 {
+            let dst = idx as usize * nw;
+            arrays[ap.arr as usize][dst..dst + nw].copy_from_slice(data);
         }
     }
 }
 
-fn read_index(arena: &[u64], off: usize, nw: usize) -> u64 {
-    if arena[off + 1..off + nw].iter().any(|&x| x != 0) || arena[off] > u32::MAX as u64 {
-        u64::MAX
-    } else {
-        arena[off]
-    }
-}
-
-/// Evaluates a pure node with process-local operand offsets.
-fn eval_local(circuit: &Circuit, arena: &mut [u64], node: u32, dst: u32, a: u32, b: u32, c: u32) {
-    let n = &circuit.nodes[node as usize];
-    let w = n.width;
-    let nw = words_for(w);
-    let (src, dst_tail) = arena.split_at_mut(dst as usize);
-    let out = &mut dst_tail[..nw];
-    let opw = |id: parendi_rtl::NodeId| words_for(circuit.width(id));
-    match &n.kind {
-        NodeKind::Un(op, arg) => {
-            let av = &src[a as usize..a as usize + opw(*arg)];
+/// Evaluates a pure compiled op on the arena (operands strictly precede
+/// the destination, so the arena splits into read/write halves).
+fn eval_op(arena: &mut [u64], step: &Step) {
+    match *step {
+        Step::Un {
+            op,
+            dst,
+            a,
+            w,
+            aw,
+            anw,
+        } => {
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            let av = &src[a as usize..(a + anw) as usize];
             match op {
                 UnOp::Not => word::not(out, av, w),
-                UnOp::Neg => {
-                    let zero = vec![0u64; av.len()];
-                    word::sub(out, &zero, av, w);
-                }
-                UnOp::RedAnd => out[0] = word::red_and(av, circuit.width(*arg)) as u64,
+                UnOp::Neg => word::neg(out, av, w),
+                UnOp::RedAnd => out[0] = word::red_and(av, aw) as u64,
                 UnOp::RedOr => out[0] = word::red_or(av) as u64,
                 UnOp::RedXor => out[0] = word::red_xor(av) as u64,
             }
         }
-        NodeKind::Bin(op, na, nb) => {
-            let aw = circuit.width(*na);
-            let av = &src[a as usize..a as usize + opw(*na)];
-            let bv = &src[b as usize..b as usize + opw(*nb)];
+        Step::Bin {
+            op,
+            dst,
+            a,
+            b,
+            w,
+            aw,
+            anw,
+            bnw,
+        } => {
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            let av = &src[a as usize..(a + anw) as usize];
+            let bv = &src[b as usize..(b + bnw) as usize];
             match op {
                 BinOp::And => word::and(out, av, bv, w),
                 BinOp::Or => word::or(out, av, bv, w),
@@ -425,11 +945,7 @@ fn eval_local(circuit: &Circuit, arena: &mut [u64], node: u32, dst: u32, a: u32,
                 BinOp::LeU => out[0] = !word::lt_u(bv, av) as u64,
                 BinOp::LeS => out[0] = !word::lt_s(bv, av, aw) as u64,
                 BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
-                    let sh = if bv[1..].iter().any(|&x| x != 0) || bv[0] > u32::MAX as u64 {
-                        aw
-                    } else {
-                        (bv[0] as u32).min(aw)
-                    };
+                    let sh = word::shift_amount(bv, aw);
                     match op {
                         BinOp::Shl => word::shl(out, av, sh, w),
                         BinOp::Lshr => word::lshr(out, av, sh, w),
@@ -438,106 +954,268 @@ fn eval_local(circuit: &Circuit, arena: &mut [u64], node: u32, dst: u32, a: u32,
                 }
             }
         }
-        NodeKind::Mux { sel: _, t: nt, f: nf } => {
-            let s = src[a as usize] & 1 == 1;
-            let (src_off, n_id) = if s { (b, nt) } else { (c, nf) };
-            word::copy(out, &src[src_off as usize..src_off as usize + opw(*n_id)]);
+        Step::Mux { dst, sel, t, f, nw } => {
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..nw as usize];
+            let s = src[sel as usize] & 1 == 1;
+            let pick = if s { t } else { f };
+            word::copy(out, &src[pick as usize..(pick + nw) as usize]);
         }
-        NodeKind::Slice { src: ns, lo } => {
-            let sv = &src[a as usize..a as usize + opw(*ns)];
-            word::slice(out, sv, lo + w - 1, *lo);
+        Step::Slice { dst, a, lo, w, anw } => {
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            word::slice(out, &src[a as usize..(a + anw) as usize], lo + w - 1, lo);
         }
-        NodeKind::Zext(ns) => word::zext(out, &src[a as usize..a as usize + opw(*ns)], w),
-        NodeKind::Sext(ns) => {
-            word::sext(out, &src[a as usize..a as usize + opw(*ns)], circuit.width(*ns), w)
+        Step::Zext { dst, a, w, anw } => {
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            word::zext(out, &src[a as usize..(a + anw) as usize], w);
         }
-        NodeKind::Concat { hi, lo } => {
-            let hv = &src[a as usize..a as usize + opw(*hi)];
-            let lv = &src[b as usize..b as usize + opw(*lo)];
-            word::concat(out, hv, lv, circuit.width(*lo));
+        Step::Sext { dst, a, aw, w, anw } => {
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            word::sext(out, &src[a as usize..(a + anw) as usize], aw, w);
         }
-        _ => unreachable!("sources are separate steps"),
+        Step::Concat {
+            dst,
+            hi,
+            lo,
+            w,
+            low_w,
+            hnw,
+            lnw,
+        } => {
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let hv = &src[hi as usize..(hi + hnw) as usize];
+            let lv = &src[lo as usize..(lo + lnw) as usize];
+            let out = &mut dst_tail[..words_for(w)];
+            word::concat(out, hv, lv, low_w);
+        }
+        _ => unreachable!("sources handled by the caller"),
     }
 }
 
-/// Compiles one process into a [`Program`] with local offsets.
+/// Compiles one process into a self-contained [`Program`].
 fn build_program(
     circuit: &Circuit,
     partition: &Partition,
+    routing: &Routing,
+    pi: u32,
     p: &parendi_core::Process,
-    reg_off: &[u32],
-    input_off: &[u32],
+    reg_home: &[RegHome],
 ) -> Program {
+    // Mail slots for remote registers this tile reads.
+    let mut mail_slot: HashMap<u32, (u32, u32)> = HashMap::new();
+    for route in &routing.reg_routes {
+        for hop in &route.hops {
+            if hop.tile == pi {
+                mail_slot.insert(route.reg.0, (hop.channel, hop.word_off));
+            }
+        }
+    }
+    let arrays = &p.arrays;
+    let array_slot = |a: parendi_rtl::ArrayId| -> u32 {
+        arrays
+            .binary_search(&a)
+            .expect("tile holds read/written arrays") as u32
+    };
+
     let mut local: HashMap<u32, u32> = HashMap::new();
     let mut words = 0u32;
     let mut steps = Vec::new();
     let mut const_init = Vec::new();
     for nid in p.nodes.iter() {
         let node = &circuit.nodes[nid as usize];
-        let nw = words_for(node.width) as u32;
+        let w = node.width;
+        let nw = words_for(w) as u32;
         let dst = words;
         local.insert(nid, dst);
         words += nw;
         let lo = |id: parendi_rtl::NodeId| local[&id.0];
+        let opw = |id: parendi_rtl::NodeId| words_for(circuit.width(id)) as u32;
         match &node.kind {
             NodeKind::Const(b) => const_init.push((dst, b.words().to_vec())),
             NodeKind::Input(i) => {
-                steps.push(Step::Input { dst, src: input_off[i.index()], nw })
+                let src = (0..i.index())
+                    .map(|k| words_for(circuit.inputs[k].width) as u32)
+                    .sum();
+                steps.push(Step::Input { dst, src, nw });
             }
             NodeKind::RegRead(r) => {
-                steps.push(Step::RegRead { dst, src: reg_off[r.index()], nw })
+                let home = reg_home[r.index()];
+                if home.tile == pi {
+                    steps.push(Step::RegOwn {
+                        dst,
+                        src: home.off,
+                        nw,
+                    });
+                } else {
+                    let (ch, src) = mail_slot[&r.0];
+                    steps.push(Step::RegMail { dst, ch, src, nw });
+                }
             }
             NodeKind::ArrayRead { array, index } => steps.push(Step::ArrayRead {
                 dst,
-                array: array.0,
+                arr: array_slot(*array),
                 idx: lo(*index),
-                idx_w: words_for(circuit.width(*index)) as u32,
+                idx_w: opw(*index),
+                nw,
+                depth: circuit.arrays[array.index()].depth,
+            }),
+            NodeKind::Un(op, a) => steps.push(Step::Un {
+                op: *op,
+                dst,
+                a: lo(*a),
+                w,
+                aw: circuit.width(*a),
+                anw: opw(*a),
+            }),
+            NodeKind::Bin(op, a, b) => steps.push(Step::Bin {
+                op: *op,
+                dst,
+                a: lo(*a),
+                b: lo(*b),
+                w,
+                aw: circuit.width(*a),
+                anw: opw(*a),
+                bnw: opw(*b),
+            }),
+            NodeKind::Mux { sel, t, f } => steps.push(Step::Mux {
+                dst,
+                sel: lo(*sel),
+                t: lo(*t),
+                f: lo(*f),
                 nw,
             }),
-            NodeKind::Un(_, a) | NodeKind::Slice { src: a, .. } | NodeKind::Zext(a)
-            | NodeKind::Sext(a) => {
-                steps.push(Step::Pure { node: nid, dst, a: lo(*a), b: u32::MAX, c: u32::MAX })
-            }
-            NodeKind::Bin(_, a, b) | NodeKind::Concat { hi: a, lo: b } => {
-                steps.push(Step::Pure { node: nid, dst, a: lo(*a), b: lo(*b), c: u32::MAX })
-            }
-            NodeKind::Mux { sel, t, f } => {
-                steps.push(Step::Pure { node: nid, dst, a: lo(*sel), b: lo(*t), c: lo(*f) })
-            }
+            NodeKind::Slice { src, lo: slo } => steps.push(Step::Slice {
+                dst,
+                a: lo(*src),
+                lo: *slo,
+                w,
+                anw: opw(*src),
+            }),
+            NodeKind::Zext(a) => steps.push(Step::Zext {
+                dst,
+                a: lo(*a),
+                w,
+                anw: opw(*a),
+            }),
+            NodeKind::Sext(a) => steps.push(Step::Sext {
+                dst,
+                a: lo(*a),
+                aw: circuit.width(*a),
+                w,
+                anw: opw(*a),
+            }),
+            NodeKind::Concat { hi, lo: l } => steps.push(Step::Concat {
+                dst,
+                hi: lo(*hi),
+                lo: lo(*l),
+                w,
+                low_w: circuit.width(*l),
+                hnw: opw(*hi),
+                lnw: opw(*l),
+            }),
         }
     }
-    // Registers this process publishes.
-    let mut regs = Vec::new();
-    let mut ports = Vec::new();
-    for &f in &p.fibers {
+
+    // Own register latches and outgoing sends, plus own port records.
+    let mut commits = Vec::new();
+    let mut sends = Vec::new();
+    let mut port_sends = Vec::new();
+    let mut own_port: HashMap<(u32, u32), RecSrc> = HashMap::new();
+    let mut fibers: Vec<_> = p.fibers.clone();
+    fibers.sort_unstable();
+    for &f in &fibers {
         match partition.fiber_sinks[f.index()] {
-            SinkKind::Reg(r) => {
+            parendi_graph::fiber::SinkKind::Reg(r) => {
                 let reg = &circuit.regs[r.index()];
                 let next = reg.next.expect("validated circuit");
-                regs.push(RegPublish {
-                    reg: r.0,
+                let home = reg_home[r.index()];
+                debug_assert_eq!(home.tile, pi);
+                let nw = words_for(reg.width) as u32;
+                commits.push(RegCommit {
                     local: local[&next.0],
-                    global: reg_off[r.index()],
-                    nw: words_for(reg.width) as u32,
+                    dst: home.off,
+                    nw,
                 });
+                for hop in &routing.reg_routes[r.index()].hops {
+                    sends.push(RegSend {
+                        local: local[&next.0],
+                        ch: hop.channel,
+                        dst: hop.word_off,
+                        nw,
+                    });
+                }
             }
-            SinkKind::ArrayPort { array, port } => {
+            parendi_graph::fiber::SinkKind::ArrayPort { array, port } => {
                 let a = &circuit.arrays[array.index()];
                 let wp = &a.write_ports[port as usize];
-                ports.push(PortPublish {
-                    array: array.0,
-                    port,
+                let nw = words_for(a.width) as u32;
+                let route = routing
+                    .port_routes
+                    .iter()
+                    .find(|r| r.array == array && r.port == port)
+                    .expect("routed port");
+                port_sends.push(PortSend {
                     en: local[&wp.enable.0],
                     idx: local[&wp.index.0],
                     idx_w: words_for(circuit.width(wp.index)) as u32,
                     data: local[&wp.data.0],
-                    nw: words_for(a.width) as u32,
+                    nw,
+                    dests: route.hops.iter().map(|h| (h.channel, h.word_off)).collect(),
                 });
+                own_port.insert(
+                    (array.0, port),
+                    RecSrc::Own {
+                        en: local[&wp.enable.0],
+                        idx: local[&wp.index.0],
+                        idx_w: words_for(circuit.width(wp.index)) as u32,
+                        data: local[&wp.data.0],
+                    },
+                );
             }
-            SinkKind::Output(_) => {}
+            parendi_graph::fiber::SinkKind::Output(_) => {}
         }
     }
-    regs.sort_by_key(|r| r.reg);
-    ports.sort_by_key(|p| (p.array, p.port));
-    Program { steps, arena_words: words as usize, const_init, regs, ports }
+    commits.sort_by_key(|c| c.dst);
+
+    // Apply list: every port of every held array, in (array, port) order.
+    let mut applies = Vec::new();
+    for (slot, &a) in p.arrays.iter().enumerate() {
+        let arr = &circuit.arrays[a.index()];
+        let nw = words_for(arr.width) as u32;
+        for route in routing.port_routes.iter().filter(|r| r.array == a) {
+            let src = match own_port.get(&(a.0, route.port)) {
+                Some(&own) => own,
+                None => {
+                    let hop = route
+                        .hops
+                        .iter()
+                        .find(|h| h.tile == pi)
+                        .expect("holder receives every remote port record");
+                    RecSrc::Mail {
+                        ch: hop.channel,
+                        off: hop.word_off,
+                    }
+                }
+            };
+            applies.push(Apply {
+                arr: slot as u32,
+                nw,
+                depth: arr.depth,
+                src,
+            });
+        }
+    }
+
+    Program {
+        steps,
+        arena_words: words as usize,
+        const_init,
+        commits,
+        sends,
+        port_sends,
+        applies,
+    }
 }

@@ -75,8 +75,11 @@ impl<'c> Simulator<'c> {
             iwords += words_for(d.width) as u32;
             input_by_name.insert(d.name.clone(), InputId(i as u32));
         }
-        let output_by_name =
-            circuit.outputs.iter().map(|o| (o.name.clone(), o.node)).collect();
+        let output_by_name = circuit
+            .outputs
+            .iter()
+            .map(|o| (o.name.clone(), o.node))
+            .collect();
         let mut sim = Simulator {
             circuit,
             node_off,
@@ -140,7 +143,9 @@ impl<'c> Simulator<'c> {
     ///
     /// Panics if no such input exists.
     pub fn poke(&mut self, name: &str, value: u64) {
-        let id = self.input_id(name).unwrap_or_else(|| panic!("no input named {name}"));
+        let id = self
+            .input_id(name)
+            .unwrap_or_else(|| panic!("no input named {name}"));
         let width = self.circuit.inputs[id.index()].width;
         self.set_input(id, &Bits::from_u64(width, value));
     }
@@ -166,7 +171,11 @@ impl<'c> Simulator<'c> {
 
     /// The register with the given hierarchical name, if any.
     pub fn reg_by_name(&self, name: &str) -> Option<RegId> {
-        self.circuit.regs.iter().position(|r| r.name == name).map(|i| RegId(i as u32))
+        self.circuit
+            .regs
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegId(i as u32))
     }
 
     /// An element of an array.
@@ -241,15 +250,14 @@ impl<'c> Simulator<'c> {
             NodeKind::Const(_) => {} // preloaded
             NodeKind::Input(id) => {
                 let src = self.input_off[id.index()] as usize;
-                // Input and node widths match (validated).
-                let (a, b) = (src, src + nw);
-                let tmp: Vec<u64> = self.input_buf[a..b].to_vec();
-                self.arena[off..off + nw].copy_from_slice(&tmp);
+                // Input and node widths match (validated); `input_buf`
+                // and `arena` are distinct fields, so this is a plain
+                // allocation-free copy.
+                self.arena[off..off + nw].copy_from_slice(&self.input_buf[src..src + nw]);
             }
             NodeKind::RegRead(r) => {
                 let src = self.reg_off[r.index()] as usize;
-                let tmp: Vec<u64> = self.reg_cur[src..src + nw].to_vec();
-                self.arena[off..off + nw].copy_from_slice(&tmp);
+                self.arena[off..off + nw].copy_from_slice(&self.reg_cur[src..src + nw]);
             }
             NodeKind::ArrayRead { array, index } => {
                 let idx = self.read_index(*index);
@@ -257,8 +265,7 @@ impl<'c> Simulator<'c> {
                 let depth = self.circuit.arrays[array.index()].depth as u64;
                 if idx < depth {
                     let src = idx as usize * nw;
-                    let tmp: Vec<u64> = a[src..src + nw].to_vec();
-                    self.arena[off..off + nw].copy_from_slice(&tmp);
+                    self.arena[off..off + nw].copy_from_slice(&a[src..src + nw]);
                 } else {
                     self.arena[off..off + nw].fill(0);
                 }
@@ -276,11 +283,7 @@ impl<'c> Simulator<'c> {
     fn read_index(&self, id: NodeId) -> u64 {
         let off = self.node_off[id.index()] as usize;
         let w = words_for(self.circuit.width(id));
-        if self.arena[off + 1..off + w].iter().any(|&x| x != 0) {
-            u64::MAX // definitely out of range for any real array
-        } else {
-            self.arena[off]
-        }
+        word::fold_index(&self.arena[off..off + w])
     }
 
     fn clock_edge(&mut self) {
@@ -338,10 +341,7 @@ pub(crate) fn eval_pure(
             let a = opnd(*a);
             match op {
                 UnOp::Not => word::not(dst, a, w),
-                UnOp::Neg => {
-                    let zero = vec![0u64; a.len()];
-                    word::sub(dst, &zero, a, w);
-                }
+                UnOp::Neg => word::neg(dst, a, w),
                 UnOp::RedAnd => dst[0] = word::red_and(a, circuit.width(unop_arg(node))) as u64,
                 UnOp::RedOr => dst[0] = word::red_or(a) as u64,
                 UnOp::RedXor => dst[0] = word::red_xor(a) as u64,
@@ -363,7 +363,7 @@ pub(crate) fn eval_pure(
                 BinOp::LeU => dst[0] = !word::lt_u(bv, av) as u64,
                 BinOp::LeS => dst[0] = !word::lt_s(bv, av, aw) as u64,
                 BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
-                    let sh = shift_amount(bv, aw);
+                    let sh = word::shift_amount(bv, aw);
                     match op {
                         BinOp::Shl => word::shl(dst, av, sh, w),
                         BinOp::Lshr => word::lshr(dst, av, sh, w),
@@ -384,7 +384,10 @@ pub(crate) fn eval_pure(
         NodeKind::Concat { hi, lo } => {
             word::concat(dst, opnd(*hi), opnd(*lo), circuit.width(*lo));
         }
-        NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) | NodeKind::ArrayRead { .. } => {
+        NodeKind::Const(_)
+        | NodeKind::Input(_)
+        | NodeKind::RegRead(_)
+        | NodeKind::ArrayRead { .. } => {
             unreachable!("sources handled by the caller")
         }
     }
@@ -394,15 +397,6 @@ fn unop_arg(node: &parendi_rtl::Node) -> NodeId {
     match node.kind {
         NodeKind::Un(_, a) => a,
         _ => unreachable!(),
-    }
-}
-
-/// Saturating shift amount: anything ≥ the value width behaves as width.
-fn shift_amount(bv: &[u64], width: u32) -> u32 {
-    if bv[1..].iter().any(|&x| x != 0) || bv[0] > u32::MAX as u64 {
-        width
-    } else {
-        (bv[0] as u32).min(width)
     }
 }
 
@@ -497,12 +491,20 @@ mod tests {
         sim.poke("d0", 111);
         sim.poke("d1", 222);
         sim.step();
-        assert_eq!(sim.array_value(ArrayId(0), 3).to_u64(), 222, "last port wins");
+        assert_eq!(
+            sim.array_value(ArrayId(0), 3).to_u64(),
+            222,
+            "last port wins"
+        );
         assert_eq!(sim.output("q").unwrap().to_u64(), 222);
         sim.poke("we", 0);
         sim.poke("d1", 999);
         sim.step();
-        assert_eq!(sim.array_value(ArrayId(0), 3).to_u64(), 222, "disabled port holds");
+        assert_eq!(
+            sim.array_value(ArrayId(0), 3).to_u64(),
+            222,
+            "disabled port holds"
+        );
     }
 
     #[test]

@@ -49,8 +49,14 @@ mod tests {
         let c = chain(64);
         let ipu = IpuConfig::m2000();
         let t4 = ipu_timings(&compile(&c, &PartitionConfig::with_tiles(4)).unwrap(), &ipu);
-        let t32 = ipu_timings(&compile(&c, &PartitionConfig::with_tiles(32)).unwrap(), &ipu);
-        assert!(t32.comp < t4.comp, "comp must fall with tiles: {t4:?} vs {t32:?}");
+        let t32 = ipu_timings(
+            &compile(&c, &PartitionConfig::with_tiles(32)).unwrap(),
+            &ipu,
+        );
+        assert!(
+            t32.comp < t4.comp,
+            "comp must fall with tiles: {t4:?} vs {t32:?}"
+        );
         // Rate math is consistent.
         assert!(t32.total() > 0.0);
     }

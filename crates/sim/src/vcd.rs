@@ -13,7 +13,11 @@ use std::io::{self, Write};
 fn trimmed_binary(v: &Bits) -> String {
     let full = format!("{v:b}");
     let t = full.trim_start_matches('0');
-    if t.is_empty() { "0".into() } else { t.into() }
+    if t.is_empty() {
+        "0".into()
+    } else {
+        t.into()
+    }
 }
 
 /// Streams simulator state to a VCD file.
@@ -57,19 +61,37 @@ impl<W: Write> VcdWriter<W> {
         for (i, r) in circuit.regs.iter().enumerate() {
             let id = vcd_id(n);
             n += 1;
-            writeln!(out, "$var reg {} {} {} $end", r.width, id, r.name.replace(' ', "_"))?;
+            writeln!(
+                out,
+                "$var reg {} {} {} $end",
+                r.width,
+                id,
+                r.name.replace(' ', "_")
+            )?;
             regs.push((id, RegId(i as u32)));
         }
         for o in &circuit.outputs {
             let id = vcd_id(n);
             n += 1;
             let w = circuit.width(o.node);
-            writeln!(out, "$var wire {} {} {} $end", w, id, o.name.replace(' ', "_"))?;
+            writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                w,
+                id,
+                o.name.replace(' ', "_")
+            )?;
             outputs.push((id, o.node));
         }
         writeln!(out, "$upscope $end")?;
         writeln!(out, "$enddefinitions $end")?;
-        Ok(VcdWriter { out, last: vec![None; regs.len() + outputs.len()], regs, outputs, time: 0 })
+        Ok(VcdWriter {
+            out,
+            last: vec![None; regs.len() + outputs.len()],
+            regs,
+            outputs,
+            time: 0,
+        })
     }
 
     /// Records the simulator's current state as one timestep.
@@ -150,7 +172,10 @@ mod tests {
             assert!(text.contains(&format!("#{t}\n")), "missing timestep {t}");
         }
         // Counter value 3 appears at some point.
-        assert!(text.contains("b11 !"), "value change for 3 missing:\n{text}");
+        assert!(
+            text.contains("b11 !"),
+            "value change for 3 missing:\n{text}"
+        );
     }
 
     #[test]
@@ -165,7 +190,10 @@ mod tests {
         dump_vcd(&mut sim, 10, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let emissions = text.matches("b1011010 !").count();
-        assert_eq!(emissions, 1, "frozen register dumped more than once:\n{text}");
+        assert_eq!(
+            emissions, 1,
+            "frozen register dumped more than once:\n{text}"
+        );
     }
 
     #[test]
@@ -173,6 +201,8 @@ mod tests {
         let ids: Vec<String> = (0..200).map(vcd_id).collect();
         let unique: std::collections::HashSet<&String> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len());
-        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
     }
 }

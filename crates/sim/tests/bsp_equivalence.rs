@@ -55,7 +55,11 @@ fn fixed_seeds_all_tile_and_thread_shapes() {
 fn strategies_are_equivalent_too() {
     let c = random_circuit(99, 16, 80);
     for strategy in [Strategy::BottomUp, Strategy::Hypergraph] {
-        for mc in [MultiChipStrategy::Pre, MultiChipStrategy::Post, MultiChipStrategy::None] {
+        for mc in [
+            MultiChipStrategy::Pre,
+            MultiChipStrategy::Post,
+            MultiChipStrategy::None,
+        ] {
             let mut cfg = PartitionConfig::with_tiles(6);
             cfg.tiles_per_chip = 3;
             cfg.strategy = strategy;
@@ -97,6 +101,46 @@ fn inputs_propagate_identically() {
     assert_eq!(bsp.reg_value(RegId(0)), reference.reg_value(RegId(0)));
 }
 
+#[test]
+fn long_runs_across_thread_pool_shapes() {
+    // The double-buffered mailboxes alternate epochs by cycle parity and
+    // the worker pool persists across `run` calls: exercise both over
+    // hundreds of cycles, in several chunks, at every pool width.
+    for seed in [3u64, 17, 91] {
+        let c = random_circuit(seed, 14, 70);
+        for &threads in &[1usize, 2, 4, 8] {
+            let mut cfg = PartitionConfig::with_tiles(9);
+            cfg.tiles_per_chip = 5;
+            let comp = compile(&c, &cfg).expect("compiles");
+            let mut reference = Simulator::new(&c);
+            let mut bsp = BspSimulator::new(&c, &comp.partition, threads);
+            // Uneven chunks catch epoch-parity bugs at run() boundaries.
+            for chunk in [1u64, 2, 125, 128] {
+                reference.step_n(chunk);
+                bsp.run(chunk);
+            }
+            assert_eq!(bsp.cycle(), 256);
+            for i in 0..c.regs.len() {
+                assert_eq!(
+                    bsp.reg_value(RegId(i as u32)),
+                    reference.reg_value(RegId(i as u32)),
+                    "seed {seed}: reg {i} diverged on {threads} threads after 256 cycles"
+                );
+            }
+            for (ai, a) in c.arrays.iter().enumerate() {
+                for idx in 0..a.depth {
+                    assert_eq!(
+                        bsp.array_value(parendi_rtl::ArrayId(ai as u32), idx),
+                        reference.array_value(parendi_rtl::ArrayId(ai as u32), idx),
+                        "seed {seed}: array {}[{idx}] diverged on {threads} threads",
+                        a.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -111,5 +155,18 @@ proptest! {
     ) {
         let c = random_circuit(seed, 8, 40);
         check_equivalence(&c, tiles, threads, cycles);
+    }
+
+    /// Property: point-to-point engine equals the reference over >=256
+    /// cycles for random circuits x tile counts x 1/2/4/8 threads.
+    #[test]
+    fn bsp_matches_reference_long(
+        seed in 0u64..10_000,
+        tiles in 1u32..14,
+        threads_pick in 0usize..4,
+    ) {
+        let c = random_circuit(seed, 10, 50);
+        let threads = [1usize, 2, 4, 8][threads_pick];
+        check_equivalence(&c, tiles, threads, 256);
     }
 }

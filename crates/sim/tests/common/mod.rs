@@ -97,4 +97,3 @@ pub fn random_circuit(seed: u64, regs: usize, ops: usize) -> Circuit {
     b.array_write(mem, idx, data, en);
     b.finish().expect("random circuit must validate")
 }
-

@@ -11,7 +11,10 @@ use proptest::prelude::*;
 fn check_opt_equivalence(seed: u64, cycles: u64) {
     let c = random_circuit(seed, 10, 50);
     let (o, stats) = optimize(&c);
-    assert!(stats.nodes_after <= stats.nodes_before, "optimizer must not grow circuits");
+    assert!(
+        stats.nodes_after <= stats.nodes_before,
+        "optimizer must not grow circuits"
+    );
     o.validate().expect("optimized circuit validates");
     let mut sim_c = Simulator::new(&c);
     let mut sim_o = Simulator::new(&o);

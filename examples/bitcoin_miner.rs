@@ -12,7 +12,10 @@ use parendi::machine::ipu::IpuConfig;
 use parendi::sim::{ipu_timings, BspSimulator, Simulator};
 
 fn main() {
-    let cfg = MinerConfig { target: 1 << 27, ..Default::default() };
+    let cfg = MinerConfig {
+        target: 1 << 27,
+        ..Default::default()
+    };
     let circuit = build_miner(&cfg);
     println!(
         "miner: {} nodes, {} registers (two 64-stage SHA-256 pipelines)",
@@ -35,8 +38,14 @@ fn main() {
     }
     let nonce = nonce.expect("target too hard for the demo");
     let digest = soft_miner_digest(&cfg, nonce);
-    println!("found nonce {nonce:#010x}; digest[0] = {:#010x} < {:#010x}", digest[0], cfg.target);
-    assert!(digest[0] < cfg.target, "software double-SHA must confirm the nonce");
+    println!(
+        "found nonce {nonce:#010x}; digest[0] = {:#010x} < {:#010x}",
+        digest[0], cfg.target
+    );
+    assert!(
+        digest[0] < cfg.target,
+        "software double-SHA must confirm the nonce"
+    );
 
     // Table-1-style rate comparison.
     let ipu = IpuConfig::m2000();

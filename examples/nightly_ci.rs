@@ -15,11 +15,16 @@ use parendi::machine::x64::X64Config;
 use parendi::sim::ipu_timings;
 
 fn main() {
-    let n_tests: u32 =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(128);
+    let n_tests: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
     let design = Benchmark::Sr(8);
     let circuit = design.build();
-    println!("campaign: {n_tests} tests of 1M cycles each on {}", design.name());
+    println!(
+        "campaign: {n_tests} tests of 1M cycles each on {}",
+        design.name()
+    );
 
     let dv4 = X64Config::dv4();
     let vm = VerilatorModel::new(&circuit);
@@ -35,13 +40,22 @@ fn main() {
     let slice = CloudInstance::dv4(16);
     let pod_inst = CloudInstance::ipu_pod4();
     let plans = [
-        ("x64 ad-hoc (16 tests || 1T)", campaign_cost(&slice, n_tests, 1_000_000, x64_1t, 16)),
+        (
+            "x64 ad-hoc (16 tests || 1T)",
+            campaign_cost(&slice, n_tests, 1_000_000, x64_1t, 16),
+        ),
         (
             "x64 fine  (serial, best T)",
             campaign_cost(&slice, n_tests, 1_000_000, x64_best, 1),
         ),
-        ("ipu ad-hoc (4 tests || 1chip)", campaign_cost(&pod_inst, n_tests, 1_000_000, ipu_chip, 4)),
-        ("ipu fine  (serial, 4 chips)", campaign_cost(&pod_inst, n_tests, 1_000_000, ipu_pod, 1)),
+        (
+            "ipu ad-hoc (4 tests || 1chip)",
+            campaign_cost(&pod_inst, n_tests, 1_000_000, ipu_chip, 4),
+        ),
+        (
+            "ipu fine  (serial, 4 chips)",
+            campaign_cost(&pod_inst, n_tests, 1_000_000, ipu_pod, 1),
+        ),
     ];
     println!("x64 rates: {x64_1t:.1} kHz @1T, {x64_best:.1} kHz @{t}T");
     println!("ipu rates: {ipu_chip:.1} kHz @1 chip, {ipu_pod:.1} kHz @4 chips\n");

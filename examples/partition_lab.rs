@@ -15,10 +15,17 @@ fn main() {
     let design = Benchmark::Sr(6);
     let circuit = design.build();
     let ipu = IpuConfig::m2000();
-    println!("design: {} ({} nodes)\n", design.name(), circuit.nodes.len());
+    println!(
+        "design: {} ({} nodes)\n",
+        design.name(),
+        circuit.nodes.len()
+    );
 
     println!("single-chip strategy (1472 tiles):");
-    for (name, strategy) in [("bottom-up", Strategy::BottomUp), ("hypergraph", Strategy::Hypergraph)] {
+    for (name, strategy) in [
+        ("bottom-up", Strategy::BottomUp),
+        ("hypergraph", Strategy::Hypergraph),
+    ] {
         let mut cfg = PartitionConfig::with_tiles(1472);
         cfg.strategy = strategy;
         let comp = compile(&circuit, &cfg).expect("fits");

@@ -29,12 +29,22 @@ fn main() -> std::io::Result<()> {
     let v_path = "/tmp/pico_fib.v";
     let verilog = to_verilog(&circuit);
     File::create(v_path)?.write_all(verilog.as_bytes())?;
-    println!("wrote {} lines of Verilog to {v_path}", verilog.lines().count());
+    println!(
+        "wrote {} lines of Verilog to {v_path}",
+        verilog.lines().count()
+    );
 
     // Prove the run did the work: fib(10) = 55 in the register file.
     let rf = parendi::rtl::ArrayId(
-        optimized.arrays.iter().position(|a| a.name == "regfile").unwrap() as u32,
+        optimized
+            .arrays
+            .iter()
+            .position(|a| a.name == "regfile")
+            .unwrap() as u32,
     );
-    println!("a0 = {} (expected 55)", sim.array_value(rf, isa::reg::A0).to_u64());
+    println!(
+        "a0 = {} (expected 55)",
+        sim.array_value(rf, isa::reg::A0).to_u64()
+    );
     Ok(())
 }

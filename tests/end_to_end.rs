@@ -12,8 +12,18 @@ fn check_bench(bench: Benchmark, tiles: u32, threads: usize, cycles: u64) {
     let comp = compile(&circuit, &PartitionConfig::with_tiles(tiles))
         .unwrap_or_else(|e| panic!("{} fails to compile: {e}", bench.name()));
     // Fiber coverage: every fiber lands on exactly one tile.
-    let covered: usize = comp.partition.processes.iter().map(|p| p.fibers.len()).sum();
-    assert_eq!(covered, comp.fibers.len(), "{}: fibers lost in partitioning", bench.name());
+    let covered: usize = comp
+        .partition
+        .processes
+        .iter()
+        .map(|p| p.fibers.len())
+        .sum();
+    assert_eq!(
+        covered,
+        comp.fibers.len(),
+        "{}: fibers lost in partitioning",
+        bench.name()
+    );
 
     let mut reference = Simulator::new(&circuit);
     let mut bsp = BspSimulator::new(&circuit, &comp.partition, threads);

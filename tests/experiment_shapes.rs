@@ -8,12 +8,17 @@ use parendi::designs::Benchmark;
 use parendi::machine::ipu::IpuConfig;
 use parendi::machine::pricing::{simulate_cost, CloudInstance};
 use parendi::machine::x64::X64Config;
-use parendi::sim::{ipu_rate_khz, ipu_timings};
+use parendi::sim::ipu_rate_khz;
 
 fn best_ipu_khz(circuit: &parendi::rtl::Circuit, ipu: &IpuConfig) -> f64 {
     [368u32, 736, 1472]
         .into_iter()
-        .map(|t| ipu_rate_khz(&compile(circuit, &PartitionConfig::with_tiles(t)).unwrap(), ipu))
+        .map(|t| {
+            ipu_rate_khz(
+                &compile(circuit, &PartitionConfig::with_tiles(t)).unwrap(),
+                ipu,
+            )
+        })
         .fold(0.0, f64::max)
 }
 
@@ -33,7 +38,11 @@ fn speedup_grows_with_design_size() {
         speedups[0] < speedups[1] && speedups[1] < speedups[2],
         "speedup must grow with mesh size: {speedups:?}"
     );
-    assert!(speedups[2] > 2.0, "sr8 speedup {} should exceed 2x", speedups[2]);
+    assert!(
+        speedups[2] > 2.0,
+        "sr8 speedup {} should exceed 2x",
+        speedups[2]
+    );
 }
 
 #[test]
@@ -59,7 +68,10 @@ fn bitcoin_gains_orders_of_magnitude_from_tiles() {
     let c = Benchmark::Bitcoin.build();
     let one = ipu_rate_khz(&compile(&c, &PartitionConfig::with_tiles(1)).unwrap(), &ipu);
     let many = best_ipu_khz(&c, &ipu);
-    assert!(many > 10.0 * one, "bitcoin parallel {many:.0} vs single {one:.0}");
+    assert!(
+        many > 10.0 * one,
+        "bitcoin parallel {many:.0} vs single {one:.0}"
+    );
 }
 
 #[test]
