@@ -1,14 +1,18 @@
 //! Fig. 6: straggler fibers and performance-scaling regions for the
 //! three small designs (pico, bitcoin, rocket).
 //!
-//! (b) fiber computation-cycle distributions; (c) the per-cycle cost
+//! (b) fiber computation-cycle distributions — both modeled (cost model
+//! over extracted fibers) and *measured* (the BSP engine's per-tile
+//! compute histogram, `BspPhases::per_tile`); (c) the per-cycle cost
 //! breakdown as tiles double — imbalanced designs plateau at the
 //! straggler almost immediately.
 
-use parendi_bench::ipu_point;
+use parendi_bench::{ipu_point, quick};
+use parendi_core::{compile, PartitionConfig};
 use parendi_designs::Benchmark;
 use parendi_graph::{extract_fibers, CostModel};
 use parendi_machine::ipu::IpuConfig;
+use parendi_sim::BspSimulator;
 
 fn main() {
     let ipu = IpuConfig::m2000();
@@ -28,6 +32,33 @@ fn main() {
             cyc[cyc.len() * 9 / 10],
             cyc[cyc.len() - 1],
             total as f64 / cyc[cyc.len() - 1] as f64,
+        );
+
+        // Measured counterpart: the engine's per-tile compute histogram
+        // over a timed run — load imbalance observed live, next to the
+        // modeled fiber-cost distribution above.
+        let comp = compile(&c, &PartitionConfig::with_tiles(64)).expect("fits 64 tiles");
+        let mut sim = BspSimulator::new(&c, &comp.partition, 4);
+        sim.run(20); // warm the persistent pool
+        let cycles: u64 = if quick() { 100 } else { 400 };
+        let ph = sim.run_timed(cycles);
+        let mut ns: Vec<f64> = ph
+            .per_tile
+            .iter()
+            .map(|t| t.compute_s * 1e9 / cycles as f64)
+            .collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let max = ns[ns.len() - 1];
+        println!(
+            "Fig. 6b (measured, {} tiles): per-tile compute ns/cyc \
+             min {:.0} p50 {:.0} p90 {:.0} max {:.0} | utilization {:.2}",
+            ns.len(),
+            ns[0],
+            ns[ns.len() / 2],
+            ns[ns.len() * 9 / 10],
+            max,
+            if max > 0.0 { mean / max } else { 1.0 },
         );
         println!(
             "Fig. 6c: {:>6} {:>10} {:>10} {:>10} {:>10}",

@@ -51,5 +51,5 @@ pub use config::{CompileError, MultiChipStrategy, PartitionConfig, Strategy};
 pub use exchange::{plan, ExchangePlan};
 pub use partition::Partition;
 pub use process::Process;
-pub use routing::{ChannelSpec, Hop, PortRoute, RegRoute, Routing};
+pub use routing::{ChannelClass, ChannelSpec, Hop, PortRoute, RegRoute, Routing};
 pub use stages::{compile, Compilation};

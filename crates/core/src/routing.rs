@@ -35,6 +35,24 @@ use std::collections::HashMap;
 /// word and the (range-folded) index word.
 pub const PORT_RECORD_HEADER_WORDS: u32 = 2;
 
+/// Whether a channel stays on one chip or crosses a chip boundary.
+///
+/// Derived from [`Routing::tile_chip`] at compile time: a channel is
+/// [`OffChip`](ChannelClass::OffChip) iff its producer and consumer
+/// tiles live on different chips. The execution engine uses the class to
+/// pick the mailbox fabric (per-tile-pair on-chip boxes vs the wider
+/// per-chip-pair aggregates) and the derived [`ExchangePlan`] uses it to
+/// attribute bytes to the off-chip `m×b` cost, so the engine and the
+/// model can never disagree about which traffic crosses chips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelClass {
+    /// Producer and consumer share a chip.
+    OnChip,
+    /// The channel crosses a chip boundary (an order of magnitude
+    /// slower on the real machine — Fig. 5 right).
+    OffChip,
+}
+
 /// One delivery of a value: which tile receives it, over which channel,
 /// at which word offset inside the channel buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +106,8 @@ pub struct ChannelSpec {
     pub reg_words: u32,
     /// Words of the port-record section.
     pub port_words: u32,
+    /// Whether the channel crosses a chip boundary.
+    pub class: ChannelClass,
 }
 
 impl ChannelSpec {
@@ -112,6 +132,11 @@ pub struct Routing {
     pub port_routes: Vec<PortRoute>,
     /// Tiles holding a copy of each array, indexed by `ArrayId` (sorted).
     pub array_holders: Vec<Vec<u32>>,
+    /// Tile computing each primary output's cone, indexed by output id
+    /// (`u32::MAX` if no process owns the output fiber, which a complete
+    /// partition never produces). Output values never enter the
+    /// exchange — they back the engine's `peek_output` testbench API.
+    pub output_tiles: Vec<u32>,
 }
 
 impl Routing {
@@ -123,6 +148,7 @@ impl Routing {
         // Producers.
         let mut reg_producer = vec![u32::MAX; circuit.regs.len()];
         let mut port_producer: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut output_tiles = vec![u32::MAX; circuit.outputs.len()];
         for (pi, p) in partition.processes.iter().enumerate() {
             for &f in &p.fibers {
                 match partition.fiber_sinks[f.index()] {
@@ -130,7 +156,7 @@ impl Routing {
                     SinkKind::ArrayPort { array, port } => {
                         port_producer.insert((array.0, port), pi as u32);
                     }
-                    SinkKind::Output(_) => {}
+                    SinkKind::Output(o) => output_tiles[o as usize] = pi as u32,
                 }
             }
         }
@@ -155,11 +181,17 @@ impl Routing {
         let mut channels: Vec<ChannelSpec> = Vec::new();
         let mut chan_of = |from: u32, to: u32, channels: &mut Vec<ChannelSpec>| -> u32 {
             *chan_index.entry((from, to)).or_insert_with(|| {
+                let class = if tile_chip[from as usize] == tile_chip[to as usize] {
+                    ChannelClass::OnChip
+                } else {
+                    ChannelClass::OffChip
+                };
                 channels.push(ChannelSpec {
                     from,
                     to,
                     reg_words: 0,
                     port_words: 0,
+                    class,
                 });
                 channels.len() as u32 - 1
             })
@@ -272,7 +304,13 @@ impl Routing {
             reg_routes,
             port_routes,
             array_holders,
+            output_tiles,
         }
+    }
+
+    /// Whether the hop travels over an off-chip channel.
+    pub fn hop_crosses_chip(&self, hop: &Hop) -> bool {
+        self.channels[hop.channel as usize].class == ChannelClass::OffChip
     }
 
     /// The channel index for the ordered pair `(from, to)`, if any.
@@ -315,7 +353,7 @@ impl Routing {
                 crosses_tile = true;
                 out.tile_out_bytes[route.producer as usize] += bytes;
                 out.tile_in_bytes[hop.tile as usize] += bytes;
-                if self.tile_chip[hop.tile as usize] != self.tile_chip[route.producer as usize] {
+                if self.hop_crosses_chip(hop) {
                     out.offchip_total_bytes += bytes;
                     crosses_chip = true;
                 }
@@ -345,8 +383,7 @@ impl Routing {
                     crossed_tile = true;
                     out.tile_out_bytes[route.producer as usize] += payload;
                     out.tile_in_bytes[hop.tile as usize] += payload;
-                    if self.tile_chip[hop.tile as usize] != self.tile_chip[route.producer as usize]
-                    {
+                    if self.hop_crosses_chip(hop) {
                         out.offchip_total_bytes += payload;
                         crossed_chip = true;
                     }

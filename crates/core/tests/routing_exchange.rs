@@ -4,7 +4,9 @@
 //! a golden reference) across the benchmark-design corpus, so the
 //! refactor provably changed the representation and not the numbers.
 
-use parendi_core::{compile, ExchangePlan, MultiChipStrategy, Partition, PartitionConfig};
+use parendi_core::{
+    compile, ChannelClass, ExchangePlan, MultiChipStrategy, Partition, PartitionConfig, Routing,
+};
 use parendi_designs::Benchmark;
 use parendi_graph::fiber::{SinkKind, PORT_RECORD_OVERHEAD_BYTES};
 use parendi_rtl::bits::words_for;
@@ -183,6 +185,77 @@ fn routing_reproduces_legacy_plan_on_designs_corpus() {
                 assert_plans_equal(&bench.name(), tiles, &legacy, &derived);
                 // The plan stored in the compilation is the derived one.
                 assert_plans_equal(&bench.name(), tiles, &comp.plan, &derived);
+            }
+        }
+    }
+}
+
+/// Recomputes the off-chip byte volume from the channel *classification*
+/// alone: every hop whose channel is `OffChip` contributes its modeled
+/// payload. Independent of `exchange_plan`'s own accounting loops.
+fn offchip_bytes_by_class(circuit: &Circuit, routing: &Routing, differential: bool) -> u64 {
+    let mut total = 0u64;
+    for route in &routing.reg_routes {
+        for hop in &route.hops {
+            if routing.channels[hop.channel as usize].class == ChannelClass::OffChip {
+                total += route.words as u64 * 8;
+            }
+        }
+    }
+    for route in &routing.port_routes {
+        let full = circuit.arrays[route.array.index()].size_bytes();
+        let diff = route.data_words as u64 * 8 + PORT_RECORD_OVERHEAD_BYTES;
+        let payload = if differential { diff } else { full };
+        for hop in &route.hops {
+            if routing.channels[hop.channel as usize].class == ChannelClass::OffChip {
+                total += payload;
+            }
+        }
+    }
+    total
+}
+
+/// Golden test: the channel classification *is* the off-chip accounting.
+/// Summing modeled payloads over `OffChip`-classed channels reproduces
+/// `ExchangePlan::offchip_total_bytes` exactly, and the class always
+/// agrees with the `tile_chip` assignment it is derived from.
+#[test]
+fn offchip_channel_class_pins_plan_total() {
+    let corpus = [
+        Benchmark::Pico,
+        Benchmark::Rocket,
+        Benchmark::Mc,
+        Benchmark::Sr(3),
+        Benchmark::Prng(32),
+    ];
+    for bench in corpus {
+        let circuit = bench.build();
+        for (tiles, per_chip) in [(8u32, 4u32), (16, 4), (24, 6)] {
+            for differential in [true, false] {
+                let mut cfg = PartitionConfig::with_tiles(tiles);
+                cfg.tiles_per_chip = per_chip;
+                cfg.differential_exchange = differential;
+                let comp = compile(&circuit, &cfg)
+                    .unwrap_or_else(|e| panic!("{} at {tiles}: {e}", bench.name()));
+                let routing = &comp.routing;
+                for ch in &routing.channels {
+                    let crosses =
+                        routing.tile_chip[ch.from as usize] != routing.tile_chip[ch.to as usize];
+                    assert_eq!(
+                        ch.class == ChannelClass::OffChip,
+                        crosses,
+                        "{}: channel {}→{} misclassified",
+                        bench.name(),
+                        ch.from,
+                        ch.to
+                    );
+                }
+                assert_eq!(
+                    offchip_bytes_by_class(&circuit, routing, differential),
+                    comp.plan.offchip_total_bytes,
+                    "{}@{tiles}t/{per_chip}pc diff={differential}",
+                    bench.name()
+                );
             }
         }
     }

@@ -13,44 +13,70 @@
 //! There is no shared mutable global state and no leader thread. Every
 //! tile *owns* the registers and array copies it produces or holds, and
 //! all cross-tile values move through the channels of the compiled
-//! [`Routing`] — one double-buffered mailbox per producer→consumer tile
-//! pair, laid out at compile time (register slots first, then array
-//! write-port records).
+//! [`Routing`], laid out at compile time (register slots first, then
+//! array write-port records). Channels come in the two classes the
+//! machine distinguishes (Fig. 5): *on-chip* channels get one
+//! double-buffered mailbox per producer→consumer tile pair, while
+//! *off-chip* channels are aggregated into one **wider mailbox per
+//! ordered chip pair** — every cross-chip channel owns a disjoint
+//! segment of its chip-pair buffer, modeling the shared gateway link
+//! that off-chip traffic funnels through.
 //!
-//! The two epochs of a mailbox alternate by cycle parity. During the
-//! computation phase of cycle `c` every thread, for each of its tiles:
+//! # Chip-group worker layout
+//!
+//! Tiles fold onto worker threads **chip-major**: each chip's tiles go
+//! to a contiguous *group* of workers sized proportionally to the chip's
+//! tile count (with fewer workers than chips, whole chips round-robin
+//! over workers so a chip's tiles stay within one worker). A worker
+//! therefore touches at most one chip whenever the pool is at least as
+//! wide as the machine, which keeps each group's on-chip mailbox traffic
+//! within the group and makes the off-chip flush a per-group act — the
+//! host analogue of tiles sharing a chip's exchange fabric.
+//!
+//! The two epochs of a mailbox alternate by cycle parity. During cycle
+//! `c` every worker, for each of its tiles:
 //!
 //! 1. runs the tile's step program, reading its own registers and array
 //!    copies plus *epoch `c`* mailbox slots for remote registers;
 //! 2. latches its own registers (tile-local, nobody else reads them);
-//! 3. copies its outgoing register values and `(enable, index, data)`
-//!    port records into *epoch `c+1`* mailbox buffers.
+//! 3. copies outgoing **on-chip** register values and `(enable, index,
+//!    data)` port records into *epoch `c+1`* on-chip mailboxes;
+//! 4. in a distinct, separately-timed **off-chip flush sub-phase**,
+//!    copies cross-chip values into the epoch-`c+1` chip-pair
+//!    aggregates, optionally spinning a configurable per-word delay
+//!    ([`BspSimulator::set_offchip_spin_per_word`]) so benches can sweep
+//!    the `m×b` off-chip cost the paper measures.
 //!
 //! Writers touch only epoch-`c+1` buffers while readers touch only
-//! epoch-`c` buffers, so the phase needs no locks. After the first
-//! barrier, the communication phase has every *holder* of an array apply
-//! the staged port records (its own from its arena, remote ones from
-//! epoch-`c+1` mailboxes) in global `(array, port)` order, keeping every
-//! copy bit-identical; the second barrier ends the cycle. The only
-//! synchronization in the steady-state loop is those two barriers: no
-//! locks are taken and no heap allocation occurs. Per-tile `Mutex`es
-//! exist solely so the testbench API (`poke`/`reg_value`/`array_value`)
-//! can inspect state between [`run`](BspSimulator::run) calls, and are
-//! locked once per run, outside the cycle loop.
+//! epoch-`c` buffers, so neither sub-phase needs locks or barriers
+//! between them. After the first barrier, the communication phase has
+//! every *holder* of an array apply the staged port records (its own
+//! from its arena, remote ones from epoch-`c+1` mailboxes) in global
+//! `(array, port)` order, keeping every copy bit-identical; the second
+//! barrier ends the cycle. The only synchronization in the steady-state
+//! loop is those two barriers: no locks are taken and no heap allocation
+//! occurs. Per-tile `Mutex`es exist solely so the testbench API
+//! (`poke`/`reg_value`/`array_value`/`peek_output`) can inspect state
+//! between [`run`](BspSimulator::run) calls, and are locked once per
+//! run, outside the cycle loop.
 //!
 //! Worker threads are spawned once in [`BspSimulator::new`] and persist
 //! across `run()` calls (the figure binaries call `run` in a loop), so
 //! repeated runs pay two barrier waits, not thread start-up.
+//! [`run_timed`](BspSimulator::run_timed) reports the straggler worker's
+//! compute / off-chip / on-chip exchange split plus per-tile phase
+//! histograms ([`BspPhases::per_tile`]) — the measured counterpart of
+//! Fig. 6's load-imbalance view.
 //!
 //! [`Simulator`]: crate::interp::Simulator
 
-use parendi_core::routing::{Routing, PORT_RECORD_HEADER_WORDS};
+use parendi_core::routing::{ChannelClass, Routing, PORT_RECORD_HEADER_WORDS};
 use parendi_core::Partition;
 use parendi_rtl::bits::{word, words_for, Bits};
 use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, RegId, UnOp};
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -82,6 +108,14 @@ impl PhaseBarrier {
         let cores = std::thread::available_parallelism()
             .map(|c| c.get())
             .unwrap_or(1);
+        // `n > cores` means at least one waiter would spin on a core the
+        // last arriver needs: skip straight to parking. `PARENDI_SPIN_LIMIT`
+        // overrides the spin budget either way — raise it on big multicore
+        // boxes where cycles are short, set it to 0 to force parking.
+        let spin_limit = std::env::var("PARENDI_SPIN_LIMIT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if n <= cores { 1 << 14 } else { 0 });
         PhaseBarrier {
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
@@ -89,7 +123,7 @@ impl PhaseBarrier {
             lock: Mutex::new(()),
             cv: std::sync::Condvar::new(),
             n,
-            spin_limit: if n <= cores { 1 << 14 } else { 0 },
+            spin_limit,
         }
     }
 
@@ -267,11 +301,27 @@ struct Program {
     arena_words: usize,
     const_init: Vec<(u32, Vec<u64>)>,
     commits: Vec<RegCommit>,
+    /// Register sends over on-chip channels (pushed during compute).
     sends: Vec<RegSend>,
+    /// Register sends crossing chips (pushed by the off-chip flush).
+    offchip_sends: Vec<RegSend>,
+    /// Port records to on-chip holders (pushed during compute).
     port_sends: Vec<PortSend>,
+    /// Port records to off-chip holders (pushed by the off-chip flush).
+    offchip_port_sends: Vec<PortSend>,
     /// In global `(array, port)` order per array, so every holder applies
     /// identically (last port wins, as in the reference interpreter).
     applies: Vec<Apply>,
+    /// Primary outputs this tile computes: `(output id, arena offset)`.
+    outputs: Vec<(u32, u32)>,
+}
+
+impl Program {
+    /// Whether this tile sends anything across a chip boundary (tiles
+    /// that don't skip the off-chip flush sub-phase entirely).
+    fn has_offchip(&self) -> bool {
+        !self.offchip_sends.is_empty() || !self.offchip_port_sends.is_empty()
+    }
 }
 
 /// Mutable tile-owned state. Guarded by a `Mutex` purely for the
@@ -285,14 +335,23 @@ struct TileState {
     arrays: Vec<Vec<u64>>,
 }
 
-/// A double-buffered mailbox for one producer→consumer tile pair.
+/// A double-buffered mailbox: one per on-chip producer→consumer tile
+/// pair, plus one *aggregate* per ordered chip pair whose buffer is
+/// segmented among all the cross-chip channels of that pair.
 ///
 /// Epoch discipline (enforced by the two BSP barriers, see the module
-/// docs): during cycle `c` the producer thread writes only buffer
+/// docs): during cycle `c` producer threads write only buffer
 /// `(c + 1) & 1` and consumer threads read only buffer `c & 1`
 /// (computation phase) or `(c + 1) & 1` *after* the first barrier
-/// (communication phase). No two threads ever touch the same buffer
-/// concurrently with a writer present.
+/// (communication phase). No thread ever touches a word another thread
+/// is writing.
+///
+/// Aggregate mailboxes can have *several concurrent writers* — one per
+/// worker group flushing into its disjoint channel segments — so the
+/// write side never materializes a `&mut [u64]` over the whole buffer
+/// (two live `&mut` to one allocation would be UB even with disjoint
+/// stores). Writers go through the raw [`write_base`](Self::write_base)
+/// pointer instead.
 struct Mailbox {
     bufs: [UnsafeCell<Box<[u64]>>; 2],
 }
@@ -317,24 +376,56 @@ impl Mailbox {
         &*self.bufs[parity].get()
     }
 
-    /// SAFETY: this thread must be the unique accessor of `parity`.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn write(&self, parity: usize) -> &mut [u64] {
-        &mut *self.bufs[parity].get()
+    /// Base pointer for segment writes into buffer `parity`, derived
+    /// raw-to-raw so no `&mut` over the buffer ever exists.
+    ///
+    /// SAFETY: the epoch discipline must hold (no concurrent reader of
+    /// `parity`), and each writer must store only to word ranges it
+    /// exclusively owns (channel segments are disjoint by layout).
+    unsafe fn write_base(&self, parity: usize) -> *mut u64 {
+        (&raw mut **self.bufs[parity].get()) as *mut u64
     }
 }
 
-/// Per-run phase timings (straggler view: the slowest worker's totals).
+/// One tile's phase seconds over a timed run (its share of the worker's
+/// loop bodies; barrier waits are per-worker and excluded).
 #[derive(Clone, Copy, Debug, Default)]
+pub struct TilePhases {
+    /// Seconds running the tile's step program (incl. latches and
+    /// on-chip mailbox pushes).
+    pub compute_s: f64,
+    /// Seconds flushing the tile's cross-chip traffic (incl. the
+    /// configured per-word delay).
+    pub offchip_s: f64,
+    /// Seconds applying staged port records to the tile's array copies.
+    pub exchange_s: f64,
+}
+
+/// Per-run phase timings: the straggler worker's split plus per-tile
+/// histograms.
+///
+/// The three phase columns come from the *single* worker with the
+/// largest compute + off-chip flush time (the straggler — totals can't
+/// rank workers because barrier waits absorb the slack), so
+/// `compute_s + offchip_s + exchange_s` is that worker's real wall
+/// time — phases are never paired across different workers.
+#[derive(Clone, Debug, Default)]
 pub struct BspPhases {
     /// Wall-clock seconds for the whole run.
     pub total_s: f64,
-    /// Seconds the slowest worker spent in computation phases.
+    /// Seconds the straggler worker spent in computation phases
+    /// (step programs, register latches, on-chip mailbox pushes).
     pub compute_s: f64,
-    /// Seconds the slowest worker spent in communication phases:
-    /// record application plus both barrier waits (mailbox pushes are
-    /// overlapped into compute).
+    /// Seconds the straggler worker spent flushing cross-chip traffic
+    /// into the per-chip-pair aggregate mailboxes (zero on single-chip
+    /// partitions).
+    pub offchip_s: f64,
+    /// Seconds the straggler worker spent in communication phases:
+    /// record application plus both barrier waits.
     pub exchange_s: f64,
+    /// Per-tile phase split, indexed by tile — the measured counterpart
+    /// of the Fig. 6 straggler histograms. Empty for untimed runs.
+    pub per_tile: Vec<TilePhases>,
 }
 
 /// State shared between the simulator facade and the worker pool.
@@ -352,8 +443,12 @@ struct Shared {
     cmd_start: AtomicU64,
     cmd_timed: AtomicBool,
     exit: AtomicBool,
-    /// Per-worker (compute_ns, exchange_ns) of the last timed run.
-    phase_ns: Vec<Mutex<(u64, u64)>>,
+    /// Spin iterations per word charged to off-chip flushes.
+    offchip_spin: AtomicU32,
+    /// Per-worker (compute, offchip, exchange) ns of the last timed run.
+    phase_ns: Vec<Mutex<(u64, u64, u64)>>,
+    /// Per-tile (compute, offchip, exchange) ns of the last timed run.
+    tile_ns: Vec<Mutex<(u64, u64, u64)>>,
 }
 
 /// Where a register's current value lives.
@@ -373,6 +468,13 @@ enum ArrayHome {
     Spare(Vec<u64>),
 }
 
+/// Where a primary output's value lands after a tile's step program.
+#[derive(Clone, Copy, Debug)]
+struct OutputHome {
+    tile: u32,
+    off: u32,
+}
+
 /// A parallel BSP simulator for a compiled partition.
 pub struct BspSimulator<'c> {
     circuit: &'c Circuit,
@@ -380,9 +482,53 @@ pub struct BspSimulator<'c> {
     workers: Vec<JoinHandle<()>>,
     reg_home: Vec<RegHome>,
     array_home: Vec<ArrayHome>,
+    output_home: Vec<OutputHome>,
     input_off: Vec<u32>,
     input_by_name: HashMap<String, InputId>,
+    output_by_name: HashMap<String, u32>,
+    /// Mailboxes serving on-chip channels (the tail of
+    /// `shared.channels` holds the per-chip-pair aggregates).
+    onchip_mailboxes: usize,
     cycle: u64,
+}
+
+/// Folds tiles onto `workers` threads chip-major. Each chip's tiles go
+/// to a contiguous group of workers sized proportionally to the chip's
+/// tile count (every chip gets at least one worker); with fewer workers
+/// than chips, whole chips round-robin over workers so a chip's tiles
+/// stay within one worker. Within a group, tiles fold round-robin.
+fn worker_groups(tile_chip: &[u32], workers: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); workers];
+    if workers == 0 || tile_chip.is_empty() {
+        return out;
+    }
+    let nchips = tile_chip.iter().map(|&c| c as usize + 1).max().unwrap();
+    let mut by_chip: Vec<Vec<usize>> = vec![Vec::new(); nchips];
+    for (t, &c) in tile_chip.iter().enumerate() {
+        by_chip[c as usize].push(t);
+    }
+    by_chip.retain(|v| !v.is_empty());
+    if workers < by_chip.len() {
+        for (ci, tiles) in by_chip.iter().enumerate() {
+            out[ci % workers].extend(tiles.iter().copied());
+        }
+        return out;
+    }
+    let mut next = 0usize; // first worker of the current group
+    let mut tiles_left = tile_chip.len();
+    let mut chips_left = by_chip.len();
+    for tiles in &by_chip {
+        let workers_left = workers - next;
+        let share = (tiles.len() * workers_left).div_ceil(tiles_left);
+        let share = share.clamp(1, workers_left - (chips_left - 1));
+        for (k, &t) in tiles.iter().enumerate() {
+            out[next + k % share].push(t);
+        }
+        next += share;
+        tiles_left -= tiles.len();
+        chips_left -= 1;
+    }
+    out
 }
 
 impl<'c> BspSimulator<'c> {
@@ -466,21 +612,69 @@ impl<'c> BspSimulator<'c> {
             })
             .collect();
 
-        // Mailboxes, with epoch-0 register slots preloaded with initial
-        // values so cycle 0 observes the power-on state.
-        let channels: Vec<Mailbox> = routing
-            .channels
-            .iter()
-            .map(|c| Mailbox::new(c.words() as usize))
-            .collect();
+        // Mailboxes. On-chip channels get one double-buffered mailbox per
+        // tile pair; off-chip channels are aggregated into one wider
+        // mailbox per ordered chip pair, each channel owning a disjoint
+        // segment (`chan_map` translates a routing channel id into its
+        // mailbox index and segment base).
+        let mut chan_map = vec![(0u32, 0u32); routing.channels.len()];
+        let mut channels: Vec<Mailbox> = Vec::new();
+        for (ci, ch) in routing.channels.iter().enumerate() {
+            if ch.class == ChannelClass::OnChip {
+                chan_map[ci] = (channels.len() as u32, 0);
+                channels.push(Mailbox::new(ch.words() as usize));
+            }
+        }
+        let onchip_mailboxes = channels.len();
+        let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut pair_words: Vec<u32> = Vec::new();
+        for (ci, ch) in routing.channels.iter().enumerate() {
+            if ch.class == ChannelClass::OffChip {
+                let pair = (
+                    routing.tile_chip[ch.from as usize],
+                    routing.tile_chip[ch.to as usize],
+                );
+                let pi = *pair_index.entry(pair).or_insert_with(|| {
+                    pair_words.push(0);
+                    pair_words.len() - 1
+                });
+                chan_map[ci] = ((onchip_mailboxes + pi) as u32, pair_words[pi]);
+                pair_words[pi] += ch.words();
+            }
+        }
+        channels.extend(pair_words.iter().map(|&w| Mailbox::new(w as usize)));
+        // Preload epoch-0 register slots with initial values so cycle 0
+        // observes the power-on state.
         for route in &routing.reg_routes {
             for hop in &route.hops {
                 let init = circuit.regs[route.reg.index()].init.words();
-                // SAFETY: construction is single-threaded.
-                let buf = unsafe { channels[hop.channel as usize].write(0) };
-                buf[hop.word_off as usize..hop.word_off as usize + init.len()]
-                    .copy_from_slice(init);
+                let (mb, base) = chan_map[hop.channel as usize];
+                let off = (base + hop.word_off) as usize;
+                // SAFETY: construction is single-threaded and offsets
+                // stay inside the sized buffer.
+                unsafe {
+                    let dst = channels[mb as usize].write_base(0).add(off);
+                    std::ptr::copy_nonoverlapping(init.as_ptr(), dst, init.len());
+                }
             }
+        }
+
+        // Compile-time route indexes, built once: (array, port) → route
+        // and per-array route ranges (port_routes is (array, port)
+        // sorted), so program building never rescans `port_routes`.
+        let mut port_route_of: HashMap<(u32, u32), u32> = HashMap::new();
+        for (i, r) in routing.port_routes.iter().enumerate() {
+            port_route_of.insert((r.array.0, r.port), i as u32);
+        }
+        let mut array_route_range = vec![(0u32, 0u32); circuit.arrays.len()];
+        let mut i = 0;
+        while i < routing.port_routes.len() {
+            let a = routing.port_routes[i].array.index();
+            let start = i;
+            while i < routing.port_routes.len() && routing.port_routes[i].array.index() == a {
+                i += 1;
+            }
+            array_route_range[a] = (start as u32, i as u32);
         }
 
         // Per-tile programs and state.
@@ -488,7 +682,44 @@ impl<'c> BspSimulator<'c> {
             .processes
             .iter()
             .enumerate()
-            .map(|(pi, p)| build_program(circuit, partition, &routing, pi as u32, p, &reg_home))
+            .map(|(pi, p)| {
+                build_program(
+                    circuit,
+                    partition,
+                    &routing,
+                    pi as u32,
+                    p,
+                    &reg_home,
+                    &chan_map,
+                    &port_route_of,
+                    &array_route_range,
+                )
+            })
+            .collect();
+
+        // Output homes: the owning tile (pinned by the routing layer)
+        // plus the arena offset its program computes the value at.
+        let mut output_home = vec![
+            OutputHome {
+                tile: u32::MAX,
+                off: 0
+            };
+            circuit.outputs.len()
+        ];
+        for (pi, prog) in programs.iter().enumerate() {
+            for &(oi, off) in &prog.outputs {
+                debug_assert_eq!(routing.output_tiles[oi as usize], pi as u32);
+                output_home[oi as usize] = OutputHome {
+                    tile: pi as u32,
+                    off,
+                };
+            }
+        }
+        let output_by_name: HashMap<String, u32> = circuit
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.name.clone(), i as u32))
             .collect();
         let tiles: Vec<Mutex<TileState>> = programs
             .iter()
@@ -524,6 +755,7 @@ impl<'c> BspSimulator<'c> {
             threads.min(programs.len())
         };
         let worker_count = if pool_threads > 1 { pool_threads } else { 0 };
+        let tile_count = programs.len();
         let shared = Arc::new(Shared {
             programs,
             tiles,
@@ -536,16 +768,21 @@ impl<'c> BspSimulator<'c> {
             cmd_start: AtomicU64::new(0),
             cmd_timed: AtomicBool::new(false),
             exit: AtomicBool::new(false),
+            offchip_spin: AtomicU32::new(0),
             phase_ns: (0..worker_count.max(1))
-                .map(|_| Mutex::new((0, 0)))
+                .map(|_| Mutex::new((0, 0, 0)))
                 .collect(),
+            tile_ns: (0..tile_count).map(|_| Mutex::new((0, 0, 0))).collect(),
         });
-        let workers = (0..worker_count)
-            .map(|t| {
+        let groups = worker_groups(&routing.tile_chip, worker_count);
+        let workers = groups
+            .into_iter()
+            .enumerate()
+            .map(|(t, mine)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bsp-worker-{t}"))
-                    .spawn(move || worker_loop(&shared, t, worker_count))
+                    .spawn(move || worker_loop(&shared, t, mine))
                     .expect("spawn BSP worker")
             })
             .collect();
@@ -556,8 +793,11 @@ impl<'c> BspSimulator<'c> {
             workers,
             reg_home,
             array_home,
+            output_home,
             input_off,
             input_by_name,
+            output_by_name,
+            onchip_mailboxes,
             cycle: 0,
         }
     }
@@ -572,9 +812,26 @@ impl<'c> BspSimulator<'c> {
         self.shared.programs.len()
     }
 
-    /// Number of point-to-point channels carrying traffic.
+    /// Number of mailboxes carrying traffic: per-tile-pair on-chip boxes
+    /// plus per-chip-pair off-chip aggregates.
     pub fn channels(&self) -> usize {
         self.shared.channels.len()
+    }
+
+    /// Number of per-chip-pair aggregate mailboxes (zero on single-chip
+    /// partitions).
+    pub fn offchip_channels(&self) -> usize {
+        self.shared.channels.len() - self.onchip_mailboxes
+    }
+
+    /// Sets the artificial per-word delay (in spin-loop iterations)
+    /// charged while flushing off-chip mailboxes, modeling the roughly
+    /// order-of-magnitude slower cross-chip link. The benches sweep this
+    /// to reproduce the `m×b` off-chip cost effect (Fig. 5 right);
+    /// functional results are unaffected. Takes effect from the next
+    /// [`run`](Self::run).
+    pub fn set_offchip_spin_per_word(&mut self, spins: u32) {
+        self.shared.offchip_spin.store(spins, Ordering::Relaxed);
     }
 
     /// Drives an input (held until changed).
@@ -616,6 +873,39 @@ impl<'c> BspSimulator<'c> {
         )
     }
 
+    /// The current value of primary output `name`, or `None` if no such
+    /// output exists — the engine counterpart of the reference
+    /// interpreter's `output()`.
+    ///
+    /// Output cones are computed every cycle (their fibers run like any
+    /// other), but the arena holds *pre-latch* values from the last
+    /// cycle; this replays the owning tile's step program against the
+    /// current architectural state (own registers, array copies, and the
+    /// current-epoch mailbox slots for remote registers), so the value
+    /// reflects all completed cycles and the current inputs, exactly
+    /// like the interpreter after `step`.
+    pub fn peek_output(&self, name: &str) -> Option<Bits> {
+        let &oi = self.output_by_name.get(name)?;
+        let home = self.output_home[oi as usize];
+        assert!(home.tile != u32::MAX, "output {name} has no owning tile");
+        let width = self.circuit.width(self.circuit.outputs[oi as usize].node);
+        let shared = &self.shared;
+        let inputs = shared.inputs.read().unwrap();
+        let mut tile = shared.tiles[home.tile as usize].lock().unwrap();
+        run_steps(
+            &shared.programs[home.tile as usize],
+            &mut tile,
+            &inputs,
+            &shared.channels,
+            self.cycle,
+        );
+        let off = home.off as usize;
+        Some(Bits::from_words(
+            width,
+            &tile.arena[off..off + words_for(width)],
+        ))
+    }
+
     /// An element of an array.
     ///
     /// # Panics
@@ -646,8 +936,11 @@ impl<'c> BspSimulator<'c> {
 
     /// Runs `cycles` RTL cycles and reports per-phase timings (the
     /// measured counterpart of the modeled `t_comp`/`t_comm`+`t_sync`
-    /// split). Costs two clock reads per worker per cycle; use
-    /// [`run`](Self::run) for throughput measurements.
+    /// split), including the per-tile histograms of
+    /// [`BspPhases::per_tile`]. Timed runs cost roughly one clock read
+    /// per tile per sub-phase per cycle (timestamps chain tile-to-tile,
+    /// so that read is counted once, inside the following tile's
+    /// interval); use [`run`](Self::run) for throughput measurements.
     pub fn run_timed(&mut self, cycles: u64) -> BspPhases {
         self.run_inner(cycles, true)
     }
@@ -657,24 +950,75 @@ impl<'c> BspSimulator<'c> {
         if cycles == 0 {
             return BspPhases::default();
         }
-        let (mut comp_ns, mut exch_ns) = (0u64, 0u64);
+        // The straggler worker's (compute, offchip, exchange) ns: phases
+        // stay paired per worker so the split sums to one worker's real
+        // wall time.
+        let (mut comp_ns, mut off_ns, mut exch_ns) = (0u64, 0u64, 0u64);
+        let mut per_tile = Vec::new();
         if self.workers.is_empty() {
             let shared = &self.shared;
+            let spin = shared.offchip_spin.load(Ordering::Relaxed);
+            let any_off = shared.programs.iter().any(|p| p.has_offchip());
             let inputs = shared.inputs.read().unwrap();
             let mut guards: Vec<_> = shared.tiles.iter().map(|t| t.lock().unwrap()).collect();
+            let mut tile_ns = vec![(0u64, 0u64, 0u64); guards.len()];
             for c in self.cycle..self.cycle + cycles {
+                // Timestamps chain: each tile's interval ends where the
+                // next begins, so the phase windows contain one clock
+                // read per tile, not two, and per-tile times sum to the
+                // worker phase exactly.
                 let t0 = timed.then(Instant::now);
-                for (prog, tile) in shared.programs.iter().zip(guards.iter_mut()) {
+                let mut mark = t0;
+                for (k, (prog, tile)) in shared.programs.iter().zip(guards.iter_mut()).enumerate() {
                     compute_phase(prog, tile, &inputs, &shared.channels, c);
+                    if let Some(m) = mark {
+                        let now = Instant::now();
+                        tile_ns[k].0 += now.duration_since(m).as_nanos() as u64;
+                        mark = Some(now);
+                    }
                 }
-                let t1 = timed.then(Instant::now);
-                for (prog, tile) in shared.programs.iter().zip(guards.iter_mut()) {
+                let t1 = mark;
+                if any_off {
+                    for (k, (prog, tile)) in
+                        shared.programs.iter().zip(guards.iter_mut()).enumerate()
+                    {
+                        if !prog.has_offchip() {
+                            continue;
+                        }
+                        offchip_phase(prog, tile, &shared.channels, c, spin);
+                        if let Some(m) = mark {
+                            let now = Instant::now();
+                            tile_ns[k].1 += now.duration_since(m).as_nanos() as u64;
+                            mark = Some(now);
+                        }
+                    }
+                }
+                // With no cross-chip traffic the sub-phase is skipped
+                // outright, keeping offchip_s exactly zero.
+                let t2 = mark;
+                for (k, (prog, tile)) in shared.programs.iter().zip(guards.iter_mut()).enumerate() {
                     exchange_phase(prog, tile, &shared.channels, c);
+                    if let Some(m) = mark {
+                        let now = Instant::now();
+                        tile_ns[k].2 += now.duration_since(m).as_nanos() as u64;
+                        mark = Some(now);
+                    }
                 }
-                if let (Some(t0), Some(t1)) = (t0, t1) {
+                if let (Some(t0), Some(t1), Some(t2), Some(end)) = (t0, t1, t2, mark) {
                     comp_ns += t1.duration_since(t0).as_nanos() as u64;
-                    exch_ns += t1.elapsed().as_nanos() as u64;
+                    off_ns += t2.duration_since(t1).as_nanos() as u64;
+                    exch_ns += end.duration_since(t2).as_nanos() as u64;
                 }
+            }
+            if timed {
+                per_tile = tile_ns
+                    .iter()
+                    .map(|&(c, o, e)| TilePhases {
+                        compute_s: c as f64 * 1e-9,
+                        offchip_s: o as f64 * 1e-9,
+                        exchange_s: e as f64 * 1e-9,
+                    })
+                    .collect();
             }
         } else {
             self.shared.cmd_cycles.store(cycles, Ordering::SeqCst);
@@ -683,18 +1027,38 @@ impl<'c> BspSimulator<'c> {
             self.shared.gate.wait();
             self.shared.done.wait();
             if timed {
+                // Straggler = the worker with the most real work
+                // (compute + flush). Totals can't rank workers: barrier
+                // waits absorb the slack, equalizing every worker's
+                // comp+off+exch span up to wakeup jitter.
                 for slot in &self.shared.phase_ns {
-                    let (c, e) = *slot.lock().unwrap();
-                    comp_ns = comp_ns.max(c);
-                    exch_ns = exch_ns.max(e);
+                    let (c, o, e) = *slot.lock().unwrap();
+                    if c + o > comp_ns + off_ns {
+                        (comp_ns, off_ns, exch_ns) = (c, o, e);
+                    }
                 }
+                per_tile = self
+                    .shared
+                    .tile_ns
+                    .iter()
+                    .map(|slot| {
+                        let (c, o, e) = *slot.lock().unwrap();
+                        TilePhases {
+                            compute_s: c as f64 * 1e-9,
+                            offchip_s: o as f64 * 1e-9,
+                            exchange_s: e as f64 * 1e-9,
+                        }
+                    })
+                    .collect();
             }
         }
         self.cycle += cycles;
         BspPhases {
             total_s: start.elapsed().as_secs_f64(),
             compute_s: comp_ns as f64 * 1e-9,
+            offchip_s: off_ns as f64 * 1e-9,
             exchange_s: exch_ns as f64 * 1e-9,
+            per_tile,
         }
     }
 }
@@ -715,17 +1079,18 @@ impl Drop for BspSimulator<'_> {
 /// leave every other thread blocked at a barrier forever, so engine
 /// bugs become a loud abort (the default panic hook has already printed
 /// the message and location) instead of a silent hang.
-fn worker_loop(shared: &Shared, t: usize, threads: usize) {
-    let body = std::panic::AssertUnwindSafe(|| worker_body(shared, t, threads));
+fn worker_loop(shared: &Shared, t: usize, mine: Vec<usize>) {
+    let body = std::panic::AssertUnwindSafe(|| worker_body(shared, t, &mine));
     if std::panic::catch_unwind(body).is_err() {
         eprintln!("BSP worker {t} panicked; aborting (a hung barrier would deadlock the run)");
         std::process::abort();
     }
 }
 
-/// The worker run loop: park at the gate, execute a run, report.
-fn worker_body(shared: &Shared, t: usize, threads: usize) {
-    let mine: Vec<usize> = (t..shared.programs.len()).step_by(threads).collect();
+/// The worker run loop: park at the gate, execute a run over this
+/// worker's chip-major tile group `mine`, report.
+fn worker_body(shared: &Shared, t: usize, mine: &[usize]) {
+    let any_off = mine.iter().any(|&pi| shared.programs[pi].has_offchip());
     loop {
         shared.gate.wait();
         if shared.exit.load(Ordering::SeqCst) {
@@ -734,6 +1099,7 @@ fn worker_body(shared: &Shared, t: usize, threads: usize) {
         let cycles = shared.cmd_cycles.load(Ordering::SeqCst);
         let start = shared.cmd_start.load(Ordering::SeqCst);
         let timed = shared.cmd_timed.load(Ordering::SeqCst);
+        let spin = shared.offchip_spin.load(Ordering::Relaxed);
         {
             // One lock per tile per run; the steady-state cycle loop
             // below acquires no locks and allocates nothing.
@@ -742,49 +1108,83 @@ fn worker_body(shared: &Shared, t: usize, threads: usize) {
                 .iter()
                 .map(|&pi| shared.tiles[pi].lock().unwrap())
                 .collect();
-            let (mut comp_ns, mut exch_ns) = (0u64, 0u64);
+            let (mut comp_ns, mut off_ns, mut exch_ns) = (0u64, 0u64, 0u64);
+            let mut tile_ns = vec![(0u64, 0u64, 0u64); mine.len()];
             for c in start..start + cycles {
+                // Timestamps chain tile to tile (see `run_inner`): one
+                // clock read per tile lands inside the phase windows,
+                // and per-tile times sum to the worker phase exactly.
                 let t0 = timed.then(Instant::now);
-                for (guard, &pi) in guards.iter_mut().zip(&mine) {
+                let mut mark = t0;
+                for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
                     compute_phase(&shared.programs[pi], guard, &inputs, &shared.channels, c);
+                    if let Some(m) = mark {
+                        let now = Instant::now();
+                        tile_ns[k].0 += now.duration_since(m).as_nanos() as u64;
+                        mark = Some(now);
+                    }
+                }
+                // Off-chip flush: a distinct sub-phase so the cross-chip
+                // volume is timed apart from compute. It needs no
+                // barrier — it writes epoch-c+1 segments nobody reads
+                // until after barrier 1. A group with no cross-chip
+                // traffic skips it outright, keeping offchip_s zero.
+                let t1 = mark;
+                if any_off {
+                    for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
+                        if !shared.programs[pi].has_offchip() {
+                            continue;
+                        }
+                        offchip_phase(&shared.programs[pi], guard, &shared.channels, c, spin);
+                        if let Some(m) = mark {
+                            let now = Instant::now();
+                            tile_ns[k].1 += now.duration_since(m).as_nanos() as u64;
+                            mark = Some(now);
+                        }
+                    }
                 }
                 // exchange_s starts *before* barrier 1 so the straggler
                 // wait — the measured `t_sync` — lands in the exchange
                 // column, matching the BspPhases contract.
-                let t1 = timed.then(Instant::now);
-                if let (Some(t0), Some(t1)) = (t0, t1) {
+                let t2 = mark;
+                if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
                     comp_ns += t1.duration_since(t0).as_nanos() as u64;
+                    off_ns += t2.duration_since(t1).as_nanos() as u64;
                 }
                 // Barrier 1: all mailboxes for epoch c+1 are filled.
                 shared.phase_barrier.wait();
-                for (guard, &pi) in guards.iter_mut().zip(&mine) {
+                let mut emark = timed.then(Instant::now);
+                for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
                     exchange_phase(&shared.programs[pi], guard, &shared.channels, c);
+                    if let Some(m) = emark {
+                        let now = Instant::now();
+                        tile_ns[k].2 += now.duration_since(m).as_nanos() as u64;
+                        emark = Some(now);
+                    }
                 }
                 // Barrier 2: every array copy has applied the records.
                 shared.phase_barrier.wait();
-                if let Some(t1) = t1 {
-                    exch_ns += t1.elapsed().as_nanos() as u64;
+                if let Some(t2) = t2 {
+                    exch_ns += t2.elapsed().as_nanos() as u64;
                 }
             }
             if timed {
-                *shared.phase_ns[t].lock().unwrap() = (comp_ns, exch_ns);
+                *shared.phase_ns[t].lock().unwrap() = (comp_ns, off_ns, exch_ns);
+                for (k, &pi) in mine.iter().enumerate() {
+                    *shared.tile_ns[pi].lock().unwrap() = tile_ns[k];
+                }
             }
         }
         shared.done.wait();
     }
 }
 
-/// Computation phase for one tile at cycle `c`: run the step program,
-/// latch own registers, push outgoing mailbox traffic for epoch `c+1`.
-fn compute_phase(
-    prog: &Program,
-    tile: &mut TileState,
-    inputs: &[u64],
-    channels: &[Mailbox],
-    c: u64,
-) {
+/// Runs one tile's step program at cycle `c`, filling the arena with
+/// this cycle's combinational values (reads the tile's own registers and
+/// array copies plus epoch-`c` mailbox slots; writes nothing outside the
+/// arena). Also the replay engine behind `peek_output`.
+fn run_steps(prog: &Program, tile: &mut TileState, inputs: &[u64], channels: &[Mailbox], c: u64) {
     let read_parity = (c & 1) as usize;
-    let write_parity = read_parity ^ 1;
     let TileState {
         arena,
         reg_cur,
@@ -828,6 +1228,21 @@ fn compute_phase(
             _ => eval_op(arena, step),
         }
     }
+}
+
+/// Computation phase for one tile at cycle `c`: run the step program,
+/// latch own registers, push outgoing *on-chip* mailbox traffic for
+/// epoch `c+1` (cross-chip traffic is flushed by [`offchip_phase`]).
+fn compute_phase(
+    prog: &Program,
+    tile: &mut TileState,
+    inputs: &[u64],
+    channels: &[Mailbox],
+    c: u64,
+) {
+    run_steps(prog, tile, inputs, channels, c);
+    let write_parity = ((c & 1) ^ 1) as usize;
+    let TileState { arena, reg_cur, .. } = tile;
     // Latch own registers: tile-local, nobody else reads them.
     for rc in &prog.commits {
         let (d, s) = (rc.dst as usize, rc.local as usize);
@@ -835,25 +1250,84 @@ fn compute_phase(
     }
     // Push outgoing register values into epoch c+1 mailboxes.
     for send in &prog.sends {
-        // SAFETY: this thread is the unique writer of `write_parity` for
-        // its tiles' outbound channels during this phase.
-        let buf = unsafe { channels[send.ch as usize].write(write_parity) };
-        let (d, s) = (send.dst as usize, send.local as usize);
-        buf[d..d + send.nw as usize].copy_from_slice(&arena[s..s + send.nw as usize]);
+        push_reg_send(send, arena, channels, write_parity);
     }
-    // Stage port records for every remote holder.
+    // Stage port records for every on-chip remote holder.
     for ps in &prog.port_sends {
-        let en = arena[ps.en as usize] & 1;
-        let idx = word::fold_index(&arena[ps.idx as usize..(ps.idx + ps.idx_w) as usize]);
-        let data = &arena[ps.data as usize..(ps.data + ps.nw) as usize];
-        for &(ch, off) in &ps.dests {
-            // SAFETY: as above.
-            let buf = unsafe { channels[ch as usize].write(write_parity) };
-            let off = off as usize;
-            buf[off] = en;
-            buf[off + 1] = idx;
-            buf[off + PORT_RECORD_HEADER_WORDS as usize..][..ps.nw as usize].copy_from_slice(data);
+        stage_port_record(ps, arena, channels, write_parity);
+    }
+}
+
+/// Copies one outbound register value into its mailbox segment.
+///
+/// All mailbox stores go through the raw [`Mailbox::write_base`]
+/// pointer: aggregate chip-pair mailboxes are written concurrently by
+/// several worker groups (into disjoint segments), so no `&mut` over a
+/// buffer may ever exist.
+#[inline]
+fn push_reg_send(send: &RegSend, arena: &[u64], channels: &[Mailbox], write_parity: usize) {
+    // SAFETY: epoch discipline — no reader of `write_parity` exists
+    // during this phase, and this thread exclusively owns the segment
+    // `[dst, dst + nw)` (compile-time channel layout).
+    unsafe {
+        let base = channels[send.ch as usize].write_base(write_parity);
+        std::ptr::copy_nonoverlapping(
+            arena.as_ptr().add(send.local as usize),
+            base.add(send.dst as usize),
+            send.nw as usize,
+        );
+    }
+}
+
+/// Copies one port record `(enable, index, data)` into every destination
+/// slot of `ps` (same aliasing rules as [`push_reg_send`]).
+#[inline]
+fn stage_port_record(ps: &PortSend, arena: &[u64], channels: &[Mailbox], write_parity: usize) {
+    let en = arena[ps.en as usize] & 1;
+    let idx = word::fold_index(&arena[ps.idx as usize..(ps.idx + ps.idx_w) as usize]);
+    let data = &arena[ps.data as usize..(ps.data + ps.nw) as usize];
+    for &(ch, off) in &ps.dests {
+        // SAFETY: epoch discipline — no reader of `write_parity` exists
+        // during this phase, and this thread exclusively owns the record
+        // segment at `off` (compile-time channel layout).
+        unsafe {
+            let slot = channels[ch as usize]
+                .write_base(write_parity)
+                .add(off as usize);
+            *slot = en;
+            *slot.add(1) = idx;
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                slot.add(PORT_RECORD_HEADER_WORDS as usize),
+                ps.nw as usize,
+            );
         }
+    }
+}
+
+/// Off-chip flush sub-phase for one tile at cycle `c`: copy cross-chip
+/// register values and port records into the epoch-`c+1` chip-pair
+/// aggregate mailboxes, spinning `spin_per_word` iterations per word to
+/// model the slower link (0 = flush at memory speed).
+fn offchip_phase(prog: &Program, tile: &mut TileState, channels: &[Mailbox], c: u64, spin: u32) {
+    let write_parity = ((c & 1) ^ 1) as usize;
+    let arena = &tile.arena;
+    for send in &prog.offchip_sends {
+        push_reg_send(send, arena, channels, write_parity);
+        spin_delay(send.nw as u64 * spin as u64);
+    }
+    for ps in &prog.offchip_port_sends {
+        stage_port_record(ps, arena, channels, write_parity);
+        let words = (PORT_RECORD_HEADER_WORDS + ps.nw) as u64 * ps.dests.len() as u64;
+        spin_delay(words * spin as u64);
+    }
+}
+
+/// Burns roughly `iters` spin-loop iterations (the off-chip delay knob).
+#[inline]
+fn spin_delay(iters: u64) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
     }
 }
 
@@ -996,6 +1470,13 @@ fn eval_op(arena: &mut [u64], step: &Step) {
 }
 
 /// Compiles one process into a self-contained [`Program`].
+///
+/// `chan_map` translates a routing channel id into the engine's
+/// `(mailbox, segment base)`; `port_route_of` and `array_route_range`
+/// are the compile-time route indexes built once in
+/// [`BspSimulator::new`] so this runs in O(program size), not
+/// O(tiles × ports²).
+#[allow(clippy::too_many_arguments)]
 fn build_program(
     circuit: &Circuit,
     partition: &Partition,
@@ -1003,13 +1484,20 @@ fn build_program(
     pi: u32,
     p: &parendi_core::Process,
     reg_home: &[RegHome],
+    chan_map: &[(u32, u32)],
+    port_route_of: &HashMap<(u32, u32), u32>,
+    array_route_range: &[(u32, u32)],
 ) -> Program {
+    let slot_of = |hop: &parendi_core::routing::Hop| -> (u32, u32) {
+        let (mb, base) = chan_map[hop.channel as usize];
+        (mb, base + hop.word_off)
+    };
     // Mail slots for remote registers this tile reads.
     let mut mail_slot: HashMap<u32, (u32, u32)> = HashMap::new();
     for route in &routing.reg_routes {
         for hop in &route.hops {
             if hop.tile == pi {
-                mail_slot.insert(route.reg.0, (hop.channel, hop.word_off));
+                mail_slot.insert(route.reg.0, slot_of(hop));
             }
         }
     }
@@ -1119,10 +1607,14 @@ fn build_program(
         }
     }
 
-    // Own register latches and outgoing sends, plus own port records.
+    // Own register latches and outgoing sends (split by channel class),
+    // own port records, and the outputs this tile computes.
     let mut commits = Vec::new();
     let mut sends = Vec::new();
+    let mut offchip_sends = Vec::new();
     let mut port_sends = Vec::new();
+    let mut offchip_port_sends = Vec::new();
+    let mut outputs = Vec::new();
     let mut own_port: HashMap<(u32, u32), RecSrc> = HashMap::new();
     let mut fibers: Vec<_> = p.fibers.clone();
     fibers.sort_unstable();
@@ -1140,52 +1632,74 @@ fn build_program(
                     nw,
                 });
                 for hop in &routing.reg_routes[r.index()].hops {
-                    sends.push(RegSend {
+                    let (ch, dst) = slot_of(hop);
+                    let send = RegSend {
                         local: local[&next.0],
-                        ch: hop.channel,
-                        dst: hop.word_off,
+                        ch,
+                        dst,
                         nw,
-                    });
+                    };
+                    if routing.hop_crosses_chip(hop) {
+                        offchip_sends.push(send);
+                    } else {
+                        sends.push(send);
+                    }
                 }
             }
             parendi_graph::fiber::SinkKind::ArrayPort { array, port } => {
                 let a = &circuit.arrays[array.index()];
                 let wp = &a.write_ports[port as usize];
                 let nw = words_for(a.width) as u32;
-                let route = routing
-                    .port_routes
-                    .iter()
-                    .find(|r| r.array == array && r.port == port)
-                    .expect("routed port");
-                port_sends.push(PortSend {
-                    en: local[&wp.enable.0],
-                    idx: local[&wp.index.0],
-                    idx_w: words_for(circuit.width(wp.index)) as u32,
-                    data: local[&wp.data.0],
-                    nw,
-                    dests: route.hops.iter().map(|h| (h.channel, h.word_off)).collect(),
-                });
+                let ri = port_route_of[&(array.0, port)];
+                let route = &routing.port_routes[ri as usize];
+                let (off_dests, on_dests): (Vec<_>, Vec<_>) =
+                    route.hops.iter().partition(|h| routing.hop_crosses_chip(h));
+                let en = local[&wp.enable.0];
+                let idx = local[&wp.index.0];
+                let idx_w = words_for(circuit.width(wp.index)) as u32;
+                let data = local[&wp.data.0];
+                for (dests, out) in [
+                    (on_dests, &mut port_sends),
+                    (off_dests, &mut offchip_port_sends),
+                ] {
+                    if dests.is_empty() {
+                        continue;
+                    }
+                    out.push(PortSend {
+                        en,
+                        idx,
+                        idx_w,
+                        data,
+                        nw,
+                        dests: dests.iter().map(|&h| slot_of(h)).collect(),
+                    });
+                }
                 own_port.insert(
                     (array.0, port),
                     RecSrc::Own {
-                        en: local[&wp.enable.0],
-                        idx: local[&wp.index.0],
-                        idx_w: words_for(circuit.width(wp.index)) as u32,
-                        data: local[&wp.data.0],
+                        en,
+                        idx,
+                        idx_w,
+                        data,
                     },
                 );
             }
-            parendi_graph::fiber::SinkKind::Output(_) => {}
+            parendi_graph::fiber::SinkKind::Output(oi) => {
+                let node = circuit.outputs[oi as usize].node;
+                outputs.push((oi, local[&node.0]));
+            }
         }
     }
     commits.sort_by_key(|c| c.dst);
 
-    // Apply list: every port of every held array, in (array, port) order.
+    // Apply list: every port of every held array, in (array, port) order
+    // (each array's routes read off the precomputed range).
     let mut applies = Vec::new();
     for (slot, &a) in p.arrays.iter().enumerate() {
         let arr = &circuit.arrays[a.index()];
         let nw = words_for(arr.width) as u32;
-        for route in routing.port_routes.iter().filter(|r| r.array == a) {
+        let (start, end) = array_route_range[a.index()];
+        for route in &routing.port_routes[start as usize..end as usize] {
             let src = match own_port.get(&(a.0, route.port)) {
                 Some(&own) => own,
                 None => {
@@ -1194,10 +1708,8 @@ fn build_program(
                         .iter()
                         .find(|h| h.tile == pi)
                         .expect("holder receives every remote port record");
-                    RecSrc::Mail {
-                        ch: hop.channel,
-                        off: hop.word_off,
-                    }
+                    let (ch, off) = slot_of(hop);
+                    RecSrc::Mail { ch, off }
                 }
             };
             applies.push(Apply {
@@ -1215,7 +1727,10 @@ fn build_program(
         const_init,
         commits,
         sends,
+        offchip_sends,
         port_sends,
+        offchip_port_sends,
         applies,
+        outputs,
     }
 }

@@ -141,6 +141,81 @@ fn long_runs_across_thread_pool_shapes() {
     }
 }
 
+/// Multi-chip partitions (chips >= 2, both fiber-distribution
+/// strategies) must stay bit-identical to the reference across every
+/// pool width — the chip-group worker layout, the per-chip-pair
+/// aggregate mailboxes, and the off-chip flush sub-phase are exercised
+/// here, with the artificial off-chip delay engaged to prove it never
+/// affects functional results.
+#[test]
+fn multi_chip_worker_groups_are_equivalent() {
+    for seed in [7u64, 42] {
+        let c = random_circuit(seed, 14, 70);
+        for mc in [MultiChipStrategy::Pre, MultiChipStrategy::Post] {
+            for &(tiles, per_chip) in &[(8u32, 4u32), (12, 3)] {
+                let mut cfg = PartitionConfig::with_tiles(tiles);
+                cfg.tiles_per_chip = per_chip;
+                cfg.multi_chip = mc;
+                let comp = compile(&c, &cfg).expect("compiles");
+                assert!(comp.partition.chips >= 2, "partition must span chips");
+                for &threads in &[1usize, 2, 4, 8] {
+                    let mut reference = Simulator::new(&c);
+                    let mut bsp = BspSimulator::new(&c, &comp.partition, threads);
+                    if comp.plan.offchip_total_bytes > 0 {
+                        assert!(
+                            bsp.offchip_channels() > 0,
+                            "cross-chip traffic must ride aggregate mailboxes"
+                        );
+                    }
+                    bsp.set_offchip_spin_per_word(8);
+                    reference.step_n(50);
+                    let ph = bsp.run_timed(50);
+                    assert_eq!(
+                        ph.per_tile.len(),
+                        comp.partition.tiles_used() as usize,
+                        "timed runs report one histogram entry per tile"
+                    );
+                    for i in 0..c.regs.len() {
+                        assert_eq!(
+                            bsp.reg_value(RegId(i as u32)),
+                            reference.reg_value(RegId(i as u32)),
+                            "seed {seed} {mc:?} {tiles}t/{per_chip}pc x{threads}: reg {i}"
+                        );
+                    }
+                    for (ai, a) in c.arrays.iter().enumerate() {
+                        for idx in 0..a.depth {
+                            assert_eq!(
+                                bsp.array_value(parendi_rtl::ArrayId(ai as u32), idx),
+                                reference.array_value(parendi_rtl::ArrayId(ai as u32), idx),
+                                "seed {seed} {mc:?}: array {}[{idx}]",
+                                a.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Single-chip partitions have no off-chip fabric: no aggregate
+/// mailboxes, and a zero off-chip column in the timed split.
+#[test]
+fn single_chip_has_no_offchip_phase() {
+    let c = random_circuit(5, 10, 50);
+    let cfg = PartitionConfig::with_tiles(6); // tiles_per_chip = 1472
+    let comp = compile(&c, &cfg).expect("compiles");
+    assert_eq!(comp.partition.chips, 1);
+    let mut bsp = BspSimulator::new(&c, &comp.partition, 2);
+    assert_eq!(bsp.offchip_channels(), 0);
+    let ph = bsp.run_timed(20);
+    assert_eq!(ph.offchip_s, 0.0, "the flush sub-phase is skipped outright");
+    assert!(
+        ph.per_tile.iter().all(|t| t.offchip_s == 0.0),
+        "no tile flushes off-chip on one chip"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -85,11 +85,18 @@ pub fn random_circuit(seed: u64, regs: usize, ops: usize) -> Circuit {
         };
         pool.push(v);
     }
-    // Connect every register to a random pool value of its width.
-    for r in &regs {
+    // Connect every register to a random pool value of its width, and
+    // expose it through a primary output (exercises output fibers and
+    // the BSP engine's `peek_output` path).
+    for (i, r) in regs.iter().enumerate() {
         let v = pick(&mut b, &pool, &mut rng, r.q().width());
         b.connect(*r, v);
+        b.output(format!("o_r{i}"), r.q());
     }
+    // One output on a random combinational value (a cone that may read
+    // several registers, possibly across tiles).
+    let mix = pick(&mut b, &pool, &mut rng, 32);
+    b.output("o_mix", mix);
     // One write port on the memory.
     let idx = pick(&mut b, &pool, &mut rng, 5);
     let data = pick(&mut b, &pool, &mut rng, 32);

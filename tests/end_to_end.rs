@@ -8,8 +8,12 @@ use parendi::rtl::RegId;
 use parendi::sim::{BspSimulator, Simulator};
 
 fn check_bench(bench: Benchmark, tiles: u32, threads: usize, cycles: u64) {
+    check_bench_cfg(bench, PartitionConfig::with_tiles(tiles), threads, cycles);
+}
+
+fn check_bench_cfg(bench: Benchmark, cfg: PartitionConfig, threads: usize, cycles: u64) {
     let circuit = bench.build();
-    let comp = compile(&circuit, &PartitionConfig::with_tiles(tiles))
+    let comp = compile(&circuit, &cfg)
         .unwrap_or_else(|e| panic!("{} fails to compile: {e}", bench.name()));
     // Fiber coverage: every fiber lands on exactly one tile.
     let covered: usize = comp
@@ -91,4 +95,23 @@ fn mesh_lr_end_to_end() {
 #[test]
 fn prng_end_to_end() {
     check_bench(Benchmark::Prng(64), 64, 4, 500);
+}
+
+/// The multi-chip engine (chip-group workers, per-chip-pair aggregate
+/// mailboxes, off-chip flush sub-phase) must stay cycle-equivalent to
+/// the reference on the designs corpus — the acceptance bar for making
+/// chips real in execution, not just in the cost model.
+#[test]
+fn multi_chip_designs_corpus_end_to_end() {
+    for (bench, tiles, per_chip, threads) in [
+        (Benchmark::Pico, 4u32, 2u32, 2usize),
+        (Benchmark::Mc, 16, 8, 4),
+        (Benchmark::Sr(3), 24, 12, 4),
+        (Benchmark::Prng(32), 16, 4, 4),
+    ] {
+        let mut cfg = PartitionConfig::with_tiles(tiles);
+        cfg.tiles_per_chip = per_chip;
+        assert!(cfg.chips() >= 2, "{}: sweep must span chips", bench.name());
+        check_bench_cfg(bench, cfg, threads, 120);
+    }
 }
