@@ -1,0 +1,158 @@
+//! Gang lane sweep: aggregate scenario throughput of the gang engine
+//! vs the single-scenario BSP engine, over one compiled partition.
+//!
+//! The gang engine runs L independent stimulus lanes in lockstep with
+//! lane-strided state, so each dispatched step is amortized L ways.
+//! This bin sweeps L on at least two designs and prints **aggregate
+//! lane-cycles/sec** (scenario-cycles per second summed over lanes)
+//! next to the single-lane engine — the gang acceptance criterion is
+//! that the aggregate improves with lane count.
+//!
+//! A microbench at the end shows what the shared `nw == 1` single-word
+//! fast path buys over the general slice kernels: the same op sequence
+//! evaluated through `parendi_rtl::bits::word` (one-word slices, carry
+//! loops, bounds checks) vs plain masked `u64` arithmetic — the inner
+//! loop both engines now run for single-word steps.
+//!
+//! Env knobs: `PARENDI_QUICK=1` shrinks the sweep to the CI smoke shape
+//! (2 chips × lanes {1, 4}); `PARENDI_GANG_LANES` overrides the lane
+//! list (comma-separated).
+
+use parendi_bench::quick;
+use parendi_core::{compile, Compilation, PartitionConfig};
+use parendi_designs::{prng, Benchmark};
+use parendi_rtl::bits::word;
+use parendi_rtl::Circuit;
+use parendi_sim::{BspSimulator, GangSimulator};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn lane_sweep() -> Vec<usize> {
+    if let Ok(v) = std::env::var("PARENDI_GANG_LANES") {
+        let lanes: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+        if !lanes.is_empty() {
+            return lanes;
+        }
+    }
+    if quick() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    }
+}
+
+fn compile_two_chips(circuit: &Circuit, tiles: u32) -> Compilation {
+    let mut cfg = PartitionConfig::with_tiles(tiles);
+    cfg.tiles_per_chip = tiles.div_ceil(2).max(1); // 2 chips: exercise the off-chip flush
+    compile(circuit, &cfg).expect("bench design compiles")
+}
+
+fn sweep_design(name: &str, circuit: &Circuit, tiles: u32, threads: usize, cycles: u64) {
+    let comp = compile_two_chips(circuit, tiles);
+    println!(
+        "\n== {name} ({} tiles, {} chips, {threads} threads, {cycles} cycles) ==",
+        comp.partition.tiles_used(),
+        comp.partition.chips,
+    );
+    println!(
+        "{:>6} {:>12} {:>14} {:>9}",
+        "lanes", "wall µs/cyc", "lane-kcyc/s", "vs 1-lane"
+    );
+    let mut single = BspSimulator::new(circuit, &comp.partition, threads);
+    single.run(30); // warm the pool
+    let ph = single.run_timed(cycles);
+    let base = ph.lane_cycles_per_s();
+    println!(
+        "{:>6} {:>12.2} {:>14.1} {:>9} (single-scenario BspSimulator)",
+        1,
+        ph.total_s * 1e6 / cycles as f64,
+        base / 1e3,
+        "-"
+    );
+    for lanes in lane_sweep() {
+        let mut gang = GangSimulator::new(circuit, &comp.partition, threads, lanes);
+        gang.run(30);
+        let ph = gang.run_timed(cycles);
+        println!(
+            "{:>6} {:>12.2} {:>14.1} {:>8.2}x",
+            lanes,
+            ph.total_s * 1e6 / cycles as f64,
+            ph.lane_cycles_per_s() / 1e3,
+            ph.lane_cycles_per_s() / base.max(1e-12),
+        );
+    }
+}
+
+/// One round of representative single-word ops through the slice
+/// kernels (the pre-fast-path cost of an `nw == 1` step).
+#[inline(never)]
+fn kernel_round(a: u64, b: u64) -> u64 {
+    let (av, bv) = ([a], [b]);
+    let mut out = [0u64];
+    word::add(&mut out, &av, &bv, 32);
+    let s = out;
+    word::xor(&mut out, &s, &bv, 32);
+    let x = out;
+    word::mul(&mut out, &x, &av, 32);
+    let m = out;
+    let sh = word::shift_amount(&bv, 32) & 31;
+    word::lshr(&mut out, &m, sh, 32);
+    out[0] ^ word::lt_u(&av, &bv) as u64
+}
+
+/// The same ops as plain masked `u64` arithmetic (the fast path).
+#[inline(never)]
+fn scalar_round(a: u64, b: u64) -> u64 {
+    let mask = 0xffff_ffffu64;
+    let s = a.wrapping_add(b) & mask;
+    let x = s ^ b;
+    let m = x.wrapping_mul(a) & mask;
+    let sh = (b as u32).min(32) & 31;
+    (m >> sh) ^ (a < b) as u64
+}
+
+fn fast_path_delta() {
+    let iters: u64 = if quick() { 2_000_000 } else { 10_000_000 };
+    let time = |f: &dyn Fn(u64, u64) -> u64| -> f64 {
+        let mut acc = 0x9E37_79B9u64;
+        let t = Instant::now();
+        for i in 0..iters {
+            acc = f(black_box(acc), black_box(i | 1));
+        }
+        black_box(acc);
+        t.elapsed().as_secs_f64() / iters as f64
+    };
+    let kern = time(&kernel_round);
+    let scal = time(&scalar_round);
+    println!("\nnw==1 fast-path delta (5-op round, {iters} iters):");
+    println!(
+        "  slice kernels {:>7.2} ns/round | scalar u64 {:>7.2} ns/round | {:.2}x",
+        kern * 1e9,
+        scal * 1e9,
+        kern / scal.max(1e-12),
+    );
+    println!("  (both engines now take the scalar path for single-word steps;");
+    println!("   the gang engine additionally amortizes the step dispatch over lanes)");
+}
+
+fn main() {
+    let threads = 4usize;
+    let cycles: u64 = if quick() { 300 } else { 1000 };
+    println!("Gang lane sweep: aggregate scenario-cycles/sec vs lane count");
+
+    // Design 1: the seeded PRNG bank — the seed-farm workload gang
+    // execution exists for (tiny fibers, dispatch-dominated).
+    let bank = prng::build_seeded_bank(32);
+    sweep_design("sprng32 (seed farm)", &bank, 16, threads, cycles);
+
+    // Design 2: a mesh NoC — real cross-tile and cross-chip traffic
+    // rides the lane-strided mailboxes.
+    let mesh = Benchmark::Sr(if quick() { 3 } else { 4 }).build();
+    sweep_design("sr mesh", &mesh, 16, threads, cycles);
+
+    fast_path_delta();
+
+    println!("\nShape check: lane-kcyc/s rises with lanes on both designs — one");
+    println!("step dispatch feeds L lanes, so aggregate throughput grows until");
+    println!("memory bandwidth, not dispatch, is the limiter.");
+}

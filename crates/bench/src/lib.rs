@@ -15,6 +15,7 @@
 
 use parendi_baseline::VerilatorModel;
 use parendi_core::{compile, Compilation, PartitionConfig};
+use parendi_designs::Benchmark;
 use parendi_machine::ipu::{IpuConfig, IpuTimings};
 use parendi_machine::x64::X64Config;
 use parendi_rtl::Circuit;
@@ -122,6 +123,99 @@ pub fn verilator_point(model: &VerilatorModel, host: &X64Config) -> VerilatorPoi
     }
 }
 
+/// The fitted off-chip spin knob: the engine's
+/// `set_offchip_spin_per_word` constant calibrated against the machine
+/// model's off-chip link throughput (`offchip_bytes_per_cycle` /
+/// `offchip_contention`), so the engine's *measured* off-chip flush
+/// seconds and the model's off-chip exchange cycles can be printed in
+/// shared units (model cycles per RTL cycle).
+#[derive(Clone, Copy, Debug)]
+pub struct OffchipCalibration {
+    /// Spin iterations per flushed word (rounded, at least 1) — pass to
+    /// `set_offchip_spin_per_word`.
+    pub spins_per_word: u32,
+    /// The unrounded fit.
+    pub spins_per_word_exact: f64,
+    /// Host seconds one modeled IPU compute cycle costs on this box
+    /// (fitted from a timed single-chip engine run of a reference
+    /// design: host compute seconds per RTL cycle / total modeled
+    /// per-cycle compute cycles).
+    pub host_s_per_model_cycle: f64,
+    /// Measured spin-loop iterations per second on this host.
+    pub spin_hz: f64,
+}
+
+impl OffchipCalibration {
+    /// Converts measured host seconds into modeled IPU cycles — the
+    /// shared unit the calibrated columns are printed in.
+    pub fn host_s_to_model_cycles(&self, seconds: f64) -> f64 {
+        seconds / self.host_s_per_model_cycle
+    }
+}
+
+/// Measures the host's spin-loop rate (iterations/second), growing the
+/// sample until it spans at least 10 ms.
+fn measure_spin_hz() -> f64 {
+    let mut iters = 1u64 << 20;
+    loop {
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            std::hint::spin_loop();
+        }
+        let s = t.elapsed().as_secs_f64();
+        if s >= 0.01 || iters >= 1 << 30 {
+            return iters as f64 / s.max(1e-9);
+        }
+        iters *= 4;
+    }
+}
+
+/// Fits the engine's off-chip spin knob to `ipu`'s modeled off-chip
+/// link, once per host (ROADMAP follow-up: "calibrate the off-chip
+/// spin knob against the modeled `offchip_bytes_per_cycle` so measured
+/// and modeled columns share units").
+///
+/// The fit chains two measurements:
+///
+/// 1. a timed single-chip engine run of a reference design gives the
+///    host-seconds-per-modeled-compute-cycle ratio (how fast this box
+///    is relative to the modeled machine, in the model's own cycle
+///    currency);
+/// 2. the host's spin-loop rate converts a desired host delay into
+///    spin iterations.
+///
+/// The modeled link moves `offchip_bytes_per_cycle / offchip_contention`
+/// bytes per model cycle, i.e. one 8-byte word costs
+/// `8 × contention / bytes_per_cycle` model cycles; scaling by (1) and
+/// (2) yields spin iterations per word. The fixed `offchip_latency` is
+/// deliberately *not* folded in — the knob models the throughput term
+/// (`m×b`, Fig. 5 right), and the figure binaries print the modeled
+/// latency floor separately.
+pub fn calibrate_offchip_spin(ipu: &IpuConfig) -> OffchipCalibration {
+    let spin_hz = measure_spin_hz();
+    let circuit = Benchmark::Sr(3).build();
+    // Defaults keep tiles_per_chip at machine scale: one chip, so the
+    // timed run has a pure compute/exchange split with no flush term.
+    let cfg = PartitionConfig::with_tiles(16);
+    let comp = compile(&circuit, &cfg).expect("reference design compiles");
+    let model_comp: u64 = comp.partition.processes.iter().map(|p| p.ipu_cost).sum();
+    // One thread on purpose: the inline path's compute_s covers every
+    // tile, matching the summed model cycles.
+    let mut sim = parendi_sim::BspSimulator::new(&circuit, &comp.partition, 1);
+    sim.run(50); // warm caches
+    let cycles: u64 = if quick() { 200 } else { 500 };
+    let ph = sim.run_timed(cycles);
+    let host_s_per_model_cycle = (ph.compute_s / cycles as f64) / model_comp.max(1) as f64;
+    let model_cycles_per_word = 8.0 * ipu.offchip_contention / ipu.offchip_bytes_per_cycle;
+    let exact = model_cycles_per_word * host_s_per_model_cycle * spin_hz;
+    OffchipCalibration {
+        spins_per_word: exact.round().max(1.0) as u32,
+        spins_per_word_exact: exact,
+        host_s_per_model_cycle,
+        spin_hz,
+    }
+}
+
 /// Geometric mean of an iterator of positive values.
 pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
     let (sum, n) = values
@@ -163,6 +257,18 @@ mod tests {
         let p2 = ipu_point(&c, 1472, &ipu);
         assert!(p2.tiles_used >= p1.tiles_used);
         assert!(p2.timings.comp <= p1.timings.comp);
+    }
+
+    #[test]
+    fn calibration_fits_a_usable_constant() {
+        let ipu = IpuConfig::m2000();
+        let cal = calibrate_offchip_spin(&ipu);
+        assert!(cal.spins_per_word >= 1);
+        assert!(cal.spins_per_word_exact > 0.0);
+        assert!(cal.spin_hz > 0.0);
+        assert!(cal.host_s_per_model_cycle > 0.0);
+        let cycles = cal.host_s_to_model_cycles(cal.host_s_per_model_cycle);
+        assert!((cycles - 1.0).abs() < 1e-12, "unit round-trip");
     }
 
     #[test]

@@ -41,6 +41,32 @@ impl ExchangePlan {
     pub fn total_sent(&self) -> u64 {
         self.tile_out_bytes.iter().sum()
     }
+
+    /// The plan of a **gang** run at `lanes` scenario lanes: every lane
+    /// moves its own copy of every routed value, so all byte volumes
+    /// scale linearly with the lane count (the executable counterpart —
+    /// `parendi_sim::gang` — carries `lanes` lane-major copies of every
+    /// mailbox buffer and flushes all of them per cycle).
+    ///
+    /// The *cut* figures scale too: they count unique value bytes, and
+    /// lanes are independent scenarios, so a lane's values are unique to
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn scaled_by_lanes(&self, lanes: u32) -> ExchangePlan {
+        assert!(lanes >= 1, "need at least one lane");
+        let l = lanes as u64;
+        ExchangePlan {
+            tile_out_bytes: self.tile_out_bytes.iter().map(|b| b * l).collect(),
+            tile_in_bytes: self.tile_in_bytes.iter().map(|b| b * l).collect(),
+            max_tile_onchip_bytes: self.max_tile_onchip_bytes * l,
+            offchip_total_bytes: self.offchip_total_bytes * l,
+            onchip_cut_bytes: self.onchip_cut_bytes * l,
+            offchip_cut_bytes: self.offchip_cut_bytes * l,
+        }
+    }
 }
 
 /// Computes the [`ExchangePlan`] of `partition` by compiling its
@@ -51,4 +77,43 @@ impl ExchangePlan {
 /// [`Routing::exchange_plan`] instead of paying for two compilations.
 pub fn plan(circuit: &Circuit, partition: &Partition, differential: bool) -> ExchangePlan {
     Routing::new(circuit, partition).exchange_plan(circuit, differential)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::PartitionConfig;
+    use crate::stages::compile;
+    use parendi_rtl::Builder;
+
+    #[test]
+    fn lane_scaling_multiplies_every_volume() {
+        let mut b = Builder::new("ring");
+        let regs: Vec<_> = (0..8).map(|i| b.reg(format!("r{i}"), 16, 0)).collect();
+        for i in 0..8 {
+            let prev = regs[(i + 7) % 8].q();
+            let k = b.lit(16, 3);
+            let v = b.add(prev, k);
+            b.connect(regs[i], v);
+        }
+        let c = b.finish().unwrap();
+        let mut cfg = PartitionConfig::with_tiles(8);
+        cfg.tiles_per_chip = 4;
+        let comp = compile(&c, &cfg).unwrap();
+        assert!(comp.plan.offchip_total_bytes > 0, "ring must cross chips");
+        let scaled = comp.plan.scaled_by_lanes(16);
+        assert_eq!(
+            scaled.offchip_total_bytes,
+            comp.plan.offchip_total_bytes * 16
+        );
+        assert_eq!(
+            scaled.max_tile_onchip_bytes,
+            comp.plan.max_tile_onchip_bytes * 16
+        );
+        assert_eq!(scaled.total_sent(), comp.plan.total_sent() * 16);
+        assert_eq!(scaled.onchip_cut_bytes, comp.plan.onchip_cut_bytes * 16);
+        // One lane is the identity.
+        let one = comp.plan.scaled_by_lanes(1);
+        assert_eq!(one.offchip_total_bytes, comp.plan.offchip_total_bytes);
+        assert_eq!(one.tile_out_bytes, comp.plan.tile_out_bytes);
+    }
 }

@@ -39,6 +39,55 @@ pub fn soft_xorshift64(mut s: u64) -> u64 {
     s
 }
 
+/// Builds the `n`-generator PRNG bank with a **runtime seed port**: when
+/// the 1-bit `reseed` input is high, every generator loads `seed`
+/// xor-ed with its private per-generator constant instead of stepping.
+///
+/// This is the per-lane stimulus hook for gang simulation: drive each
+/// lane's `seed` with a different value for one `reseed` cycle and the
+/// lanes become `n × lanes` decorrelated xorshift streams over one
+/// compiled partition (a seed farm). The expected state is
+/// [`soft_seeded_state`].
+pub fn build_seeded_bank(n: u32) -> Circuit {
+    let mut b = Builder::new(format!("sprng{n}"));
+    let reseed = b.input("reseed", 1);
+    let seed = b.input("seed", 64);
+    for i in 0..n {
+        let name = format!("g{i}");
+        let init = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1);
+        let s = b.reg_init(&name, Bits::from_u64(64, init));
+        let t1 = b.shli(s.q(), 13);
+        let x1 = b.xor(s.q(), t1);
+        let t2 = b.lshri(x1, 7);
+        let x2 = b.xor(x1, t2);
+        let t3 = b.shli(x2, 17);
+        let x3 = b.xor(x2, t3);
+        let k = b.lit(64, generator_salt(i));
+        let loaded = b.xor(seed, k);
+        let nx = b.mux(reseed, loaded, x3);
+        b.connect(s, nx);
+        b.output(format!("o{i}"), s.q());
+    }
+    b.finish().expect("seeded prng bank must validate")
+}
+
+/// The per-generator constant xor-ed into a loaded seed, so one seed
+/// value decorrelates the whole bank.
+pub fn generator_salt(i: u32) -> u64 {
+    0xD1B5_4A32_D192_ED03u64.wrapping_mul(i as u64 * 2 + 1)
+}
+
+/// Software golden model for [`build_seeded_bank`]: the state of
+/// generator `i` after `post_cycles` further cycles once `seed` was
+/// loaded for exactly one cycle.
+pub fn soft_seeded_state(i: u32, seed: u64, post_cycles: u64) -> u64 {
+    let mut s = seed ^ generator_salt(i);
+    for _ in 0..post_cycles {
+        s = soft_xorshift64(s);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +107,24 @@ mod tests {
                 s = soft_xorshift64(s);
             }
             assert_eq!(sim.reg_value(RegId(i as u32)).to_u64(), s, "generator {i}");
+        }
+    }
+
+    #[test]
+    fn seeded_bank_loads_and_free_runs() {
+        let c = build_seeded_bank(4);
+        let mut sim = Simulator::new(&c);
+        sim.poke("reseed", 1);
+        sim.poke("seed", 0xfeed_beef_dead_cafe);
+        sim.step();
+        sim.poke("reseed", 0);
+        sim.step_n(7);
+        for i in 0..4u32 {
+            assert_eq!(
+                sim.reg_value(RegId(i)).to_u64(),
+                soft_seeded_state(i, 0xfeed_beef_dead_cafe, 7),
+                "generator {i} after reseed"
+            );
         }
     }
 

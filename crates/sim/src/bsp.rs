@@ -8,6 +8,12 @@
 //! (`crate::interp`) — the engine is the correctness check for the
 //! partitioner, not a model.
 //!
+//! The compiled per-tile programs, the mailbox fabric, and the phase
+//! barrier live in `crate::engine` and are shared with the
+//! scenario-parallel gang engine ([`crate::gang::GangSimulator`]): this
+//! module is the single-scenario (one-lane) execution of that common
+//! machinery.
+//!
 //! # Exchange architecture
 //!
 //! There is no shared mutable global state and no leader thread. Every
@@ -69,260 +75,21 @@
 //! Fig. 6's load-imbalance view.
 //!
 //! [`Simulator`]: crate::interp::Simulator
+//! [`Routing`]: parendi_core::routing::Routing
 
-use parendi_core::routing::{ChannelClass, Routing, PORT_RECORD_HEADER_WORDS};
+use crate::engine::{
+    eval_op, spin_delay, worker_groups, ArrayHome, Compiled, Mailbox, OutputHome, PhaseBarrier,
+    PortSend, Program, RecSrc, RegHome, RegSend, Step,
+};
+use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
 use parendi_core::Partition;
 use parendi_rtl::bits::{word, words_for, Bits};
-use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, RegId, UnOp};
-use std::cell::UnsafeCell;
+use parendi_rtl::{Circuit, InputId, RegId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
-
-/// A sense-reversing hybrid barrier for the twice-per-cycle phase
-/// synchronization. BSP cycles are microseconds long, so when every
-/// worker has its own core, parking on a futex (`std::sync::Barrier`)
-/// costs more than an entire cycle — workers spin instead, and the
-/// entire wait is a handful of atomic operations with no lock. When the
-/// host is oversubscribed (more workers than cores), spinning burns the
-/// timeslice of the very thread that could make progress, so waiters
-/// park on a condvar; the leader only touches the condvar's mutex when
-/// `parked` says somebody actually sleeps there. The run hand-off
-/// barriers (`gate`/`done`) stay parking barriers — between runs,
-/// sleeping is exactly right.
-struct PhaseBarrier {
-    count: AtomicUsize,
-    generation: AtomicUsize,
-    /// Waiters that gave up spinning and (are about to) sleep.
-    parked: AtomicUsize,
-    lock: Mutex<()>,
-    cv: std::sync::Condvar,
-    n: usize,
-    spin_limit: u32,
-}
-
-impl PhaseBarrier {
-    fn new(n: usize) -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(|c| c.get())
-            .unwrap_or(1);
-        // `n > cores` means at least one waiter would spin on a core the
-        // last arriver needs: skip straight to parking. `PARENDI_SPIN_LIMIT`
-        // overrides the spin budget either way — raise it on big multicore
-        // boxes where cycles are short, set it to 0 to force parking.
-        let spin_limit = std::env::var("PARENDI_SPIN_LIMIT")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(if n <= cores { 1 << 14 } else { 0 });
-        PhaseBarrier {
-            count: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-            parked: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            cv: std::sync::Condvar::new(),
-            n,
-            spin_limit,
-        }
-    }
-
-    fn wait(&self) {
-        let gen = self.generation.load(Ordering::SeqCst);
-        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
-            self.count.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
-            // Waiters increment `parked` (SeqCst) *before* re-checking the
-            // generation under the lock, so observing zero here proves no
-            // waiter can sleep through this release.
-            if self.parked.load(Ordering::SeqCst) != 0 {
-                drop(self.lock.lock().unwrap());
-                self.cv.notify_all();
-            }
-        } else {
-            for _ in 0..self.spin_limit {
-                if self.generation.load(Ordering::SeqCst) != gen {
-                    return;
-                }
-                std::hint::spin_loop();
-            }
-            self.parked.fetch_add(1, Ordering::SeqCst);
-            let mut g = self.lock.lock().unwrap();
-            while self.generation.load(Ordering::SeqCst) == gen {
-                g = self.cv.wait(g).unwrap();
-            }
-            drop(g);
-            self.parked.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-}
-
-/// One resolved evaluation step of a process program. Every operand
-/// width is pre-resolved at compile time so the cycle loop never touches
-/// the circuit.
-#[derive(Clone, Debug)]
-enum Step {
-    /// Copy from the shared (read-only during a run) input buffer.
-    Input { dst: u32, src: u32, nw: u32 },
-    /// Copy one of this tile's own registers.
-    RegOwn { dst: u32, src: u32, nw: u32 },
-    /// Copy a remote register from an inbound mailbox slot (epoch `c`).
-    RegMail {
-        dst: u32,
-        ch: u32,
-        src: u32,
-        nw: u32,
-    },
-    /// Combinational read of a tile-local array copy.
-    ArrayRead {
-        dst: u32,
-        arr: u32,
-        idx: u32,
-        idx_w: u32,
-        nw: u32,
-        depth: u32,
-    },
-    /// Unary op (`aw` = argument width in bits for the reductions).
-    Un {
-        op: UnOp,
-        dst: u32,
-        a: u32,
-        w: u32,
-        aw: u32,
-        anw: u32,
-    },
-    /// Binary op (`aw` = left operand width, for comparisons/shifts).
-    Bin {
-        op: BinOp,
-        dst: u32,
-        a: u32,
-        b: u32,
-        w: u32,
-        aw: u32,
-        anw: u32,
-        bnw: u32,
-    },
-    /// Two-way select; `t`/`f` are as wide as the result.
-    Mux {
-        dst: u32,
-        sel: u32,
-        t: u32,
-        f: u32,
-        nw: u32,
-    },
-    /// Bit extraction `[lo + w - 1 : lo]`.
-    Slice {
-        dst: u32,
-        a: u32,
-        lo: u32,
-        w: u32,
-        anw: u32,
-    },
-    /// Zero extension to `w` bits.
-    Zext { dst: u32, a: u32, w: u32, anw: u32 },
-    /// Sign extension from `aw` to `w` bits.
-    Sext {
-        dst: u32,
-        a: u32,
-        aw: u32,
-        w: u32,
-        anw: u32,
-    },
-    /// Concatenation with `lo` occupying the low `low_w` bits.
-    Concat {
-        dst: u32,
-        hi: u32,
-        lo: u32,
-        w: u32,
-        low_w: u32,
-        hnw: u32,
-        lnw: u32,
-    },
-}
-
-/// Latch one of this tile's own registers (arena → `reg_cur`).
-#[derive(Clone, Copy, Debug)]
-struct RegCommit {
-    local: u32,
-    dst: u32,
-    nw: u32,
-}
-
-/// Send a produced register value to one remote consumer's mailbox.
-#[derive(Clone, Copy, Debug)]
-struct RegSend {
-    local: u32,
-    ch: u32,
-    dst: u32,
-    nw: u32,
-}
-
-/// Stage one array write port's `(enable, index, data)` record into the
-/// mailboxes of every remote holder of the array.
-#[derive(Clone, Debug)]
-struct PortSend {
-    en: u32,
-    idx: u32,
-    idx_w: u32,
-    data: u32,
-    nw: u32,
-    /// `(channel, word offset)` of the record slot per remote holder.
-    dests: Vec<(u32, u32)>,
-}
-
-/// Where an applied port record comes from.
-#[derive(Clone, Copy, Debug)]
-enum RecSrc {
-    /// This tile produced the port: read straight from its arena.
-    Own {
-        en: u32,
-        idx: u32,
-        idx_w: u32,
-        data: u32,
-    },
-    /// A remote tile produced it: read the mailbox record (epoch `c+1`).
-    Mail { ch: u32, off: u32 },
-}
-
-/// Apply one port record to a tile-local array copy (exchange phase).
-#[derive(Clone, Copy, Debug)]
-struct Apply {
-    arr: u32,
-    nw: u32,
-    depth: u32,
-    src: RecSrc,
-}
-
-/// A compiled per-tile program. Self-contained: executing it requires no
-/// access to the `Circuit`.
-#[derive(Debug)]
-struct Program {
-    steps: Vec<Step>,
-    arena_words: usize,
-    const_init: Vec<(u32, Vec<u64>)>,
-    commits: Vec<RegCommit>,
-    /// Register sends over on-chip channels (pushed during compute).
-    sends: Vec<RegSend>,
-    /// Register sends crossing chips (pushed by the off-chip flush).
-    offchip_sends: Vec<RegSend>,
-    /// Port records to on-chip holders (pushed during compute).
-    port_sends: Vec<PortSend>,
-    /// Port records to off-chip holders (pushed by the off-chip flush).
-    offchip_port_sends: Vec<PortSend>,
-    /// In global `(array, port)` order per array, so every holder applies
-    /// identically (last port wins, as in the reference interpreter).
-    applies: Vec<Apply>,
-    /// Primary outputs this tile computes: `(output id, arena offset)`.
-    outputs: Vec<(u32, u32)>,
-}
-
-impl Program {
-    /// Whether this tile sends anything across a chip boundary (tiles
-    /// that don't skip the off-chip flush sub-phase entirely).
-    fn has_offchip(&self) -> bool {
-        !self.offchip_sends.is_empty() || !self.offchip_port_sends.is_empty()
-    }
-}
 
 /// Mutable tile-owned state. Guarded by a `Mutex` purely for the
 /// testbench API; workers lock it once per `run`, not per cycle.
@@ -333,58 +100,6 @@ struct TileState {
     reg_cur: Vec<u64>,
     /// Local copies of held arrays, in the process's sorted array order.
     arrays: Vec<Vec<u64>>,
-}
-
-/// A double-buffered mailbox: one per on-chip producer→consumer tile
-/// pair, plus one *aggregate* per ordered chip pair whose buffer is
-/// segmented among all the cross-chip channels of that pair.
-///
-/// Epoch discipline (enforced by the two BSP barriers, see the module
-/// docs): during cycle `c` producer threads write only buffer
-/// `(c + 1) & 1` and consumer threads read only buffer `c & 1`
-/// (computation phase) or `(c + 1) & 1` *after* the first barrier
-/// (communication phase). No thread ever touches a word another thread
-/// is writing.
-///
-/// Aggregate mailboxes can have *several concurrent writers* — one per
-/// worker group flushing into its disjoint channel segments — so the
-/// write side never materializes a `&mut [u64]` over the whole buffer
-/// (two live `&mut` to one allocation would be UB even with disjoint
-/// stores). Writers go through the raw [`write_base`](Self::write_base)
-/// pointer instead.
-struct Mailbox {
-    bufs: [UnsafeCell<Box<[u64]>>; 2],
-}
-
-// SAFETY: access is partitioned by the epoch/barrier discipline above;
-// the type itself hands out raw access only through unsafe accessors.
-unsafe impl Sync for Mailbox {}
-
-impl Mailbox {
-    fn new(words: usize) -> Self {
-        Mailbox {
-            bufs: [
-                UnsafeCell::new(vec![0u64; words].into_boxed_slice()),
-                UnsafeCell::new(vec![0u64; words].into_boxed_slice()),
-            ],
-        }
-    }
-
-    /// SAFETY: no concurrent writer of `parity` may exist (see epoch
-    /// discipline in the type docs).
-    unsafe fn read(&self, parity: usize) -> &[u64] {
-        &*self.bufs[parity].get()
-    }
-
-    /// Base pointer for segment writes into buffer `parity`, derived
-    /// raw-to-raw so no `&mut` over the buffer ever exists.
-    ///
-    /// SAFETY: the epoch discipline must hold (no concurrent reader of
-    /// `parity`), and each writer must store only to word ranges it
-    /// exclusively owns (channel segments are disjoint by layout).
-    unsafe fn write_base(&self, parity: usize) -> *mut u64 {
-        (&raw mut **self.bufs[parity].get()) as *mut u64
-    }
 }
 
 /// One tile's phase seconds over a timed run (its share of the worker's
@@ -409,7 +124,12 @@ pub struct TilePhases {
 /// rank workers because barrier waits absorb the slack), so
 /// `compute_s + offchip_s + exchange_s` is that worker's real wall
 /// time — phases are never paired across different workers.
-#[derive(Clone, Debug, Default)]
+///
+/// `cycles` and `lanes` describe the run itself: the single-scenario
+/// engine always reports one lane, while the gang engine reports its
+/// lane count so [`lane_cycles_per_s`](Self::lane_cycles_per_s) — the
+/// aggregate *scenario-cycles* per second — is comparable across both.
+#[derive(Clone, Debug)]
 pub struct BspPhases {
     /// Wall-clock seconds for the whole run.
     pub total_s: f64,
@@ -424,8 +144,41 @@ pub struct BspPhases {
     /// record application plus both barrier waits.
     pub exchange_s: f64,
     /// Per-tile phase split, indexed by tile — the measured counterpart
-    /// of the Fig. 6 straggler histograms. Empty for untimed runs.
+    /// of the Fig. 6 straggler histograms. Empty for untimed runs (and
+    /// for gang runs, which time at worker granularity).
     pub per_tile: Vec<TilePhases>,
+    /// RTL cycles this run advanced.
+    pub cycles: u64,
+    /// Scenario lanes executed per cycle (1 for [`BspSimulator`]).
+    pub lanes: u32,
+}
+
+impl Default for BspPhases {
+    fn default() -> Self {
+        BspPhases {
+            total_s: 0.0,
+            compute_s: 0.0,
+            offchip_s: 0.0,
+            exchange_s: 0.0,
+            per_tile: Vec::new(),
+            cycles: 0,
+            lanes: 1,
+        }
+    }
+}
+
+impl BspPhases {
+    /// Aggregate throughput in *lane-cycles* per second: every lane
+    /// advances one RTL cycle per engine cycle, so a gang run at L lanes
+    /// delivers `L × cycles / total_s` scenario-cycles per second. For
+    /// the single-scenario engine this is plain cycles per second.
+    pub fn lane_cycles_per_s(&self) -> f64 {
+        if self.total_s > 0.0 {
+            self.cycles as f64 * self.lanes as f64 / self.total_s
+        } else {
+            0.0
+        }
+    }
 }
 
 /// State shared between the simulator facade and the worker pool.
@@ -451,30 +204,6 @@ struct Shared {
     tile_ns: Vec<Mutex<(u64, u64, u64)>>,
 }
 
-/// Where a register's current value lives.
-#[derive(Clone, Copy, Debug)]
-struct RegHome {
-    tile: u32,
-    off: u32,
-    words: u32,
-}
-
-/// Where an array's reference copy lives.
-#[derive(Clone, Debug)]
-enum ArrayHome {
-    /// Held by a tile (all holders are bit-identical; we read this one).
-    Held { tile: u32, slot: u32 },
-    /// No tile references it: it keeps its initial contents forever.
-    Spare(Vec<u64>),
-}
-
-/// Where a primary output's value lands after a tile's step program.
-#[derive(Clone, Copy, Debug)]
-struct OutputHome {
-    tile: u32,
-    off: u32,
-}
-
 /// A parallel BSP simulator for a compiled partition.
 pub struct BspSimulator<'c> {
     circuit: &'c Circuit,
@@ -492,49 +221,10 @@ pub struct BspSimulator<'c> {
     cycle: u64,
 }
 
-/// Folds tiles onto `workers` threads chip-major. Each chip's tiles go
-/// to a contiguous group of workers sized proportionally to the chip's
-/// tile count (every chip gets at least one worker); with fewer workers
-/// than chips, whole chips round-robin over workers so a chip's tiles
-/// stay within one worker. Within a group, tiles fold round-robin.
-fn worker_groups(tile_chip: &[u32], workers: usize) -> Vec<Vec<usize>> {
-    let mut out = vec![Vec::new(); workers];
-    if workers == 0 || tile_chip.is_empty() {
-        return out;
-    }
-    let nchips = tile_chip.iter().map(|&c| c as usize + 1).max().unwrap();
-    let mut by_chip: Vec<Vec<usize>> = vec![Vec::new(); nchips];
-    for (t, &c) in tile_chip.iter().enumerate() {
-        by_chip[c as usize].push(t);
-    }
-    by_chip.retain(|v| !v.is_empty());
-    if workers < by_chip.len() {
-        for (ci, tiles) in by_chip.iter().enumerate() {
-            out[ci % workers].extend(tiles.iter().copied());
-        }
-        return out;
-    }
-    let mut next = 0usize; // first worker of the current group
-    let mut tiles_left = tile_chip.len();
-    let mut chips_left = by_chip.len();
-    for tiles in &by_chip {
-        let workers_left = workers - next;
-        let share = (tiles.len() * workers_left).div_ceil(tiles_left);
-        let share = share.clamp(1, workers_left - (chips_left - 1));
-        for (k, &t) in tiles.iter().enumerate() {
-            out[next + k % share].push(t);
-        }
-        next += share;
-        tiles_left -= tiles.len();
-        chips_left -= 1;
-    }
-    out
-}
-
 impl<'c> BspSimulator<'c> {
     /// Compiles `partition` into per-tile programs and spawns a
     /// persistent pool of `threads` workers (tiles are folded
-    /// round-robin onto threads; the pool is reused by every
+    /// chip-major onto threads; the pool is reused by every
     /// [`run`](Self::run)).
     ///
     /// # Panics
@@ -542,185 +232,23 @@ impl<'c> BspSimulator<'c> {
     /// Panics if `threads` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
-        let routing = Routing::new(circuit, partition);
+        let Compiled {
+            programs,
+            reg_home,
+            array_home,
+            output_home,
+            input_off,
+            input_words,
+            input_by_name,
+            output_by_name,
+            tile_reg_words,
+            array_init,
+            channels,
+            onchip_mailboxes,
+            tile_chip,
+            ..
+        } = Compiled::new(circuit, partition, 1);
 
-        // Input packing (shared, read-only during runs).
-        let mut input_off = Vec::with_capacity(circuit.inputs.len());
-        let mut iwords = 0u32;
-        let mut input_by_name = HashMap::new();
-        for (i, d) in circuit.inputs.iter().enumerate() {
-            input_off.push(iwords);
-            iwords += words_for(d.width) as u32;
-            input_by_name.insert(d.name.clone(), InputId(i as u32));
-        }
-
-        // Register homes: owner tile + offset among that tile's own regs.
-        let mut reg_home = vec![
-            RegHome {
-                tile: u32::MAX,
-                off: 0,
-                words: 0
-            };
-            circuit.regs.len()
-        ];
-        let mut tile_reg_words = vec![0u32; partition.processes.len()];
-        for route in &routing.reg_routes {
-            // reg_routes is in RegId order, so per-tile offsets pack in
-            // RegId order too.
-            if route.producer == u32::MAX {
-                continue;
-            }
-            let t = route.producer as usize;
-            reg_home[route.reg.index()] = RegHome {
-                tile: route.producer,
-                off: tile_reg_words[t],
-                words: route.words,
-            };
-            tile_reg_words[t] += route.words;
-        }
-
-        // Array homes: first holder, or a spare copy of the initial
-        // contents for arrays no process references.
-        let array_init: Vec<Vec<u64>> = circuit
-            .arrays
-            .iter()
-            .map(|a| {
-                let w = words_for(a.width);
-                let mut buf = vec![0u64; w * a.depth as usize];
-                if let Some(init) = &a.init {
-                    for (i, v) in init.iter().enumerate() {
-                        buf[i * w..(i + 1) * w].copy_from_slice(v.words());
-                    }
-                }
-                buf
-            })
-            .collect();
-        let array_home: Vec<ArrayHome> = routing
-            .array_holders
-            .iter()
-            .enumerate()
-            .map(|(ai, holders)| match holders.first() {
-                Some(&tile) => {
-                    let p = &partition.processes[tile as usize];
-                    let slot = p
-                        .arrays
-                        .binary_search(&parendi_rtl::ArrayId(ai as u32))
-                        .expect("holder lists the array") as u32;
-                    ArrayHome::Held { tile, slot }
-                }
-                None => ArrayHome::Spare(array_init[ai].clone()),
-            })
-            .collect();
-
-        // Mailboxes. On-chip channels get one double-buffered mailbox per
-        // tile pair; off-chip channels are aggregated into one wider
-        // mailbox per ordered chip pair, each channel owning a disjoint
-        // segment (`chan_map` translates a routing channel id into its
-        // mailbox index and segment base).
-        let mut chan_map = vec![(0u32, 0u32); routing.channels.len()];
-        let mut channels: Vec<Mailbox> = Vec::new();
-        for (ci, ch) in routing.channels.iter().enumerate() {
-            if ch.class == ChannelClass::OnChip {
-                chan_map[ci] = (channels.len() as u32, 0);
-                channels.push(Mailbox::new(ch.words() as usize));
-            }
-        }
-        let onchip_mailboxes = channels.len();
-        let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
-        let mut pair_words: Vec<u32> = Vec::new();
-        for (ci, ch) in routing.channels.iter().enumerate() {
-            if ch.class == ChannelClass::OffChip {
-                let pair = (
-                    routing.tile_chip[ch.from as usize],
-                    routing.tile_chip[ch.to as usize],
-                );
-                let pi = *pair_index.entry(pair).or_insert_with(|| {
-                    pair_words.push(0);
-                    pair_words.len() - 1
-                });
-                chan_map[ci] = ((onchip_mailboxes + pi) as u32, pair_words[pi]);
-                pair_words[pi] += ch.words();
-            }
-        }
-        channels.extend(pair_words.iter().map(|&w| Mailbox::new(w as usize)));
-        // Preload epoch-0 register slots with initial values so cycle 0
-        // observes the power-on state.
-        for route in &routing.reg_routes {
-            for hop in &route.hops {
-                let init = circuit.regs[route.reg.index()].init.words();
-                let (mb, base) = chan_map[hop.channel as usize];
-                let off = (base + hop.word_off) as usize;
-                // SAFETY: construction is single-threaded and offsets
-                // stay inside the sized buffer.
-                unsafe {
-                    let dst = channels[mb as usize].write_base(0).add(off);
-                    std::ptr::copy_nonoverlapping(init.as_ptr(), dst, init.len());
-                }
-            }
-        }
-
-        // Compile-time route indexes, built once: (array, port) → route
-        // and per-array route ranges (port_routes is (array, port)
-        // sorted), so program building never rescans `port_routes`.
-        let mut port_route_of: HashMap<(u32, u32), u32> = HashMap::new();
-        for (i, r) in routing.port_routes.iter().enumerate() {
-            port_route_of.insert((r.array.0, r.port), i as u32);
-        }
-        let mut array_route_range = vec![(0u32, 0u32); circuit.arrays.len()];
-        let mut i = 0;
-        while i < routing.port_routes.len() {
-            let a = routing.port_routes[i].array.index();
-            let start = i;
-            while i < routing.port_routes.len() && routing.port_routes[i].array.index() == a {
-                i += 1;
-            }
-            array_route_range[a] = (start as u32, i as u32);
-        }
-
-        // Per-tile programs and state.
-        let programs: Vec<Program> = partition
-            .processes
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                build_program(
-                    circuit,
-                    partition,
-                    &routing,
-                    pi as u32,
-                    p,
-                    &reg_home,
-                    &chan_map,
-                    &port_route_of,
-                    &array_route_range,
-                )
-            })
-            .collect();
-
-        // Output homes: the owning tile (pinned by the routing layer)
-        // plus the arena offset its program computes the value at.
-        let mut output_home = vec![
-            OutputHome {
-                tile: u32::MAX,
-                off: 0
-            };
-            circuit.outputs.len()
-        ];
-        for (pi, prog) in programs.iter().enumerate() {
-            for &(oi, off) in &prog.outputs {
-                debug_assert_eq!(routing.output_tiles[oi as usize], pi as u32);
-                output_home[oi as usize] = OutputHome {
-                    tile: pi as u32,
-                    off,
-                };
-            }
-        }
-        let output_by_name: HashMap<String, u32> = circuit
-            .outputs
-            .iter()
-            .enumerate()
-            .map(|(i, o)| (o.name.clone(), i as u32))
-            .collect();
         let tiles: Vec<Mutex<TileState>> = programs
             .iter()
             .enumerate()
@@ -760,7 +288,7 @@ impl<'c> BspSimulator<'c> {
             programs,
             tiles,
             channels,
-            inputs: RwLock::new(vec![0u64; iwords as usize]),
+            inputs: RwLock::new(vec![0u64; input_words as usize]),
             phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
             gate: Barrier::new(worker_count + 1),
             done: Barrier::new(worker_count + 1),
@@ -774,7 +302,7 @@ impl<'c> BspSimulator<'c> {
                 .collect(),
             tile_ns: (0..tile_count).map(|_| Mutex::new((0, 0, 0))).collect(),
         });
-        let groups = worker_groups(&routing.tile_chip, worker_count);
+        let groups = worker_groups(&tile_chip, worker_count);
         let workers = groups
             .into_iter()
             .enumerate()
@@ -1059,6 +587,8 @@ impl<'c> BspSimulator<'c> {
             offchip_s: off_ns as f64 * 1e-9,
             exchange_s: exch_ns as f64 * 1e-9,
             per_tile,
+            cycles,
+            lanes: 1,
         }
     }
 }
@@ -1323,14 +853,6 @@ fn offchip_phase(prog: &Program, tile: &mut TileState, channels: &[Mailbox], c: 
     }
 }
 
-/// Burns roughly `iters` spin-loop iterations (the off-chip delay knob).
-#[inline]
-fn spin_delay(iters: u64) {
-    for _ in 0..iters {
-        std::hint::spin_loop();
-    }
-}
-
 /// Communication phase for one tile at cycle `c`: apply all staged port
 /// records (own and remote) to the tile's array copies in global
 /// `(array, port)` order.
@@ -1365,372 +887,5 @@ fn exchange_phase(prog: &Program, tile: &mut TileState, channels: &[Mailbox], c:
             let dst = idx as usize * nw;
             arrays[ap.arr as usize][dst..dst + nw].copy_from_slice(data);
         }
-    }
-}
-
-/// Evaluates a pure compiled op on the arena (operands strictly precede
-/// the destination, so the arena splits into read/write halves).
-fn eval_op(arena: &mut [u64], step: &Step) {
-    match *step {
-        Step::Un {
-            op,
-            dst,
-            a,
-            w,
-            aw,
-            anw,
-        } => {
-            let (src, dst_tail) = arena.split_at_mut(dst as usize);
-            let out = &mut dst_tail[..words_for(w)];
-            let av = &src[a as usize..(a + anw) as usize];
-            match op {
-                UnOp::Not => word::not(out, av, w),
-                UnOp::Neg => word::neg(out, av, w),
-                UnOp::RedAnd => out[0] = word::red_and(av, aw) as u64,
-                UnOp::RedOr => out[0] = word::red_or(av) as u64,
-                UnOp::RedXor => out[0] = word::red_xor(av) as u64,
-            }
-        }
-        Step::Bin {
-            op,
-            dst,
-            a,
-            b,
-            w,
-            aw,
-            anw,
-            bnw,
-        } => {
-            let (src, dst_tail) = arena.split_at_mut(dst as usize);
-            let out = &mut dst_tail[..words_for(w)];
-            let av = &src[a as usize..(a + anw) as usize];
-            let bv = &src[b as usize..(b + bnw) as usize];
-            match op {
-                BinOp::And => word::and(out, av, bv, w),
-                BinOp::Or => word::or(out, av, bv, w),
-                BinOp::Xor => word::xor(out, av, bv, w),
-                BinOp::Add => word::add(out, av, bv, w),
-                BinOp::Sub => word::sub(out, av, bv, w),
-                BinOp::Mul => word::mul(out, av, bv, w),
-                BinOp::Eq => out[0] = word::eq(av, bv) as u64,
-                BinOp::Ne => out[0] = !word::eq(av, bv) as u64,
-                BinOp::LtU => out[0] = word::lt_u(av, bv) as u64,
-                BinOp::LtS => out[0] = word::lt_s(av, bv, aw) as u64,
-                BinOp::LeU => out[0] = !word::lt_u(bv, av) as u64,
-                BinOp::LeS => out[0] = !word::lt_s(bv, av, aw) as u64,
-                BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
-                    let sh = word::shift_amount(bv, aw);
-                    match op {
-                        BinOp::Shl => word::shl(out, av, sh, w),
-                        BinOp::Lshr => word::lshr(out, av, sh, w),
-                        _ => word::ashr(out, av, sh, w),
-                    }
-                }
-            }
-        }
-        Step::Mux { dst, sel, t, f, nw } => {
-            let (src, dst_tail) = arena.split_at_mut(dst as usize);
-            let out = &mut dst_tail[..nw as usize];
-            let s = src[sel as usize] & 1 == 1;
-            let pick = if s { t } else { f };
-            word::copy(out, &src[pick as usize..(pick + nw) as usize]);
-        }
-        Step::Slice { dst, a, lo, w, anw } => {
-            let (src, dst_tail) = arena.split_at_mut(dst as usize);
-            let out = &mut dst_tail[..words_for(w)];
-            word::slice(out, &src[a as usize..(a + anw) as usize], lo + w - 1, lo);
-        }
-        Step::Zext { dst, a, w, anw } => {
-            let (src, dst_tail) = arena.split_at_mut(dst as usize);
-            let out = &mut dst_tail[..words_for(w)];
-            word::zext(out, &src[a as usize..(a + anw) as usize], w);
-        }
-        Step::Sext { dst, a, aw, w, anw } => {
-            let (src, dst_tail) = arena.split_at_mut(dst as usize);
-            let out = &mut dst_tail[..words_for(w)];
-            word::sext(out, &src[a as usize..(a + anw) as usize], aw, w);
-        }
-        Step::Concat {
-            dst,
-            hi,
-            lo,
-            w,
-            low_w,
-            hnw,
-            lnw,
-        } => {
-            let (src, dst_tail) = arena.split_at_mut(dst as usize);
-            let hv = &src[hi as usize..(hi + hnw) as usize];
-            let lv = &src[lo as usize..(lo + lnw) as usize];
-            let out = &mut dst_tail[..words_for(w)];
-            word::concat(out, hv, lv, low_w);
-        }
-        _ => unreachable!("sources handled by the caller"),
-    }
-}
-
-/// Compiles one process into a self-contained [`Program`].
-///
-/// `chan_map` translates a routing channel id into the engine's
-/// `(mailbox, segment base)`; `port_route_of` and `array_route_range`
-/// are the compile-time route indexes built once in
-/// [`BspSimulator::new`] so this runs in O(program size), not
-/// O(tiles × ports²).
-#[allow(clippy::too_many_arguments)]
-fn build_program(
-    circuit: &Circuit,
-    partition: &Partition,
-    routing: &Routing,
-    pi: u32,
-    p: &parendi_core::Process,
-    reg_home: &[RegHome],
-    chan_map: &[(u32, u32)],
-    port_route_of: &HashMap<(u32, u32), u32>,
-    array_route_range: &[(u32, u32)],
-) -> Program {
-    let slot_of = |hop: &parendi_core::routing::Hop| -> (u32, u32) {
-        let (mb, base) = chan_map[hop.channel as usize];
-        (mb, base + hop.word_off)
-    };
-    // Mail slots for remote registers this tile reads.
-    let mut mail_slot: HashMap<u32, (u32, u32)> = HashMap::new();
-    for route in &routing.reg_routes {
-        for hop in &route.hops {
-            if hop.tile == pi {
-                mail_slot.insert(route.reg.0, slot_of(hop));
-            }
-        }
-    }
-    let arrays = &p.arrays;
-    let array_slot = |a: parendi_rtl::ArrayId| -> u32 {
-        arrays
-            .binary_search(&a)
-            .expect("tile holds read/written arrays") as u32
-    };
-
-    let mut local: HashMap<u32, u32> = HashMap::new();
-    let mut words = 0u32;
-    let mut steps = Vec::new();
-    let mut const_init = Vec::new();
-    for nid in p.nodes.iter() {
-        let node = &circuit.nodes[nid as usize];
-        let w = node.width;
-        let nw = words_for(w) as u32;
-        let dst = words;
-        local.insert(nid, dst);
-        words += nw;
-        let lo = |id: parendi_rtl::NodeId| local[&id.0];
-        let opw = |id: parendi_rtl::NodeId| words_for(circuit.width(id)) as u32;
-        match &node.kind {
-            NodeKind::Const(b) => const_init.push((dst, b.words().to_vec())),
-            NodeKind::Input(i) => {
-                let src = (0..i.index())
-                    .map(|k| words_for(circuit.inputs[k].width) as u32)
-                    .sum();
-                steps.push(Step::Input { dst, src, nw });
-            }
-            NodeKind::RegRead(r) => {
-                let home = reg_home[r.index()];
-                if home.tile == pi {
-                    steps.push(Step::RegOwn {
-                        dst,
-                        src: home.off,
-                        nw,
-                    });
-                } else {
-                    let (ch, src) = mail_slot[&r.0];
-                    steps.push(Step::RegMail { dst, ch, src, nw });
-                }
-            }
-            NodeKind::ArrayRead { array, index } => steps.push(Step::ArrayRead {
-                dst,
-                arr: array_slot(*array),
-                idx: lo(*index),
-                idx_w: opw(*index),
-                nw,
-                depth: circuit.arrays[array.index()].depth,
-            }),
-            NodeKind::Un(op, a) => steps.push(Step::Un {
-                op: *op,
-                dst,
-                a: lo(*a),
-                w,
-                aw: circuit.width(*a),
-                anw: opw(*a),
-            }),
-            NodeKind::Bin(op, a, b) => steps.push(Step::Bin {
-                op: *op,
-                dst,
-                a: lo(*a),
-                b: lo(*b),
-                w,
-                aw: circuit.width(*a),
-                anw: opw(*a),
-                bnw: opw(*b),
-            }),
-            NodeKind::Mux { sel, t, f } => steps.push(Step::Mux {
-                dst,
-                sel: lo(*sel),
-                t: lo(*t),
-                f: lo(*f),
-                nw,
-            }),
-            NodeKind::Slice { src, lo: slo } => steps.push(Step::Slice {
-                dst,
-                a: lo(*src),
-                lo: *slo,
-                w,
-                anw: opw(*src),
-            }),
-            NodeKind::Zext(a) => steps.push(Step::Zext {
-                dst,
-                a: lo(*a),
-                w,
-                anw: opw(*a),
-            }),
-            NodeKind::Sext(a) => steps.push(Step::Sext {
-                dst,
-                a: lo(*a),
-                aw: circuit.width(*a),
-                w,
-                anw: opw(*a),
-            }),
-            NodeKind::Concat { hi, lo: l } => steps.push(Step::Concat {
-                dst,
-                hi: lo(*hi),
-                lo: lo(*l),
-                w,
-                low_w: circuit.width(*l),
-                hnw: opw(*hi),
-                lnw: opw(*l),
-            }),
-        }
-    }
-
-    // Own register latches and outgoing sends (split by channel class),
-    // own port records, and the outputs this tile computes.
-    let mut commits = Vec::new();
-    let mut sends = Vec::new();
-    let mut offchip_sends = Vec::new();
-    let mut port_sends = Vec::new();
-    let mut offchip_port_sends = Vec::new();
-    let mut outputs = Vec::new();
-    let mut own_port: HashMap<(u32, u32), RecSrc> = HashMap::new();
-    let mut fibers: Vec<_> = p.fibers.clone();
-    fibers.sort_unstable();
-    for &f in &fibers {
-        match partition.fiber_sinks[f.index()] {
-            parendi_graph::fiber::SinkKind::Reg(r) => {
-                let reg = &circuit.regs[r.index()];
-                let next = reg.next.expect("validated circuit");
-                let home = reg_home[r.index()];
-                debug_assert_eq!(home.tile, pi);
-                let nw = words_for(reg.width) as u32;
-                commits.push(RegCommit {
-                    local: local[&next.0],
-                    dst: home.off,
-                    nw,
-                });
-                for hop in &routing.reg_routes[r.index()].hops {
-                    let (ch, dst) = slot_of(hop);
-                    let send = RegSend {
-                        local: local[&next.0],
-                        ch,
-                        dst,
-                        nw,
-                    };
-                    if routing.hop_crosses_chip(hop) {
-                        offchip_sends.push(send);
-                    } else {
-                        sends.push(send);
-                    }
-                }
-            }
-            parendi_graph::fiber::SinkKind::ArrayPort { array, port } => {
-                let a = &circuit.arrays[array.index()];
-                let wp = &a.write_ports[port as usize];
-                let nw = words_for(a.width) as u32;
-                let ri = port_route_of[&(array.0, port)];
-                let route = &routing.port_routes[ri as usize];
-                let (off_dests, on_dests): (Vec<_>, Vec<_>) =
-                    route.hops.iter().partition(|h| routing.hop_crosses_chip(h));
-                let en = local[&wp.enable.0];
-                let idx = local[&wp.index.0];
-                let idx_w = words_for(circuit.width(wp.index)) as u32;
-                let data = local[&wp.data.0];
-                for (dests, out) in [
-                    (on_dests, &mut port_sends),
-                    (off_dests, &mut offchip_port_sends),
-                ] {
-                    if dests.is_empty() {
-                        continue;
-                    }
-                    out.push(PortSend {
-                        en,
-                        idx,
-                        idx_w,
-                        data,
-                        nw,
-                        dests: dests.iter().map(|&h| slot_of(h)).collect(),
-                    });
-                }
-                own_port.insert(
-                    (array.0, port),
-                    RecSrc::Own {
-                        en,
-                        idx,
-                        idx_w,
-                        data,
-                    },
-                );
-            }
-            parendi_graph::fiber::SinkKind::Output(oi) => {
-                let node = circuit.outputs[oi as usize].node;
-                outputs.push((oi, local[&node.0]));
-            }
-        }
-    }
-    commits.sort_by_key(|c| c.dst);
-
-    // Apply list: every port of every held array, in (array, port) order
-    // (each array's routes read off the precomputed range).
-    let mut applies = Vec::new();
-    for (slot, &a) in p.arrays.iter().enumerate() {
-        let arr = &circuit.arrays[a.index()];
-        let nw = words_for(arr.width) as u32;
-        let (start, end) = array_route_range[a.index()];
-        for route in &routing.port_routes[start as usize..end as usize] {
-            let src = match own_port.get(&(a.0, route.port)) {
-                Some(&own) => own,
-                None => {
-                    let hop = route
-                        .hops
-                        .iter()
-                        .find(|h| h.tile == pi)
-                        .expect("holder receives every remote port record");
-                    let (ch, off) = slot_of(hop);
-                    RecSrc::Mail { ch, off }
-                }
-            };
-            applies.push(Apply {
-                arr: slot as u32,
-                nw,
-                depth: arr.depth,
-                src,
-            });
-        }
-    }
-
-    Program {
-        steps,
-        arena_words: words as usize,
-        const_init,
-        commits,
-        sends,
-        offchip_sends,
-        port_sends,
-        offchip_port_sends,
-        applies,
-        outputs,
     }
 }

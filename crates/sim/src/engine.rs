@@ -1,0 +1,1264 @@
+//! Shared machinery of the parallel execution engines.
+//!
+//! Both [`crate::bsp::BspSimulator`] (one scenario, many tiles) and
+//! [`crate::gang::GangSimulator`] (many scenarios in lockstep over the
+//! same tiles) execute the *same* compiled per-tile [`Program`]s over
+//! the *same* mailbox fabric; they differ only in how state is laid out
+//! (flat vs lane-strided) and in the inner loop that runs a dispatched
+//! [`Step`]. This module holds everything the two engines share:
+//!
+//! * the compiled step/program representation ([`Step`], [`Program`],
+//!   [`build_program`]) and the whole compile front-end ([`Compiled`]),
+//!   parameterized by a lane count so every buffer (arenas, register
+//!   files, array copies, mailboxes) can carry `lanes` independent
+//!   scenarios side by side;
+//! * the lock-free exchange fabric ([`Mailbox`]) and the hybrid
+//!   spin/park [`PhaseBarrier`];
+//! * the chip-major [`worker_groups`] fold of tiles onto host threads;
+//! * the step evaluators: [`eval_op`] with its `nw == 1` single-word
+//!   fast paths ([`un1`], [`bin1`]) — the single-word scalar kernels are
+//!   shared so the engines cannot disagree on semantics, and so the gang
+//!   engine's lane loops amortize one dispatch over many lanes of plain
+//!   `u64` arithmetic.
+
+use parendi_core::routing::{ChannelClass, Routing};
+use parendi_core::Partition;
+use parendi_rtl::bits::{top_word_mask, word, words_for};
+use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, UnOp};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sense-reversing hybrid barrier for the twice-per-cycle phase
+/// synchronization. BSP cycles are microseconds long, so when every
+/// worker has its own core, parking on a futex (`std::sync::Barrier`)
+/// costs more than an entire cycle — workers spin instead, and the
+/// entire wait is a handful of atomic operations with no lock. When the
+/// host is oversubscribed (more workers than cores), spinning burns the
+/// timeslice of the very thread that could make progress, so waiters
+/// park on a condvar; the leader only touches the condvar's mutex when
+/// `parked` says somebody actually sleeps there. The run hand-off
+/// barriers (`gate`/`done`) stay parking barriers — between runs,
+/// sleeping is exactly right.
+pub(crate) struct PhaseBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    /// Waiters that gave up spinning and (are about to) sleep.
+    parked: AtomicUsize,
+    lock: Mutex<()>,
+    cv: std::sync::Condvar,
+    n: usize,
+    spin_limit: u32,
+}
+
+impl PhaseBarrier {
+    pub(crate) fn new(n: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        // `n > cores` means at least one waiter would spin on a core the
+        // last arriver needs: skip straight to parking. `PARENDI_SPIN_LIMIT`
+        // overrides the spin budget either way — raise it on big multicore
+        // boxes where cycles are short, set it to 0 to force parking.
+        let spin_limit = std::env::var("PARENDI_SPIN_LIMIT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if n <= cores { 1 << 14 } else { 0 });
+        PhaseBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+            n,
+            spin_limit,
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let gen = self.generation.load(Ordering::SeqCst);
+        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            // Waiters increment `parked` (SeqCst) *before* re-checking the
+            // generation under the lock, so observing zero here proves no
+            // waiter can sleep through this release.
+            if self.parked.load(Ordering::SeqCst) != 0 {
+                drop(self.lock.lock().unwrap());
+                self.cv.notify_all();
+            }
+        } else {
+            for _ in 0..self.spin_limit {
+                if self.generation.load(Ordering::SeqCst) != gen {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            self.parked.fetch_add(1, Ordering::SeqCst);
+            let mut g = self.lock.lock().unwrap();
+            while self.generation.load(Ordering::SeqCst) == gen {
+                g = self.cv.wait(g).unwrap();
+            }
+            drop(g);
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// One resolved evaluation step of a process program. Every operand
+/// width is pre-resolved at compile time so the cycle loop never touches
+/// the circuit.
+#[derive(Clone, Debug)]
+pub(crate) enum Step {
+    /// Copy from the shared (read-only during a run) input buffer.
+    Input { dst: u32, src: u32, nw: u32 },
+    /// Copy one of this tile's own registers.
+    RegOwn { dst: u32, src: u32, nw: u32 },
+    /// Copy a remote register from an inbound mailbox slot (epoch `c`).
+    RegMail {
+        dst: u32,
+        ch: u32,
+        src: u32,
+        nw: u32,
+    },
+    /// Combinational read of a tile-local array copy.
+    ArrayRead {
+        dst: u32,
+        arr: u32,
+        idx: u32,
+        idx_w: u32,
+        nw: u32,
+        depth: u32,
+    },
+    /// Unary op (`aw` = argument width in bits for the reductions).
+    Un {
+        op: UnOp,
+        dst: u32,
+        a: u32,
+        w: u32,
+        aw: u32,
+        anw: u32,
+    },
+    /// Binary op (`aw` = left operand width, for comparisons/shifts).
+    Bin {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+        aw: u32,
+        anw: u32,
+        bnw: u32,
+    },
+    /// Two-way select; `t`/`f` are as wide as the result.
+    Mux {
+        dst: u32,
+        sel: u32,
+        t: u32,
+        f: u32,
+        nw: u32,
+    },
+    /// Bit extraction `[lo + w - 1 : lo]`.
+    Slice {
+        dst: u32,
+        a: u32,
+        lo: u32,
+        w: u32,
+        anw: u32,
+    },
+    /// Zero extension to `w` bits.
+    Zext { dst: u32, a: u32, w: u32, anw: u32 },
+    /// Sign extension from `aw` to `w` bits.
+    Sext {
+        dst: u32,
+        a: u32,
+        aw: u32,
+        w: u32,
+        anw: u32,
+    },
+    /// Concatenation with `lo` occupying the low `low_w` bits.
+    Concat {
+        dst: u32,
+        hi: u32,
+        lo: u32,
+        w: u32,
+        low_w: u32,
+        hnw: u32,
+        lnw: u32,
+    },
+}
+
+/// Latch one of this tile's own registers (arena → `reg_cur`).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RegCommit {
+    pub local: u32,
+    pub dst: u32,
+    pub nw: u32,
+}
+
+/// Send a produced register value to one remote consumer's mailbox.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RegSend {
+    pub local: u32,
+    pub ch: u32,
+    pub dst: u32,
+    pub nw: u32,
+}
+
+/// Stage one array write port's `(enable, index, data)` record into the
+/// mailboxes of every remote holder of the array.
+#[derive(Clone, Debug)]
+pub(crate) struct PortSend {
+    pub en: u32,
+    pub idx: u32,
+    pub idx_w: u32,
+    pub data: u32,
+    pub nw: u32,
+    /// `(channel, word offset)` of the record slot per remote holder.
+    pub dests: Vec<(u32, u32)>,
+}
+
+/// Where an applied port record comes from.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RecSrc {
+    /// This tile produced the port: read straight from its arena.
+    Own {
+        en: u32,
+        idx: u32,
+        idx_w: u32,
+        data: u32,
+    },
+    /// A remote tile produced it: read the mailbox record (epoch `c+1`).
+    Mail { ch: u32, off: u32 },
+}
+
+/// Apply one port record to a tile-local array copy (exchange phase).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Apply {
+    pub arr: u32,
+    pub nw: u32,
+    pub depth: u32,
+    pub src: RecSrc,
+}
+
+/// A compiled per-tile program. Self-contained: executing it requires no
+/// access to the `Circuit`, and the *same* program drives both the
+/// single-scenario engine and every lane of the gang engine.
+#[derive(Debug)]
+pub(crate) struct Program {
+    pub steps: Vec<Step>,
+    pub arena_words: usize,
+    pub const_init: Vec<(u32, Vec<u64>)>,
+    pub commits: Vec<RegCommit>,
+    /// Register sends over on-chip channels (pushed during compute).
+    pub sends: Vec<RegSend>,
+    /// Register sends crossing chips (pushed by the off-chip flush).
+    pub offchip_sends: Vec<RegSend>,
+    /// Port records to on-chip holders (pushed during compute).
+    pub port_sends: Vec<PortSend>,
+    /// Port records to off-chip holders (pushed by the off-chip flush).
+    pub offchip_port_sends: Vec<PortSend>,
+    /// In global `(array, port)` order per array, so every holder applies
+    /// identically (last port wins, as in the reference interpreter).
+    pub applies: Vec<Apply>,
+    /// Primary outputs this tile computes: `(output id, arena offset)`.
+    pub outputs: Vec<(u32, u32)>,
+}
+
+impl Program {
+    /// Whether this tile sends anything across a chip boundary (tiles
+    /// that don't skip the off-chip flush sub-phase entirely).
+    pub(crate) fn has_offchip(&self) -> bool {
+        !self.offchip_sends.is_empty() || !self.offchip_port_sends.is_empty()
+    }
+}
+
+/// A double-buffered mailbox: one per on-chip producer→consumer tile
+/// pair, plus one *aggregate* per ordered chip pair whose buffer is
+/// segmented among all the cross-chip channels of that pair. In a gang
+/// engine the buffer is `lanes` copies of the single-lane layout,
+/// lane-major; the epoch discipline is identical.
+///
+/// Epoch discipline (enforced by the two BSP barriers, see the `bsp`
+/// module docs): during cycle `c` producer threads write only buffer
+/// `(c + 1) & 1` and consumer threads read only buffer `c & 1`
+/// (computation phase) or `(c + 1) & 1` *after* the first barrier
+/// (communication phase). No thread ever touches a word another thread
+/// is writing.
+///
+/// Aggregate mailboxes can have *several concurrent writers* — one per
+/// worker group flushing into its disjoint channel segments — so the
+/// write side never materializes a `&mut [u64]` over the whole buffer
+/// (two live `&mut` to one allocation would be UB even with disjoint
+/// stores). Writers go through the raw [`write_base`](Self::write_base)
+/// pointer instead.
+pub(crate) struct Mailbox {
+    bufs: [UnsafeCell<Box<[u64]>>; 2],
+}
+
+// SAFETY: access is partitioned by the epoch/barrier discipline above;
+// the type itself hands out raw access only through unsafe accessors.
+unsafe impl Sync for Mailbox {}
+
+impl Mailbox {
+    pub(crate) fn new(words: usize) -> Self {
+        Mailbox {
+            bufs: [
+                UnsafeCell::new(vec![0u64; words].into_boxed_slice()),
+                UnsafeCell::new(vec![0u64; words].into_boxed_slice()),
+            ],
+        }
+    }
+
+    /// SAFETY: no concurrent writer of `parity` may exist (see epoch
+    /// discipline in the type docs).
+    pub(crate) unsafe fn read(&self, parity: usize) -> &[u64] {
+        &*self.bufs[parity].get()
+    }
+
+    /// Base pointer for segment writes into buffer `parity`, derived
+    /// raw-to-raw so no `&mut` over the buffer ever exists.
+    ///
+    /// SAFETY: the epoch discipline must hold (no concurrent reader of
+    /// `parity`), and each writer must store only to word ranges it
+    /// exclusively owns (channel segments are disjoint by layout).
+    pub(crate) unsafe fn write_base(&self, parity: usize) -> *mut u64 {
+        (&raw mut **self.bufs[parity].get()) as *mut u64
+    }
+}
+
+/// Where a register's current value lives.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RegHome {
+    pub tile: u32,
+    pub off: u32,
+    pub words: u32,
+}
+
+/// Where an array's reference copy lives.
+#[derive(Clone, Debug)]
+pub(crate) enum ArrayHome {
+    /// Held by a tile (all holders are bit-identical; we read this one).
+    Held { tile: u32, slot: u32 },
+    /// No tile references it: it keeps its initial contents forever.
+    Spare(Vec<u64>),
+}
+
+/// Where a primary output's value lands after a tile's step program.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OutputHome {
+    pub tile: u32,
+    pub off: u32,
+}
+
+/// Folds tiles onto `workers` threads chip-major. Each chip's tiles go
+/// to a contiguous group of workers sized proportionally to the chip's
+/// tile count (every chip gets at least one worker); with fewer workers
+/// than chips, whole chips round-robin over workers so a chip's tiles
+/// stay within one worker. Within a group, tiles fold round-robin.
+pub(crate) fn worker_groups(tile_chip: &[u32], workers: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); workers];
+    if workers == 0 || tile_chip.is_empty() {
+        return out;
+    }
+    let nchips = tile_chip.iter().map(|&c| c as usize + 1).max().unwrap();
+    let mut by_chip: Vec<Vec<usize>> = vec![Vec::new(); nchips];
+    for (t, &c) in tile_chip.iter().enumerate() {
+        by_chip[c as usize].push(t);
+    }
+    by_chip.retain(|v| !v.is_empty());
+    if workers < by_chip.len() {
+        for (ci, tiles) in by_chip.iter().enumerate() {
+            out[ci % workers].extend(tiles.iter().copied());
+        }
+        return out;
+    }
+    let mut next = 0usize; // first worker of the current group
+    let mut tiles_left = tile_chip.len();
+    let mut chips_left = by_chip.len();
+    for tiles in &by_chip {
+        let workers_left = workers - next;
+        let share = (tiles.len() * workers_left).div_ceil(tiles_left);
+        let share = share.clamp(1, workers_left - (chips_left - 1));
+        for (k, &t) in tiles.iter().enumerate() {
+            out[next + k % share].push(t);
+        }
+        next += share;
+        tiles_left -= tiles.len();
+        chips_left -= 1;
+    }
+    out
+}
+
+/// The complete compile front-end shared by the execution engines:
+/// per-tile programs, state layout (register / array / output homes),
+/// input packing, and the mailbox fabric, all sized for `lanes`
+/// independent scenarios (the single-scenario engine passes 1).
+///
+/// Every lane-carrying buffer is laid out **lane-major**: lane `l` owns
+/// the contiguous block `[l × words, (l + 1) × words)` of the
+/// single-lane layout, so per-lane values stay contiguous (the word
+/// kernels apply unchanged) while one dispatched step can sweep all
+/// lanes in a tight inner loop.
+pub(crate) struct Compiled {
+    pub programs: Vec<Program>,
+    pub reg_home: Vec<RegHome>,
+    pub array_home: Vec<ArrayHome>,
+    pub output_home: Vec<OutputHome>,
+    /// Word offset of each input in the (single-lane) input buffer.
+    pub input_off: Vec<u32>,
+    /// Single-lane input buffer size in words.
+    pub input_words: u32,
+    pub input_by_name: HashMap<String, InputId>,
+    pub output_by_name: HashMap<String, u32>,
+    /// Words of own registers per tile (the per-lane register stride).
+    pub tile_reg_words: Vec<u32>,
+    /// Initial (single-lane) contents of every array, by `ArrayId`.
+    pub array_init: Vec<Vec<u64>>,
+    /// The mailbox fabric: on-chip per-tile-pair boxes first, then the
+    /// per-chip-pair off-chip aggregates.
+    pub channels: Vec<Mailbox>,
+    /// Single-lane words of each mailbox (the per-lane mailbox stride).
+    pub mail_words: Vec<u32>,
+    /// How many leading `channels` serve on-chip tile pairs.
+    pub onchip_mailboxes: usize,
+    pub tile_chip: Vec<u32>,
+}
+
+impl Compiled {
+    /// Compiles `partition` for `lanes` side-by-side scenarios.
+    pub(crate) fn new(circuit: &Circuit, partition: &Partition, lanes: usize) -> Self {
+        assert!(lanes >= 1, "need at least one lane");
+        let routing = Routing::new(circuit, partition);
+
+        // Input packing (shared, read-only during runs).
+        let mut input_off = Vec::with_capacity(circuit.inputs.len());
+        let mut iwords = 0u32;
+        let mut input_by_name = HashMap::new();
+        for (i, d) in circuit.inputs.iter().enumerate() {
+            input_off.push(iwords);
+            iwords += words_for(d.width) as u32;
+            input_by_name.insert(d.name.clone(), InputId(i as u32));
+        }
+
+        // Register homes: owner tile + offset among that tile's own regs.
+        let mut reg_home = vec![
+            RegHome {
+                tile: u32::MAX,
+                off: 0,
+                words: 0
+            };
+            circuit.regs.len()
+        ];
+        let mut tile_reg_words = vec![0u32; partition.processes.len()];
+        for route in &routing.reg_routes {
+            // reg_routes is in RegId order, so per-tile offsets pack in
+            // RegId order too.
+            if route.producer == u32::MAX {
+                continue;
+            }
+            let t = route.producer as usize;
+            reg_home[route.reg.index()] = RegHome {
+                tile: route.producer,
+                off: tile_reg_words[t],
+                words: route.words,
+            };
+            tile_reg_words[t] += route.words;
+        }
+
+        // Array homes: first holder, or a spare copy of the initial
+        // contents for arrays no process references.
+        let array_init: Vec<Vec<u64>> = circuit
+            .arrays
+            .iter()
+            .map(|a| {
+                let w = words_for(a.width);
+                let mut buf = vec![0u64; w * a.depth as usize];
+                if let Some(init) = &a.init {
+                    for (i, v) in init.iter().enumerate() {
+                        buf[i * w..(i + 1) * w].copy_from_slice(v.words());
+                    }
+                }
+                buf
+            })
+            .collect();
+        let array_home: Vec<ArrayHome> = routing
+            .array_holders
+            .iter()
+            .enumerate()
+            .map(|(ai, holders)| match holders.first() {
+                Some(&tile) => {
+                    let p = &partition.processes[tile as usize];
+                    let slot = p
+                        .arrays
+                        .binary_search(&parendi_rtl::ArrayId(ai as u32))
+                        .expect("holder lists the array") as u32;
+                    ArrayHome::Held { tile, slot }
+                }
+                None => ArrayHome::Spare(array_init[ai].clone()),
+            })
+            .collect();
+
+        // Mailboxes. On-chip channels get one double-buffered mailbox per
+        // tile pair; off-chip channels are aggregated into one wider
+        // mailbox per ordered chip pair, each channel owning a disjoint
+        // segment (`chan_map` translates a routing channel id into its
+        // mailbox index and segment base). Buffers carry `lanes` copies
+        // of the single-lane layout, lane-major.
+        let mut chan_map = vec![(0u32, 0u32); routing.channels.len()];
+        let mut channels: Vec<Mailbox> = Vec::new();
+        let mut mail_words: Vec<u32> = Vec::new();
+        for (ci, ch) in routing.channels.iter().enumerate() {
+            if ch.class == ChannelClass::OnChip {
+                chan_map[ci] = (channels.len() as u32, 0);
+                channels.push(Mailbox::new(ch.words() as usize * lanes));
+                mail_words.push(ch.words());
+            }
+        }
+        let onchip_mailboxes = channels.len();
+        let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut pair_words: Vec<u32> = Vec::new();
+        for (ci, ch) in routing.channels.iter().enumerate() {
+            if ch.class == ChannelClass::OffChip {
+                let pair = (
+                    routing.tile_chip[ch.from as usize],
+                    routing.tile_chip[ch.to as usize],
+                );
+                let pi = *pair_index.entry(pair).or_insert_with(|| {
+                    pair_words.push(0);
+                    pair_words.len() - 1
+                });
+                chan_map[ci] = ((onchip_mailboxes + pi) as u32, pair_words[pi]);
+                pair_words[pi] += ch.words();
+            }
+        }
+        channels.extend(pair_words.iter().map(|&w| Mailbox::new(w as usize * lanes)));
+        mail_words.extend(pair_words.iter().copied());
+        // Preload epoch-0 register slots with initial values so cycle 0
+        // observes the power-on state — in every lane.
+        for route in &routing.reg_routes {
+            for hop in &route.hops {
+                let init = circuit.regs[route.reg.index()].init.words();
+                let (mb, base) = chan_map[hop.channel as usize];
+                let off = (base + hop.word_off) as usize;
+                let stride = mail_words[mb as usize] as usize;
+                for lane in 0..lanes {
+                    // SAFETY: construction is single-threaded and offsets
+                    // stay inside the lane-sized buffer.
+                    unsafe {
+                        let dst = channels[mb as usize].write_base(0).add(lane * stride + off);
+                        std::ptr::copy_nonoverlapping(init.as_ptr(), dst, init.len());
+                    }
+                }
+            }
+        }
+
+        // Compile-time route indexes, built once: (array, port) → route
+        // and per-array route ranges (port_routes is (array, port)
+        // sorted), so program building never rescans `port_routes`.
+        let mut port_route_of: HashMap<(u32, u32), u32> = HashMap::new();
+        for (i, r) in routing.port_routes.iter().enumerate() {
+            port_route_of.insert((r.array.0, r.port), i as u32);
+        }
+        let mut array_route_range = vec![(0u32, 0u32); circuit.arrays.len()];
+        let mut i = 0;
+        while i < routing.port_routes.len() {
+            let a = routing.port_routes[i].array.index();
+            let start = i;
+            while i < routing.port_routes.len() && routing.port_routes[i].array.index() == a {
+                i += 1;
+            }
+            array_route_range[a] = (start as u32, i as u32);
+        }
+
+        // Per-tile programs.
+        let programs: Vec<Program> = partition
+            .processes
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                build_program(
+                    circuit,
+                    partition,
+                    &routing,
+                    pi as u32,
+                    p,
+                    &reg_home,
+                    &chan_map,
+                    &port_route_of,
+                    &array_route_range,
+                )
+            })
+            .collect();
+
+        // Output homes: the owning tile (pinned by the routing layer)
+        // plus the arena offset its program computes the value at.
+        let mut output_home = vec![
+            OutputHome {
+                tile: u32::MAX,
+                off: 0
+            };
+            circuit.outputs.len()
+        ];
+        for (pi, prog) in programs.iter().enumerate() {
+            for &(oi, off) in &prog.outputs {
+                debug_assert_eq!(routing.output_tiles[oi as usize], pi as u32);
+                output_home[oi as usize] = OutputHome {
+                    tile: pi as u32,
+                    off,
+                };
+            }
+        }
+        let output_by_name: HashMap<String, u32> = circuit
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.name.clone(), i as u32))
+            .collect();
+
+        Compiled {
+            programs,
+            reg_home,
+            array_home,
+            output_home,
+            input_off,
+            input_words: iwords,
+            input_by_name,
+            output_by_name,
+            tile_reg_words,
+            array_init,
+            channels,
+            mail_words,
+            onchip_mailboxes,
+            tile_chip: routing.tile_chip,
+        }
+    }
+}
+
+/// Compiles one process into a self-contained [`Program`].
+///
+/// `chan_map` translates a routing channel id into the engine's
+/// `(mailbox, segment base)`; `port_route_of` and `array_route_range`
+/// are the compile-time route indexes built once in [`Compiled::new`]
+/// so this runs in O(program size), not O(tiles × ports²).
+#[allow(clippy::too_many_arguments)]
+fn build_program(
+    circuit: &Circuit,
+    partition: &Partition,
+    routing: &Routing,
+    pi: u32,
+    p: &parendi_core::Process,
+    reg_home: &[RegHome],
+    chan_map: &[(u32, u32)],
+    port_route_of: &HashMap<(u32, u32), u32>,
+    array_route_range: &[(u32, u32)],
+) -> Program {
+    let slot_of = |hop: &parendi_core::routing::Hop| -> (u32, u32) {
+        let (mb, base) = chan_map[hop.channel as usize];
+        (mb, base + hop.word_off)
+    };
+    // Mail slots for remote registers this tile reads.
+    let mut mail_slot: HashMap<u32, (u32, u32)> = HashMap::new();
+    for route in &routing.reg_routes {
+        for hop in &route.hops {
+            if hop.tile == pi {
+                mail_slot.insert(route.reg.0, slot_of(hop));
+            }
+        }
+    }
+    let arrays = &p.arrays;
+    let array_slot = |a: parendi_rtl::ArrayId| -> u32 {
+        arrays
+            .binary_search(&a)
+            .expect("tile holds read/written arrays") as u32
+    };
+
+    let mut local: HashMap<u32, u32> = HashMap::new();
+    let mut words = 0u32;
+    let mut steps = Vec::new();
+    let mut const_init = Vec::new();
+    for nid in p.nodes.iter() {
+        let node = &circuit.nodes[nid as usize];
+        let w = node.width;
+        let nw = words_for(w) as u32;
+        let dst = words;
+        local.insert(nid, dst);
+        words += nw;
+        let lo = |id: parendi_rtl::NodeId| local[&id.0];
+        let opw = |id: parendi_rtl::NodeId| words_for(circuit.width(id)) as u32;
+        match &node.kind {
+            NodeKind::Const(b) => const_init.push((dst, b.words().to_vec())),
+            NodeKind::Input(i) => {
+                let src = (0..i.index())
+                    .map(|k| words_for(circuit.inputs[k].width) as u32)
+                    .sum();
+                steps.push(Step::Input { dst, src, nw });
+            }
+            NodeKind::RegRead(r) => {
+                let home = reg_home[r.index()];
+                if home.tile == pi {
+                    steps.push(Step::RegOwn {
+                        dst,
+                        src: home.off,
+                        nw,
+                    });
+                } else {
+                    let (ch, src) = mail_slot[&r.0];
+                    steps.push(Step::RegMail { dst, ch, src, nw });
+                }
+            }
+            NodeKind::ArrayRead { array, index } => steps.push(Step::ArrayRead {
+                dst,
+                arr: array_slot(*array),
+                idx: lo(*index),
+                idx_w: opw(*index),
+                nw,
+                depth: circuit.arrays[array.index()].depth,
+            }),
+            NodeKind::Un(op, a) => steps.push(Step::Un {
+                op: *op,
+                dst,
+                a: lo(*a),
+                w,
+                aw: circuit.width(*a),
+                anw: opw(*a),
+            }),
+            NodeKind::Bin(op, a, b) => steps.push(Step::Bin {
+                op: *op,
+                dst,
+                a: lo(*a),
+                b: lo(*b),
+                w,
+                aw: circuit.width(*a),
+                anw: opw(*a),
+                bnw: opw(*b),
+            }),
+            NodeKind::Mux { sel, t, f } => steps.push(Step::Mux {
+                dst,
+                sel: lo(*sel),
+                t: lo(*t),
+                f: lo(*f),
+                nw,
+            }),
+            NodeKind::Slice { src, lo: slo } => steps.push(Step::Slice {
+                dst,
+                a: lo(*src),
+                lo: *slo,
+                w,
+                anw: opw(*src),
+            }),
+            NodeKind::Zext(a) => steps.push(Step::Zext {
+                dst,
+                a: lo(*a),
+                w,
+                anw: opw(*a),
+            }),
+            NodeKind::Sext(a) => steps.push(Step::Sext {
+                dst,
+                a: lo(*a),
+                aw: circuit.width(*a),
+                w,
+                anw: opw(*a),
+            }),
+            NodeKind::Concat { hi, lo: l } => steps.push(Step::Concat {
+                dst,
+                hi: lo(*hi),
+                lo: lo(*l),
+                w,
+                low_w: circuit.width(*l),
+                hnw: opw(*hi),
+                lnw: opw(*l),
+            }),
+        }
+    }
+
+    // Own register latches and outgoing sends (split by channel class),
+    // own port records, and the outputs this tile computes.
+    let mut commits = Vec::new();
+    let mut sends = Vec::new();
+    let mut offchip_sends = Vec::new();
+    let mut port_sends = Vec::new();
+    let mut offchip_port_sends = Vec::new();
+    let mut outputs = Vec::new();
+    let mut own_port: HashMap<(u32, u32), RecSrc> = HashMap::new();
+    let mut fibers: Vec<_> = p.fibers.clone();
+    fibers.sort_unstable();
+    for &f in &fibers {
+        match partition.fiber_sinks[f.index()] {
+            parendi_graph::fiber::SinkKind::Reg(r) => {
+                let reg = &circuit.regs[r.index()];
+                let next = reg.next.expect("validated circuit");
+                let home = reg_home[r.index()];
+                debug_assert_eq!(home.tile, pi);
+                let nw = words_for(reg.width) as u32;
+                commits.push(RegCommit {
+                    local: local[&next.0],
+                    dst: home.off,
+                    nw,
+                });
+                for hop in &routing.reg_routes[r.index()].hops {
+                    let (ch, dst) = slot_of(hop);
+                    let send = RegSend {
+                        local: local[&next.0],
+                        ch,
+                        dst,
+                        nw,
+                    };
+                    if routing.hop_crosses_chip(hop) {
+                        offchip_sends.push(send);
+                    } else {
+                        sends.push(send);
+                    }
+                }
+            }
+            parendi_graph::fiber::SinkKind::ArrayPort { array, port } => {
+                let a = &circuit.arrays[array.index()];
+                let wp = &a.write_ports[port as usize];
+                let nw = words_for(a.width) as u32;
+                let ri = port_route_of[&(array.0, port)];
+                let route = &routing.port_routes[ri as usize];
+                let (off_dests, on_dests): (Vec<_>, Vec<_>) =
+                    route.hops.iter().partition(|h| routing.hop_crosses_chip(h));
+                let en = local[&wp.enable.0];
+                let idx = local[&wp.index.0];
+                let idx_w = words_for(circuit.width(wp.index)) as u32;
+                let data = local[&wp.data.0];
+                for (dests, out) in [
+                    (on_dests, &mut port_sends),
+                    (off_dests, &mut offchip_port_sends),
+                ] {
+                    if dests.is_empty() {
+                        continue;
+                    }
+                    out.push(PortSend {
+                        en,
+                        idx,
+                        idx_w,
+                        data,
+                        nw,
+                        dests: dests.iter().map(|&h| slot_of(h)).collect(),
+                    });
+                }
+                own_port.insert(
+                    (array.0, port),
+                    RecSrc::Own {
+                        en,
+                        idx,
+                        idx_w,
+                        data,
+                    },
+                );
+            }
+            parendi_graph::fiber::SinkKind::Output(oi) => {
+                let node = circuit.outputs[oi as usize].node;
+                outputs.push((oi, local[&node.0]));
+            }
+        }
+    }
+    commits.sort_by_key(|c| c.dst);
+
+    // Apply list: every port of every held array, in (array, port) order
+    // (each array's routes read off the precomputed range).
+    let mut applies = Vec::new();
+    for (slot, &a) in p.arrays.iter().enumerate() {
+        let arr = &circuit.arrays[a.index()];
+        let nw = words_for(arr.width) as u32;
+        let (start, end) = array_route_range[a.index()];
+        for route in &routing.port_routes[start as usize..end as usize] {
+            let src = match own_port.get(&(a.0, route.port)) {
+                Some(&own) => own,
+                None => {
+                    let hop = route
+                        .hops
+                        .iter()
+                        .find(|h| h.tile == pi)
+                        .expect("holder receives every remote port record");
+                    let (ch, off) = slot_of(hop);
+                    RecSrc::Mail { ch, off }
+                }
+            };
+            applies.push(Apply {
+                arr: slot as u32,
+                nw,
+                depth: arr.depth,
+                src,
+            });
+        }
+    }
+
+    Program {
+        steps,
+        arena_words: words as usize,
+        const_init,
+        commits,
+        sends,
+        offchip_sends,
+        port_sends,
+        offchip_port_sends,
+        applies,
+        outputs,
+    }
+}
+
+/// Burns roughly `iters` spin-loop iterations (the off-chip delay knob).
+#[inline]
+pub(crate) fn spin_delay(iters: u64) {
+    for _ in 0..iters {
+        std::hint::spin_loop();
+    }
+}
+
+/// Evaluates a single-word (`width <= 64`) unary op on a normalized
+/// word. Shared by the single-scenario fast path and the gang engine's
+/// lane loops so the two can never disagree with the slice kernels.
+#[inline(always)]
+pub(crate) fn un1(op: UnOp, a: u64, w: u32, aw: u32) -> u64 {
+    match op {
+        UnOp::Not => !a & top_word_mask(w),
+        UnOp::Neg => a.wrapping_neg() & top_word_mask(w),
+        UnOp::RedAnd => (a == top_word_mask(aw)) as u64,
+        UnOp::RedOr => (a != 0) as u64,
+        UnOp::RedXor => (a.count_ones() & 1) as u64,
+    }
+}
+
+/// Evaluates a single-word binary op (`width <= 64`, both operands one
+/// word) on normalized words; `w` is the result width, `aw` the left
+/// operand width (comparisons sign off it, shifts saturate against it —
+/// exactly [`word::shift_amount`]'s contract).
+#[inline(always)]
+pub(crate) fn bin1(op: BinOp, a: u64, b: u64, w: u32, aw: u32) -> u64 {
+    let m = top_word_mask(w);
+    match op {
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Add => a.wrapping_add(b) & m,
+        BinOp::Sub => a.wrapping_sub(b) & m,
+        BinOp::Mul => a.wrapping_mul(b) & m,
+        BinOp::Eq => (a == b) as u64,
+        BinOp::Ne => (a != b) as u64,
+        BinOp::LtU => (a < b) as u64,
+        BinOp::LtS => lt_s1(a, b, aw) as u64,
+        BinOp::LeU => (a <= b) as u64,
+        BinOp::LeS => !lt_s1(b, a, aw) as u64,
+        BinOp::Shl => {
+            let sh = shift1(b, aw);
+            if sh >= w {
+                0
+            } else {
+                (a << sh) & m
+            }
+        }
+        BinOp::Lshr => {
+            let sh = shift1(b, aw);
+            if sh >= w {
+                0
+            } else {
+                a >> sh
+            }
+        }
+        BinOp::Ashr => {
+            let sh = shift1(b, aw);
+            let sign = (a >> (w - 1)) & 1 == 1;
+            if sh == 0 {
+                a
+            } else if sh >= w {
+                if sign {
+                    m
+                } else {
+                    0
+                }
+            } else {
+                let v = a >> sh;
+                if sign {
+                    (v | (!0u64 << (w - sh))) & m
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// Single-word signed `a < b` at `width` bits.
+#[inline(always)]
+fn lt_s1(a: u64, b: u64, width: u32) -> bool {
+    let sa = (a >> (width - 1)) & 1 == 1;
+    let sb = (b >> (width - 1)) & 1 == 1;
+    if sa != sb {
+        sa
+    } else {
+        a < b
+    }
+}
+
+/// Single-word saturating shift amount (mirrors [`word::shift_amount`]).
+#[inline(always)]
+fn shift1(b: u64, width: u32) -> u32 {
+    if b > u32::MAX as u64 {
+        width
+    } else {
+        (b as u32).min(width)
+    }
+}
+
+/// Evaluates a pure compiled op on the arena (operands strictly precede
+/// the destination, so the arena splits into read/write halves).
+///
+/// Single-word operations (`nw == 1` results with single-word operands
+/// — the overwhelmingly common case on real designs) skip the slice
+/// kernels entirely and go through the scalar helpers [`un1`]/[`bin1`],
+/// one plain `u64` store with no carry loops or bounds-checked slicing.
+pub(crate) fn eval_op(arena: &mut [u64], step: &Step) {
+    match *step {
+        Step::Un {
+            op,
+            dst,
+            a,
+            w,
+            aw,
+            anw,
+        } => {
+            if anw == 1 && w <= 64 {
+                arena[dst as usize] = un1(op, arena[a as usize], w, aw);
+                return;
+            }
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            let av = &src[a as usize..(a + anw) as usize];
+            match op {
+                UnOp::Not => word::not(out, av, w),
+                UnOp::Neg => word::neg(out, av, w),
+                UnOp::RedAnd => out[0] = word::red_and(av, aw) as u64,
+                UnOp::RedOr => out[0] = word::red_or(av) as u64,
+                UnOp::RedXor => out[0] = word::red_xor(av) as u64,
+            }
+        }
+        Step::Bin {
+            op,
+            dst,
+            a,
+            b,
+            w,
+            aw,
+            anw,
+            bnw,
+        } => {
+            if anw == 1 && bnw == 1 && w <= 64 {
+                arena[dst as usize] = bin1(op, arena[a as usize], arena[b as usize], w, aw);
+                return;
+            }
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            let av = &src[a as usize..(a + anw) as usize];
+            let bv = &src[b as usize..(b + bnw) as usize];
+            match op {
+                BinOp::And => word::and(out, av, bv, w),
+                BinOp::Or => word::or(out, av, bv, w),
+                BinOp::Xor => word::xor(out, av, bv, w),
+                BinOp::Add => word::add(out, av, bv, w),
+                BinOp::Sub => word::sub(out, av, bv, w),
+                BinOp::Mul => word::mul(out, av, bv, w),
+                BinOp::Eq => out[0] = word::eq(av, bv) as u64,
+                BinOp::Ne => out[0] = !word::eq(av, bv) as u64,
+                BinOp::LtU => out[0] = word::lt_u(av, bv) as u64,
+                BinOp::LtS => out[0] = word::lt_s(av, bv, aw) as u64,
+                BinOp::LeU => out[0] = !word::lt_u(bv, av) as u64,
+                BinOp::LeS => out[0] = !word::lt_s(bv, av, aw) as u64,
+                BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                    let sh = word::shift_amount(bv, aw);
+                    match op {
+                        BinOp::Shl => word::shl(out, av, sh, w),
+                        BinOp::Lshr => word::lshr(out, av, sh, w),
+                        _ => word::ashr(out, av, sh, w),
+                    }
+                }
+            }
+        }
+        Step::Mux { dst, sel, t, f, nw } => {
+            if nw == 1 {
+                let pick = if arena[sel as usize] & 1 == 1 { t } else { f };
+                arena[dst as usize] = arena[pick as usize];
+                return;
+            }
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..nw as usize];
+            let s = src[sel as usize] & 1 == 1;
+            let pick = if s { t } else { f };
+            word::copy(out, &src[pick as usize..(pick + nw) as usize]);
+        }
+        Step::Slice { dst, a, lo, w, anw } => {
+            if anw == 1 {
+                arena[dst as usize] = (arena[a as usize] >> lo) & top_word_mask(w);
+                return;
+            }
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            word::slice(out, &src[a as usize..(a + anw) as usize], lo + w - 1, lo);
+        }
+        Step::Zext { dst, a, w, anw } => {
+            if anw == 1 && w <= 64 {
+                arena[dst as usize] = arena[a as usize] & top_word_mask(w);
+                return;
+            }
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            word::zext(out, &src[a as usize..(a + anw) as usize], w);
+        }
+        Step::Sext { dst, a, aw, w, anw } => {
+            if anw == 1 && w <= 64 {
+                arena[dst as usize] = sext1(arena[a as usize], aw, w);
+                return;
+            }
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let out = &mut dst_tail[..words_for(w)];
+            word::sext(out, &src[a as usize..(a + anw) as usize], aw, w);
+        }
+        Step::Concat {
+            dst,
+            hi,
+            lo,
+            w,
+            low_w,
+            hnw,
+            lnw,
+        } => {
+            if hnw == 1 && lnw == 1 && w <= 64 {
+                arena[dst as usize] =
+                    (arena[lo as usize] | (arena[hi as usize] << low_w)) & top_word_mask(w);
+                return;
+            }
+            let (src, dst_tail) = arena.split_at_mut(dst as usize);
+            let hv = &src[hi as usize..(hi + hnw) as usize];
+            let lv = &src[lo as usize..(lo + lnw) as usize];
+            let out = &mut dst_tail[..words_for(w)];
+            word::concat(out, hv, lv, low_w);
+        }
+        _ => unreachable!("sources handled by the caller"),
+    }
+}
+
+/// Single-word sign extension from `aw` to `w` bits (`w <= 64`).
+#[inline(always)]
+pub(crate) fn sext1(a: u64, aw: u32, w: u32) -> u64 {
+    let m = top_word_mask(w);
+    if w > aw && (a >> (aw - 1)) & 1 == 1 {
+        (a | (!0u64 << aw)) & m
+    } else {
+        a & m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parendi_rtl::bits::Bits;
+
+    /// The scalar fast paths must agree with the slice kernels on every
+    /// op, width, and operand pattern — they are the same semantics, so
+    /// exhaustively cross-check them on awkward widths.
+    #[test]
+    fn single_word_helpers_match_kernels() {
+        let widths = [1u32, 5, 31, 32, 33, 63, 64];
+        let vals = [0u64, 1, 2, 0x5a5a_5a5a, u64::MAX, 1 << 31, (1 << 31) - 1];
+        let bins = [
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::LtU,
+            BinOp::LtS,
+            BinOp::LeU,
+            BinOp::LeS,
+        ];
+        for &w in &widths {
+            let m = top_word_mask(w);
+            for &ra in &vals {
+                for &rb in &vals {
+                    let (a, b) = (ra & m, rb & m);
+                    for op in bins {
+                        let mut out = [0u64];
+                        let rw = match op {
+                            BinOp::Eq
+                            | BinOp::Ne
+                            | BinOp::LtU
+                            | BinOp::LtS
+                            | BinOp::LeU
+                            | BinOp::LeS => 1,
+                            _ => w,
+                        };
+                        match op {
+                            BinOp::And => word::and(&mut out, &[a], &[b], rw),
+                            BinOp::Or => word::or(&mut out, &[a], &[b], rw),
+                            BinOp::Xor => word::xor(&mut out, &[a], &[b], rw),
+                            BinOp::Add => word::add(&mut out, &[a], &[b], rw),
+                            BinOp::Sub => word::sub(&mut out, &[a], &[b], rw),
+                            BinOp::Mul => word::mul(&mut out, &[a], &[b], rw),
+                            BinOp::Eq => out[0] = word::eq(&[a], &[b]) as u64,
+                            BinOp::Ne => out[0] = !word::eq(&[a], &[b]) as u64,
+                            BinOp::LtU => out[0] = word::lt_u(&[a], &[b]) as u64,
+                            BinOp::LtS => out[0] = word::lt_s(&[a], &[b], w) as u64,
+                            BinOp::LeU => out[0] = !word::lt_u(&[b], &[a]) as u64,
+                            BinOp::LeS => out[0] = !word::lt_s(&[b], &[a], w) as u64,
+                            _ => unreachable!(),
+                        }
+                        assert_eq!(
+                            bin1(op, a, b, rw, w),
+                            out[0],
+                            "{op:?} w={w} a={a:#x} b={b:#x}"
+                        );
+                    }
+                    // Shifts: shift operand width varies independently.
+                    for op in [BinOp::Shl, BinOp::Lshr, BinOp::Ashr] {
+                        let mut out = [0u64];
+                        let sh = word::shift_amount(&[b], w);
+                        match op {
+                            BinOp::Shl => word::shl(&mut out, &[a], sh, w),
+                            BinOp::Lshr => word::lshr(&mut out, &[a], sh, w),
+                            _ => word::ashr(&mut out, &[a], sh, w),
+                        }
+                        assert_eq!(bin1(op, a, b, w, w), out[0], "{op:?} w={w} a={a:#x} sh={b}");
+                    }
+                }
+                let a = ra & m;
+                for op in [
+                    UnOp::Not,
+                    UnOp::Neg,
+                    UnOp::RedAnd,
+                    UnOp::RedOr,
+                    UnOp::RedXor,
+                ] {
+                    let mut out = [0u64];
+                    let rw = match op {
+                        UnOp::Not | UnOp::Neg => w,
+                        _ => 1,
+                    };
+                    match op {
+                        UnOp::Not => word::not(&mut out, &[a], w),
+                        UnOp::Neg => word::neg(&mut out, &[a], w),
+                        UnOp::RedAnd => out[0] = word::red_and(&[a], w) as u64,
+                        UnOp::RedOr => out[0] = word::red_or(&[a]) as u64,
+                        UnOp::RedXor => out[0] = word::red_xor(&[a]) as u64,
+                    }
+                    assert_eq!(un1(op, a, rw, w), out[0], "{op:?} w={w} a={a:#x}");
+                }
+                // Sign extension to every wider (still single-word) width.
+                for &wide in widths.iter().filter(|&&x| x >= w) {
+                    let mut out = [0u64];
+                    word::sext(&mut out, &[a], w, wide);
+                    assert_eq!(sext1(a, w, wide), out[0], "sext {w}->{wide} a={a:#x}");
+                }
+            }
+        }
+        // Bits-level spot check for a signed corner.
+        let a = Bits::from_u64(8, 0x80);
+        let b = Bits::from_u64(8, 0x7f);
+        assert_eq!(bin1(BinOp::LtS, 0x80, 0x7f, 1, 8), a.lt_s(&b) as u64);
+    }
+}

@@ -6,6 +6,9 @@
 //!   interpreter (the semantic oracle);
 //! * [`bsp::BspSimulator`] — parallel host execution of a compiled
 //!   partition with the two-barrier BSP structure of Fig. 3;
+//! * [`gang::GangSimulator`] — scenario-parallel execution: `L`
+//!   independent stimulus lanes in lockstep over one compiled
+//!   partition, with lane-strided state and per-lane I/O;
 //! * [`timing`] — the Eq. 1 cost breakdown
 //!   (`t_comp`/`t_comm`/`t_sync`) on the IPU machine model.
 //!
@@ -38,11 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod bsp;
+pub(crate) mod engine;
+pub mod gang;
 pub mod interp;
 pub mod timing;
 pub mod vcd;
 
-pub use bsp::BspSimulator;
+pub use bsp::{BspPhases, BspSimulator};
+pub use gang::{GangSimulator, StimulusSet};
 pub use interp::Simulator;
 pub use timing::{ipu_rate_khz, ipu_timings};
-pub use vcd::{dump_vcd, VcdWriter};
+pub use vcd::{dump_vcd, dump_vcd_lane, VcdWriter};

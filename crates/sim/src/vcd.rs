@@ -1,9 +1,14 @@
-//! VCD (Value Change Dump) waveform export for the reference simulator.
+//! VCD (Value Change Dump) waveform export.
 //!
 //! Dumps every register and primary output each cycle, emitting only
 //! changed values as the VCD format intends. Output loads in GTKWave or
-//! any other waveform viewer.
+//! any other waveform viewer. Samples come from the reference
+//! interpreter ([`VcdWriter::sample`], [`dump_vcd`]) or from **one
+//! selected lane** of a scenario-parallel gang run
+//! ([`VcdWriter::sample_gang_lane`], [`dump_vcd_lane`]) — waveform
+//! debugging works on gang simulations one lane at a time.
 
+use crate::gang::GangSimulator;
 use crate::interp::Simulator;
 use parendi_rtl::bits::Bits;
 use parendi_rtl::{Circuit, NodeId, RegId};
@@ -25,7 +30,7 @@ pub struct VcdWriter<W: Write> {
     out: W,
     /// (vcd id, reg) pairs.
     regs: Vec<(String, RegId)>,
-    /// (vcd id, output node, name) triples.
+    /// (vcd id, output node) pairs.
     outputs: Vec<(String, NodeId)>,
     last: Vec<Option<Bits>>,
     time: u64,
@@ -105,19 +110,61 @@ impl<W: Write> VcdWriter<W> {
         let mut slot = 0usize;
         for (id, reg) in &self.regs {
             let v = sim.reg_value(*reg);
-            if self.last[slot].as_ref() != Some(&v) {
-                writeln!(self.out, "b{} {}", trimmed_binary(&v), id)?;
-                self.last[slot] = Some(v);
-            }
+            Self::emit(&mut self.out, &mut self.last, slot, id, v)?;
             slot += 1;
         }
         for (id, node) in &self.outputs {
             let v = sim.peek_node(*node);
-            if self.last[slot].as_ref() != Some(&v) {
-                writeln!(self.out, "b{} {}", trimmed_binary(&v), id)?;
-                self.last[slot] = Some(v);
-            }
+            Self::emit(&mut self.out, &mut self.last, slot, id, v)?;
             slot += 1;
+        }
+        Ok(())
+    }
+
+    /// Records one lane of a gang simulation as one timestep: the same
+    /// registers and outputs the interpreter path dumps, read back
+    /// through the gang's per-lane API (outputs in one bulk peek, so
+    /// each owning tile replays once per timestep, not once per output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range for `sim`, or if the writer was
+    /// built for a different circuit.
+    pub fn sample_gang_lane(&mut self, sim: &GangSimulator<'_>, lane: usize) -> io::Result<()> {
+        writeln!(self.out, "#{}", self.time)?;
+        self.time += 1;
+        let mut slot = 0usize;
+        for (id, reg) in &self.regs {
+            let v = sim.reg_value_lane(*reg, lane);
+            Self::emit(&mut self.out, &mut self.last, slot, id, v)?;
+            slot += 1;
+        }
+        // The writer's outputs are in `circuit.outputs` order — exactly
+        // the index order of the bulk peek.
+        let values = sim.peek_outputs_lane(lane);
+        assert_eq!(values.len(), self.outputs.len(), "same circuit");
+        for ((id, _), v) in self.outputs.iter().zip(values) {
+            Self::emit(&mut self.out, &mut self.last, slot, id, v)?;
+            slot += 1;
+        }
+        Ok(())
+    }
+
+    /// Emits one value-change line if `v` differs from the last sample.
+    fn emit(
+        out: &mut W,
+        last: &mut [Option<Bits>],
+        slot: usize,
+        id: &str,
+        v: Bits,
+    ) -> io::Result<()> {
+        if last[slot].as_ref() != Some(&v) {
+            writeln!(out, "b{} {}", trimmed_binary(&v), id)?;
+            last[slot] = Some(v);
         }
         Ok(())
     }
@@ -140,6 +187,33 @@ pub fn dump_vcd<W: Write>(sim: &mut Simulator<'_>, cycles: u64, out: W) -> io::R
 
 fn sim_circuit<'c>(sim: &Simulator<'c>) -> &'c Circuit {
     sim.circuit()
+}
+
+/// Runs `cycles` cycles of one lane of a gang simulation, dumping that
+/// lane's VCD trace into `out`. **All** lanes advance (lanes run in
+/// lockstep); only `lane`'s values are recorded — rerun with another
+/// lane index to capture a different scenario from the same gang.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+///
+/// # Panics
+///
+/// Panics if `lane` is out of range for `sim`.
+pub fn dump_vcd_lane<W: Write>(
+    sim: &mut GangSimulator<'_>,
+    lane: usize,
+    cycles: u64,
+    out: W,
+) -> io::Result<()> {
+    let mut vcd = VcdWriter::new(out, sim.circuit())?;
+    vcd.sample_gang_lane(sim, lane)?;
+    for _ in 0..cycles {
+        sim.run(1);
+        vcd.sample_gang_lane(sim, lane)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -193,6 +267,55 @@ mod tests {
         assert_eq!(
             emissions, 1,
             "frozen register dumped more than once:\n{text}"
+        );
+    }
+
+    #[test]
+    fn gang_lane_dump_matches_reference_dump() {
+        use crate::gang::GangSimulator;
+        use parendi_core::{compile, PartitionConfig};
+
+        // Two gang lanes of a counter with a load input: lane 0 keeps
+        // counting, lane 1 is reloaded mid-run. Lane 0's dump must be
+        // byte-identical to the interpreter's dump (same stimulus), and
+        // lane 1's must differ (its own scenario).
+        let mut b = Builder::new("cnt");
+        let load = b.input("load", 1);
+        let ld = b.input("ldval", 4);
+        let r = b.reg("count", 4, 0);
+        let one = b.lit(4, 1);
+        let n = b.add(r.q(), one);
+        let nx = b.mux(load, ld, n);
+        b.connect(r, nx);
+        b.output("q", r.q());
+        let c = b.finish().unwrap();
+
+        let mut reference = Simulator::new(&c);
+        let mut ref_buf = Vec::new();
+        dump_vcd(&mut reference, 8, &mut ref_buf).unwrap();
+
+        let comp = compile(&c, &PartitionConfig::with_tiles(2)).unwrap();
+        let mut gang = GangSimulator::new(&c, &comp.partition, 2, 2);
+        gang.poke_lane("load", 1, 1);
+        gang.poke_lane("ldval", 1, 9);
+        let mut lane0 = Vec::new();
+        dump_vcd_lane(&mut gang, 0, 8, &mut lane0).unwrap();
+        assert_eq!(
+            String::from_utf8(lane0).unwrap(),
+            String::from_utf8(ref_buf).unwrap(),
+            "lane 0 (default stimulus) must dump exactly the reference trace"
+        );
+
+        // Replay lane 1 from a fresh gang (the first dump advanced it).
+        let mut gang = GangSimulator::new(&c, &comp.partition, 2, 2);
+        gang.poke_lane("load", 1, 1);
+        gang.poke_lane("ldval", 1, 9);
+        let mut lane1 = Vec::new();
+        dump_vcd_lane(&mut gang, 1, 8, &mut lane1).unwrap();
+        let text = String::from_utf8(lane1).unwrap();
+        assert!(
+            text.contains("b1001 !"),
+            "lane 1 holds the loaded value 9:\n{text}"
         );
     }
 

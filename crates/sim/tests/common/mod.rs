@@ -7,6 +7,21 @@ use rand::{Rng, SeedableRng};
 /// Builds a random but well-formed circuit from a seed: a soup of
 /// registers, arrays and combinational ops with data-dependent control.
 pub fn random_circuit(seed: u64, regs: usize, ops: usize) -> Circuit {
+    random_circuit_inner(seed, regs, ops, 0)
+}
+
+/// Like [`random_circuit`], but with `inputs` primary inputs that are
+/// *guaranteed* to reach every register's next-value (each register's
+/// feedback is xored with an input-derived value), so per-lane stimulus
+/// divergence is observable in every lane's architectural state —
+/// the stimulus side of the gang-engine equivalence tests.
+#[allow(dead_code)]
+pub fn random_circuit_io(seed: u64, regs: usize, ops: usize, inputs: usize) -> Circuit {
+    assert!(inputs > 0, "use random_circuit for the input-free variant");
+    random_circuit_inner(seed, regs, ops, inputs)
+}
+
+fn random_circuit_inner(seed: u64, regs: usize, ops: usize, inputs: usize) -> Circuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Builder::new(format!("rand{seed}"));
     let widths = [1u32, 7, 8, 16, 31, 32, 64, 65, 96];
@@ -23,6 +38,17 @@ pub fn random_circuit(seed: u64, regs: usize, ops: usize) -> Circuit {
     let mem = b.array("mem", 32, 32);
     let seed_sig = b.lit(32, rng.random::<u64>());
     pool.push(seed_sig);
+    // Primary inputs (per-lane stimulus hooks) of assorted widths; they
+    // join the pool and are folded into every register below.
+    let in_widths = [1u32, 8, 32, 64];
+    let in_sigs: Vec<Signal> = (0..inputs)
+        .map(|i| {
+            let w = in_widths[i % in_widths.len()];
+            let s = b.input(format!("in{i}"), w);
+            pool.push(s);
+            s
+        })
+        .collect();
 
     let pick = |b: &mut Builder, pool: &[Signal], rng: &mut StdRng, width: u32| -> Signal {
         // Find a pool signal and adapt its width.
@@ -87,9 +113,20 @@ pub fn random_circuit(seed: u64, regs: usize, ops: usize) -> Circuit {
     }
     // Connect every register to a random pool value of its width, and
     // expose it through a primary output (exercises output fibers and
-    // the BSP engine's `peek_output` path).
+    // the BSP engine's `peek_output` path). With inputs present, every
+    // register's next-value folds one in, so distinct stimulus provably
+    // diverges the state.
     for (i, r) in regs.iter().enumerate() {
-        let v = pick(&mut b, &pool, &mut rng, r.q().width());
+        let mut v = pick(&mut b, &pool, &mut rng, r.q().width());
+        if !in_sigs.is_empty() {
+            let inp = in_sigs[i % in_sigs.len()];
+            let adapted = match inp.width().cmp(&v.width()) {
+                std::cmp::Ordering::Equal => inp,
+                std::cmp::Ordering::Less => b.zext(inp, v.width()),
+                std::cmp::Ordering::Greater => b.slice(inp, v.width() - 1, 0),
+            };
+            v = b.xor(v, adapted);
+        }
         b.connect(*r, v);
         b.output(format!("o_r{i}"), r.q());
     }
