@@ -6,6 +6,9 @@
 //! cost is *measured* from the real xorshift design via the cost model;
 //! the barrier costs come from the machine models of §4.1.
 
+use parendi_bench::{
+    baseline_rate, load_baseline, parse_quick_flag, vs_baseline_cell, write_bench_json, BenchRecord,
+};
 use parendi_core::{compile, PartitionConfig};
 use parendi_designs::prng::build_prng_bank;
 use parendi_graph::{extract_fibers, CostModel};
@@ -14,6 +17,7 @@ use parendi_machine::x64::X64Config;
 use parendi_sim::BspSimulator;
 
 fn main() {
+    parse_quick_flag();
     // Measure one fiber's cost from the real design.
     let bank = build_prng_bank(4);
     let costs = CostModel::of(&bank);
@@ -77,7 +81,11 @@ fn main() {
     // Host-engine cross-check: the PRNGs are independent (`t_comm = 0`),
     // so the measured exchange phase of the real point-to-point engine is
     // pure synchronization — the executable counterpart of the modeled
-    // barrier costs above.
+    // barrier costs above. The kcyc/s column comes from *untimed* runs
+    // (best of three; timed runs pay per-tile clock reads), the phase
+    // columns from one timed run; every row lands in BENCH_fig04.json
+    // and prints its delta against the checked-in pre-PR baseline.
+    let base = load_baseline();
     let bank = build_prng_bank(64);
     let comp = compile(&bank, &PartitionConfig::with_tiles(32)).expect("prng bank fits");
     println!(
@@ -85,19 +93,60 @@ fn main() {
         comp.partition.tiles_used()
     );
     println!(
-        "{:>8} {:>12} {:>14} {:>12}",
-        "threads", "compute/cyc", "exchange/cyc", "kcyc/s"
+        "{:>8} {:>12} {:>14} {:>12} {:>9}",
+        "threads", "compute/cyc", "exchange/cyc", "kcyc/s", "vs pre-PR"
     );
+    let mut records = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let mut sim = BspSimulator::new(&bank, &comp.partition, threads);
         sim.run(100); // warm the persistent pool
         let cycles = 2000u64;
+        let best = (0..3).map(|_| sim.run(cycles)).fold(f64::MAX, f64::min);
         let ph = sim.run_timed(cycles);
+        let rate = cycles as f64 / best;
+        let vs = baseline_rate(
+            base.as_deref().unwrap_or(&[]),
+            "fig04",
+            "prng64",
+            "bsp",
+            1,
+            threads as u32,
+        );
         println!(
-            "{threads:>8} {:>10.2}µs {:>12.2}µs {:>12.1}",
+            "{threads:>8} {:>10.2}µs {:>12.2}µs {:>12.1} {:>9}",
             ph.compute_s * 1e6 / cycles as f64,
             ph.exchange_s * 1e6 / cycles as f64,
-            cycles as f64 / ph.total_s / 1e3,
+            rate / 1e3,
+            vs_baseline_cell(rate, vs),
         );
+        records.push(BenchRecord::from_phases(
+            "fig04",
+            "prng64",
+            "bsp",
+            comp.partition.chips,
+            comp.partition.tiles_used(),
+            1,
+            threads as u32,
+            cycles,
+            rate,
+            &ph,
+        ));
+    }
+    match write_bench_json("fig04", &records) {
+        Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
+        Err(e) => println!("\ncould not write BENCH_fig04.json: {e}"),
+    }
+    if let Some(base) = &base {
+        for r in &records {
+            if let Some(b) = baseline_rate(base, "fig04", "prng64", "bsp", 1, r.threads) {
+                println!(
+                    "prng64 bsp threads={}: pre-PR {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
+                    r.threads,
+                    b / 1e3,
+                    r.cycles_per_s / 1e3,
+                    vs_baseline_cell(r.cycles_per_s, Some(b)),
+                );
+            }
+        }
     }
 }

@@ -2,6 +2,7 @@
 //! cost follows the per-tile byte count `b`; off-chip cost follows the
 //! total volume `m×b` and saturates the 107 GiB/s fabric.
 
+use parendi_bench::{write_bench_json, BenchRecord};
 use parendi_core::{compile, PartitionConfig};
 use parendi_designs::Benchmark;
 use parendi_machine::ipu::IpuConfig;
@@ -61,6 +62,7 @@ fn main() {
         "{:>8} {:>6} {:>10} {:>10} {:>12} {:>14}",
         "design", "tiles", "b(bytes)", "chans", "model(cyc)", "exchange/cyc"
     );
+    let mut records = Vec::new();
     for (bench, tiles) in [
         (Benchmark::Mc, 16u32),
         (Benchmark::Vta, 32),
@@ -83,5 +85,21 @@ fn main() {
             model_cycles,
             ph.exchange_s * 1e6 / cycles as f64,
         );
+        records.push(BenchRecord::from_phases(
+            "fig05",
+            bench.name(),
+            "bsp",
+            comp.partition.chips,
+            comp.partition.tiles_used(),
+            1,
+            4,
+            cycles,
+            cycles as f64 / ph.total_s,
+            &ph,
+        ));
+    }
+    match write_bench_json("fig05", &records) {
+        Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
+        Err(e) => println!("\ncould not write BENCH_fig05.json: {e}"),
     }
 }

@@ -7,7 +7,7 @@
 //! breakdown as tiles double — imbalanced designs plateau at the
 //! straggler almost immediately.
 
-use parendi_bench::{ipu_point, quick};
+use parendi_bench::{ipu_point, quick, write_bench_json, BenchRecord};
 use parendi_core::{compile, PartitionConfig};
 use parendi_designs::Benchmark;
 use parendi_graph::{extract_fibers, CostModel};
@@ -16,6 +16,7 @@ use parendi_sim::BspSimulator;
 
 fn main() {
     let ipu = IpuConfig::m2000();
+    let mut records = Vec::new();
     for bench in Benchmark::small_three() {
         let c = bench.build();
         let costs = CostModel::of(&c);
@@ -42,6 +43,18 @@ fn main() {
         sim.run(20); // warm the persistent pool
         let cycles: u64 = if quick() { 100 } else { 400 };
         let ph = sim.run_timed(cycles);
+        records.push(BenchRecord::from_phases(
+            "fig06",
+            bench.name(),
+            "bsp",
+            comp.partition.chips,
+            comp.partition.tiles_used(),
+            1,
+            4,
+            cycles,
+            cycles as f64 / ph.total_s,
+            &ph,
+        ));
         let mut ns: Vec<f64> = ph
             .per_tile
             .iter()
@@ -81,6 +94,10 @@ fn main() {
             tiles *= 4;
         }
         println!();
+    }
+    match write_bench_json("fig06", &records) {
+        Ok(path) => println!("wrote {} ({} records)\n", path.display(), records.len()),
+        Err(e) => println!("could not write BENCH_fig06.json: {e}\n"),
     }
     println!("Shape check: pico plateaus immediately (giant straggler);");
     println!("bitcoin keeps reducing t_comp through hundreds of tiles.");

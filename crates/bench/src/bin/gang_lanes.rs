@@ -2,23 +2,32 @@
 //! vs the single-scenario BSP engine, over one compiled partition.
 //!
 //! The gang engine runs L independent stimulus lanes in lockstep with
-//! lane-strided state, so each dispatched step is amortized L ways.
-//! This bin sweeps L on at least two designs and prints **aggregate
-//! lane-cycles/sec** (scenario-cycles per second summed over lanes)
-//! next to the single-lane engine — the gang acceptance criterion is
-//! that the aggregate improves with lane count.
+//! lane-strided state, so each dispatched bytecode instruction is
+//! amortized L ways. This bin sweeps L on at least two designs and
+//! prints **aggregate lane-cycles/sec** (scenario-cycles per second
+//! summed over lanes) next to the single-lane engine — the gang
+//! acceptance criterion is that the aggregate improves with lane count.
 //!
-//! A microbench at the end shows what the shared `nw == 1` single-word
-//! fast path buys over the general slice kernels: the same op sequence
-//! evaluated through `parendi_rtl::bits::word` (one-word slices, carry
-//! loops, bounds checks) vs plain masked `u64` arithmetic — the inner
-//! loop both engines now run for single-word steps.
+//! Throughput comes from *untimed* `run` calls (best of three reps, no
+//! per-cycle clock reads); the phase split in the JSON comes from one
+//! additional `run_timed`. Every row lands in `BENCH_gang_lanes.json`
+//! ([`parendi_bench::write_bench_json`]), and when the checked-in
+//! pre-PR baseline has a matching row its delta prints side by side
+//! (`vs pre-PR`) — the perf trajectory of the one-hot-loop engine.
 //!
-//! Env knobs: `PARENDI_QUICK=1` shrinks the sweep to the CI smoke shape
-//! (2 chips × lanes {1, 4}); `PARENDI_GANG_LANES` overrides the lane
-//! list (comma-separated).
+//! A microbench at the end shows what the fused `nw == 1` single-word
+//! opcodes buy over the general slice kernels.
+//!
+//! Env knobs: `PARENDI_QUICK=1` (or `--quick`) shrinks the sweep to the
+//! CI smoke shape (2 chips × lanes {1, 4}); `PARENDI_GANG_LANES`
+//! overrides the lane list (comma-separated); `PARENDI_BENCH_DIR`
+//! redirects the JSON; `PARENDI_BASELINE` points at an alternative
+//! baseline file.
 
-use parendi_bench::quick;
+use parendi_bench::{
+    baseline_rate, load_baseline, parse_quick_flag, quick, vs_baseline_cell, write_bench_json,
+    BenchRecord,
+};
 use parendi_core::{compile, Compilation, PartitionConfig};
 use parendi_designs::{prng, Benchmark};
 use parendi_rtl::bits::word;
@@ -26,6 +35,9 @@ use parendi_rtl::Circuit;
 use parendi_sim::{BspSimulator, GangSimulator};
 use std::hint::black_box;
 use std::time::Instant;
+
+const BIN: &str = "gang_lanes";
+const REPS: usize = 3;
 
 fn lane_sweep() -> Vec<usize> {
     if let Ok(v) = std::env::var("PARENDI_GANG_LANES") {
@@ -47,39 +59,119 @@ fn compile_two_chips(circuit: &Circuit, tiles: u32) -> Compilation {
     compile(circuit, &cfg).expect("bench design compiles")
 }
 
-fn sweep_design(name: &str, circuit: &Circuit, tiles: u32, threads: usize, cycles: u64) {
+/// Fills the shared measurement fields of a record: best-of-`REPS`
+/// untimed wall time for the rate, one timed run for the phase split.
+fn measure(rec: &mut BenchRecord, run: &mut dyn FnMut(bool) -> parendi_sim::BspPhases) {
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        best = best.min(run(false).total_s);
+    }
+    let ph = run(true);
+    *rec = BenchRecord::from_phases(
+        &rec.bin,
+        rec.design.clone(),
+        &rec.engine,
+        rec.chips,
+        rec.tiles,
+        rec.lanes,
+        rec.threads,
+        rec.cycles,
+        rec.cycles as f64 / best,
+        &ph,
+    );
+}
+
+fn sweep_design(
+    key: &str,
+    circuit: &Circuit,
+    tiles: u32,
+    threads: usize,
+    cycles: u64,
+    base: Option<&[BenchRecord]>,
+    out: &mut Vec<BenchRecord>,
+) {
     let comp = compile_two_chips(circuit, tiles);
+    let chips = comp.partition.chips;
+    let tiles_used = comp.partition.tiles_used();
     println!(
-        "\n== {name} ({} tiles, {} chips, {threads} threads, {cycles} cycles) ==",
-        comp.partition.tiles_used(),
-        comp.partition.chips,
+        "\n== {key} ({tiles_used} tiles, {chips} chips, {threads} threads, {cycles} cycles) =="
     );
     println!(
-        "{:>6} {:>12} {:>14} {:>9}",
-        "lanes", "wall µs/cyc", "lane-kcyc/s", "vs 1-lane"
+        "{:>6} {:>12} {:>14} {:>9} {:>9}",
+        "lanes", "wall µs/cyc", "lane-kcyc/s", "vs 1-lane", "vs pre-PR"
     );
-    let mut single = BspSimulator::new(circuit, &comp.partition, threads);
-    single.run(30); // warm the pool
-    let ph = single.run_timed(cycles);
-    let base = ph.lane_cycles_per_s();
+    let template = |engine: &str, lanes: u32| BenchRecord {
+        bin: BIN.into(),
+        design: key.into(),
+        engine: engine.into(),
+        chips,
+        tiles: tiles_used,
+        lanes,
+        threads: threads as u32,
+        cycles,
+        ..BenchRecord::default()
+    };
+
+    let mut rec = template("bsp", 1);
+    {
+        let mut single = BspSimulator::new(circuit, &comp.partition, threads);
+        single.run(30); // warm the pool
+        measure(&mut rec, &mut |timed| {
+            if timed {
+                single.run_timed(cycles)
+            } else {
+                parendi_sim::BspPhases {
+                    total_s: single.run(cycles),
+                    ..Default::default()
+                }
+            }
+        });
+    }
+    let vs = baseline_rate(base.unwrap_or(&[]), BIN, key, "bsp", 1, threads as u32);
     println!(
-        "{:>6} {:>12.2} {:>14.1} {:>9} (single-scenario BspSimulator)",
+        "{:>6} {:>12.2} {:>14.1} {:>9} {:>9} (single-scenario BspSimulator)",
         1,
-        ph.total_s * 1e6 / cycles as f64,
-        base / 1e3,
-        "-"
+        1e6 / rec.cycles_per_s,
+        rec.lane_cycles_per_s / 1e3,
+        "-",
+        vs_baseline_cell(rec.lane_cycles_per_s, vs),
     );
+    let single_rate = rec.lane_cycles_per_s;
+    out.push(rec);
+
     for lanes in lane_sweep() {
-        let mut gang = GangSimulator::new(circuit, &comp.partition, threads, lanes);
-        gang.run(30);
-        let ph = gang.run_timed(cycles);
-        println!(
-            "{:>6} {:>12.2} {:>14.1} {:>8.2}x",
-            lanes,
-            ph.total_s * 1e6 / cycles as f64,
-            ph.lane_cycles_per_s() / 1e3,
-            ph.lane_cycles_per_s() / base.max(1e-12),
+        let mut rec = template("gang", lanes as u32);
+        {
+            let mut gang = GangSimulator::new(circuit, &comp.partition, threads, lanes);
+            gang.run(30);
+            measure(&mut rec, &mut |timed| {
+                if timed {
+                    gang.run_timed(cycles)
+                } else {
+                    parendi_sim::BspPhases {
+                        total_s: gang.run(cycles),
+                        ..Default::default()
+                    }
+                }
+            });
+        }
+        let vs = baseline_rate(
+            base.unwrap_or(&[]),
+            BIN,
+            key,
+            "gang",
+            lanes as u32,
+            threads as u32,
         );
+        println!(
+            "{:>6} {:>12.2} {:>14.1} {:>8.2}x {:>9}",
+            lanes,
+            1e6 / rec.cycles_per_s,
+            rec.lane_cycles_per_s / 1e3,
+            rec.lane_cycles_per_s / single_rate.max(1e-12),
+            vs_baseline_cell(rec.lane_cycles_per_s, vs),
+        );
+        out.push(rec);
     }
 }
 
@@ -100,7 +192,8 @@ fn kernel_round(a: u64, b: u64) -> u64 {
     out[0] ^ word::lt_u(&av, &bv) as u64
 }
 
-/// The same ops as plain masked `u64` arithmetic (the fast path).
+/// The same ops as plain masked `u64` arithmetic (the fused-opcode
+/// path of the bytecode loop).
 #[inline(never)]
 fn scalar_round(a: u64, b: u64) -> u64 {
     let mask = 0xffff_ffffu64;
@@ -124,35 +217,83 @@ fn fast_path_delta() {
     };
     let kern = time(&kernel_round);
     let scal = time(&scalar_round);
-    println!("\nnw==1 fast-path delta (5-op round, {iters} iters):");
+    println!("\nnw==1 fused-opcode delta (5-op round, {iters} iters):");
     println!(
         "  slice kernels {:>7.2} ns/round | scalar u64 {:>7.2} ns/round | {:.2}x",
         kern * 1e9,
         scal * 1e9,
         kern / scal.max(1e-12),
     );
-    println!("  (both engines now take the scalar path for single-word steps;");
-    println!("   the gang engine additionally amortizes the step dispatch over lanes)");
+    println!("  (both engines dispatch single-word steps straight into the scalar");
+    println!("   kernels via dedicated fused opcodes; the gang engine additionally");
+    println!("   amortizes each dispatch over all active lanes)");
 }
 
 fn main() {
-    let threads = 4usize;
+    parse_quick_flag();
     let cycles: u64 = if quick() { 300 } else { 1000 };
+    let base = load_baseline();
     println!("Gang lane sweep: aggregate scenario-cycles/sec vs lane count");
+    if base.is_none() {
+        println!("(no pre-PR baseline found; vs pre-PR column prints '-')");
+    }
+    let mut records = Vec::new();
 
-    // Design 1: the seeded PRNG bank — the seed-farm workload gang
-    // execution exists for (tiny fibers, dispatch-dominated).
-    let bank = prng::build_seeded_bank(32);
-    sweep_design("sprng32 (seed farm)", &bank, 16, threads, cycles);
+    // One thread isolates the dispatch-bound regime the fused bytecode
+    // targets; four threads add the barrier/exchange dimension.
+    for threads in [1usize, 4] {
+        // Design 1: the seeded PRNG bank — the nw==1-heavy seed-farm
+        // workload gang execution exists for (tiny fibers,
+        // dispatch-dominated; the acceptance design of the bytecode PR).
+        let bank = prng::build_seeded_bank(32);
+        sweep_design(
+            "sprng32",
+            &bank,
+            16,
+            threads,
+            cycles,
+            base.as_deref(),
+            &mut records,
+        );
 
-    // Design 2: a mesh NoC — real cross-tile and cross-chip traffic
-    // rides the lane-strided mailboxes.
-    let mesh = Benchmark::Sr(if quick() { 3 } else { 4 }).build();
-    sweep_design("sr mesh", &mesh, 16, threads, cycles);
+        // Design 2: a mesh NoC — real cross-tile and cross-chip traffic
+        // rides the lane-strided mailboxes.
+        let n = if quick() { 3 } else { 4 };
+        let mesh = Benchmark::Sr(n).build();
+        sweep_design(
+            &format!("sr{n}"),
+            &mesh,
+            16,
+            threads,
+            cycles,
+            base.as_deref(),
+            &mut records,
+        );
+    }
 
     fast_path_delta();
 
+    match write_bench_json(BIN, &records) {
+        Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
+        Err(e) => println!("\ncould not write BENCH_{BIN}.json: {e}"),
+    }
+    if let Some(base) = &base {
+        // The PR acceptance line: the nw==1-heavy design, side by side.
+        for r in records.iter().filter(|r| r.design == "sprng32") {
+            if let Some(b) = baseline_rate(base, BIN, "sprng32", &r.engine, r.lanes, r.threads) {
+                println!(
+                    "sprng32 {} lanes={}: pre-PR {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
+                    r.engine,
+                    r.lanes,
+                    b / 1e3,
+                    r.lane_cycles_per_s / 1e3,
+                    vs_baseline_cell(r.lane_cycles_per_s, Some(b)),
+                );
+            }
+        }
+    }
+
     println!("\nShape check: lane-kcyc/s rises with lanes on both designs — one");
-    println!("step dispatch feeds L lanes, so aggregate throughput grows until");
+    println!("bytecode dispatch feeds L lanes, so aggregate throughput grows until");
     println!("memory bandwidth, not dispatch, is the limiter.");
 }

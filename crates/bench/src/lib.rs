@@ -31,6 +31,222 @@ pub fn quick() -> bool {
         .unwrap_or(false)
 }
 
+/// Honours a `--quick` CLI flag by setting `PARENDI_QUICK=1` for this
+/// process (so `gang_lanes --quick` equals `PARENDI_QUICK=1 gang_lanes`).
+/// Call at the top of a binary's `main`.
+pub fn parse_quick_flag() {
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("PARENDI_QUICK", "1");
+    }
+}
+
+/// One machine-readable measurement of an engine run: the row schema of
+/// the `BENCH_*.json` files every engine-column bench bin emits (and of
+/// the checked-in pre-PR baselines they compare against).
+#[derive(Clone, Debug, Default)]
+pub struct BenchRecord {
+    /// Emitting binary (`gang_lanes`, `fig04`, …).
+    pub bin: String,
+    /// Design key (`sprng32`, `sr3`, `prng64`, …).
+    pub design: String,
+    /// `bsp` (single-scenario) or `gang`.
+    pub engine: String,
+    /// Chips the partition spans.
+    pub chips: u32,
+    /// Tiles used.
+    pub tiles: u32,
+    /// Scenario lanes (1 for the bsp engine).
+    pub lanes: u32,
+    /// Worker threads requested.
+    pub threads: u32,
+    /// RTL cycles of the measured run.
+    pub cycles: u64,
+    /// Wall-clock RTL cycles per second (untimed run, best rep).
+    pub cycles_per_s: f64,
+    /// Aggregate scenario-cycles per second (`lanes ×` the above).
+    pub lane_cycles_per_s: f64,
+    /// Straggler compute seconds over the timed run.
+    pub compute_s: f64,
+    /// Straggler off-chip flush + residual link seconds.
+    pub offchip_s: f64,
+    /// Straggler exchange (incl. barrier) seconds.
+    pub exchange_s: f64,
+    /// Modeled link seconds hidden by the flush/compute overlap.
+    pub overlap_s: f64,
+    /// Wall seconds of the timed run.
+    pub total_s: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a run shape, its measured rate (RTL
+    /// cycles/s from the untimed reps), and the timed run's phase
+    /// split — the one constructor every engine-column bin shares.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_phases(
+        bin: &str,
+        design: impl Into<String>,
+        engine: &str,
+        chips: u32,
+        tiles: u32,
+        lanes: u32,
+        threads: u32,
+        cycles: u64,
+        cycles_per_s: f64,
+        ph: &parendi_sim::BspPhases,
+    ) -> Self {
+        BenchRecord {
+            bin: bin.into(),
+            design: design.into(),
+            engine: engine.into(),
+            chips,
+            tiles,
+            lanes,
+            threads,
+            cycles,
+            cycles_per_s,
+            lane_cycles_per_s: cycles_per_s * lanes as f64,
+            compute_s: ph.compute_s,
+            offchip_s: ph.offchip_s,
+            exchange_s: ph.exchange_s,
+            overlap_s: ph.overlap_s,
+            total_s: ph.total_s,
+        }
+    }
+
+    /// One flat JSON object (no nesting, no escapes — keys and the
+    /// string fields stay within `[A-Za-z0-9_ .-]`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bin\":\"{}\",\"design\":\"{}\",\"engine\":\"{}\",\"chips\":{},\"tiles\":{},\
+             \"lanes\":{},\"threads\":{},\"cycles\":{},\"cycles_per_s\":{:.1},\
+             \"lane_cycles_per_s\":{:.1},\"compute_s\":{:.9},\"offchip_s\":{:.9},\
+             \"exchange_s\":{:.9},\"overlap_s\":{:.9},\"total_s\":{:.9}}}",
+            self.bin,
+            self.design,
+            self.engine,
+            self.chips,
+            self.tiles,
+            self.lanes,
+            self.threads,
+            self.cycles,
+            self.cycles_per_s,
+            self.lane_cycles_per_s,
+            self.compute_s,
+            self.offchip_s,
+            self.exchange_s,
+            self.overlap_s,
+            self.total_s,
+        )
+    }
+}
+
+/// Renders records as a JSON array (one object per line).
+pub fn bench_records_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes `BENCH_<bin>.json` into `$PARENDI_BENCH_DIR` (default: the
+/// current directory) and returns the path. The CI bench smoke uploads
+/// these as artifacts — the perf trajectory of the engine.
+pub fn write_bench_json(bin: &str, records: &[BenchRecord]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("PARENDI_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    std::fs::create_dir_all(&dir)?;
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{bin}.json"));
+    std::fs::write(&path, bench_records_json(records))?;
+    Ok(path)
+}
+
+/// Parses the flat-object JSON produced by [`bench_records_json`] (and
+/// by the baseline capture). Tolerant of whitespace; not a general
+/// JSON parser — exactly the schema above.
+pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('{') {
+        let Some(end) = rest[start..].find('}') else {
+            break;
+        };
+        let obj = &rest[start + 1..start + end];
+        let mut r = BenchRecord::default();
+        for field in obj.split(',') {
+            let Some((k, v)) = field.split_once(':') else {
+                continue;
+            };
+            let k = k.trim().trim_matches('"');
+            let v = v.trim();
+            let s = v.trim_matches('"').to_string();
+            let n = v.parse::<f64>().unwrap_or(0.0);
+            match k {
+                "bin" => r.bin = s,
+                "design" => r.design = s,
+                "engine" => r.engine = s,
+                "chips" => r.chips = n as u32,
+                "tiles" => r.tiles = n as u32,
+                "lanes" => r.lanes = n as u32,
+                "threads" => r.threads = n as u32,
+                "cycles" => r.cycles = n as u64,
+                "cycles_per_s" => r.cycles_per_s = n,
+                "lane_cycles_per_s" => r.lane_cycles_per_s = n,
+                "compute_s" => r.compute_s = n,
+                "offchip_s" => r.offchip_s = n,
+                "exchange_s" => r.exchange_s = n,
+                "overlap_s" => r.overlap_s = n,
+                "total_s" => r.total_s = n,
+                _ => {}
+            }
+        }
+        out.push(r);
+        rest = &rest[start + end + 1..];
+    }
+    out
+}
+
+/// Loads the pre-PR baseline records: `$PARENDI_BASELINE` if set, else
+/// the checked-in `baselines/pre_pr4.json` next to this crate. `None`
+/// if neither exists (the bins then skip the side-by-side columns).
+pub fn load_baseline() -> Option<Vec<BenchRecord>> {
+    let path = std::env::var("PARENDI_BASELINE")
+        .unwrap_or_else(|_| format!("{}/baselines/pre_pr4.json", env!("CARGO_MANIFEST_DIR")));
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(parse_bench_json(&text))
+}
+
+/// The baseline aggregate rate for a `(bin, design, engine, lanes,
+/// threads)` row, if the baseline has it.
+pub fn baseline_rate(
+    base: &[BenchRecord],
+    bin: &str,
+    design: &str,
+    engine: &str,
+    lanes: u32,
+    threads: u32,
+) -> Option<f64> {
+    base.iter()
+        .find(|r| {
+            r.bin == bin
+                && r.design == design
+                && r.engine == engine
+                && r.lanes == lanes
+                && r.threads == threads
+        })
+        .map(|r| r.lane_cycles_per_s)
+}
+
+/// Formats the side-by-side `vs pre-PR` cell: `+17.3%` (or `-` when the
+/// baseline lacks the row).
+pub fn vs_baseline_cell(now: f64, base: Option<f64>) -> String {
+    match base {
+        Some(b) if b > 0.0 => format!("{:+.1}%", (now / b - 1.0) * 100.0),
+        _ => "-".into(),
+    }
+}
+
 /// Largest srN mesh side (default 15; quick mode 6).
 pub fn sr_max() -> u32 {
     std::env::var("PARENDI_SR_MAX")

@@ -1,4 +1,5 @@
-//! The parallel BSP execution engine: compiled point-to-point exchange.
+//! The parallel BSP simulator: the single-scenario facade over the
+//! unified execution core.
 //!
 //! Executes a compiled [`Partition`] on host threads with exactly the
 //! structure of Fig. 3: a *computation* phase in which every process
@@ -8,99 +9,47 @@
 //! (`crate::interp`) — the engine is the correctness check for the
 //! partitioner, not a model.
 //!
-//! The compiled per-tile programs, the mailbox fabric, and the phase
-//! barrier live in `crate::engine` and are shared with the
-//! scenario-parallel gang engine ([`crate::gang::GangSimulator`]): this
-//! module is the single-scenario (one-lane) execution of that common
-//! machinery.
+//! Since the engine unification there is **no BSP-specific execution
+//! code**: [`BspSimulator`] is the `lanes == 1` instantiation of the
+//! lane-strided [`crate::exec::EngineCore`] shared with the
+//! scenario-parallel gang engine ([`crate::gang::GangSimulator`]). The
+//! worker loop, the phase functions, the off-chip flush, and the unsafe
+//! epoch/aliasing discipline all live exactly once, in `crate::exec`;
+//! the compile front-end (per-tile fused bytecode, mailbox fabric,
+//! chip-major worker groups) lives in `crate::engine`. This module
+//! only adapts the lane-indexed core API to the classic single-scenario
+//! testbench surface and defines the public timing types.
 //!
-//! # Exchange architecture
+//! # Exchange architecture (executed by the core)
 //!
 //! There is no shared mutable global state and no leader thread. Every
 //! tile *owns* the registers and array copies it produces or holds, and
 //! all cross-tile values move through the channels of the compiled
-//! [`Routing`], laid out at compile time (register slots first, then
-//! array write-port records). Channels come in the two classes the
-//! machine distinguishes (Fig. 5): *on-chip* channels get one
-//! double-buffered mailbox per producer→consumer tile pair, while
+//! [`Routing`], laid out at compile time. Channels come in the two
+//! classes the machine distinguishes (Fig. 5): *on-chip* channels get
+//! one double-buffered mailbox per producer→consumer tile pair, while
 //! *off-chip* channels are aggregated into one **wider mailbox per
-//! ordered chip pair** — every cross-chip channel owns a disjoint
-//! segment of its chip-pair buffer, modeling the shared gateway link
-//! that off-chip traffic funnels through.
+//! ordered chip pair**. Tiles fold onto worker threads **chip-major**,
+//! and each worker's off-chip traffic is flushed eagerly per tile so
+//! the modeled link transfer overlaps the remaining tiles' compute
+//! (the hidden portion is reported as [`BspPhases::overlap_s`]).
 //!
-//! # Chip-group worker layout
-//!
-//! Tiles fold onto worker threads **chip-major**: each chip's tiles go
-//! to a contiguous *group* of workers sized proportionally to the chip's
-//! tile count (with fewer workers than chips, whole chips round-robin
-//! over workers so a chip's tiles stay within one worker). A worker
-//! therefore touches at most one chip whenever the pool is at least as
-//! wide as the machine, which keeps each group's on-chip mailbox traffic
-//! within the group and makes the off-chip flush a per-group act — the
-//! host analogue of tiles sharing a chip's exchange fabric.
-//!
-//! The two epochs of a mailbox alternate by cycle parity. During cycle
-//! `c` every worker, for each of its tiles:
-//!
-//! 1. runs the tile's step program, reading its own registers and array
-//!    copies plus *epoch `c`* mailbox slots for remote registers;
-//! 2. latches its own registers (tile-local, nobody else reads them);
-//! 3. copies outgoing **on-chip** register values and `(enable, index,
-//!    data)` port records into *epoch `c+1`* on-chip mailboxes;
-//! 4. in a distinct, separately-timed **off-chip flush sub-phase**,
-//!    copies cross-chip values into the epoch-`c+1` chip-pair
-//!    aggregates, optionally spinning a configurable per-word delay
-//!    ([`BspSimulator::set_offchip_spin_per_word`]) so benches can sweep
-//!    the `m×b` off-chip cost the paper measures.
-//!
-//! Writers touch only epoch-`c+1` buffers while readers touch only
-//! epoch-`c` buffers, so neither sub-phase needs locks or barriers
-//! between them. After the first barrier, the communication phase has
-//! every *holder* of an array apply the staged port records (its own
-//! from its arena, remote ones from epoch-`c+1` mailboxes) in global
-//! `(array, port)` order, keeping every copy bit-identical; the second
-//! barrier ends the cycle. The only synchronization in the steady-state
-//! loop is those two barriers: no locks are taken and no heap allocation
-//! occurs. Per-tile `Mutex`es exist solely so the testbench API
-//! (`poke`/`reg_value`/`array_value`/`peek_output`) can inspect state
-//! between [`run`](BspSimulator::run) calls, and are locked once per
-//! run, outside the cycle loop.
-//!
-//! Worker threads are spawned once in [`BspSimulator::new`] and persist
-//! across `run()` calls (the figure binaries call `run` in a loop), so
-//! repeated runs pay two barrier waits, not thread start-up.
-//! [`run_timed`](BspSimulator::run_timed) reports the straggler worker's
-//! compute / off-chip / on-chip exchange split plus per-tile phase
-//! histograms ([`BspPhases::per_tile`]) — the measured counterpart of
-//! Fig. 6's load-imbalance view.
+//! The only synchronization in the steady-state loop is the two phase
+//! barriers: no locks are taken and no heap allocation occurs. Per-tile
+//! `Mutex`es exist solely so the testbench API (`poke` / `reg_value` /
+//! `array_value` / `peek_output`) can inspect state between
+//! [`run`](BspSimulator::run) calls, and are locked once per run,
+//! outside the cycle loop. Worker threads are spawned once in
+//! [`BspSimulator::new`] and persist across `run()` calls.
 //!
 //! [`Simulator`]: crate::interp::Simulator
 //! [`Routing`]: parendi_core::routing::Routing
+//! [`Partition`]: parendi_core::Partition
 
-use crate::engine::{
-    eval_op, spin_delay, worker_groups, ArrayHome, Compiled, Mailbox, OutputHome, PhaseBarrier,
-    PortSend, Program, RecSrc, RegHome, RegSend, Step,
-};
-use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
+use crate::exec::EngineCore;
 use parendi_core::Partition;
-use parendi_rtl::bits::{word, words_for, Bits};
+use parendi_rtl::bits::Bits;
 use parendi_rtl::{Circuit, InputId, RegId};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex, RwLock};
-use std::thread::JoinHandle;
-use std::time::Instant;
-
-/// Mutable tile-owned state. Guarded by a `Mutex` purely for the
-/// testbench API; workers lock it once per `run`, not per cycle.
-#[derive(Debug)]
-struct TileState {
-    arena: Vec<u64>,
-    /// This tile's own registers, packed in `RegId` order.
-    reg_cur: Vec<u64>,
-    /// Local copies of held arrays, in the process's sorted array order.
-    arrays: Vec<Vec<u64>>,
-}
 
 /// One tile's phase seconds over a timed run (its share of the worker's
 /// loop bodies; barrier waits are per-worker and excluded).
@@ -109,8 +58,9 @@ pub struct TilePhases {
     /// Seconds running the tile's step program (incl. latches and
     /// on-chip mailbox pushes).
     pub compute_s: f64,
-    /// Seconds flushing the tile's cross-chip traffic (incl. the
-    /// configured per-word delay).
+    /// Seconds flushing the tile's cross-chip traffic into the
+    /// chip-pair aggregate mailboxes (memory copies; the modeled link
+    /// occupancy is scheduled asynchronously and accounted per worker).
     pub offchip_s: f64,
     /// Seconds applying staged port records to the tile's array copies.
     pub exchange_s: f64,
@@ -119,16 +69,17 @@ pub struct TilePhases {
 /// Per-run phase timings: the straggler worker's split plus per-tile
 /// histograms.
 ///
-/// The three phase columns come from the *single* worker with the
-/// largest compute + off-chip flush time (the straggler — totals can't
-/// rank workers because barrier waits absorb the slack), so
+/// The phase columns come from the *single* worker with the largest
+/// compute + off-chip flush time (the straggler — totals can't rank
+/// workers because barrier waits absorb the slack), so
 /// `compute_s + offchip_s + exchange_s` is that worker's real wall
 /// time — phases are never paired across different workers.
 ///
 /// `cycles` and `lanes` describe the run itself: the single-scenario
 /// engine always reports one lane, while the gang engine reports its
-/// lane count so [`lane_cycles_per_s`](Self::lane_cycles_per_s) — the
-/// aggregate *scenario-cycles* per second — is comparable across both.
+/// *active* lane count (early-exited lanes stop counting), so
+/// [`lane_cycles_per_s`](Self::lane_cycles_per_s) — the aggregate
+/// *scenario-cycles* per second — is comparable across both.
 #[derive(Clone, Debug)]
 pub struct BspPhases {
     /// Wall-clock seconds for the whole run.
@@ -136,20 +87,27 @@ pub struct BspPhases {
     /// Seconds the straggler worker spent in computation phases
     /// (step programs, register latches, on-chip mailbox pushes).
     pub compute_s: f64,
-    /// Seconds the straggler worker spent flushing cross-chip traffic
-    /// into the per-chip-pair aggregate mailboxes (zero on single-chip
+    /// Seconds the straggler worker spent on cross-chip traffic: the
+    /// flush copies plus the *residual* modeled link wait that the
+    /// flush/compute overlap could not hide (zero on single-chip
     /// partitions).
     pub offchip_s: f64,
     /// Seconds the straggler worker spent in communication phases:
     /// record application plus both barrier waits.
     pub exchange_s: f64,
+    /// Modeled off-chip link seconds hidden under subsequent tile
+    /// compute by the eager flush — the time the flush/compute overlap
+    /// recovered versus a serialized flush (zero when the spin model is
+    /// off or nothing overlapped).
+    pub overlap_s: f64,
     /// Per-tile phase split, indexed by tile — the measured counterpart
-    /// of the Fig. 6 straggler histograms. Empty for untimed runs (and
-    /// for gang runs, which time at worker granularity).
+    /// of the Fig. 6 straggler histograms, populated for single-lane
+    /// *and* gang runs. Empty for untimed runs.
     pub per_tile: Vec<TilePhases>,
     /// RTL cycles this run advanced.
     pub cycles: u64,
-    /// Scenario lanes executed per cycle (1 for [`BspSimulator`]).
+    /// Scenario lanes executed per cycle (1 for [`BspSimulator`];
+    /// the active lane count for gang runs).
     pub lanes: u32,
 }
 
@@ -160,6 +118,7 @@ impl Default for BspPhases {
             compute_s: 0.0,
             offchip_s: 0.0,
             exchange_s: 0.0,
+            overlap_s: 0.0,
             per_tile: Vec::new(),
             cycles: 0,
             lanes: 1,
@@ -168,10 +127,11 @@ impl Default for BspPhases {
 }
 
 impl BspPhases {
-    /// Aggregate throughput in *lane-cycles* per second: every lane
-    /// advances one RTL cycle per engine cycle, so a gang run at L lanes
-    /// delivers `L × cycles / total_s` scenario-cycles per second. For
-    /// the single-scenario engine this is plain cycles per second.
+    /// Aggregate throughput in *lane-cycles* per second: every active
+    /// lane advances one RTL cycle per engine cycle, so a gang run at L
+    /// active lanes delivers `L × cycles / total_s` scenario-cycles per
+    /// second. For the single-scenario engine this is plain cycles per
+    /// second.
     pub fn lane_cycles_per_s(&self) -> f64 {
         if self.total_s > 0.0 {
             self.cycles as f64 * self.lanes as f64 / self.total_s
@@ -181,48 +141,15 @@ impl BspPhases {
     }
 }
 
-/// State shared between the simulator facade and the worker pool.
-struct Shared {
-    programs: Vec<Program>,
-    tiles: Vec<Mutex<TileState>>,
-    channels: Vec<Mailbox>,
-    inputs: RwLock<Vec<u64>>,
-    /// Workers-only phase barrier (two waits per cycle).
-    phase_barrier: PhaseBarrier,
-    /// Run hand-off: workers + the control thread.
-    gate: Barrier,
-    done: Barrier,
-    cmd_cycles: AtomicU64,
-    cmd_start: AtomicU64,
-    cmd_timed: AtomicBool,
-    exit: AtomicBool,
-    /// Spin iterations per word charged to off-chip flushes.
-    offchip_spin: AtomicU32,
-    /// Per-worker (compute, offchip, exchange) ns of the last timed run.
-    phase_ns: Vec<Mutex<(u64, u64, u64)>>,
-    /// Per-tile (compute, offchip, exchange) ns of the last timed run.
-    tile_ns: Vec<Mutex<(u64, u64, u64)>>,
-}
-
-/// A parallel BSP simulator for a compiled partition.
+/// A parallel BSP simulator for a compiled partition: one scenario,
+/// many tiles. A thin facade over the unified lane-strided core at
+/// `lanes == 1`.
 pub struct BspSimulator<'c> {
-    circuit: &'c Circuit,
-    shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
-    reg_home: Vec<RegHome>,
-    array_home: Vec<ArrayHome>,
-    output_home: Vec<OutputHome>,
-    input_off: Vec<u32>,
-    input_by_name: HashMap<String, InputId>,
-    output_by_name: HashMap<String, u32>,
-    /// Mailboxes serving on-chip channels (the tail of
-    /// `shared.channels` holds the per-chip-pair aggregates).
-    onchip_mailboxes: usize,
-    cycle: u64,
+    core: EngineCore<'c>,
 }
 
 impl<'c> BspSimulator<'c> {
-    /// Compiles `partition` into per-tile programs and spawns a
+    /// Compiles `partition` into per-tile fused bytecode and spawns a
     /// persistent pool of `threads` workers (tiles are folded
     /// chip-major onto threads; the pool is reused by every
     /// [`run`](Self::run)).
@@ -231,135 +158,41 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Panics if `threads` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one thread");
-        let Compiled {
-            programs,
-            reg_home,
-            array_home,
-            output_home,
-            input_off,
-            input_words,
-            input_by_name,
-            output_by_name,
-            tile_reg_words,
-            array_init,
-            channels,
-            onchip_mailboxes,
-            tile_chip,
-            ..
-        } = Compiled::new(circuit, partition, 1);
-
-        let tiles: Vec<Mutex<TileState>> = programs
-            .iter()
-            .enumerate()
-            .map(|(pi, prog)| {
-                let mut arena = vec![0u64; prog.arena_words];
-                for (off, words) in &prog.const_init {
-                    arena[*off as usize..*off as usize + words.len()].copy_from_slice(words);
-                }
-                let mut reg_cur = vec![0u64; tile_reg_words[pi] as usize];
-                for (ri, home) in reg_home.iter().enumerate() {
-                    if home.tile == pi as u32 {
-                        reg_cur[home.off as usize..(home.off + home.words) as usize]
-                            .copy_from_slice(circuit.regs[ri].init.words());
-                    }
-                }
-                let arrays = partition.processes[pi]
-                    .arrays
-                    .iter()
-                    .map(|a| array_init[a.index()].clone())
-                    .collect();
-                Mutex::new(TileState {
-                    arena,
-                    reg_cur,
-                    arrays,
-                })
-            })
-            .collect();
-
-        let pool_threads = if programs.len() <= 1 {
-            1
-        } else {
-            threads.min(programs.len())
-        };
-        let worker_count = if pool_threads > 1 { pool_threads } else { 0 };
-        let tile_count = programs.len();
-        let shared = Arc::new(Shared {
-            programs,
-            tiles,
-            channels,
-            inputs: RwLock::new(vec![0u64; input_words as usize]),
-            phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
-            gate: Barrier::new(worker_count + 1),
-            done: Barrier::new(worker_count + 1),
-            cmd_cycles: AtomicU64::new(0),
-            cmd_start: AtomicU64::new(0),
-            cmd_timed: AtomicBool::new(false),
-            exit: AtomicBool::new(false),
-            offchip_spin: AtomicU32::new(0),
-            phase_ns: (0..worker_count.max(1))
-                .map(|_| Mutex::new((0, 0, 0)))
-                .collect(),
-            tile_ns: (0..tile_count).map(|_| Mutex::new((0, 0, 0))).collect(),
-        });
-        let groups = worker_groups(&tile_chip, worker_count);
-        let workers = groups
-            .into_iter()
-            .enumerate()
-            .map(|(t, mine)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("bsp-worker-{t}"))
-                    .spawn(move || worker_loop(&shared, t, mine))
-                    .expect("spawn BSP worker")
-            })
-            .collect();
-
         BspSimulator {
-            circuit,
-            shared,
-            workers,
-            reg_home,
-            array_home,
-            output_home,
-            input_off,
-            input_by_name,
-            output_by_name,
-            onchip_mailboxes,
-            cycle: 0,
+            core: EngineCore::new(circuit, partition, threads, 1),
         }
     }
 
     /// Number of completed RTL cycles.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.core.cycle
     }
 
     /// Number of tiles (processes) being simulated.
     pub fn tiles(&self) -> usize {
-        self.shared.programs.len()
+        self.core.tiles()
     }
 
     /// Number of mailboxes carrying traffic: per-tile-pair on-chip boxes
     /// plus per-chip-pair off-chip aggregates.
     pub fn channels(&self) -> usize {
-        self.shared.channels.len()
+        self.core.channels()
     }
 
     /// Number of per-chip-pair aggregate mailboxes (zero on single-chip
     /// partitions).
     pub fn offchip_channels(&self) -> usize {
-        self.shared.channels.len() - self.onchip_mailboxes
+        self.core.channels() - self.core.onchip_mailboxes
     }
 
     /// Sets the artificial per-word delay (in spin-loop iterations)
-    /// charged while flushing off-chip mailboxes, modeling the roughly
-    /// order-of-magnitude slower cross-chip link. The benches sweep this
-    /// to reproduce the `m×b` off-chip cost effect (Fig. 5 right);
-    /// functional results are unaffected. Takes effect from the next
-    /// [`run`](Self::run).
+    /// charged to the modeled off-chip link while flushing cross-chip
+    /// mailboxes. The link is asynchronous: its occupancy overlaps the
+    /// worker's remaining tile compute, and only the residual is waited
+    /// out (see [`BspPhases::overlap_s`]). Functional results are
+    /// unaffected. Takes effect from the next [`run`](Self::run).
     pub fn set_offchip_spin_per_word(&mut self, spins: u32) {
-        self.shared.offchip_spin.store(spins, Ordering::Relaxed);
+        self.core.set_offchip_spin(spins);
     }
 
     /// Drives an input (held until changed).
@@ -368,11 +201,7 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Panics if the width does not match.
     pub fn set_input(&mut self, id: InputId, value: &Bits) {
-        let decl = &self.circuit.inputs[id.index()];
-        assert_eq!(decl.width, value.width(), "input {} width", decl.name);
-        let off = self.input_off[id.index()] as usize;
-        let mut inputs = self.shared.inputs.write().unwrap();
-        inputs[off..off + value.words().len()].copy_from_slice(value.words());
+        self.core.set_input_all(id, value);
     }
 
     /// Convenience: drive input `name` with a `u64`.
@@ -381,24 +210,14 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Panics if no such input exists.
     pub fn poke(&mut self, name: &str, value: u64) {
-        let id = *self
-            .input_by_name
-            .get(name)
-            .unwrap_or_else(|| panic!("no input {name}"));
-        let width = self.circuit.inputs[id.index()].width;
+        let id = self.core.input_id(name);
+        let width = self.core.circuit.inputs[id.index()].width;
         self.set_input(id, &Bits::from_u64(width, value));
     }
 
     /// The current value of a register.
     pub fn reg_value(&self, id: RegId) -> Bits {
-        let r = &self.circuit.regs[id.index()];
-        let home = self.reg_home[id.index()];
-        assert!(home.tile != u32::MAX, "register {} has no producer", r.name);
-        let tile = self.shared.tiles[home.tile as usize].lock().unwrap();
-        Bits::from_words(
-            r.width,
-            &tile.reg_cur[home.off as usize..(home.off + home.words) as usize],
-        )
+        self.core.reg_value_lane(id, 0)
     }
 
     /// The current value of primary output `name`, or `None` if no such
@@ -407,31 +226,13 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Output cones are computed every cycle (their fibers run like any
     /// other), but the arena holds *pre-latch* values from the last
-    /// cycle; this replays the owning tile's step program against the
+    /// cycle; this replays the owning tile's bytecode against the
     /// current architectural state (own registers, array copies, and the
     /// current-epoch mailbox slots for remote registers), so the value
     /// reflects all completed cycles and the current inputs, exactly
     /// like the interpreter after `step`.
     pub fn peek_output(&self, name: &str) -> Option<Bits> {
-        let &oi = self.output_by_name.get(name)?;
-        let home = self.output_home[oi as usize];
-        assert!(home.tile != u32::MAX, "output {name} has no owning tile");
-        let width = self.circuit.width(self.circuit.outputs[oi as usize].node);
-        let shared = &self.shared;
-        let inputs = shared.inputs.read().unwrap();
-        let mut tile = shared.tiles[home.tile as usize].lock().unwrap();
-        run_steps(
-            &shared.programs[home.tile as usize],
-            &mut tile,
-            &inputs,
-            &shared.channels,
-            self.cycle,
-        );
-        let off = home.off as usize;
-        Some(Bits::from_words(
-            width,
-            &tile.arena[off..off + words_for(width)],
-        ))
+        self.core.peek_output_lane(name, 0)
     }
 
     /// An element of an array.
@@ -440,452 +241,23 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Panics if `index` is out of range.
     pub fn array_value(&self, id: parendi_rtl::ArrayId, index: u32) -> Bits {
-        let a = &self.circuit.arrays[id.index()];
-        assert!(index < a.depth);
-        let w = words_for(a.width);
-        match &self.array_home[id.index()] {
-            ArrayHome::Held { tile, slot } => {
-                let t = self.shared.tiles[*tile as usize].lock().unwrap();
-                Bits::from_words(
-                    a.width,
-                    &t.arrays[*slot as usize][index as usize * w..][..w],
-                )
-            }
-            ArrayHome::Spare(buf) => Bits::from_words(a.width, &buf[index as usize * w..][..w]),
-        }
+        self.core.array_value_lane(id, index, 0)
     }
 
     /// Runs `cycles` RTL cycles in parallel. Returns wall-clock seconds.
     ///
     /// The cycle loop runs untimed — no per-cycle clock reads.
     pub fn run(&mut self, cycles: u64) -> f64 {
-        self.run_inner(cycles, false).total_s
+        self.core.run_inner(cycles, false).total_s
     }
 
     /// Runs `cycles` RTL cycles and reports per-phase timings (the
     /// measured counterpart of the modeled `t_comp`/`t_comm`+`t_sync`
     /// split), including the per-tile histograms of
     /// [`BspPhases::per_tile`]. Timed runs cost roughly one clock read
-    /// per tile per sub-phase per cycle (timestamps chain tile-to-tile,
-    /// so that read is counted once, inside the following tile's
-    /// interval); use [`run`](Self::run) for throughput measurements.
+    /// per tile per sub-phase per cycle; use [`run`](Self::run) for
+    /// throughput measurements.
     pub fn run_timed(&mut self, cycles: u64) -> BspPhases {
-        self.run_inner(cycles, true)
-    }
-
-    fn run_inner(&mut self, cycles: u64, timed: bool) -> BspPhases {
-        let start = Instant::now();
-        if cycles == 0 {
-            return BspPhases::default();
-        }
-        // The straggler worker's (compute, offchip, exchange) ns: phases
-        // stay paired per worker so the split sums to one worker's real
-        // wall time.
-        let (mut comp_ns, mut off_ns, mut exch_ns) = (0u64, 0u64, 0u64);
-        let mut per_tile = Vec::new();
-        if self.workers.is_empty() {
-            let shared = &self.shared;
-            let spin = shared.offchip_spin.load(Ordering::Relaxed);
-            let any_off = shared.programs.iter().any(|p| p.has_offchip());
-            let inputs = shared.inputs.read().unwrap();
-            let mut guards: Vec<_> = shared.tiles.iter().map(|t| t.lock().unwrap()).collect();
-            let mut tile_ns = vec![(0u64, 0u64, 0u64); guards.len()];
-            for c in self.cycle..self.cycle + cycles {
-                // Timestamps chain: each tile's interval ends where the
-                // next begins, so the phase windows contain one clock
-                // read per tile, not two, and per-tile times sum to the
-                // worker phase exactly.
-                let t0 = timed.then(Instant::now);
-                let mut mark = t0;
-                for (k, (prog, tile)) in shared.programs.iter().zip(guards.iter_mut()).enumerate() {
-                    compute_phase(prog, tile, &inputs, &shared.channels, c);
-                    if let Some(m) = mark {
-                        let now = Instant::now();
-                        tile_ns[k].0 += now.duration_since(m).as_nanos() as u64;
-                        mark = Some(now);
-                    }
-                }
-                let t1 = mark;
-                if any_off {
-                    for (k, (prog, tile)) in
-                        shared.programs.iter().zip(guards.iter_mut()).enumerate()
-                    {
-                        if !prog.has_offchip() {
-                            continue;
-                        }
-                        offchip_phase(prog, tile, &shared.channels, c, spin);
-                        if let Some(m) = mark {
-                            let now = Instant::now();
-                            tile_ns[k].1 += now.duration_since(m).as_nanos() as u64;
-                            mark = Some(now);
-                        }
-                    }
-                }
-                // With no cross-chip traffic the sub-phase is skipped
-                // outright, keeping offchip_s exactly zero.
-                let t2 = mark;
-                for (k, (prog, tile)) in shared.programs.iter().zip(guards.iter_mut()).enumerate() {
-                    exchange_phase(prog, tile, &shared.channels, c);
-                    if let Some(m) = mark {
-                        let now = Instant::now();
-                        tile_ns[k].2 += now.duration_since(m).as_nanos() as u64;
-                        mark = Some(now);
-                    }
-                }
-                if let (Some(t0), Some(t1), Some(t2), Some(end)) = (t0, t1, t2, mark) {
-                    comp_ns += t1.duration_since(t0).as_nanos() as u64;
-                    off_ns += t2.duration_since(t1).as_nanos() as u64;
-                    exch_ns += end.duration_since(t2).as_nanos() as u64;
-                }
-            }
-            if timed {
-                per_tile = tile_ns
-                    .iter()
-                    .map(|&(c, o, e)| TilePhases {
-                        compute_s: c as f64 * 1e-9,
-                        offchip_s: o as f64 * 1e-9,
-                        exchange_s: e as f64 * 1e-9,
-                    })
-                    .collect();
-            }
-        } else {
-            self.shared.cmd_cycles.store(cycles, Ordering::SeqCst);
-            self.shared.cmd_start.store(self.cycle, Ordering::SeqCst);
-            self.shared.cmd_timed.store(timed, Ordering::SeqCst);
-            self.shared.gate.wait();
-            self.shared.done.wait();
-            if timed {
-                // Straggler = the worker with the most real work
-                // (compute + flush). Totals can't rank workers: barrier
-                // waits absorb the slack, equalizing every worker's
-                // comp+off+exch span up to wakeup jitter.
-                for slot in &self.shared.phase_ns {
-                    let (c, o, e) = *slot.lock().unwrap();
-                    if c + o > comp_ns + off_ns {
-                        (comp_ns, off_ns, exch_ns) = (c, o, e);
-                    }
-                }
-                per_tile = self
-                    .shared
-                    .tile_ns
-                    .iter()
-                    .map(|slot| {
-                        let (c, o, e) = *slot.lock().unwrap();
-                        TilePhases {
-                            compute_s: c as f64 * 1e-9,
-                            offchip_s: o as f64 * 1e-9,
-                            exchange_s: e as f64 * 1e-9,
-                        }
-                    })
-                    .collect();
-            }
-        }
-        self.cycle += cycles;
-        BspPhases {
-            total_s: start.elapsed().as_secs_f64(),
-            compute_s: comp_ns as f64 * 1e-9,
-            offchip_s: off_ns as f64 * 1e-9,
-            exchange_s: exch_ns as f64 * 1e-9,
-            per_tile,
-            cycles,
-            lanes: 1,
-        }
-    }
-}
-
-impl Drop for BspSimulator<'_> {
-    fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.shared.exit.store(true, Ordering::SeqCst);
-            self.shared.gate.wait();
-            for w in self.workers.drain(..) {
-                let _ = w.join();
-            }
-        }
-    }
-}
-
-/// The persistent worker entry: a worker that unwound mid-cycle would
-/// leave every other thread blocked at a barrier forever, so engine
-/// bugs become a loud abort (the default panic hook has already printed
-/// the message and location) instead of a silent hang.
-fn worker_loop(shared: &Shared, t: usize, mine: Vec<usize>) {
-    let body = std::panic::AssertUnwindSafe(|| worker_body(shared, t, &mine));
-    if std::panic::catch_unwind(body).is_err() {
-        eprintln!("BSP worker {t} panicked; aborting (a hung barrier would deadlock the run)");
-        std::process::abort();
-    }
-}
-
-/// The worker run loop: park at the gate, execute a run over this
-/// worker's chip-major tile group `mine`, report.
-fn worker_body(shared: &Shared, t: usize, mine: &[usize]) {
-    let any_off = mine.iter().any(|&pi| shared.programs[pi].has_offchip());
-    loop {
-        shared.gate.wait();
-        if shared.exit.load(Ordering::SeqCst) {
-            return;
-        }
-        let cycles = shared.cmd_cycles.load(Ordering::SeqCst);
-        let start = shared.cmd_start.load(Ordering::SeqCst);
-        let timed = shared.cmd_timed.load(Ordering::SeqCst);
-        let spin = shared.offchip_spin.load(Ordering::Relaxed);
-        {
-            // One lock per tile per run; the steady-state cycle loop
-            // below acquires no locks and allocates nothing.
-            let inputs = shared.inputs.read().unwrap();
-            let mut guards: Vec<_> = mine
-                .iter()
-                .map(|&pi| shared.tiles[pi].lock().unwrap())
-                .collect();
-            let (mut comp_ns, mut off_ns, mut exch_ns) = (0u64, 0u64, 0u64);
-            let mut tile_ns = vec![(0u64, 0u64, 0u64); mine.len()];
-            for c in start..start + cycles {
-                // Timestamps chain tile to tile (see `run_inner`): one
-                // clock read per tile lands inside the phase windows,
-                // and per-tile times sum to the worker phase exactly.
-                let t0 = timed.then(Instant::now);
-                let mut mark = t0;
-                for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
-                    compute_phase(&shared.programs[pi], guard, &inputs, &shared.channels, c);
-                    if let Some(m) = mark {
-                        let now = Instant::now();
-                        tile_ns[k].0 += now.duration_since(m).as_nanos() as u64;
-                        mark = Some(now);
-                    }
-                }
-                // Off-chip flush: a distinct sub-phase so the cross-chip
-                // volume is timed apart from compute. It needs no
-                // barrier — it writes epoch-c+1 segments nobody reads
-                // until after barrier 1. A group with no cross-chip
-                // traffic skips it outright, keeping offchip_s zero.
-                let t1 = mark;
-                if any_off {
-                    for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
-                        if !shared.programs[pi].has_offchip() {
-                            continue;
-                        }
-                        offchip_phase(&shared.programs[pi], guard, &shared.channels, c, spin);
-                        if let Some(m) = mark {
-                            let now = Instant::now();
-                            tile_ns[k].1 += now.duration_since(m).as_nanos() as u64;
-                            mark = Some(now);
-                        }
-                    }
-                }
-                // exchange_s starts *before* barrier 1 so the straggler
-                // wait — the measured `t_sync` — lands in the exchange
-                // column, matching the BspPhases contract.
-                let t2 = mark;
-                if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
-                    comp_ns += t1.duration_since(t0).as_nanos() as u64;
-                    off_ns += t2.duration_since(t1).as_nanos() as u64;
-                }
-                // Barrier 1: all mailboxes for epoch c+1 are filled.
-                shared.phase_barrier.wait();
-                let mut emark = timed.then(Instant::now);
-                for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
-                    exchange_phase(&shared.programs[pi], guard, &shared.channels, c);
-                    if let Some(m) = emark {
-                        let now = Instant::now();
-                        tile_ns[k].2 += now.duration_since(m).as_nanos() as u64;
-                        emark = Some(now);
-                    }
-                }
-                // Barrier 2: every array copy has applied the records.
-                shared.phase_barrier.wait();
-                if let Some(t2) = t2 {
-                    exch_ns += t2.elapsed().as_nanos() as u64;
-                }
-            }
-            if timed {
-                *shared.phase_ns[t].lock().unwrap() = (comp_ns, off_ns, exch_ns);
-                for (k, &pi) in mine.iter().enumerate() {
-                    *shared.tile_ns[pi].lock().unwrap() = tile_ns[k];
-                }
-            }
-        }
-        shared.done.wait();
-    }
-}
-
-/// Runs one tile's step program at cycle `c`, filling the arena with
-/// this cycle's combinational values (reads the tile's own registers and
-/// array copies plus epoch-`c` mailbox slots; writes nothing outside the
-/// arena). Also the replay engine behind `peek_output`.
-fn run_steps(prog: &Program, tile: &mut TileState, inputs: &[u64], channels: &[Mailbox], c: u64) {
-    let read_parity = (c & 1) as usize;
-    let TileState {
-        arena,
-        reg_cur,
-        arrays,
-    } = tile;
-    for step in &prog.steps {
-        match *step {
-            Step::Input { dst, src, nw } => {
-                let (d, s) = (dst as usize, src as usize);
-                arena[d..d + nw as usize].copy_from_slice(&inputs[s..s + nw as usize]);
-            }
-            Step::RegOwn { dst, src, nw } => {
-                let (d, s) = (dst as usize, src as usize);
-                arena[d..d + nw as usize].copy_from_slice(&reg_cur[s..s + nw as usize]);
-            }
-            Step::RegMail { dst, ch, src, nw } => {
-                // SAFETY: epoch discipline — no writer of `read_parity`
-                // exists during the computation phase (see Mailbox).
-                let buf = unsafe { channels[ch as usize].read(read_parity) };
-                let (d, s) = (dst as usize, src as usize);
-                arena[d..d + nw as usize].copy_from_slice(&buf[s..s + nw as usize]);
-            }
-            Step::ArrayRead {
-                dst,
-                arr,
-                idx,
-                idx_w,
-                nw,
-                depth,
-            } => {
-                let index = word::fold_index(&arena[idx as usize..(idx + idx_w) as usize]);
-                let d = dst as usize;
-                if index < depth as u64 {
-                    let s = index as usize * nw as usize;
-                    let a = &arrays[arr as usize];
-                    arena[d..d + nw as usize].copy_from_slice(&a[s..s + nw as usize]);
-                } else {
-                    arena[d..d + nw as usize].fill(0);
-                }
-            }
-            _ => eval_op(arena, step),
-        }
-    }
-}
-
-/// Computation phase for one tile at cycle `c`: run the step program,
-/// latch own registers, push outgoing *on-chip* mailbox traffic for
-/// epoch `c+1` (cross-chip traffic is flushed by [`offchip_phase`]).
-fn compute_phase(
-    prog: &Program,
-    tile: &mut TileState,
-    inputs: &[u64],
-    channels: &[Mailbox],
-    c: u64,
-) {
-    run_steps(prog, tile, inputs, channels, c);
-    let write_parity = ((c & 1) ^ 1) as usize;
-    let TileState { arena, reg_cur, .. } = tile;
-    // Latch own registers: tile-local, nobody else reads them.
-    for rc in &prog.commits {
-        let (d, s) = (rc.dst as usize, rc.local as usize);
-        reg_cur[d..d + rc.nw as usize].copy_from_slice(&arena[s..s + rc.nw as usize]);
-    }
-    // Push outgoing register values into epoch c+1 mailboxes.
-    for send in &prog.sends {
-        push_reg_send(send, arena, channels, write_parity);
-    }
-    // Stage port records for every on-chip remote holder.
-    for ps in &prog.port_sends {
-        stage_port_record(ps, arena, channels, write_parity);
-    }
-}
-
-/// Copies one outbound register value into its mailbox segment.
-///
-/// All mailbox stores go through the raw [`Mailbox::write_base`]
-/// pointer: aggregate chip-pair mailboxes are written concurrently by
-/// several worker groups (into disjoint segments), so no `&mut` over a
-/// buffer may ever exist.
-#[inline]
-fn push_reg_send(send: &RegSend, arena: &[u64], channels: &[Mailbox], write_parity: usize) {
-    // SAFETY: epoch discipline — no reader of `write_parity` exists
-    // during this phase, and this thread exclusively owns the segment
-    // `[dst, dst + nw)` (compile-time channel layout).
-    unsafe {
-        let base = channels[send.ch as usize].write_base(write_parity);
-        std::ptr::copy_nonoverlapping(
-            arena.as_ptr().add(send.local as usize),
-            base.add(send.dst as usize),
-            send.nw as usize,
-        );
-    }
-}
-
-/// Copies one port record `(enable, index, data)` into every destination
-/// slot of `ps` (same aliasing rules as [`push_reg_send`]).
-#[inline]
-fn stage_port_record(ps: &PortSend, arena: &[u64], channels: &[Mailbox], write_parity: usize) {
-    let en = arena[ps.en as usize] & 1;
-    let idx = word::fold_index(&arena[ps.idx as usize..(ps.idx + ps.idx_w) as usize]);
-    let data = &arena[ps.data as usize..(ps.data + ps.nw) as usize];
-    for &(ch, off) in &ps.dests {
-        // SAFETY: epoch discipline — no reader of `write_parity` exists
-        // during this phase, and this thread exclusively owns the record
-        // segment at `off` (compile-time channel layout).
-        unsafe {
-            let slot = channels[ch as usize]
-                .write_base(write_parity)
-                .add(off as usize);
-            *slot = en;
-            *slot.add(1) = idx;
-            std::ptr::copy_nonoverlapping(
-                data.as_ptr(),
-                slot.add(PORT_RECORD_HEADER_WORDS as usize),
-                ps.nw as usize,
-            );
-        }
-    }
-}
-
-/// Off-chip flush sub-phase for one tile at cycle `c`: copy cross-chip
-/// register values and port records into the epoch-`c+1` chip-pair
-/// aggregate mailboxes, spinning `spin_per_word` iterations per word to
-/// model the slower link (0 = flush at memory speed).
-fn offchip_phase(prog: &Program, tile: &mut TileState, channels: &[Mailbox], c: u64, spin: u32) {
-    let write_parity = ((c & 1) ^ 1) as usize;
-    let arena = &tile.arena;
-    for send in &prog.offchip_sends {
-        push_reg_send(send, arena, channels, write_parity);
-        spin_delay(send.nw as u64 * spin as u64);
-    }
-    for ps in &prog.offchip_port_sends {
-        stage_port_record(ps, arena, channels, write_parity);
-        let words = (PORT_RECORD_HEADER_WORDS + ps.nw) as u64 * ps.dests.len() as u64;
-        spin_delay(words * spin as u64);
-    }
-}
-
-/// Communication phase for one tile at cycle `c`: apply all staged port
-/// records (own and remote) to the tile's array copies in global
-/// `(array, port)` order.
-fn exchange_phase(prog: &Program, tile: &mut TileState, channels: &[Mailbox], c: u64) {
-    let record_parity = ((c & 1) ^ 1) as usize;
-    let TileState { arena, arrays, .. } = tile;
-    for ap in &prog.applies {
-        let nw = ap.nw as usize;
-        let (en, idx, data): (u64, u64, &[u64]) = match ap.src {
-            RecSrc::Own {
-                en,
-                idx,
-                idx_w,
-                data,
-            } => (
-                arena[en as usize] & 1,
-                word::fold_index(&arena[idx as usize..(idx + idx_w) as usize]),
-                &arena[data as usize..data as usize + nw],
-            ),
-            RecSrc::Mail { ch, off } => {
-                // SAFETY: after barrier 1 nobody writes `record_parity`.
-                let buf = unsafe { channels[ch as usize].read(record_parity) };
-                let off = off as usize;
-                (
-                    buf[off] & 1,
-                    buf[off + 1],
-                    &buf[off + PORT_RECORD_HEADER_WORDS as usize..][..nw],
-                )
-            }
-        };
-        if en == 1 && idx < ap.depth as u64 {
-            let dst = idx as usize * nw;
-            arrays[ap.arr as usize][dst..dst + nw].copy_from_slice(data);
-        }
+        self.core.run_inner(cycles, true)
     }
 }

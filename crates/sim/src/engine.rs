@@ -1,27 +1,31 @@
-//! Shared machinery of the parallel execution engines.
+//! The compile front-end and shared machinery of the execution engine.
 //!
-//! Both [`crate::bsp::BspSimulator`] (one scenario, many tiles) and
-//! [`crate::gang::GangSimulator`] (many scenarios in lockstep over the
-//! same tiles) execute the *same* compiled per-tile [`Program`]s over
-//! the *same* mailbox fabric; they differ only in how state is laid out
-//! (flat vs lane-strided) and in the inner loop that runs a dispatched
-//! [`Step`]. This module holds everything the two engines share:
+//! Both public simulators — [`crate::bsp::BspSimulator`] (one scenario,
+//! many tiles) and [`crate::gang::GangSimulator`] (many scenarios in
+//! lockstep over the same tiles) — are facades over the single
+//! lane-strided execution core in [`crate::exec`]; this module holds
+//! the *compile-time* half they share plus the synchronization fabric:
 //!
-//! * the compiled step/program representation ([`Step`], [`Program`],
+//! * the step IR and program representation ([`Step`], [`Program`],
 //!   [`build_program`]) and the whole compile front-end ([`Compiled`]),
 //!   parameterized by a lane count so every buffer (arenas, register
 //!   files, array copies, mailboxes) can carry `lanes` independent
-//!   scenarios side by side;
+//!   scenarios side by side. [`Step`]s exist only at compile time and
+//!   as the cold multi-word side table: `build_program` lowers every
+//!   step program into the flat fused bytecode of [`crate::exec::Code`]
+//!   (struct-of-arrays opcode/operand words, dedicated single-word
+//!   opcodes, peephole-coalesced block copies) that the one hot loop
+//!   executes;
 //! * the lock-free exchange fabric ([`Mailbox`]) and the hybrid
-//!   spin/park [`PhaseBarrier`];
+//!   spin/park, tree-combining [`PhaseBarrier`];
 //! * the chip-major [`worker_groups`] fold of tiles onto host threads;
-//! * the step evaluators: [`eval_op`] with its `nw == 1` single-word
-//!   fast paths ([`un1`], [`bin1`]) — the single-word scalar kernels are
-//!   shared so the engines cannot disagree on semantics, and so the gang
-//!   engine's lane loops amortize one dispatch over many lanes of plain
-//!   `u64` arithmetic.
+//! * the scalar/slice step evaluators: [`eval_op`] (the multi-word
+//!   fallback) and the `nw == 1` single-word kernels ([`un1`],
+//!   [`bin1`], [`sext1`]) the fused opcodes dispatch into — one source
+//!   of truth for semantics at every width.
 
-use parendi_core::routing::{ChannelClass, Routing};
+use crate::exec::Code;
+use parendi_core::routing::{ChannelClass, Routing, PORT_RECORD_HEADER_WORDS};
 use parendi_core::Partition;
 use parendi_rtl::bits::{top_word_mask, word, words_for};
 use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, UnOp};
@@ -29,6 +33,11 @@ use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A counter padded to its own cache line so barrier arrivals in
+/// different tree groups never false-share.
+#[repr(align(64))]
+struct PadCounter(AtomicUsize);
 
 /// A sense-reversing hybrid barrier for the twice-per-cycle phase
 /// synchronization. BSP cycles are microseconds long, so when every
@@ -41,16 +50,34 @@ use std::sync::Mutex;
 /// `parked` says somebody actually sleeps there. The run hand-off
 /// barriers (`gate`/`done`) stay parking barriers — between runs,
 /// sleeping is exactly right.
+///
+/// Past ~16 workers a single arrival counter becomes a cache-line
+/// hot-spot (every arriver RMWs the same line), so arrivals combine up
+/// a **tree**: workers increment their own group's padded leaf counter
+/// (fan-in [`BARRIER_FANOUT`]), the last arriver of each group
+/// propagates one increment to the root, and the last group releases
+/// everybody by bumping the generation all waiters spin on. At ≤ 16
+/// workers the tree degenerates to one group — the flat fast path.
 pub(crate) struct PhaseBarrier {
-    count: AtomicUsize,
+    /// Leaf arrival counters, one per group of up to `BARRIER_FANOUT`
+    /// workers (exactly one group when `n <= TREE_THRESHOLD`).
+    groups: Box<[PadCounter]>,
+    /// Completed-group count (the tree root).
+    root: PadCounter,
     generation: AtomicUsize,
     /// Waiters that gave up spinning and (are about to) sleep.
     parked: AtomicUsize,
     lock: Mutex<()>,
     cv: std::sync::Condvar,
     n: usize,
+    fanout: usize,
     spin_limit: u32,
 }
+
+/// Workers per barrier tree group once the tree engages.
+const BARRIER_FANOUT: usize = 8;
+/// Largest pool the flat single-counter barrier serves.
+const TREE_THRESHOLD: usize = 16;
 
 impl PhaseBarrier {
     pub(crate) fn new(n: usize) -> Self {
@@ -65,21 +92,51 @@ impl PhaseBarrier {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(if n <= cores { 1 << 14 } else { 0 });
+        let fanout = if n <= TREE_THRESHOLD {
+            n.max(1)
+        } else {
+            BARRIER_FANOUT
+        };
+        let ngroups = n.max(1).div_ceil(fanout);
         PhaseBarrier {
-            count: AtomicUsize::new(0),
+            groups: (0..ngroups)
+                .map(|_| PadCounter(AtomicUsize::new(0)))
+                .collect(),
+            root: PadCounter(AtomicUsize::new(0)),
             generation: AtomicUsize::new(0),
             parked: AtomicUsize::new(0),
             lock: Mutex::new(()),
             cv: std::sync::Condvar::new(),
             n,
+            fanout,
             spin_limit,
         }
     }
 
-    pub(crate) fn wait(&self) {
+    /// Size of tree group `g` (the last group may be short).
+    fn group_size(&self, g: usize) -> usize {
+        (self.n - g * self.fanout).min(self.fanout)
+    }
+
+    /// Arrive as worker `who` (`0 <= who < n`) and wait for the rest.
+    pub(crate) fn wait(&self, who: usize) {
+        debug_assert!(who < self.n, "barrier id {who} out of range");
         let gen = self.generation.load(Ordering::SeqCst);
-        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
-            self.count.store(0, Ordering::Relaxed);
+        let g = who / self.fanout;
+        // Arrivals combine up the tree: last in the group promotes one
+        // arrival to the root; last group at the root is the leader.
+        let leader = self.groups[g].0.fetch_add(1, Ordering::SeqCst) + 1 == self.group_size(g)
+            && (self.groups.len() == 1
+                || self.root.0.fetch_add(1, Ordering::SeqCst) + 1 == self.groups.len());
+        if leader {
+            // Reset the whole tree *before* releasing the generation:
+            // every other worker is past its increment and spinning (or
+            // parking) on `generation`, so no counter can be touched
+            // until the new generation is visible.
+            for c in self.groups.iter() {
+                c.0.store(0, Ordering::Relaxed);
+            }
+            self.root.0.store(0, Ordering::Relaxed);
             self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
             // Waiters increment `parked` (SeqCst) *before* re-checking the
             // generation under the lock, so observing zero here proves no
@@ -247,7 +304,9 @@ pub(crate) struct Apply {
 /// single-scenario engine and every lane of the gang engine.
 #[derive(Debug)]
 pub(crate) struct Program {
-    pub steps: Vec<Step>,
+    /// The flat fused bytecode of the tile's step program (lowered once
+    /// at compile time; see [`crate::exec::Code`]).
+    pub code: Code,
     pub arena_words: usize,
     pub const_init: Vec<(u32, Vec<u64>)>,
     pub commits: Vec<RegCommit>,
@@ -264,6 +323,10 @@ pub(crate) struct Program {
     pub applies: Vec<Apply>,
     /// Primary outputs this tile computes: `(output id, arena offset)`.
     pub outputs: Vec<(u32, u32)>,
+    /// Single-lane words this tile flushes across chip boundaries per
+    /// cycle (register sends plus full port records) — the volume the
+    /// modeled off-chip link is charged for.
+    pub offchip_words: u64,
 }
 
 impl Program {
@@ -887,8 +950,13 @@ fn build_program(
         }
     }
 
+    let offchip_words = offchip_sends.iter().map(|s| s.nw as u64).sum::<u64>()
+        + offchip_port_sends
+            .iter()
+            .map(|ps| (PORT_RECORD_HEADER_WORDS + ps.nw) as u64 * ps.dests.len() as u64)
+            .sum::<u64>();
     Program {
-        steps,
+        code: Code::lower(&steps),
         arena_words: words as usize,
         const_init,
         commits,
@@ -898,14 +966,7 @@ fn build_program(
         offchip_port_sends,
         applies,
         outputs,
-    }
-}
-
-/// Burns roughly `iters` spin-loop iterations (the off-chip delay knob).
-#[inline]
-pub(crate) fn spin_delay(iters: u64) {
-    for _ in 0..iters {
-        std::hint::spin_loop();
+        offchip_words,
     }
 }
 

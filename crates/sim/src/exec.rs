@@ -1,0 +1,2094 @@
+//! The unified lane-strided execution core: **one hot loop** shared by
+//! both engines, running a fused, cache-compact bytecode.
+//!
+//! [`crate::bsp::BspSimulator`] (one scenario, many tiles) and
+//! [`crate::gang::GangSimulator`] (many scenarios in lockstep) are thin
+//! facades over the [`EngineCore`] in this module. There is exactly one
+//! worker loop, one set of phase functions, and one unsafe
+//! epoch/aliasing discipline — the single-scenario engine is the
+//! `lanes == 1` instantiation of the lane-strided core, monomorphized
+//! through [`OneLane`] so the lane arithmetic folds away.
+//!
+//! # Bytecode
+//!
+//! Per-tile step programs are lowered at compile time from the
+//! [`Step`] IR into a flat struct-of-arrays [`Code`]: a stream of
+//! packed opcode words (`opcode | imm << 8`) in [`Code::ops`] and a
+//! parallel stream of `u32` operands in [`Code::args`], consumed in a
+//! fixed count per opcode. The dominant `nw == 1` single-word
+//! operations lower to **dedicated fused opcodes** (one per scalar
+//! kernel: `ADD1`, `XOR1`, `MUX1`, `SLICE1`, …) whose operand widths
+//! ride in the 24-bit immediate, so the hot loop dispatches once and
+//! lands directly in a plain `u64` kernel — no second `match` on the
+//! operator, no width checks, no slice bounds. Adjacent register,
+//! input, and mailbox reads with contiguous source and destination are
+//! peephole-fused into single block copies at lowering time. The rare
+//! multi-word operations fall back to a [`WIDE`](op::WIDE) opcode
+//! indexing a side table of the original [`Step`]s, evaluated through
+//! the proven slice kernels of [`eval_op`].
+//!
+//! # The hot loop
+//!
+//! [`exec_code`] is the one loop both engines spend their cycles in:
+//! it walks `ops` once per tile per cycle, and every dispatched opcode
+//! sweeps its operation across all (active) lanes. Early-exited lanes
+//! ([`EngineCore::finish_lane`]) are dropped from the sweep at dispatch
+//! granularity by swapping the [`AllLanes`] lane set for a [`LaneList`]
+//! of the survivors — finished lanes' registers, arrays, and mailbox
+//! slots are simply never touched again, freezing their state.
+//!
+//! # Flush/compute overlap
+//!
+//! The off-chip flush models an asynchronous gateway link: as soon as a
+//! tile's compute finishes, its cross-chip words are copied into the
+//! epoch-`c+1` aggregate mailbox (legal under the double-buffer epoch
+//! discipline) and the *modeled* link occupancy is scheduled as a
+//! deadline; the worker keeps computing its remaining tiles and only
+//! spins out the residual link time it failed to hide before barrier 1.
+//! The hidden portion is reported as [`BspPhases::overlap_s`].
+
+use crate::bsp::{BspPhases, TilePhases};
+use crate::engine::{
+    bin1, eval_op, sext1, un1, worker_groups, ArrayHome, Compiled, Mailbox, OutputHome,
+    PhaseBarrier, PortSend, Program, RecSrc, RegHome, RegSend, Step,
+};
+use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
+use parendi_core::Partition;
+use parendi_rtl::bits::{top_word_mask, word, words_for, Bits};
+use parendi_rtl::{BinOp, Circuit, InputId, UnOp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Opcode namespace of the flat bytecode. The low 8 bits of an
+/// [`Code::ops`] word select the opcode; the upper 24 bits are an
+/// opcode-specific immediate (packed widths, word counts, or a side
+/// table index).
+pub(crate) mod op {
+    /// Block copy from the input buffer. `imm = nw`; args `dst, src`.
+    pub const COPY_INPUT: u8 = 0;
+    /// Block copy from this tile's register file. `imm = nw`; args
+    /// `dst, src`.
+    pub const COPY_REG: u8 = 1;
+    /// Block copy from an inbound mailbox (epoch `c`). `imm = nw`; args
+    /// `dst, ch, src`.
+    pub const COPY_MAIL: u8 = 2;
+    /// Combinational array read. `imm = idx_w | nw << 8`; args
+    /// `dst, arr, idx, depth`.
+    pub const ARRAY_READ: u8 = 3;
+    // Fused single-word unary kernels: `imm = w | aw << 7`; args
+    // `dst, a`. One opcode per `UnOp`, in `UnOp` order.
+    pub const NOT1: u8 = 4;
+    pub const NEG1: u8 = 5;
+    pub const REDAND1: u8 = 6;
+    pub const REDOR1: u8 = 7;
+    pub const REDXOR1: u8 = 8;
+    // Fused single-word binary kernels: `imm = w | aw << 7`; args
+    // `dst, a, b`. One opcode per `BinOp`, in `BinOp` order.
+    pub const AND1: u8 = 9;
+    pub const OR1: u8 = 10;
+    pub const XOR1: u8 = 11;
+    pub const ADD1: u8 = 12;
+    pub const SUB1: u8 = 13;
+    pub const MUL1: u8 = 14;
+    pub const EQ1: u8 = 15;
+    pub const NE1: u8 = 16;
+    pub const LTU1: u8 = 17;
+    pub const LTS1: u8 = 18;
+    pub const LEU1: u8 = 19;
+    pub const LES1: u8 = 20;
+    pub const SHL1: u8 = 21;
+    pub const LSHR1: u8 = 22;
+    pub const ASHR1: u8 = 23;
+    /// Single-word two-way select. No immediate; args `dst, sel, t, f`.
+    pub const MUX1: u8 = 24;
+    /// Single-word bit extraction. `imm = lo | w << 6`; args `dst, a`.
+    pub const SLICE1: u8 = 25;
+    /// Single-word zero extension. `imm = w`; args `dst, a`.
+    pub const ZEXT1: u8 = 26;
+    /// Single-word sign extension. `imm = aw | w << 7`; args `dst, a`.
+    pub const SEXT1: u8 = 27;
+    /// Single-word concatenation. `imm = low_w | w << 6`; args
+    /// `dst, hi, lo`.
+    pub const CONCAT1: u8 = 28;
+    /// Multi-word fallback. `imm` indexes [`super::Code::wide`]; no args.
+    pub const WIDE: u8 = 29;
+}
+
+fn un1_opc(o: UnOp) -> u8 {
+    match o {
+        UnOp::Not => op::NOT1,
+        UnOp::Neg => op::NEG1,
+        UnOp::RedAnd => op::REDAND1,
+        UnOp::RedOr => op::REDOR1,
+        UnOp::RedXor => op::REDXOR1,
+    }
+}
+
+fn bin1_opc(o: BinOp) -> u8 {
+    match o {
+        BinOp::And => op::AND1,
+        BinOp::Or => op::OR1,
+        BinOp::Xor => op::XOR1,
+        BinOp::Add => op::ADD1,
+        BinOp::Sub => op::SUB1,
+        BinOp::Mul => op::MUL1,
+        BinOp::Eq => op::EQ1,
+        BinOp::Ne => op::NE1,
+        BinOp::LtU => op::LTU1,
+        BinOp::LtS => op::LTS1,
+        BinOp::LeU => op::LEU1,
+        BinOp::LeS => op::LES1,
+        BinOp::Shl => op::SHL1,
+        BinOp::Lshr => op::LSHR1,
+        BinOp::Ashr => op::ASHR1,
+    }
+}
+
+/// A compiled tile program as a flat, cache-compact bytecode: packed
+/// opcode words plus a parallel operand stream (struct of arrays), with
+/// multi-word operations spilled to a cold side table.
+#[derive(Debug, Default)]
+pub(crate) struct Code {
+    /// `opcode | imm << 8`, one word per instruction.
+    pub ops: Vec<u32>,
+    /// Operand words, consumed in a fixed count per opcode.
+    pub args: Vec<u32>,
+    /// Side table for [`op::WIDE`] (multi-word) operations.
+    pub wide: Vec<Step>,
+}
+
+/// Operand words each opcode consumes from [`Code::args`].
+pub(crate) fn argc(opc: u8) -> usize {
+    match opc {
+        op::COPY_INPUT | op::COPY_REG => 2,
+        op::COPY_MAIL => 3,
+        op::ARRAY_READ => 4,
+        op::NOT1..=op::REDXOR1 => 2,
+        op::AND1..=op::ASHR1 => 3,
+        op::MUX1 => 4,
+        op::SLICE1 | op::ZEXT1 | op::SEXT1 => 2,
+        op::CONCAT1 => 3,
+        op::WIDE => 0,
+        other => unreachable!("unknown opcode {other}"),
+    }
+}
+
+impl Code {
+    fn emit(&mut self, opc: u8, imm: u32, a: &[u32]) {
+        debug_assert!(imm < 1 << 24, "immediate overflows the opcode word");
+        debug_assert_eq!(a.len(), argc(opc), "arg count mismatch for opcode {opc}");
+        self.ops.push(opc as u32 | (imm << 8));
+        self.args.extend_from_slice(a);
+    }
+
+    /// Checks the structural invariant the unchecked operand reads of
+    /// the hot loop rely on: walking `ops` with the fixed per-opcode
+    /// operand counts consumes `args` exactly.
+    fn validate(&self) {
+        let total: usize = self.ops.iter().map(|&o| argc((o & 0xff) as u8)).sum();
+        assert_eq!(total, self.args.len(), "operand stream out of sync");
+    }
+
+    /// Lowers a step program into bytecode: fused single-word opcodes
+    /// for `nw == 1` operations, peephole-coalesced block copies for
+    /// adjacent contiguous `Input`/`RegOwn`/`RegMail` reads, and a
+    /// cold [`Step`] side table for everything multi-word.
+    pub(crate) fn lower(steps: &[Step]) -> Code {
+        let mut code = Code::default();
+        // Pending copy run: (opcode, first dst, channel, first src, nw).
+        let mut run: Option<(u8, u32, u32, u32, u32)> = None;
+        let flush = |code: &mut Code, run: &mut Option<(u8, u32, u32, u32, u32)>| {
+            if let Some((opc, dst, ch, src, nw)) = run.take() {
+                assert!(nw < 1 << 24, "copy run overflows the immediate");
+                if opc == op::COPY_MAIL {
+                    code.emit(opc, nw, &[dst, ch, src]);
+                } else {
+                    code.emit(opc, nw, &[dst, src]);
+                }
+            }
+        };
+        let copy = |code: &mut Code,
+                    run: &mut Option<(u8, u32, u32, u32, u32)>,
+                    opc: u8,
+                    dst: u32,
+                    ch: u32,
+                    src: u32,
+                    nw: u32| {
+            if let Some((ro, rd, rc, rs, rn)) = run {
+                // Contiguous same-source extension: one longer block copy.
+                if *ro == opc && *rc == ch && dst == *rd + *rn && src == *rs + *rn {
+                    *rn += nw;
+                    return;
+                }
+            }
+            flush(code, run);
+            *run = Some((opc, dst, ch, src, nw));
+        };
+        for step in steps {
+            match *step {
+                Step::Input { dst, src, nw } => {
+                    copy(&mut code, &mut run, op::COPY_INPUT, dst, 0, src, nw)
+                }
+                Step::RegOwn { dst, src, nw } => {
+                    copy(&mut code, &mut run, op::COPY_REG, dst, 0, src, nw)
+                }
+                Step::RegMail { dst, ch, src, nw } => {
+                    copy(&mut code, &mut run, op::COPY_MAIL, dst, ch, src, nw)
+                }
+                _ => {
+                    flush(&mut code, &mut run);
+                    match *step {
+                        Step::ArrayRead {
+                            dst,
+                            arr,
+                            idx,
+                            idx_w,
+                            nw,
+                            depth,
+                        } => {
+                            assert!(idx_w < 1 << 8 && nw < 1 << 16, "array shape overflows imm");
+                            code.emit(op::ARRAY_READ, idx_w | (nw << 8), &[dst, arr, idx, depth]);
+                        }
+                        Step::Un {
+                            op: o,
+                            dst,
+                            a,
+                            w,
+                            aw,
+                            anw,
+                        } if anw == 1 && w <= 64 => {
+                            code.emit(un1_opc(o), w | (aw << 7), &[dst, a]);
+                        }
+                        Step::Bin {
+                            op: o,
+                            dst,
+                            a,
+                            b,
+                            w,
+                            aw,
+                            anw,
+                            bnw,
+                        } if anw == 1 && bnw == 1 && w <= 64 => {
+                            code.emit(bin1_opc(o), w | (aw << 7), &[dst, a, b]);
+                        }
+                        Step::Mux {
+                            dst,
+                            sel,
+                            t,
+                            f,
+                            nw: 1,
+                        } => code.emit(op::MUX1, 0, &[dst, sel, t, f]),
+                        Step::Slice {
+                            dst,
+                            a,
+                            lo,
+                            w,
+                            anw: 1,
+                        } => code.emit(op::SLICE1, lo | (w << 6), &[dst, a]),
+                        Step::Zext { dst, a, w, anw } if anw == 1 && w <= 64 => {
+                            code.emit(op::ZEXT1, w, &[dst, a]);
+                        }
+                        Step::Sext { dst, a, aw, w, anw } if anw == 1 && w <= 64 => {
+                            code.emit(op::SEXT1, aw | (w << 7), &[dst, a]);
+                        }
+                        Step::Concat {
+                            dst,
+                            hi,
+                            lo,
+                            w,
+                            low_w,
+                            hnw: 1,
+                            lnw: 1,
+                        } if w <= 64 => code.emit(op::CONCAT1, low_w | (w << 6), &[dst, hi, lo]),
+                        _ => {
+                            assert!(code.wide.len() < 1 << 24, "wide table overflows imm");
+                            let idx = code.wide.len() as u32;
+                            code.wide.push(step.clone());
+                            code.emit(op::WIDE, idx, &[]);
+                        }
+                    }
+                }
+            }
+        }
+        flush(&mut code, &mut run);
+        code.validate();
+        code
+    }
+
+    /// A stable, line-per-instruction disassembly (golden tests, debug).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn disasm(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.ops.len());
+        let mut p = 0usize;
+        for &opw in &self.ops {
+            let imm = opw >> 8;
+            let opc = (opw & 0xff) as u8;
+            let a = |k: usize| self.args[p + k];
+            let bin_name = |o: u8| match o {
+                op::AND1 => "and1",
+                op::OR1 => "or1",
+                op::XOR1 => "xor1",
+                op::ADD1 => "add1",
+                op::SUB1 => "sub1",
+                op::MUL1 => "mul1",
+                op::EQ1 => "eq1",
+                op::NE1 => "ne1",
+                op::LTU1 => "ltu1",
+                op::LTS1 => "lts1",
+                op::LEU1 => "leu1",
+                op::LES1 => "les1",
+                op::SHL1 => "shl1",
+                op::LSHR1 => "lshr1",
+                _ => "ashr1",
+            };
+            let (line, argc) = match opc {
+                op::COPY_INPUT => (format!("input dst={} src={} nw={imm}", a(0), a(1)), 2),
+                op::COPY_REG => (format!("regown dst={} src={} nw={imm}", a(0), a(1)), 2),
+                op::COPY_MAIL => (
+                    format!("regmail dst={} ch={} src={} nw={imm}", a(0), a(1), a(2)),
+                    3,
+                ),
+                op::ARRAY_READ => (
+                    format!(
+                        "arrayread dst={} arr={} idx={} depth={} idx_w={} nw={}",
+                        a(0),
+                        a(1),
+                        a(2),
+                        a(3),
+                        imm & 0xff,
+                        imm >> 8
+                    ),
+                    4,
+                ),
+                op::NOT1 | op::NEG1 | op::REDAND1 | op::REDOR1 | op::REDXOR1 => {
+                    let name = match opc {
+                        op::NOT1 => "not1",
+                        op::NEG1 => "neg1",
+                        op::REDAND1 => "redand1",
+                        op::REDOR1 => "redor1",
+                        _ => "redxor1",
+                    };
+                    (
+                        format!(
+                            "{name} dst={} a={} w={} aw={}",
+                            a(0),
+                            a(1),
+                            imm & 0x7f,
+                            imm >> 7
+                        ),
+                        2,
+                    )
+                }
+                op::AND1..=op::ASHR1 => (
+                    format!(
+                        "{} dst={} a={} b={} w={} aw={}",
+                        bin_name(opc),
+                        a(0),
+                        a(1),
+                        a(2),
+                        imm & 0x7f,
+                        imm >> 7
+                    ),
+                    3,
+                ),
+                op::MUX1 => (
+                    format!("mux1 dst={} sel={} t={} f={}", a(0), a(1), a(2), a(3)),
+                    4,
+                ),
+                op::SLICE1 => (
+                    format!(
+                        "slice1 dst={} a={} lo={} w={}",
+                        a(0),
+                        a(1),
+                        imm & 0x3f,
+                        imm >> 6
+                    ),
+                    2,
+                ),
+                op::ZEXT1 => (format!("zext1 dst={} a={} w={imm}", a(0), a(1)), 2),
+                op::SEXT1 => (
+                    format!(
+                        "sext1 dst={} a={} aw={} w={}",
+                        a(0),
+                        a(1),
+                        imm & 0x7f,
+                        imm >> 7
+                    ),
+                    2,
+                ),
+                op::CONCAT1 => (
+                    format!(
+                        "concat1 dst={} hi={} lo={} low_w={} w={}",
+                        a(0),
+                        a(1),
+                        a(2),
+                        imm & 0x3f,
+                        imm >> 6
+                    ),
+                    3,
+                ),
+                op::WIDE => {
+                    let tag = match &self.wide[imm as usize] {
+                        Step::Un { op, .. } => format!("un {op:?}"),
+                        Step::Bin { op, .. } => format!("bin {op:?}"),
+                        Step::Mux { .. } => "mux".into(),
+                        Step::Slice { .. } => "slice".into(),
+                        Step::Zext { .. } => "zext".into(),
+                        Step::Sext { .. } => "sext".into(),
+                        Step::Concat { .. } => "concat".into(),
+                        s => unreachable!("no wide copies: {s:?}"),
+                    };
+                    (format!("wide[{imm}] {tag}"), 0)
+                }
+                other => unreachable!("unknown opcode {other}"),
+            };
+            out.push(line);
+            p += argc;
+        }
+        out
+    }
+}
+
+/// The set of scenario lanes a dispatched operation sweeps. The hot
+/// loop is monomorphized per implementation so the single-scenario
+/// engine ([`OneLane`]) pays no lane arithmetic at all, the full gang
+/// ([`AllLanes`]) runs a dense counted loop, and early-exited gangs
+/// ([`LaneList`]) skip finished lanes at dispatch granularity.
+pub(crate) trait LaneSet: Copy {
+    /// Number of lanes swept.
+    fn count(&self) -> usize;
+    /// Calls `f` once per active lane index.
+    fn for_each(&self, f: impl FnMut(usize));
+}
+
+/// Exactly lane 0 (the single-scenario engine).
+#[derive(Clone, Copy)]
+pub(crate) struct OneLane;
+
+impl LaneSet for OneLane {
+    #[inline(always)]
+    fn count(&self) -> usize {
+        1
+    }
+    #[inline(always)]
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        f(0);
+    }
+}
+
+/// All lanes `0..n` (no scenario has exited).
+#[derive(Clone, Copy)]
+pub(crate) struct AllLanes(pub usize);
+
+impl LaneSet for AllLanes {
+    #[inline(always)]
+    fn count(&self) -> usize {
+        self.0
+    }
+    #[inline(always)]
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        for l in 0..self.0 {
+            f(l);
+        }
+    }
+}
+
+/// An explicit list of surviving lanes (some scenarios finished).
+#[derive(Clone, Copy)]
+pub(crate) struct LaneList<'a>(pub &'a [u32]);
+
+impl LaneSet for LaneList<'_> {
+    #[inline(always)]
+    fn count(&self) -> usize {
+        self.0.len()
+    }
+    #[inline(always)]
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        for &l in self.0 {
+            f(l as usize);
+        }
+    }
+}
+
+/// Lane-strided mutable state of one tile: `lanes` copies of the
+/// single-lane layout, lane-major. Guarded by a `Mutex` purely for the
+/// testbench API; workers lock it once per `run`, not per cycle.
+#[derive(Debug)]
+pub(crate) struct LaneTile {
+    /// `lanes × aw` words of combinational values.
+    pub arena: Vec<u64>,
+    /// `lanes × rw` words: this tile's own registers, `RegId` order
+    /// within each lane block.
+    pub reg_cur: Vec<u64>,
+    /// Local copies of held arrays, each `lanes × arr_words[i]` words.
+    pub arrays: Vec<Vec<u64>>,
+    /// Per-lane arena stride in words.
+    pub aw: usize,
+    /// Per-lane register-file stride in words.
+    pub rw: usize,
+    /// Per-lane words of each held array (depth × element words).
+    pub arr_words: Vec<usize>,
+}
+
+/// Executes one tile's bytecode at cycle `c` for every lane in `lanes`:
+/// **the** hot loop. One dispatch per instruction; fused single-word
+/// opcodes run plain `u64` kernels across the lane sweep, copies run as
+/// blocks, and multi-word operations fall back to the slice kernels on
+/// each lane's contiguous arena block.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_code<L: LaneSet>(
+    code: &Code,
+    tile: &mut LaneTile,
+    inputs: &[u64],
+    input_stride: usize,
+    channels: &[Mailbox],
+    mail_words: &[u32],
+    read_parity: usize,
+    lanes: L,
+) {
+    let LaneTile {
+        arena,
+        reg_cur,
+        arrays,
+        aw,
+        rw,
+        arr_words,
+    } = tile;
+    let (astride, rstride) = (*aw, *rw);
+    let args = &code.args[..];
+    let mut p = 0usize;
+    // The operand cursor is validated once at lowering time
+    // (`Code::lower` emits a fixed arg count per opcode and checks the
+    // totals), so the hot loop reads the stream unchecked.
+    macro_rules! arg {
+        ($k:expr) => {
+            // SAFETY: `p + argc(opcode) <= args.len()` by construction.
+            unsafe { *args.get_unchecked(p + $k) }
+        };
+    }
+
+    // Shared decode for the fused unary / binary families.
+    macro_rules! u1 {
+        ($opv:expr, $imm:expr) => {{
+            let imm = $imm;
+            let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
+            p += 2;
+            let (w, opw) = ((imm & 0x7f) as u32, (imm >> 7) as u32);
+            lanes.for_each(|l| {
+                let b = l * astride;
+                arena[b + dst] = un1($opv, arena[b + a], w, opw);
+            });
+        }};
+    }
+    macro_rules! b1 {
+        ($opv:expr, $imm:expr) => {{
+            let imm = $imm;
+            let (dst, a, bb) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+            p += 3;
+            let (w, opw) = ((imm & 0x7f) as u32, (imm >> 7) as u32);
+            lanes.for_each(|l| {
+                let b = l * astride;
+                arena[b + dst] = bin1($opv, arena[b + a], arena[b + bb], w, opw);
+            });
+        }};
+    }
+
+    for &opw in &code.ops {
+        let imm = (opw >> 8) as usize;
+        match (opw & 0xff) as u8 {
+            op::COPY_INPUT => {
+                let (dst, src) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                lanes.for_each(|l| {
+                    let (db, sb) = (l * astride + dst, l * input_stride + src);
+                    arena[db..db + imm].copy_from_slice(&inputs[sb..sb + imm]);
+                });
+            }
+            op::COPY_REG => {
+                let (dst, src) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                lanes.for_each(|l| {
+                    let (db, sb) = (l * astride + dst, l * rstride + src);
+                    arena[db..db + imm].copy_from_slice(&reg_cur[sb..sb + imm]);
+                });
+            }
+            op::COPY_MAIL => {
+                let (dst, ch, src) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+                p += 3;
+                // SAFETY: epoch discipline — no writer of `read_parity`
+                // exists during the computation phase (see Mailbox).
+                let buf = unsafe { channels[ch].read(read_parity) };
+                let mw = mail_words[ch] as usize;
+                lanes.for_each(|l| {
+                    let (db, sb) = (l * astride + dst, l * mw + src);
+                    arena[db..db + imm].copy_from_slice(&buf[sb..sb + imm]);
+                });
+            }
+            op::ARRAY_READ => {
+                let (dst, arr, idx, depth) = (
+                    arg!(0) as usize,
+                    arg!(1) as usize,
+                    arg!(2) as usize,
+                    arg!(3) as u64,
+                );
+                p += 4;
+                let (idx_w, n) = (imm & 0xff, imm >> 8);
+                let words = arr_words[arr];
+                let a = &arrays[arr];
+                lanes.for_each(|l| {
+                    let base = l * astride;
+                    let index = word::fold_index(&arena[base + idx..base + idx + idx_w]);
+                    let db = base + dst;
+                    if index < depth {
+                        let sb = l * words + index as usize * n;
+                        arena[db..db + n].copy_from_slice(&a[sb..sb + n]);
+                    } else {
+                        arena[db..db + n].fill(0);
+                    }
+                });
+            }
+            op::NOT1 => u1!(UnOp::Not, imm),
+            op::NEG1 => u1!(UnOp::Neg, imm),
+            op::REDAND1 => u1!(UnOp::RedAnd, imm),
+            op::REDOR1 => u1!(UnOp::RedOr, imm),
+            op::REDXOR1 => u1!(UnOp::RedXor, imm),
+            op::AND1 => b1!(BinOp::And, imm),
+            op::OR1 => b1!(BinOp::Or, imm),
+            op::XOR1 => b1!(BinOp::Xor, imm),
+            op::ADD1 => b1!(BinOp::Add, imm),
+            op::SUB1 => b1!(BinOp::Sub, imm),
+            op::MUL1 => b1!(BinOp::Mul, imm),
+            op::EQ1 => b1!(BinOp::Eq, imm),
+            op::NE1 => b1!(BinOp::Ne, imm),
+            op::LTU1 => b1!(BinOp::LtU, imm),
+            op::LTS1 => b1!(BinOp::LtS, imm),
+            op::LEU1 => b1!(BinOp::LeU, imm),
+            op::LES1 => b1!(BinOp::LeS, imm),
+            op::SHL1 => b1!(BinOp::Shl, imm),
+            op::LSHR1 => b1!(BinOp::Lshr, imm),
+            op::ASHR1 => b1!(BinOp::Ashr, imm),
+            op::MUX1 => {
+                let (dst, sel, t, f) = (
+                    arg!(0) as usize,
+                    arg!(1) as usize,
+                    arg!(2) as usize,
+                    arg!(3) as usize,
+                );
+                p += 4;
+                lanes.for_each(|l| {
+                    let b = l * astride;
+                    let pick = if arena[b + sel] & 1 == 1 { t } else { f };
+                    arena[b + dst] = arena[b + pick];
+                });
+            }
+            op::SLICE1 => {
+                let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                let lo = (imm & 0x3f) as u32;
+                let m = top_word_mask((imm >> 6) as u32);
+                lanes.for_each(|l| {
+                    let b = l * astride;
+                    arena[b + dst] = (arena[b + a] >> lo) & m;
+                });
+            }
+            op::ZEXT1 => {
+                let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                let m = top_word_mask(imm as u32);
+                lanes.for_each(|l| {
+                    let b = l * astride;
+                    arena[b + dst] = arena[b + a] & m;
+                });
+            }
+            op::SEXT1 => {
+                let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                let (aw, w) = ((imm & 0x7f) as u32, (imm >> 7) as u32);
+                lanes.for_each(|l| {
+                    let b = l * astride;
+                    arena[b + dst] = sext1(arena[b + a], aw, w);
+                });
+            }
+            op::CONCAT1 => {
+                let (dst, hi, lo) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+                p += 3;
+                let low_w = (imm & 0x3f) as u32;
+                let m = top_word_mask((imm >> 6) as u32);
+                lanes.for_each(|l| {
+                    let b = l * astride;
+                    arena[b + dst] = (arena[b + lo] | (arena[b + hi] << low_w)) & m;
+                });
+            }
+            op::WIDE => {
+                let step = &code.wide[imm];
+                lanes.for_each(|l| eval_op(&mut arena[l * astride..(l + 1) * astride], step));
+            }
+            other => unreachable!("unknown opcode {other}"),
+        }
+    }
+}
+
+/// Computation phase for one tile at cycle `c`, all active lanes: run
+/// the bytecode, latch own registers, push outgoing *on-chip* mailbox
+/// traffic for epoch `c+1`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_phase<L: LaneSet>(
+    prog: &Program,
+    tile: &mut LaneTile,
+    inputs: &[u64],
+    input_stride: usize,
+    channels: &[Mailbox],
+    mail_words: &[u32],
+    lanes: L,
+    c: u64,
+) {
+    exec_code(
+        &prog.code,
+        tile,
+        inputs,
+        input_stride,
+        channels,
+        mail_words,
+        (c & 1) as usize,
+        lanes,
+    );
+    let write_parity = ((c & 1) ^ 1) as usize;
+    let LaneTile {
+        arena,
+        reg_cur,
+        aw,
+        rw,
+        ..
+    } = tile;
+    let (aw, rw) = (*aw, *rw);
+    // Latch own registers, every active lane: tile-local, nobody else
+    // reads them. Finished lanes keep their last latched values forever.
+    for rc in &prog.commits {
+        let (d, s, n) = (rc.dst as usize, rc.local as usize, rc.nw as usize);
+        lanes.for_each(|l| {
+            let (db, sb) = (l * rw + d, l * aw + s);
+            reg_cur[db..db + n].copy_from_slice(&arena[sb..sb + n]);
+        });
+    }
+    for send in &prog.sends {
+        push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
+    }
+    for ps in &prog.port_sends {
+        stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
+    }
+}
+
+/// Copies one outbound register value into its mailbox segment, every
+/// active lane.
+#[inline]
+fn push_reg_send<L: LaneSet>(
+    send: &RegSend,
+    arena: &[u64],
+    aw: usize,
+    channels: &[Mailbox],
+    mail_words: &[u32],
+    lanes: L,
+    write_parity: usize,
+) {
+    let mw = mail_words[send.ch as usize] as usize;
+    // SAFETY: epoch discipline — no reader of `write_parity` exists
+    // during this phase, and this thread exclusively owns the segment
+    // `[dst, dst + nw)` of every lane block (compile-time layout).
+    unsafe {
+        let base = channels[send.ch as usize].write_base(write_parity);
+        lanes.for_each(|l| {
+            std::ptr::copy_nonoverlapping(
+                arena.as_ptr().add(l * aw + send.local as usize),
+                base.add(l * mw + send.dst as usize),
+                send.nw as usize,
+            );
+        });
+    }
+}
+
+/// Copies one port record `(enable, index, data)` into every
+/// destination slot of `ps`, every active lane.
+#[inline]
+fn stage_port_record<L: LaneSet>(
+    ps: &PortSend,
+    arena: &[u64],
+    aw: usize,
+    channels: &[Mailbox],
+    mail_words: &[u32],
+    lanes: L,
+    write_parity: usize,
+) {
+    lanes.for_each(|l| {
+        let b = l * aw;
+        let en = arena[b + ps.en as usize] & 1;
+        let idx = word::fold_index(&arena[b + ps.idx as usize..b + (ps.idx + ps.idx_w) as usize]);
+        let data = &arena[b + ps.data as usize..b + (ps.data + ps.nw) as usize];
+        for &(ch, off) in &ps.dests {
+            let mw = mail_words[ch as usize] as usize;
+            // SAFETY: epoch discipline — no reader of `write_parity`
+            // exists during this phase, and this thread exclusively owns
+            // the record segment at `off` in every lane block.
+            unsafe {
+                let slot = channels[ch as usize]
+                    .write_base(write_parity)
+                    .add(l * mw + off as usize);
+                *slot = en;
+                *slot.add(1) = idx;
+                std::ptr::copy_nonoverlapping(
+                    data.as_ptr(),
+                    slot.add(PORT_RECORD_HEADER_WORDS as usize),
+                    ps.nw as usize,
+                );
+            }
+        }
+    });
+}
+
+/// Off-chip flush for one tile at cycle `c`, all active lanes: pure
+/// memory copies into the epoch-`c+1` chip-pair aggregates. The modeled
+/// link occupancy is scheduled by the caller (see the worker loop) so
+/// the transfer can overlap subsequent tile compute.
+fn offchip_flush<L: LaneSet>(
+    prog: &Program,
+    tile: &mut LaneTile,
+    channels: &[Mailbox],
+    mail_words: &[u32],
+    lanes: L,
+    c: u64,
+) {
+    let write_parity = ((c & 1) ^ 1) as usize;
+    let arena = &tile.arena;
+    let aw = tile.aw;
+    for send in &prog.offchip_sends {
+        push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
+    }
+    for ps in &prog.offchip_port_sends {
+        stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
+    }
+}
+
+/// Communication phase for one tile at cycle `c`, all active lanes:
+/// apply all staged port records (own and remote) to the tile's array
+/// copies in global `(array, port)` order.
+fn exchange_phase<L: LaneSet>(
+    prog: &Program,
+    tile: &mut LaneTile,
+    channels: &[Mailbox],
+    mail_words: &[u32],
+    lanes: L,
+    c: u64,
+) {
+    let record_parity = ((c & 1) ^ 1) as usize;
+    let LaneTile {
+        arena,
+        arrays,
+        aw,
+        arr_words,
+        ..
+    } = tile;
+    let aw = *aw;
+    for ap in &prog.applies {
+        let nw = ap.nw as usize;
+        let words = arr_words[ap.arr as usize];
+        let array = &mut arrays[ap.arr as usize];
+        match ap.src {
+            RecSrc::Own {
+                en,
+                idx,
+                idx_w,
+                data,
+            } => {
+                lanes.for_each(|l| {
+                    let b = l * aw;
+                    let e = arena[b + en as usize] & 1;
+                    let i = word::fold_index(&arena[b + idx as usize..b + (idx + idx_w) as usize]);
+                    if e == 1 && i < ap.depth as u64 {
+                        let dst = l * words + i as usize * nw;
+                        array[dst..dst + nw]
+                            .copy_from_slice(&arena[b + data as usize..b + data as usize + nw]);
+                    }
+                });
+            }
+            RecSrc::Mail { ch, off } => {
+                // SAFETY: after barrier 1 nobody writes `record_parity`.
+                let buf = unsafe { channels[ch as usize].read(record_parity) };
+                let mw = mail_words[ch as usize] as usize;
+                let off = off as usize;
+                lanes.for_each(|l| {
+                    let rec = l * mw + off;
+                    let e = buf[rec] & 1;
+                    let i = buf[rec + 1];
+                    if e == 1 && i < ap.depth as u64 {
+                        let dst = l * words + i as usize * nw;
+                        array[dst..dst + nw]
+                            .copy_from_slice(&buf[rec + PORT_RECORD_HEADER_WORDS as usize..][..nw]);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Host nanoseconds per `spin_loop` iteration, measured once per
+/// process (used to convert the off-chip spin knob into a modeled link
+/// deadline the flush/compute overlap can schedule against).
+fn ns_per_spin() -> f64 {
+    static SPIN_NS: OnceLock<f64> = OnceLock::new();
+    *SPIN_NS.get_or_init(|| {
+        let mut iters = 1u64 << 18;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::spin_loop();
+            }
+            let s = t.elapsed();
+            if s.as_millis() >= 5 || iters >= 1 << 28 {
+                return s.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        }
+    })
+}
+
+/// State shared between the engine facades and the worker pool.
+struct CoreShared {
+    programs: Vec<Program>,
+    tiles: Vec<Mutex<LaneTile>>,
+    channels: Vec<Mailbox>,
+    /// Per-lane words of each mailbox (the lane stride of its buffers).
+    mail_words: Vec<u32>,
+    /// `lanes × input_stride` words, read-only during runs.
+    inputs: RwLock<Vec<u64>>,
+    /// Per-lane input-buffer stride in words.
+    input_stride: usize,
+    lanes: usize,
+    /// Surviving (not early-exited) lane indices, ascending.
+    active: RwLock<Vec<u32>>,
+    phase_barrier: PhaseBarrier,
+    gate: Barrier,
+    done: Barrier,
+    cmd_cycles: AtomicU64,
+    cmd_start: AtomicU64,
+    cmd_timed: AtomicBool,
+    exit: AtomicBool,
+    offchip_spin: AtomicU32,
+    /// Per-worker (compute, offchip, exchange, overlap) ns of the last
+    /// timed run.
+    phase_ns: Vec<Mutex<(u64, u64, u64, u64)>>,
+    /// Per-tile (compute, offchip, exchange) ns of the last timed run.
+    tile_ns: Vec<Mutex<(u64, u64, u64)>>,
+}
+
+/// Per-run accumulator of one worker's phase nanoseconds.
+#[derive(Default, Clone, Copy)]
+struct PhaseAcc {
+    comp: u64,
+    off: u64,
+    exch: u64,
+    overlap: u64,
+}
+
+/// The unified lane-strided execution engine both public simulators
+/// wrap: compiled programs, lane-strided tile state, the mailbox
+/// fabric, and a persistent worker pool running the one shared cycle
+/// loop.
+pub(crate) struct EngineCore<'c> {
+    pub circuit: &'c Circuit,
+    shared: Arc<CoreShared>,
+    workers: Vec<JoinHandle<()>>,
+    pub reg_home: Vec<RegHome>,
+    pub array_home: Vec<ArrayHome>,
+    pub output_home: Vec<OutputHome>,
+    /// Output ids grouped by owning tile, precomputed so bulk output
+    /// peeks (one per VCD timestep) do no per-call grouping work.
+    pub outputs_by_tile: Vec<(u32, Vec<u32>)>,
+    pub input_off: Vec<u32>,
+    pub input_by_name: HashMap<String, InputId>,
+    pub output_by_name: HashMap<String, u32>,
+    pub onchip_mailboxes: usize,
+    /// The cycle each lane was retired at (`None` while running), so
+    /// output peeks on a retired lane replay at its freeze parity.
+    retired_at: Vec<Option<u64>>,
+    pub cycle: u64,
+}
+
+impl<'c> EngineCore<'c> {
+    /// Compiles `partition` for `lanes` scenarios and spawns the
+    /// persistent worker pool (tiles fold chip-major onto threads).
+    pub(crate) fn new(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        lanes: usize,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        assert!(lanes >= 1, "need at least one lane");
+        let Compiled {
+            programs,
+            reg_home,
+            array_home,
+            output_home,
+            input_off,
+            input_words,
+            input_by_name,
+            output_by_name,
+            tile_reg_words,
+            array_init,
+            channels,
+            mail_words,
+            onchip_mailboxes,
+            tile_chip,
+        } = Compiled::new(circuit, partition, lanes);
+
+        let tiles: Vec<Mutex<LaneTile>> = programs
+            .iter()
+            .enumerate()
+            .map(|(pi, prog)| {
+                let aw = prog.arena_words;
+                let rw = tile_reg_words[pi] as usize;
+                let mut arena = vec![0u64; aw * lanes];
+                let mut reg_cur = vec![0u64; rw * lanes];
+                for l in 0..lanes {
+                    for (off, words) in &prog.const_init {
+                        let d = l * aw + *off as usize;
+                        arena[d..d + words.len()].copy_from_slice(words);
+                    }
+                    for (ri, home) in reg_home.iter().enumerate() {
+                        if home.tile == pi as u32 {
+                            let d = l * rw + home.off as usize;
+                            reg_cur[d..d + home.words as usize]
+                                .copy_from_slice(circuit.regs[ri].init.words());
+                        }
+                    }
+                }
+                let mut arr_words = Vec::new();
+                let arrays = partition.processes[pi]
+                    .arrays
+                    .iter()
+                    .map(|a| {
+                        let init = &array_init[a.index()];
+                        arr_words.push(init.len());
+                        let mut buf = Vec::with_capacity(init.len() * lanes);
+                        for _ in 0..lanes {
+                            buf.extend_from_slice(init);
+                        }
+                        buf
+                    })
+                    .collect();
+                Mutex::new(LaneTile {
+                    arena,
+                    reg_cur,
+                    arrays,
+                    aw,
+                    rw,
+                    arr_words,
+                })
+            })
+            .collect();
+
+        let pool_threads = if programs.len() <= 1 {
+            1
+        } else {
+            threads.min(programs.len())
+        };
+        let worker_count = if pool_threads > 1 { pool_threads } else { 0 };
+        let tile_count = programs.len();
+        let shared = Arc::new(CoreShared {
+            programs,
+            tiles,
+            channels,
+            mail_words,
+            inputs: RwLock::new(vec![0u64; input_words as usize * lanes]),
+            input_stride: input_words as usize,
+            lanes,
+            active: RwLock::new((0..lanes as u32).collect()),
+            phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
+            gate: Barrier::new(worker_count + 1),
+            done: Barrier::new(worker_count + 1),
+            cmd_cycles: AtomicU64::new(0),
+            cmd_start: AtomicU64::new(0),
+            cmd_timed: AtomicBool::new(false),
+            exit: AtomicBool::new(false),
+            offchip_spin: AtomicU32::new(0),
+            phase_ns: (0..worker_count.max(1))
+                .map(|_| Mutex::new((0, 0, 0, 0)))
+                .collect(),
+            tile_ns: (0..tile_count).map(|_| Mutex::new((0, 0, 0))).collect(),
+        });
+        let groups = worker_groups(&tile_chip, worker_count);
+        let workers = groups
+            .into_iter()
+            .enumerate()
+            .map(|(t, mine)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{t}"))
+                    .spawn(move || worker_loop(&shared, t, mine))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+
+        let mut grouped: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (oi, home) in output_home.iter().enumerate() {
+            assert!(home.tile != u32::MAX, "output {oi} has no owning tile");
+            grouped.entry(home.tile).or_default().push(oi as u32);
+        }
+        let outputs_by_tile: Vec<(u32, Vec<u32>)> = grouped.into_iter().collect();
+
+        EngineCore {
+            circuit,
+            shared,
+            workers,
+            reg_home,
+            array_home,
+            output_home,
+            outputs_by_tile,
+            input_off,
+            input_by_name,
+            output_by_name,
+            onchip_mailboxes,
+            retired_at: vec![None; lanes],
+            cycle: 0,
+        }
+    }
+
+    pub(crate) fn lanes(&self) -> usize {
+        self.shared.lanes
+    }
+
+    pub(crate) fn tiles(&self) -> usize {
+        self.shared.programs.len()
+    }
+
+    pub(crate) fn channels(&self) -> usize {
+        self.shared.channels.len()
+    }
+
+    pub(crate) fn set_offchip_spin(&self, spins: u32) {
+        self.shared.offchip_spin.store(spins, Ordering::Relaxed);
+    }
+
+    /// Number of lanes still running (not early-exited).
+    pub(crate) fn active_lanes(&self) -> usize {
+        self.shared.active.read().unwrap().len()
+    }
+
+    /// Whether `lane` is still running.
+    pub(crate) fn lane_is_active(&self, lane: usize) -> bool {
+        self.shared
+            .active
+            .read()
+            .unwrap()
+            .binary_search(&(lane as u32))
+            .is_ok()
+    }
+
+    /// Retires `lane`: from the next dispatch on, no step, latch, send,
+    /// or apply touches its state — registers and arrays freeze at
+    /// their current values while the gang keeps running. The retire
+    /// cycle is recorded so output peeks keep replaying the lane at
+    /// its freeze-epoch mailbox parity.
+    pub(crate) fn finish_lane(&mut self, lane: usize) {
+        assert!(lane < self.shared.lanes, "lane {lane} out of range");
+        let mut active = self.shared.active.write().unwrap();
+        if let Ok(i) = active.binary_search(&(lane as u32)) {
+            active.remove(i);
+            self.retired_at[lane] = Some(self.cycle);
+        }
+    }
+
+    /// The cycle whose epoch a peek of `lane` must read: the current
+    /// cycle while running, the freeze cycle once retired (a retired
+    /// lane's mailbox epochs stop being written, so the live parity
+    /// would read the wrong buffer on odd distances past retirement).
+    fn peek_cycle(&self, lane: usize) -> u64 {
+        self.retired_at[lane].unwrap_or(self.cycle)
+    }
+
+    /// Drives input `id` in one lane (held until changed).
+    pub(crate) fn set_input_lane(&mut self, id: InputId, lane: usize, value: &Bits) {
+        let decl = &self.circuit.inputs[id.index()];
+        assert_eq!(decl.width, value.width(), "input {} width", decl.name);
+        assert!(lane < self.shared.lanes, "lane {lane} out of range");
+        let off = lane * self.shared.input_stride + self.input_off[id.index()] as usize;
+        let mut inputs = self.shared.inputs.write().unwrap();
+        inputs[off..off + value.words().len()].copy_from_slice(value.words());
+    }
+
+    /// Drives input `id` identically in every lane.
+    pub(crate) fn set_input_all(&mut self, id: InputId, value: &Bits) {
+        let decl = &self.circuit.inputs[id.index()];
+        assert_eq!(decl.width, value.width(), "input {} width", decl.name);
+        let base = self.input_off[id.index()] as usize;
+        let stride = self.shared.input_stride;
+        let mut inputs = self.shared.inputs.write().unwrap();
+        for l in 0..self.shared.lanes {
+            let off = l * stride + base;
+            inputs[off..off + value.words().len()].copy_from_slice(value.words());
+        }
+    }
+
+    pub(crate) fn input_id(&self, name: &str) -> InputId {
+        *self
+            .input_by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("no input {name}"))
+    }
+
+    /// The current value of a register in `lane`.
+    pub(crate) fn reg_value_lane(&self, id: parendi_rtl::RegId, lane: usize) -> Bits {
+        let r = &self.circuit.regs[id.index()];
+        let home = self.reg_home[id.index()];
+        assert!(home.tile != u32::MAX, "register {} has no producer", r.name);
+        assert!(lane < self.shared.lanes, "lane {lane} out of range");
+        let tile = self.shared.tiles[home.tile as usize].lock().unwrap();
+        let off = lane * tile.rw + home.off as usize;
+        Bits::from_words(r.width, &tile.reg_cur[off..off + home.words as usize])
+    }
+
+    /// An element of an array in `lane`.
+    pub(crate) fn array_value_lane(
+        &self,
+        id: parendi_rtl::ArrayId,
+        index: u32,
+        lane: usize,
+    ) -> Bits {
+        let a = &self.circuit.arrays[id.index()];
+        assert!(index < a.depth);
+        assert!(lane < self.shared.lanes, "lane {lane} out of range");
+        let w = words_for(a.width);
+        match &self.array_home[id.index()] {
+            ArrayHome::Held { tile, slot } => {
+                let t = self.shared.tiles[*tile as usize].lock().unwrap();
+                let base = lane * t.arr_words[*slot as usize] + index as usize * w;
+                Bits::from_words(a.width, &t.arrays[*slot as usize][base..][..w])
+            }
+            // Never written: identical in every lane.
+            ArrayHome::Spare(buf) => Bits::from_words(a.width, &buf[index as usize * w..][..w]),
+        }
+    }
+
+    /// Replays tile `t`'s bytecode (all lanes) against current
+    /// architectural state — the engine behind `peek_output`. `cycle`
+    /// selects the mailbox epoch read for remote registers (the peeked
+    /// lane's [`peek_cycle`](Self::peek_cycle)).
+    fn replay_tile(&self, t: usize, inputs: &[u64], tile: &mut LaneTile, cycle: u64) {
+        let shared = &self.shared;
+        exec_code(
+            &shared.programs[t].code,
+            tile,
+            inputs,
+            shared.input_stride,
+            &shared.channels,
+            &shared.mail_words,
+            (cycle & 1) as usize,
+            AllLanes(shared.lanes),
+        );
+    }
+
+    /// The current value of primary output `name` in `lane`, or `None`
+    /// if no such output exists.
+    pub(crate) fn peek_output_lane(&self, name: &str, lane: usize) -> Option<Bits> {
+        let &oi = self.output_by_name.get(name)?;
+        assert!(lane < self.shared.lanes, "lane {lane} out of range");
+        let home = self.output_home[oi as usize];
+        assert!(home.tile != u32::MAX, "output {name} has no owning tile");
+        let width = self.circuit.width(self.circuit.outputs[oi as usize].node);
+        let inputs = self.shared.inputs.read().unwrap();
+        let mut tile = self.shared.tiles[home.tile as usize].lock().unwrap();
+        self.replay_tile(
+            home.tile as usize,
+            &inputs,
+            &mut tile,
+            self.peek_cycle(lane),
+        );
+        let off = lane * tile.aw + home.off as usize;
+        Some(Bits::from_words(
+            width,
+            &tile.arena[off..off + words_for(width)],
+        ))
+    }
+
+    /// All primary outputs of `lane`, indexed like `circuit.outputs`.
+    /// Each owning tile's bytecode is replayed **once**, however many
+    /// outputs it computes.
+    pub(crate) fn peek_outputs_lane(&self, lane: usize) -> Vec<Bits> {
+        assert!(lane < self.shared.lanes, "lane {lane} out of range");
+        let inputs = self.shared.inputs.read().unwrap();
+        let mut results: Vec<Option<Bits>> = vec![None; self.circuit.outputs.len()];
+        for (t, ois) in &self.outputs_by_tile {
+            let t = *t as usize;
+            let mut tile = self.shared.tiles[t].lock().unwrap();
+            self.replay_tile(t, &inputs, &mut tile, self.peek_cycle(lane));
+            for &oi in ois {
+                let home = self.output_home[oi as usize];
+                let width = self.circuit.width(self.circuit.outputs[oi as usize].node);
+                let off = lane * tile.aw + home.off as usize;
+                results[oi as usize] = Some(Bits::from_words(
+                    width,
+                    &tile.arena[off..off + words_for(width)],
+                ));
+            }
+        }
+        results
+            .into_iter()
+            .map(|b| b.expect("complete partition owns every output"))
+            .collect()
+    }
+
+    /// Runs `cycles` cycles; `timed` additionally collects the phase
+    /// split and per-tile histograms. The returned `lanes` field counts
+    /// the *active* lanes (zero once every lane retired), so
+    /// `lane_cycles_per_s` reports real aggregate scenario throughput
+    /// under early exit — including an honest zero for an all-retired
+    /// gang.
+    pub(crate) fn run_inner(&mut self, cycles: u64, timed: bool) -> BspPhases {
+        let start = Instant::now();
+        let active_count = self.active_lanes() as u32;
+        if cycles == 0 {
+            return BspPhases {
+                lanes: active_count,
+                ..BspPhases::default()
+            };
+        }
+        let mut acc = PhaseAcc::default();
+        let mut per_tile = Vec::new();
+        if self.workers.is_empty() {
+            let shared = &self.shared;
+            let spin = shared.offchip_spin.load(Ordering::Relaxed);
+            let inputs = shared.inputs.read().unwrap();
+            let active = shared.active.read().unwrap();
+            let mine: Vec<usize> = (0..shared.tiles.len()).collect();
+            let mut guards: Vec<_> = shared.tiles.iter().map(|t| t.lock().unwrap()).collect();
+            let mut tile_ns = vec![(0u64, 0u64, 0u64); guards.len()];
+            dispatch_lanes(shared, &active, |lanes| {
+                run_cycles(
+                    shared,
+                    &mine,
+                    &mut guards,
+                    &inputs,
+                    self.cycle,
+                    cycles,
+                    timed,
+                    spin,
+                    lanes,
+                    0,
+                    &mut tile_ns,
+                    &mut acc,
+                )
+            });
+            if timed {
+                per_tile = tile_ns
+                    .iter()
+                    .map(|&(c, o, e)| TilePhases {
+                        compute_s: c as f64 * 1e-9,
+                        offchip_s: o as f64 * 1e-9,
+                        exchange_s: e as f64 * 1e-9,
+                    })
+                    .collect();
+            }
+        } else {
+            self.shared.cmd_cycles.store(cycles, Ordering::SeqCst);
+            self.shared.cmd_start.store(self.cycle, Ordering::SeqCst);
+            self.shared.cmd_timed.store(timed, Ordering::SeqCst);
+            self.shared.gate.wait();
+            self.shared.done.wait();
+            if timed {
+                // Straggler = the worker with the most real work
+                // (compute + flush). Totals can't rank workers: barrier
+                // waits absorb the slack, equalizing every worker's
+                // span up to wakeup jitter.
+                for slot in &self.shared.phase_ns {
+                    let (c, o, e, v) = *slot.lock().unwrap();
+                    if c + o > acc.comp + acc.off {
+                        acc = PhaseAcc {
+                            comp: c,
+                            off: o,
+                            exch: e,
+                            overlap: v,
+                        };
+                    }
+                }
+                per_tile = self
+                    .shared
+                    .tile_ns
+                    .iter()
+                    .map(|slot| {
+                        let (c, o, e) = *slot.lock().unwrap();
+                        TilePhases {
+                            compute_s: c as f64 * 1e-9,
+                            offchip_s: o as f64 * 1e-9,
+                            exchange_s: e as f64 * 1e-9,
+                        }
+                    })
+                    .collect();
+            }
+        }
+        self.cycle += cycles;
+        BspPhases {
+            total_s: start.elapsed().as_secs_f64(),
+            compute_s: acc.comp as f64 * 1e-9,
+            offchip_s: acc.off as f64 * 1e-9,
+            exchange_s: acc.exch as f64 * 1e-9,
+            overlap_s: acc.overlap as f64 * 1e-9,
+            per_tile,
+            cycles,
+            lanes: active_count,
+        }
+    }
+}
+
+impl Drop for EngineCore<'_> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shared.exit.store(true, Ordering::SeqCst);
+            self.shared.gate.wait();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// Picks the cheapest [`LaneSet`] for the current active-lane list and
+/// hands it to `f` (monomorphized dispatch: single lane, dense gang, or
+/// early-exited gang).
+fn dispatch_lanes<R>(shared: &CoreShared, active: &[u32], f: impl FnOnce(&dyn DynLanes) -> R) -> R {
+    if shared.lanes == 1 && active.len() == 1 {
+        f(&OneLane)
+    } else if active.len() == shared.lanes {
+        f(&AllLanes(shared.lanes))
+    } else {
+        f(&LaneList(active))
+    }
+}
+
+/// Object-safe shim over [`LaneSet`] so the run dispatch can pick an
+/// implementation at runtime while the cycle loop itself stays
+/// monomorphized (the `dyn` call happens once per run, not per op).
+trait DynLanes {
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        shared: &CoreShared,
+        mine: &[usize],
+        guards: &mut [MutexGuard<'_, LaneTile>],
+        inputs: &[u64],
+        start: u64,
+        cycles: u64,
+        timed: bool,
+        spin: u32,
+        who: usize,
+        tile_ns: &mut [(u64, u64, u64)],
+        acc: &mut PhaseAcc,
+    );
+}
+
+impl<L: LaneSet> DynLanes for L {
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        shared: &CoreShared,
+        mine: &[usize],
+        guards: &mut [MutexGuard<'_, LaneTile>],
+        inputs: &[u64],
+        start: u64,
+        cycles: u64,
+        timed: bool,
+        spin: u32,
+        who: usize,
+        tile_ns: &mut [(u64, u64, u64)],
+        acc: &mut PhaseAcc,
+    ) {
+        cycle_loop(
+            shared, mine, guards, inputs, start, cycles, timed, spin, *self, who, tile_ns, acc,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cycles(
+    shared: &CoreShared,
+    mine: &[usize],
+    guards: &mut [MutexGuard<'_, LaneTile>],
+    inputs: &[u64],
+    start: u64,
+    cycles: u64,
+    timed: bool,
+    spin: u32,
+    lanes: &dyn DynLanes,
+    who: usize,
+    tile_ns: &mut [(u64, u64, u64)],
+    acc: &mut PhaseAcc,
+) {
+    lanes.run(
+        shared, mine, guards, inputs, start, cycles, timed, spin, who, tile_ns, acc,
+    );
+}
+
+/// **The** shared cycle loop: computes this worker's tiles, eagerly
+/// flushes each tile's off-chip traffic so the modeled link transfer
+/// overlaps the remaining tiles' compute, pays only the residual link
+/// time before barrier 1, then applies the exchange after it. Used
+/// verbatim by pool workers and the inline (no-pool) path — barrier
+/// waits degenerate to no-ops when the pool is one wide.
+#[allow(clippy::too_many_arguments)]
+fn cycle_loop<L: LaneSet>(
+    shared: &CoreShared,
+    mine: &[usize],
+    guards: &mut [MutexGuard<'_, LaneTile>],
+    inputs: &[u64],
+    start: u64,
+    cycles: u64,
+    timed: bool,
+    spin: u32,
+    lanes: L,
+    who: usize,
+    tile_ns: &mut [(u64, u64, u64)],
+    acc: &mut PhaseAcc,
+) {
+    let any_off = mine.iter().any(|&pi| shared.programs[pi].has_offchip());
+    // Modeled link nanoseconds per flushed word (the spin knob converted
+    // into wall time so the transfer can be scheduled asynchronously).
+    let link_ns_per_word = if any_off && spin > 0 {
+        spin as f64 * ns_per_spin() * lanes.count() as f64
+    } else {
+        0.0
+    };
+    for c in start..start + cycles {
+        let mut mark = timed.then(Instant::now);
+        // The modeled link-transfer deadline and the total occupancy
+        // scheduled this cycle (for the overlap accounting).
+        let mut link_due: Option<Instant> = None;
+        let mut link_total_ns = 0u64;
+        for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
+            let prog = &shared.programs[pi];
+            compute_phase(
+                prog,
+                guard,
+                inputs,
+                shared.input_stride,
+                &shared.channels,
+                &shared.mail_words,
+                lanes,
+                c,
+            );
+            if let Some(m) = mark {
+                // Timestamps chain tile to tile: one clock read per
+                // tile lands inside the phase windows, and per-tile
+                // times sum to the worker phase exactly.
+                let now = Instant::now();
+                tile_ns[k].0 += now.duration_since(m).as_nanos() as u64;
+                acc.comp += now.duration_since(m).as_nanos() as u64;
+                mark = Some(now);
+            }
+            if prog.has_offchip() {
+                // Eager flush: the epoch-c+1 aggregate segments have no
+                // reader until after barrier 1, so copying now is legal
+                // and lets the modeled transfer overlap the remaining
+                // tiles' compute.
+                offchip_flush(prog, guard, &shared.channels, &shared.mail_words, lanes, c);
+                if link_ns_per_word > 0.0 {
+                    let ns = (prog.offchip_words as f64 * link_ns_per_word) as u64;
+                    let now = Instant::now();
+                    let base = link_due.map_or(now, |d| d.max(now));
+                    link_due = Some(base + Duration::from_nanos(ns));
+                    link_total_ns += ns;
+                }
+                if let Some(m) = mark {
+                    let now = Instant::now();
+                    tile_ns[k].1 += now.duration_since(m).as_nanos() as u64;
+                    acc.off += now.duration_since(m).as_nanos() as u64;
+                    mark = Some(now);
+                }
+            }
+        }
+        // Residual link wait: whatever the remaining compute did not
+        // hide. The hidden part is the recovered overlap.
+        if let Some(due) = link_due {
+            let now = Instant::now();
+            if due > now {
+                let wait = due.duration_since(now).as_nanos() as u64;
+                while Instant::now() < due {
+                    std::hint::spin_loop();
+                }
+                acc.off += wait;
+                acc.overlap += link_total_ns.saturating_sub(wait);
+                if let Some(m) = mark {
+                    mark = Some(m + Duration::from_nanos(wait));
+                }
+            } else {
+                acc.overlap += link_total_ns;
+            }
+        }
+        // exchange_s starts *before* barrier 1 so the straggler wait —
+        // the measured `t_sync` — lands in the exchange column,
+        // matching the BspPhases contract.
+        let exch_start = mark;
+        // Barrier 1: all mailboxes for epoch c+1 are filled.
+        shared.phase_barrier.wait(who);
+        let mut emark = timed.then(Instant::now);
+        for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
+            exchange_phase(
+                &shared.programs[pi],
+                guard,
+                &shared.channels,
+                &shared.mail_words,
+                lanes,
+                c,
+            );
+            if let Some(m) = emark {
+                let now = Instant::now();
+                tile_ns[k].2 += now.duration_since(m).as_nanos() as u64;
+                emark = Some(now);
+            }
+        }
+        // Barrier 2: every array copy has applied the records.
+        shared.phase_barrier.wait(who);
+        if let Some(t) = exch_start {
+            acc.exch += t.elapsed().as_nanos() as u64;
+        }
+    }
+}
+
+/// The persistent worker entry (abort-on-panic: a hung barrier would
+/// deadlock the run).
+fn worker_loop(shared: &CoreShared, t: usize, mine: Vec<usize>) {
+    let body = std::panic::AssertUnwindSafe(|| worker_body(shared, t, &mine));
+    if std::panic::catch_unwind(body).is_err() {
+        eprintln!("engine worker {t} panicked; aborting (a hung barrier would deadlock the run)");
+        std::process::abort();
+    }
+}
+
+/// The worker run loop: park at the gate, execute a run over this
+/// worker's chip-major tile group `mine` through the shared
+/// [`cycle_loop`], report.
+fn worker_body(shared: &CoreShared, t: usize, mine: &[usize]) {
+    loop {
+        shared.gate.wait();
+        if shared.exit.load(Ordering::SeqCst) {
+            return;
+        }
+        let cycles = shared.cmd_cycles.load(Ordering::SeqCst);
+        let start = shared.cmd_start.load(Ordering::SeqCst);
+        let timed = shared.cmd_timed.load(Ordering::SeqCst);
+        let spin = shared.offchip_spin.load(Ordering::Relaxed);
+        {
+            // One lock per tile per run; the steady-state cycle loop
+            // acquires no locks and allocates nothing.
+            let inputs = shared.inputs.read().unwrap();
+            let active = shared.active.read().unwrap();
+            let mut guards: Vec<_> = mine
+                .iter()
+                .map(|&pi| shared.tiles[pi].lock().unwrap())
+                .collect();
+            let mut acc = PhaseAcc::default();
+            let mut tile_ns = vec![(0u64, 0u64, 0u64); mine.len()];
+            dispatch_lanes(shared, &active, |lanes| {
+                run_cycles(
+                    shared,
+                    mine,
+                    &mut guards,
+                    &inputs,
+                    start,
+                    cycles,
+                    timed,
+                    spin,
+                    lanes,
+                    t,
+                    &mut tile_ns,
+                    &mut acc,
+                )
+            });
+            if timed {
+                *shared.phase_ns[t].lock().unwrap() = (acc.comp, acc.off, acc.exch, acc.overlap);
+                for (k, &pi) in mine.iter().enumerate() {
+                    *shared.tile_ns[pi].lock().unwrap() = tile_ns[k];
+                }
+            }
+        }
+        shared.done.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PhaseBarrier;
+    use parendi_core::{compile, PartitionConfig};
+    use parendi_rtl::Builder;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A scratch lane-strided tile with no registers or arrays.
+    fn scratch_tile(lanes: usize, astride: usize) -> LaneTile {
+        LaneTile {
+            arena: vec![0u64; lanes * astride],
+            reg_cur: Vec::new(),
+            arrays: Vec::new(),
+            aw: astride,
+            rw: 0,
+            arr_words: Vec::new(),
+        }
+    }
+
+    /// Runs `step` through the full lower→exec pipeline on `lanes`
+    /// lane-strided copies and cross-checks every lane against the
+    /// slice-kernel evaluator [`eval_op`] on that lane's block.
+    /// `fused` asserts the lowering actually produced a fused opcode
+    /// (not a `WIDE` fallback).
+    fn check_step(step: &Step, setup: &dyn Fn(usize, &mut [u64]), dst: usize, nw: usize) {
+        let code = Code::lower(std::slice::from_ref(step));
+        assert_eq!(code.ops.len(), 1, "one step lowers to one instruction");
+        assert_ne!(
+            (code.ops[0] & 0xff) as u8,
+            op::WIDE,
+            "single-word step must lower to a fused opcode: {step:?}"
+        );
+        let lanes = 3usize;
+        let astride = 16usize;
+        let mut tile = scratch_tile(lanes, astride);
+        let mut expect = vec![0u64; astride];
+        for l in 0..lanes {
+            setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
+        }
+        exec_code(&code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes));
+        for l in 0..lanes {
+            setup(l, &mut expect);
+            eval_op(&mut expect, step);
+            assert_eq!(
+                &tile.arena[l * astride + dst..l * astride + dst + nw],
+                &expect[dst..dst + nw],
+                "lane {l} diverged from eval_op on {step:?}"
+            );
+        }
+    }
+
+    /// Every fused single-word opcode — all 15 binary kernels, all 5
+    /// unary kernels, mux/slice/zext/sext/concat — must agree with the
+    /// slice-kernel evaluator on every width and operand pattern, in
+    /// every lane of a strided sweep (extends the `un1`/`bin1`
+    /// exhaustive cross-check one level up, through the bytecode).
+    #[test]
+    fn fused_opcodes_match_slice_kernels_exhaustively() {
+        let widths = [1u32, 5, 31, 32, 33, 63, 64];
+        let vals = [0u64, 1, 2, 0x5a5a_5a5a, u64::MAX, 1 << 31, (1 << 31) - 1];
+        let bins = [
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::LtU,
+            BinOp::LtS,
+            BinOp::LeU,
+            BinOp::LeS,
+            BinOp::Shl,
+            BinOp::Lshr,
+            BinOp::Ashr,
+        ];
+        let uns = [
+            UnOp::Not,
+            UnOp::Neg,
+            UnOp::RedAnd,
+            UnOp::RedOr,
+            UnOp::RedXor,
+        ];
+        for &w in &widths {
+            let m = top_word_mask(w);
+            for (vi, &ra) in vals.iter().enumerate() {
+                for &rb in &vals {
+                    for opv in bins {
+                        let rw = match opv {
+                            BinOp::Eq
+                            | BinOp::Ne
+                            | BinOp::LtU
+                            | BinOp::LtS
+                            | BinOp::LeU
+                            | BinOp::LeS => 1,
+                            _ => w,
+                        };
+                        let step = Step::Bin {
+                            op: opv,
+                            dst: 4,
+                            a: 0,
+                            b: 1,
+                            w: rw,
+                            aw: w,
+                            anw: 1,
+                            bnw: 1,
+                        };
+                        // Lanes see rotated operand values so a stride
+                        // bug cannot cancel out.
+                        let setup = move |l: usize, arena: &mut [u64]| {
+                            arena.fill(0);
+                            arena[0] = ra.rotate_left(l as u32) & m;
+                            arena[1] = rb.rotate_right(l as u32) & m;
+                        };
+                        check_step(&step, &setup, 4, 1);
+                        let _ = vi;
+                    }
+                }
+                for opv in uns {
+                    let rw = match opv {
+                        UnOp::Not | UnOp::Neg => w,
+                        _ => 1,
+                    };
+                    let step = Step::Un {
+                        op: opv,
+                        dst: 4,
+                        a: 0,
+                        w: rw,
+                        aw: w,
+                        anw: 1,
+                    };
+                    let setup = move |l: usize, arena: &mut [u64]| {
+                        arena.fill(0);
+                        arena[0] = ra.rotate_left(l as u32) & m;
+                    };
+                    check_step(&step, &setup, 4, 1);
+                }
+                // Mux: both selector polarities.
+                for sel in [0u64, 1] {
+                    let step = Step::Mux {
+                        dst: 4,
+                        sel: 2,
+                        t: 0,
+                        f: 1,
+                        nw: 1,
+                    };
+                    let setup = move |l: usize, arena: &mut [u64]| {
+                        arena.fill(0);
+                        arena[0] = ra.rotate_left(l as u32) & m;
+                        arena[1] = !ra & m;
+                        arena[2] = sel ^ (l as u64 & 1);
+                    };
+                    check_step(&step, &setup, 4, 1);
+                }
+                // Slice at several offsets within the word.
+                for lo in [0u32, 1, w / 2, w - 1] {
+                    let sw = (w - lo).clamp(1, 7);
+                    let step = Step::Slice {
+                        dst: 4,
+                        a: 0,
+                        lo,
+                        w: sw,
+                        anw: 1,
+                    };
+                    let setup = move |l: usize, arena: &mut [u64]| {
+                        arena.fill(0);
+                        arena[0] = ra.rotate_left(l as u32) & m;
+                    };
+                    check_step(&step, &setup, 4, 1);
+                }
+                // Zero/sign extension to every wider single-word width.
+                for &wide in widths.iter().filter(|&&x| x >= w) {
+                    for signed in [false, true] {
+                        let step = if signed {
+                            Step::Sext {
+                                dst: 4,
+                                a: 0,
+                                aw: w,
+                                w: wide,
+                                anw: 1,
+                            }
+                        } else {
+                            Step::Zext {
+                                dst: 4,
+                                a: 0,
+                                w: wide,
+                                anw: 1,
+                            }
+                        };
+                        let setup = move |l: usize, arena: &mut [u64]| {
+                            arena.fill(0);
+                            arena[0] = ra.rotate_left(l as u32) & m;
+                        };
+                        check_step(&step, &setup, 4, 1);
+                    }
+                }
+                // Concat with every low width that keeps one word.
+                for &lw in widths.iter().filter(|&&x| x < w) {
+                    let step = Step::Concat {
+                        dst: 4,
+                        hi: 0,
+                        lo: 1,
+                        w,
+                        low_w: lw,
+                        hnw: 1,
+                        lnw: 1,
+                    };
+                    let setup = move |l: usize, arena: &mut [u64]| {
+                        arena.fill(0);
+                        arena[0] = (ra.rotate_left(l as u32)) & top_word_mask(w - lw);
+                        arena[1] = (!ra) & top_word_mask(lw);
+                    };
+                    check_step(&step, &setup, 4, 1);
+                }
+            }
+        }
+    }
+
+    /// Multi-word steps must take the `WIDE` fallback and still match
+    /// the slice kernels lane by lane.
+    #[test]
+    fn wide_steps_fall_back_and_match() {
+        let step = Step::Bin {
+            op: BinOp::Add,
+            dst: 4,
+            a: 0,
+            b: 2,
+            w: 100,
+            aw: 100,
+            anw: 2,
+            bnw: 2,
+        };
+        let code = Code::lower(std::slice::from_ref(&step));
+        assert_eq!((code.ops[0] & 0xff) as u8, op::WIDE);
+        assert_eq!(code.wide.len(), 1);
+        let lanes = 2usize;
+        let astride = 16usize;
+        let mut tile = scratch_tile(lanes, astride);
+        let setup = |l: usize, arena: &mut [u64]| {
+            arena.fill(0);
+            arena[0] = u64::MAX - l as u64;
+            arena[1] = (1 << 36) - 1;
+            arena[2] = 1 + l as u64;
+            arena[3] = 1;
+        };
+        let mut expect = vec![0u64; astride];
+        for l in 0..lanes {
+            setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
+        }
+        exec_code(&code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes));
+        for l in 0..lanes {
+            setup(l, &mut expect);
+            eval_op(&mut expect, &step);
+            assert_eq!(
+                &tile.arena[l * astride + 4..l * astride + 6],
+                &expect[4..6],
+                "wide lane {l}"
+            );
+        }
+    }
+
+    /// Adjacent contiguous copies must coalesce into one block copy,
+    /// and a gap must break the run.
+    #[test]
+    fn copy_chains_fuse_peephole() {
+        let steps = [
+            Step::Input {
+                dst: 0,
+                src: 0,
+                nw: 1,
+            },
+            Step::Input {
+                dst: 1,
+                src: 1,
+                nw: 2,
+            },
+            Step::Input {
+                dst: 3,
+                src: 5,
+                nw: 1,
+            }, // src gap: new run
+            Step::RegOwn {
+                dst: 4,
+                src: 0,
+                nw: 1,
+            },
+            Step::RegOwn {
+                dst: 5,
+                src: 1,
+                nw: 1,
+            },
+        ];
+        let code = Code::lower(&steps);
+        assert_eq!(
+            code.disasm(),
+            vec![
+                "input dst=0 src=0 nw=3",
+                "input dst=3 src=5 nw=1",
+                "regown dst=4 src=0 nw=2",
+            ]
+        );
+    }
+
+    /// Golden lowering of a real compiled program: a sampled circuit
+    /// must lower to exactly this opcode stream (fused scalar opcodes,
+    /// coalesced input copies, a wide fallback for the 80-bit cone).
+    #[test]
+    fn golden_program_lowering() {
+        let mut b = Builder::new("golden");
+        let x = b.input("x", 32);
+        let y = b.input("y", 32);
+        let wi = b.input("wi", 80);
+        let r = b.reg("r", 32, 1);
+        let s = b.add(x, y);
+        let m = b.mul(s, r.q());
+        let n = b.not(wi);
+        let lo = b.slice(m, 7, 0);
+        b.output("lo", lo);
+        b.output("wn", n);
+        b.connect(r, m);
+        let c = b.finish().unwrap();
+        let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
+        let compiled = Compiled::new(&c, &comp.partition, 1);
+        assert_eq!(compiled.programs.len(), 1);
+        let got = compiled.programs[0].code.disasm();
+        let want: Vec<String> = GOLDEN.iter().map(|s| s.to_string()).collect();
+        assert_eq!(got, want, "golden opcode stream changed");
+    }
+
+    /// The expected stream for `golden_program_lowering` (update
+    /// deliberately when the lowering or node ordering changes).
+    const GOLDEN: &[&str] = &[
+        "input dst=0 src=0 nw=4",
+        "regown dst=4 src=0 nw=1",
+        "add1 dst=5 a=0 b=1 w=32 aw=32",
+        "mul1 dst=6 a=5 b=4 w=32 aw=32",
+        "wide[0] un Not",
+        "slice1 dst=9 a=6 lo=0 w=8",
+    ];
+
+    /// The tree-combining phase barrier must stay correct past the flat
+    /// threshold: 24 workers × many waits, every round observed by every
+    /// worker exactly once (the count window proves no worker ever runs
+    /// a round ahead of a straggler).
+    #[test]
+    fn tree_barrier_synchronizes_24_workers() {
+        const N: usize = 24;
+        const ROUNDS: usize = 500;
+        let barrier = Arc::new(PhaseBarrier::new(N));
+        let count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..N)
+            .map(|who| {
+                let barrier = Arc::clone(&barrier);
+                let count = Arc::clone(&count);
+                std::thread::spawn(move || {
+                    for r in 0..ROUNDS {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait(who);
+                        let seen = count.load(Ordering::SeqCst);
+                        // All N increments of round r are in; at most
+                        // N-1 threads can have raced into round r+1.
+                        assert!(
+                            seen >= (r + 1) * N && seen <= (r + 1) * N + (N - 1),
+                            "round {r}: count {seen} outside barrier window"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("barrier worker");
+        }
+        assert_eq!(count.load(Ordering::SeqCst), N * ROUNDS);
+    }
+}

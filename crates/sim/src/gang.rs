@@ -8,30 +8,21 @@
 //! [`Partition`]. Regression sweeps, seed farms, and coverage runs need
 //! thousands of short simulations of the same RTL far more often than
 //! one enormous simulation — and a software full-cycle simulator pays
-//! its biggest tax not in ALU work but in *per-op dispatch*: every
-//! step of a tile program costs a match, bounds checks, and branch
-//! mispredictions before a single data word moves.
+//! its biggest tax not in ALU work but in *per-op dispatch*.
 //!
-//! Gang execution amortizes that dispatch `L` ways. The per-tile
-//! programs compiled by `crate::engine` are reused **unchanged**; what
-//! changes is the state layout. Every buffer a program touches — value
-//! arenas, register files, array copies, mailbox buffers, the input
-//! buffer — is *lane-strided*: `lanes` copies of the single-lane layout
-//! laid out lane-major (`[lane × words]`), so lane `l`'s copy of a
-//! buffer of `W` words occupies `[l*W, (l+1)*W)`. One dispatched step
-//! then executes a tight inner loop over all lanes; for the common
-//! `nw == 1` single-word case that loop is pure `u64` arithmetic
-//! through the same scalar kernels (the engine module's `un1`/`bin1`)
-//! the single-scenario engine's fast path uses, so the two engines
-//! cannot diverge semantically.
-//!
-//! Because every lane executes the same step sequence, the exchange
-//! structure is identical across lanes: mailbox epochs, the off-chip
-//! flush sub-phase, worker groups, and the two-barrier cycle of the
-//! single-scenario engine all carry over verbatim — each mailbox buffer
-//! simply carries `L` lane-major copies of its single-lane layout, and
-//! the off-chip spin knob charges `L×` the words (every lane's traffic
-//! crosses the modeled link).
+//! Gang execution amortizes that dispatch `L` ways. Both simulators are
+//! facades over the unified lane-strided core in [`crate::exec`]: every
+//! buffer a tile's fused bytecode touches — value arenas, register
+//! files, array copies, mailbox buffers, the input buffer — is
+//! *lane-strided* (`lanes` copies of the single-lane layout,
+//! lane-major), and one dispatched bytecode instruction executes a
+//! tight inner loop over all lanes; for the dominant single-word case
+//! that loop is pure `u64` arithmetic through the same scalar kernels
+//! the single-scenario instantiation runs, so the two engines cannot
+//! diverge semantically. The exchange structure is identical across
+//! lanes: mailbox epochs, the off-chip flush (with the modeled link
+//! charged `L×` the words), worker groups, and the two-barrier cycle
+//! all carry over verbatim.
 //!
 //! # Per-lane I/O
 //!
@@ -48,103 +39,39 @@
 //! be replayed against the reference interpreter one lane at a time
 //! ([`StimulusSet::apply_lane`]) for bit-exact cross-checking.
 //!
+//! # Per-lane early exit
+//!
+//! A scenario that reaches its verdict (test passed, coverage target
+//! hit, assertion fired) can be retired without stalling the gang:
+//! [`finish_lane`](GangSimulator::finish_lane) drops the lane from
+//! every dispatch sweep, freezing its registers, arrays, and mailbox
+//! slots at their current values while the surviving lanes keep
+//! running — and keep speeding up, since each dispatched instruction
+//! now sweeps fewer lanes. [`BspPhases::lanes`] reports the *active*
+//! count, so [`BspPhases::lane_cycles_per_s`] stays an honest aggregate.
+//!
 //! # Throughput accounting
 //!
 //! [`run_timed`](GangSimulator::run_timed) returns the same
-//! [`BspPhases`] split as the single-scenario engine with
-//! `lanes` set, so [`BspPhases::lane_cycles_per_s`] — aggregate
-//! *scenario-cycles per second* — is directly comparable between a
-//! single-lane `BspSimulator` run and a gang run. The `gang_lanes`
-//! bench bin sweeps the lane count and prints both side by side.
-//!
-//! # Follow-ups recorded in ROADMAP.md
-//!
-//! * bit-packed 1-bit lanes (64 lanes per word for control-heavy nets);
-//! * per-lane early exit (retire finished scenarios without stalling
-//!   the gang);
-//! * waveform capture currently replays one selected lane through
-//!   [`crate::vcd::dump_vcd_lane`] — parallel multi-lane capture is
-//!   untackled.
+//! [`BspPhases`] split as the single-scenario engine — including the
+//! per-tile histograms of [`BspPhases::per_tile`], which the unified
+//! core now populates for gang runs too.
 //!
 //! [`Partition`]: parendi_core::Partition
 
 use crate::bsp::BspPhases;
-use crate::engine::{
-    bin1, eval_op, sext1, spin_delay, un1, worker_groups, ArrayHome, Compiled, Mailbox, OutputHome,
-    PhaseBarrier, PortSend, Program, RecSrc, RegHome, RegSend, Step,
-};
+use crate::exec::EngineCore;
 use crate::interp::Simulator;
-use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
 use parendi_core::Partition;
-use parendi_rtl::bits::{top_word_mask, word, words_for, Bits};
+use parendi_rtl::bits::Bits;
 use parendi_rtl::{Circuit, InputId, RegId};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex, RwLock};
-use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Lane-strided mutable state of one tile: `lanes` copies of the
-/// single-lane layout, lane-major. Guarded by a `Mutex` purely for the
-/// testbench API; workers lock it once per `run`, not per cycle.
-#[derive(Debug)]
-struct LaneTile {
-    /// `lanes × aw` words of combinational values.
-    arena: Vec<u64>,
-    /// `lanes × rw` words: this tile's own registers, `RegId` order
-    /// within each lane block.
-    reg_cur: Vec<u64>,
-    /// Local copies of held arrays, each `lanes × arr_words[i]` words.
-    arrays: Vec<Vec<u64>>,
-    /// Per-lane arena stride in words.
-    aw: usize,
-    /// Per-lane register-file stride in words.
-    rw: usize,
-    /// Per-lane words of each held array (depth × element words).
-    arr_words: Vec<usize>,
-}
-
-/// State shared between the gang facade and its worker pool.
-struct GangShared {
-    programs: Vec<Program>,
-    tiles: Vec<Mutex<LaneTile>>,
-    channels: Vec<Mailbox>,
-    /// Per-lane words of each mailbox (the lane stride of its buffers).
-    mail_words: Vec<u32>,
-    /// `lanes × input_stride` words, read-only during runs.
-    inputs: RwLock<Vec<u64>>,
-    /// Per-lane input-buffer stride in words.
-    input_stride: usize,
-    lanes: usize,
-    phase_barrier: PhaseBarrier,
-    gate: Barrier,
-    done: Barrier,
-    cmd_cycles: AtomicU64,
-    cmd_start: AtomicU64,
-    cmd_timed: AtomicBool,
-    exit: AtomicBool,
-    offchip_spin: AtomicU32,
-    /// Per-worker (compute, offchip, exchange) ns of the last timed run.
-    phase_ns: Vec<Mutex<(u64, u64, u64)>>,
-}
-
 /// A scenario-parallel BSP simulator: `lanes` independent simulations
-/// of one circuit advancing in lockstep over one compiled partition.
+/// of one circuit advancing in lockstep over one compiled partition. A
+/// facade over the unified lane-strided core.
 pub struct GangSimulator<'c> {
-    circuit: &'c Circuit,
-    shared: Arc<GangShared>,
-    workers: Vec<JoinHandle<()>>,
-    reg_home: Vec<RegHome>,
-    array_home: Vec<ArrayHome>,
-    output_home: Vec<OutputHome>,
-    /// Output ids grouped by owning tile, precomputed so bulk output
-    /// peeks (one per VCD timestep) do no per-call grouping work.
-    outputs_by_tile: Vec<(u32, Vec<u32>)>,
-    input_off: Vec<u32>,
-    input_by_name: HashMap<String, InputId>,
-    output_by_name: HashMap<String, u32>,
-    onchip_mailboxes: usize,
-    cycle: u64,
+    core: EngineCore<'c>,
 }
 
 impl<'c> GangSimulator<'c> {
@@ -157,173 +84,78 @@ impl<'c> GangSimulator<'c> {
     ///
     /// Panics if `threads` or `lanes` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize, lanes: usize) -> Self {
-        assert!(threads >= 1, "need at least one thread");
-        assert!(lanes >= 1, "need at least one lane");
-        let Compiled {
-            programs,
-            reg_home,
-            array_home,
-            output_home,
-            input_off,
-            input_words,
-            input_by_name,
-            output_by_name,
-            tile_reg_words,
-            array_init,
-            channels,
-            mail_words,
-            onchip_mailboxes,
-            tile_chip,
-            ..
-        } = Compiled::new(circuit, partition, lanes);
-
-        let tiles: Vec<Mutex<LaneTile>> = programs
-            .iter()
-            .enumerate()
-            .map(|(pi, prog)| {
-                let aw = prog.arena_words;
-                let rw = tile_reg_words[pi] as usize;
-                let mut arena = vec![0u64; aw * lanes];
-                let mut reg_cur = vec![0u64; rw * lanes];
-                for l in 0..lanes {
-                    for (off, words) in &prog.const_init {
-                        let d = l * aw + *off as usize;
-                        arena[d..d + words.len()].copy_from_slice(words);
-                    }
-                    for (ri, home) in reg_home.iter().enumerate() {
-                        if home.tile == pi as u32 {
-                            let d = l * rw + home.off as usize;
-                            reg_cur[d..d + home.words as usize]
-                                .copy_from_slice(circuit.regs[ri].init.words());
-                        }
-                    }
-                }
-                let mut arr_words = Vec::new();
-                let arrays = partition.processes[pi]
-                    .arrays
-                    .iter()
-                    .map(|a| {
-                        let init = &array_init[a.index()];
-                        arr_words.push(init.len());
-                        let mut buf = Vec::with_capacity(init.len() * lanes);
-                        for _ in 0..lanes {
-                            buf.extend_from_slice(init);
-                        }
-                        buf
-                    })
-                    .collect();
-                Mutex::new(LaneTile {
-                    arena,
-                    reg_cur,
-                    arrays,
-                    aw,
-                    rw,
-                    arr_words,
-                })
-            })
-            .collect();
-
-        let pool_threads = if programs.len() <= 1 {
-            1
-        } else {
-            threads.min(programs.len())
-        };
-        let worker_count = if pool_threads > 1 { pool_threads } else { 0 };
-        let shared = Arc::new(GangShared {
-            programs,
-            tiles,
-            channels,
-            mail_words,
-            inputs: RwLock::new(vec![0u64; input_words as usize * lanes]),
-            input_stride: input_words as usize,
-            lanes,
-            phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
-            gate: Barrier::new(worker_count + 1),
-            done: Barrier::new(worker_count + 1),
-            cmd_cycles: AtomicU64::new(0),
-            cmd_start: AtomicU64::new(0),
-            cmd_timed: AtomicBool::new(false),
-            exit: AtomicBool::new(false),
-            offchip_spin: AtomicU32::new(0),
-            phase_ns: (0..worker_count.max(1))
-                .map(|_| Mutex::new((0, 0, 0)))
-                .collect(),
-        });
-        let groups = worker_groups(&tile_chip, worker_count);
-        let workers = groups
-            .into_iter()
-            .enumerate()
-            .map(|(t, mine)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gang-worker-{t}"))
-                    .spawn(move || gang_worker_loop(&shared, t, mine))
-                    .expect("spawn gang worker")
-            })
-            .collect();
-
-        let mut grouped: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (oi, home) in output_home.iter().enumerate() {
-            assert!(home.tile != u32::MAX, "output {oi} has no owning tile");
-            grouped.entry(home.tile).or_default().push(oi as u32);
-        }
-        let outputs_by_tile: Vec<(u32, Vec<u32>)> = grouped.into_iter().collect();
-
         GangSimulator {
-            circuit,
-            shared,
-            workers,
-            reg_home,
-            array_home,
-            output_home,
-            outputs_by_tile,
-            input_off,
-            input_by_name,
-            output_by_name,
-            onchip_mailboxes,
-            cycle: 0,
+            core: EngineCore::new(circuit, partition, threads, lanes),
         }
     }
 
     /// Number of completed RTL cycles (identical across lanes — lanes
     /// advance in lockstep).
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.core.cycle
     }
 
     /// The circuit being simulated.
     pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+        self.core.circuit
     }
 
-    /// Number of scenario lanes running in lockstep.
+    /// Number of scenario lanes laid out (finished or not).
     pub fn lanes(&self) -> usize {
-        self.shared.lanes
+        self.core.lanes()
+    }
+
+    /// Number of lanes still running (not retired by
+    /// [`finish_lane`](Self::finish_lane)).
+    pub fn active_lanes(&self) -> usize {
+        self.core.active_lanes()
+    }
+
+    /// Whether `lane` is still running.
+    pub fn lane_is_active(&self, lane: usize) -> bool {
+        self.core.lane_is_active(lane)
+    }
+
+    /// Retires `lane`: from the next [`run`](Self::run) on, no compute,
+    /// latch, send, or array apply touches it — its registers, arrays,
+    /// and outputs freeze at their current values while the rest of the
+    /// gang keeps running (and speeds up, each dispatch sweeping fewer
+    /// lanes). Output peeks keep replaying the lane at its freeze-cycle
+    /// mailbox epoch, and [`run_stimulus`](Self::run_stimulus) ignores
+    /// the lane's remaining trace events (explicit
+    /// [`set_input_lane`](Self::set_input_lane)/[`poke_lane`](Self::poke_lane)
+    /// calls still write). Retiring an already-finished lane is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn finish_lane(&mut self, lane: usize) {
+        self.core.finish_lane(lane);
     }
 
     /// Number of tiles (processes) being simulated.
     pub fn tiles(&self) -> usize {
-        self.shared.programs.len()
+        self.core.tiles()
     }
 
     /// Number of mailboxes carrying traffic: per-tile-pair on-chip boxes
     /// plus per-chip-pair off-chip aggregates.
     pub fn channels(&self) -> usize {
-        self.shared.channels.len()
+        self.core.channels()
     }
 
     /// Number of per-chip-pair aggregate mailboxes (zero on single-chip
     /// partitions).
     pub fn offchip_channels(&self) -> usize {
-        self.shared.channels.len() - self.onchip_mailboxes
+        self.core.channels() - self.core.onchip_mailboxes
     }
 
     /// Sets the artificial per-word delay (in spin-loop iterations)
-    /// charged while flushing off-chip mailboxes. The gang flush charges
-    /// it per lane per word — every lane's traffic crosses the modeled
-    /// link. Functional results are unaffected.
+    /// charged to the modeled off-chip link. The gang flush charges it
+    /// per active lane per word — every lane's traffic crosses the
+    /// modeled link. Functional results are unaffected.
     pub fn set_offchip_spin_per_word(&mut self, spins: u32) {
-        self.shared.offchip_spin.store(spins, Ordering::Relaxed);
+        self.core.set_offchip_spin(spins);
     }
 
     /// Drives an input in **one lane** (held until changed).
@@ -332,12 +164,7 @@ impl<'c> GangSimulator<'c> {
     ///
     /// Panics if the width does not match or `lane` is out of range.
     pub fn set_input_lane(&mut self, id: InputId, lane: usize, value: &Bits) {
-        let decl = &self.circuit.inputs[id.index()];
-        assert_eq!(decl.width, value.width(), "input {} width", decl.name);
-        assert!(lane < self.shared.lanes, "lane {lane} out of range");
-        let off = lane * self.shared.input_stride + self.input_off[id.index()] as usize;
-        let mut inputs = self.shared.inputs.write().unwrap();
-        inputs[off..off + value.words().len()].copy_from_slice(value.words());
+        self.core.set_input_lane(id, lane, value);
     }
 
     /// Drives an input identically in **every lane**.
@@ -346,15 +173,7 @@ impl<'c> GangSimulator<'c> {
     ///
     /// Panics if the width does not match.
     pub fn set_input(&mut self, id: InputId, value: &Bits) {
-        let decl = &self.circuit.inputs[id.index()];
-        assert_eq!(decl.width, value.width(), "input {} width", decl.name);
-        let base = self.input_off[id.index()] as usize;
-        let stride = self.shared.input_stride;
-        let mut inputs = self.shared.inputs.write().unwrap();
-        for l in 0..self.shared.lanes {
-            let off = l * stride + base;
-            inputs[off..off + value.words().len()].copy_from_slice(value.words());
-        }
+        self.core.set_input_all(id, value);
     }
 
     /// Convenience: drive input `name` in one lane with a `u64`.
@@ -363,8 +182,8 @@ impl<'c> GangSimulator<'c> {
     ///
     /// Panics if no such input exists or `lane` is out of range.
     pub fn poke_lane(&mut self, name: &str, lane: usize, value: u64) {
-        let id = self.input_id(name);
-        let width = self.circuit.inputs[id.index()].width;
+        let id = self.core.input_id(name);
+        let width = self.core.circuit.inputs[id.index()].width;
         self.set_input_lane(id, lane, &Bits::from_u64(width, value));
     }
 
@@ -374,16 +193,9 @@ impl<'c> GangSimulator<'c> {
     ///
     /// Panics if no such input exists.
     pub fn poke(&mut self, name: &str, value: u64) {
-        let id = self.input_id(name);
-        let width = self.circuit.inputs[id.index()].width;
+        let id = self.core.input_id(name);
+        let width = self.core.circuit.inputs[id.index()].width;
         self.set_input(id, &Bits::from_u64(width, value));
-    }
-
-    fn input_id(&self, name: &str) -> InputId {
-        *self
-            .input_by_name
-            .get(name)
-            .unwrap_or_else(|| panic!("no input {name}"))
     }
 
     /// The current value of a register in `lane`.
@@ -392,13 +204,7 @@ impl<'c> GangSimulator<'c> {
     ///
     /// Panics if `lane` is out of range.
     pub fn reg_value_lane(&self, id: RegId, lane: usize) -> Bits {
-        let r = &self.circuit.regs[id.index()];
-        let home = self.reg_home[id.index()];
-        assert!(home.tile != u32::MAX, "register {} has no producer", r.name);
-        assert!(lane < self.shared.lanes, "lane {lane} out of range");
-        let tile = self.shared.tiles[home.tile as usize].lock().unwrap();
-        let off = lane * tile.rw + home.off as usize;
-        Bits::from_words(r.width, &tile.reg_cur[off..off + home.words as usize])
+        self.core.reg_value_lane(id, lane)
     }
 
     /// An element of an array in `lane`.
@@ -407,114 +213,49 @@ impl<'c> GangSimulator<'c> {
     ///
     /// Panics if `index` or `lane` is out of range.
     pub fn array_value_lane(&self, id: parendi_rtl::ArrayId, index: u32, lane: usize) -> Bits {
-        let a = &self.circuit.arrays[id.index()];
-        assert!(index < a.depth);
-        assert!(lane < self.shared.lanes, "lane {lane} out of range");
-        let w = words_for(a.width);
-        match &self.array_home[id.index()] {
-            ArrayHome::Held { tile, slot } => {
-                let t = self.shared.tiles[*tile as usize].lock().unwrap();
-                let base = lane * t.arr_words[*slot as usize] + index as usize * w;
-                Bits::from_words(a.width, &t.arrays[*slot as usize][base..][..w])
-            }
-            // Never written: identical in every lane.
-            ArrayHome::Spare(buf) => Bits::from_words(a.width, &buf[index as usize * w..][..w]),
-        }
+        self.core.array_value_lane(id, index, lane)
     }
 
     /// The current value of primary output `name` in `lane`, or `None`
     /// if no such output exists — the gang counterpart of the reference
     /// interpreter's `output()` and the single-scenario engine's
-    /// `peek_output`. Replays the owning tile's step program (all lanes)
+    /// `peek_output`. Replays the owning tile's bytecode (all lanes)
     /// against current architectural state, then reads the lane's slot.
     ///
     /// # Panics
     ///
     /// Panics if `lane` is out of range.
     pub fn peek_output_lane(&self, name: &str, lane: usize) -> Option<Bits> {
-        let &oi = self.output_by_name.get(name)?;
-        assert!(lane < self.shared.lanes, "lane {lane} out of range");
-        let home = self.output_home[oi as usize];
-        assert!(home.tile != u32::MAX, "output {name} has no owning tile");
-        let width = self.circuit.width(self.circuit.outputs[oi as usize].node);
-        let shared = &self.shared;
-        let inputs = shared.inputs.read().unwrap();
-        let mut tile = shared.tiles[home.tile as usize].lock().unwrap();
-        gang_run_steps(
-            &shared.programs[home.tile as usize],
-            &mut tile,
-            &inputs,
-            shared.input_stride,
-            &shared.channels,
-            &shared.mail_words,
-            shared.lanes,
-            self.cycle,
-        );
-        let off = lane * tile.aw + home.off as usize;
-        Some(Bits::from_words(
-            width,
-            &tile.arena[off..off + words_for(width)],
-        ))
+        self.core.peek_output_lane(name, lane)
     }
 
     /// All primary outputs of `lane`, indexed like `circuit.outputs`.
     /// The bulk counterpart of
     /// [`peek_output_lane`](Self::peek_output_lane): each owning tile's
-    /// step program is replayed **once**, however many outputs it
-    /// computes — waveform sampling reads every output per timestep and
-    /// must not pay one replay per output.
+    /// bytecode is replayed **once**, however many outputs it computes —
+    /// waveform sampling reads every output per timestep and must not
+    /// pay one replay per output.
     ///
     /// # Panics
     ///
     /// Panics if `lane` is out of range.
     pub fn peek_outputs_lane(&self, lane: usize) -> Vec<Bits> {
-        assert!(lane < self.shared.lanes, "lane {lane} out of range");
-        let shared = &self.shared;
-        let inputs = shared.inputs.read().unwrap();
-        let mut results: Vec<Option<Bits>> = vec![None; self.circuit.outputs.len()];
-        for (t, ois) in &self.outputs_by_tile {
-            let t = *t;
-            let mut tile = shared.tiles[t as usize].lock().unwrap();
-            gang_run_steps(
-                &shared.programs[t as usize],
-                &mut tile,
-                &inputs,
-                shared.input_stride,
-                &shared.channels,
-                &shared.mail_words,
-                shared.lanes,
-                self.cycle,
-            );
-            for &oi in ois {
-                let home = self.output_home[oi as usize];
-                let width = self.circuit.width(self.circuit.outputs[oi as usize].node);
-                let off = lane * tile.aw + home.off as usize;
-                results[oi as usize] = Some(Bits::from_words(
-                    width,
-                    &tile.arena[off..off + words_for(width)],
-                ));
-            }
-        }
-        results
-            .into_iter()
-            .map(|b| b.expect("complete partition owns every output"))
-            .collect()
+        self.core.peek_outputs_lane(lane)
     }
 
-    /// Runs `cycles` RTL cycles in every lane. Returns wall-clock
+    /// Runs `cycles` RTL cycles in every active lane. Returns wall-clock
     /// seconds.
     pub fn run(&mut self, cycles: u64) -> f64 {
-        self.run_inner(cycles, false).total_s
+        self.core.run_inner(cycles, false).total_s
     }
 
-    /// Runs `cycles` RTL cycles in every lane and reports the straggler
-    /// worker's compute / off-chip / exchange split. `BspPhases::lanes`
-    /// is set to the gang width, so
-    /// [`BspPhases::lane_cycles_per_s`] reports aggregate
-    /// scenario-cycles per second. Gang timing is per worker;
-    /// `per_tile` histograms stay empty.
+    /// Runs `cycles` RTL cycles in every active lane and reports the
+    /// straggler worker's compute / off-chip / exchange split plus the
+    /// per-tile histograms. `BspPhases::lanes` is set to the *active*
+    /// lane count, so [`BspPhases::lane_cycles_per_s`] reports honest
+    /// aggregate scenario-cycles per second under early exit.
     pub fn run_timed(&mut self, cycles: u64) -> BspPhases {
-        self.run_inner(cycles, true)
+        self.core.run_inner(cycles, true)
     }
 
     /// Runs `cycles` cycles, applying `stim`'s per-lane input events as
@@ -532,140 +273,41 @@ impl<'c> GangSimulator<'c> {
     pub fn run_stimulus(&mut self, cycles: u64, stim: &StimulusSet) -> f64 {
         assert_eq!(
             stim.lanes() as usize,
-            self.shared.lanes,
+            self.core.lanes(),
             "stimulus lane count must match the gang"
         );
         let start = Instant::now();
-        let end = self.cycle + cycles;
+        let end = self.core.cycle + cycles;
         // Group the window's events by cycle once, instead of scanning
         // the whole event list every cycle.
         let mut by_cycle: std::collections::BTreeMap<u64, Vec<&StimEvent>> =
             std::collections::BTreeMap::new();
         for ev in stim.events() {
-            if ev.cycle >= self.cycle && ev.cycle < end {
+            if ev.cycle >= self.core.cycle && ev.cycle < end {
                 by_cycle.entry(ev.cycle).or_default().push(ev);
             }
         }
         for (&cyc, evs) in &by_cycle {
-            if cyc > self.cycle {
-                let gap = cyc - self.cycle;
+            if cyc > self.core.cycle {
+                let gap = cyc - self.core.cycle;
                 self.run(gap);
             }
             for ev in evs {
-                let id = self.input_id(&ev.input);
+                // A retired scenario ignores its remaining trace: its
+                // inputs freeze with the rest of its state (direct
+                // `set_input_lane`/`poke_lane` calls still write).
+                if !self.core.lane_is_active(ev.lane as usize) {
+                    continue;
+                }
+                let id = self.core.input_id(&ev.input);
                 self.set_input_lane(id, ev.lane as usize, &ev.value);
             }
         }
-        if end > self.cycle {
-            let rest = end - self.cycle;
+        if end > self.core.cycle {
+            let rest = end - self.core.cycle;
             self.run(rest);
         }
         start.elapsed().as_secs_f64()
-    }
-
-    fn run_inner(&mut self, cycles: u64, timed: bool) -> BspPhases {
-        let start = Instant::now();
-        let lanes = self.shared.lanes as u32;
-        if cycles == 0 {
-            return BspPhases {
-                lanes,
-                ..BspPhases::default()
-            };
-        }
-        let (mut comp_ns, mut off_ns, mut exch_ns) = (0u64, 0u64, 0u64);
-        if self.workers.is_empty() {
-            let shared = &self.shared;
-            let spin = shared.offchip_spin.load(Ordering::Relaxed);
-            let any_off = shared.programs.iter().any(|p| p.has_offchip());
-            let inputs = shared.inputs.read().unwrap();
-            let mut guards: Vec<_> = shared.tiles.iter().map(|t| t.lock().unwrap()).collect();
-            for c in self.cycle..self.cycle + cycles {
-                let t0 = timed.then(Instant::now);
-                for (prog, tile) in shared.programs.iter().zip(guards.iter_mut()) {
-                    gang_compute_phase(
-                        prog,
-                        tile,
-                        &inputs,
-                        shared.input_stride,
-                        &shared.channels,
-                        &shared.mail_words,
-                        shared.lanes,
-                        c,
-                    );
-                }
-                let t1 = timed.then(Instant::now);
-                if any_off {
-                    for (prog, tile) in shared.programs.iter().zip(guards.iter_mut()) {
-                        if !prog.has_offchip() {
-                            continue;
-                        }
-                        gang_offchip_phase(
-                            prog,
-                            tile,
-                            &shared.channels,
-                            &shared.mail_words,
-                            shared.lanes,
-                            c,
-                            spin,
-                        );
-                    }
-                }
-                let t2 = timed.then(Instant::now);
-                for (prog, tile) in shared.programs.iter().zip(guards.iter_mut()) {
-                    gang_exchange_phase(
-                        prog,
-                        tile,
-                        &shared.channels,
-                        &shared.mail_words,
-                        shared.lanes,
-                        c,
-                    );
-                }
-                if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
-                    comp_ns += t1.duration_since(t0).as_nanos() as u64;
-                    off_ns += t2.duration_since(t1).as_nanos() as u64;
-                    exch_ns += t2.elapsed().as_nanos() as u64;
-                }
-            }
-        } else {
-            self.shared.cmd_cycles.store(cycles, Ordering::SeqCst);
-            self.shared.cmd_start.store(self.cycle, Ordering::SeqCst);
-            self.shared.cmd_timed.store(timed, Ordering::SeqCst);
-            self.shared.gate.wait();
-            self.shared.done.wait();
-            if timed {
-                // Straggler = the worker with the most real work (see
-                // the single-scenario engine for why totals can't rank).
-                for slot in &self.shared.phase_ns {
-                    let (c, o, e) = *slot.lock().unwrap();
-                    if c + o > comp_ns + off_ns {
-                        (comp_ns, off_ns, exch_ns) = (c, o, e);
-                    }
-                }
-            }
-        }
-        self.cycle += cycles;
-        BspPhases {
-            total_s: start.elapsed().as_secs_f64(),
-            compute_s: comp_ns as f64 * 1e-9,
-            offchip_s: off_ns as f64 * 1e-9,
-            exchange_s: exch_ns as f64 * 1e-9,
-            per_tile: Vec::new(),
-            cycles,
-            lanes,
-        }
-    }
-}
-
-impl Drop for GangSimulator<'_> {
-    fn drop(&mut self) {
-        if !self.workers.is_empty() {
-            self.shared.exit.store(true, Ordering::SeqCst);
-            self.shared.gate.wait();
-            for w in self.workers.drain(..) {
-                let _ = w.join();
-            }
-        }
     }
 }
 
@@ -762,493 +404,6 @@ impl StimulusSet {
                 .input_id(&ev.input)
                 .unwrap_or_else(|| panic!("no input {}", ev.input));
             sim.set_input(id, &ev.value);
-        }
-    }
-}
-
-/// The persistent gang worker entry (same abort-on-panic contract as
-/// the single-scenario engine: a hung barrier would deadlock the run).
-fn gang_worker_loop(shared: &GangShared, t: usize, mine: Vec<usize>) {
-    let body = std::panic::AssertUnwindSafe(|| gang_worker_body(shared, t, &mine));
-    if std::panic::catch_unwind(body).is_err() {
-        eprintln!("gang worker {t} panicked; aborting (a hung barrier would deadlock the run)");
-        std::process::abort();
-    }
-}
-
-/// The gang worker run loop: park at the gate, execute a run over this
-/// worker's chip-major tile group `mine`, report.
-fn gang_worker_body(shared: &GangShared, t: usize, mine: &[usize]) {
-    let any_off = mine.iter().any(|&pi| shared.programs[pi].has_offchip());
-    loop {
-        shared.gate.wait();
-        if shared.exit.load(Ordering::SeqCst) {
-            return;
-        }
-        let cycles = shared.cmd_cycles.load(Ordering::SeqCst);
-        let start = shared.cmd_start.load(Ordering::SeqCst);
-        let timed = shared.cmd_timed.load(Ordering::SeqCst);
-        let spin = shared.offchip_spin.load(Ordering::Relaxed);
-        {
-            // One lock per tile per run; the steady-state cycle loop
-            // below acquires no locks and allocates nothing.
-            let inputs = shared.inputs.read().unwrap();
-            let mut guards: Vec<_> = mine
-                .iter()
-                .map(|&pi| shared.tiles[pi].lock().unwrap())
-                .collect();
-            let (mut comp_ns, mut off_ns, mut exch_ns) = (0u64, 0u64, 0u64);
-            for c in start..start + cycles {
-                let t0 = timed.then(Instant::now);
-                for (guard, &pi) in guards.iter_mut().zip(mine) {
-                    gang_compute_phase(
-                        &shared.programs[pi],
-                        guard,
-                        &inputs,
-                        shared.input_stride,
-                        &shared.channels,
-                        &shared.mail_words,
-                        shared.lanes,
-                        c,
-                    );
-                }
-                let t1 = timed.then(Instant::now);
-                if any_off {
-                    for (guard, &pi) in guards.iter_mut().zip(mine) {
-                        if !shared.programs[pi].has_offchip() {
-                            continue;
-                        }
-                        gang_offchip_phase(
-                            &shared.programs[pi],
-                            guard,
-                            &shared.channels,
-                            &shared.mail_words,
-                            shared.lanes,
-                            c,
-                            spin,
-                        );
-                    }
-                }
-                // exchange_s starts *before* barrier 1 so the straggler
-                // wait lands in the exchange column (BspPhases contract).
-                let t2 = timed.then(Instant::now);
-                if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
-                    comp_ns += t1.duration_since(t0).as_nanos() as u64;
-                    off_ns += t2.duration_since(t1).as_nanos() as u64;
-                }
-                // Barrier 1: all mailboxes for epoch c+1 are filled.
-                shared.phase_barrier.wait();
-                for (guard, &pi) in guards.iter_mut().zip(mine) {
-                    gang_exchange_phase(
-                        &shared.programs[pi],
-                        guard,
-                        &shared.channels,
-                        &shared.mail_words,
-                        shared.lanes,
-                        c,
-                    );
-                }
-                // Barrier 2: every array copy has applied the records.
-                shared.phase_barrier.wait();
-                if let Some(t2) = t2 {
-                    exch_ns += t2.elapsed().as_nanos() as u64;
-                }
-            }
-            if timed {
-                *shared.phase_ns[t].lock().unwrap() = (comp_ns, off_ns, exch_ns);
-            }
-        }
-        shared.done.wait();
-    }
-}
-
-/// Runs one tile's step program at cycle `c` **for every lane**: one
-/// dispatch per step, a tight inner loop over lanes. Also the replay
-/// engine behind `peek_output_lane`.
-#[allow(clippy::too_many_arguments)]
-fn gang_run_steps(
-    prog: &Program,
-    tile: &mut LaneTile,
-    inputs: &[u64],
-    input_stride: usize,
-    channels: &[Mailbox],
-    mail_words: &[u32],
-    lanes: usize,
-    c: u64,
-) {
-    let read_parity = (c & 1) as usize;
-    let LaneTile {
-        arena,
-        reg_cur,
-        arrays,
-        aw,
-        rw,
-        arr_words,
-    } = tile;
-    let (aw, rw) = (*aw, *rw);
-    for step in &prog.steps {
-        match *step {
-            Step::Input { dst, src, nw } => {
-                let (d, s, n) = (dst as usize, src as usize, nw as usize);
-                for l in 0..lanes {
-                    let (db, sb) = (l * aw + d, l * input_stride + s);
-                    arena[db..db + n].copy_from_slice(&inputs[sb..sb + n]);
-                }
-            }
-            Step::RegOwn { dst, src, nw } => {
-                let (d, s, n) = (dst as usize, src as usize, nw as usize);
-                for l in 0..lanes {
-                    let (db, sb) = (l * aw + d, l * rw + s);
-                    arena[db..db + n].copy_from_slice(&reg_cur[sb..sb + n]);
-                }
-            }
-            Step::RegMail { dst, ch, src, nw } => {
-                // SAFETY: epoch discipline — no writer of `read_parity`
-                // exists during the computation phase (see Mailbox).
-                let buf = unsafe { channels[ch as usize].read(read_parity) };
-                let mw = mail_words[ch as usize] as usize;
-                let (d, s, n) = (dst as usize, src as usize, nw as usize);
-                for l in 0..lanes {
-                    let (db, sb) = (l * aw + d, l * mw + s);
-                    arena[db..db + n].copy_from_slice(&buf[sb..sb + n]);
-                }
-            }
-            Step::ArrayRead {
-                dst,
-                arr,
-                idx,
-                idx_w,
-                nw,
-                depth,
-            } => {
-                let words = arr_words[arr as usize];
-                let a = &arrays[arr as usize];
-                let (d, n) = (dst as usize, nw as usize);
-                for l in 0..lanes {
-                    let base = l * aw;
-                    let index = word::fold_index(
-                        &arena[base + idx as usize..base + (idx + idx_w) as usize],
-                    );
-                    let db = base + d;
-                    if index < depth as u64 {
-                        let sb = l * words + index as usize * n;
-                        arena[db..db + n].copy_from_slice(&a[sb..sb + n]);
-                    } else {
-                        arena[db..db + n].fill(0);
-                    }
-                }
-            }
-            _ => eval_op_lanes(arena, aw, lanes, step),
-        }
-    }
-}
-
-/// Evaluates one pure compiled op across all lanes: the step (and op)
-/// dispatch happens once, and single-word operations — the common case —
-/// run the lanes through the scalar kernels shared with the
-/// single-scenario engine's fast path, pure `u64` arithmetic with no
-/// slicing. Multi-word operations fall back to the per-lane slice
-/// kernels of [`eval_op`] on each lane's contiguous arena block.
-fn eval_op_lanes(arena: &mut [u64], stride: usize, lanes: usize, step: &Step) {
-    match *step {
-        Step::Un {
-            op,
-            dst,
-            a,
-            w,
-            aw,
-            anw,
-        } if anw == 1 && w <= 64 => {
-            let (dst, a) = (dst as usize, a as usize);
-            for l in 0..lanes {
-                let b = l * stride;
-                arena[b + dst] = un1(op, arena[b + a], w, aw);
-            }
-        }
-        Step::Bin {
-            op,
-            dst,
-            a,
-            b,
-            w,
-            aw,
-            anw,
-            bnw,
-        } if anw == 1 && bnw == 1 && w <= 64 => {
-            let (dst, a, b) = (dst as usize, a as usize, b as usize);
-            for l in 0..lanes {
-                let base = l * stride;
-                arena[base + dst] = bin1(op, arena[base + a], arena[base + b], w, aw);
-            }
-        }
-        Step::Mux {
-            dst,
-            sel,
-            t,
-            f,
-            nw: 1,
-        } => {
-            let (dst, sel, t, f) = (dst as usize, sel as usize, t as usize, f as usize);
-            for l in 0..lanes {
-                let b = l * stride;
-                let pick = if arena[b + sel] & 1 == 1 { t } else { f };
-                arena[b + dst] = arena[b + pick];
-            }
-        }
-        Step::Slice {
-            dst,
-            a,
-            lo,
-            w,
-            anw: 1,
-        } => {
-            let (dst, a) = (dst as usize, a as usize);
-            let m = top_word_mask(w);
-            for l in 0..lanes {
-                let b = l * stride;
-                arena[b + dst] = (arena[b + a] >> lo) & m;
-            }
-        }
-        Step::Zext { dst, a, w, anw } if anw == 1 && w <= 64 => {
-            let (dst, a) = (dst as usize, a as usize);
-            let m = top_word_mask(w);
-            for l in 0..lanes {
-                let b = l * stride;
-                arena[b + dst] = arena[b + a] & m;
-            }
-        }
-        Step::Sext { dst, a, aw, w, anw } if anw == 1 && w <= 64 => {
-            let (dst, a) = (dst as usize, a as usize);
-            for l in 0..lanes {
-                let b = l * stride;
-                arena[b + dst] = sext1(arena[b + a], aw, w);
-            }
-        }
-        Step::Concat {
-            dst,
-            hi,
-            lo,
-            w,
-            low_w,
-            hnw,
-            lnw,
-        } if hnw == 1 && lnw == 1 && w <= 64 => {
-            let (dst, hi, lo) = (dst as usize, hi as usize, lo as usize);
-            let m = top_word_mask(w);
-            for l in 0..lanes {
-                let b = l * stride;
-                arena[b + dst] = (arena[b + lo] | (arena[b + hi] << low_w)) & m;
-            }
-        }
-        _ => {
-            for l in 0..lanes {
-                eval_op(&mut arena[l * stride..(l + 1) * stride], step);
-            }
-        }
-    }
-}
-
-/// Computation phase for one tile at cycle `c`, all lanes: run the step
-/// program, latch own registers, push outgoing *on-chip* mailbox
-/// traffic for epoch `c+1`.
-#[allow(clippy::too_many_arguments)]
-fn gang_compute_phase(
-    prog: &Program,
-    tile: &mut LaneTile,
-    inputs: &[u64],
-    input_stride: usize,
-    channels: &[Mailbox],
-    mail_words: &[u32],
-    lanes: usize,
-    c: u64,
-) {
-    gang_run_steps(
-        prog,
-        tile,
-        inputs,
-        input_stride,
-        channels,
-        mail_words,
-        lanes,
-        c,
-    );
-    let write_parity = ((c & 1) ^ 1) as usize;
-    let LaneTile {
-        arena,
-        reg_cur,
-        aw,
-        rw,
-        ..
-    } = tile;
-    let (aw, rw) = (*aw, *rw);
-    // Latch own registers, every lane: tile-local, nobody else reads.
-    for rc in &prog.commits {
-        let (d, s, n) = (rc.dst as usize, rc.local as usize, rc.nw as usize);
-        for l in 0..lanes {
-            let (db, sb) = (l * rw + d, l * aw + s);
-            reg_cur[db..db + n].copy_from_slice(&arena[sb..sb + n]);
-        }
-    }
-    for send in &prog.sends {
-        gang_push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
-    }
-    for ps in &prog.port_sends {
-        gang_stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
-    }
-}
-
-/// Copies one outbound register value into its mailbox segment, every
-/// lane (same raw-pointer aliasing rules as the single-scenario
-/// engine's `push_reg_send`).
-#[inline]
-fn gang_push_reg_send(
-    send: &RegSend,
-    arena: &[u64],
-    aw: usize,
-    channels: &[Mailbox],
-    mail_words: &[u32],
-    lanes: usize,
-    write_parity: usize,
-) {
-    let mw = mail_words[send.ch as usize] as usize;
-    // SAFETY: epoch discipline — no reader of `write_parity` exists
-    // during this phase, and this thread exclusively owns the segment
-    // `[dst, dst + nw)` of every lane block (compile-time layout).
-    unsafe {
-        let base = channels[send.ch as usize].write_base(write_parity);
-        for l in 0..lanes {
-            std::ptr::copy_nonoverlapping(
-                arena.as_ptr().add(l * aw + send.local as usize),
-                base.add(l * mw + send.dst as usize),
-                send.nw as usize,
-            );
-        }
-    }
-}
-
-/// Copies one port record `(enable, index, data)` into every
-/// destination slot of `ps`, every lane.
-#[inline]
-fn gang_stage_port_record(
-    ps: &PortSend,
-    arena: &[u64],
-    aw: usize,
-    channels: &[Mailbox],
-    mail_words: &[u32],
-    lanes: usize,
-    write_parity: usize,
-) {
-    for l in 0..lanes {
-        let b = l * aw;
-        let en = arena[b + ps.en as usize] & 1;
-        let idx = word::fold_index(&arena[b + ps.idx as usize..b + (ps.idx + ps.idx_w) as usize]);
-        let data = &arena[b + ps.data as usize..b + (ps.data + ps.nw) as usize];
-        for &(ch, off) in &ps.dests {
-            let mw = mail_words[ch as usize] as usize;
-            // SAFETY: epoch discipline — no reader of `write_parity`
-            // exists during this phase, and this thread exclusively owns
-            // the record segment at `off` in every lane block.
-            unsafe {
-                let slot = channels[ch as usize]
-                    .write_base(write_parity)
-                    .add(l * mw + off as usize);
-                *slot = en;
-                *slot.add(1) = idx;
-                std::ptr::copy_nonoverlapping(
-                    data.as_ptr(),
-                    slot.add(PORT_RECORD_HEADER_WORDS as usize),
-                    ps.nw as usize,
-                );
-            }
-        }
-    }
-}
-
-/// Off-chip flush sub-phase for one tile at cycle `c`, all lanes. The
-/// spin delay charges per lane per word: every lane's traffic crosses
-/// the modeled slower link.
-fn gang_offchip_phase(
-    prog: &Program,
-    tile: &mut LaneTile,
-    channels: &[Mailbox],
-    mail_words: &[u32],
-    lanes: usize,
-    c: u64,
-    spin: u32,
-) {
-    let write_parity = ((c & 1) ^ 1) as usize;
-    let arena = &tile.arena;
-    let aw = tile.aw;
-    for send in &prog.offchip_sends {
-        gang_push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
-        spin_delay(send.nw as u64 * lanes as u64 * spin as u64);
-    }
-    for ps in &prog.offchip_port_sends {
-        gang_stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
-        let words =
-            (PORT_RECORD_HEADER_WORDS + ps.nw) as u64 * ps.dests.len() as u64 * lanes as u64;
-        spin_delay(words * spin as u64);
-    }
-}
-
-/// Communication phase for one tile at cycle `c`, all lanes: apply all
-/// staged port records (own and remote) to the tile's array copies in
-/// global `(array, port)` order, lane by lane.
-fn gang_exchange_phase(
-    prog: &Program,
-    tile: &mut LaneTile,
-    channels: &[Mailbox],
-    mail_words: &[u32],
-    lanes: usize,
-    c: u64,
-) {
-    let record_parity = ((c & 1) ^ 1) as usize;
-    let LaneTile {
-        arena,
-        arrays,
-        aw,
-        arr_words,
-        ..
-    } = tile;
-    let aw = *aw;
-    for ap in &prog.applies {
-        let nw = ap.nw as usize;
-        let words = arr_words[ap.arr as usize];
-        let array = &mut arrays[ap.arr as usize];
-        match ap.src {
-            RecSrc::Own {
-                en,
-                idx,
-                idx_w,
-                data,
-            } => {
-                for l in 0..lanes {
-                    let b = l * aw;
-                    let e = arena[b + en as usize] & 1;
-                    let i = word::fold_index(&arena[b + idx as usize..b + (idx + idx_w) as usize]);
-                    if e == 1 && i < ap.depth as u64 {
-                        let dst = l * words + i as usize * nw;
-                        array[dst..dst + nw]
-                            .copy_from_slice(&arena[b + data as usize..b + data as usize + nw]);
-                    }
-                }
-            }
-            RecSrc::Mail { ch, off } => {
-                // SAFETY: after barrier 1 nobody writes `record_parity`.
-                let buf = unsafe { channels[ch as usize].read(record_parity) };
-                let mw = mail_words[ch as usize] as usize;
-                let off = off as usize;
-                for l in 0..lanes {
-                    let rec = l * mw + off;
-                    let e = buf[rec] & 1;
-                    let i = buf[rec + 1];
-                    if e == 1 && i < ap.depth as u64 {
-                        let dst = l * words + i as usize * nw;
-                        array[dst..dst + nw]
-                            .copy_from_slice(&buf[rec + PORT_RECORD_HEADER_WORDS as usize..][..nw]);
-                    }
-                }
-            }
         }
     }
 }

@@ -8,9 +8,15 @@
 //!   partition with the two-barrier BSP structure of Fig. 3;
 //! * [`gang::GangSimulator`] — scenario-parallel execution: `L`
 //!   independent stimulus lanes in lockstep over one compiled
-//!   partition, with lane-strided state and per-lane I/O;
+//!   partition, with lane-strided state, per-lane I/O, and per-lane
+//!   early exit;
 //! * [`timing`] — the Eq. 1 cost breakdown
 //!   (`t_comp`/`t_comm`/`t_sync`) on the IPU machine model.
+//!
+//! Both simulators are facades over one lane-strided execution core
+//! (`exec`, crate-private) that runs a fused, cache-compact bytecode —
+//! a single hot loop shared by every engine; the compile front-end and
+//! the `Step` → bytecode lowering live in `engine`.
 //!
 //! # Examples
 //!
@@ -42,6 +48,7 @@
 
 pub mod bsp;
 pub(crate) mod engine;
+pub(crate) mod exec;
 pub mod gang;
 pub mod interp;
 pub mod timing;

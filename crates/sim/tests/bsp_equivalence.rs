@@ -51,6 +51,19 @@ fn fixed_seeds_all_tile_and_thread_shapes() {
     }
 }
 
+/// Past 16 workers the phase barrier combines arrivals up a tree
+/// (`engine.rs::PhaseBarrier`); a 24-tile partition on 24 threads must
+/// stay bit-exact through it, chunked runs and all.
+#[test]
+fn tree_barrier_pool_shapes_are_equivalent() {
+    for seed in [2u64, 31] {
+        let c = random_circuit(seed, 26, 120);
+        for &threads in &[17usize, 24] {
+            check_equivalence(&c, 24, threads, 40);
+        }
+    }
+}
+
 #[test]
 fn strategies_are_equivalent_too() {
     let c = random_circuit(99, 16, 80);

@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 
 /// Builds a random but well-formed circuit from a seed: a soup of
 /// registers, arrays and combinational ops with data-dependent control.
+#[allow(dead_code)]
 pub fn random_circuit(seed: u64, regs: usize, ops: usize) -> Circuit {
     random_circuit_inner(seed, regs, ops, 0)
 }
