@@ -109,6 +109,7 @@ fn main() {
             "fig04",
             "prng64",
             "bsp",
+            false,
             1,
             threads as u32,
         );
@@ -123,6 +124,7 @@ fn main() {
             "fig04",
             "prng64",
             "bsp",
+            false,
             comp.partition.chips,
             comp.partition.tiles_used(),
             1,
@@ -138,7 +140,7 @@ fn main() {
     }
     if let Some(base) = &base {
         for r in &records {
-            if let Some(b) = baseline_rate(base, "fig04", "prng64", "bsp", 1, r.threads) {
+            if let Some(b) = baseline_rate(base, "fig04", "prng64", "bsp", false, 1, r.threads) {
                 println!(
                     "prng64 bsp threads={}: pre-PR {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
                     r.threads,

@@ -89,6 +89,7 @@ fn main() {
             "fig05",
             bench.name(),
             "bsp",
+            false,
             comp.partition.chips,
             comp.partition.tiles_used(),
             1,

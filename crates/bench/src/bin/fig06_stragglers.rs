@@ -47,6 +47,7 @@ fn main() {
             "fig06",
             bench.name(),
             "bsp",
+            false,
             comp.partition.chips,
             comp.partition.tiles_used(),
             1,

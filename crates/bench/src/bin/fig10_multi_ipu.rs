@@ -161,6 +161,7 @@ fn main() {
             "fig10",
             design.name(),
             "bsp",
+            false,
             comp.partition.chips,
             comp.partition.tiles_used(),
             1,
@@ -192,7 +193,10 @@ fn main() {
     let phl = gang.run_timed(cycles);
     println!(
         "\nGang engine at {chips} chips ({lanes} lanes, off-chip bytes x{lanes} = {:.2} KiB):",
-        comp.plan.scaled_by_lanes(lanes as u32).offchip_total_bytes as f64 / 1024.0,
+        comp.plan
+            .scaled_by_lanes(lanes as u32, false)
+            .offchip_total_bytes as f64
+            / 1024.0,
     );
     println!(
         "  single-lane {:>9.1} lane-kcyc/s | gang {:>9.1} lane-kcyc/s ({:.2}x aggregate)",
@@ -204,6 +208,7 @@ fn main() {
         "fig10",
         design.name(),
         "gang",
+        false,
         chips,
         comp.partition.tiles_used(),
         lanes as u32,

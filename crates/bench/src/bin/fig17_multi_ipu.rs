@@ -108,6 +108,7 @@ fn main() {
             "fig17",
             format!("{}-{label}", design.name()),
             "bsp",
+            false,
             comp.partition.chips,
             comp.partition.tiles_used(),
             1,

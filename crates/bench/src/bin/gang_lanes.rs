@@ -1,25 +1,32 @@
-//! Gang lane sweep: aggregate scenario throughput of the gang engine
-//! vs the single-scenario BSP engine, over one compiled partition.
+//! Gang lane sweep: aggregate scenario throughput of the gang engine —
+//! lane-strided **and bit-packed** — vs the single-scenario BSP engine,
+//! over one compiled partition.
 //!
 //! The gang engine runs L independent stimulus lanes in lockstep with
 //! lane-strided state, so each dispatched bytecode instruction is
-//! amortized L ways. This bin sweeps L on at least two designs and
-//! prints **aggregate lane-cycles/sec** (scenario-cycles per second
-//! summed over lanes) next to the single-lane engine — the gang
-//! acceptance criterion is that the aggregate improves with lane count.
+//! amortized L ways. Packed mode goes one dimension further on exactly
+//! the nets that dominate control-heavy designs: 1-bit values are
+//! bit-packed across lanes (64 scenarios per `u64` word), so a single
+//! bitwise op advances 64 lanes. This bin sweeps L up to 256 lanes on
+//! the control-dominated corpus designs and prints **aggregate
+//! lane-cycles/sec** for the strided and packed engines side by side —
+//! the acceptance criterion is that the packed aggregate keeps rising
+//! (superlinearly vs strided) at 64+ lanes, hundreds of scenarios per
+//! tile dispatch.
 //!
 //! Throughput comes from *untimed* `run` calls (best of three reps, no
 //! per-cycle clock reads); the phase split in the JSON comes from one
 //! additional `run_timed`. Every row lands in `BENCH_gang_lanes.json`
-//! ([`parendi_bench::write_bench_json`]), and when the checked-in
-//! pre-PR baseline has a matching row its delta prints side by side
-//! (`vs pre-PR`) — the perf trajectory of the one-hot-loop engine.
+//! ([`parendi_bench::write_bench_json`]) with a `packed` flag, and when
+//! the checked-in baseline has a matching row its delta prints side by
+//! side (`vs base`) — the perf trajectory of the engine, gated in CI by
+//! the `bench_check` bin.
 //!
 //! A microbench at the end shows what the fused `nw == 1` single-word
 //! opcodes buy over the general slice kernels.
 //!
 //! Env knobs: `PARENDI_QUICK=1` (or `--quick`) shrinks the sweep to the
-//! CI smoke shape (2 chips × lanes {1, 4}); `PARENDI_GANG_LANES`
+//! CI smoke shape (2 chips × lanes {1, 4, 64}); `PARENDI_GANG_LANES`
 //! overrides the lane list (comma-separated); `PARENDI_BENCH_DIR`
 //! redirects the JSON; `PARENDI_BASELINE` points at an alternative
 //! baseline file.
@@ -47,9 +54,11 @@ fn lane_sweep() -> Vec<usize> {
         }
     }
     if quick() {
-        vec![1, 4]
+        // The CI smoke still crosses the packed word boundary: 64 lanes
+        // is where one u64 op carries a full word of scenarios.
+        vec![1, 4, 64]
     } else {
-        vec![1, 2, 4, 8, 16]
+        vec![1, 4, 16, 64, 128, 256]
     }
 }
 
@@ -71,6 +80,7 @@ fn measure(rec: &mut BenchRecord, run: &mut dyn FnMut(bool) -> parendi_sim::BspP
         &rec.bin,
         rec.design.clone(),
         &rec.engine,
+        rec.packed,
         rec.chips,
         rec.tiles,
         rec.lanes,
@@ -81,6 +91,7 @@ fn measure(rec: &mut BenchRecord, run: &mut dyn FnMut(bool) -> parendi_sim::BspP
     );
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sweep_design(
     key: &str,
     circuit: &Circuit,
@@ -97,13 +108,14 @@ fn sweep_design(
         "\n== {key} ({tiles_used} tiles, {chips} chips, {threads} threads, {cycles} cycles) =="
     );
     println!(
-        "{:>6} {:>12} {:>14} {:>9} {:>9}",
-        "lanes", "wall µs/cyc", "lane-kcyc/s", "vs 1-lane", "vs pre-PR"
+        "{:>6} {:>14} {:>14} {:>9} {:>9} {:>9}",
+        "lanes", "strided kc/s", "packed kc/s", "pack/str", "vs 1-lane", "vs base"
     );
-    let template = |engine: &str, lanes: u32| BenchRecord {
+    let template = |engine: &str, lanes: u32, packed: bool| BenchRecord {
         bin: BIN.into(),
         design: key.into(),
         engine: engine.into(),
+        packed,
         chips,
         tiles: tiles_used,
         lanes,
@@ -112,7 +124,7 @@ fn sweep_design(
         ..BenchRecord::default()
     };
 
-    let mut rec = template("bsp", 1);
+    let mut rec = template("bsp", 1, false);
     {
         let mut single = BspSimulator::new(circuit, &comp.partition, threads);
         single.run(30); // warm the pool
@@ -127,12 +139,21 @@ fn sweep_design(
             }
         });
     }
-    let vs = baseline_rate(base.unwrap_or(&[]), BIN, key, "bsp", 1, threads as u32);
-    println!(
-        "{:>6} {:>12.2} {:>14.1} {:>9} {:>9} (single-scenario BspSimulator)",
+    let vs = baseline_rate(
+        base.unwrap_or(&[]),
+        BIN,
+        key,
+        "bsp",
+        false,
         1,
-        1e6 / rec.cycles_per_s,
+        threads as u32,
+    );
+    println!(
+        "{:>6} {:>14.1} {:>14} {:>9} {:>9} {:>9} (single-scenario BspSimulator)",
+        1,
         rec.lane_cycles_per_s / 1e3,
+        "-",
+        "-",
         "-",
         vs_baseline_cell(rec.lane_cycles_per_s, vs),
     );
@@ -140,38 +161,51 @@ fn sweep_design(
     out.push(rec);
 
     for lanes in lane_sweep() {
-        let mut rec = template("gang", lanes as u32);
-        {
-            let mut gang = GangSimulator::new(circuit, &comp.partition, threads, lanes);
-            gang.run(30);
-            measure(&mut rec, &mut |timed| {
-                if timed {
-                    gang.run_timed(cycles)
+        // Strided and packed gangs over the identical partition: the
+        // packed-vs-strided column is the PR's acceptance metric.
+        let mut measured = [0.0f64; 2];
+        for (pi, &packed) in [false, true].iter().enumerate() {
+            let mut rec = template("gang", lanes as u32, packed);
+            {
+                let mut gang = if packed {
+                    GangSimulator::new_packed(circuit, &comp.partition, threads, lanes)
                 } else {
-                    parendi_sim::BspPhases {
-                        total_s: gang.run(cycles),
-                        ..Default::default()
+                    GangSimulator::new(circuit, &comp.partition, threads, lanes)
+                };
+                gang.run(30);
+                measure(&mut rec, &mut |timed| {
+                    if timed {
+                        gang.run_timed(cycles)
+                    } else {
+                        parendi_sim::BspPhases {
+                            total_s: gang.run(cycles),
+                            ..Default::default()
+                        }
                     }
-                }
-            });
+                });
+            }
+            measured[pi] = rec.lane_cycles_per_s;
+            out.push(rec);
         }
+        let [strided, packed] = measured;
         let vs = baseline_rate(
             base.unwrap_or(&[]),
             BIN,
             key,
             "gang",
+            false,
             lanes as u32,
             threads as u32,
         );
         println!(
-            "{:>6} {:>12.2} {:>14.1} {:>8.2}x {:>9}",
+            "{:>6} {:>14.1} {:>14.1} {:>8.2}x {:>8.2}x {:>9}",
             lanes,
-            1e6 / rec.cycles_per_s,
-            rec.lane_cycles_per_s / 1e3,
-            rec.lane_cycles_per_s / single_rate.max(1e-12),
-            vs_baseline_cell(rec.lane_cycles_per_s, vs),
+            strided / 1e3,
+            packed / 1e3,
+            packed / strided.max(1e-12),
+            packed / single_rate.max(1e-12),
+            vs_baseline_cell(strided, vs),
         );
-        out.push(rec);
     }
 }
 
@@ -225,8 +259,8 @@ fn fast_path_delta() {
         kern / scal.max(1e-12),
     );
     println!("  (both engines dispatch single-word steps straight into the scalar");
-    println!("   kernels via dedicated fused opcodes; the gang engine additionally");
-    println!("   amortizes each dispatch over all active lanes)");
+    println!("   kernels via dedicated fused opcodes; the packed gang additionally");
+    println!("   advances 64 scenarios per op on 1-bit control nets)");
 }
 
 fn main() {
@@ -234,8 +268,9 @@ fn main() {
     let cycles: u64 = if quick() { 300 } else { 1000 };
     let base = load_baseline();
     println!("Gang lane sweep: aggregate scenario-cycles/sec vs lane count");
+    println!("(strided = one u64 word per lane per 1-bit net; packed = 64 lanes per word)");
     if base.is_none() {
-        println!("(no pre-PR baseline found; vs pre-PR column prints '-')");
+        println!("(no baseline found; vs base column prints '-')");
     }
     let mut records = Vec::new();
 
@@ -256,13 +291,32 @@ fn main() {
             &mut records,
         );
 
-        // Design 2: a mesh NoC — real cross-tile and cross-chip traffic
-        // rides the lane-strided mailboxes.
+        // Design 2: a mesh NoC — the mixed control/datapath corpus
+        // design: dense 1-bit valid/grant/fire arbitration logic (the
+        // packed mode's turf) around a 32-bit flit datapath that bounds
+        // the packing win, with real cross-tile and cross-chip traffic
+        // riding the (part packed) mailboxes.
         let n = if quick() { 3 } else { 4 };
         let mesh = Benchmark::Sr(n).build();
         sweep_design(
             &format!("sr{n}"),
             &mesh,
+            16,
+            threads,
+            cycles,
+            base.as_deref(),
+            &mut records,
+        );
+
+        // Design 3: the Rule 30 cellular automaton — the pure-control
+        // corpus design: every net is one bit, so the packed engine
+        // advances 64 scenarios per machine op on the *whole* design.
+        // This is where hundreds of lanes per tile dispatch show up.
+        let cells = if quick() { 256 } else { 1024 };
+        let ca = Benchmark::Ca(cells).build();
+        sweep_design(
+            &format!("ca{cells}"),
+            &ca,
             16,
             threads,
             cycles,
@@ -278,13 +332,16 @@ fn main() {
         Err(e) => println!("\ncould not write BENCH_{BIN}.json: {e}"),
     }
     if let Some(base) = &base {
-        // The PR acceptance line: the nw==1-heavy design, side by side.
-        for r in records.iter().filter(|r| r.design == "sprng32") {
-            if let Some(b) = baseline_rate(base, BIN, "sprng32", &r.engine, r.lanes, r.threads) {
+        // The PR acceptance lines, side by side with the baseline.
+        for r in records.iter().filter(|r| r.engine == "gang" && !r.packed) {
+            if let Some(b) = baseline_rate(
+                base, BIN, &r.design, &r.engine, r.packed, r.lanes, r.threads,
+            ) {
                 println!(
-                    "sprng32 {} lanes={}: pre-PR {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
-                    r.engine,
+                    "{} gang lanes={} threads={}: base {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
+                    r.design,
                     r.lanes,
+                    r.threads,
                     b / 1e3,
                     r.lane_cycles_per_s / 1e3,
                     vs_baseline_cell(r.lane_cycles_per_s, Some(b)),
@@ -293,7 +350,8 @@ fn main() {
         }
     }
 
-    println!("\nShape check: lane-kcyc/s rises with lanes on both designs — one");
-    println!("bytecode dispatch feeds L lanes, so aggregate throughput grows until");
-    println!("memory bandwidth, not dispatch, is the limiter.");
+    println!("\nShape check: packed lane-kcyc/s keeps rising past 64 lanes on the");
+    println!("control-dominated mesh — one u64 op per 1-bit net advances 64");
+    println!("scenarios, so the packed aggregate grows superlinearly vs strided");
+    println!("while dispatch, not memory bandwidth, remains amortized L ways.");
 }

@@ -51,6 +51,9 @@ pub struct BenchRecord {
     pub design: String,
     /// `bsp` (single-scenario) or `gang`.
     pub engine: String,
+    /// Whether the gang ran with bit-packed 1-bit lanes (absent in
+    /// pre-PR5 baselines, parsed as `false`).
+    pub packed: bool,
     /// Chips the partition spans.
     pub chips: u32,
     /// Tiles used.
@@ -86,6 +89,7 @@ impl BenchRecord {
         bin: &str,
         design: impl Into<String>,
         engine: &str,
+        packed: bool,
         chips: u32,
         tiles: u32,
         lanes: u32,
@@ -98,6 +102,7 @@ impl BenchRecord {
             bin: bin.into(),
             design: design.into(),
             engine: engine.into(),
+            packed,
             chips,
             tiles,
             lanes,
@@ -117,13 +122,15 @@ impl BenchRecord {
     /// string fields stay within `[A-Za-z0-9_ .-]`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"bin\":\"{}\",\"design\":\"{}\",\"engine\":\"{}\",\"chips\":{},\"tiles\":{},\
+            "{{\"bin\":\"{}\",\"design\":\"{}\",\"engine\":\"{}\",\"packed\":{},\"chips\":{},\
+             \"tiles\":{},\
              \"lanes\":{},\"threads\":{},\"cycles\":{},\"cycles_per_s\":{:.1},\
              \"lane_cycles_per_s\":{:.1},\"compute_s\":{:.9},\"offchip_s\":{:.9},\
              \"exchange_s\":{:.9},\"overlap_s\":{:.9},\"total_s\":{:.9}}}",
             self.bin,
             self.design,
             self.engine,
+            self.packed,
             self.chips,
             self.tiles,
             self.lanes,
@@ -186,6 +193,8 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
                 "bin" => r.bin = s,
                 "design" => r.design = s,
                 "engine" => r.engine = s,
+                // Absent in pre-PR5 baselines: stays `false` (strided).
+                "packed" => r.packed = v == "true",
                 "chips" => r.chips = n as u32,
                 "tiles" => r.tiles = n as u32,
                 "lanes" => r.lanes = n as u32,
@@ -217,13 +226,15 @@ pub fn load_baseline() -> Option<Vec<BenchRecord>> {
     Some(parse_bench_json(&text))
 }
 
-/// The baseline aggregate rate for a `(bin, design, engine, lanes,
-/// threads)` row, if the baseline has it.
+/// The baseline aggregate rate for a `(bin, design, engine, packed,
+/// lanes, threads)` row, if the baseline has it.
+#[allow(clippy::too_many_arguments)]
 pub fn baseline_rate(
     base: &[BenchRecord],
     bin: &str,
     design: &str,
     engine: &str,
+    packed: bool,
     lanes: u32,
     threads: u32,
 ) -> Option<f64> {
@@ -232,10 +243,67 @@ pub fn baseline_rate(
             r.bin == bin
                 && r.design == design
                 && r.engine == engine
+                && r.packed == packed
                 && r.lanes == lanes
                 && r.threads == threads
         })
         .map(|r| r.lane_cycles_per_s)
+}
+
+/// The noise tolerance of the CI bench-regression gate: a fresh rate
+/// below `baseline × (1 - tolerance)` fails. Defaults to 25%;
+/// `PARENDI_BENCH_TOLERANCE` overrides (e.g. `0.4` on noisy shared
+/// runners).
+pub fn bench_tolerance() -> f64 {
+    std::env::var("PARENDI_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Compares fresh bench records against a baseline and returns one
+/// human-readable line per **regression**: a `(bin, design, engine,
+/// packed, lanes, threads)` row present in both sets whose fresh
+/// `lane_cycles_per_s` fell below `baseline × (1 - tolerance)`.
+/// Baseline rows missing from `fresh` are ignored (sweeps may shrink in
+/// quick mode), as are fresh rows with no baseline (new columns).
+///
+/// This is the engine of the `bench_check` CI gate — kept in the
+/// library so the failure path is unit-testable.
+pub fn check_regressions(
+    fresh: &[BenchRecord],
+    base: &[BenchRecord],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in base {
+        if b.lane_cycles_per_s <= 0.0 {
+            continue;
+        }
+        let Some(f) = baseline_rate(
+            fresh, &b.bin, &b.design, &b.engine, b.packed, b.lanes, b.threads,
+        ) else {
+            continue;
+        };
+        let floor = b.lane_cycles_per_s * (1.0 - tolerance);
+        if f < floor {
+            failures.push(format!(
+                "{}/{} engine={}{} lanes={} threads={}: {:.1} kcyc/s < floor {:.1} \
+                 (baseline {:.1}, {:+.1}%)",
+                b.bin,
+                b.design,
+                b.engine,
+                if b.packed { " (packed)" } else { "" },
+                b.lanes,
+                b.threads,
+                f / 1e3,
+                floor / 1e3,
+                b.lane_cycles_per_s / 1e3,
+                (f / b.lane_cycles_per_s - 1.0) * 100.0,
+            ));
+        }
+    }
+    failures
 }
 
 /// Formats the side-by-side `vs pre-PR` cell: `+17.3%` (or `-` when the
@@ -457,6 +525,78 @@ pub fn f2(v: f64) -> String {
 mod tests {
     use super::*;
     use parendi_designs::Benchmark;
+
+    fn rec(design: &str, engine: &str, packed: bool, lanes: u32, rate: f64) -> BenchRecord {
+        BenchRecord {
+            bin: "gang_lanes".into(),
+            design: design.into(),
+            engine: engine.into(),
+            packed,
+            lanes,
+            threads: 1,
+            cycles: 100,
+            cycles_per_s: rate / lanes.max(1) as f64,
+            lane_cycles_per_s: rate,
+            ..BenchRecord::default()
+        }
+    }
+
+    /// The CI gate's failure path: a synthetic regression beyond the
+    /// tolerance must be reported, one line per offending row.
+    #[test]
+    fn regression_gate_fails_on_synthetic_regression() {
+        let base = vec![
+            rec("sprng32", "bsp", false, 1, 100_000.0),
+            rec("sprng32", "gang", false, 4, 400_000.0),
+            rec("sr3", "gang", true, 64, 900_000.0),
+        ];
+        // 50% regression on one row, small noise on the others.
+        let fresh = vec![
+            rec("sprng32", "bsp", false, 1, 50_000.0),
+            rec("sprng32", "gang", false, 4, 390_000.0),
+            rec("sr3", "gang", true, 64, 880_000.0),
+        ];
+        let failures = check_regressions(&fresh, &base, 0.25);
+        assert_eq!(failures.len(), 1, "exactly the regressed row: {failures:?}");
+        assert!(failures[0].contains("sprng32"), "{}", failures[0]);
+        assert!(failures[0].contains("bsp"), "{}", failures[0]);
+        // Inside the tolerance: clean.
+        assert!(check_regressions(&fresh, &base, 0.6).is_empty());
+    }
+
+    /// Rows missing on either side never fail the gate (quick-mode
+    /// sweeps shrink; new columns have no baseline), and packed rows
+    /// only compare against packed baselines.
+    #[test]
+    fn regression_gate_ignores_unmatched_rows() {
+        let base = vec![
+            rec("sprng32", "gang", false, 16, 1_000_000.0),
+            rec("sr3", "gang", true, 64, 900_000.0),
+        ];
+        // Same key except packed flag → no match, no failure.
+        let fresh = vec![rec("sr3", "gang", false, 64, 10_000.0)];
+        assert!(check_regressions(&fresh, &base, 0.25).is_empty());
+        assert!(check_regressions(&[], &base, 0.25).is_empty());
+    }
+
+    /// The `packed` field survives a JSON round-trip, and records
+    /// without it (pre-PR5 baselines) parse as strided.
+    #[test]
+    fn packed_field_round_trips_and_defaults_false() {
+        let r = rec("sr3", "gang", true, 64, 1.5e6);
+        let parsed = parse_bench_json(&bench_records_json(std::slice::from_ref(&r)));
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed[0].packed);
+        assert_eq!(parsed[0].lanes, 64);
+        // A pre-PR5 row without the field.
+        let old = "[{\"bin\":\"gang_lanes\",\"design\":\"sr3\",\"engine\":\"gang\",\
+                    \"chips\":2,\"tiles\":16,\"lanes\":4,\"threads\":1,\"cycles\":300,\
+                    \"cycles_per_s\":1000.0,\"lane_cycles_per_s\":4000.0}]";
+        let parsed = parse_bench_json(old);
+        assert_eq!(parsed.len(), 1);
+        assert!(!parsed[0].packed, "absent packed field parses as strided");
+        assert_eq!(parsed[0].lane_cycles_per_s, 4000.0);
+    }
 
     #[test]
     fn gmean_is_geometric() {

@@ -17,6 +17,11 @@ use crate::routing::Routing;
 use parendi_rtl::Circuit;
 
 /// Per-cycle communication volumes implied by a partition.
+///
+/// The `*_bit1_*` companions record the share contributed by
+/// **single-bit registers** — the slots a packed-lane gang bit-packs 64
+/// scenarios deep — so [`scaled_by_lanes`](Self::scaled_by_lanes) can
+/// count packed words instead of `lanes ×` words for them.
 #[derive(Clone, Debug, Default)]
 pub struct ExchangePlan {
     /// Bytes each tile sends per cycle (fanout included).
@@ -34,6 +39,16 @@ pub struct ExchangePlan {
     pub onchip_cut_bytes: u64,
     /// Unique value bytes crossing chip boundaries (Table 3 "Ext.").
     pub offchip_cut_bytes: u64,
+    /// Share of `tile_out_bytes` carried by 1-bit registers.
+    pub tile_out_bit1_bytes: Vec<u64>,
+    /// Share of `tile_in_bytes` carried by 1-bit registers.
+    pub tile_in_bit1_bytes: Vec<u64>,
+    /// Share of `offchip_total_bytes` carried by 1-bit registers.
+    pub offchip_bit1_bytes: u64,
+    /// Share of `onchip_cut_bytes` carried by 1-bit registers.
+    pub onchip_cut_bit1_bytes: u64,
+    /// Share of `offchip_cut_bytes` carried by 1-bit registers.
+    pub offchip_cut_bit1_bytes: u64,
 }
 
 impl ExchangePlan {
@@ -43,28 +58,55 @@ impl ExchangePlan {
     }
 
     /// The plan of a **gang** run at `lanes` scenario lanes: every lane
-    /// moves its own copy of every routed value, so all byte volumes
-    /// scale linearly with the lane count (the executable counterpart —
-    /// `parendi_sim::gang` — carries `lanes` lane-major copies of every
-    /// mailbox buffer and flushes all of them per cycle).
+    /// moves its own copy of every routed value (the executable
+    /// counterpart — `parendi_sim::gang` — carries `lanes` lane-major
+    /// copies of every mailbox buffer and flushes all of them per
+    /// cycle).
+    ///
+    /// With `packed = false` every volume scales linearly with the lane
+    /// count. With `packed = true` the 1-bit register share scales by
+    /// **packed words** instead: a bit-packed gang carries 64 lanes per
+    /// `u64`, so a 1-bit slot moves `ceil(lanes / 64)` words total, not
+    /// `lanes` — exactly what the packed engine's mailboxes flush.
     ///
     /// The *cut* figures scale too: they count unique value bytes, and
     /// lanes are independent scenarios, so a lane's values are unique to
-    /// it.
+    /// it (packed or not, the 1-bit *words* moved follow the same
+    /// packing).
     ///
     /// # Panics
     ///
     /// Panics if `lanes` is zero.
-    pub fn scaled_by_lanes(&self, lanes: u32) -> ExchangePlan {
+    pub fn scaled_by_lanes(&self, lanes: u32, packed: bool) -> ExchangePlan {
         assert!(lanes >= 1, "need at least one lane");
         let l = lanes as u64;
+        // A 1-bit slot is one 8-byte word per lane when strided, and
+        // `ceil(lanes / 64)` words total when packed.
+        let pl = if packed { lanes.div_ceil(64) as u64 } else { l };
+        let sc = |q: u64, q1: u64| (q - q1) * l + q1 * pl;
+        let scv = |q: &[u64], q1: &[u64]| -> Vec<u64> {
+            q.iter().zip(q1).map(|(&q, &q1)| sc(q, q1)).collect()
+        };
+        let tile_out_bytes = scv(&self.tile_out_bytes, &self.tile_out_bit1_bytes);
+        let tile_in_bytes = scv(&self.tile_in_bytes, &self.tile_in_bit1_bytes);
+        let max_tile_onchip_bytes = tile_out_bytes
+            .iter()
+            .zip(&tile_in_bytes)
+            .map(|(&o, &i)| o + i)
+            .max()
+            .unwrap_or(0);
         ExchangePlan {
-            tile_out_bytes: self.tile_out_bytes.iter().map(|b| b * l).collect(),
-            tile_in_bytes: self.tile_in_bytes.iter().map(|b| b * l).collect(),
-            max_tile_onchip_bytes: self.max_tile_onchip_bytes * l,
-            offchip_total_bytes: self.offchip_total_bytes * l,
-            onchip_cut_bytes: self.onchip_cut_bytes * l,
-            offchip_cut_bytes: self.offchip_cut_bytes * l,
+            max_tile_onchip_bytes,
+            offchip_total_bytes: sc(self.offchip_total_bytes, self.offchip_bit1_bytes),
+            onchip_cut_bytes: sc(self.onchip_cut_bytes, self.onchip_cut_bit1_bytes),
+            offchip_cut_bytes: sc(self.offchip_cut_bytes, self.offchip_cut_bit1_bytes),
+            tile_out_bytes,
+            tile_in_bytes,
+            tile_out_bit1_bytes: self.tile_out_bit1_bytes.iter().map(|b| b * pl).collect(),
+            tile_in_bit1_bytes: self.tile_in_bit1_bytes.iter().map(|b| b * pl).collect(),
+            offchip_bit1_bytes: self.offchip_bit1_bytes * pl,
+            onchip_cut_bit1_bytes: self.onchip_cut_bit1_bytes * pl,
+            offchip_cut_bit1_bytes: self.offchip_cut_bit1_bytes * pl,
         }
     }
 }
@@ -100,7 +142,7 @@ mod tests {
         cfg.tiles_per_chip = 4;
         let comp = compile(&c, &cfg).unwrap();
         assert!(comp.plan.offchip_total_bytes > 0, "ring must cross chips");
-        let scaled = comp.plan.scaled_by_lanes(16);
+        let scaled = comp.plan.scaled_by_lanes(16, false);
         assert_eq!(
             scaled.offchip_total_bytes,
             comp.plan.offchip_total_bytes * 16
@@ -111,9 +153,59 @@ mod tests {
         );
         assert_eq!(scaled.total_sent(), comp.plan.total_sent() * 16);
         assert_eq!(scaled.onchip_cut_bytes, comp.plan.onchip_cut_bytes * 16);
+        // A 16-bit ring has no 1-bit registers: packed scaling is the
+        // same as strided.
+        let packed = comp.plan.scaled_by_lanes(16, true);
+        assert_eq!(packed.offchip_total_bytes, scaled.offchip_total_bytes);
+        assert_eq!(packed.tile_out_bytes, scaled.tile_out_bytes);
         // One lane is the identity.
-        let one = comp.plan.scaled_by_lanes(1);
+        let one = comp.plan.scaled_by_lanes(1, false);
         assert_eq!(one.offchip_total_bytes, comp.plan.offchip_total_bytes);
         assert_eq!(one.tile_out_bytes, comp.plan.tile_out_bytes);
+    }
+
+    /// Packed lane scaling counts 1-bit register slots in packed words
+    /// (`ceil(lanes / 64)` per slot), not `lanes ×` words — pinned on a
+    /// ring of 1-bit registers crossing chips.
+    #[test]
+    fn packed_lane_scaling_counts_packed_words() {
+        let mut b = Builder::new("bitring");
+        let regs: Vec<_> = (0..8).map(|i| b.reg(format!("v{i}"), 1, 0)).collect();
+        for i in 0..8 {
+            let prev = regs[(i + 7) % 8].q();
+            let inv = b.not(prev);
+            b.connect(regs[i], inv);
+        }
+        let c = b.finish().unwrap();
+        let mut cfg = PartitionConfig::with_tiles(8);
+        cfg.tiles_per_chip = 4;
+        let comp = compile(&c, &cfg).unwrap();
+        assert!(comp.plan.offchip_total_bytes > 0, "ring must cross chips");
+        // Every moved register is 1-bit wide here.
+        assert_eq!(comp.plan.offchip_bit1_bytes, comp.plan.offchip_total_bytes);
+        for lanes in [1u32, 63, 64, 65, 256] {
+            let strided = comp.plan.scaled_by_lanes(lanes, false);
+            let packed = comp.plan.scaled_by_lanes(lanes, true);
+            let pw = lanes.div_ceil(64) as u64;
+            assert_eq!(
+                strided.offchip_total_bytes,
+                comp.plan.offchip_total_bytes * lanes as u64
+            );
+            assert_eq!(
+                packed.offchip_total_bytes,
+                comp.plan.offchip_total_bytes * pw,
+                "packed off-chip bytes at {lanes} lanes"
+            );
+            assert_eq!(packed.total_sent(), comp.plan.total_sent() * pw);
+            assert_eq!(
+                packed.max_tile_onchip_bytes,
+                comp.plan.max_tile_onchip_bytes * pw
+            );
+        }
+        // At 64+ lanes the packed plan is strictly cheaper.
+        assert!(
+            comp.plan.scaled_by_lanes(64, true).offchip_total_bytes
+                < comp.plan.scaled_by_lanes(64, false).offchip_total_bytes
+        );
     }
 }

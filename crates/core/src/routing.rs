@@ -339,30 +339,49 @@ impl Routing {
         let mut out = ExchangePlan {
             tile_out_bytes: vec![0; n],
             tile_in_bytes: vec![0; n],
+            tile_out_bit1_bytes: vec![0; n],
+            tile_in_bit1_bytes: vec![0; n],
             ..Default::default()
         };
 
-        // Register routes: every hop moves the full value.
+        // Register routes: every hop moves the full value. Single-bit
+        // registers are tracked separately — they are the slots a
+        // packed-lane gang moves at 64 scenarios per word, and
+        // `ExchangePlan::scaled_by_lanes` scales them by packed words.
         for route in &self.reg_routes {
             if route.producer == u32::MAX {
                 continue;
             }
             let bytes = route.words as u64 * 8;
+            let bit1 = circuit.regs[route.reg.index()].width == 1;
             let (mut crosses_tile, mut crosses_chip) = (false, false);
             for hop in &route.hops {
                 crosses_tile = true;
                 out.tile_out_bytes[route.producer as usize] += bytes;
                 out.tile_in_bytes[hop.tile as usize] += bytes;
+                if bit1 {
+                    out.tile_out_bit1_bytes[route.producer as usize] += bytes;
+                    out.tile_in_bit1_bytes[hop.tile as usize] += bytes;
+                }
                 if self.hop_crosses_chip(hop) {
                     out.offchip_total_bytes += bytes;
+                    if bit1 {
+                        out.offchip_bit1_bytes += bytes;
+                    }
                     crosses_chip = true;
                 }
             }
             if crosses_tile {
                 out.onchip_cut_bytes += bytes;
+                if bit1 {
+                    out.onchip_cut_bit1_bytes += bytes;
+                }
             }
             if crosses_chip {
                 out.offchip_cut_bytes += bytes;
+                if bit1 {
+                    out.offchip_cut_bit1_bytes += bytes;
+                }
             }
         }
 

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ca;
 pub mod isa;
 pub mod mc;
 pub mod noc;
@@ -50,6 +51,10 @@ pub enum Benchmark {
     Bitcoin,
     /// `n` independent xorshift64 fibers (§4.1).
     Prng(u32),
+    /// A Rule 30 cellular-automaton ring of `n` 1-bit cells — the
+    /// pure-control workload (every net is one bit; the bit-packed
+    /// gang's best case).
+    Ca(u32),
 }
 
 impl Benchmark {
@@ -64,6 +69,7 @@ impl Benchmark {
             Benchmark::Rocket => "rocket".into(),
             Benchmark::Bitcoin => "bitcoin".into(),
             Benchmark::Prng(n) => format!("prng{n}"),
+            Benchmark::Ca(n) => format!("ca{n}"),
         }
     }
 
@@ -84,6 +90,7 @@ impl Benchmark {
             }
             Benchmark::Bitcoin => sha256::build_miner(&sha256::MinerConfig::default()),
             Benchmark::Prng(n) => prng::build_prng_bank(*n),
+            Benchmark::Ca(n) => ca::build_rule30(*n),
         }
     }
 

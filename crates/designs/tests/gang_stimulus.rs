@@ -96,3 +96,149 @@ fn corpus_designs_lanes_match_reference() {
         }
     }
 }
+
+/// Packed 1-bit lanes over real corpus designs: the control-heavy mesh
+/// NoC (dense 1-bit valid/grant logic — the packed mode's target) and
+/// the multi-cycle RISC-V core, at lane counts straddling the 64-lane
+/// packed word boundary, across both multi-chip strategies. Input-free,
+/// so every packed lane must equal the single reference interpreter
+/// bit for bit.
+#[test]
+fn gang_packed_corpus_designs_match_reference() {
+    for (bench, tiles, per_chip, cycles, lanes) in [
+        (Benchmark::Sr(3), 9u32, 5u32, 40u64, 65usize),
+        (Benchmark::Pico, 12, 6, 40, 64),
+    ] {
+        let c = bench.build();
+        for mc in [MultiChipStrategy::Pre, MultiChipStrategy::Post] {
+            let mut cfg = PartitionConfig::with_tiles(tiles);
+            cfg.tiles_per_chip = per_chip;
+            cfg.multi_chip = mc;
+            let comp = compile(&c, &cfg).expect("corpus design compiles");
+            let mut reference = Simulator::new(&c);
+            let mut gang = GangSimulator::new_packed(&c, &comp.partition, 4, lanes);
+            assert!(gang.is_packed());
+            reference.step_n(cycles);
+            gang.run(cycles);
+            for lane in [0usize, 1, 63.min(lanes - 1), lanes - 1] {
+                for i in 0..c.regs.len() {
+                    assert_eq!(
+                        gang.reg_value_lane(RegId(i as u32), lane),
+                        reference.reg_value(RegId(i as u32)),
+                        "{} {mc:?} packed lane {lane}: reg {} diverged",
+                        bench.name(),
+                        c.regs[i].name
+                    );
+                }
+                for (ai, a) in c.arrays.iter().enumerate() {
+                    for idx in 0..a.depth {
+                        assert_eq!(
+                            gang.array_value_lane(parendi_rtl::ArrayId(ai as u32), idx, lane),
+                            reference.array_value(parendi_rtl::ArrayId(ai as u32), idx),
+                            "{} {mc:?} packed lane {lane}: array {}[{idx}]",
+                            bench.name(),
+                            a.name
+                        );
+                    }
+                }
+                for o in &c.outputs {
+                    assert_eq!(
+                        gang.peek_output_lane(&o.name, lane),
+                        reference.output(&o.name),
+                        "{} {mc:?} packed lane {lane}: output {}",
+                        bench.name(),
+                        o.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The seed farm on packed lanes: per-lane reseed stimulus through the
+/// packed 1-bit `reseed` input (the bit-scatter path), every generator
+/// of every lane on its software golden state.
+#[test]
+fn gang_packed_seeded_bank_runs_divergent_lanes() {
+    let n = 8u32;
+    let lanes = 66usize; // straddle the packed word boundary
+    let c = prng::build_seeded_bank(n);
+    let mut cfg = PartitionConfig::with_tiles(n);
+    cfg.tiles_per_chip = 4;
+    let comp = compile(&c, &cfg).expect("seeded bank compiles");
+    let mut gang = GangSimulator::new_packed(&c, &comp.partition, 4, lanes);
+
+    let lane_seed = |l: usize| 0x5EED_0000_0000_0000u64 | (l as u64 * 0x9E37_79B9);
+    let mut stim = StimulusSet::new(lanes as u32);
+    for l in 0..lanes as u32 {
+        stim.drive(0, l, "reseed", Bits::from_u64(1, 1));
+        stim.drive(0, l, "seed", Bits::from_u64(64, lane_seed(l as usize)));
+        stim.drive(1, l, "reseed", Bits::from_u64(1, 0));
+    }
+    let post = 16u64;
+    gang.run_stimulus(1 + post, &stim);
+    for l in [0usize, 31, 63, 64, 65] {
+        for g in 0..n {
+            let expect = prng::soft_seeded_state(g, lane_seed(l), post);
+            assert_eq!(
+                gang.reg_value_lane(RegId(g), l).to_u64(),
+                expect,
+                "packed lane {l} generator {g}"
+            );
+        }
+    }
+}
+
+/// The pure-control Rule 30 automaton on packed lanes: per-lane
+/// injection bits through the packed-input scatter path, every lane
+/// checked against the golden software model — and against the strided
+/// gang — at a lane count past the packed word boundary.
+#[test]
+fn gang_packed_rule30_matches_golden_model() {
+    use parendi_designs::ca;
+    let cells = 96u32;
+    let lanes = 80usize;
+    let cycles = 24u64;
+    let c = ca::build_rule30(cells);
+    let mut cfg = PartitionConfig::with_tiles(8);
+    cfg.tiles_per_chip = 4;
+    let comp = compile(&c, &cfg).expect("automaton compiles");
+    let mut stim = StimulusSet::new(lanes as u32);
+    // Lane l injects on cycles where (cycle + l) % 3 == 0: every lane
+    // sees a different chaotic trajectory.
+    for l in 0..lanes as u32 {
+        for cy in 0..cycles {
+            let inj = (cy + l as u64).is_multiple_of(3);
+            stim.drive(cy, l, "inj", Bits::from_u64(1, inj as u64));
+        }
+    }
+    let mut packed = GangSimulator::new_packed(&c, &comp.partition, 4, lanes);
+    let mut strided = GangSimulator::new(&c, &comp.partition, 4, lanes);
+    packed.run_stimulus(cycles, &stim);
+    strided.run_stimulus(cycles, &stim);
+    for l in [0usize, 1, 62, 63, 64, 79] {
+        let mut soft = ca::soft_rule30_init(cells);
+        for cy in 0..cycles {
+            let inj = (cy + l as u64).is_multiple_of(3);
+            soft = ca::soft_rule30_step(&soft, inj);
+        }
+        for (i, &bit) in soft.iter().enumerate() {
+            assert_eq!(
+                packed.reg_value_lane(RegId(i as u32), l).to_u64(),
+                bit as u64,
+                "packed lane {l} cell {i}"
+            );
+            assert_eq!(
+                strided.reg_value_lane(RegId(i as u32), l).to_u64(),
+                bit as u64,
+                "strided lane {l} cell {i}"
+            );
+        }
+        let parity = soft.iter().filter(|&&b| b).count() as u64 % 2;
+        assert_eq!(
+            packed.peek_output_lane("parity", l).unwrap().to_u64(),
+            parity,
+            "packed lane {l} parity"
+        );
+    }
+}

@@ -159,7 +159,7 @@ impl<'c> BspSimulator<'c> {
     /// Panics if `threads` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize) -> Self {
         BspSimulator {
-            core: EngineCore::new(circuit, partition, threads, 1),
+            core: EngineCore::new(circuit, partition, threads, 1, false),
         }
     }
 

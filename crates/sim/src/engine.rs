@@ -16,6 +16,34 @@
 //!   (struct-of-arrays opcode/operand words, dedicated single-word
 //!   opcodes, peephole-coalesced block copies) that the one hot loop
 //!   executes;
+//!
+//! # Packed 1-bit lanes
+//!
+//! In **packed mode** (`Compiled::new` with `packed = true`) the
+//! front-end classifies every net, register, and input by width:
+//! 1-bit values are laid out **bit-packed across lanes** — lane `l`
+//! owns bit `l % 64` of word `l / 64` of a `pw = ceil(lanes / 64)`-word
+//! block (lane-major words beyond 64 lanes) — so one `u64` bitwise
+//! operation advances 64 scenarios at once. Concretely:
+//!
+//! * 1-bit **registers** move from the lane-strided register file into
+//!   a packed section at its tail (`RegHome::packed`); commits and
+//!   cross-tile sends of those registers copy `pw` words instead of
+//!   `lanes` words ([`PackedCommit`]/[`PackedSend`]).
+//! * 1-bit **inputs** move into a packed section at the tail of the
+//!   input buffer (bit scatter on `set_input_lane`).
+//! * **Mailbox** slots of 1-bit registers move into a packed section at
+//!   the tail of each channel buffer; the strided section keeps its
+//!   lane-major layout (port records always stay strided). The off-chip
+//!   flush therefore moves `pw` words per 1-bit register instead of
+//!   `lanes`, which is what `ExchangePlan::scaled_by_lanes` models with
+//!   `packed = true`.
+//! * 1-bit **combinational nets** whose operands are already packed are
+//!   computed by packed bytecode opcodes on a per-tile packed scratch
+//!   arena; explicit transpose boundary opcodes (`PACK`/`UNPACK`, see
+//!   [`crate::exec`]) gather/scatter bits where a strided value feeds
+//!   the packed domain or vice versa. Multi-bit nets and non-bitwise
+//!   ops stay lane-strided, exactly as before.
 //! * the lock-free exchange fabric ([`Mailbox`]) and the hybrid
 //!   spin/park, tree-combining [`PhaseBarrier`];
 //! * the chip-major [`worker_groups`] fold of tiles onto host threads;
@@ -208,13 +236,14 @@ pub(crate) enum Step {
         anw: u32,
         bnw: u32,
     },
-    /// Two-way select; `t`/`f` are as wide as the result.
+    /// Two-way select; `t`/`f` are as wide as the result (`w` bits).
     Mux {
         dst: u32,
         sel: u32,
         t: u32,
         f: u32,
         nw: u32,
+        w: u32,
     },
     /// Bit extraction `[lo + w - 1 : lo]`.
     Slice {
@@ -244,6 +273,17 @@ pub(crate) enum Step {
         hnw: u32,
         lnw: u32,
     },
+    /// Packed-mode copy of a 1-bit input: `src` is the absolute word
+    /// offset of the input's packed block in the input buffer. `dst`
+    /// identifies the net (its strided arena offset); the lowering
+    /// allocates the packed arena slot.
+    InputP { dst: u32, src: u32 },
+    /// Packed-mode copy of one of this tile's own packed registers
+    /// (`src` is absolute into the register file).
+    RegOwnP { dst: u32, src: u32 },
+    /// Packed-mode copy of a remote packed register (`src` is absolute
+    /// into channel `ch`'s buffer, epoch `c`).
+    RegMailP { dst: u32, ch: u32, src: u32 },
 }
 
 /// Latch one of this tile's own registers (arena → `reg_cur`).
@@ -261,6 +301,25 @@ pub(crate) struct RegSend {
     pub ch: u32,
     pub dst: u32,
     pub nw: u32,
+}
+
+/// Latch one packed 1-bit register: `pw` words copied from the packed
+/// arena slot `psrc` to the absolute register-file offset `dst`
+/// (blended through the retire mask so early-exited lanes stay frozen).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PackedCommit {
+    pub psrc: u32,
+    pub dst: u32,
+}
+
+/// Send one packed 1-bit register value: `pw` words copied from the
+/// packed arena slot `psrc` to the absolute offset `dst` of channel
+/// `ch`'s buffer (blended through the retire mask).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PackedSend {
+    pub psrc: u32,
+    pub ch: u32,
+    pub dst: u32,
 }
 
 /// Stage one array write port's `(enable, index, data)` record into the
@@ -323,17 +382,34 @@ pub(crate) struct Program {
     pub applies: Vec<Apply>,
     /// Primary outputs this tile computes: `(output id, arena offset)`.
     pub outputs: Vec<(u32, u32)>,
-    /// Single-lane words this tile flushes across chip boundaries per
-    /// cycle (register sends plus full port records) — the volume the
-    /// modeled off-chip link is charged for.
+    /// Single-lane *strided* words this tile flushes across chip
+    /// boundaries per cycle (register sends plus full port records) —
+    /// charged to the modeled link once per active lane.
     pub offchip_words: u64,
+    /// Words of the tile's packed scratch arena (packed mode only).
+    pub packed_words: usize,
+    /// Packed 1-bit register latches.
+    pub packed_commits: Vec<PackedCommit>,
+    /// Packed register sends over on-chip channels.
+    pub packed_sends: Vec<PackedSend>,
+    /// Packed register sends crossing chips (off-chip flush).
+    pub offchip_packed_sends: Vec<PackedSend>,
+    /// Total packed words flushed across chip boundaries per cycle —
+    /// already covers every lane (a packed word carries 64 of them), so
+    /// the modeled link charges it once, not per lane.
+    pub offchip_packed_words: u64,
+    /// 1-bit constants the packed domain consumes: `(arena offset,
+    /// packed slot)` transposed once at engine init, never per cycle.
+    pub const_packs: Vec<(u32, u32)>,
 }
 
 impl Program {
     /// Whether this tile sends anything across a chip boundary (tiles
     /// that don't skip the off-chip flush sub-phase entirely).
     pub(crate) fn has_offchip(&self) -> bool {
-        !self.offchip_sends.is_empty() || !self.offchip_port_sends.is_empty()
+        !self.offchip_sends.is_empty()
+            || !self.offchip_port_sends.is_empty()
+            || !self.offchip_packed_sends.is_empty()
     }
 }
 
@@ -391,12 +467,17 @@ impl Mailbox {
     }
 }
 
-/// Where a register's current value lives.
+/// Where a register's current value lives. In packed mode a 1-bit
+/// register's `off` is its **slot index** in the packed tail of its
+/// tile's register file (absolute word offset
+/// `rw × lanes + off × pw`); otherwise `off` is its word offset within
+/// the lane-strided section.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct RegHome {
     pub tile: u32,
     pub off: u32,
     pub words: u32,
+    pub packed: bool,
 }
 
 /// Where an array's reference copy lives.
@@ -469,52 +550,152 @@ pub(crate) struct Compiled {
     pub reg_home: Vec<RegHome>,
     pub array_home: Vec<ArrayHome>,
     pub output_home: Vec<OutputHome>,
-    /// Word offset of each input in the (single-lane) input buffer.
+    /// Word offset of each input in the (single-lane) strided input
+    /// section — or, for a packed 1-bit input, its packed slot index.
     pub input_off: Vec<u32>,
-    /// Single-lane input buffer size in words.
+    /// Whether each input lives in the packed tail of the input buffer.
+    pub input_packed: Vec<bool>,
+    /// Single-lane strided input section size in words.
     pub input_words: u32,
+    /// Full input buffer size: `input_words × lanes` plus the packed
+    /// tail.
+    pub input_total_words: usize,
     pub input_by_name: HashMap<String, InputId>,
     pub output_by_name: HashMap<String, u32>,
-    /// Words of own registers per tile (the per-lane register stride).
+    /// Strided words of own registers per tile (the per-lane register
+    /// stride; packed 1-bit registers live after the strided section).
     pub tile_reg_words: Vec<u32>,
+    /// Packed 1-bit register slots per tile.
+    pub tile_reg_packed: Vec<u32>,
     /// Initial (single-lane) contents of every array, by `ArrayId`.
     pub array_init: Vec<Vec<u64>>,
     /// The mailbox fabric: on-chip per-tile-pair boxes first, then the
     /// per-chip-pair off-chip aggregates.
     pub channels: Vec<Mailbox>,
-    /// Single-lane words of each mailbox (the per-lane mailbox stride).
+    /// Strided single-lane words of each mailbox (the per-lane stride
+    /// of its lane-major section; packed slots live after it).
     pub mail_words: Vec<u32>,
     /// How many leading `channels` serve on-chip tile pairs.
     pub onchip_mailboxes: usize,
     pub tile_chip: Vec<u32>,
+    /// Words per packed 1-bit net block: `ceil(lanes / 64)` in packed
+    /// mode, 0 otherwise.
+    pub pw: usize,
+}
+
+/// Where a mailbox slot lives: lane-major strided section or the packed
+/// tail (absolute word offset — the packed tail is not lane-strided).
+#[derive(Clone, Copy, Debug)]
+enum MailSlot {
+    Strided { ch: u32, off: u32 },
+    Packed { ch: u32, abs: u32 },
+}
+
+/// The compile-time channel layout: translates a routing hop into the
+/// engine's mailbox slot, accounting for the packed-mode re-layout
+/// (1-bit register slots move to a packed tail; the strided section
+/// compacts around them; port records always stay strided).
+struct ChanLayout {
+    /// Per routing channel: `(mailbox, strided word base, packed slot
+    /// base)`.
+    map: Vec<(u32, u32, u32)>,
+    /// Per routing channel: strided words of its register section.
+    sreg_words: Vec<u32>,
+    /// Per routing channel: its original (routing-level) register words.
+    reg_words: Vec<u32>,
+    /// Resolved register slots: `(channel, routing word_off)` →
+    /// compacted strided offset or packed slot index.
+    reg_slot: HashMap<(u32, u32), MailSlot0>,
+    /// Per mailbox: word offset of the packed tail (`stride × lanes`).
+    packed_base: Vec<u32>,
+    pw: u32,
+}
+
+/// A register slot within one routing channel, before the aggregate
+/// mailbox bases are applied.
+#[derive(Clone, Copy, Debug)]
+enum MailSlot0 {
+    Strided(u32),
+    Packed(u32),
+}
+
+impl ChanLayout {
+    /// Resolves a routing hop into its mailbox slot.
+    fn slot_of(&self, hop: &parendi_core::routing::Hop) -> MailSlot {
+        let ci = hop.channel as usize;
+        let (mb, sbase, pbase) = self.map[ci];
+        if hop.word_off < self.reg_words[ci] {
+            match self.reg_slot[&(hop.channel, hop.word_off)] {
+                MailSlot0::Strided(off) => MailSlot::Strided {
+                    ch: mb,
+                    off: sbase + off,
+                },
+                MailSlot0::Packed(slot) => MailSlot::Packed {
+                    ch: mb,
+                    abs: self.packed_base[mb as usize] + (pbase + slot) * self.pw,
+                },
+            }
+        } else {
+            // Port records pack after the compacted register section.
+            MailSlot::Strided {
+                ch: mb,
+                off: sbase + self.sreg_words[ci] + (hop.word_off - self.reg_words[ci]),
+            }
+        }
+    }
 }
 
 impl Compiled {
-    /// Compiles `partition` for `lanes` side-by-side scenarios.
-    pub(crate) fn new(circuit: &Circuit, partition: &Partition, lanes: usize) -> Self {
+    /// Compiles `partition` for `lanes` side-by-side scenarios. With
+    /// `packed`, 1-bit registers, inputs, mailbox slots, and eligible
+    /// combinational nets are laid out bit-packed across lanes
+    /// (`ceil(lanes / 64)` words per net).
+    pub(crate) fn new(
+        circuit: &Circuit,
+        partition: &Partition,
+        lanes: usize,
+        packed: bool,
+    ) -> Self {
         assert!(lanes >= 1, "need at least one lane");
+        let pw = if packed { lanes.div_ceil(64) } else { 0 };
+        assert!(pw < 1 << 16, "lane count overflows the packed-word imm");
         let routing = Routing::new(circuit, partition);
 
-        // Input packing (shared, read-only during runs).
+        // Input packing (shared, read-only during runs): 1-bit inputs
+        // move to a packed tail in packed mode.
         let mut input_off = Vec::with_capacity(circuit.inputs.len());
+        let mut input_packed = Vec::with_capacity(circuit.inputs.len());
         let mut iwords = 0u32;
+        let mut ipacked = 0u32;
         let mut input_by_name = HashMap::new();
         for (i, d) in circuit.inputs.iter().enumerate() {
-            input_off.push(iwords);
-            iwords += words_for(d.width) as u32;
+            if packed && d.width == 1 {
+                input_off.push(ipacked);
+                input_packed.push(true);
+                ipacked += 1;
+            } else {
+                input_off.push(iwords);
+                input_packed.push(false);
+                iwords += words_for(d.width) as u32;
+            }
             input_by_name.insert(d.name.clone(), InputId(i as u32));
         }
+        let input_total_words = iwords as usize * lanes + ipacked as usize * pw;
 
-        // Register homes: owner tile + offset among that tile's own regs.
+        // Register homes: owner tile + offset among that tile's own
+        // regs. Packed 1-bit registers get slot indices in the packed
+        // tail instead of strided word offsets.
         let mut reg_home = vec![
             RegHome {
                 tile: u32::MAX,
                 off: 0,
-                words: 0
+                words: 0,
+                packed: false,
             };
             circuit.regs.len()
         ];
         let mut tile_reg_words = vec![0u32; partition.processes.len()];
+        let mut tile_reg_packed = vec![0u32; partition.processes.len()];
         for route in &routing.reg_routes {
             // reg_routes is in RegId order, so per-tile offsets pack in
             // RegId order too.
@@ -522,12 +703,23 @@ impl Compiled {
                 continue;
             }
             let t = route.producer as usize;
-            reg_home[route.reg.index()] = RegHome {
-                tile: route.producer,
-                off: tile_reg_words[t],
-                words: route.words,
-            };
-            tile_reg_words[t] += route.words;
+            if packed && circuit.regs[route.reg.index()].width == 1 {
+                reg_home[route.reg.index()] = RegHome {
+                    tile: route.producer,
+                    off: tile_reg_packed[t],
+                    words: 1,
+                    packed: true,
+                };
+                tile_reg_packed[t] += 1;
+            } else {
+                reg_home[route.reg.index()] = RegHome {
+                    tile: route.producer,
+                    off: tile_reg_words[t],
+                    words: route.words,
+                    packed: false,
+                };
+                tile_reg_words[t] += route.words;
+            }
         }
 
         // Array homes: first holder, or a spare copy of the initial
@@ -563,25 +755,63 @@ impl Compiled {
             })
             .collect();
 
+        // Channel re-layout: per routing channel, count the strided
+        // register words (wide registers, compacted) and the packed
+        // 1-bit register slots, recording where every register slot
+        // landed. Offsets were assigned by the routing in reg_routes
+        // order, so walking that order reproduces them.
+        let nch = routing.channels.len();
+        let mut s_fill = vec![0u32; nch];
+        let mut p_fill = vec![0u32; nch];
+        let mut reg_slot: HashMap<(u32, u32), MailSlot0> = HashMap::new();
+        for route in &routing.reg_routes {
+            if route.producer == u32::MAX {
+                continue;
+            }
+            let rp = reg_home[route.reg.index()].packed;
+            for hop in &route.hops {
+                let ci = hop.channel as usize;
+                if rp {
+                    reg_slot.insert((hop.channel, hop.word_off), MailSlot0::Packed(p_fill[ci]));
+                    p_fill[ci] += 1;
+                } else {
+                    reg_slot.insert((hop.channel, hop.word_off), MailSlot0::Strided(s_fill[ci]));
+                    s_fill[ci] += route.words;
+                }
+            }
+        }
+        // Strided words per routing channel: compacted register section
+        // plus the (always strided) port-record section.
+        let chan_strided: Vec<u32> = routing
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(ci, ch)| s_fill[ci] + ch.port_words)
+            .collect();
+
         // Mailboxes. On-chip channels get one double-buffered mailbox per
         // tile pair; off-chip channels are aggregated into one wider
         // mailbox per ordered chip pair, each channel owning a disjoint
-        // segment (`chan_map` translates a routing channel id into its
-        // mailbox index and segment base). Buffers carry `lanes` copies
-        // of the single-lane layout, lane-major.
-        let mut chan_map = vec![(0u32, 0u32); routing.channels.len()];
+        // segment. Buffers carry `lanes` lane-major copies of the
+        // strided layout, followed by the packed tail.
+        let mut chan_map = vec![(0u32, 0u32, 0u32); nch];
         let mut channels: Vec<Mailbox> = Vec::new();
         let mut mail_words: Vec<u32> = Vec::new();
+        let mut mail_packed: Vec<u32> = Vec::new();
         for (ci, ch) in routing.channels.iter().enumerate() {
             if ch.class == ChannelClass::OnChip {
-                chan_map[ci] = (channels.len() as u32, 0);
-                channels.push(Mailbox::new(ch.words() as usize * lanes));
-                mail_words.push(ch.words());
+                chan_map[ci] = (channels.len() as u32, 0, 0);
+                channels.push(Mailbox::new(
+                    chan_strided[ci] as usize * lanes + p_fill[ci] as usize * pw,
+                ));
+                mail_words.push(chan_strided[ci]);
+                mail_packed.push(p_fill[ci]);
             }
         }
         let onchip_mailboxes = channels.len();
         let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
         let mut pair_words: Vec<u32> = Vec::new();
+        let mut pair_packed: Vec<u32> = Vec::new();
         for (ci, ch) in routing.channels.iter().enumerate() {
             if ch.class == ChannelClass::OffChip {
                 let pair = (
@@ -590,28 +820,72 @@ impl Compiled {
                 );
                 let pi = *pair_index.entry(pair).or_insert_with(|| {
                     pair_words.push(0);
+                    pair_packed.push(0);
                     pair_words.len() - 1
                 });
-                chan_map[ci] = ((onchip_mailboxes + pi) as u32, pair_words[pi]);
-                pair_words[pi] += ch.words();
+                chan_map[ci] = (
+                    (onchip_mailboxes + pi) as u32,
+                    pair_words[pi],
+                    pair_packed[pi],
+                );
+                pair_words[pi] += chan_strided[ci];
+                pair_packed[pi] += p_fill[ci];
             }
         }
-        channels.extend(pair_words.iter().map(|&w| Mailbox::new(w as usize * lanes)));
+        channels.extend(
+            pair_words
+                .iter()
+                .zip(&pair_packed)
+                .map(|(&w, &pk)| Mailbox::new(w as usize * lanes + pk as usize * pw)),
+        );
         mail_words.extend(pair_words.iter().copied());
+        mail_packed.extend(pair_packed.iter().copied());
+        let packed_base: Vec<u32> = mail_words
+            .iter()
+            .map(|&w| {
+                let base = w as usize * lanes;
+                assert!(base < u32::MAX as usize, "mailbox too large");
+                base as u32
+            })
+            .collect();
+        let layout = ChanLayout {
+            map: chan_map,
+            sreg_words: s_fill,
+            reg_words: routing.channels.iter().map(|c| c.reg_words).collect(),
+            reg_slot,
+            packed_base,
+            pw: pw as u32,
+        };
+
         // Preload epoch-0 register slots with initial values so cycle 0
-        // observes the power-on state — in every lane.
+        // observes the power-on state — in every lane (packed slots get
+        // the init bit broadcast across the lane bits).
         for route in &routing.reg_routes {
             for hop in &route.hops {
                 let init = circuit.regs[route.reg.index()].init.words();
-                let (mb, base) = chan_map[hop.channel as usize];
-                let off = (base + hop.word_off) as usize;
-                let stride = mail_words[mb as usize] as usize;
-                for lane in 0..lanes {
-                    // SAFETY: construction is single-threaded and offsets
-                    // stay inside the lane-sized buffer.
-                    unsafe {
-                        let dst = channels[mb as usize].write_base(0).add(lane * stride + off);
-                        std::ptr::copy_nonoverlapping(init.as_ptr(), dst, init.len());
+                match layout.slot_of(hop) {
+                    MailSlot::Strided { ch, off } => {
+                        let stride = mail_words[ch as usize] as usize;
+                        for lane in 0..lanes {
+                            // SAFETY: construction is single-threaded and
+                            // offsets stay inside the lane-sized buffer.
+                            unsafe {
+                                let dst = channels[ch as usize]
+                                    .write_base(0)
+                                    .add(lane * stride + off as usize);
+                                std::ptr::copy_nonoverlapping(init.as_ptr(), dst, init.len());
+                            }
+                        }
+                    }
+                    MailSlot::Packed { ch, abs } => {
+                        let word = if init[0] & 1 == 1 { u64::MAX } else { 0 };
+                        for i in 0..pw {
+                            // SAFETY: as above; the packed tail is within
+                            // the buffer by construction.
+                            unsafe {
+                                *channels[ch as usize].write_base(0).add(abs as usize + i) = word;
+                            }
+                        }
                     }
                 }
             }
@@ -636,23 +910,27 @@ impl Compiled {
         }
 
         // Per-tile programs.
+        let fe = FrontEnd {
+            circuit,
+            partition,
+            routing: &routing,
+            reg_home: &reg_home,
+            layout: &layout,
+            input_off: &input_off,
+            input_packed: &input_packed,
+            input_words: iwords,
+            tile_reg_words: &tile_reg_words,
+            port_route_of: &port_route_of,
+            array_route_range: &array_route_range,
+            lanes,
+            pw,
+            packed,
+        };
         let programs: Vec<Program> = partition
             .processes
             .iter()
             .enumerate()
-            .map(|(pi, p)| {
-                build_program(
-                    circuit,
-                    partition,
-                    &routing,
-                    pi as u32,
-                    p,
-                    &reg_home,
-                    &chan_map,
-                    &port_route_of,
-                    &array_route_range,
-                )
-            })
+            .map(|(pi, p)| build_program(&fe, pi as u32, p))
             .collect();
 
         // Output homes: the owning tile (pinned by the routing layer)
@@ -686,50 +964,76 @@ impl Compiled {
             array_home,
             output_home,
             input_off,
+            input_packed,
             input_words: iwords,
+            input_total_words,
             input_by_name,
             output_by_name,
             tile_reg_words,
+            tile_reg_packed,
             array_init,
             channels,
             mail_words,
             onchip_mailboxes,
             tile_chip: routing.tile_chip,
+            pw,
         }
     }
 }
 
+/// Everything [`build_program`] needs from the front-end: circuit,
+/// routing, the packed-aware channel layout, and the state layouts.
+struct FrontEnd<'a> {
+    circuit: &'a Circuit,
+    partition: &'a Partition,
+    routing: &'a Routing,
+    reg_home: &'a [RegHome],
+    layout: &'a ChanLayout,
+    /// Strided word offset (or packed slot index) per input.
+    input_off: &'a [u32],
+    input_packed: &'a [bool],
+    /// Strided per-lane input stride in words.
+    input_words: u32,
+    tile_reg_words: &'a [u32],
+    port_route_of: &'a HashMap<(u32, u32), u32>,
+    array_route_range: &'a [(u32, u32)],
+    lanes: usize,
+    pw: usize,
+    packed: bool,
+}
+
 /// Compiles one process into a self-contained [`Program`].
 ///
-/// `chan_map` translates a routing channel id into the engine's
-/// `(mailbox, segment base)`; `port_route_of` and `array_route_range`
+/// `fe.layout` translates a routing hop into the engine's mailbox slot
+/// (strided or packed); `fe.port_route_of` and `fe.array_route_range`
 /// are the compile-time route indexes built once in [`Compiled::new`]
 /// so this runs in O(program size), not O(tiles × ports²).
-#[allow(clippy::too_many_arguments)]
-fn build_program(
-    circuit: &Circuit,
-    partition: &Partition,
-    routing: &Routing,
-    pi: u32,
-    p: &parendi_core::Process,
-    reg_home: &[RegHome],
-    chan_map: &[(u32, u32)],
-    port_route_of: &HashMap<(u32, u32), u32>,
-    array_route_range: &[(u32, u32)],
-) -> Program {
-    let slot_of = |hop: &parendi_core::routing::Hop| -> (u32, u32) {
-        let (mb, base) = chan_map[hop.channel as usize];
-        (mb, base + hop.word_off)
-    };
+fn build_program(fe: &FrontEnd<'_>, pi: u32, p: &parendi_core::Process) -> Program {
+    let FrontEnd {
+        circuit,
+        partition,
+        routing,
+        reg_home,
+        layout,
+        port_route_of,
+        array_route_range,
+        lanes,
+        pw,
+        ..
+    } = *fe;
     // Mail slots for remote registers this tile reads.
-    let mut mail_slot: HashMap<u32, (u32, u32)> = HashMap::new();
+    let mut mail_slot: HashMap<u32, MailSlot> = HashMap::new();
     for route in &routing.reg_routes {
         for hop in &route.hops {
             if hop.tile == pi {
-                mail_slot.insert(route.reg.0, slot_of(hop));
+                mail_slot.insert(route.reg.0, layout.slot_of(hop));
             }
         }
     }
+    // Absolute word offset of this tile's packed register slot `s`.
+    let reg_packed_abs = |s: u32| -> u32 {
+        (fe.tile_reg_words[pi as usize] as usize * lanes + s as usize * pw) as u32
+    };
     let arrays = &p.arrays;
     let array_slot = |a: parendi_rtl::ArrayId| -> u32 {
         arrays
@@ -753,22 +1057,46 @@ fn build_program(
         match &node.kind {
             NodeKind::Const(b) => const_init.push((dst, b.words().to_vec())),
             NodeKind::Input(i) => {
-                let src = (0..i.index())
-                    .map(|k| words_for(circuit.inputs[k].width) as u32)
-                    .sum();
-                steps.push(Step::Input { dst, src, nw });
+                if fe.input_packed[i.index()] {
+                    let src = (fe.input_words as usize * lanes
+                        + fe.input_off[i.index()] as usize * pw)
+                        as u32;
+                    steps.push(Step::InputP { dst, src });
+                } else {
+                    steps.push(Step::Input {
+                        dst,
+                        src: fe.input_off[i.index()],
+                        nw,
+                    });
+                }
             }
             NodeKind::RegRead(r) => {
                 let home = reg_home[r.index()];
                 if home.tile == pi {
-                    steps.push(Step::RegOwn {
-                        dst,
-                        src: home.off,
-                        nw,
-                    });
+                    if home.packed {
+                        steps.push(Step::RegOwnP {
+                            dst,
+                            src: reg_packed_abs(home.off),
+                        });
+                    } else {
+                        steps.push(Step::RegOwn {
+                            dst,
+                            src: home.off,
+                            nw,
+                        });
+                    }
                 } else {
-                    let (ch, src) = mail_slot[&r.0];
-                    steps.push(Step::RegMail { dst, ch, src, nw });
+                    match mail_slot[&r.0] {
+                        MailSlot::Strided { ch, off } => steps.push(Step::RegMail {
+                            dst,
+                            ch,
+                            src: off,
+                            nw,
+                        }),
+                        MailSlot::Packed { ch, abs } => {
+                            steps.push(Step::RegMailP { dst, ch, src: abs })
+                        }
+                    }
                 }
             }
             NodeKind::ArrayRead { array, index } => steps.push(Step::ArrayRead {
@@ -803,6 +1131,7 @@ fn build_program(
                 t: lo(*t),
                 f: lo(*f),
                 nw,
+                w,
             }),
             NodeKind::Slice { src, lo: slo } => steps.push(Step::Slice {
                 dst,
@@ -837,10 +1166,17 @@ fn build_program(
     }
 
     // Own register latches and outgoing sends (split by channel class),
-    // own port records, and the outputs this tile computes.
+    // own port records, and the outputs this tile computes. Packed
+    // registers collect *raw* commits/sends keyed by the next-value's
+    // arena offset; the packed arena slots are resolved after lowering.
     let mut commits = Vec::new();
     let mut sends = Vec::new();
     let mut offchip_sends = Vec::new();
+    let mut raw_packed_commits: Vec<(u32, u32)> = Vec::new();
+    let mut raw_packed_sends: Vec<(u32, u32, u32)> = Vec::new();
+    let mut raw_offchip_packed_sends: Vec<(u32, u32, u32)> = Vec::new();
+    let mut need_packed: Vec<u32> = Vec::new();
+    let mut need_strided: Vec<u32> = Vec::new();
     let mut port_sends = Vec::new();
     let mut offchip_port_sends = Vec::new();
     let mut outputs = Vec::new();
@@ -855,23 +1191,40 @@ fn build_program(
                 let home = reg_home[r.index()];
                 debug_assert_eq!(home.tile, pi);
                 let nw = words_for(reg.width) as u32;
-                commits.push(RegCommit {
-                    local: local[&next.0],
-                    dst: home.off,
-                    nw,
-                });
-                for hop in &routing.reg_routes[r.index()].hops {
-                    let (ch, dst) = slot_of(hop);
-                    let send = RegSend {
+                if home.packed {
+                    raw_packed_commits.push((local[&next.0], reg_packed_abs(home.off)));
+                    need_packed.push(local[&next.0]);
+                } else {
+                    commits.push(RegCommit {
                         local: local[&next.0],
-                        ch,
-                        dst,
+                        dst: home.off,
                         nw,
-                    };
-                    if routing.hop_crosses_chip(hop) {
-                        offchip_sends.push(send);
-                    } else {
-                        sends.push(send);
+                    });
+                }
+                for hop in &routing.reg_routes[r.index()].hops {
+                    match layout.slot_of(hop) {
+                        MailSlot::Strided { ch, off } => {
+                            let send = RegSend {
+                                local: local[&next.0],
+                                ch,
+                                dst: off,
+                                nw,
+                            };
+                            if routing.hop_crosses_chip(hop) {
+                                offchip_sends.push(send);
+                            } else {
+                                sends.push(send);
+                            }
+                        }
+                        MailSlot::Packed { ch, abs } => {
+                            need_packed.push(local[&next.0]);
+                            let raw = (local[&next.0], ch, abs);
+                            if routing.hop_crosses_chip(hop) {
+                                raw_offchip_packed_sends.push(raw);
+                            } else {
+                                raw_packed_sends.push(raw);
+                            }
+                        }
                     }
                 }
             }
@@ -887,6 +1240,15 @@ fn build_program(
                 let idx = local[&wp.index.0];
                 let idx_w = words_for(circuit.width(wp.index)) as u32;
                 let data = local[&wp.data.0];
+                // Port records always live strided; their 1-bit inputs
+                // must be materialized out of the packed domain.
+                need_strided.extend([en, idx, data]);
+                let port_slot = |h: &parendi_core::routing::Hop| -> (u32, u32) {
+                    match layout.slot_of(h) {
+                        MailSlot::Strided { ch, off } => (ch, off),
+                        MailSlot::Packed { .. } => unreachable!("port records are never packed"),
+                    }
+                };
                 for (dests, out) in [
                     (on_dests, &mut port_sends),
                     (off_dests, &mut offchip_port_sends),
@@ -900,7 +1262,7 @@ fn build_program(
                         idx_w,
                         data,
                         nw,
-                        dests: dests.iter().map(|&h| slot_of(h)).collect(),
+                        dests: dests.iter().map(|&h| port_slot(h)).collect(),
                     });
                 }
                 own_port.insert(
@@ -915,6 +1277,8 @@ fn build_program(
             }
             parendi_graph::fiber::SinkKind::Output(oi) => {
                 let node = circuit.outputs[oi as usize].node;
+                // Output peeks read the strided arena slot.
+                need_strided.push(local[&node.0]);
                 outputs.push((oi, local[&node.0]));
             }
         }
@@ -937,8 +1301,10 @@ fn build_program(
                         .iter()
                         .find(|h| h.tile == pi)
                         .expect("holder receives every remote port record");
-                    let (ch, off) = slot_of(hop);
-                    RecSrc::Mail { ch, off }
+                    match layout.slot_of(hop) {
+                        MailSlot::Strided { ch, off } => RecSrc::Mail { ch, off },
+                        MailSlot::Packed { .. } => unreachable!("port records are never packed"),
+                    }
                 }
             };
             applies.push(Apply {
@@ -955,8 +1321,54 @@ fn build_program(
             .iter()
             .map(|ps| (PORT_RECORD_HEADER_WORDS + ps.nw) as u64 * ps.dests.len() as u64)
             .sum::<u64>();
+
+    // Lower to bytecode. In packed mode the lowering routes eligible
+    // 1-bit computation through the packed arena and returns where each
+    // packed net landed, which resolves the raw packed commits/sends.
+    let (code, packed_words, pslot, const_packs) = if fe.packed {
+        let lowered = Code::lower_packed(
+            &steps,
+            &crate::exec::PackPlan {
+                pw: pw as u32,
+                preset_strided: Vec::new(),
+                const_strided: const_init.iter().map(|(off, _)| *off).collect(),
+                preset_packed: Vec::new(),
+                need_strided,
+                need_packed,
+            },
+        );
+        (
+            lowered.code,
+            lowered.packed_words,
+            lowered.pslot,
+            lowered.const_packs,
+        )
+    } else {
+        (Code::lower(&steps), 0, HashMap::new(), Vec::new())
+    };
+    let mut packed_commits: Vec<PackedCommit> = raw_packed_commits
+        .iter()
+        .map(|&(off, dst)| PackedCommit {
+            psrc: pslot[&off],
+            dst,
+        })
+        .collect();
+    packed_commits.sort_by_key(|c| c.dst);
+    let resolve_sends = |raw: &[(u32, u32, u32)]| -> Vec<PackedSend> {
+        raw.iter()
+            .map(|&(off, ch, abs)| PackedSend {
+                psrc: pslot[&off],
+                ch,
+                dst: abs,
+            })
+            .collect()
+    };
+    let packed_sends = resolve_sends(&raw_packed_sends);
+    let offchip_packed_sends = resolve_sends(&raw_offchip_packed_sends);
+    let offchip_packed_words = offchip_packed_sends.len() as u64 * pw as u64;
+
     Program {
-        code: Code::lower(&steps),
+        code,
         arena_words: words as usize,
         const_init,
         commits,
@@ -967,6 +1379,12 @@ fn build_program(
         applies,
         outputs,
         offchip_words,
+        packed_words,
+        packed_commits,
+        packed_sends,
+        offchip_packed_sends,
+        offchip_packed_words,
+        const_packs,
     }
 }
 
@@ -1138,7 +1556,9 @@ pub(crate) fn eval_op(arena: &mut [u64], step: &Step) {
                 }
             }
         }
-        Step::Mux { dst, sel, t, f, nw } => {
+        Step::Mux {
+            dst, sel, t, f, nw, ..
+        } => {
             if nw == 1 {
                 let pick = if arena[sel as usize] & 1 == 1 { t } else { f };
                 arena[dst as usize] = arena[pick as usize];

@@ -27,6 +27,34 @@
 //! indexing a side table of the original [`Step`]s, evaluated through
 //! the proven slice kernels of [`eval_op`].
 //!
+//! # Packed 1-bit lanes
+//!
+//! In packed mode ([`EngineCore::new`] with `packed = true`) 1-bit
+//! values are additionally **bit-packed across lanes**: a packed net is
+//! a `pw = ceil(lanes / 64)`-word block where lane `l` is bit `l % 64`
+//! of word `l / 64` (lane-major words beyond 64 lanes). Packed nets
+//! live in a per-tile scratch arena ([`LaneTile::packed`]); the packed
+//! opcodes (`PAND`/`POR`/`PXOR`/`PNOT`/`PBOOL`/`PMUX`) are plain word
+//! sweeps over `pw` words — one `u64` op advances 64 scenarios — and
+//! the packed copies (`PCOPY_REG`/`PCOPY_INPUT`/`PCOPY_MAIL`) move
+//! whole packed register/input/mailbox blocks without touching the
+//! strided layout.
+//!
+//! The two domains meet only at explicit transpose boundaries inserted
+//! by the lowering: [`PACK`](op::PACK) gathers one bit per active lane
+//! out of the strided arena (a packed net's birth from a strided
+//! source), [`UNPACK`](op::UNPACK) scatters them back (a packed net
+//! feeding a wide op, a port record, or an output). Lowering policy:
+//! packed registers, inputs, and mailbox reads seed the packed domain,
+//! and any 1-bit boolean op with at least one packed operand stays
+//! packed — 1-bit control chains transpose at most twice, at their
+//! strided edges. Early exit composes with packing through the **retire
+//! mask**: packed commits and mailbox sends blend new bits through the
+//! complement of the retired-lane mask, so a retired lane's packed
+//! registers and mailbox epochs freeze exactly like its strided state
+//! (packed *scratch* values may keep changing, but are never read back
+//! for a retired lane).
+//!
 //! # The hot loop
 //!
 //! [`exec_code`] is the one loop both engines spend their cycles in:
@@ -56,7 +84,7 @@ use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
 use parendi_core::Partition;
 use parendi_rtl::bits::{top_word_mask, word, words_for, Bits};
 use parendi_rtl::{BinOp, Circuit, InputId, UnOp};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock, RwLock};
 use std::thread::JoinHandle;
@@ -115,6 +143,42 @@ pub(crate) mod op {
     pub const CONCAT1: u8 = 28;
     /// Multi-word fallback. `imm` indexes [`super::Code::wide`]; no args.
     pub const WIDE: u8 = 29;
+    // Packed 1-bit opcodes (packed mode only). A packed net occupies
+    // `pw = ceil(lanes / 64)` words of the tile's packed scratch arena:
+    // lane `l` is bit `l % 64` of word `l / 64`. Word-sweep opcodes
+    // carry `pw` in the immediate and advance 64 lanes per `u64` op.
+    /// Transpose boundary, strided → packed: gather bit 0 of each
+    /// active lane's arena word into the packed block. No imm; args
+    /// `pdst, src`.
+    pub const PACK: u8 = 30;
+    /// Transpose boundary, packed → strided: scatter each active
+    /// lane's bit into its arena word. No imm; args `dst, psrc`.
+    pub const UNPACK: u8 = 31;
+    /// Packed NOT. `imm = pw`; args `pdst, pa`.
+    pub const PNOT: u8 = 32;
+    /// Packed AND (also 1-bit `Mul`). `imm = pw`; args `pdst, pa, pb`.
+    pub const PAND: u8 = 33;
+    /// Packed OR. `imm = pw`; args `pdst, pa, pb`.
+    pub const POR: u8 = 34;
+    /// Packed XOR (also 1-bit `Add`/`Sub`/`Ne`). `imm = pw`; args
+    /// `pdst, pa, pb`.
+    pub const PXOR: u8 = 35;
+    /// Packed generic two-input boolean: `imm = pw | tt << 16` where
+    /// `tt` bit `a + 2b` is the function value (covers `Eq`, the
+    /// comparisons, …). Args `pdst, pa, pb`.
+    pub const PBOOL: u8 = 36;
+    /// Packed 1-bit two-way select `(sel & t) | (!sel & f)`.
+    /// `imm = pw`; args `pdst, psel, pt, pf`.
+    pub const PMUX: u8 = 37;
+    /// Packed copy of an own packed register. `imm = pw`; args
+    /// `pdst, src` (`src` absolute into the register file).
+    pub const PCOPY_REG: u8 = 38;
+    /// Packed copy of a packed input. `imm = pw`; args `pdst, src`
+    /// (`src` absolute into the input buffer).
+    pub const PCOPY_INPUT: u8 = 39;
+    /// Packed copy of a remote packed register (epoch `c`). `imm = pw`;
+    /// args `pdst, ch, src` (`src` absolute into the channel buffer).
+    pub const PCOPY_MAIL: u8 = 40;
 }
 
 fn un1_opc(o: UnOp) -> u8 {
@@ -172,6 +236,11 @@ pub(crate) fn argc(opc: u8) -> usize {
         op::SLICE1 | op::ZEXT1 | op::SEXT1 => 2,
         op::CONCAT1 => 3,
         op::WIDE => 0,
+        op::PACK | op::UNPACK | op::PNOT => 2,
+        op::PAND | op::POR | op::PXOR | op::PBOOL => 3,
+        op::PMUX => 4,
+        op::PCOPY_REG | op::PCOPY_INPUT => 2,
+        op::PCOPY_MAIL => 3,
         other => unreachable!("unknown opcode {other}"),
     }
 }
@@ -192,130 +261,21 @@ impl Code {
         assert_eq!(total, self.args.len(), "operand stream out of sync");
     }
 
-    /// Lowers a step program into bytecode: fused single-word opcodes
-    /// for `nw == 1` operations, peephole-coalesced block copies for
-    /// adjacent contiguous `Input`/`RegOwn`/`RegMail` reads, and a
-    /// cold [`Step`] side table for everything multi-word.
+    /// Lowers a step program into strided bytecode: fused single-word
+    /// opcodes for `nw == 1` operations, peephole-coalesced block
+    /// copies for adjacent contiguous `Input`/`RegOwn`/`RegMail` reads,
+    /// and a cold [`Step`] side table for everything multi-word.
     pub(crate) fn lower(steps: &[Step]) -> Code {
-        let mut code = Code::default();
-        // Pending copy run: (opcode, first dst, channel, first src, nw).
-        let mut run: Option<(u8, u32, u32, u32, u32)> = None;
-        let flush = |code: &mut Code, run: &mut Option<(u8, u32, u32, u32, u32)>| {
-            if let Some((opc, dst, ch, src, nw)) = run.take() {
-                assert!(nw < 1 << 24, "copy run overflows the immediate");
-                if opc == op::COPY_MAIL {
-                    code.emit(opc, nw, &[dst, ch, src]);
-                } else {
-                    code.emit(opc, nw, &[dst, src]);
-                }
-            }
-        };
-        let copy = |code: &mut Code,
-                    run: &mut Option<(u8, u32, u32, u32, u32)>,
-                    opc: u8,
-                    dst: u32,
-                    ch: u32,
-                    src: u32,
-                    nw: u32| {
-            if let Some((ro, rd, rc, rs, rn)) = run {
-                // Contiguous same-source extension: one longer block copy.
-                if *ro == opc && *rc == ch && dst == *rd + *rn && src == *rs + *rn {
-                    *rn += nw;
-                    return;
-                }
-            }
-            flush(code, run);
-            *run = Some((opc, dst, ch, src, nw));
-        };
-        for step in steps {
-            match *step {
-                Step::Input { dst, src, nw } => {
-                    copy(&mut code, &mut run, op::COPY_INPUT, dst, 0, src, nw)
-                }
-                Step::RegOwn { dst, src, nw } => {
-                    copy(&mut code, &mut run, op::COPY_REG, dst, 0, src, nw)
-                }
-                Step::RegMail { dst, ch, src, nw } => {
-                    copy(&mut code, &mut run, op::COPY_MAIL, dst, ch, src, nw)
-                }
-                _ => {
-                    flush(&mut code, &mut run);
-                    match *step {
-                        Step::ArrayRead {
-                            dst,
-                            arr,
-                            idx,
-                            idx_w,
-                            nw,
-                            depth,
-                        } => {
-                            assert!(idx_w < 1 << 8 && nw < 1 << 16, "array shape overflows imm");
-                            code.emit(op::ARRAY_READ, idx_w | (nw << 8), &[dst, arr, idx, depth]);
-                        }
-                        Step::Un {
-                            op: o,
-                            dst,
-                            a,
-                            w,
-                            aw,
-                            anw,
-                        } if anw == 1 && w <= 64 => {
-                            code.emit(un1_opc(o), w | (aw << 7), &[dst, a]);
-                        }
-                        Step::Bin {
-                            op: o,
-                            dst,
-                            a,
-                            b,
-                            w,
-                            aw,
-                            anw,
-                            bnw,
-                        } if anw == 1 && bnw == 1 && w <= 64 => {
-                            code.emit(bin1_opc(o), w | (aw << 7), &[dst, a, b]);
-                        }
-                        Step::Mux {
-                            dst,
-                            sel,
-                            t,
-                            f,
-                            nw: 1,
-                        } => code.emit(op::MUX1, 0, &[dst, sel, t, f]),
-                        Step::Slice {
-                            dst,
-                            a,
-                            lo,
-                            w,
-                            anw: 1,
-                        } => code.emit(op::SLICE1, lo | (w << 6), &[dst, a]),
-                        Step::Zext { dst, a, w, anw } if anw == 1 && w <= 64 => {
-                            code.emit(op::ZEXT1, w, &[dst, a]);
-                        }
-                        Step::Sext { dst, a, aw, w, anw } if anw == 1 && w <= 64 => {
-                            code.emit(op::SEXT1, aw | (w << 7), &[dst, a]);
-                        }
-                        Step::Concat {
-                            dst,
-                            hi,
-                            lo,
-                            w,
-                            low_w,
-                            hnw: 1,
-                            lnw: 1,
-                        } if w <= 64 => code.emit(op::CONCAT1, low_w | (w << 6), &[dst, hi, lo]),
-                        _ => {
-                            assert!(code.wide.len() < 1 << 24, "wide table overflows imm");
-                            let idx = code.wide.len() as u32;
-                            code.wide.push(step.clone());
-                            code.emit(op::WIDE, idx, &[]);
-                        }
-                    }
-                }
-            }
-        }
-        flush(&mut code, &mut run);
-        code.validate();
-        code
+        lower_inner(steps, None).code
+    }
+
+    /// Packed-mode lowering: like [`lower`](Self::lower), but eligible
+    /// 1-bit nets are computed in the packed domain (one `u64` op per
+    /// 64 lanes) with explicit `PACK`/`UNPACK` transpose boundaries
+    /// where the strided and packed domains meet. Returns the slot map
+    /// so the caller can resolve packed register commits/sends.
+    pub(crate) fn lower_packed(steps: &[Step], plan: &PackPlan) -> Lowered {
+        lower_inner(steps, Some(plan))
     }
 
     /// A stable, line-per-instruction disassembly (golden tests, debug).
@@ -430,6 +390,47 @@ impl Code {
                     ),
                     3,
                 ),
+                op::PACK => (format!("pack pdst={} src={}", a(0), a(1)), 2),
+                op::UNPACK => (format!("unpack dst={} psrc={}", a(0), a(1)), 2),
+                op::PNOT => (format!("pnot pdst={} pa={} pw={imm}", a(0), a(1)), 2),
+                op::PAND | op::POR | op::PXOR => {
+                    let name = match opc {
+                        op::PAND => "pand",
+                        op::POR => "por",
+                        _ => "pxor",
+                    };
+                    (
+                        format!("{name} pdst={} pa={} pb={} pw={imm}", a(0), a(1), a(2)),
+                        3,
+                    )
+                }
+                op::PBOOL => (
+                    format!(
+                        "pbool pdst={} pa={} pb={} pw={} tt={:04b}",
+                        a(0),
+                        a(1),
+                        a(2),
+                        imm & 0xffff,
+                        imm >> 16
+                    ),
+                    3,
+                ),
+                op::PMUX => (
+                    format!(
+                        "pmux pdst={} psel={} pt={} pf={} pw={imm}",
+                        a(0),
+                        a(1),
+                        a(2),
+                        a(3)
+                    ),
+                    4,
+                ),
+                op::PCOPY_REG => (format!("pregown pdst={} src={} pw={imm}", a(0), a(1)), 2),
+                op::PCOPY_INPUT => (format!("pinput pdst={} src={} pw={imm}", a(0), a(1)), 2),
+                op::PCOPY_MAIL => (
+                    format!("pregmail pdst={} ch={} src={} pw={imm}", a(0), a(1), a(2)),
+                    3,
+                ),
                 op::WIDE => {
                     let tag = match &self.wide[imm as usize] {
                         Step::Un { op, .. } => format!("un {op:?}"),
@@ -449,6 +450,459 @@ impl Code {
             p += argc;
         }
         out
+    }
+}
+
+/// What the packed-mode lowering must know beyond the steps: the
+/// packed block size and which nets are read from outside the bytecode
+/// (commits, sends, port records, outputs) in which form.
+pub(crate) struct PackPlan {
+    /// Words per packed net (`ceil(lanes / 64)`).
+    pub pw: u32,
+    /// Arena offsets valid strided before the program runs (constants,
+    /// written once at engine init).
+    pub preset_strided: Vec<u32>,
+    /// The subset of `preset_strided` that never changes (1-bit
+    /// constants): packing one of these emits **no opcode** — the
+    /// engine packs it once at init ([`Lowered::const_packs`]) instead
+    /// of transposing an immutable value every cycle.
+    pub const_strided: Vec<u32>,
+    /// Arena offsets to pack at program entry (test hook: seeds the
+    /// packed domain without a packed register/input source).
+    pub preset_packed: Vec<u32>,
+    /// Arena offsets that must be valid **strided** when the program
+    /// ends (outputs, port-record enables/indices/data).
+    pub need_strided: Vec<u32>,
+    /// Arena offsets that must be valid **packed** when the program
+    /// ends (next-values of packed registers).
+    pub need_packed: Vec<u32>,
+}
+
+/// The result of a packed-mode lowering.
+pub(crate) struct Lowered {
+    pub code: Code,
+    /// Size of the tile's packed scratch arena in words.
+    pub packed_words: usize,
+    /// Arena offset → packed arena word offset, for every net that has
+    /// a packed form.
+    pub pslot: HashMap<u32, u32>,
+    /// 1-bit constants consumed by the packed domain: `(arena offset,
+    /// packed slot)` pairs the engine transposes **once** at init.
+    pub const_packs: Vec<(u32, u32)>,
+}
+
+/// Lowering state: the code under construction, the pending copy-run
+/// peephole, and the packed-domain bookkeeping (which nets exist
+/// strided / packed, and where).
+struct LowerCtx {
+    code: Code,
+    /// Pending copy run: (opcode, first dst, channel, first src, nw).
+    run: Option<(u8, u32, u32, u32, u32)>,
+    /// Arena offset → packed arena word offset.
+    pslot: HashMap<u32, u32>,
+    /// Nets whose strided arena slot currently holds their value.
+    strided_ok: HashSet<u32>,
+    /// Immutable nets (constants): packed once at init, not per cycle.
+    consts: HashSet<u32>,
+    const_packs: Vec<(u32, u32)>,
+    next_slot: u32,
+    pw: u32,
+}
+
+impl LowerCtx {
+    fn flush(&mut self) {
+        if let Some((opc, dst, ch, src, nw)) = self.run.take() {
+            assert!(nw < 1 << 24, "copy run overflows the immediate");
+            if opc == op::COPY_MAIL {
+                self.code.emit(opc, nw, &[dst, ch, src]);
+            } else {
+                self.code.emit(opc, nw, &[dst, src]);
+            }
+        }
+    }
+
+    fn copy(&mut self, opc: u8, dst: u32, ch: u32, src: u32, nw: u32) {
+        if let Some((ro, rd, rc, rs, rn)) = &mut self.run {
+            // Contiguous same-source extension: one longer block copy.
+            if *ro == opc && *rc == ch && dst == *rd + *rn && src == *rs + *rn {
+                *rn += nw;
+                self.strided_ok.insert(dst);
+                return;
+            }
+        }
+        self.flush();
+        self.run = Some((opc, dst, ch, src, nw));
+        self.strided_ok.insert(dst);
+    }
+
+    /// Allocates the packed slot of net `off`.
+    fn alloc(&mut self, off: u32) -> u32 {
+        let slot = self.next_slot * self.pw;
+        self.pslot.insert(off, slot);
+        self.next_slot += 1;
+        slot
+    }
+
+    /// Returns net `off` in packed form, emitting a `PACK` transpose if
+    /// it only exists strided — except for constants, which are packed
+    /// once at engine init instead of once per cycle.
+    fn ensure_packed(&mut self, off: u32) -> u32 {
+        if let Some(&s) = self.pslot.get(&off) {
+            return s;
+        }
+        debug_assert!(
+            self.strided_ok.contains(&off),
+            "net {off} has no value to pack"
+        );
+        let s = self.alloc(off);
+        if self.consts.contains(&off) {
+            self.const_packs.push((off, s));
+            return s;
+        }
+        self.flush();
+        self.code.emit(op::PACK, 0, &[s, off]);
+        s
+    }
+
+    /// Materializes net `off` in its strided arena slot, emitting an
+    /// `UNPACK` transpose if it only exists packed.
+    fn ensure_strided(&mut self, off: u32) {
+        if self.strided_ok.contains(&off) {
+            return;
+        }
+        let s = self.pslot[&off];
+        self.flush();
+        self.code.emit(op::UNPACK, 0, &[off, s]);
+        self.strided_ok.insert(off);
+    }
+}
+
+/// Truth table of a two-input boolean, bit `a + 2b` = function value.
+fn pbool_tt(o: BinOp) -> u32 {
+    match o {
+        BinOp::Eq => 0b1001,  // !(a ^ b)
+        BinOp::LtU => 0b0100, // !a & b
+        BinOp::LtS => 0b0010, // a & !b   (1-bit signed: -1 < 0)
+        BinOp::LeU => 0b1101, // !a | b
+        BinOp::LeS => 0b1011, // a | !b
+        other => unreachable!("{other:?} has a dedicated packed opcode"),
+    }
+}
+
+/// Tries to lower a step in the packed domain. Returns `true` when the
+/// step was consumed. Policy: a 1-bit boolean op computes packed iff at
+/// least one operand already lives packed (packed registers, packed
+/// inputs, and packed mailbox reads seed the domain), so 1-bit control
+/// chains stay packed end to end while isolated bits of the strided
+/// datapath never pay a transpose. 1-bit identities (`Neg`, the
+/// reductions, `Zext`/`Sext`/`Slice` to 1 bit, `Ashr` at 1 bit) of a
+/// packed net just alias its slot.
+fn try_packed(ctx: &mut LowerCtx, step: &Step) -> bool {
+    let has = |ctx: &LowerCtx, off: u32| ctx.pslot.contains_key(&off);
+    match *step {
+        Step::Un {
+            op: o,
+            dst,
+            a,
+            w: 1,
+            aw: 1,
+            anw: 1,
+        } if has(ctx, a) => {
+            if o == UnOp::Not {
+                let pa = ctx.pslot[&a];
+                let s = ctx.alloc(dst);
+                ctx.flush();
+                ctx.code.emit(op::PNOT, ctx.pw, &[s, pa]);
+            } else {
+                // Neg / RedAnd / RedOr / RedXor of one bit: identity.
+                let pa = ctx.pslot[&a];
+                ctx.pslot.insert(dst, pa);
+            }
+            true
+        }
+        Step::Zext {
+            dst,
+            a,
+            w: 1,
+            anw: 1,
+        } if has(ctx, a) => {
+            let pa = ctx.pslot[&a];
+            ctx.pslot.insert(dst, pa);
+            true
+        }
+        Step::Sext {
+            dst,
+            a,
+            w: 1,
+            anw: 1,
+            ..
+        } if has(ctx, a) => {
+            let pa = ctx.pslot[&a];
+            ctx.pslot.insert(dst, pa);
+            true
+        }
+        Step::Slice {
+            dst,
+            a,
+            lo: 0,
+            w: 1,
+            anw: 1,
+        } if has(ctx, a) => {
+            let pa = ctx.pslot[&a];
+            ctx.pslot.insert(dst, pa);
+            true
+        }
+        Step::Bin {
+            op: BinOp::Ashr,
+            dst,
+            a,
+            w: 1,
+            aw: 1,
+            anw: 1,
+            ..
+        } if has(ctx, a) => {
+            // 1-bit arithmetic shift right is the identity for every
+            // shift amount (the sign bit refills the only bit).
+            let pa = ctx.pslot[&a];
+            ctx.pslot.insert(dst, pa);
+            true
+        }
+        Step::Bin {
+            op: o,
+            dst,
+            a,
+            b,
+            w: 1,
+            aw: 1,
+            anw: 1,
+            bnw: 1,
+        } if !matches!(o, BinOp::Shl | BinOp::Lshr | BinOp::Ashr)
+            && (has(ctx, a) || has(ctx, b)) =>
+        {
+            let pa = ctx.ensure_packed(a);
+            let pb = ctx.ensure_packed(b);
+            let s = ctx.alloc(dst);
+            ctx.flush();
+            match o {
+                BinOp::And | BinOp::Mul => ctx.code.emit(op::PAND, ctx.pw, &[s, pa, pb]),
+                BinOp::Or => ctx.code.emit(op::POR, ctx.pw, &[s, pa, pb]),
+                BinOp::Xor | BinOp::Add | BinOp::Sub | BinOp::Ne => {
+                    ctx.code.emit(op::PXOR, ctx.pw, &[s, pa, pb])
+                }
+                o => {
+                    let imm = ctx.pw | (pbool_tt(o) << 16);
+                    ctx.code.emit(op::PBOOL, imm, &[s, pa, pb]);
+                }
+            }
+            true
+        }
+        Step::Mux {
+            dst,
+            sel,
+            t,
+            f,
+            nw: 1,
+            w: 1,
+        } if has(ctx, sel) || has(ctx, t) || has(ctx, f) => {
+            let ps = ctx.ensure_packed(sel);
+            let pt = ctx.ensure_packed(t);
+            let pf = ctx.ensure_packed(f);
+            let s = ctx.alloc(dst);
+            ctx.flush();
+            ctx.code.emit(op::PMUX, ctx.pw, &[s, ps, pt, pf]);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Arena offsets a (non-copy) step reads.
+fn step_operands(step: &Step) -> ([u32; 3], usize) {
+    match *step {
+        Step::ArrayRead { idx, .. } => ([idx, 0, 0], 1),
+        Step::Un { a, .. } | Step::Zext { a, .. } | Step::Sext { a, .. } => ([a, 0, 0], 1),
+        Step::Slice { a, .. } => ([a, 0, 0], 1),
+        Step::Bin { a, b, .. } => ([a, b, 0], 2),
+        Step::Mux { sel, t, f, .. } => ([sel, t, f], 3),
+        Step::Concat { hi, lo, .. } => ([hi, lo, 0], 2),
+        Step::Input { .. }
+        | Step::RegOwn { .. }
+        | Step::RegMail { .. }
+        | Step::InputP { .. }
+        | Step::RegOwnP { .. }
+        | Step::RegMailP { .. } => ([0, 0, 0], 0),
+    }
+}
+
+/// Strided arena offset a step writes (packed copies have none).
+fn step_dst(step: &Step) -> Option<u32> {
+    match *step {
+        Step::Input { dst, .. }
+        | Step::RegOwn { dst, .. }
+        | Step::RegMail { dst, .. }
+        | Step::ArrayRead { dst, .. }
+        | Step::Un { dst, .. }
+        | Step::Bin { dst, .. }
+        | Step::Mux { dst, .. }
+        | Step::Slice { dst, .. }
+        | Step::Zext { dst, .. }
+        | Step::Sext { dst, .. }
+        | Step::Concat { dst, .. } => Some(dst),
+        Step::InputP { .. } | Step::RegOwnP { .. } | Step::RegMailP { .. } => None,
+    }
+}
+
+/// The shared lowering: strided when `plan` is `None`, packed-aware
+/// otherwise.
+fn lower_inner(steps: &[Step], plan: Option<&PackPlan>) -> Lowered {
+    let mut ctx = LowerCtx {
+        code: Code::default(),
+        run: None,
+        pslot: HashMap::new(),
+        strided_ok: HashSet::new(),
+        consts: HashSet::new(),
+        const_packs: Vec::new(),
+        next_slot: 0,
+        pw: plan.map_or(0, |p| p.pw),
+    };
+    let packed = plan.is_some();
+    if let Some(plan) = plan {
+        ctx.strided_ok.extend(plan.preset_strided.iter().copied());
+        ctx.consts.extend(plan.const_strided.iter().copied());
+        ctx.strided_ok.extend(plan.const_strided.iter().copied());
+        for &off in &plan.preset_packed {
+            ctx.strided_ok.insert(off);
+            ctx.ensure_packed(off);
+        }
+    }
+    for step in steps {
+        match *step {
+            Step::Input { dst, src, nw } => ctx.copy(op::COPY_INPUT, dst, 0, src, nw),
+            Step::RegOwn { dst, src, nw } => ctx.copy(op::COPY_REG, dst, 0, src, nw),
+            Step::RegMail { dst, ch, src, nw } => ctx.copy(op::COPY_MAIL, dst, ch, src, nw),
+            Step::InputP { dst, src } => {
+                ctx.flush();
+                let s = ctx.alloc(dst);
+                ctx.code.emit(op::PCOPY_INPUT, ctx.pw, &[s, src]);
+            }
+            Step::RegOwnP { dst, src } => {
+                ctx.flush();
+                let s = ctx.alloc(dst);
+                ctx.code.emit(op::PCOPY_REG, ctx.pw, &[s, src]);
+            }
+            Step::RegMailP { dst, ch, src } => {
+                ctx.flush();
+                let s = ctx.alloc(dst);
+                ctx.code.emit(op::PCOPY_MAIL, ctx.pw, &[s, ch, src]);
+            }
+            _ => {
+                ctx.flush();
+                if packed && try_packed(&mut ctx, step) {
+                    continue;
+                }
+                if packed {
+                    // Strided lowering: operands computed in the packed
+                    // domain must cross the transpose boundary first.
+                    let (ops, n) = step_operands(step);
+                    for &off in &ops[..n] {
+                        ctx.ensure_strided(off);
+                    }
+                }
+                let code = &mut ctx.code;
+                match *step {
+                    Step::ArrayRead {
+                        dst,
+                        arr,
+                        idx,
+                        idx_w,
+                        nw,
+                        depth,
+                    } => {
+                        assert!(idx_w < 1 << 8 && nw < 1 << 16, "array shape overflows imm");
+                        code.emit(op::ARRAY_READ, idx_w | (nw << 8), &[dst, arr, idx, depth]);
+                    }
+                    Step::Un {
+                        op: o,
+                        dst,
+                        a,
+                        w,
+                        aw,
+                        anw,
+                    } if anw == 1 && w <= 64 => {
+                        code.emit(un1_opc(o), w | (aw << 7), &[dst, a]);
+                    }
+                    Step::Bin {
+                        op: o,
+                        dst,
+                        a,
+                        b,
+                        w,
+                        aw,
+                        anw,
+                        bnw,
+                    } if anw == 1 && bnw == 1 && w <= 64 => {
+                        code.emit(bin1_opc(o), w | (aw << 7), &[dst, a, b]);
+                    }
+                    Step::Mux {
+                        dst,
+                        sel,
+                        t,
+                        f,
+                        nw: 1,
+                        ..
+                    } => code.emit(op::MUX1, 0, &[dst, sel, t, f]),
+                    Step::Slice {
+                        dst,
+                        a,
+                        lo,
+                        w,
+                        anw: 1,
+                    } => code.emit(op::SLICE1, lo | (w << 6), &[dst, a]),
+                    Step::Zext { dst, a, w, anw } if anw == 1 && w <= 64 => {
+                        code.emit(op::ZEXT1, w, &[dst, a]);
+                    }
+                    Step::Sext { dst, a, aw, w, anw } if anw == 1 && w <= 64 => {
+                        code.emit(op::SEXT1, aw | (w << 7), &[dst, a]);
+                    }
+                    Step::Concat {
+                        dst,
+                        hi,
+                        lo,
+                        w,
+                        low_w,
+                        hnw: 1,
+                        lnw: 1,
+                    } if w <= 64 => code.emit(op::CONCAT1, low_w | (w << 6), &[dst, hi, lo]),
+                    _ => {
+                        assert!(code.wide.len() < 1 << 24, "wide table overflows imm");
+                        let idx = code.wide.len() as u32;
+                        code.wide.push(step.clone());
+                        code.emit(op::WIDE, idx, &[]);
+                    }
+                }
+                if let Some(dst) = step_dst(step) {
+                    ctx.strided_ok.insert(dst);
+                }
+            }
+        }
+    }
+    ctx.flush();
+    if let Some(plan) = plan {
+        // Boundary transposes for everything read outside the bytecode.
+        for &off in &plan.need_strided {
+            ctx.ensure_strided(off);
+        }
+        for &off in &plan.need_packed {
+            ctx.ensure_packed(off);
+        }
+        ctx.flush();
+    }
+    ctx.code.validate();
+    Lowered {
+        packed_words: (ctx.next_slot * ctx.pw) as usize,
+        pslot: ctx.pslot,
+        const_packs: ctx.const_packs,
+        code: ctx.code,
     }
 }
 
@@ -520,14 +974,18 @@ impl LaneSet for LaneList<'_> {
 pub(crate) struct LaneTile {
     /// `lanes × aw` words of combinational values.
     pub arena: Vec<u64>,
-    /// `lanes × rw` words: this tile's own registers, `RegId` order
-    /// within each lane block.
+    /// Packed scratch arena: one `pw`-word block per packed 1-bit net
+    /// (packed mode only; empty otherwise).
+    pub packed: Vec<u64>,
+    /// `lanes × rw` strided words — this tile's own wide registers,
+    /// `RegId` order within each lane block — followed by the packed
+    /// tail (one `pw`-word block per 1-bit register in packed mode).
     pub reg_cur: Vec<u64>,
     /// Local copies of held arrays, each `lanes × arr_words[i]` words.
     pub arrays: Vec<Vec<u64>>,
     /// Per-lane arena stride in words.
     pub aw: usize,
-    /// Per-lane register-file stride in words.
+    /// Per-lane register-file stride in words (strided section).
     pub rw: usize,
     /// Per-lane words of each held array (depth × element words).
     pub arr_words: Vec<usize>,
@@ -551,6 +1009,7 @@ pub(crate) fn exec_code<L: LaneSet>(
 ) {
     let LaneTile {
         arena,
+        packed,
         reg_cur,
         arrays,
         aw,
@@ -726,6 +1185,123 @@ pub(crate) fn exec_code<L: LaneSet>(
                 let step = &code.wide[imm];
                 lanes.for_each(|l| eval_op(&mut arena[l * astride..(l + 1) * astride], step));
             }
+            op::PACK => {
+                // Transpose strided → packed: gather each active lane's
+                // bit. Bits accumulate in a register and land with one
+                // masked store per 64-lane word (lane sets iterate
+                // ascending), not one read-modify-write per lane.
+                // Skipped lanes keep stale bits — only active lanes'
+                // bits are ever read back.
+                let (pdst, src) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                let (mut wi, mut acc, mut got) = (usize::MAX, 0u64, 0u64);
+                lanes.for_each(|l| {
+                    let i = l / 64;
+                    if i != wi {
+                        if wi != usize::MAX {
+                            let w = &mut packed[pdst + wi];
+                            *w = (*w & !got) | acc;
+                        }
+                        (wi, acc, got) = (i, 0, 0);
+                    }
+                    acc |= (arena[l * astride + src] & 1) << (l % 64);
+                    got |= 1u64 << (l % 64);
+                });
+                if wi != usize::MAX {
+                    let w = &mut packed[pdst + wi];
+                    *w = (*w & !got) | acc;
+                }
+            }
+            op::UNPACK => {
+                // Transpose packed → strided: scatter each active
+                // lane's bit into its arena word (one packed-word load
+                // per 64 lanes).
+                let (dst, psrc) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                let (mut wi, mut cur) = (usize::MAX, 0u64);
+                lanes.for_each(|l| {
+                    let i = l / 64;
+                    if i != wi {
+                        (wi, cur) = (i, packed[psrc + i]);
+                    }
+                    arena[l * astride + dst] = (cur >> (l % 64)) & 1;
+                });
+            }
+            op::PNOT => {
+                let (pdst, pa) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                for i in 0..imm {
+                    packed[pdst + i] = !packed[pa + i];
+                }
+            }
+            op::PAND => {
+                let (pdst, pa, pb) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+                p += 3;
+                for i in 0..imm {
+                    packed[pdst + i] = packed[pa + i] & packed[pb + i];
+                }
+            }
+            op::POR => {
+                let (pdst, pa, pb) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+                p += 3;
+                for i in 0..imm {
+                    packed[pdst + i] = packed[pa + i] | packed[pb + i];
+                }
+            }
+            op::PXOR => {
+                let (pdst, pa, pb) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+                p += 3;
+                for i in 0..imm {
+                    packed[pdst + i] = packed[pa + i] ^ packed[pb + i];
+                }
+            }
+            op::PBOOL => {
+                let (pdst, pa, pb) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+                p += 3;
+                let (pwn, tt) = (imm & 0xffff, (imm >> 16) as u64);
+                // Minterm masks, hoisted out of the word sweep.
+                let m0 = 0u64.wrapping_sub(tt & 1);
+                let m1 = 0u64.wrapping_sub((tt >> 1) & 1);
+                let m2 = 0u64.wrapping_sub((tt >> 2) & 1);
+                let m3 = 0u64.wrapping_sub((tt >> 3) & 1);
+                for i in 0..pwn {
+                    let a = packed[pa + i];
+                    let b = packed[pb + i];
+                    packed[pdst + i] =
+                        (m0 & !a & !b) | (m1 & a & !b) | (m2 & !a & b) | (m3 & a & b);
+                }
+            }
+            op::PMUX => {
+                let (pdst, ps, pt, pf) = (
+                    arg!(0) as usize,
+                    arg!(1) as usize,
+                    arg!(2) as usize,
+                    arg!(3) as usize,
+                );
+                p += 4;
+                for i in 0..imm {
+                    let s = packed[ps + i];
+                    packed[pdst + i] = (s & packed[pt + i]) | (!s & packed[pf + i]);
+                }
+            }
+            op::PCOPY_REG => {
+                let (pdst, src) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                packed[pdst..pdst + imm].copy_from_slice(&reg_cur[src..src + imm]);
+            }
+            op::PCOPY_INPUT => {
+                let (pdst, src) = (arg!(0) as usize, arg!(1) as usize);
+                p += 2;
+                packed[pdst..pdst + imm].copy_from_slice(&inputs[src..src + imm]);
+            }
+            op::PCOPY_MAIL => {
+                let (pdst, ch, src) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
+                p += 3;
+                // SAFETY: epoch discipline — no writer of `read_parity`
+                // exists during the computation phase (see Mailbox).
+                let buf = unsafe { channels[ch].read(read_parity) };
+                packed[pdst..pdst + imm].copy_from_slice(&buf[src..src + imm]);
+            }
             other => unreachable!("unknown opcode {other}"),
         }
     }
@@ -733,7 +1309,10 @@ pub(crate) fn exec_code<L: LaneSet>(
 
 /// Computation phase for one tile at cycle `c`, all active lanes: run
 /// the bytecode, latch own registers, push outgoing *on-chip* mailbox
-/// traffic for epoch `c+1`.
+/// traffic for epoch `c+1`. `mask` is the packed retire mask (bit set =
+/// lane early-exited; empty when every lane is live): packed commits
+/// and sends blend through it so retired lanes' packed state stays
+/// frozen, exactly as the strided lane sweeps skip retired lanes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn compute_phase<L: LaneSet>(
     prog: &Program,
@@ -744,6 +1323,8 @@ pub(crate) fn compute_phase<L: LaneSet>(
     mail_words: &[u32],
     lanes: L,
     c: u64,
+    pw: usize,
+    mask: &[u64],
 ) {
     exec_code(
         &prog.code,
@@ -758,6 +1339,7 @@ pub(crate) fn compute_phase<L: LaneSet>(
     let write_parity = ((c & 1) ^ 1) as usize;
     let LaneTile {
         arena,
+        packed,
         reg_cur,
         aw,
         rw,
@@ -773,8 +1355,21 @@ pub(crate) fn compute_phase<L: LaneSet>(
             reg_cur[db..db + n].copy_from_slice(&arena[sb..sb + n]);
         });
     }
+    for pc in &prog.packed_commits {
+        let (d, s) = (pc.dst as usize, pc.psrc as usize);
+        if mask.is_empty() {
+            reg_cur[d..d + pw].copy_from_slice(&packed[s..s + pw]);
+        } else {
+            for i in 0..pw {
+                reg_cur[d + i] = (packed[s + i] & !mask[i]) | (reg_cur[d + i] & mask[i]);
+            }
+        }
+    }
     for send in &prog.sends {
         push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
+    }
+    for ps in &prog.packed_sends {
+        push_packed_send(ps, packed, pw, channels, write_parity, mask);
     }
     for ps in &prog.port_sends {
         stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
@@ -806,6 +1401,35 @@ fn push_reg_send<L: LaneSet>(
                 send.nw as usize,
             );
         });
+    }
+}
+
+/// Copies one packed register value (`pw` words, all 64-lane groups at
+/// once) into its mailbox slot, blending through the retire mask so
+/// early-exited lanes' mailbox bits stay frozen at both epochs.
+#[inline]
+fn push_packed_send(
+    ps: &crate::engine::PackedSend,
+    packed: &[u64],
+    pw: usize,
+    channels: &[Mailbox],
+    write_parity: usize,
+    mask: &[u64],
+) {
+    let s = ps.psrc as usize;
+    // SAFETY: epoch discipline — no reader of `write_parity` exists
+    // during this phase, and this thread exclusively owns the packed
+    // slot `[dst, dst + pw)` (compile-time layout).
+    unsafe {
+        let base = channels[ps.ch as usize].write_base(write_parity);
+        for i in 0..pw {
+            let slot = base.add(ps.dst as usize + i);
+            *slot = if mask.is_empty() {
+                packed[s + i]
+            } else {
+                (packed[s + i] & !mask[i]) | (*slot & mask[i])
+            };
+        }
     }
 }
 
@@ -851,6 +1475,7 @@ fn stage_port_record<L: LaneSet>(
 /// memory copies into the epoch-`c+1` chip-pair aggregates. The modeled
 /// link occupancy is scheduled by the caller (see the worker loop) so
 /// the transfer can overlap subsequent tile compute.
+#[allow(clippy::too_many_arguments)]
 fn offchip_flush<L: LaneSet>(
     prog: &Program,
     tile: &mut LaneTile,
@@ -858,12 +1483,17 @@ fn offchip_flush<L: LaneSet>(
     mail_words: &[u32],
     lanes: L,
     c: u64,
+    pw: usize,
+    mask: &[u64],
 ) {
     let write_parity = ((c & 1) ^ 1) as usize;
     let arena = &tile.arena;
     let aw = tile.aw;
     for send in &prog.offchip_sends {
         push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
+    }
+    for ps in &prog.offchip_packed_sends {
+        push_packed_send(ps, &tile.packed, pw, channels, write_parity, mask);
     }
     for ps in &prog.offchip_port_sends {
         stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
@@ -965,8 +1595,13 @@ struct CoreShared {
     /// Per-lane input-buffer stride in words.
     input_stride: usize,
     lanes: usize,
+    /// Words per packed 1-bit net (`ceil(lanes / 64)` in packed mode,
+    /// 0 in strided mode — doubles as the mode flag).
+    pw: usize,
     /// Surviving (not early-exited) lane indices, ascending.
     active: RwLock<Vec<u32>>,
+    /// Packed retire mask (`pw` words; bit set = lane early-exited).
+    retired: RwLock<Vec<u64>>,
     phase_barrier: PhaseBarrier,
     gate: Barrier,
     done: Barrier,
@@ -1006,6 +1641,8 @@ pub(crate) struct EngineCore<'c> {
     /// peeks (one per VCD timestep) do no per-call grouping work.
     pub outputs_by_tile: Vec<(u32, Vec<u32>)>,
     pub input_off: Vec<u32>,
+    /// Whether each input lives in the packed tail of the input buffer.
+    pub input_packed: Vec<bool>,
     pub input_by_name: HashMap<String, InputId>,
     pub output_by_name: HashMap<String, u32>,
     pub onchip_mailboxes: usize,
@@ -1018,11 +1655,14 @@ pub(crate) struct EngineCore<'c> {
 impl<'c> EngineCore<'c> {
     /// Compiles `partition` for `lanes` scenarios and spawns the
     /// persistent worker pool (tiles fold chip-major onto threads).
+    /// With `packed`, 1-bit state is laid out bit-packed across lanes
+    /// (see the module docs).
     pub(crate) fn new(
         circuit: &'c Circuit,
         partition: &Partition,
         threads: usize,
         lanes: usize,
+        packed: bool,
     ) -> Self {
         assert!(threads >= 1, "need at least one thread");
         assert!(lanes >= 1, "need at least one lane");
@@ -1032,16 +1672,20 @@ impl<'c> EngineCore<'c> {
             array_home,
             output_home,
             input_off,
+            input_packed,
             input_words,
+            input_total_words,
             input_by_name,
             output_by_name,
             tile_reg_words,
+            tile_reg_packed,
             array_init,
             channels,
             mail_words,
             onchip_mailboxes,
             tile_chip,
-        } = Compiled::new(circuit, partition, lanes);
+            pw,
+        } = Compiled::new(circuit, partition, lanes, packed);
 
         let tiles: Vec<Mutex<LaneTile>> = programs
             .iter()
@@ -1050,18 +1694,30 @@ impl<'c> EngineCore<'c> {
                 let aw = prog.arena_words;
                 let rw = tile_reg_words[pi] as usize;
                 let mut arena = vec![0u64; aw * lanes];
-                let mut reg_cur = vec![0u64; rw * lanes];
+                let mut reg_cur = vec![0u64; rw * lanes + tile_reg_packed[pi] as usize * pw];
                 for l in 0..lanes {
                     for (off, words) in &prog.const_init {
                         let d = l * aw + *off as usize;
                         arena[d..d + words.len()].copy_from_slice(words);
                     }
                     for (ri, home) in reg_home.iter().enumerate() {
-                        if home.tile == pi as u32 {
+                        if home.tile == pi as u32 && !home.packed {
                             let d = l * rw + home.off as usize;
                             reg_cur[d..d + home.words as usize]
                                 .copy_from_slice(circuit.regs[ri].init.words());
                         }
+                    }
+                }
+                // Packed registers: the init bit broadcast to every lane.
+                for (ri, home) in reg_home.iter().enumerate() {
+                    if home.tile == pi as u32 && home.packed {
+                        let word = if circuit.regs[ri].init.words()[0] & 1 == 1 {
+                            u64::MAX
+                        } else {
+                            0
+                        };
+                        let d = rw * lanes + home.off as usize * pw;
+                        reg_cur[d..d + pw].fill(word);
                     }
                 }
                 let mut arr_words = Vec::new();
@@ -1078,8 +1734,19 @@ impl<'c> EngineCore<'c> {
                         buf
                     })
                     .collect();
+                // 1-bit constants the packed domain consumes transpose
+                // once here — the bytecode never re-packs an immutable
+                // value.
+                let mut packed_buf = vec![0u64; prog.packed_words];
+                for &(off, slot) in &prog.const_packs {
+                    for l in 0..lanes {
+                        let bit = arena[l * aw + off as usize] & 1;
+                        packed_buf[slot as usize + l / 64] |= bit << (l % 64);
+                    }
+                }
                 Mutex::new(LaneTile {
                     arena,
+                    packed: packed_buf,
                     reg_cur,
                     arrays,
                     aw,
@@ -1101,10 +1768,12 @@ impl<'c> EngineCore<'c> {
             tiles,
             channels,
             mail_words,
-            inputs: RwLock::new(vec![0u64; input_words as usize * lanes]),
+            inputs: RwLock::new(vec![0u64; input_total_words]),
             input_stride: input_words as usize,
             lanes,
+            pw,
             active: RwLock::new((0..lanes as u32).collect()),
+            retired: RwLock::new(vec![0u64; pw]),
             phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
             gate: Barrier::new(worker_count + 1),
             done: Barrier::new(worker_count + 1),
@@ -1147,6 +1816,7 @@ impl<'c> EngineCore<'c> {
             output_home,
             outputs_by_tile,
             input_off,
+            input_packed,
             input_by_name,
             output_by_name,
             onchip_mailboxes,
@@ -1157,6 +1827,11 @@ impl<'c> EngineCore<'c> {
 
     pub(crate) fn lanes(&self) -> usize {
         self.shared.lanes
+    }
+
+    /// Whether 1-bit state runs bit-packed across lanes.
+    pub(crate) fn is_packed(&self) -> bool {
+        self.shared.pw > 0
     }
 
     pub(crate) fn tiles(&self) -> usize {
@@ -1197,6 +1872,11 @@ impl<'c> EngineCore<'c> {
         if let Ok(i) = active.binary_search(&(lane as u32)) {
             active.remove(i);
             self.retired_at[lane] = Some(self.cycle);
+            if self.shared.pw > 0 {
+                // Packed commits/sends blend through this mask so the
+                // retired lane's packed bits freeze.
+                self.shared.retired.write().unwrap()[lane / 64] |= 1u64 << (lane % 64);
+            }
         }
     }
 
@@ -1208,23 +1888,47 @@ impl<'c> EngineCore<'c> {
         self.retired_at[lane].unwrap_or(self.cycle)
     }
 
-    /// Drives input `id` in one lane (held until changed).
+    /// Absolute word offset of packed input `i`'s block in the input
+    /// buffer.
+    fn packed_input_base(&self, i: usize) -> usize {
+        self.shared.input_stride * self.shared.lanes + self.input_off[i] as usize * self.shared.pw
+    }
+
+    /// Drives input `id` in one lane (held until changed). Packed 1-bit
+    /// inputs take the bit-scatter path: one bit of the packed block.
     pub(crate) fn set_input_lane(&mut self, id: InputId, lane: usize, value: &Bits) {
         let decl = &self.circuit.inputs[id.index()];
         assert_eq!(decl.width, value.width(), "input {} width", decl.name);
         assert!(lane < self.shared.lanes, "lane {lane} out of range");
-        let off = lane * self.shared.input_stride + self.input_off[id.index()] as usize;
         let mut inputs = self.shared.inputs.write().unwrap();
+        if self.input_packed[id.index()] {
+            let w = &mut inputs[self.packed_input_base(id.index()) + lane / 64];
+            let bit = value.words()[0] & 1;
+            *w = (*w & !(1u64 << (lane % 64))) | (bit << (lane % 64));
+            return;
+        }
+        let off = lane * self.shared.input_stride + self.input_off[id.index()] as usize;
         inputs[off..off + value.words().len()].copy_from_slice(value.words());
     }
 
-    /// Drives input `id` identically in every lane.
+    /// Drives input `id` identically in every lane (bit broadcast for
+    /// packed 1-bit inputs).
     pub(crate) fn set_input_all(&mut self, id: InputId, value: &Bits) {
         let decl = &self.circuit.inputs[id.index()];
         assert_eq!(decl.width, value.width(), "input {} width", decl.name);
+        let mut inputs = self.shared.inputs.write().unwrap();
+        if self.input_packed[id.index()] {
+            let base = self.packed_input_base(id.index());
+            let word = if value.words()[0] & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+            inputs[base..base + self.shared.pw].fill(word);
+            return;
+        }
         let base = self.input_off[id.index()] as usize;
         let stride = self.shared.input_stride;
-        let mut inputs = self.shared.inputs.write().unwrap();
         for l in 0..self.shared.lanes {
             let off = l * stride + base;
             inputs[off..off + value.words().len()].copy_from_slice(value.words());
@@ -1238,13 +1942,19 @@ impl<'c> EngineCore<'c> {
             .unwrap_or_else(|| panic!("no input {name}"))
     }
 
-    /// The current value of a register in `lane`.
+    /// The current value of a register in `lane` (bit gather for packed
+    /// 1-bit registers).
     pub(crate) fn reg_value_lane(&self, id: parendi_rtl::RegId, lane: usize) -> Bits {
         let r = &self.circuit.regs[id.index()];
         let home = self.reg_home[id.index()];
         assert!(home.tile != u32::MAX, "register {} has no producer", r.name);
         assert!(lane < self.shared.lanes, "lane {lane} out of range");
         let tile = self.shared.tiles[home.tile as usize].lock().unwrap();
+        if home.packed {
+            let base = tile.rw * self.shared.lanes + home.off as usize * self.shared.pw;
+            let bit = (tile.reg_cur[base + lane / 64] >> (lane % 64)) & 1;
+            return Bits::from_u64(1, bit);
+        }
         let off = lane * tile.rw + home.off as usize;
         Bits::from_words(r.width, &tile.reg_cur[off..off + home.words as usize])
     }
@@ -1553,10 +2263,22 @@ fn cycle_loop<L: LaneSet>(
     let any_off = mine.iter().any(|&pi| shared.programs[pi].has_offchip());
     // Modeled link nanoseconds per flushed word (the spin knob converted
     // into wall time so the transfer can be scheduled asynchronously).
-    let link_ns_per_word = if any_off && spin > 0 {
-        spin as f64 * ns_per_spin() * lanes.count() as f64
+    // Strided words cross once per active lane; packed words already
+    // carry 64 lanes each and cross once.
+    let spin_ns = if any_off && spin > 0 {
+        spin as f64 * ns_per_spin()
     } else {
         0.0
+    };
+    let pw = shared.pw;
+    // The packed retire mask is stable for the whole run (finish_lane
+    // needs `&mut` on the facade, which run_inner holds). All-live
+    // gangs pass the empty slice so the packed hot path pays nothing.
+    let retired = shared.retired.read().unwrap();
+    let mask: &[u64] = if retired.iter().any(|&m| m != 0) {
+        &retired
+    } else {
+        &[]
     };
     for c in start..start + cycles {
         let mut mark = timed.then(Instant::now);
@@ -1575,6 +2297,8 @@ fn cycle_loop<L: LaneSet>(
                 &shared.mail_words,
                 lanes,
                 c,
+                pw,
+                mask,
             );
             if let Some(m) = mark {
                 // Timestamps chain tile to tile: one clock read per
@@ -1590,9 +2314,20 @@ fn cycle_loop<L: LaneSet>(
                 // reader until after barrier 1, so copying now is legal
                 // and lets the modeled transfer overlap the remaining
                 // tiles' compute.
-                offchip_flush(prog, guard, &shared.channels, &shared.mail_words, lanes, c);
-                if link_ns_per_word > 0.0 {
-                    let ns = (prog.offchip_words as f64 * link_ns_per_word) as u64;
+                offchip_flush(
+                    prog,
+                    guard,
+                    &shared.channels,
+                    &shared.mail_words,
+                    lanes,
+                    c,
+                    pw,
+                    mask,
+                );
+                if spin_ns > 0.0 {
+                    let words = prog.offchip_words as f64 * lanes.count() as f64
+                        + prog.offchip_packed_words as f64;
+                    let ns = (words * spin_ns) as u64;
                     let now = Instant::now();
                     let base = link_due.map_or(now, |d| d.max(now));
                     link_due = Some(base + Duration::from_nanos(ns));
@@ -1727,6 +2462,7 @@ mod tests {
     fn scratch_tile(lanes: usize, astride: usize) -> LaneTile {
         LaneTile {
             arena: vec![0u64; lanes * astride],
+            packed: Vec::new(),
             reg_cur: Vec::new(),
             arrays: Vec::new(),
             aw: astride,
@@ -1862,6 +2598,7 @@ mod tests {
                         t: 0,
                         f: 1,
                         nw: 1,
+                        w: 1,
                     };
                     let setup = move |l: usize, arena: &mut [u64]| {
                         arena.fill(0);
@@ -2039,7 +2776,7 @@ mod tests {
         b.connect(r, m);
         let c = b.finish().unwrap();
         let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
-        let compiled = Compiled::new(&c, &comp.partition, 1);
+        let compiled = Compiled::new(&c, &comp.partition, 1, false);
         assert_eq!(compiled.programs.len(), 1);
         let got = compiled.programs[0].code.disasm();
         let want: Vec<String> = GOLDEN.iter().map(|s| s.to_string()).collect();
@@ -2055,6 +2792,231 @@ mod tests {
         "mul1 dst=6 a=5 b=4 w=32 aw=32",
         "wide[0] un Not",
         "slice1 dst=9 a=6 lo=0 w=8",
+    ];
+
+    /// Lowers one step with its operands seeded into the packed domain
+    /// and checks every lane of the result against [`eval_op`] on that
+    /// lane's strided block, asserting the strided compute opcodes were
+    /// bypassed entirely (only transposes and packed ops may appear).
+    fn check_packed_step(
+        step: &Step,
+        setup: &dyn Fn(usize, &mut [u64]),
+        operands: &[u32],
+        dst: usize,
+        lanes: usize,
+    ) {
+        let plan = PackPlan {
+            pw: lanes.div_ceil(64) as u32,
+            preset_strided: operands.to_vec(),
+            const_strided: Vec::new(),
+            preset_packed: operands.to_vec(),
+            need_strided: vec![dst as u32],
+            need_packed: Vec::new(),
+        };
+        let lowered = Code::lower_packed(std::slice::from_ref(step), &plan);
+        for &opw in &lowered.code.ops {
+            let opc = (opw & 0xff) as u8;
+            assert!(
+                opc == op::PACK || opc == op::UNPACK || opc >= op::PNOT,
+                "packed lowering of {step:?} used strided opcode {opc}"
+            );
+        }
+        let astride = 16usize;
+        let mut tile = scratch_tile(lanes, astride);
+        tile.packed = vec![0u64; lowered.packed_words];
+        let mut expect = vec![0u64; astride];
+        for l in 0..lanes {
+            setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
+        }
+        exec_code(
+            &lowered.code,
+            &mut tile,
+            &[],
+            0,
+            &[],
+            &[],
+            0,
+            AllLanes(lanes),
+        );
+        for l in 0..lanes {
+            setup(l, &mut expect);
+            eval_op(&mut expect, step);
+            assert_eq!(
+                tile.arena[l * astride + dst],
+                expect[dst],
+                "lane {l}/{lanes} diverged from eval_op on {step:?}"
+            );
+        }
+    }
+
+    /// Every packed opcode and alias — the 12 packable binary ops, the
+    /// 1-bit `Ashr` identity, `Not`, the unary identities, and the
+    /// packed mux — must agree with the slice-kernel evaluator in every
+    /// lane, at lane counts straddling one, two, and three packed
+    /// words. Lane-varying operand bits make stride/transpose bugs
+    /// unable to cancel.
+    #[test]
+    fn gang_packed_opcodes_match_slice_kernels_exhaustively() {
+        let bins = [
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::LtU,
+            BinOp::LtS,
+            BinOp::LeU,
+            BinOp::LeS,
+            BinOp::Ashr,
+        ];
+        // Four lane-bit patterns per operand pair so every truth-table
+        // row appears in every word of the packed block.
+        let pat = |l: usize, k: usize| -> u64 { ((l >> k) & 1) as u64 };
+        for &lanes in &[1usize, 63, 64, 65, 130] {
+            for opv in bins {
+                let step = Step::Bin {
+                    op: opv,
+                    dst: 4,
+                    a: 0,
+                    b: 1,
+                    w: 1,
+                    aw: 1,
+                    anw: 1,
+                    bnw: 1,
+                };
+                let setup = move |l: usize, arena: &mut [u64]| {
+                    arena.fill(0);
+                    arena[0] = pat(l, 0);
+                    arena[1] = pat(l, 1);
+                };
+                check_packed_step(&step, &setup, &[0, 1], 4, lanes);
+            }
+            for opv in [
+                UnOp::Not,
+                UnOp::Neg,
+                UnOp::RedAnd,
+                UnOp::RedOr,
+                UnOp::RedXor,
+            ] {
+                let step = Step::Un {
+                    op: opv,
+                    dst: 4,
+                    a: 0,
+                    w: 1,
+                    aw: 1,
+                    anw: 1,
+                };
+                let setup = move |l: usize, arena: &mut [u64]| {
+                    arena.fill(0);
+                    arena[0] = pat(l, 0) ^ pat(l, 2);
+                };
+                check_packed_step(&step, &setup, &[0], 4, lanes);
+            }
+            {
+                let step = Step::Mux {
+                    dst: 4,
+                    sel: 2,
+                    t: 0,
+                    f: 1,
+                    nw: 1,
+                    w: 1,
+                };
+                let setup = move |l: usize, arena: &mut [u64]| {
+                    arena.fill(0);
+                    arena[0] = pat(l, 0);
+                    arena[1] = pat(l, 1);
+                    arena[2] = pat(l, 2);
+                };
+                check_packed_step(&step, &setup, &[0, 1, 2], 4, lanes);
+            }
+            // The 1-bit widening identities alias the packed slot.
+            for signed in [false, true] {
+                let step = if signed {
+                    Step::Sext {
+                        dst: 4,
+                        a: 0,
+                        aw: 1,
+                        w: 1,
+                        anw: 1,
+                    }
+                } else {
+                    Step::Zext {
+                        dst: 4,
+                        a: 0,
+                        w: 1,
+                        anw: 1,
+                    }
+                };
+                let setup = move |l: usize, arena: &mut [u64]| {
+                    arena.fill(0);
+                    arena[0] = pat(l, 1);
+                };
+                check_packed_step(&step, &setup, &[0], 4, lanes);
+            }
+            {
+                let step = Step::Slice {
+                    dst: 4,
+                    a: 0,
+                    lo: 0,
+                    w: 1,
+                    anw: 1,
+                };
+                let setup = move |l: usize, arena: &mut [u64]| {
+                    arena.fill(0);
+                    arena[0] = pat(l, 2);
+                };
+                check_packed_step(&step, &setup, &[0], 4, lanes);
+            }
+        }
+    }
+
+    /// A mixed strided/packed program must insert the transpose
+    /// boundaries exactly where the domains meet, and nowhere else —
+    /// pinned by golden disassembly of a real compiled program with a
+    /// packed register, a packed input, a strided 1-bit source feeding
+    /// the packed domain (PACK), and a packed net feeding a wide op and
+    /// an output (UNPACK).
+    #[test]
+    fn gang_packed_golden_program_lowering() {
+        let mut b = Builder::new("golden_packed");
+        let x = b.input("x", 1); // packed input
+        let y = b.input("y", 32); // strided input
+        let r = b.reg("v", 1, 1); // packed register
+        let n = b.and(x, r.q()); // packed AND
+        let o = b.red_or(y); // strided 1-bit source
+        let m = b.or(n, o); // PACK boundary on `o`, packed OR
+        let z = b.mux(m, y, y); // wide mux: sel must UNPACK
+        b.output("z", z);
+        b.connect(r, m); // packed commit
+        let c = b.finish().unwrap();
+        let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
+        let compiled = Compiled::new(&c, &comp.partition, 96, true);
+        assert_eq!(compiled.programs.len(), 1);
+        let prog = &compiled.programs[0];
+        let got = prog.code.disasm();
+        let want: Vec<String> = GOLDEN_PACKED.iter().map(|s| s.to_string()).collect();
+        assert_eq!(got, want, "golden packed opcode stream changed");
+        // The packed register commit reads the packed slot of `m`.
+        assert_eq!(prog.packed_commits.len(), 1);
+        assert!(prog.commits.is_empty(), "1-bit reg must commit packed");
+    }
+
+    /// The expected stream for `gang_packed_golden_program_lowering` at 96
+    /// lanes (`pw = 2`). Update deliberately when the lowering or node
+    /// ordering changes.
+    const GOLDEN_PACKED: &[&str] = &[
+        "pinput pdst=0 src=96 pw=2",
+        "input dst=1 src=0 nw=1",
+        "pregown pdst=2 src=0 pw=2",
+        "pand pdst=4 pa=0 pb=2 pw=2",
+        "redor1 dst=4 a=1 w=1 aw=32",
+        "pack pdst=6 src=4",
+        "por pdst=8 pa=4 pb=6 pw=2",
+        "unpack dst=5 psrc=8",
+        "mux1 dst=6 sel=5 t=1 f=1",
     ];
 
     /// The tree-combining phase barrier must stay correct past the flat

@@ -85,8 +85,38 @@ impl<'c> GangSimulator<'c> {
     /// Panics if `threads` or `lanes` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize, lanes: usize) -> Self {
         GangSimulator {
-            core: EngineCore::new(circuit, partition, threads, lanes),
+            core: EngineCore::new(circuit, partition, threads, lanes, false),
         }
+    }
+
+    /// Like [`new`](Self::new), but with **bit-packed 1-bit lanes**: at
+    /// compile time every net, register, and input is classified by
+    /// width, and 1-bit values are laid out bit-packed across lanes —
+    /// 64 scenarios per `u64` word (`ceil(lanes / 64)` lane-major words
+    /// beyond 64) — so the bitwise kernels advance 64 lanes per machine
+    /// op. Multi-bit state stays lane-strided; explicit pack/unpack
+    /// transposes bridge the two domains. Functionally bit-identical to
+    /// the strided gang in every lane; per-lane I/O on 1-bit state takes
+    /// bit gather/scatter paths. The win grows with the design's 1-bit
+    /// control density and the lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `lanes` is zero.
+    pub fn new_packed(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        lanes: usize,
+    ) -> Self {
+        GangSimulator {
+            core: EngineCore::new(circuit, partition, threads, lanes, true),
+        }
+    }
+
+    /// Whether this gang runs 1-bit state bit-packed across lanes.
+    pub fn is_packed(&self) -> bool {
+        self.core.is_packed()
     }
 
     /// Number of completed RTL cycles (identical across lanes — lanes
