@@ -9,11 +9,14 @@
 //! environment.
 //!
 //! Baselines: every `*.json` in the crate's `baselines/` directory
-//! (currently `pre_pr4.json`, the pre-unification engine, and
-//! `post_pr5.json`, the packed-lane engine), or a single file named by
+//! (currently `pre_pr4.json`, the pre-unification engine,
+//! `post_pr5.json`, the packed-lane engine, and `post_pr6.json`, the
+//! SIMD/word-interleaved engine), or a single file named by
 //! `$PARENDI_BASELINE`. Rows match on `(bin, design, engine, packed,
-//! lanes, threads)`; rows present on only one side are skipped, so
-//! quick-mode sweeps and new columns never trip the gate.
+//! simd, lanes, threads)` — the `simd` tag is empty on strided rows
+//! and on pre-PR6 baselines, so old baselines keep gating the strided
+//! columns; rows present on only one side are skipped, so quick-mode
+//! sweeps and new columns never trip the gate.
 //!
 //! Tolerance: 25% by default, `$PARENDI_BENCH_TOLERANCE` overrides
 //! (fractional, e.g. `0.4` for noisy shared runners). The comparison
@@ -98,6 +101,7 @@ fn main() {
                     && f.design == b.design
                     && f.engine == b.engine
                     && f.packed == b.packed
+                    && f.simd == b.simd
                     && f.lanes == b.lanes
                     && f.threads == b.threads
             })

@@ -110,6 +110,7 @@ fn main() {
             "prng64",
             "bsp",
             false,
+            "",
             1,
             threads as u32,
         );
@@ -140,7 +141,8 @@ fn main() {
     }
     if let Some(base) = &base {
         for r in &records {
-            if let Some(b) = baseline_rate(base, "fig04", "prng64", "bsp", false, 1, r.threads) {
+            if let Some(b) = baseline_rate(base, "fig04", "prng64", "bsp", false, "", 1, r.threads)
+            {
                 println!(
                     "prng64 bsp threads={}: pre-PR {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
                     r.threads,

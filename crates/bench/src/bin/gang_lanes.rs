@@ -1,18 +1,21 @@
 //! Gang lane sweep: aggregate scenario throughput of the gang engine —
-//! lane-strided **and bit-packed** — vs the single-scenario BSP engine,
-//! over one compiled partition.
+//! lane-strided, **bit-packed**, and **word-interleaved SIMD** — vs the
+//! single-scenario BSP engine, over one compiled partition.
 //!
-//! The gang engine runs L independent stimulus lanes in lockstep with
-//! lane-strided state, so each dispatched bytecode instruction is
-//! amortized L ways. Packed mode goes one dimension further on exactly
-//! the nets that dominate control-heavy designs: 1-bit values are
-//! bit-packed across lanes (64 scenarios per `u64` word), so a single
-//! bitwise op advances 64 lanes. This bin sweeps L up to 256 lanes on
-//! the control-dominated corpus designs and prints **aggregate
-//! lane-cycles/sec** for the strided and packed engines side by side —
-//! the acceptance criterion is that the packed aggregate keeps rising
-//! (superlinearly vs strided) at 64+ lanes, hundreds of scenarios per
-//! tile dispatch.
+//! The gang engine runs L independent stimulus lanes in lockstep, so
+//! each dispatched bytecode instruction is amortized L ways. Packed
+//! mode goes one dimension further on exactly the nets that dominate
+//! control-heavy designs: 1-bit values are bit-packed across lanes (64
+//! scenarios per `u64` word), so a single bitwise op advances 64 lanes.
+//! The SIMD column interleaves the multi-bit arenas word-major instead
+//! (`word × lane` rows), so each fused opcode runs a vector kernel
+//! (AVX2/NEON, runtime-detected) over dense lane chunks. This bin
+//! sweeps L up to 256 lanes on the corpus designs — including the sr
+//! mesh — and prints **aggregate lane-cycles/sec** for all three
+//! engines side by side; the acceptance criteria are that the packed
+//! aggregate keeps rising superlinearly vs strided at 64+ lanes, and
+//! that the word-interleaved column beats lane-major strided where the
+//! multi-bit datapath dominates.
 //!
 //! Throughput comes from *untimed* `run` calls (best of three reps, no
 //! per-cycle clock reads); the phase split in the JSON comes from one
@@ -76,6 +79,7 @@ fn measure(rec: &mut BenchRecord, run: &mut dyn FnMut(bool) -> parendi_sim::BspP
         best = best.min(run(false).total_s);
     }
     let ph = run(true);
+    let simd = std::mem::take(&mut rec.simd);
     *rec = BenchRecord::from_phases(
         &rec.bin,
         rec.design.clone(),
@@ -89,6 +93,7 @@ fn measure(rec: &mut BenchRecord, run: &mut dyn FnMut(bool) -> parendi_sim::BspP
         rec.cycles as f64 / best,
         &ph,
     );
+    rec.simd = simd;
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -108,8 +113,15 @@ fn sweep_design(
         "\n== {key} ({tiles_used} tiles, {chips} chips, {threads} threads, {cycles} cycles) =="
     );
     println!(
-        "{:>6} {:>14} {:>14} {:>9} {:>9} {:>9}",
-        "lanes", "strided kc/s", "packed kc/s", "pack/str", "vs 1-lane", "vs base"
+        "{:>6} {:>13} {:>13} {:>13} {:>8} {:>8} {:>9} {:>9}",
+        "lanes",
+        "strided kc/s",
+        "packed kc/s",
+        "simd kc/s",
+        "pack/str",
+        "simd/str",
+        "vs 1-lane",
+        "vs base"
     );
     let template = |engine: &str, lanes: u32, packed: bool| BenchRecord {
         bin: BIN.into(),
@@ -145,33 +157,63 @@ fn sweep_design(
         key,
         "bsp",
         false,
+        "",
         1,
         threads as u32,
     );
     println!(
-        "{:>6} {:>14.1} {:>14} {:>9} {:>9} {:>9} (single-scenario BspSimulator)",
+        "{:>6} {:>13.1} {:>13} {:>13} {:>8} {:>8} {:>9} {:>9} (single-scenario BspSimulator)",
         1,
         rec.lane_cycles_per_s / 1e3,
         "-",
         "-",
         "-",
+        "-",
         vs_baseline_cell(rec.lane_cycles_per_s, vs),
+        "-",
     );
     let single_rate = rec.lane_cycles_per_s;
     out.push(rec);
 
     for lanes in lane_sweep() {
-        // Strided and packed gangs over the identical partition: the
-        // packed-vs-strided column is the PR's acceptance metric.
-        let mut measured = [0.0f64; 2];
-        for (pi, &packed) in [false, true].iter().enumerate() {
+        // Three gangs over the identical partition: lane-major strided
+        // (scalar kernels), bit-packed, and word-interleaved (the SIMD
+        // vector kernels over dense lane rows). pack/str and simd/str
+        // are the acceptance metrics of their respective PRs.
+        let mut measured = [f64::NAN; 3];
+        for (pi, &(packed, word_major)) in [(false, false), (true, false), (false, true)]
+            .iter()
+            .enumerate()
+        {
+            if word_major && lanes < 2 {
+                continue; // single-lane engines are always lane-major
+            }
             let mut rec = template("gang", lanes as u32, packed);
             {
-                let mut gang = if packed {
+                let mut gang = if word_major {
+                    GangSimulator::with_layout(
+                        circuit,
+                        &comp.partition,
+                        threads,
+                        lanes,
+                        packed,
+                        true,
+                    )
+                } else if packed {
                     GangSimulator::new_packed(circuit, &comp.partition, threads, lanes)
                 } else {
-                    GangSimulator::new(circuit, &comp.partition, threads, lanes)
+                    GangSimulator::with_layout(
+                        circuit,
+                        &comp.partition,
+                        threads,
+                        lanes,
+                        false,
+                        false,
+                    )
                 };
+                if word_major {
+                    rec.simd = gang.simd().into();
+                }
                 gang.run(30);
                 measure(&mut rec, &mut |timed| {
                     if timed {
@@ -187,22 +229,39 @@ fn sweep_design(
             measured[pi] = rec.lane_cycles_per_s;
             out.push(rec);
         }
-        let [strided, packed] = measured;
+        let [strided, packed, simd] = measured;
         let vs = baseline_rate(
             base.unwrap_or(&[]),
             BIN,
             key,
             "gang",
             false,
+            "",
             lanes as u32,
             threads as u32,
         );
+        let cell = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}", v / 1e3)
+            }
+        };
+        let ratio = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.2}x", v / strided.max(1e-12))
+            }
+        };
         println!(
-            "{:>6} {:>14.1} {:>14.1} {:>8.2}x {:>8.2}x {:>9}",
+            "{:>6} {:>13.1} {:>13} {:>13} {:>8} {:>8} {:>8.2}x {:>9}",
             lanes,
             strided / 1e3,
-            packed / 1e3,
-            packed / strided.max(1e-12),
+            cell(packed),
+            cell(simd),
+            ratio(packed),
+            ratio(simd),
             packed / single_rate.max(1e-12),
             vs_baseline_cell(strided, vs),
         );
@@ -335,11 +394,16 @@ fn main() {
         // The PR acceptance lines, side by side with the baseline.
         for r in records.iter().filter(|r| r.engine == "gang" && !r.packed) {
             if let Some(b) = baseline_rate(
-                base, BIN, &r.design, &r.engine, r.packed, r.lanes, r.threads,
+                base, BIN, &r.design, &r.engine, r.packed, &r.simd, r.lanes, r.threads,
             ) {
                 println!(
-                    "{} gang lanes={} threads={}: base {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
+                    "{} gang{} lanes={} threads={}: base {:>9.1} kcyc/s -> now {:>9.1} kcyc/s ({})",
                     r.design,
+                    if r.simd.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (simd {})", r.simd)
+                    },
                     r.lanes,
                     r.threads,
                     b / 1e3,

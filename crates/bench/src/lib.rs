@@ -54,6 +54,12 @@ pub struct BenchRecord {
     /// Whether the gang ran with bit-packed 1-bit lanes (absent in
     /// pre-PR5 baselines, parsed as `false`).
     pub packed: bool,
+    /// Vector-ISA column tag: empty for lane-major strided rows (and
+    /// for pre-PR6 baselines, where the field is absent), the engine's
+    /// ISA name (`avx2`, `neon`, `scalar`) for word-interleaved SIMD
+    /// rows. Part of the row key, so a SIMD row never gates against a
+    /// strided baseline.
+    pub simd: String,
     /// Chips the partition spans.
     pub chips: u32,
     /// Tiles used.
@@ -103,6 +109,7 @@ impl BenchRecord {
             design: design.into(),
             engine: engine.into(),
             packed,
+            simd: String::new(),
             chips,
             tiles,
             lanes,
@@ -122,8 +129,8 @@ impl BenchRecord {
     /// string fields stay within `[A-Za-z0-9_ .-]`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"bin\":\"{}\",\"design\":\"{}\",\"engine\":\"{}\",\"packed\":{},\"chips\":{},\
-             \"tiles\":{},\
+            "{{\"bin\":\"{}\",\"design\":\"{}\",\"engine\":\"{}\",\"packed\":{},\"simd\":\"{}\",\
+             \"chips\":{},\"tiles\":{},\
              \"lanes\":{},\"threads\":{},\"cycles\":{},\"cycles_per_s\":{:.1},\
              \"lane_cycles_per_s\":{:.1},\"compute_s\":{:.9},\"offchip_s\":{:.9},\
              \"exchange_s\":{:.9},\"overlap_s\":{:.9},\"total_s\":{:.9}}}",
@@ -131,6 +138,7 @@ impl BenchRecord {
             self.design,
             self.engine,
             self.packed,
+            self.simd,
             self.chips,
             self.tiles,
             self.lanes,
@@ -195,6 +203,8 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
                 "engine" => r.engine = s,
                 // Absent in pre-PR5 baselines: stays `false` (strided).
                 "packed" => r.packed = v == "true",
+                // Absent in pre-PR6 baselines: stays empty (lane-major).
+                "simd" => r.simd = s,
                 "chips" => r.chips = n as u32,
                 "tiles" => r.tiles = n as u32,
                 "lanes" => r.lanes = n as u32,
@@ -227,7 +237,11 @@ pub fn load_baseline() -> Option<Vec<BenchRecord>> {
 }
 
 /// The baseline aggregate rate for a `(bin, design, engine, packed,
-/// lanes, threads)` row, if the baseline has it.
+/// simd, lanes, threads)` row, if the baseline has it. The `simd` tag
+/// is an exact key component: strided rows (and pre-PR6 baselines)
+/// carry the empty tag, so old baselines keep matching strided rows
+/// while word-interleaved SIMD rows only gate against a baseline that
+/// measured the same ISA.
 #[allow(clippy::too_many_arguments)]
 pub fn baseline_rate(
     base: &[BenchRecord],
@@ -235,6 +249,7 @@ pub fn baseline_rate(
     design: &str,
     engine: &str,
     packed: bool,
+    simd: &str,
     lanes: u32,
     threads: u32,
 ) -> Option<f64> {
@@ -244,6 +259,7 @@ pub fn baseline_rate(
                 && r.design == design
                 && r.engine == engine
                 && r.packed == packed
+                && r.simd == simd
                 && r.lanes == lanes
                 && r.threads == threads
         })
@@ -263,7 +279,7 @@ pub fn bench_tolerance() -> f64 {
 
 /// Compares fresh bench records against a baseline and returns one
 /// human-readable line per **regression**: a `(bin, design, engine,
-/// packed, lanes, threads)` row present in both sets whose fresh
+/// packed, simd, lanes, threads)` row present in both sets whose fresh
 /// `lane_cycles_per_s` fell below `baseline × (1 - tolerance)`.
 /// Baseline rows missing from `fresh` are ignored (sweeps may shrink in
 /// quick mode), as are fresh rows with no baseline (new columns).
@@ -281,19 +297,24 @@ pub fn check_regressions(
             continue;
         }
         let Some(f) = baseline_rate(
-            fresh, &b.bin, &b.design, &b.engine, b.packed, b.lanes, b.threads,
+            fresh, &b.bin, &b.design, &b.engine, b.packed, &b.simd, b.lanes, b.threads,
         ) else {
             continue;
         };
         let floor = b.lane_cycles_per_s * (1.0 - tolerance);
         if f < floor {
             failures.push(format!(
-                "{}/{} engine={}{} lanes={} threads={}: {:.1} kcyc/s < floor {:.1} \
+                "{}/{} engine={}{}{} lanes={} threads={}: {:.1} kcyc/s < floor {:.1} \
                  (baseline {:.1}, {:+.1}%)",
                 b.bin,
                 b.design,
                 b.engine,
                 if b.packed { " (packed)" } else { "" },
+                if b.simd.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (simd {})", b.simd)
+                },
                 b.lanes,
                 b.threads,
                 f / 1e3,
@@ -596,6 +617,35 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert!(!parsed[0].packed, "absent packed field parses as strided");
         assert_eq!(parsed[0].lane_cycles_per_s, 4000.0);
+    }
+
+    /// The `simd` tag survives a JSON round-trip, records without it
+    /// (pre-PR6 baselines) parse as the empty strided tag, and the tag
+    /// is part of the regression key — a SIMD row never gates against a
+    /// strided baseline, or against a different ISA.
+    #[test]
+    fn simd_field_round_trips_and_keys_rows() {
+        let mut r = rec("sr3", "gang", false, 64, 2.0e6);
+        r.simd = "avx2".into();
+        let parsed = parse_bench_json(&bench_records_json(std::slice::from_ref(&r)));
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].simd, "avx2");
+        // A pre-PR6 row without the field parses as strided.
+        let old = "[{\"bin\":\"gang_lanes\",\"design\":\"sr3\",\"engine\":\"gang\",\
+                    \"packed\":false,\"lanes\":64,\"threads\":1,\
+                    \"lane_cycles_per_s\":4000.0}]";
+        assert!(parse_bench_json(old)[0].simd.is_empty());
+        // Key separation: a slow SIMD row must not trip a strided
+        // baseline (different key), while a matching SIMD row must.
+        let base = vec![rec("sr3", "gang", false, 64, 2.0e6)];
+        let mut slow = rec("sr3", "gang", false, 64, 10.0);
+        slow.simd = "avx2".into();
+        assert!(check_regressions(std::slice::from_ref(&slow), &base, 0.25).is_empty());
+        let mut simd_base = rec("sr3", "gang", false, 64, 2.0e6);
+        simd_base.simd = "avx2".into();
+        let failures = check_regressions(std::slice::from_ref(&slow), &[simd_base], 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("simd avx2"), "{}", failures[0]);
     }
 
     #[test]

@@ -158,8 +158,17 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Panics if `threads` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize) -> Self {
+        // A single-lane engine is always lane-major: the layouts
+        // coincide at one lane and the scalar kernels are optimal.
         BspSimulator {
-            core: EngineCore::new(circuit, partition, threads, 1, false),
+            core: EngineCore::new(
+                circuit,
+                partition,
+                threads,
+                1,
+                false,
+                crate::engine::LayoutChoice::LaneMajor,
+            ),
         }
     }
 

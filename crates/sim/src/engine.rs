@@ -14,8 +14,38 @@
 //!   as the cold multi-word side table: `build_program` lowers every
 //!   step program into the flat fused bytecode of [`crate::exec::Code`]
 //!   (struct-of-arrays opcode/operand words, dedicated single-word
-//!   opcodes, peephole-coalesced block copies) that the one hot loop
-//!   executes;
+//!   opcodes, peephole-coalesced block copies, and the deeper
+//!   adjacent-pair fusion of shift-then-mask and 2-to-1 mux chains)
+//!   that the one hot loop executes. Set `PARENDI_CODE_STATS=1` to dump
+//!   the opcode/width and adjacent-pair histograms of a compile — the
+//!   data fusion and SIMD-coverage decisions are made from;
+//!
+//! # Strided lane layouts
+//!
+//! Multi-bit state carries its `lanes` scenarios in one of **two
+//! strided arena layouts**, chosen per engine by [`LayoutChoice`] at
+//! [`Compiled::new`] time and threaded through the hot loop as a
+//! compile-time type parameter (`crate::exec::Layout`):
+//!
+//! * **lane-major** (`word w` of lane `l` at `l * stride + w`): each
+//!   lane's block is contiguous, so per-lane I/O and the multi-word
+//!   fallback read natural slices; the fused single-word kernels walk
+//!   the arena at `stride`-word steps.
+//! * **word-interleaved** (`w * lanes + l`): the same logical word of
+//!   *all* lanes is one dense row, so a fused opcode processes a whole
+//!   lane chunk with one vector kernel ([`crate::simd`]) — the layout
+//!   the SIMD sweeps want. Copies and commits become per-word row
+//!   copies; multi-word (`WIDE`) steps gather one lane's operand words
+//!   into a scratch block, run the slice kernels, and scatter the
+//!   destination back.
+//!
+//! The transpose rules: **arrays always stay lane-major** (array
+//! traffic is index-scattered, never row-dense), the **packed 1-bit
+//! domain** below is layout-invariant (its `PACK`/`UNPACK` boundaries
+//! read/write the strided arena through the layout), and **mailbox
+//! strided sections** follow the engine's layout while packed tails
+//! and port records are absolute. Single-lane engines are always
+//! lane-major (the layouts coincide at one lane).
 //!
 //! # Packed 1-bit lanes
 //!
@@ -53,12 +83,13 @@
 //!   of truth for semantics at every width.
 
 use crate::exec::Code;
+use crate::simd::VecIsa;
 use parendi_core::routing::{ChannelClass, Routing, PORT_RECORD_HEADER_WORDS};
 use parendi_core::Partition;
 use parendi_rtl::bits::{top_word_mask, word, words_for};
 use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, UnOp};
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -540,11 +571,13 @@ pub(crate) fn worker_groups(tile_chip: &[u32], workers: usize) -> Vec<Vec<usize>
 /// input packing, and the mailbox fabric, all sized for `lanes`
 /// independent scenarios (the single-scenario engine passes 1).
 ///
-/// Every lane-carrying buffer is laid out **lane-major**: lane `l` owns
-/// the contiguous block `[l × words, (l + 1) × words)` of the
-/// single-lane layout, so per-lane values stay contiguous (the word
-/// kernels apply unchanged) while one dispatched step can sweep all
-/// lanes in a tight inner loop.
+/// Every lane-carrying buffer is laid out in one of two strided shapes
+/// (see the `exec` module docs): **lane-major** — lane `l` owns the
+/// contiguous block `[l × words, (l + 1) × words)` of the single-lane
+/// layout, so per-lane values stay contiguous and the word kernels
+/// apply unchanged — or **word-interleaved** (`word_major`), where each
+/// word's lane row `[off × lanes, (off + 1) × lanes)` is contiguous so
+/// the vector kernels load dense lane chunks.
 pub(crate) struct Compiled {
     pub programs: Vec<Program>,
     pub reg_home: Vec<RegHome>,
@@ -581,6 +614,48 @@ pub(crate) struct Compiled {
     /// Words per packed 1-bit net block: `ceil(lanes / 64)` in packed
     /// mode, 0 otherwise.
     pub pw: usize,
+    /// Whether strided lane-carrying buffers are word-interleaved.
+    pub word_major: bool,
+    /// The vector ISA the fused kernels dispatch to, detected once
+    /// here (`PARENDI_SIMD=0` forces the scalar fallback).
+    pub isa: VecIsa,
+}
+
+/// The strided memory layout requested of [`Compiled::new`]. `Auto`
+/// resolves from the `PARENDI_LANE_LAYOUT` env var (`word`/
+/// `interleaved` vs `lane`/`strided`) and otherwise interleaves gangs
+/// wide enough for the vector kernels to win. Single-lane engines are
+/// always lane-major (the layouts coincide at one lane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LayoutChoice {
+    /// Env override, then the lane-count heuristic.
+    Auto,
+    /// Force `[lane × words]` (the PR-5 layout).
+    LaneMajor,
+    /// Force `[word × lanes]` interleaving.
+    WordMajor,
+}
+
+impl LayoutChoice {
+    /// Resolves the choice for a `lanes`-wide gang.
+    fn word_major(self, lanes: usize) -> bool {
+        lanes >= 2
+            && match self {
+                LayoutChoice::LaneMajor => false,
+                LayoutChoice::WordMajor => true,
+                LayoutChoice::Auto => match std::env::var("PARENDI_LANE_LAYOUT").as_deref() {
+                    Ok("word") | Ok("interleaved") => true,
+                    Ok("lane") | Ok("strided") => false,
+                    // Measured crossover (`gang_lanes` simd/str
+                    // column, baselines/post_pr6.json): interleaving
+                    // already edges out lane-major at 4 lanes
+                    // (1.01-1.31x across the quick designs) and wins
+                    // decisively at 64 (2.4-5.7x), so interleave as
+                    // soon as a chunk fills a half vector register.
+                    _ => lanes >= 4,
+                },
+            }
+    }
 }
 
 /// Where a mailbox slot lives: lane-major strided section or the packed
@@ -655,8 +730,11 @@ impl Compiled {
         partition: &Partition,
         lanes: usize,
         packed: bool,
+        layout: LayoutChoice,
     ) -> Self {
         assert!(lanes >= 1, "need at least one lane");
+        let word_major = layout.word_major(lanes);
+        let isa = VecIsa::detect();
         let pw = if packed { lanes.div_ceil(64) } else { 0 };
         assert!(pw < 1 << 16, "lane count overflows the packed-word imm");
         let routing = Routing::new(circuit, partition);
@@ -867,13 +945,18 @@ impl Compiled {
                     MailSlot::Strided { ch, off } => {
                         let stride = mail_words[ch as usize] as usize;
                         for lane in 0..lanes {
-                            // SAFETY: construction is single-threaded and
-                            // offsets stay inside the lane-sized buffer.
-                            unsafe {
-                                let dst = channels[ch as usize]
-                                    .write_base(0)
-                                    .add(lane * stride + off as usize);
-                                std::ptr::copy_nonoverlapping(init.as_ptr(), dst, init.len());
+                            for (k, &w) in init.iter().enumerate() {
+                                let at = if word_major {
+                                    (off as usize + k) * lanes + lane
+                                } else {
+                                    lane * stride + off as usize + k
+                                };
+                                // SAFETY: construction is single-threaded
+                                // and offsets stay inside the lane-sized
+                                // buffer.
+                                unsafe {
+                                    *channels[ch as usize].write_base(0).add(at) = w;
+                                }
                             }
                         }
                     }
@@ -958,6 +1041,10 @@ impl Compiled {
             .map(|(i, o)| (o.name.clone(), i as u32))
             .collect();
 
+        if std::env::var("PARENDI_CODE_STATS").is_ok_and(|v| !v.is_empty() && v != "0") {
+            dump_code_stats(&circuit.name, &programs, lanes, packed, word_major, isa);
+        }
+
         Compiled {
             programs,
             reg_home,
@@ -977,7 +1064,46 @@ impl Compiled {
             onchip_mailboxes,
             tile_chip: routing.tile_chip,
             pw,
+            word_major,
+            isa,
         }
+    }
+}
+
+/// Dumps aggregate opcode/width and adjacent-pair histograms of every
+/// tile's bytecode to stderr — the `PARENDI_CODE_STATS` hook that
+/// fusion and SIMD-coverage decisions are made from.
+fn dump_code_stats(
+    name: &str,
+    programs: &[Program],
+    lanes: usize,
+    packed: bool,
+    word_major: bool,
+    isa: VecIsa,
+) {
+    let mut hist: BTreeMap<(&'static str, u32), u64> = BTreeMap::new();
+    let mut pairs: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
+    let mut ops = 0usize;
+    for prog in programs {
+        prog.code.histogram(&mut hist);
+        prog.code.pair_histogram(&mut pairs);
+        ops += prog.code.ops.len();
+    }
+    eprintln!(
+        "[code-stats] {name}: tiles={} ops={ops} lanes={lanes} packed={packed} layout={} simd={}",
+        programs.len(),
+        if word_major { "word" } else { "lane" },
+        isa.name(),
+    );
+    let mut by_count: Vec<_> = hist.into_iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for ((op, w), n) in by_count {
+        eprintln!("[code-stats]   {op:<10} w={w:<3} x{n}");
+    }
+    let mut by_count: Vec<_> = pairs.into_iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for ((x, y), n) in by_count.into_iter().take(16) {
+        eprintln!("[code-stats]   pair {x} -> {y} x{n}");
     }
 }
 

@@ -55,6 +55,33 @@
 //! (packed *scratch* values may keep changing, but are never read back
 //! for a retired lane).
 //!
+//! # Strided memory layout: lane-major vs word-interleaved
+//!
+//! The multi-bit ("strided") state of a gang — arena, register file,
+//! input buffer, and the strided mailbox sections — exists in one of
+//! two layouts, chosen per engine at compile time
+//! ([`crate::engine::LayoutChoice`], resolved in `Compiled::new`):
+//!
+//! * **lane-major** (`[lane × words]`): word `off` of lane `l` lives at
+//!   `l * stride + off` — each lane's block is contiguous, so one
+//!   lane's multi-word values are dense but a cross-lane sweep of one
+//!   word gathers at stride `stride`;
+//! * **word-interleaved** (`[word × lanes]`): word `off` of lane `l`
+//!   lives at `off * lanes + l` — the `lanes` copies of one word are
+//!   contiguous, so the per-opcode lane sweeps become dense vector
+//!   loops ([`crate::simd`]) at the cost of strided per-lane I/O.
+//!
+//! The layout is a type parameter ([`Layout`]: [`LaneMajor`] /
+//! [`WordMajor`]) of every phase function, so the hot loop is
+//! monomorphized per layout and the index arithmetic const-folds.
+//! Transpose rules: the **packed** 1-bit domain and the per-lane
+//! **array** copies are layout-invariant (packed blocks are already
+//! lane-transposed; array elements stay lane-major so one element's
+//! words stay contiguous), and the packed tails of the register file /
+//! input buffer / mailboxes keep their absolute offsets. `PACK` reads
+//! one bit per lane from either layout and `UNPACK` scatters back;
+//! only the strided sections between those boundaries re-shape.
+//!
 //! # The hot loop
 //!
 //! [`exec_code`] is the one loop both engines spend their cycles in:
@@ -64,6 +91,21 @@
 //! granularity by swapping the [`AllLanes`] lane set for a [`LaneList`]
 //! of the survivors — finished lanes' registers, arrays, and mailbox
 //! slots are simply never touched again, freezing their state.
+//!
+//! # Chunked lane sweeps and runtime SIMD dispatch
+//!
+//! Lane sets expose two iteration shapes: [`LaneSet::for_each`] (one
+//! call per lane — copies, transposes, per-lane gathers) and
+//! [`LaneSet::for_each_chunk`] (one call per maximal run of
+//! consecutive lanes). In the word-interleaved layout a chunk of a
+//! fused single-word opcode is a dense `&[u64]` map, dispatched to the
+//! vector kernels of [`crate::simd`]: AVX2 on x86_64 / NEON on aarch64
+//! when the CPU has them (detected **once** at engine build, stored as
+//! [`crate::simd::VecIsa`] in the shared state), an autovectorizable
+//! scalar chunk loop otherwise — so [`AllLanes`] sweeps 4–8 lanes per
+//! step while [`OneLane`] and sparse [`LaneList`]s keep cheap scalar
+//! paths. In the lane-major layout every fused opcode keeps the
+//! original strided scalar sweep regardless of ISA.
 //!
 //! # Flush/compute overlap
 //!
@@ -77,14 +119,16 @@
 
 use crate::bsp::{BspPhases, TilePhases};
 use crate::engine::{
-    bin1, eval_op, sext1, un1, worker_groups, ArrayHome, Compiled, Mailbox, OutputHome,
-    PhaseBarrier, PortSend, Program, RecSrc, RegHome, RegSend, Step,
+    bin1, eval_op, sext1, un1, worker_groups, ArrayHome, Compiled, LayoutChoice, Mailbox,
+    OutputHome, PhaseBarrier, PortSend, Program, RecSrc, RegHome, RegSend, Step,
 };
+use crate::simd::{vbin, vconcat, vmux, vsext, vslice, vun, vzext, VecIsa};
 use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
 use parendi_core::Partition;
 use parendi_rtl::bits::{top_word_mask, word, words_for, Bits};
 use parendi_rtl::{BinOp, Circuit, InputId, UnOp};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock, RwLock};
 use std::thread::JoinHandle;
@@ -179,6 +223,22 @@ pub(crate) mod op {
     /// Packed copy of a remote packed register (epoch `c`). `imm = pw`;
     /// args `pdst, ch, src` (`src` absolute into the channel buffer).
     pub const PCOPY_MAIL: u8 = 40;
+    // Deeper peephole fusions over the flat bytecode (see
+    // [`super::fuse_adjacent`]): each fused opcode writes *both*
+    // destinations of the pair it replaced, so no liveness analysis is
+    // needed — a later reader of the intermediate still finds it.
+    /// Fused shift-left-then-mask (`SHL1` + `ZEXT1`/zero-based
+    /// `SLICE1` of its result). `imm = w | aw << 7 | mw << 14`; args
+    /// `t, a, b, d`: `t = shl(a, b)` at width `w`, `d = t &
+    /// mask(mw)`.
+    pub const SHLM1: u8 = 41;
+    /// Fused shift-right-then-mask, shaped like [`SHLM1`].
+    pub const LSHRM1: u8 = 42;
+    /// Fused 2-to-1 mux chain (`MUX1` + `MUX1` consuming its result).
+    /// `imm` bit 0 = the first mux's value is the *false* side of the
+    /// second; args `t, sel1, a, b, d, sel2, c`: `t = sel1 ? a : b`,
+    /// `d = sel2 ? t : c` (bit 0 clear) or `d = sel2 ? c : t` (set).
+    pub const MUX2: u8 = 43;
 }
 
 fn un1_opc(o: UnOp) -> u8 {
@@ -241,6 +301,59 @@ pub(crate) fn argc(opc: u8) -> usize {
         op::PMUX => 4,
         op::PCOPY_REG | op::PCOPY_INPUT => 2,
         op::PCOPY_MAIL => 3,
+        op::SHLM1 | op::LSHRM1 => 4,
+        op::MUX2 => 7,
+        other => unreachable!("unknown opcode {other}"),
+    }
+}
+
+/// Stable mnemonic of an opcode (disassembly, histograms).
+pub(crate) fn opcode_name(opc: u8) -> &'static str {
+    match opc {
+        op::COPY_INPUT => "input",
+        op::COPY_REG => "regown",
+        op::COPY_MAIL => "regmail",
+        op::ARRAY_READ => "arrayread",
+        op::NOT1 => "not1",
+        op::NEG1 => "neg1",
+        op::REDAND1 => "redand1",
+        op::REDOR1 => "redor1",
+        op::REDXOR1 => "redxor1",
+        op::AND1 => "and1",
+        op::OR1 => "or1",
+        op::XOR1 => "xor1",
+        op::ADD1 => "add1",
+        op::SUB1 => "sub1",
+        op::MUL1 => "mul1",
+        op::EQ1 => "eq1",
+        op::NE1 => "ne1",
+        op::LTU1 => "ltu1",
+        op::LTS1 => "lts1",
+        op::LEU1 => "leu1",
+        op::LES1 => "les1",
+        op::SHL1 => "shl1",
+        op::LSHR1 => "lshr1",
+        op::ASHR1 => "ashr1",
+        op::MUX1 => "mux1",
+        op::SLICE1 => "slice1",
+        op::ZEXT1 => "zext1",
+        op::SEXT1 => "sext1",
+        op::CONCAT1 => "concat1",
+        op::WIDE => "wide",
+        op::PACK => "pack",
+        op::UNPACK => "unpack",
+        op::PNOT => "pnot",
+        op::PAND => "pand",
+        op::POR => "por",
+        op::PXOR => "pxor",
+        op::PBOOL => "pbool",
+        op::PMUX => "pmux",
+        op::PCOPY_REG => "pregown",
+        op::PCOPY_INPUT => "pinput",
+        op::PCOPY_MAIL => "pregmail",
+        op::SHLM1 => "shlm1",
+        op::LSHRM1 => "lshrm1",
+        op::MUX2 => "mux2",
         other => unreachable!("unknown opcode {other}"),
     }
 }
@@ -431,6 +544,34 @@ impl Code {
                     format!("pregmail pdst={} ch={} src={} pw={imm}", a(0), a(1), a(2)),
                     3,
                 ),
+                op::SHLM1 | op::LSHRM1 => (
+                    format!(
+                        "{} t={} a={} b={} d={} w={} aw={} mw={}",
+                        if opc == op::SHLM1 { "shlm1" } else { "lshrm1" },
+                        a(0),
+                        a(1),
+                        a(2),
+                        a(3),
+                        imm & 0x7f,
+                        (imm >> 7) & 0x7f,
+                        imm >> 14
+                    ),
+                    4,
+                ),
+                op::MUX2 => (
+                    format!(
+                        "mux2 t={} sel1={} a={} b={} d={} sel2={} c={} pol={}",
+                        a(0),
+                        a(1),
+                        a(2),
+                        a(3),
+                        a(4),
+                        a(5),
+                        a(6),
+                        imm & 1
+                    ),
+                    7,
+                ),
                 op::WIDE => {
                     let tag = match &self.wide[imm as usize] {
                         Step::Un { op, .. } => format!("un {op:?}"),
@@ -451,6 +592,116 @@ impl Code {
         }
         out
     }
+
+    /// Accumulates an opcode/width frequency histogram into `h`, keyed
+    /// `(mnemonic, width)`: the result width for fused scalar opcodes,
+    /// the word count for copies and array reads, 0 where width is
+    /// meaningless (muxes, transposes, packed sweeps, `WIDE`). Fusion
+    /// and SIMD-coverage decisions read these counts
+    /// (`PARENDI_CODE_STATS`).
+    pub(crate) fn histogram(&self, h: &mut BTreeMap<(&'static str, u32), u64>) {
+        for &opw in &self.ops {
+            let opc = (opw & 0xff) as u8;
+            let imm = opw >> 8;
+            let w = match opc {
+                op::COPY_INPUT | op::COPY_REG | op::COPY_MAIL => imm,
+                op::ARRAY_READ => imm >> 8,
+                op::NOT1..=op::ASHR1 | op::SHLM1 | op::LSHRM1 => imm & 0x7f,
+                op::SLICE1 | op::CONCAT1 => imm >> 6,
+                op::ZEXT1 => imm,
+                op::SEXT1 => imm >> 7,
+                _ => 0,
+            };
+            *h.entry((opcode_name(opc), w)).or_insert(0) += 1;
+        }
+    }
+
+    /// Counts adjacent opcode pairs — the raw data behind peephole
+    /// fusion choices (a hot pair is a fusion candidate).
+    pub(crate) fn pair_histogram(&self, h: &mut BTreeMap<(&'static str, &'static str), u64>) {
+        for w in self.ops.windows(2) {
+            let a = opcode_name((w[0] & 0xff) as u8);
+            let b = opcode_name((w[1] & 0xff) as u8);
+            *h.entry((a, b)).or_insert(0) += 1;
+        }
+    }
+}
+
+/// The deeper peephole pass: fuses adjacent shift-then-mask
+/// (`SHL1`/`LSHR1` + `ZEXT1` or zero-based `SLICE1` of the shift's
+/// result) into [`op::SHLM1`]/[`op::LSHRM1`], and 2-to-1 mux chains
+/// (`MUX1` + `MUX1` consuming the first's result) into [`op::MUX2`] —
+/// halving dispatches on the shift/mask idiom that dominates sliced
+/// datapaths. Both fused opcodes still write the intermediate
+/// destination, so later consumers (and the arena invariant that
+/// operands precede destinations) are preserved without liveness
+/// analysis. Runs on the flat bytecode after lowering; `wide` indexes
+/// are untouched.
+fn fuse_adjacent(code: Code) -> Code {
+    let mut out = Code {
+        ops: Vec::with_capacity(code.ops.len()),
+        args: Vec::with_capacity(code.args.len()),
+        wide: code.wide,
+    };
+    let (ops, args) = (&code.ops, &code.args);
+    let (mut i, mut p) = (0usize, 0usize);
+    while i < ops.len() {
+        let opc = (ops[i] & 0xff) as u8;
+        let imm = ops[i] >> 8;
+        let n = argc(opc);
+        if i + 1 < ops.len() {
+            let opc2 = (ops[i + 1] & 0xff) as u8;
+            let imm2 = ops[i + 1] >> 8;
+            let q = p + n;
+            if opc == op::SHL1 || opc == op::LSHR1 {
+                // The mask width must fit its 7-bit immediate field
+                // (always true: the pair only arises single-word).
+                let t = args[p];
+                let mw = match opc2 {
+                    op::ZEXT1 if args[q + 1] == t => Some(imm2),
+                    op::SLICE1 if args[q + 1] == t && imm2 & 0x3f == 0 => Some(imm2 >> 6),
+                    _ => None,
+                };
+                if let Some(mw) = mw {
+                    let f = if opc == op::SHL1 {
+                        op::SHLM1
+                    } else {
+                        op::LSHRM1
+                    };
+                    out.emit(f, imm | (mw << 14), &[t, args[p + 1], args[p + 2], args[q]]);
+                    p = q + argc(opc2);
+                    i += 2;
+                    continue;
+                }
+            }
+            if opc == op::MUX1 && opc2 == op::MUX1 {
+                let t = args[p];
+                let (d, sel2, tt, ff) = (args[q], args[q + 1], args[q + 2], args[q + 3]);
+                let fuse = if tt == t {
+                    Some((0u32, ff))
+                } else if ff == t {
+                    Some((1u32, tt))
+                } else {
+                    None
+                };
+                if let Some((pol, c)) = fuse {
+                    out.emit(
+                        op::MUX2,
+                        pol,
+                        &[t, args[p + 1], args[p + 2], args[p + 3], d, sel2, c],
+                    );
+                    p = q + 4;
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.ops.push(ops[i]);
+        out.args.extend_from_slice(&args[p..p + n]);
+        p += n;
+        i += 1;
+    }
+    out
 }
 
 /// What the packed-mode lowering must know beyond the steps: the
@@ -500,6 +751,12 @@ struct LowerCtx {
     run: Option<(u8, u32, u32, u32, u32)>,
     /// Arena offset → packed arena word offset.
     pslot: HashMap<u32, u32>,
+    /// Packed-copy source → packed slot, keyed `(opcode, ch, src)`:
+    /// when the same packed register/input/mailbox block feeds several
+    /// consumers, the copy lands once and later reads alias its slot —
+    /// the packed-domain analogue of the `PACK` hoist `ensure_packed`
+    /// performs for strided sources.
+    src_slot: HashMap<(u8, u32, u32), u32>,
     /// Nets whose strided arena slot currently holds their value.
     strided_ok: HashSet<u32>,
     /// Immutable nets (constants): packed once at init, not per cycle.
@@ -562,6 +819,25 @@ impl LowerCtx {
         self.flush();
         self.code.emit(op::PACK, 0, &[s, off]);
         s
+    }
+
+    /// Emits a packed copy — or aliases the slot of an earlier copy of
+    /// the **same source block**, so a packed register/input/mailbox
+    /// value read on several sites transposes into the packed domain
+    /// exactly once.
+    fn pcopy(&mut self, opc: u8, dst: u32, ch: u32, src: u32) {
+        if let Some(&s) = self.src_slot.get(&(opc, ch, src)) {
+            self.pslot.insert(dst, s);
+            return;
+        }
+        self.flush();
+        let s = self.alloc(dst);
+        self.src_slot.insert((opc, ch, src), s);
+        if opc == op::PCOPY_MAIL {
+            self.code.emit(opc, self.pw, &[s, ch, src]);
+        } else {
+            self.code.emit(opc, self.pw, &[s, src]);
+        }
     }
 
     /// Materializes net `off` in its strided arena slot, emitting an
@@ -759,6 +1035,7 @@ fn lower_inner(steps: &[Step], plan: Option<&PackPlan>) -> Lowered {
         code: Code::default(),
         run: None,
         pslot: HashMap::new(),
+        src_slot: HashMap::new(),
         strided_ok: HashSet::new(),
         consts: HashSet::new(),
         const_packs: Vec::new(),
@@ -780,21 +1057,9 @@ fn lower_inner(steps: &[Step], plan: Option<&PackPlan>) -> Lowered {
             Step::Input { dst, src, nw } => ctx.copy(op::COPY_INPUT, dst, 0, src, nw),
             Step::RegOwn { dst, src, nw } => ctx.copy(op::COPY_REG, dst, 0, src, nw),
             Step::RegMail { dst, ch, src, nw } => ctx.copy(op::COPY_MAIL, dst, ch, src, nw),
-            Step::InputP { dst, src } => {
-                ctx.flush();
-                let s = ctx.alloc(dst);
-                ctx.code.emit(op::PCOPY_INPUT, ctx.pw, &[s, src]);
-            }
-            Step::RegOwnP { dst, src } => {
-                ctx.flush();
-                let s = ctx.alloc(dst);
-                ctx.code.emit(op::PCOPY_REG, ctx.pw, &[s, src]);
-            }
-            Step::RegMailP { dst, ch, src } => {
-                ctx.flush();
-                let s = ctx.alloc(dst);
-                ctx.code.emit(op::PCOPY_MAIL, ctx.pw, &[s, ch, src]);
-            }
+            Step::InputP { dst, src } => ctx.pcopy(op::PCOPY_INPUT, dst, 0, src),
+            Step::RegOwnP { dst, src } => ctx.pcopy(op::PCOPY_REG, dst, 0, src),
+            Step::RegMailP { dst, ch, src } => ctx.pcopy(op::PCOPY_MAIL, dst, ch, src),
             _ => {
                 ctx.flush();
                 if packed && try_packed(&mut ctx, step) {
@@ -897,12 +1162,13 @@ fn lower_inner(steps: &[Step], plan: Option<&PackPlan>) -> Lowered {
         }
         ctx.flush();
     }
-    ctx.code.validate();
+    let code = fuse_adjacent(ctx.code);
+    code.validate();
     Lowered {
         packed_words: (ctx.next_slot * ctx.pw) as usize,
         pslot: ctx.pslot,
         const_packs: ctx.const_packs,
-        code: ctx.code,
+        code,
     }
 }
 
@@ -916,6 +1182,12 @@ pub(crate) trait LaneSet: Copy {
     fn count(&self) -> usize;
     /// Calls `f` once per active lane index.
     fn for_each(&self, f: impl FnMut(usize));
+    /// Calls `f(start, len)` once per maximal run of **consecutive**
+    /// active lanes — the dense blocks the word-interleaved vector
+    /// kernels sweep. [`AllLanes`] yields one full-gang block,
+    /// [`OneLane`] a single unit block, and a [`LaneList`] one block
+    /// per survivor run.
+    fn for_each_chunk(&self, f: impl FnMut(usize, usize));
 }
 
 /// Exactly lane 0 (the single-scenario engine).
@@ -930,6 +1202,10 @@ impl LaneSet for OneLane {
     #[inline(always)]
     fn for_each(&self, mut f: impl FnMut(usize)) {
         f(0);
+    }
+    #[inline(always)]
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, usize)) {
+        f(0, 1);
     }
 }
 
@@ -948,6 +1224,10 @@ impl LaneSet for AllLanes {
             f(l);
         }
     }
+    #[inline(always)]
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, usize)) {
+        f(0, self.0);
+    }
 }
 
 /// An explicit list of surviving lanes (some scenarios finished).
@@ -965,11 +1245,63 @@ impl LaneSet for LaneList<'_> {
             f(l as usize);
         }
     }
+    #[inline(always)]
+    fn for_each_chunk(&self, mut f: impl FnMut(usize, usize)) {
+        // The list is ascending; coalesce maximal consecutive runs.
+        let list = self.0;
+        let mut i = 0;
+        while i < list.len() {
+            let s = list[i] as usize;
+            let mut j = i + 1;
+            while j < list.len() && list[j] as usize == s + (j - i) {
+                j += 1;
+            }
+            f(s, j - i);
+            i = j;
+        }
+    }
+}
+
+/// The strided memory layout of a gang's multi-bit state, a type
+/// parameter of every phase function (see the module docs). `at` is
+/// the one indexing rule: word `off` of lane `l` in a buffer of
+/// per-lane stride `stride` shared by `nl` lanes.
+pub(crate) trait Layout: Copy + 'static {
+    /// `true` for the word-interleaved layout (dense lane sweeps).
+    const WM: bool;
+    /// Index of word `off` of lane `l`.
+    fn at(off: usize, l: usize, stride: usize, nl: usize) -> usize;
+}
+
+/// `[lane × words]`: word `off` of lane `l` at `l * stride + off`.
+#[derive(Clone, Copy)]
+pub(crate) struct LaneMajor;
+
+impl Layout for LaneMajor {
+    const WM: bool = false;
+    #[inline(always)]
+    fn at(off: usize, l: usize, stride: usize, _nl: usize) -> usize {
+        l * stride + off
+    }
+}
+
+/// `[word × lanes]`: word `off` of lane `l` at `off * nl + l`.
+#[derive(Clone, Copy)]
+pub(crate) struct WordMajor;
+
+impl Layout for WordMajor {
+    const WM: bool = true;
+    #[inline(always)]
+    fn at(off: usize, l: usize, _stride: usize, nl: usize) -> usize {
+        off * nl + l
+    }
 }
 
 /// Lane-strided mutable state of one tile: `lanes` copies of the
-/// single-lane layout, lane-major. Guarded by a `Mutex` purely for the
-/// testbench API; workers lock it once per `run`, not per cycle.
+/// single-lane layout, in whichever [`Layout`] the gang was compiled
+/// for (lane-major or word-interleaved; see the module docs). Guarded
+/// by a `Mutex` purely for the testbench API; workers lock it once per
+/// `run`, not per cycle.
 #[derive(Debug)]
 pub(crate) struct LaneTile {
     /// `lanes × aw` words of combinational values.
@@ -981,7 +1313,8 @@ pub(crate) struct LaneTile {
     /// `RegId` order within each lane block — followed by the packed
     /// tail (one `pw`-word block per 1-bit register in packed mode).
     pub reg_cur: Vec<u64>,
-    /// Local copies of held arrays, each `lanes × arr_words[i]` words.
+    /// Local copies of held arrays, each `lanes × arr_words[i]` words
+    /// (always lane-major; array traffic is index-scattered anyway).
     pub arrays: Vec<Vec<u64>>,
     /// Per-lane arena stride in words.
     pub aw: usize,
@@ -989,15 +1322,23 @@ pub(crate) struct LaneTile {
     pub rw: usize,
     /// Per-lane words of each held array (depth × element words).
     pub arr_words: Vec<usize>,
+    /// Total gang lane count (the interleave width under `WordMajor`).
+    pub lanes: usize,
+    /// `aw`-word single-lane scratch for `WIDE` steps under `WordMajor`
+    /// (gather operands → slice kernels → scatter result); empty in
+    /// lane-major tiles, whose arena blocks are already contiguous.
+    pub scratch: Vec<u64>,
 }
 
 /// Executes one tile's bytecode at cycle `c` for every lane in `lanes`:
 /// **the** hot loop. One dispatch per instruction; fused single-word
-/// opcodes run plain `u64` kernels across the lane sweep, copies run as
-/// blocks, and multi-word operations fall back to the slice kernels on
-/// each lane's contiguous arena block.
+/// opcodes run plain `u64` kernels across the lane sweep — or the
+/// [`VecIsa`] vector kernels over dense lane chunks when the tile is
+/// word-interleaved — copies run as blocks, and multi-word operations
+/// fall back to the slice kernels on each lane's contiguous arena
+/// block (gathered through `scratch` under [`WordMajor`]).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn exec_code<L: LaneSet>(
+pub(crate) fn exec_code<L: LaneSet, Y: Layout>(
     code: &Code,
     tile: &mut LaneTile,
     inputs: &[u64],
@@ -1006,6 +1347,7 @@ pub(crate) fn exec_code<L: LaneSet>(
     mail_words: &[u32],
     read_parity: usize,
     lanes: L,
+    isa: VecIsa,
 ) {
     let LaneTile {
         arena,
@@ -1015,8 +1357,10 @@ pub(crate) fn exec_code<L: LaneSet>(
         aw,
         rw,
         arr_words,
+        lanes: nl,
+        scratch,
     } = tile;
-    let (astride, rstride) = (*aw, *rw);
+    let (astride, rstride, nl) = (*aw, *rw, *nl);
     let args = &code.args[..];
     let mut p = 0usize;
     // The operand cursor is validated once at lowering time
@@ -1029,17 +1373,28 @@ pub(crate) fn exec_code<L: LaneSet>(
         };
     }
 
-    // Shared decode for the fused unary / binary families.
+    // Shared decode for the fused unary / binary families. The
+    // word-interleaved branch splits the arena at the destination word:
+    // operands strictly precede their destination (bump allocation), so
+    // every source block lives in the left half and the borrow is
+    // always well-formed.
     macro_rules! u1 {
         ($opv:expr, $imm:expr) => {{
             let imm = $imm;
             let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
             p += 2;
             let (w, opw) = ((imm & 0x7f) as u32, (imm >> 7) as u32);
-            lanes.for_each(|l| {
-                let b = l * astride;
-                arena[b + dst] = un1($opv, arena[b + a], w, opw);
-            });
+            if Y::WM {
+                let (src, d) = arena.split_at_mut(dst * nl);
+                lanes.for_each_chunk(|s, n| {
+                    vun(isa, $opv, &mut d[s..s + n], &src[a * nl + s..][..n], w, opw);
+                });
+            } else {
+                lanes.for_each(|l| {
+                    let b = l * astride;
+                    arena[b + dst] = un1($opv, arena[b + a], w, opw);
+                });
+            }
         }};
     }
     macro_rules! b1 {
@@ -1048,10 +1403,25 @@ pub(crate) fn exec_code<L: LaneSet>(
             let (dst, a, bb) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
             p += 3;
             let (w, opw) = ((imm & 0x7f) as u32, (imm >> 7) as u32);
-            lanes.for_each(|l| {
-                let b = l * astride;
-                arena[b + dst] = bin1($opv, arena[b + a], arena[b + bb], w, opw);
-            });
+            if Y::WM {
+                let (src, d) = arena.split_at_mut(dst * nl);
+                lanes.for_each_chunk(|s, n| {
+                    vbin(
+                        isa,
+                        $opv,
+                        &mut d[s..s + n],
+                        &src[a * nl + s..][..n],
+                        &src[bb * nl + s..][..n],
+                        w,
+                        opw,
+                    );
+                });
+            } else {
+                lanes.for_each(|l| {
+                    let b = l * astride;
+                    arena[b + dst] = bin1($opv, arena[b + a], arena[b + bb], w, opw);
+                });
+            }
         }};
     }
 
@@ -1061,18 +1431,38 @@ pub(crate) fn exec_code<L: LaneSet>(
             op::COPY_INPUT => {
                 let (dst, src) = (arg!(0) as usize, arg!(1) as usize);
                 p += 2;
-                lanes.for_each(|l| {
-                    let (db, sb) = (l * astride + dst, l * input_stride + src);
-                    arena[db..db + imm].copy_from_slice(&inputs[sb..sb + imm]);
-                });
+                if Y::WM {
+                    // Word-outer: each word's lane row is contiguous in
+                    // both buffers, so chunks copy as dense blocks.
+                    for k in 0..imm {
+                        let (db, sb) = ((dst + k) * nl, (src + k) * nl);
+                        lanes.for_each_chunk(|s, n| {
+                            arena[db + s..db + s + n].copy_from_slice(&inputs[sb + s..sb + s + n]);
+                        });
+                    }
+                } else {
+                    lanes.for_each(|l| {
+                        let (db, sb) = (l * astride + dst, l * input_stride + src);
+                        arena[db..db + imm].copy_from_slice(&inputs[sb..sb + imm]);
+                    });
+                }
             }
             op::COPY_REG => {
                 let (dst, src) = (arg!(0) as usize, arg!(1) as usize);
                 p += 2;
-                lanes.for_each(|l| {
-                    let (db, sb) = (l * astride + dst, l * rstride + src);
-                    arena[db..db + imm].copy_from_slice(&reg_cur[sb..sb + imm]);
-                });
+                if Y::WM {
+                    for k in 0..imm {
+                        let (db, sb) = ((dst + k) * nl, (src + k) * nl);
+                        lanes.for_each_chunk(|s, n| {
+                            arena[db + s..db + s + n].copy_from_slice(&reg_cur[sb + s..sb + s + n]);
+                        });
+                    }
+                } else {
+                    lanes.for_each(|l| {
+                        let (db, sb) = (l * astride + dst, l * rstride + src);
+                        arena[db..db + imm].copy_from_slice(&reg_cur[sb..sb + imm]);
+                    });
+                }
             }
             op::COPY_MAIL => {
                 let (dst, ch, src) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
@@ -1081,10 +1471,19 @@ pub(crate) fn exec_code<L: LaneSet>(
                 // exists during the computation phase (see Mailbox).
                 let buf = unsafe { channels[ch].read(read_parity) };
                 let mw = mail_words[ch] as usize;
-                lanes.for_each(|l| {
-                    let (db, sb) = (l * astride + dst, l * mw + src);
-                    arena[db..db + imm].copy_from_slice(&buf[sb..sb + imm]);
-                });
+                if Y::WM {
+                    for k in 0..imm {
+                        let (db, sb) = ((dst + k) * nl, (src + k) * nl);
+                        lanes.for_each_chunk(|s, n| {
+                            arena[db + s..db + s + n].copy_from_slice(&buf[sb + s..sb + s + n]);
+                        });
+                    }
+                } else {
+                    lanes.for_each(|l| {
+                        let (db, sb) = (l * astride + dst, l * mw + src);
+                        arena[db..db + imm].copy_from_slice(&buf[sb..sb + imm]);
+                    });
+                }
             }
             op::ARRAY_READ => {
                 let (dst, arr, idx, depth) = (
@@ -1097,17 +1496,35 @@ pub(crate) fn exec_code<L: LaneSet>(
                 let (idx_w, n) = (imm & 0xff, imm >> 8);
                 let words = arr_words[arr];
                 let a = &arrays[arr];
-                lanes.for_each(|l| {
-                    let base = l * astride;
-                    let index = word::fold_index(&arena[base + idx..base + idx + idx_w]);
-                    let db = base + dst;
-                    if index < depth {
-                        let sb = l * words + index as usize * n;
-                        arena[db..db + n].copy_from_slice(&a[sb..sb + n]);
-                    } else {
-                        arena[db..db + n].fill(0);
-                    }
-                });
+                if Y::WM {
+                    // Arrays stay lane-major (index-scattered traffic);
+                    // only the arena side is interleaved.
+                    lanes.for_each(|l| {
+                        let index = fold_index_at::<Y>(arena, idx, idx_w, l, astride, nl);
+                        if index < depth {
+                            let sb = l * words + index as usize * n;
+                            for k in 0..n {
+                                arena[(dst + k) * nl + l] = a[sb + k];
+                            }
+                        } else {
+                            for k in 0..n {
+                                arena[(dst + k) * nl + l] = 0;
+                            }
+                        }
+                    });
+                } else {
+                    lanes.for_each(|l| {
+                        let base = l * astride;
+                        let index = word::fold_index(&arena[base + idx..base + idx + idx_w]);
+                        let db = base + dst;
+                        if index < depth {
+                            let sb = l * words + index as usize * n;
+                            arena[db..db + n].copy_from_slice(&a[sb..sb + n]);
+                        } else {
+                            arena[db..db + n].fill(0);
+                        }
+                    });
+                }
             }
             op::NOT1 => u1!(UnOp::Not, imm),
             op::NEG1 => u1!(UnOp::Neg, imm),
@@ -1137,53 +1554,125 @@ pub(crate) fn exec_code<L: LaneSet>(
                     arg!(3) as usize,
                 );
                 p += 4;
-                lanes.for_each(|l| {
-                    let b = l * astride;
-                    let pick = if arena[b + sel] & 1 == 1 { t } else { f };
-                    arena[b + dst] = arena[b + pick];
-                });
+                if Y::WM {
+                    let (src, d) = arena.split_at_mut(dst * nl);
+                    lanes.for_each_chunk(|s, n| {
+                        vmux(
+                            isa,
+                            &mut d[s..s + n],
+                            &src[sel * nl + s..][..n],
+                            &src[t * nl + s..][..n],
+                            &src[f * nl + s..][..n],
+                        );
+                    });
+                } else {
+                    lanes.for_each(|l| {
+                        let b = l * astride;
+                        let pick = if arena[b + sel] & 1 == 1 { t } else { f };
+                        arena[b + dst] = arena[b + pick];
+                    });
+                }
             }
             op::SLICE1 => {
                 let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
                 p += 2;
                 let lo = (imm & 0x3f) as u32;
-                let m = top_word_mask((imm >> 6) as u32);
-                lanes.for_each(|l| {
-                    let b = l * astride;
-                    arena[b + dst] = (arena[b + a] >> lo) & m;
-                });
+                let w = (imm >> 6) as u32;
+                if Y::WM {
+                    let (src, d) = arena.split_at_mut(dst * nl);
+                    lanes.for_each_chunk(|s, n| {
+                        vslice(isa, &mut d[s..s + n], &src[a * nl + s..][..n], lo, w);
+                    });
+                } else {
+                    let m = top_word_mask(w);
+                    lanes.for_each(|l| {
+                        let b = l * astride;
+                        arena[b + dst] = (arena[b + a] >> lo) & m;
+                    });
+                }
             }
             op::ZEXT1 => {
                 let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
                 p += 2;
-                let m = top_word_mask(imm as u32);
-                lanes.for_each(|l| {
-                    let b = l * astride;
-                    arena[b + dst] = arena[b + a] & m;
-                });
+                if Y::WM {
+                    let (src, d) = arena.split_at_mut(dst * nl);
+                    lanes.for_each_chunk(|s, n| {
+                        vzext(isa, &mut d[s..s + n], &src[a * nl + s..][..n], imm as u32);
+                    });
+                } else {
+                    let m = top_word_mask(imm as u32);
+                    lanes.for_each(|l| {
+                        let b = l * astride;
+                        arena[b + dst] = arena[b + a] & m;
+                    });
+                }
             }
             op::SEXT1 => {
                 let (dst, a) = (arg!(0) as usize, arg!(1) as usize);
                 p += 2;
                 let (aw, w) = ((imm & 0x7f) as u32, (imm >> 7) as u32);
-                lanes.for_each(|l| {
-                    let b = l * astride;
-                    arena[b + dst] = sext1(arena[b + a], aw, w);
-                });
+                if Y::WM {
+                    let (src, d) = arena.split_at_mut(dst * nl);
+                    lanes.for_each_chunk(|s, n| {
+                        vsext(isa, &mut d[s..s + n], &src[a * nl + s..][..n], aw, w);
+                    });
+                } else {
+                    lanes.for_each(|l| {
+                        let b = l * astride;
+                        arena[b + dst] = sext1(arena[b + a], aw, w);
+                    });
+                }
             }
             op::CONCAT1 => {
                 let (dst, hi, lo) = (arg!(0) as usize, arg!(1) as usize, arg!(2) as usize);
                 p += 3;
                 let low_w = (imm & 0x3f) as u32;
-                let m = top_word_mask((imm >> 6) as u32);
-                lanes.for_each(|l| {
-                    let b = l * astride;
-                    arena[b + dst] = (arena[b + lo] | (arena[b + hi] << low_w)) & m;
-                });
+                let w = (imm >> 6) as u32;
+                if Y::WM {
+                    let (src, d) = arena.split_at_mut(dst * nl);
+                    lanes.for_each_chunk(|s, n| {
+                        vconcat(
+                            isa,
+                            &mut d[s..s + n],
+                            &src[hi * nl + s..][..n],
+                            &src[lo * nl + s..][..n],
+                            low_w,
+                            w,
+                        );
+                    });
+                } else {
+                    let m = top_word_mask(w);
+                    lanes.for_each(|l| {
+                        let b = l * astride;
+                        arena[b + dst] = (arena[b + lo] | (arena[b + hi] << low_w)) & m;
+                    });
+                }
             }
             op::WIDE => {
                 let step = &code.wide[imm];
-                lanes.for_each(|l| eval_op(&mut arena[l * astride..(l + 1) * astride], step));
+                if Y::WM {
+                    // Gather the operand words of one lane into the
+                    // contiguous scratch block (at their original
+                    // offsets), run the slice kernels, scatter the
+                    // destination back. Wide steps are rare enough
+                    // (see the histogram) that the transpose is cheap.
+                    let (ranges, nr, (doff, dn)) = wide_ranges(step);
+                    lanes.for_each(|l| {
+                        for &(off, w) in &ranges[..nr] {
+                            let (off, w) = (off as usize, w as usize);
+                            for k in 0..w {
+                                scratch[off + k] = arena[(off + k) * nl + l];
+                            }
+                        }
+                        eval_op(scratch, step);
+                        let (doff, dn) = (doff as usize, dn as usize);
+                        for k in 0..dn {
+                            arena[(doff + k) * nl + l] = scratch[doff + k];
+                        }
+                    });
+                } else {
+                    lanes.for_each(|l| eval_op(&mut arena[l * astride..(l + 1) * astride], step));
+                }
             }
             op::PACK => {
                 // Transpose strided → packed: gather each active lane's
@@ -1204,7 +1693,7 @@ pub(crate) fn exec_code<L: LaneSet>(
                         }
                         (wi, acc, got) = (i, 0, 0);
                     }
-                    acc |= (arena[l * astride + src] & 1) << (l % 64);
+                    acc |= (arena[Y::at(src, l, astride, nl)] & 1) << (l % 64);
                     got |= 1u64 << (l % 64);
                 });
                 if wi != usize::MAX {
@@ -1224,7 +1713,7 @@ pub(crate) fn exec_code<L: LaneSet>(
                     if i != wi {
                         (wi, cur) = (i, packed[psrc + i]);
                     }
-                    arena[l * astride + dst] = (cur >> (l % 64)) & 1;
+                    arena[Y::at(dst, l, astride, nl)] = (cur >> (l % 64)) & 1;
                 });
             }
             op::PNOT => {
@@ -1302,9 +1791,190 @@ pub(crate) fn exec_code<L: LaneSet>(
                 let buf = unsafe { channels[ch].read(read_parity) };
                 packed[pdst..pdst + imm].copy_from_slice(&buf[src..src + imm]);
             }
+            opc @ (op::SHLM1 | op::LSHRM1) => {
+                let opv = if opc == op::SHLM1 {
+                    BinOp::Shl
+                } else {
+                    BinOp::Lshr
+                };
+                let (t, a, bs, d) = (
+                    arg!(0) as usize,
+                    arg!(1) as usize,
+                    arg!(2) as usize,
+                    arg!(3) as usize,
+                );
+                p += 4;
+                let (w, sw) = ((imm & 0x7f) as u32, ((imm >> 7) & 0x7f) as u32);
+                let mw = (imm >> 14) as u32;
+                if Y::WM {
+                    {
+                        let (src, dt) = arena.split_at_mut(t * nl);
+                        lanes.for_each_chunk(|s, n| {
+                            vbin(
+                                isa,
+                                opv,
+                                &mut dt[s..s + n],
+                                &src[a * nl + s..][..n],
+                                &src[bs * nl + s..][..n],
+                                w,
+                                sw,
+                            );
+                        });
+                    }
+                    let (src, dd) = arena.split_at_mut(d * nl);
+                    lanes.for_each_chunk(|s, n| {
+                        vzext(isa, &mut dd[s..s + n], &src[t * nl + s..][..n], mw);
+                    });
+                } else {
+                    let m = top_word_mask(mw);
+                    lanes.for_each(|l| {
+                        let b = l * astride;
+                        let tv = bin1(opv, arena[b + a], arena[b + bs], w, sw);
+                        arena[b + t] = tv;
+                        arena[b + d] = tv & m;
+                    });
+                }
+            }
+            op::MUX2 => {
+                let (t, sel1, a, bb, d, sel2, cc) = (
+                    arg!(0) as usize,
+                    arg!(1) as usize,
+                    arg!(2) as usize,
+                    arg!(3) as usize,
+                    arg!(4) as usize,
+                    arg!(5) as usize,
+                    arg!(6) as usize,
+                );
+                p += 7;
+                let pol = imm & 1;
+                if Y::WM {
+                    {
+                        let (src, dt) = arena.split_at_mut(t * nl);
+                        lanes.for_each_chunk(|s, n| {
+                            vmux(
+                                isa,
+                                &mut dt[s..s + n],
+                                &src[sel1 * nl + s..][..n],
+                                &src[a * nl + s..][..n],
+                                &src[bb * nl + s..][..n],
+                            );
+                        });
+                    }
+                    // The second select's sides, by polarity: `pol = 0`
+                    // keeps `t` on the true side, `pol = 1` flips it.
+                    let (pt, pf) = if pol == 0 { (t, cc) } else { (cc, t) };
+                    let (src, dd) = arena.split_at_mut(d * nl);
+                    lanes.for_each_chunk(|s, n| {
+                        vmux(
+                            isa,
+                            &mut dd[s..s + n],
+                            &src[sel2 * nl + s..][..n],
+                            &src[pt * nl + s..][..n],
+                            &src[pf * nl + s..][..n],
+                        );
+                    });
+                } else {
+                    lanes.for_each(|l| {
+                        let b = l * astride;
+                        let tv = if arena[b + sel1] & 1 == 1 {
+                            arena[b + a]
+                        } else {
+                            arena[b + bb]
+                        };
+                        arena[b + t] = tv;
+                        let sv = arena[b + sel2] & 1 == 1;
+                        arena[b + d] = if (pol == 0) == sv { tv } else { arena[b + cc] };
+                    });
+                }
+            }
             other => unreachable!("unknown opcode {other}"),
         }
     }
+}
+
+/// Folds a multi-word index operand for one lane through the layout's
+/// indexing rule — the layout-generic [`word::fold_index`].
+#[inline(always)]
+fn fold_index_at<Y: Layout>(
+    buf: &[u64],
+    off: usize,
+    w: usize,
+    l: usize,
+    stride: usize,
+    nl: usize,
+) -> u64 {
+    let v0 = buf[Y::at(off, l, stride, nl)];
+    let mut hi = 0u64;
+    for k in 1..w {
+        hi |= buf[Y::at(off + k, l, stride, nl)];
+    }
+    if hi != 0 || v0 > u32::MAX as u64 {
+        u64::MAX
+    } else {
+        v0
+    }
+}
+
+/// Operand and destination word ranges of a `WIDE` step, for the
+/// word-interleaved gather/scatter: up to three `(offset, words)`
+/// operand ranges (with the live count) plus the destination range.
+fn wide_ranges(step: &Step) -> ([(u32, u32); 3], usize, (u32, u32)) {
+    let mut r = [(0u32, 0u32); 3];
+    let (n, dst) = match *step {
+        Step::Un { dst, a, w, anw, .. } => {
+            r[0] = (a, anw);
+            (1, (dst, words_for(w) as u32))
+        }
+        Step::Bin {
+            dst,
+            a,
+            b,
+            w,
+            anw,
+            bnw,
+            ..
+        } => {
+            r[0] = (a, anw);
+            r[1] = (b, bnw);
+            (2, (dst, words_for(w) as u32))
+        }
+        Step::Mux {
+            dst, sel, t, f, nw, ..
+        } => {
+            r[0] = (sel, 1);
+            r[1] = (t, nw);
+            r[2] = (f, nw);
+            (3, (dst, nw))
+        }
+        Step::Slice { dst, a, w, anw, .. } => {
+            r[0] = (a, anw);
+            (1, (dst, words_for(w) as u32))
+        }
+        Step::Zext { dst, a, w, anw } => {
+            r[0] = (a, anw);
+            (1, (dst, words_for(w) as u32))
+        }
+        Step::Sext { dst, a, w, anw, .. } => {
+            r[0] = (a, anw);
+            (1, (dst, words_for(w) as u32))
+        }
+        Step::Concat {
+            dst,
+            hi,
+            lo,
+            w,
+            hnw,
+            lnw,
+            ..
+        } => {
+            r[0] = (hi, hnw);
+            r[1] = (lo, lnw);
+            (2, (dst, words_for(w) as u32))
+        }
+        // Copies and array reads never lower to WIDE.
+        _ => unreachable!("non-compute step in the wide table"),
+    };
+    (r, n, dst)
 }
 
 /// Computation phase for one tile at cycle `c`, all active lanes: run
@@ -1314,7 +1984,7 @@ pub(crate) fn exec_code<L: LaneSet>(
 /// and sends blend through it so retired lanes' packed state stays
 /// frozen, exactly as the strided lane sweeps skip retired lanes.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn compute_phase<L: LaneSet>(
+pub(crate) fn compute_phase<L: LaneSet, Y: Layout>(
     prog: &Program,
     tile: &mut LaneTile,
     inputs: &[u64],
@@ -1325,8 +1995,9 @@ pub(crate) fn compute_phase<L: LaneSet>(
     c: u64,
     pw: usize,
     mask: &[u64],
+    isa: VecIsa,
 ) {
-    exec_code(
+    exec_code::<L, Y>(
         &prog.code,
         tile,
         inputs,
@@ -1335,6 +2006,7 @@ pub(crate) fn compute_phase<L: LaneSet>(
         mail_words,
         (c & 1) as usize,
         lanes,
+        isa,
     );
     let write_parity = ((c & 1) ^ 1) as usize;
     let LaneTile {
@@ -1343,17 +2015,27 @@ pub(crate) fn compute_phase<L: LaneSet>(
         reg_cur,
         aw,
         rw,
+        lanes: nl,
         ..
     } = tile;
-    let (aw, rw) = (*aw, *rw);
+    let (aw, rw, nl) = (*aw, *rw, *nl);
     // Latch own registers, every active lane: tile-local, nobody else
     // reads them. Finished lanes keep their last latched values forever.
     for rc in &prog.commits {
         let (d, s, n) = (rc.dst as usize, rc.local as usize, rc.nw as usize);
-        lanes.for_each(|l| {
-            let (db, sb) = (l * rw + d, l * aw + s);
-            reg_cur[db..db + n].copy_from_slice(&arena[sb..sb + n]);
-        });
+        if Y::WM {
+            for k in 0..n {
+                let (db, sb) = ((d + k) * nl, (s + k) * nl);
+                lanes.for_each_chunk(|ls, ln| {
+                    reg_cur[db + ls..db + ls + ln].copy_from_slice(&arena[sb + ls..sb + ls + ln]);
+                });
+            }
+        } else {
+            lanes.for_each(|l| {
+                let (db, sb) = (l * rw + d, l * aw + s);
+                reg_cur[db..db + n].copy_from_slice(&arena[sb..sb + n]);
+            });
+        }
     }
     for pc in &prog.packed_commits {
         let (d, s) = (pc.dst as usize, pc.psrc as usize);
@@ -1366,23 +2048,34 @@ pub(crate) fn compute_phase<L: LaneSet>(
         }
     }
     for send in &prog.sends {
-        push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
+        push_reg_send::<L, Y>(
+            send,
+            arena,
+            aw,
+            nl,
+            channels,
+            mail_words,
+            lanes,
+            write_parity,
+        );
     }
     for ps in &prog.packed_sends {
         push_packed_send(ps, packed, pw, channels, write_parity, mask);
     }
     for ps in &prog.port_sends {
-        stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
+        stage_port_record::<L, Y>(ps, arena, aw, nl, channels, mail_words, lanes, write_parity);
     }
 }
 
 /// Copies one outbound register value into its mailbox segment, every
 /// active lane.
 #[inline]
-fn push_reg_send<L: LaneSet>(
+#[allow(clippy::too_many_arguments)]
+fn push_reg_send<L: LaneSet, Y: Layout>(
     send: &RegSend,
     arena: &[u64],
     aw: usize,
+    nl: usize,
     channels: &[Mailbox],
     mail_words: &[u32],
     lanes: L,
@@ -1394,13 +2087,24 @@ fn push_reg_send<L: LaneSet>(
     // `[dst, dst + nw)` of every lane block (compile-time layout).
     unsafe {
         let base = channels[send.ch as usize].write_base(write_parity);
-        lanes.for_each(|l| {
-            std::ptr::copy_nonoverlapping(
-                arena.as_ptr().add(l * aw + send.local as usize),
-                base.add(l * mw + send.dst as usize),
-                send.nw as usize,
-            );
-        });
+        if Y::WM {
+            // Word-outer: each word's lane row is contiguous in both
+            // the arena and the mailbox, so chunks copy as dense rows.
+            for k in 0..send.nw as usize {
+                let (sb, db) = ((send.local as usize + k) * nl, (send.dst as usize + k) * nl);
+                lanes.for_each_chunk(|s, n| {
+                    std::ptr::copy_nonoverlapping(arena.as_ptr().add(sb + s), base.add(db + s), n);
+                });
+            }
+        } else {
+            lanes.for_each(|l| {
+                std::ptr::copy_nonoverlapping(
+                    arena.as_ptr().add(l * aw + send.local as usize),
+                    base.add(l * mw + send.dst as usize),
+                    send.nw as usize,
+                );
+            });
+        }
     }
 }
 
@@ -1434,38 +2138,42 @@ fn push_packed_send(
 }
 
 /// Copies one port record `(enable, index, data)` into every
-/// destination slot of `ps`, every active lane.
+/// destination slot of `ps`, every active lane. All reads and writes go
+/// through the layout's indexing rule — the record words land
+/// interleaved in the mailbox exactly like the strided register words.
 #[inline]
-fn stage_port_record<L: LaneSet>(
+#[allow(clippy::too_many_arguments)]
+fn stage_port_record<L: LaneSet, Y: Layout>(
     ps: &PortSend,
     arena: &[u64],
     aw: usize,
+    nl: usize,
     channels: &[Mailbox],
     mail_words: &[u32],
     lanes: L,
     write_parity: usize,
 ) {
     lanes.for_each(|l| {
-        let b = l * aw;
-        let en = arena[b + ps.en as usize] & 1;
-        let idx = word::fold_index(&arena[b + ps.idx as usize..b + (ps.idx + ps.idx_w) as usize]);
-        let data = &arena[b + ps.data as usize..b + (ps.data + ps.nw) as usize];
+        let en = arena[Y::at(ps.en as usize, l, aw, nl)] & 1;
+        let idx = fold_index_at::<Y>(arena, ps.idx as usize, ps.idx_w as usize, l, aw, nl);
         for &(ch, off) in &ps.dests {
             let mw = mail_words[ch as usize] as usize;
+            let off = off as usize;
             // SAFETY: epoch discipline — no reader of `write_parity`
             // exists during this phase, and this thread exclusively owns
             // the record segment at `off` in every lane block.
             unsafe {
-                let slot = channels[ch as usize]
-                    .write_base(write_parity)
-                    .add(l * mw + off as usize);
-                *slot = en;
-                *slot.add(1) = idx;
-                std::ptr::copy_nonoverlapping(
-                    data.as_ptr(),
-                    slot.add(PORT_RECORD_HEADER_WORDS as usize),
-                    ps.nw as usize,
-                );
+                let base = channels[ch as usize].write_base(write_parity);
+                *base.add(Y::at(off, l, mw, nl)) = en;
+                *base.add(Y::at(off + 1, l, mw, nl)) = idx;
+                for k in 0..ps.nw as usize {
+                    *base.add(Y::at(
+                        off + PORT_RECORD_HEADER_WORDS as usize + k,
+                        l,
+                        mw,
+                        nl,
+                    )) = arena[Y::at(ps.data as usize + k, l, aw, nl)];
+                }
             }
         }
     });
@@ -1476,7 +2184,7 @@ fn stage_port_record<L: LaneSet>(
 /// link occupancy is scheduled by the caller (see the worker loop) so
 /// the transfer can overlap subsequent tile compute.
 #[allow(clippy::too_many_arguments)]
-fn offchip_flush<L: LaneSet>(
+fn offchip_flush<L: LaneSet, Y: Layout>(
     prog: &Program,
     tile: &mut LaneTile,
     channels: &[Mailbox],
@@ -1489,21 +2197,31 @@ fn offchip_flush<L: LaneSet>(
     let write_parity = ((c & 1) ^ 1) as usize;
     let arena = &tile.arena;
     let aw = tile.aw;
+    let nl = tile.lanes;
     for send in &prog.offchip_sends {
-        push_reg_send(send, arena, aw, channels, mail_words, lanes, write_parity);
+        push_reg_send::<L, Y>(
+            send,
+            arena,
+            aw,
+            nl,
+            channels,
+            mail_words,
+            lanes,
+            write_parity,
+        );
     }
     for ps in &prog.offchip_packed_sends {
         push_packed_send(ps, &tile.packed, pw, channels, write_parity, mask);
     }
     for ps in &prog.offchip_port_sends {
-        stage_port_record(ps, arena, aw, channels, mail_words, lanes, write_parity);
+        stage_port_record::<L, Y>(ps, arena, aw, nl, channels, mail_words, lanes, write_parity);
     }
 }
 
 /// Communication phase for one tile at cycle `c`, all active lanes:
 /// apply all staged port records (own and remote) to the tile's array
 /// copies in global `(array, port)` order.
-fn exchange_phase<L: LaneSet>(
+fn exchange_phase<L: LaneSet, Y: Layout>(
     prog: &Program,
     tile: &mut LaneTile,
     channels: &[Mailbox],
@@ -1517,9 +2235,10 @@ fn exchange_phase<L: LaneSet>(
         arrays,
         aw,
         arr_words,
+        lanes: nl,
         ..
     } = tile;
-    let aw = *aw;
+    let (aw, nl) = (*aw, *nl);
     for ap in &prog.applies {
         let nw = ap.nw as usize;
         let words = arr_words[ap.arr as usize];
@@ -1532,13 +2251,14 @@ fn exchange_phase<L: LaneSet>(
                 data,
             } => {
                 lanes.for_each(|l| {
-                    let b = l * aw;
-                    let e = arena[b + en as usize] & 1;
-                    let i = word::fold_index(&arena[b + idx as usize..b + (idx + idx_w) as usize]);
+                    let e = arena[Y::at(en as usize, l, aw, nl)] & 1;
+                    let i = fold_index_at::<Y>(arena, idx as usize, idx_w as usize, l, aw, nl);
                     if e == 1 && i < ap.depth as u64 {
+                        // Arrays are always lane-major.
                         let dst = l * words + i as usize * nw;
-                        array[dst..dst + nw]
-                            .copy_from_slice(&arena[b + data as usize..b + data as usize + nw]);
+                        for k in 0..nw {
+                            array[dst + k] = arena[Y::at(data as usize + k, l, aw, nl)];
+                        }
                     }
                 });
             }
@@ -1548,13 +2268,14 @@ fn exchange_phase<L: LaneSet>(
                 let mw = mail_words[ch as usize] as usize;
                 let off = off as usize;
                 lanes.for_each(|l| {
-                    let rec = l * mw + off;
-                    let e = buf[rec] & 1;
-                    let i = buf[rec + 1];
+                    let e = buf[Y::at(off, l, mw, nl)] & 1;
+                    let i = buf[Y::at(off + 1, l, mw, nl)];
                     if e == 1 && i < ap.depth as u64 {
                         let dst = l * words + i as usize * nw;
-                        array[dst..dst + nw]
-                            .copy_from_slice(&buf[rec + PORT_RECORD_HEADER_WORDS as usize..][..nw]);
+                        let rb = off + PORT_RECORD_HEADER_WORDS as usize;
+                        for k in 0..nw {
+                            array[dst + k] = buf[Y::at(rb + k, l, mw, nl)];
+                        }
                     }
                 });
             }
@@ -1598,6 +2319,11 @@ struct CoreShared {
     /// Words per packed 1-bit net (`ceil(lanes / 64)` in packed mode,
     /// 0 in strided mode — doubles as the mode flag).
     pw: usize,
+    /// Whether strided state is word-interleaved ([`WordMajor`]).
+    word_major: bool,
+    /// The vector ISA the fused kernels dispatch to, chosen once at
+    /// compile (`Compiled::new`).
+    isa: VecIsa,
     /// Surviving (not early-exited) lane indices, ascending.
     active: RwLock<Vec<u32>>,
     /// Packed retire mask (`pw` words; bit set = lane early-exited).
@@ -1655,14 +2381,15 @@ pub(crate) struct EngineCore<'c> {
 impl<'c> EngineCore<'c> {
     /// Compiles `partition` for `lanes` scenarios and spawns the
     /// persistent worker pool (tiles fold chip-major onto threads).
-    /// With `packed`, 1-bit state is laid out bit-packed across lanes
-    /// (see the module docs).
+    /// With `packed`, 1-bit state is laid out bit-packed across lanes;
+    /// `layout` picks the strided memory layout (see the module docs).
     pub(crate) fn new(
         circuit: &'c Circuit,
         partition: &Partition,
         threads: usize,
         lanes: usize,
         packed: bool,
+        layout: LayoutChoice,
     ) -> Self {
         assert!(threads >= 1, "need at least one thread");
         assert!(lanes >= 1, "need at least one lane");
@@ -1685,8 +2412,20 @@ impl<'c> EngineCore<'c> {
             onchip_mailboxes,
             tile_chip,
             pw,
-        } = Compiled::new(circuit, partition, lanes, packed);
+            word_major,
+            isa,
+        } = Compiled::new(circuit, partition, lanes, packed, layout);
 
+        // The one indexing rule every strided init below goes through:
+        // word `off` of lane `l` in a buffer of per-lane stride
+        // `stride` (see the Layout trait).
+        let at = |off: usize, l: usize, stride: usize| {
+            if word_major {
+                off * lanes + l
+            } else {
+                l * stride + off
+            }
+        };
         let tiles: Vec<Mutex<LaneTile>> = programs
             .iter()
             .enumerate()
@@ -1697,14 +2436,15 @@ impl<'c> EngineCore<'c> {
                 let mut reg_cur = vec![0u64; rw * lanes + tile_reg_packed[pi] as usize * pw];
                 for l in 0..lanes {
                     for (off, words) in &prog.const_init {
-                        let d = l * aw + *off as usize;
-                        arena[d..d + words.len()].copy_from_slice(words);
+                        for (k, &w) in words.iter().enumerate() {
+                            arena[at(*off as usize + k, l, aw)] = w;
+                        }
                     }
                     for (ri, home) in reg_home.iter().enumerate() {
                         if home.tile == pi as u32 && !home.packed {
-                            let d = l * rw + home.off as usize;
-                            reg_cur[d..d + home.words as usize]
-                                .copy_from_slice(circuit.regs[ri].init.words());
+                            for (k, &w) in circuit.regs[ri].init.words().iter().enumerate() {
+                                reg_cur[at(home.off as usize + k, l, rw)] = w;
+                            }
                         }
                     }
                 }
@@ -1740,7 +2480,7 @@ impl<'c> EngineCore<'c> {
                 let mut packed_buf = vec![0u64; prog.packed_words];
                 for &(off, slot) in &prog.const_packs {
                     for l in 0..lanes {
-                        let bit = arena[l * aw + off as usize] & 1;
+                        let bit = arena[at(off as usize, l, aw)] & 1;
                         packed_buf[slot as usize + l / 64] |= bit << (l % 64);
                     }
                 }
@@ -1752,6 +2492,12 @@ impl<'c> EngineCore<'c> {
                     aw,
                     rw,
                     arr_words,
+                    lanes,
+                    scratch: if word_major {
+                        vec![0u64; aw]
+                    } else {
+                        Vec::new()
+                    },
                 })
             })
             .collect();
@@ -1772,6 +2518,8 @@ impl<'c> EngineCore<'c> {
             input_stride: input_words as usize,
             lanes,
             pw,
+            word_major,
+            isa,
             active: RwLock::new((0..lanes as u32).collect()),
             retired: RwLock::new(vec![0u64; pw]),
             phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
@@ -1834,6 +2582,16 @@ impl<'c> EngineCore<'c> {
         self.shared.pw > 0
     }
 
+    /// Whether strided state is word-interleaved ([`WordMajor`]).
+    pub(crate) fn is_word_major(&self) -> bool {
+        self.shared.word_major
+    }
+
+    /// Name of the vector ISA the fused kernels dispatch to.
+    pub(crate) fn isa_name(&self) -> &'static str {
+        self.shared.isa.name()
+    }
+
     pub(crate) fn tiles(&self) -> usize {
         self.shared.programs.len()
     }
@@ -1894,6 +2652,32 @@ impl<'c> EngineCore<'c> {
         self.shared.input_stride * self.shared.lanes + self.input_off[i] as usize * self.shared.pw
     }
 
+    /// Word `off` of `lane` in a strided buffer of per-lane stride
+    /// `stride`, under the gang's layout (the runtime twin of
+    /// [`Layout::at`]).
+    fn sat(&self, off: usize, lane: usize, stride: usize) -> usize {
+        if self.shared.word_major {
+            off * self.shared.lanes + lane
+        } else {
+            lane * stride + off
+        }
+    }
+
+    /// Reads `n` strided words at offset `off` of `lane` from `buf`
+    /// (per-lane stride `stride`), de-interleaving under `WordMajor`.
+    fn gather_lane(
+        &self,
+        buf: &[u64],
+        off: usize,
+        n: usize,
+        lane: usize,
+        stride: usize,
+    ) -> Vec<u64> {
+        (0..n)
+            .map(|k| buf[self.sat(off + k, lane, stride)])
+            .collect()
+    }
+
     /// Drives input `id` in one lane (held until changed). Packed 1-bit
     /// inputs take the bit-scatter path: one bit of the packed block.
     pub(crate) fn set_input_lane(&mut self, id: InputId, lane: usize, value: &Bits) {
@@ -1907,8 +2691,11 @@ impl<'c> EngineCore<'c> {
             *w = (*w & !(1u64 << (lane % 64))) | (bit << (lane % 64));
             return;
         }
-        let off = lane * self.shared.input_stride + self.input_off[id.index()] as usize;
-        inputs[off..off + value.words().len()].copy_from_slice(value.words());
+        let base = self.input_off[id.index()] as usize;
+        let stride = self.shared.input_stride;
+        for (k, &w) in value.words().iter().enumerate() {
+            inputs[self.sat(base + k, lane, stride)] = w;
+        }
     }
 
     /// Drives input `id` identically in every lane (bit broadcast for
@@ -1930,8 +2717,9 @@ impl<'c> EngineCore<'c> {
         let base = self.input_off[id.index()] as usize;
         let stride = self.shared.input_stride;
         for l in 0..self.shared.lanes {
-            let off = l * stride + base;
-            inputs[off..off + value.words().len()].copy_from_slice(value.words());
+            for (k, &w) in value.words().iter().enumerate() {
+                inputs[self.sat(base + k, l, stride)] = w;
+            }
         }
     }
 
@@ -1955,8 +2743,14 @@ impl<'c> EngineCore<'c> {
             let bit = (tile.reg_cur[base + lane / 64] >> (lane % 64)) & 1;
             return Bits::from_u64(1, bit);
         }
-        let off = lane * tile.rw + home.off as usize;
-        Bits::from_words(r.width, &tile.reg_cur[off..off + home.words as usize])
+        let words = self.gather_lane(
+            &tile.reg_cur,
+            home.off as usize,
+            home.words as usize,
+            lane,
+            tile.rw,
+        );
+        Bits::from_words(r.width, &words)
     }
 
     /// An element of an array in `lane`.
@@ -1987,16 +2781,31 @@ impl<'c> EngineCore<'c> {
     /// lane's [`peek_cycle`](Self::peek_cycle)).
     fn replay_tile(&self, t: usize, inputs: &[u64], tile: &mut LaneTile, cycle: u64) {
         let shared = &self.shared;
-        exec_code(
-            &shared.programs[t].code,
-            tile,
-            inputs,
-            shared.input_stride,
-            &shared.channels,
-            &shared.mail_words,
-            (cycle & 1) as usize,
-            AllLanes(shared.lanes),
-        );
+        if shared.word_major {
+            exec_code::<_, WordMajor>(
+                &shared.programs[t].code,
+                tile,
+                inputs,
+                shared.input_stride,
+                &shared.channels,
+                &shared.mail_words,
+                (cycle & 1) as usize,
+                AllLanes(shared.lanes),
+                shared.isa,
+            );
+        } else {
+            exec_code::<_, LaneMajor>(
+                &shared.programs[t].code,
+                tile,
+                inputs,
+                shared.input_stride,
+                &shared.channels,
+                &shared.mail_words,
+                (cycle & 1) as usize,
+                AllLanes(shared.lanes),
+                shared.isa,
+            );
+        }
     }
 
     /// The current value of primary output `name` in `lane`, or `None`
@@ -2015,11 +2824,14 @@ impl<'c> EngineCore<'c> {
             &mut tile,
             self.peek_cycle(lane),
         );
-        let off = lane * tile.aw + home.off as usize;
-        Some(Bits::from_words(
-            width,
-            &tile.arena[off..off + words_for(width)],
-        ))
+        let words = self.gather_lane(
+            &tile.arena,
+            home.off as usize,
+            words_for(width),
+            lane,
+            tile.aw,
+        );
+        Some(Bits::from_words(width, &words))
     }
 
     /// All primary outputs of `lane`, indexed like `circuit.outputs`.
@@ -2036,11 +2848,14 @@ impl<'c> EngineCore<'c> {
             for &oi in ois {
                 let home = self.output_home[oi as usize];
                 let width = self.circuit.width(self.circuit.outputs[oi as usize].node);
-                let off = lane * tile.aw + home.off as usize;
-                results[oi as usize] = Some(Bits::from_words(
-                    width,
-                    &tile.arena[off..off + words_for(width)],
-                ));
+                let words = self.gather_lane(
+                    &tile.arena,
+                    home.off as usize,
+                    words_for(width),
+                    lane,
+                    tile.aw,
+                );
+                results[oi as usize] = Some(Bits::from_words(width, &words));
             }
         }
         results
@@ -2163,16 +2978,25 @@ impl Drop for EngineCore<'_> {
     }
 }
 
-/// Picks the cheapest [`LaneSet`] for the current active-lane list and
-/// hands it to `f` (monomorphized dispatch: single lane, dense gang, or
-/// early-exited gang).
+/// Picks the cheapest [`LaneSet`] for the current active-lane list,
+/// pairs it with the gang's [`Layout`], and hands the monomorphized
+/// pair to `f` (single lane, dense gang, or early-exited gang — each in
+/// lane-major or word-interleaved form).
 fn dispatch_lanes<R>(shared: &CoreShared, active: &[u32], f: impl FnOnce(&dyn DynLanes) -> R) -> R {
     if shared.lanes == 1 && active.len() == 1 {
-        f(&OneLane)
+        // A single-lane gang is lane-major by construction (the two
+        // layouts coincide at stride 1).
+        f(&Run::<_, LaneMajor>(OneLane, PhantomData))
     } else if active.len() == shared.lanes {
-        f(&AllLanes(shared.lanes))
+        if shared.word_major {
+            f(&Run::<_, WordMajor>(AllLanes(shared.lanes), PhantomData))
+        } else {
+            f(&Run::<_, LaneMajor>(AllLanes(shared.lanes), PhantomData))
+        }
+    } else if shared.word_major {
+        f(&Run::<_, WordMajor>(LaneList(active), PhantomData))
     } else {
-        f(&LaneList(active))
+        f(&Run::<_, LaneMajor>(LaneList(active), PhantomData))
     }
 }
 
@@ -2197,7 +3021,11 @@ trait DynLanes {
     );
 }
 
-impl<L: LaneSet> DynLanes for L {
+/// A `(LaneSet, Layout)` pair: the unit the run dispatch monomorphizes
+/// the cycle loop over.
+struct Run<L, Y>(L, PhantomData<Y>);
+
+impl<L: LaneSet, Y: Layout> DynLanes for Run<L, Y> {
     #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
@@ -2213,8 +3041,8 @@ impl<L: LaneSet> DynLanes for L {
         tile_ns: &mut [(u64, u64, u64)],
         acc: &mut PhaseAcc,
     ) {
-        cycle_loop(
-            shared, mine, guards, inputs, start, cycles, timed, spin, *self, who, tile_ns, acc,
+        cycle_loop::<L, Y>(
+            shared, mine, guards, inputs, start, cycles, timed, spin, self.0, who, tile_ns, acc,
         );
     }
 }
@@ -2246,7 +3074,7 @@ fn run_cycles(
 /// verbatim by pool workers and the inline (no-pool) path — barrier
 /// waits degenerate to no-ops when the pool is one wide.
 #[allow(clippy::too_many_arguments)]
-fn cycle_loop<L: LaneSet>(
+fn cycle_loop<L: LaneSet, Y: Layout>(
     shared: &CoreShared,
     mine: &[usize],
     guards: &mut [MutexGuard<'_, LaneTile>],
@@ -2288,7 +3116,7 @@ fn cycle_loop<L: LaneSet>(
         let mut link_total_ns = 0u64;
         for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
             let prog = &shared.programs[pi];
-            compute_phase(
+            compute_phase::<L, Y>(
                 prog,
                 guard,
                 inputs,
@@ -2299,6 +3127,7 @@ fn cycle_loop<L: LaneSet>(
                 c,
                 pw,
                 mask,
+                shared.isa,
             );
             if let Some(m) = mark {
                 // Timestamps chain tile to tile: one clock read per
@@ -2314,7 +3143,7 @@ fn cycle_loop<L: LaneSet>(
                 // reader until after barrier 1, so copying now is legal
                 // and lets the modeled transfer overlap the remaining
                 // tiles' compute.
-                offchip_flush(
+                offchip_flush::<L, Y>(
                     prog,
                     guard,
                     &shared.channels,
@@ -2367,7 +3196,7 @@ fn cycle_loop<L: LaneSet>(
         shared.phase_barrier.wait(who);
         let mut emark = timed.then(Instant::now);
         for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
-            exchange_phase(
+            exchange_phase::<L, Y>(
                 &shared.programs[pi],
                 guard,
                 &shared.channels,
@@ -2468,15 +3297,82 @@ mod tests {
             aw: astride,
             rw: 0,
             arr_words: Vec::new(),
+            lanes,
+            scratch: Vec::new(),
         }
     }
 
+    /// The ISA set a cross-check should sweep: the detected vector ISA
+    /// plus the forced scalar fallback (just the fallback when nothing
+    /// is detected).
+    fn test_isas() -> Vec<VecIsa> {
+        let d = VecIsa::detect();
+        if d == VecIsa::Scalar {
+            vec![VecIsa::Scalar]
+        } else {
+            vec![d, VecIsa::Scalar]
+        }
+    }
+
+    /// Executes `code` on a fresh scratch tile in the chosen layout and
+    /// ISA — seeding every lane through the *lane-contiguous* `setup`
+    /// view and transposing as needed — and returns each lane's arena
+    /// block de-transposed back to a contiguous slab so callers compare
+    /// layouts and ISAs against one oracle.
+    fn run_step_code(
+        code: &Code,
+        lanes: usize,
+        astride: usize,
+        packed_words: usize,
+        setup: &dyn Fn(usize, &mut [u64]),
+        word_major: bool,
+        isa: VecIsa,
+    ) -> Vec<Vec<u64>> {
+        let mut tile = scratch_tile(lanes, astride);
+        tile.packed = vec![0u64; packed_words];
+        if word_major {
+            tile.scratch = vec![0u64; astride];
+            let mut tmp = vec![0u64; astride];
+            for l in 0..lanes {
+                setup(l, &mut tmp);
+                for (off, &w) in tmp.iter().enumerate() {
+                    tile.arena[off * lanes + l] = w;
+                }
+            }
+            exec_code::<_, WordMajor>(code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes), isa);
+        } else {
+            for l in 0..lanes {
+                setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
+            }
+            exec_code::<_, LaneMajor>(code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes), isa);
+        }
+        (0..lanes)
+            .map(|l| {
+                (0..astride)
+                    .map(|off| {
+                        tile.arena[if word_major {
+                            off * lanes + l
+                        } else {
+                            l * astride + off
+                        }]
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Runs `step` through the full lower→exec pipeline on `lanes`
-    /// lane-strided copies and cross-checks every lane against the
-    /// slice-kernel evaluator [`eval_op`] on that lane's block.
-    /// `fused` asserts the lowering actually produced a fused opcode
-    /// (not a `WIDE` fallback).
-    fn check_step(step: &Step, setup: &dyn Fn(usize, &mut [u64]), dst: usize, nw: usize) {
+    /// strided copies — in both arena layouts and on every available
+    /// ISA — and cross-checks every lane against the slice-kernel
+    /// evaluator [`eval_op`] on that lane's block. Asserts the lowering
+    /// actually produced a fused opcode (not a `WIDE` fallback).
+    fn check_step_lanes(
+        step: &Step,
+        setup: &dyn Fn(usize, &mut [u64]),
+        dst: usize,
+        nw: usize,
+        lanes: usize,
+    ) {
         let code = Code::lower(std::slice::from_ref(step));
         assert_eq!(code.ops.len(), 1, "one step lowers to one instruction");
         assert_ne!(
@@ -2484,23 +3380,28 @@ mod tests {
             op::WIDE,
             "single-word step must lower to a fused opcode: {step:?}"
         );
-        let lanes = 3usize;
         let astride = 16usize;
-        let mut tile = scratch_tile(lanes, astride);
         let mut expect = vec![0u64; astride];
-        for l in 0..lanes {
-            setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
+        for wm in [false, true] {
+            for isa in test_isas() {
+                let got = run_step_code(&code, lanes, astride, 0, setup, wm, isa);
+                for (l, lane) in got.iter().enumerate() {
+                    setup(l, &mut expect);
+                    eval_op(&mut expect, step);
+                    assert_eq!(
+                        &lane[dst..dst + nw],
+                        &expect[dst..dst + nw],
+                        "lane {l}/{lanes} diverged from eval_op on {step:?} \
+                         (word_major={wm}, isa={})",
+                        isa.name()
+                    );
+                }
+            }
         }
-        exec_code(&code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes));
-        for l in 0..lanes {
-            setup(l, &mut expect);
-            eval_op(&mut expect, step);
-            assert_eq!(
-                &tile.arena[l * astride + dst..l * astride + dst + nw],
-                &expect[dst..dst + nw],
-                "lane {l} diverged from eval_op on {step:?}"
-            );
-        }
+    }
+
+    fn check_step(step: &Step, setup: &dyn Fn(usize, &mut [u64]), dst: usize, nw: usize) {
+        check_step_lanes(step, setup, dst, nw, 3);
     }
 
     /// Every fused single-word opcode — all 15 binary kernels, all 5
@@ -2691,7 +3592,6 @@ mod tests {
         assert_eq!(code.wide.len(), 1);
         let lanes = 2usize;
         let astride = 16usize;
-        let mut tile = scratch_tile(lanes, astride);
         let setup = |l: usize, arena: &mut [u64]| {
             arena.fill(0);
             arena[0] = u64::MAX - l as u64;
@@ -2700,18 +3600,17 @@ mod tests {
             arena[3] = 1;
         };
         let mut expect = vec![0u64; astride];
-        for l in 0..lanes {
-            setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
-        }
-        exec_code(&code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes));
-        for l in 0..lanes {
-            setup(l, &mut expect);
-            eval_op(&mut expect, &step);
-            assert_eq!(
-                &tile.arena[l * astride + 4..l * astride + 6],
-                &expect[4..6],
-                "wide lane {l}"
-            );
+        for wm in [false, true] {
+            let got = run_step_code(&code, lanes, astride, 0, &setup, wm, VecIsa::Scalar);
+            for (l, lane) in got.iter().enumerate() {
+                setup(l, &mut expect);
+                eval_op(&mut expect, &step);
+                assert_eq!(
+                    &lane[4..6],
+                    &expect[4..6],
+                    "wide lane {l} (word_major={wm})"
+                );
+            }
         }
     }
 
@@ -2776,7 +3675,7 @@ mod tests {
         b.connect(r, m);
         let c = b.finish().unwrap();
         let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
-        let compiled = Compiled::new(&c, &comp.partition, 1, false);
+        let compiled = Compiled::new(&c, &comp.partition, 1, false, LayoutChoice::LaneMajor);
         assert_eq!(compiled.programs.len(), 1);
         let got = compiled.programs[0].code.disasm();
         let want: Vec<String> = GOLDEN.iter().map(|s| s.to_string()).collect();
@@ -2822,30 +3721,25 @@ mod tests {
             );
         }
         let astride = 16usize;
-        let mut tile = scratch_tile(lanes, astride);
-        tile.packed = vec![0u64; lowered.packed_words];
         let mut expect = vec![0u64; astride];
-        for l in 0..lanes {
-            setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
-        }
-        exec_code(
-            &lowered.code,
-            &mut tile,
-            &[],
-            0,
-            &[],
-            &[],
-            0,
-            AllLanes(lanes),
-        );
-        for l in 0..lanes {
-            setup(l, &mut expect);
-            eval_op(&mut expect, step);
-            assert_eq!(
-                tile.arena[l * astride + dst],
-                expect[dst],
-                "lane {l}/{lanes} diverged from eval_op on {step:?}"
+        for wm in [false, true] {
+            let got = run_step_code(
+                &lowered.code,
+                lanes,
+                astride,
+                lowered.packed_words,
+                setup,
+                wm,
+                VecIsa::Scalar,
             );
+            for (l, lane) in got.iter().enumerate() {
+                setup(l, &mut expect);
+                eval_op(&mut expect, step);
+                assert_eq!(
+                    lane[dst], expect[dst],
+                    "lane {l}/{lanes} diverged from eval_op on {step:?} (word_major={wm})"
+                );
+            }
         }
     }
 
@@ -2993,7 +3887,7 @@ mod tests {
         b.connect(r, m); // packed commit
         let c = b.finish().unwrap();
         let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
-        let compiled = Compiled::new(&c, &comp.partition, 96, true);
+        let compiled = Compiled::new(&c, &comp.partition, 96, true, LayoutChoice::LaneMajor);
         assert_eq!(compiled.programs.len(), 1);
         let prog = &compiled.programs[0];
         let got = prog.code.disasm();
@@ -3018,6 +3912,425 @@ mod tests {
         "unpack dst=5 psrc=8",
         "mux1 dst=6 sel=5 t=1 f=1",
     ];
+
+    /// The vector kernels must be bit-exact with the scalar slice
+    /// kernels at lane counts straddling every chunking boundary: below
+    /// a vector (1, 3), exactly one vector (4), just past (5, 7), two
+    /// vectors (8), and around the 64-lane packing threshold
+    /// (63/64/65) — in both layouts, on the detected ISA *and* the
+    /// forced scalar fallback.
+    #[test]
+    fn vector_kernels_match_scalar_at_all_lane_counts() {
+        let bins = [
+            BinOp::And,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Eq,
+            BinOp::LtU,
+            BinOp::LtS,
+            BinOp::LeS,
+            BinOp::Shl,
+            BinOp::Lshr,
+            BinOp::Ashr,
+        ];
+        for &lanes in &[1usize, 3, 4, 5, 7, 8, 63, 64, 65] {
+            for &w in &[1u32, 17, 32, 33, 64] {
+                let m = top_word_mask(w);
+                let ra = 0x5a5a_1234_9bcd_u64 | 1 << 63;
+                let rb = 0x0f0f_f0f0_3c3c_u64 | 1 << 62;
+                for opv in bins {
+                    let rw = match opv {
+                        BinOp::Eq
+                        | BinOp::Ne
+                        | BinOp::LtU
+                        | BinOp::LtS
+                        | BinOp::LeU
+                        | BinOp::LeS => 1,
+                        _ => w,
+                    };
+                    let step = Step::Bin {
+                        op: opv,
+                        dst: 4,
+                        a: 0,
+                        b: 1,
+                        w: rw,
+                        aw: w,
+                        anw: 1,
+                        bnw: 1,
+                    };
+                    let setup = move |l: usize, arena: &mut [u64]| {
+                        arena.fill(0);
+                        arena[0] = ra.rotate_left(l as u32) & m;
+                        arena[1] = rb.rotate_right(l as u32) & m;
+                    };
+                    check_step_lanes(&step, &setup, 4, 1, lanes);
+                }
+                for opv in [UnOp::Not, UnOp::RedXor] {
+                    let rw = if opv == UnOp::Not { w } else { 1 };
+                    let step = Step::Un {
+                        op: opv,
+                        dst: 4,
+                        a: 0,
+                        w: rw,
+                        aw: w,
+                        anw: 1,
+                    };
+                    let setup = move |l: usize, arena: &mut [u64]| {
+                        arena.fill(0);
+                        arena[0] = ra.rotate_left(l as u32) & m;
+                    };
+                    check_step_lanes(&step, &setup, 4, 1, lanes);
+                }
+                let mux = Step::Mux {
+                    dst: 4,
+                    sel: 2,
+                    t: 0,
+                    f: 1,
+                    nw: 1,
+                    w,
+                };
+                let setup = move |l: usize, arena: &mut [u64]| {
+                    arena.fill(0);
+                    arena[0] = ra.rotate_left(l as u32) & m;
+                    arena[1] = !arena[0] & m;
+                    arena[2] = (l as u64) & 1;
+                };
+                check_step_lanes(&mux, &setup, 4, 1, lanes);
+                let slice = Step::Slice {
+                    dst: 4,
+                    a: 0,
+                    lo: w / 2,
+                    w: (w - w / 2).min(7),
+                    anw: 1,
+                };
+                let sx = Step::Sext {
+                    dst: 4,
+                    a: 0,
+                    aw: w,
+                    w: 64,
+                    anw: 1,
+                };
+                let cat = Step::Concat {
+                    dst: 4,
+                    hi: 0,
+                    lo: 1,
+                    w: (w + 3).min(64),
+                    low_w: 3,
+                    hnw: 1,
+                    lnw: 1,
+                };
+                for step in [&slice, &sx] {
+                    let setup = move |l: usize, arena: &mut [u64]| {
+                        arena.fill(0);
+                        arena[0] = ra.rotate_left(l as u32) & m;
+                    };
+                    check_step_lanes(step, &setup, 4, 1, lanes);
+                }
+                let setup = move |l: usize, arena: &mut [u64]| {
+                    arena.fill(0);
+                    arena[0] = ra.rotate_left(l as u32) & top_word_mask((w + 3).min(64) - 3);
+                    arena[1] = (!ra).rotate_left(l as u32) & 0x7;
+                };
+                check_step_lanes(&cat, &setup, 4, 1, lanes);
+            }
+        }
+    }
+
+    /// Lowers a step pair, pins the fused disassembly, and cross-checks
+    /// the fused opcode's execution — both destinations, since the
+    /// fused forms still write the intermediate — against [`eval_op`]
+    /// applied step by step, on both layouts and every ISA.
+    fn check_fused_pair(
+        steps: &[Step],
+        want: &[&str],
+        setup: &dyn Fn(usize, &mut [u64]),
+        dst: usize,
+        nw: usize,
+    ) {
+        let code = Code::lower(steps);
+        let wantv: Vec<String> = want.iter().map(|s| s.to_string()).collect();
+        assert_eq!(code.disasm(), wantv, "fused lowering changed for {steps:?}");
+        let lanes = 5usize;
+        let astride = 16usize;
+        let mut expect = vec![0u64; astride];
+        for wm in [false, true] {
+            for isa in test_isas() {
+                let got = run_step_code(&code, lanes, astride, 0, setup, wm, isa);
+                for (l, lane) in got.iter().enumerate() {
+                    setup(l, &mut expect);
+                    for s in steps {
+                        eval_op(&mut expect, s);
+                    }
+                    assert_eq!(
+                        &lane[dst..dst + nw],
+                        &expect[dst..dst + nw],
+                        "lane {l} diverged on fused {steps:?} (word_major={wm}, isa={})",
+                        isa.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Shift-then-mask chains — a shift whose result is immediately
+    /// zero-extended or low-sliced — must fuse into one
+    /// `SHLM1`/`LSHRM1` dispatch, execute both writes, and a slice at a
+    /// nonzero offset must *not* fuse.
+    #[test]
+    fn shift_mask_chains_fuse_and_match() {
+        let shl = Step::Bin {
+            op: BinOp::Shl,
+            dst: 4,
+            a: 0,
+            b: 1,
+            w: 32,
+            aw: 32,
+            anw: 1,
+            bnw: 1,
+        };
+        let lshr = Step::Bin {
+            op: BinOp::Lshr,
+            dst: 4,
+            a: 0,
+            b: 1,
+            w: 32,
+            aw: 32,
+            anw: 1,
+            bnw: 1,
+        };
+        let setup = |l: usize, arena: &mut [u64]| {
+            arena.fill(0);
+            arena[0] = 0x9bcd_1234u64.rotate_left(l as u32) & 0xffff_ffff;
+            arena[1] = (l as u64 * 7) % 37;
+        };
+        let zext = Step::Zext {
+            dst: 5,
+            a: 4,
+            w: 40,
+            anw: 1,
+        };
+        check_fused_pair(
+            &[shl.clone(), zext],
+            &["shlm1 t=4 a=0 b=1 d=5 w=32 aw=32 mw=40"],
+            &setup,
+            4,
+            2,
+        );
+        let slice = Step::Slice {
+            dst: 5,
+            a: 4,
+            lo: 0,
+            w: 8,
+            anw: 1,
+        };
+        check_fused_pair(
+            &[lshr.clone(), slice.clone()],
+            &["lshrm1 t=4 a=0 b=1 d=5 w=32 aw=32 mw=8"],
+            &setup,
+            4,
+            2,
+        );
+        check_fused_pair(
+            &[shl, slice],
+            &["shlm1 t=4 a=0 b=1 d=5 w=32 aw=32 mw=8"],
+            &setup,
+            4,
+            2,
+        );
+        // A nonzero slice offset needs the real slice kernel: no fusion.
+        let off_slice = Step::Slice {
+            dst: 5,
+            a: 4,
+            lo: 3,
+            w: 8,
+            anw: 1,
+        };
+        let code = Code::lower(&[lshr, off_slice]);
+        assert_eq!(code.ops.len(), 2, "lo != 0 must not fuse");
+    }
+
+    /// 2-to-1 mux chains — a second mux consuming the first's result on
+    /// either input — must fuse into one `MUX2` dispatch with the right
+    /// polarity, and execute both writes correctly for every
+    /// (sel1, sel2) combination across the lanes.
+    #[test]
+    fn mux_chains_fuse_and_match() {
+        let m1 = Step::Mux {
+            dst: 4,
+            sel: 2,
+            t: 0,
+            f: 1,
+            nw: 1,
+            w: 9,
+        };
+        // Lanes 0..4 cover all four (sel1, sel2) truth-table rows. The
+        // chain's other input sits at slot 5, *below* the fused dst 6 —
+        // the bump-allocator invariant (operands precede destinations)
+        // the word-interleaved split relies on.
+        let setup = |l: usize, arena: &mut [u64]| {
+            arena.fill(0);
+            arena[0] = 0x111 + l as u64;
+            arena[1] = 0x0aa ^ l as u64;
+            arena[2] = l as u64 & 1;
+            arena[3] = (l as u64 >> 1) & 1;
+            arena[5] = 0x155 - l as u64;
+        };
+        // First's result on the *true* input: polarity 0.
+        let m2t = Step::Mux {
+            dst: 6,
+            sel: 3,
+            t: 4,
+            f: 5,
+            nw: 1,
+            w: 9,
+        };
+        check_fused_pair(
+            &[m1.clone(), m2t],
+            &["mux2 t=4 sel1=2 a=0 b=1 d=6 sel2=3 c=5 pol=0"],
+            &setup,
+            4,
+            3,
+        );
+        // First's result on the *false* input: polarity 1.
+        let m2f = Step::Mux {
+            dst: 6,
+            sel: 3,
+            t: 5,
+            f: 4,
+            nw: 1,
+            w: 9,
+        };
+        check_fused_pair(
+            &[m1.clone(), m2f],
+            &["mux2 t=4 sel1=2 a=0 b=1 d=6 sel2=3 c=5 pol=1"],
+            &setup,
+            4,
+            3,
+        );
+        // An unrelated second mux must not fuse.
+        let m2x = Step::Mux {
+            dst: 6,
+            sel: 3,
+            t: 5,
+            f: 1,
+            nw: 1,
+            w: 9,
+        };
+        let code = Code::lower(&[m1, m2x]);
+        assert_eq!(code.ops.len(), 2, "independent muxes must not fuse");
+    }
+
+    /// The opcode/width histogram must pin exact counts on the golden
+    /// program, and the pair histogram must see the adjacent fused
+    /// kernels (the data the deeper-fusion decisions are read from).
+    #[test]
+    fn code_histogram_pins_golden_counts() {
+        let mut b = Builder::new("hist");
+        let x = b.input("x", 32);
+        let y = b.input("y", 32);
+        let wi = b.input("wi", 80);
+        let r = b.reg("r", 32, 1);
+        let s = b.add(x, y);
+        let m = b.mul(s, r.q());
+        let n = b.not(wi);
+        let lo = b.slice(m, 7, 0);
+        b.output("lo", lo);
+        b.output("wn", n);
+        b.connect(r, m);
+        let c = b.finish().unwrap();
+        let comp = compile(&c, &PartitionConfig::with_tiles(1)).unwrap();
+        let compiled = Compiled::new(&c, &comp.partition, 1, false, LayoutChoice::LaneMajor);
+        let mut h = std::collections::BTreeMap::new();
+        compiled.programs[0].code.histogram(&mut h);
+        let want: Vec<((&str, u32), u64)> = vec![
+            (("add1", 32), 1),
+            (("input", 4), 1),
+            (("mul1", 32), 1),
+            (("regown", 1), 1),
+            (("slice1", 8), 1),
+            (("wide", 0), 1),
+        ];
+        assert_eq!(h.into_iter().collect::<Vec<_>>(), want);
+        let mut p = std::collections::BTreeMap::new();
+        compiled.programs[0].code.pair_histogram(&mut p);
+        assert_eq!(p[&("add1", "mul1")], 1);
+        assert_eq!(p.values().sum::<u64>(), 5, "N ops yield N-1 pairs");
+    }
+
+    /// Packed copies of the same source block must land once: later
+    /// reads alias the first slot (no second `pregown`), and a strided
+    /// source consumed twice in the packed domain transposes through
+    /// one hoisted `PACK`.
+    #[test]
+    fn packed_copies_and_packs_are_hoisted() {
+        // Two packed register reads of the same register-file block,
+        // plus an unrelated packed input copy.
+        let steps = [
+            Step::RegOwnP { dst: 0, src: 8 },
+            Step::RegOwnP { dst: 1, src: 8 },
+            Step::InputP { dst: 2, src: 40 },
+        ];
+        let plan = PackPlan {
+            pw: 2,
+            preset_strided: Vec::new(),
+            const_strided: Vec::new(),
+            preset_packed: Vec::new(),
+            need_strided: Vec::new(),
+            need_packed: Vec::new(),
+        };
+        let lowered = Code::lower_packed(&steps, &plan);
+        assert_eq!(
+            lowered.code.disasm(),
+            vec!["pregown pdst=0 src=8 pw=2", "pinput pdst=2 src=40 pw=2"],
+            "second copy of the same block must alias, not re-copy"
+        );
+        assert_eq!(lowered.pslot[&0], lowered.pslot[&1]);
+        // A strided 1-bit net (0) feeding two packed consumers: one
+        // hoisted PACK, reused by the second read. Net 1 seeds the
+        // packed domain so the boolean chain computes packed at all.
+        let and = Step::Bin {
+            op: BinOp::And,
+            dst: 4,
+            a: 0,
+            b: 1,
+            w: 1,
+            aw: 1,
+            anw: 1,
+            bnw: 1,
+        };
+        let or = Step::Bin {
+            op: BinOp::Or,
+            dst: 5,
+            a: 0,
+            b: 4,
+            w: 1,
+            aw: 1,
+            anw: 1,
+            bnw: 1,
+        };
+        let plan = PackPlan {
+            pw: 2,
+            preset_strided: vec![0, 1],
+            const_strided: Vec::new(),
+            preset_packed: vec![1],
+            need_strided: vec![4, 5],
+            need_packed: Vec::new(),
+        };
+        let lowered = Code::lower_packed(&[and, or], &plan);
+        let got = lowered.code.disasm();
+        let packs: Vec<_> = got.iter().filter(|s| s.starts_with("pack ")).collect();
+        assert_eq!(
+            packs.len(),
+            2,
+            "one PACK per distinct strided source: {got:?}"
+        );
+        assert_eq!(
+            packs.iter().filter(|s| s.ends_with("src=0")).count(),
+            1,
+            "net 0 is read twice but transposed once: {got:?}"
+        );
+    }
 
     /// The tree-combining phase barrier must stay correct past the flat
     /// threshold: 24 workers × many waits, every round observed by every

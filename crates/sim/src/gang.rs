@@ -14,15 +14,17 @@
 //! facades over the unified lane-strided core in [`crate::exec`]: every
 //! buffer a tile's fused bytecode touches — value arenas, register
 //! files, array copies, mailbox buffers, the input buffer — is
-//! *lane-strided* (`lanes` copies of the single-lane layout,
-//! lane-major), and one dispatched bytecode instruction executes a
-//! tight inner loop over all lanes; for the dominant single-word case
-//! that loop is pure `u64` arithmetic through the same scalar kernels
-//! the single-scenario instantiation runs, so the two engines cannot
-//! diverge semantically. The exchange structure is identical across
-//! lanes: mailbox epochs, the off-chip flush (with the modeled link
-//! charged `L×` the words), worker groups, and the two-barrier cycle
-//! all carry over verbatim.
+//! *lane-strided* (`lanes` copies of the single-lane layout, either
+//! lane-major or word-interleaved — see the layout discussion in the
+//! core's module docs), and one dispatched bytecode instruction
+//! executes a tight inner loop over all lanes; for the dominant
+//! single-word case that loop is pure `u64` arithmetic through the same
+//! scalar kernels the single-scenario instantiation runs — or, on
+//! word-interleaved gangs, the runtime-dispatched SIMD kernels sweeping
+//! several lanes per step — so the engines cannot diverge semantically.
+//! The exchange structure is identical across lanes: mailbox epochs,
+//! the off-chip flush (with the modeled link charged `L×` the words),
+//! worker groups, and the two-barrier cycle all carry over verbatim.
 //!
 //! # Per-lane I/O
 //!
@@ -60,6 +62,7 @@
 //! [`Partition`]: parendi_core::Partition
 
 use crate::bsp::BspPhases;
+use crate::engine::LayoutChoice;
 use crate::exec::EngineCore;
 use crate::interp::Simulator;
 use parendi_core::Partition;
@@ -85,7 +88,44 @@ impl<'c> GangSimulator<'c> {
     /// Panics if `threads` or `lanes` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize, lanes: usize) -> Self {
         GangSimulator {
-            core: EngineCore::new(circuit, partition, threads, lanes, false),
+            core: EngineCore::new(
+                circuit,
+                partition,
+                threads,
+                lanes,
+                false,
+                LayoutChoice::Auto,
+            ),
+        }
+    }
+
+    /// Like [`new`](Self::new)/[`new_packed`](Self::new_packed), but
+    /// with an **explicit strided memory layout**: `word_major = true`
+    /// interleaves strided state `[word × lanes]` so the SIMD kernels
+    /// sweep dense lane rows; `false` keeps the `[lane × words]` layout.
+    /// The default constructors resolve the layout automatically
+    /// (`PARENDI_LANE_LAYOUT` env override, then a lane-count
+    /// heuristic); this entry point exists so benchmarks can measure
+    /// both sides. Functionally bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `lanes` is zero.
+    pub fn with_layout(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        lanes: usize,
+        packed: bool,
+        word_major: bool,
+    ) -> Self {
+        let layout = if word_major {
+            LayoutChoice::WordMajor
+        } else {
+            LayoutChoice::LaneMajor
+        };
+        GangSimulator {
+            core: EngineCore::new(circuit, partition, threads, lanes, packed, layout),
         }
     }
 
@@ -110,13 +150,26 @@ impl<'c> GangSimulator<'c> {
         lanes: usize,
     ) -> Self {
         GangSimulator {
-            core: EngineCore::new(circuit, partition, threads, lanes, true),
+            core: EngineCore::new(circuit, partition, threads, lanes, true, LayoutChoice::Auto),
         }
     }
 
     /// Whether this gang runs 1-bit state bit-packed across lanes.
     pub fn is_packed(&self) -> bool {
         self.core.is_packed()
+    }
+
+    /// Whether strided multi-bit state is word-interleaved
+    /// (`[word × lanes]`) rather than lane-major.
+    pub fn is_word_major(&self) -> bool {
+        self.core.is_word_major()
+    }
+
+    /// The vector ISA the fused single-word kernels dispatch to:
+    /// `"avx2"`, `"neon"`, or `"scalar"` (the portable fallback, also
+    /// forced by `PARENDI_SIMD=0`).
+    pub fn simd(&self) -> &'static str {
+        self.core.isa_name()
     }
 
     /// Number of completed RTL cycles (identical across lanes — lanes

@@ -51,6 +51,7 @@ pub(crate) mod engine;
 pub(crate) mod exec;
 pub mod gang;
 pub mod interp;
+pub(crate) mod simd;
 pub mod timing;
 pub mod vcd;
 
