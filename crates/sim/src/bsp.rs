@@ -158,18 +158,50 @@ impl<'c> BspSimulator<'c> {
     ///
     /// Panics if `threads` is zero.
     pub fn new(circuit: &'c Circuit, partition: &Partition, threads: usize) -> Self {
+        Self::with_transport(
+            circuit,
+            partition,
+            threads,
+            crate::transport::TransportChoice::from_env(),
+        )
+    }
+
+    /// [`BspSimulator::new`] with an explicit off-chip transport
+    /// backend (the plain constructor reads `PARENDI_TRANSPORT`). All
+    /// backends are bit-exact; they differ in which memory-domain
+    /// boundary the per-chip-pair aggregates cross and in the measured
+    /// cost reported in [`BspPhases::offchip_s`].
+    pub fn with_transport(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        transport: crate::transport::TransportChoice,
+    ) -> Self {
         // A single-lane engine is always lane-major: the layouts
         // coincide at one lane and the scalar kernels are optimal.
         BspSimulator {
-            core: EngineCore::new(
+            core: EngineCore::with_transport(
                 circuit,
                 partition,
                 threads,
                 1,
                 false,
                 crate::engine::LayoutChoice::LaneMajor,
+                transport,
             ),
         }
+    }
+
+    /// Short name of the off-chip transport backend in use.
+    pub fn transport_name(&self) -> &'static str {
+        self.core.transport_name()
+    }
+
+    /// Total bytes the off-chip transport has carried so far (whole
+    /// per-chip-pair aggregates per completed cycle — comparable
+    /// across backends; see [`crate::transport`]).
+    pub fn offchip_bytes_sent(&self) -> u64 {
+        self.core.offchip_bytes_sent()
     }
 
     /// Number of completed RTL cycles.

@@ -77,6 +77,24 @@
 //! * the lock-free exchange fabric ([`Mailbox`]) and the hybrid
 //!   spin/park, tree-combining [`PhaseBarrier`];
 //! * the chip-major [`worker_groups`] fold of tiles onto host threads;
+//!
+//! # The off-chip transport seam
+//!
+//! On-chip mailboxes are always written directly — they never leave the
+//! process. The **per-chip-pair aggregate mailboxes** (`Compiled`
+//! appends them after the on-chip boxes; [`Compiled::offchip_pairs`]
+//! names their `(from_chip, to_chip)` order) are the unit that crosses
+//! chips on the real machine, and the engine moves them through a
+//! pluggable [`crate::transport::ChipTransport`]: the default
+//! in-process backend keeps the historical direct-write path bit for
+//! bit, while the shared-memory and TCP backends stage each pair's
+//! aggregate and carry it across a process-style boundary per cycle
+//! under the same double-buffered epoch discipline. The core's flush
+//! path writes whatever mailbox slice the backend exposes and notifies
+//! it per flushed tile; the time a backend spends completing receives
+//! lands in the same off-chip phase column, so backends are directly
+//! comparable. Select with `PARENDI_TRANSPORT` or the `with_transport`
+//! constructors.
 //! * the scalar/slice step evaluators: [`eval_op`] (the multi-word
 //!   fallback) and the `nw == 1` single-word kernels ([`un1`],
 //!   [`bin1`], [`sext1`]) the fused opcodes dispatch into — one source
@@ -397,6 +415,12 @@ pub(crate) struct Program {
     /// The flat fused bytecode of the tile's step program (lowered once
     /// at compile time; see [`crate::exec::Code`]).
     pub code: Code,
+    /// Run-invariant prefix of the tile's bytecode: input/constant
+    /// cones and their `PACK` transposes, split out at lowering time.
+    /// Inputs are frozen for the duration of a `run` call (the facades
+    /// take `&mut self`), so this executes **once per run**, not once
+    /// per cycle — the repeated-`PACK` hoist. Empty in strided mode.
+    pub prelude: Code,
     pub arena_words: usize,
     pub const_init: Vec<(u32, Vec<u64>)>,
     pub commits: Vec<RegCommit>,
@@ -495,6 +519,15 @@ impl Mailbox {
     /// exclusively owns (channel segments are disjoint by layout).
     pub(crate) unsafe fn write_base(&self, parity: usize) -> *mut u64 {
         (&raw mut **self.bufs[parity].get()) as *mut u64
+    }
+
+    /// Total words per buffer (both parities are the same size). Reads
+    /// only the allocation length, never the contents, so it is safe
+    /// under any epoch.
+    pub(crate) fn words(&self) -> usize {
+        // SAFETY: the box pointer/length are immutable after
+        // construction; only the pointed-to words are ever raced on.
+        unsafe { (&*self.bufs[0].get()).len() }
     }
 }
 
@@ -610,6 +643,10 @@ pub(crate) struct Compiled {
     pub mail_words: Vec<u32>,
     /// How many leading `channels` serve on-chip tile pairs.
     pub onchip_mailboxes: usize,
+    /// `(from_chip, to_chip)` of each off-chip aggregate mailbox, in
+    /// mailbox order (`channels[onchip_mailboxes + i]` carries
+    /// `offchip_pairs[i]`) — the unit the transport backends move.
+    pub offchip_pairs: Vec<(u32, u32)>,
     pub tile_chip: Vec<u32>,
     /// Words per packed 1-bit net block: `ceil(lanes / 64)` in packed
     /// mode, 0 otherwise.
@@ -652,7 +689,17 @@ impl LayoutChoice {
                     // (1.01-1.31x across the quick designs) and wins
                     // decisively at 64 (2.4-5.7x), so interleave as
                     // soon as a chunk fills a half vector register.
-                    _ => lanes >= 4,
+                    // `PARENDI_LAYOUT_CROSSOVER=<n>` overrides the
+                    // threshold for boxes where the measured crossover
+                    // differs (clamped to ≥ 2: a 1-lane gang is always
+                    // lane-major anyway).
+                    _ => {
+                        let cross = std::env::var("PARENDI_LAYOUT_CROSSOVER")
+                            .ok()
+                            .and_then(|v| v.parse::<usize>().ok())
+                            .unwrap_or(4);
+                        lanes >= cross.max(2)
+                    }
                 },
             }
     }
@@ -890,6 +937,7 @@ impl Compiled {
         let mut pair_index: HashMap<(u32, u32), usize> = HashMap::new();
         let mut pair_words: Vec<u32> = Vec::new();
         let mut pair_packed: Vec<u32> = Vec::new();
+        let mut offchip_pairs: Vec<(u32, u32)> = Vec::new();
         for (ci, ch) in routing.channels.iter().enumerate() {
             if ch.class == ChannelClass::OffChip {
                 let pair = (
@@ -899,6 +947,7 @@ impl Compiled {
                 let pi = *pair_index.entry(pair).or_insert_with(|| {
                     pair_words.push(0);
                     pair_packed.push(0);
+                    offchip_pairs.push(pair);
                     pair_words.len() - 1
                 });
                 chan_map[ci] = (
@@ -1062,6 +1111,7 @@ impl Compiled {
             channels,
             mail_words,
             onchip_mailboxes,
+            offchip_pairs,
             tile_chip: routing.tile_chip,
             pw,
             word_major,
@@ -1451,7 +1501,7 @@ fn build_program(fe: &FrontEnd<'_>, pi: u32, p: &parendi_core::Process) -> Progr
     // Lower to bytecode. In packed mode the lowering routes eligible
     // 1-bit computation through the packed arena and returns where each
     // packed net landed, which resolves the raw packed commits/sends.
-    let (code, packed_words, pslot, const_packs) = if fe.packed {
+    let (code, prelude, packed_words, pslot, const_packs) = if fe.packed {
         let lowered = Code::lower_packed(
             &steps,
             &crate::exec::PackPlan {
@@ -1465,12 +1515,19 @@ fn build_program(fe: &FrontEnd<'_>, pi: u32, p: &parendi_core::Process) -> Progr
         );
         (
             lowered.code,
+            lowered.prelude,
             lowered.packed_words,
             lowered.pslot,
             lowered.const_packs,
         )
     } else {
-        (Code::lower(&steps), 0, HashMap::new(), Vec::new())
+        (
+            Code::lower(&steps),
+            Code::default(),
+            0,
+            HashMap::new(),
+            Vec::new(),
+        )
     };
     let mut packed_commits: Vec<PackedCommit> = raw_packed_commits
         .iter()
@@ -1495,6 +1552,7 @@ fn build_program(fe: &FrontEnd<'_>, pi: u32, p: &parendi_core::Process) -> Progr
 
     Program {
         code,
+        prelude,
         arena_words: words as usize,
         const_init,
         commits,

@@ -732,6 +732,14 @@ pub(crate) struct PackPlan {
 /// The result of a packed-mode lowering.
 pub(crate) struct Lowered {
     pub code: Code,
+    /// Run-invariant prefix: steps whose transitive dependencies are
+    /// only inputs and constants, plus the `PACK`/`UNPACK` transposes
+    /// of their results. Inputs are frozen during a `run`, so the
+    /// engine executes this once per run instead of once per cycle —
+    /// the hoist that keeps a strided net shared across packed
+    /// consumers from being re-transposed every cycle. Empty in
+    /// strided (non-packed) mode.
+    pub prelude: Code,
     /// Size of the tile's packed scratch arena in words.
     pub packed_words: usize,
     /// Arena offset → packed arena word offset, for every net that has
@@ -746,7 +754,19 @@ pub(crate) struct Lowered {
 /// peephole, and the packed-domain bookkeeping (which nets exist
 /// strided / packed, and where).
 struct LowerCtx {
+    /// The stream under construction: the prelude during the invariant
+    /// pass, the per-cycle body afterwards.
     code: Code,
+    /// The finalized run-invariant prelude (taken from `code` after the
+    /// invariant pass; the body pass may still append boundary
+    /// transposes of invariant nets to its tail).
+    prelude: Code,
+    /// Nets whose value is run-invariant (input/constant cones): their
+    /// transposes may be hoisted into the prelude from the body pass.
+    invariant: HashSet<u32>,
+    /// Whether the invariant pass is running (emissions already target
+    /// the prelude stream; no hoisting needed).
+    in_prelude: bool,
     /// Pending copy run: (opcode, first dst, channel, first src, nw).
     run: Option<(u8, u32, u32, u32, u32)>,
     /// Arena offset → packed arena word offset.
@@ -802,7 +822,9 @@ impl LowerCtx {
 
     /// Returns net `off` in packed form, emitting a `PACK` transpose if
     /// it only exists strided — except for constants, which are packed
-    /// once at engine init instead of once per cycle.
+    /// once at engine init instead of once per cycle, and run-invariant
+    /// nets, whose transpose is hoisted to the prelude tail (it runs
+    /// after every prelude compute, so the strided value is there).
     fn ensure_packed(&mut self, off: u32) -> u32 {
         if let Some(&s) = self.pslot.get(&off) {
             return s;
@@ -814,6 +836,10 @@ impl LowerCtx {
         let s = self.alloc(off);
         if self.consts.contains(&off) {
             self.const_packs.push((off, s));
+            return s;
+        }
+        if !self.in_prelude && self.invariant.contains(&off) {
+            self.prelude.emit(op::PACK, 0, &[s, off]);
             return s;
         }
         self.flush();
@@ -841,14 +867,19 @@ impl LowerCtx {
     }
 
     /// Materializes net `off` in its strided arena slot, emitting an
-    /// `UNPACK` transpose if it only exists packed.
+    /// `UNPACK` transpose if it only exists packed — hoisted to the
+    /// prelude tail when the net is run-invariant.
     fn ensure_strided(&mut self, off: u32) {
         if self.strided_ok.contains(&off) {
             return;
         }
         let s = self.pslot[&off];
-        self.flush();
-        self.code.emit(op::UNPACK, 0, &[off, s]);
+        if !self.in_prelude && self.invariant.contains(&off) {
+            self.prelude.emit(op::UNPACK, 0, &[off, s]);
+        } else {
+            self.flush();
+            self.code.emit(op::UNPACK, 0, &[off, s]);
+        }
         self.strided_ok.insert(off);
     }
 }
@@ -1028,11 +1059,57 @@ fn step_dst(step: &Step) -> Option<u32> {
     }
 }
 
+/// Classifies each step as **run-invariant** — its transitive
+/// dependencies are only inputs and constants/presets, never a
+/// register, mailbox, or array — and returns the per-step flags plus
+/// the set of invariant net offsets. Inputs are frozen for the duration
+/// of a `run` call, so invariant steps can execute once per run.
+fn classify_invariant(steps: &[Step], seed: &HashSet<u32>) -> (Vec<bool>, HashSet<u32>) {
+    let mut inv = seed.clone();
+    let mut flags = vec![false; steps.len()];
+    for (i, step) in steps.iter().enumerate() {
+        let iv = match *step {
+            Step::Input { .. } | Step::InputP { .. } => true,
+            Step::RegOwn { .. }
+            | Step::RegMail { .. }
+            | Step::RegOwnP { .. }
+            | Step::RegMailP { .. }
+            | Step::ArrayRead { .. } => false,
+            _ => {
+                let (ops, n) = step_operands(step);
+                ops[..n].iter().all(|o| inv.contains(o))
+            }
+        };
+        if iv {
+            flags[i] = true;
+            match *step {
+                Step::InputP { dst, .. } => {
+                    inv.insert(dst);
+                }
+                _ => {
+                    if let Some(d) = step_dst(step) {
+                        inv.insert(d);
+                    }
+                }
+            }
+        }
+    }
+    (flags, inv)
+}
+
 /// The shared lowering: strided when `plan` is `None`, packed-aware
-/// otherwise.
+/// otherwise. In packed mode the run-invariant prefix (input/constant
+/// cones and their transposes) is split into [`Lowered::prelude`];
+/// reordering invariant steps ahead of the rest is sound because every
+/// arena offset is written by exactly one step (bump allocation) and an
+/// invariant step only reads invariant offsets, whose producers keep
+/// their relative order.
 fn lower_inner(steps: &[Step], plan: Option<&PackPlan>) -> Lowered {
     let mut ctx = LowerCtx {
         code: Code::default(),
+        prelude: Code::default(),
+        invariant: HashSet::new(),
+        in_prelude: false,
         run: None,
         pslot: HashMap::new(),
         src_slot: HashMap::new(),
@@ -1043,112 +1120,38 @@ fn lower_inner(steps: &[Step], plan: Option<&PackPlan>) -> Lowered {
         pw: plan.map_or(0, |p| p.pw),
     };
     let packed = plan.is_some();
+    let mut inv_step = vec![false; steps.len()];
     if let Some(plan) = plan {
         ctx.strided_ok.extend(plan.preset_strided.iter().copied());
         ctx.consts.extend(plan.const_strided.iter().copied());
         ctx.strided_ok.extend(plan.const_strided.iter().copied());
+        // Presets behave like constants for invariance: the caller
+        // seeds them before the run, never mid-run.
+        let mut seed: HashSet<u32> = plan.preset_strided.iter().copied().collect();
+        seed.extend(plan.const_strided.iter().copied());
+        seed.extend(plan.preset_packed.iter().copied());
+        let (flags, inv) = classify_invariant(steps, &seed);
+        inv_step = flags;
+        ctx.invariant = inv;
+        // The preset-pack seeding and the whole invariant pass build
+        // the prelude stream.
+        ctx.in_prelude = true;
         for &off in &plan.preset_packed {
             ctx.strided_ok.insert(off);
             ctx.ensure_packed(off);
         }
-    }
-    for step in steps {
-        match *step {
-            Step::Input { dst, src, nw } => ctx.copy(op::COPY_INPUT, dst, 0, src, nw),
-            Step::RegOwn { dst, src, nw } => ctx.copy(op::COPY_REG, dst, 0, src, nw),
-            Step::RegMail { dst, ch, src, nw } => ctx.copy(op::COPY_MAIL, dst, ch, src, nw),
-            Step::InputP { dst, src } => ctx.pcopy(op::PCOPY_INPUT, dst, 0, src),
-            Step::RegOwnP { dst, src } => ctx.pcopy(op::PCOPY_REG, dst, 0, src),
-            Step::RegMailP { dst, ch, src } => ctx.pcopy(op::PCOPY_MAIL, dst, ch, src),
-            _ => {
-                ctx.flush();
-                if packed && try_packed(&mut ctx, step) {
-                    continue;
-                }
-                if packed {
-                    // Strided lowering: operands computed in the packed
-                    // domain must cross the transpose boundary first.
-                    let (ops, n) = step_operands(step);
-                    for &off in &ops[..n] {
-                        ctx.ensure_strided(off);
-                    }
-                }
-                let code = &mut ctx.code;
-                match *step {
-                    Step::ArrayRead {
-                        dst,
-                        arr,
-                        idx,
-                        idx_w,
-                        nw,
-                        depth,
-                    } => {
-                        assert!(idx_w < 1 << 8 && nw < 1 << 16, "array shape overflows imm");
-                        code.emit(op::ARRAY_READ, idx_w | (nw << 8), &[dst, arr, idx, depth]);
-                    }
-                    Step::Un {
-                        op: o,
-                        dst,
-                        a,
-                        w,
-                        aw,
-                        anw,
-                    } if anw == 1 && w <= 64 => {
-                        code.emit(un1_opc(o), w | (aw << 7), &[dst, a]);
-                    }
-                    Step::Bin {
-                        op: o,
-                        dst,
-                        a,
-                        b,
-                        w,
-                        aw,
-                        anw,
-                        bnw,
-                    } if anw == 1 && bnw == 1 && w <= 64 => {
-                        code.emit(bin1_opc(o), w | (aw << 7), &[dst, a, b]);
-                    }
-                    Step::Mux {
-                        dst,
-                        sel,
-                        t,
-                        f,
-                        nw: 1,
-                        ..
-                    } => code.emit(op::MUX1, 0, &[dst, sel, t, f]),
-                    Step::Slice {
-                        dst,
-                        a,
-                        lo,
-                        w,
-                        anw: 1,
-                    } => code.emit(op::SLICE1, lo | (w << 6), &[dst, a]),
-                    Step::Zext { dst, a, w, anw } if anw == 1 && w <= 64 => {
-                        code.emit(op::ZEXT1, w, &[dst, a]);
-                    }
-                    Step::Sext { dst, a, aw, w, anw } if anw == 1 && w <= 64 => {
-                        code.emit(op::SEXT1, aw | (w << 7), &[dst, a]);
-                    }
-                    Step::Concat {
-                        dst,
-                        hi,
-                        lo,
-                        w,
-                        low_w,
-                        hnw: 1,
-                        lnw: 1,
-                    } if w <= 64 => code.emit(op::CONCAT1, low_w | (w << 6), &[dst, hi, lo]),
-                    _ => {
-                        assert!(code.wide.len() < 1 << 24, "wide table overflows imm");
-                        let idx = code.wide.len() as u32;
-                        code.wide.push(step.clone());
-                        code.emit(op::WIDE, idx, &[]);
-                    }
-                }
-                if let Some(dst) = step_dst(step) {
-                    ctx.strided_ok.insert(dst);
-                }
+        for (step, &iv) in steps.iter().zip(&inv_step) {
+            if iv {
+                lower_step(&mut ctx, packed, step);
             }
+        }
+        ctx.flush();
+        ctx.prelude = std::mem::take(&mut ctx.code);
+        ctx.in_prelude = false;
+    }
+    for (step, &iv) in steps.iter().zip(&inv_step) {
+        if !iv {
+            lower_step(&mut ctx, packed, step);
         }
     }
     ctx.flush();
@@ -1164,11 +1167,115 @@ fn lower_inner(steps: &[Step], plan: Option<&PackPlan>) -> Lowered {
     }
     let code = fuse_adjacent(ctx.code);
     code.validate();
+    let prelude = fuse_adjacent(ctx.prelude);
+    prelude.validate();
     Lowered {
         packed_words: (ctx.next_slot * ctx.pw) as usize,
         pslot: ctx.pslot,
         const_packs: ctx.const_packs,
         code,
+        prelude,
+    }
+}
+
+/// Lowers one step into the context's current stream.
+fn lower_step(ctx: &mut LowerCtx, packed: bool, step: &Step) {
+    match *step {
+        Step::Input { dst, src, nw } => ctx.copy(op::COPY_INPUT, dst, 0, src, nw),
+        Step::RegOwn { dst, src, nw } => ctx.copy(op::COPY_REG, dst, 0, src, nw),
+        Step::RegMail { dst, ch, src, nw } => ctx.copy(op::COPY_MAIL, dst, ch, src, nw),
+        Step::InputP { dst, src } => ctx.pcopy(op::PCOPY_INPUT, dst, 0, src),
+        Step::RegOwnP { dst, src } => ctx.pcopy(op::PCOPY_REG, dst, 0, src),
+        Step::RegMailP { dst, ch, src } => ctx.pcopy(op::PCOPY_MAIL, dst, ch, src),
+        _ => {
+            ctx.flush();
+            if packed && try_packed(ctx, step) {
+                return;
+            }
+            if packed {
+                // Strided lowering: operands computed in the packed
+                // domain must cross the transpose boundary first.
+                let (ops, n) = step_operands(step);
+                for &off in &ops[..n] {
+                    ctx.ensure_strided(off);
+                }
+            }
+            let code = &mut ctx.code;
+            match *step {
+                Step::ArrayRead {
+                    dst,
+                    arr,
+                    idx,
+                    idx_w,
+                    nw,
+                    depth,
+                } => {
+                    assert!(idx_w < 1 << 8 && nw < 1 << 16, "array shape overflows imm");
+                    code.emit(op::ARRAY_READ, idx_w | (nw << 8), &[dst, arr, idx, depth]);
+                }
+                Step::Un {
+                    op: o,
+                    dst,
+                    a,
+                    w,
+                    aw,
+                    anw,
+                } if anw == 1 && w <= 64 => {
+                    code.emit(un1_opc(o), w | (aw << 7), &[dst, a]);
+                }
+                Step::Bin {
+                    op: o,
+                    dst,
+                    a,
+                    b,
+                    w,
+                    aw,
+                    anw,
+                    bnw,
+                } if anw == 1 && bnw == 1 && w <= 64 => {
+                    code.emit(bin1_opc(o), w | (aw << 7), &[dst, a, b]);
+                }
+                Step::Mux {
+                    dst,
+                    sel,
+                    t,
+                    f,
+                    nw: 1,
+                    ..
+                } => code.emit(op::MUX1, 0, &[dst, sel, t, f]),
+                Step::Slice {
+                    dst,
+                    a,
+                    lo,
+                    w,
+                    anw: 1,
+                } => code.emit(op::SLICE1, lo | (w << 6), &[dst, a]),
+                Step::Zext { dst, a, w, anw } if anw == 1 && w <= 64 => {
+                    code.emit(op::ZEXT1, w, &[dst, a]);
+                }
+                Step::Sext { dst, a, aw, w, anw } if anw == 1 && w <= 64 => {
+                    code.emit(op::SEXT1, aw | (w << 7), &[dst, a]);
+                }
+                Step::Concat {
+                    dst,
+                    hi,
+                    lo,
+                    w,
+                    low_w,
+                    hnw: 1,
+                    lnw: 1,
+                } if w <= 64 => code.emit(op::CONCAT1, low_w | (w << 6), &[dst, hi, lo]),
+                _ => {
+                    assert!(code.wide.len() < 1 << 24, "wide table overflows imm");
+                    let idx = code.wide.len() as u32;
+                    code.wide.push(step.clone());
+                    code.emit(op::WIDE, idx, &[]);
+                }
+            }
+            if let Some(dst) = step_dst(step) {
+                ctx.strided_ok.insert(dst);
+            }
+        }
     }
 }
 
@@ -2309,6 +2416,12 @@ struct CoreShared {
     programs: Vec<Program>,
     tiles: Vec<Mutex<LaneTile>>,
     channels: Vec<Mailbox>,
+    /// The off-chip fabric: carries the per-chip-pair aggregate
+    /// mailboxes across the chosen memory-domain boundary (in-process
+    /// direct writes by default — see [`crate::transport`]).
+    transport: Box<dyn crate::transport::ChipTransport>,
+    /// Number of leading on-chip mailboxes in `channels`.
+    onchip: usize,
     /// Per-lane words of each mailbox (the lane stride of its buffers).
     mail_words: Vec<u32>,
     /// `lanes × input_stride` words, read-only during runs.
@@ -2391,6 +2504,29 @@ impl<'c> EngineCore<'c> {
         packed: bool,
         layout: LayoutChoice,
     ) -> Self {
+        Self::with_transport(
+            circuit,
+            partition,
+            threads,
+            lanes,
+            packed,
+            layout,
+            crate::transport::TransportChoice::from_env(),
+        )
+    }
+
+    /// [`EngineCore::new`] with an explicit off-chip transport backend
+    /// (the plain constructor reads `PARENDI_TRANSPORT`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_transport(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        lanes: usize,
+        packed: bool,
+        layout: LayoutChoice,
+        transport: crate::transport::TransportChoice,
+    ) -> Self {
         assert!(threads >= 1, "need at least one thread");
         assert!(lanes >= 1, "need at least one lane");
         let Compiled {
@@ -2414,6 +2550,7 @@ impl<'c> EngineCore<'c> {
             pw,
             word_major,
             isa,
+            offchip_pairs,
         } = Compiled::new(circuit, partition, lanes, packed, layout);
 
         // The one indexing rule every strided init below goes through:
@@ -2509,10 +2646,61 @@ impl<'c> EngineCore<'c> {
         };
         let worker_count = if pool_threads > 1 { pool_threads } else { 0 };
         let tile_count = programs.len();
+        let groups = worker_groups(&tile_chip, worker_count);
+
+        // The off-chip fabric: which pairs each tile produces into,
+        // and which worker performs each pair's receive (the first
+        // worker owning a tile of the consumer chip; the inline path
+        // owns everything).
+        let produces: Vec<Vec<u32>> = programs
+            .iter()
+            .map(|prog| {
+                let mut ps: Vec<u32> = prog
+                    .offchip_sends
+                    .iter()
+                    .map(|s| s.ch)
+                    .chain(prog.offchip_packed_sends.iter().map(|s| s.ch))
+                    .chain(
+                        prog.offchip_port_sends
+                            .iter()
+                            .flat_map(|s| s.dests.iter().map(|&(ch, _)| ch)),
+                    )
+                    .map(|ch| ch - onchip_mailboxes as u32)
+                    .collect();
+                ps.sort_unstable();
+                ps.dedup();
+                ps
+            })
+            .collect();
+        let mut recv_of: Vec<Vec<u32>> = vec![Vec::new(); worker_count.max(1)];
+        for (pi, &(_, to)) in offchip_pairs.iter().enumerate() {
+            let w = if worker_count == 0 {
+                0
+            } else {
+                groups
+                    .iter()
+                    .position(|g| g.iter().any(|&t| tile_chip[t] == to))
+                    .expect("consumer chip owns at least one tile")
+            };
+            recv_of[w].push(pi as u32);
+        }
+        let transport = crate::transport::build(
+            transport,
+            crate::transport::TransportInit {
+                pairs: &offchip_pairs,
+                channels: &channels,
+                onchip: onchip_mailboxes,
+                produces,
+                recv_of,
+            },
+        );
+
         let shared = Arc::new(CoreShared {
             programs,
             tiles,
             channels,
+            transport,
+            onchip: onchip_mailboxes,
             mail_words,
             inputs: RwLock::new(vec![0u64; input_total_words]),
             input_stride: input_words as usize,
@@ -2535,7 +2723,6 @@ impl<'c> EngineCore<'c> {
                 .collect(),
             tile_ns: (0..tile_count).map(|_| Mutex::new((0, 0, 0))).collect(),
         });
-        let groups = worker_groups(&tile_chip, worker_count);
         let workers = groups
             .into_iter()
             .enumerate()
@@ -2543,7 +2730,10 @@ impl<'c> EngineCore<'c> {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("engine-worker-{t}"))
-                    .spawn(move || worker_loop(&shared, t, mine))
+                    .spawn(move || {
+                        crate::transport::maybe_pin_to_core(t);
+                        worker_loop(&shared, t, mine)
+                    })
                     .expect("spawn engine worker")
             })
             .collect();
@@ -2602,6 +2792,18 @@ impl<'c> EngineCore<'c> {
 
     pub(crate) fn set_offchip_spin(&self, spins: u32) {
         self.shared.offchip_spin.store(spins, Ordering::Relaxed);
+    }
+
+    /// Total bytes the off-chip transport has carried so far (whole
+    /// pair aggregates per completed cycle — comparable across
+    /// backends; see [`crate::transport`]).
+    pub(crate) fn offchip_bytes_sent(&self) -> u64 {
+        self.shared.transport.bytes_sent()
+    }
+
+    /// Short name of the off-chip transport backend in use.
+    pub(crate) fn transport_name(&self) -> &'static str {
+        self.shared.transport.name()
     }
 
     /// Number of lanes still running (not early-exited).
@@ -2781,30 +2983,38 @@ impl<'c> EngineCore<'c> {
     /// lane's [`peek_cycle`](Self::peek_cycle)).
     fn replay_tile(&self, t: usize, inputs: &[u64], tile: &mut LaneTile, cycle: u64) {
         let shared = &self.shared;
-        if shared.word_major {
-            exec_code::<_, WordMajor>(
-                &shared.programs[t].code,
-                tile,
-                inputs,
-                shared.input_stride,
-                &shared.channels,
-                &shared.mail_words,
-                (cycle & 1) as usize,
-                AllLanes(shared.lanes),
-                shared.isa,
-            );
-        } else {
-            exec_code::<_, LaneMajor>(
-                &shared.programs[t].code,
-                tile,
-                inputs,
-                shared.input_stride,
-                &shared.channels,
-                &shared.mail_words,
-                (cycle & 1) as usize,
-                AllLanes(shared.lanes),
-                shared.isa,
-            );
+        let prog = &shared.programs[t];
+        // The run-invariant prelude must replay too: a peek may follow
+        // input pokes the last run never saw.
+        for code in [&prog.prelude, &prog.code] {
+            if code.ops.is_empty() {
+                continue;
+            }
+            if shared.word_major {
+                exec_code::<_, WordMajor>(
+                    code,
+                    tile,
+                    inputs,
+                    shared.input_stride,
+                    &shared.channels,
+                    &shared.mail_words,
+                    (cycle & 1) as usize,
+                    AllLanes(shared.lanes),
+                    shared.isa,
+                );
+            } else {
+                exec_code::<_, LaneMajor>(
+                    code,
+                    tile,
+                    inputs,
+                    shared.input_stride,
+                    &shared.channels,
+                    &shared.mail_words,
+                    (cycle & 1) as usize,
+                    AllLanes(shared.lanes),
+                    shared.isa,
+                );
+            }
         }
     }
 
@@ -3089,6 +3299,10 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
     acc: &mut PhaseAcc,
 ) {
     let any_off = mine.iter().any(|&pi| shared.programs[pi].has_offchip());
+    // Where producing tiles flush off-chip segments: the consumer
+    // fabric itself (in-process), or the transport's staging copy.
+    let flush_boxes: &[Mailbox] = shared.transport.staging().unwrap_or(&shared.channels);
+    let any_pairs = shared.onchip < shared.channels.len();
     // Modeled link nanoseconds per flushed word (the spin knob converted
     // into wall time so the transfer can be scheduled asynchronously).
     // Strided words cross once per active lane; packed words already
@@ -3108,6 +3322,27 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
     } else {
         &[]
     };
+    // Run-invariant prelude: inputs are frozen for the whole run (the
+    // facades take `&mut self`), so each tile's input/constant cones
+    // and their PACK/UNPACK transposes execute once per run here, not
+    // once per cycle. Mailbox parity is irrelevant — the prelude never
+    // reads a mailbox (register/mail cones are variant by definition).
+    for (guard, &pi) in guards.iter_mut().zip(mine.iter()) {
+        let prog = &shared.programs[pi];
+        if !prog.prelude.ops.is_empty() {
+            exec_code::<L, Y>(
+                &prog.prelude,
+                guard,
+                inputs,
+                shared.input_stride,
+                &shared.channels,
+                &shared.mail_words,
+                (start & 1) as usize,
+                lanes,
+                shared.isa,
+            );
+        }
+    }
     for c in start..start + cycles {
         let mut mark = timed.then(Instant::now);
         // The modeled link-transfer deadline and the total occupancy
@@ -3142,17 +3377,19 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
                 // Eager flush: the epoch-c+1 aggregate segments have no
                 // reader until after barrier 1, so copying now is legal
                 // and lets the modeled transfer overlap the remaining
-                // tiles' compute.
+                // tiles' compute. Staged transports redirect the flush
+                // into their producer-side staging fabric.
                 offchip_flush::<L, Y>(
                     prog,
                     guard,
-                    &shared.channels,
+                    flush_boxes,
                     &shared.mail_words,
                     lanes,
                     c,
                     pw,
                     mask,
                 );
+                shared.transport.tile_flushed(pi, ((c & 1) ^ 1) as usize, c);
                 if spin_ns > 0.0 {
                     let words = prog.offchip_words as f64 * lanes.count() as f64
                         + prog.offchip_packed_words as f64;
@@ -3186,6 +3423,24 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
                 }
             } else {
                 acc.overlap += link_total_ns;
+            }
+        }
+        // Staged transports: land this worker's inbound pair frames in
+        // the consumer mailboxes before barrier 1. The wait for remote
+        // producers is real measured off-chip latency, so it joins the
+        // link residual in the offchip_s column (a no-op in-process).
+        if any_pairs {
+            shared.transport.complete_recvs(
+                who,
+                ((c & 1) ^ 1) as usize,
+                c,
+                &shared.channels,
+                shared.onchip,
+            );
+            if let Some(m) = mark {
+                let now = Instant::now();
+                acc.off += now.duration_since(m).as_nanos() as u64;
+                mark = Some(now);
             }
         }
         // exchange_s starts *before* barrier 1 so the straggler wait —
@@ -3320,7 +3575,7 @@ mod tests {
     /// block de-transposed back to a contiguous slab so callers compare
     /// layouts and ISAs against one oracle.
     fn run_step_code(
-        code: &Code,
+        codes: &[&Code],
         lanes: usize,
         astride: usize,
         packed_words: usize,
@@ -3339,12 +3594,36 @@ mod tests {
                     tile.arena[off * lanes + l] = w;
                 }
             }
-            exec_code::<_, WordMajor>(code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes), isa);
+            for code in codes {
+                exec_code::<_, WordMajor>(
+                    code,
+                    &mut tile,
+                    &[],
+                    0,
+                    &[],
+                    &[],
+                    0,
+                    AllLanes(lanes),
+                    isa,
+                );
+            }
         } else {
             for l in 0..lanes {
                 setup(l, &mut tile.arena[l * astride..(l + 1) * astride]);
             }
-            exec_code::<_, LaneMajor>(code, &mut tile, &[], 0, &[], &[], 0, AllLanes(lanes), isa);
+            for code in codes {
+                exec_code::<_, LaneMajor>(
+                    code,
+                    &mut tile,
+                    &[],
+                    0,
+                    &[],
+                    &[],
+                    0,
+                    AllLanes(lanes),
+                    isa,
+                );
+            }
         }
         (0..lanes)
             .map(|l| {
@@ -3384,7 +3663,7 @@ mod tests {
         let mut expect = vec![0u64; astride];
         for wm in [false, true] {
             for isa in test_isas() {
-                let got = run_step_code(&code, lanes, astride, 0, setup, wm, isa);
+                let got = run_step_code(&[&code], lanes, astride, 0, setup, wm, isa);
                 for (l, lane) in got.iter().enumerate() {
                     setup(l, &mut expect);
                     eval_op(&mut expect, step);
@@ -3601,7 +3880,7 @@ mod tests {
         };
         let mut expect = vec![0u64; astride];
         for wm in [false, true] {
-            let got = run_step_code(&code, lanes, astride, 0, &setup, wm, VecIsa::Scalar);
+            let got = run_step_code(&[&code], lanes, astride, 0, &setup, wm, VecIsa::Scalar);
             for (l, lane) in got.iter().enumerate() {
                 setup(l, &mut expect);
                 eval_op(&mut expect, &step);
@@ -3713,18 +3992,23 @@ mod tests {
             need_packed: Vec::new(),
         };
         let lowered = Code::lower_packed(std::slice::from_ref(step), &plan);
-        for &opw in &lowered.code.ops {
-            let opc = (opw & 0xff) as u8;
-            assert!(
-                opc == op::PACK || opc == op::UNPACK || opc >= op::PNOT,
-                "packed lowering of {step:?} used strided opcode {opc}"
-            );
+        // The whole program is an input/preset cone here, so the
+        // lowering may split it between the run-invariant prelude and
+        // the per-cycle body; both streams must stay packed-only.
+        for stream in [&lowered.prelude, &lowered.code] {
+            for &opw in &stream.ops {
+                let opc = (opw & 0xff) as u8;
+                assert!(
+                    opc == op::PACK || opc == op::UNPACK || opc >= op::PNOT,
+                    "packed lowering of {step:?} used strided opcode {opc}"
+                );
+            }
         }
         let astride = 16usize;
         let mut expect = vec![0u64; astride];
         for wm in [false, true] {
             let got = run_step_code(
-                &lowered.code,
+                &[&lowered.prelude, &lowered.code],
                 lanes,
                 astride,
                 lowered.packed_words,
@@ -3890,6 +4174,12 @@ mod tests {
         let compiled = Compiled::new(&c, &comp.partition, 96, true, LayoutChoice::LaneMajor);
         assert_eq!(compiled.programs.len(), 1);
         let prog = &compiled.programs[0];
+        let got = prog.prelude.disasm();
+        let want: Vec<String> = GOLDEN_PACKED_PRELUDE
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(got, want, "golden packed prelude stream changed");
         let got = prog.code.disasm();
         let want: Vec<String> = GOLDEN_PACKED.iter().map(|s| s.to_string()).collect();
         assert_eq!(got, want, "golden packed opcode stream changed");
@@ -3898,16 +4188,24 @@ mod tests {
         assert!(prog.commits.is_empty(), "1-bit reg must commit packed");
     }
 
-    /// The expected stream for `gang_packed_golden_program_lowering` at 96
-    /// lanes (`pw = 2`). Update deliberately when the lowering or node
-    /// ordering changes.
-    const GOLDEN_PACKED: &[&str] = &[
+    /// The run-invariant prelude for `gang_packed_golden_program_lowering`:
+    /// the input copies, the reduction over the strided input, and the
+    /// hoisted PACK of its result — everything derivable from inputs
+    /// alone, executed once per run.
+    const GOLDEN_PACKED_PRELUDE: &[&str] = &[
         "pinput pdst=0 src=96 pw=2",
         "input dst=1 src=0 nw=1",
-        "pregown pdst=2 src=0 pw=2",
-        "pand pdst=4 pa=0 pb=2 pw=2",
         "redor1 dst=4 a=1 w=1 aw=32",
         "pack pdst=6 src=4",
+    ];
+
+    /// The expected per-cycle stream for
+    /// `gang_packed_golden_program_lowering` at 96 lanes (`pw = 2`):
+    /// only the register-dependent chain remains. Update deliberately
+    /// when the lowering or node ordering changes.
+    const GOLDEN_PACKED: &[&str] = &[
+        "pregown pdst=2 src=0 pw=2",
+        "pand pdst=4 pa=0 pb=2 pw=2",
         "por pdst=8 pa=4 pb=6 pw=2",
         "unpack dst=5 psrc=8",
         "mux1 dst=6 sel=5 t=1 f=1",
@@ -4056,7 +4354,7 @@ mod tests {
         let mut expect = vec![0u64; astride];
         for wm in [false, true] {
             for isa in test_isas() {
-                let got = run_step_code(&code, lanes, astride, 0, setup, wm, isa);
+                let got = run_step_code(&[&code], lanes, astride, 0, setup, wm, isa);
                 for (l, lane) in got.iter().enumerate() {
                     setup(l, &mut expect);
                     for s in steps {
@@ -4280,9 +4578,17 @@ mod tests {
             need_packed: Vec::new(),
         };
         let lowered = Code::lower_packed(&steps, &plan);
+        // The input copy is run-invariant, so it hoists to the prelude
+        // (and takes the first packed slot); the register copies stay
+        // per-cycle, the second aliasing the first.
+        assert_eq!(
+            lowered.prelude.disasm(),
+            vec!["pinput pdst=0 src=40 pw=2"],
+            "input copy must hoist to the run-invariant prelude"
+        );
         assert_eq!(
             lowered.code.disasm(),
-            vec!["pregown pdst=0 src=8 pw=2", "pinput pdst=2 src=40 pw=2"],
+            vec!["pregown pdst=2 src=8 pw=2"],
             "second copy of the same block must alias, not re-copy"
         );
         assert_eq!(lowered.pslot[&0], lowered.pslot[&1]);
@@ -4318,7 +4624,10 @@ mod tests {
             need_packed: Vec::new(),
         };
         let lowered = Code::lower_packed(&[and, or], &plan);
-        let got = lowered.code.disasm();
+        // Presets count as run-invariant, so this whole chain lands in
+        // the prelude; the per-cycle body is empty.
+        assert!(lowered.code.ops.is_empty(), "{:?}", lowered.code.disasm());
+        let got = lowered.prelude.disasm();
         let packs: Vec<_> = got.iter().filter(|s| s.starts_with("pack ")).collect();
         assert_eq!(
             packs.len(),

@@ -99,6 +99,47 @@ impl<'c> GangSimulator<'c> {
         }
     }
 
+    /// Like [`new`](Self::new), but with an explicit off-chip transport
+    /// backend (the plain constructors read `PARENDI_TRANSPORT`). All
+    /// backends are bit-exact in every lane; they differ in which
+    /// memory-domain boundary the per-chip-pair aggregates cross.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `lanes` is zero.
+    pub fn with_transport(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        lanes: usize,
+        packed: bool,
+        transport: crate::transport::TransportChoice,
+    ) -> Self {
+        GangSimulator {
+            core: EngineCore::with_transport(
+                circuit,
+                partition,
+                threads,
+                lanes,
+                packed,
+                LayoutChoice::Auto,
+                transport,
+            ),
+        }
+    }
+
+    /// Short name of the off-chip transport backend in use.
+    pub fn transport_name(&self) -> &'static str {
+        self.core.transport_name()
+    }
+
+    /// Total bytes the off-chip transport has carried so far (whole
+    /// per-chip-pair aggregates per completed cycle — comparable across
+    /// backends; see [`crate::transport`]).
+    pub fn offchip_bytes_sent(&self) -> u64 {
+        self.core.offchip_bytes_sent()
+    }
+
     /// Like [`new`](Self::new)/[`new_packed`](Self::new_packed), but
     /// with an **explicit strided memory layout**: `word_major = true`
     /// interleaves strided state `[word × lanes]` so the SIMD kernels

@@ -53,10 +53,12 @@ pub mod gang;
 pub mod interp;
 pub(crate) mod simd;
 pub mod timing;
+pub mod transport;
 pub mod vcd;
 
 pub use bsp::{BspPhases, BspSimulator};
 pub use gang::{GangSimulator, StimulusSet};
 pub use interp::Simulator;
 pub use timing::{ipu_rate_khz, ipu_timings};
+pub use transport::TransportChoice;
 pub use vcd::{dump_vcd, dump_vcd_lane, VcdWriter};

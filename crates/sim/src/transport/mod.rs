@@ -1,0 +1,327 @@
+//! The off-chip fabric: pluggable transports for the per-ordered-
+//! chip-pair aggregate mailboxes.
+//!
+//! The engine models a multi-chip machine (Parendi's m×b off-chip
+//! exchange) by aggregating every cross-chip channel into one wide
+//! mailbox per **ordered chip pair** (`engine.rs` lays them out after
+//! the on-chip per-tile-pair boxes). Historically those aggregates
+//! lived in the same address space as everything else, so the
+//! fig10/fig17 multi-IPU curves were measured over plain memcpys. This
+//! module puts the chip boundary behind [`ChipTransport`] so the same
+//! cycle loop can move the aggregates through a real memory-domain
+//! boundary:
+//!
+//! * [`TransportChoice::InProcess`] — the historical direct path:
+//!   producing tiles write straight into the consumer-side [`Mailbox`],
+//!   bit-exact and zero-copy. The default.
+//! * [`TransportChoice::SharedMem`] — producers write a **staging**
+//!   mailbox, and completed pair buffers are published through a
+//!   memory-mapped file on `/dev/shm` guarded by per-parity sequence
+//!   words. The mapping protocol is process-agnostic (a child process
+//!   can `ShmMap::open` the same path and exchange frames — see the
+//!   cross-process test in `shmem.rs`).
+//! * [`TransportChoice::Tcp`] — completed pair buffers travel as
+//!   length-prefixed frames over loopback sockets, one stream per
+//!   ordered pair, with a dedicated writer thread per pair so a worker
+//!   never blocks on a full socket buffer.
+//!
+//! # Epoch discipline
+//!
+//! The transport inherits the engine's double-buffer contract: during
+//! cycle `c` producers fill parity `(c+1) & 1` and consumers read
+//! parity `c & 1`; barrier 1 separates the two. A staged backend
+//! inserts a publish/receive hop inside the producer half of the
+//! cycle:
+//!
+//! 1. each producing tile's [`offchip_flush`](crate::exec) writes its
+//!    send segments into the *staging* copy of the pair aggregate
+//!    (same layout, same parity);
+//! 2. [`ChipTransport::tile_flushed`] counts down the pair's producing
+//!    tiles; the worker that flushes the last tile publishes the whole
+//!    parity buffer as one frame (an `AcqRel` countdown makes every
+//!    staging write visible to the publisher);
+//! 3. before barrier 1, each worker calls
+//!    [`ChipTransport::complete_recvs`] for the pairs whose consumer
+//!    chip it owns, blocking until the cycle's frame arrives, and
+//!    copies it into the consumer-side [`Mailbox`] at the same parity.
+//!
+//! Every publish precedes every receive wait within a worker, and the
+//! lockstep barriers bound in-flight traffic to one frame per pair, so
+//! the hop cannot deadlock. Frames carry the **whole** aggregate
+//! buffer: staging boxes are initialized by mirroring the consumer box
+//! (both parities, including the epoch-0 register preload), so words a
+//! cycle does not write retain exactly the bytes the in-process path
+//! would have left in place — this is what keeps the packed
+//! retire-mask blends bit-exact across backends.
+//!
+//! # Byte accounting
+//!
+//! [`ChipTransport::bytes_sent`] reports the bytes that crossed the
+//! chip boundary: one whole pair aggregate per completed cycle, for
+//! *every* backend (the in-process path conveys the same buffer
+//! implicitly through shared memory). Receive waits are timed by the
+//! cycle loop into the same `BspPhases::offchip_s` column as the
+//! modeled link residual, so fig10/fig17 print comparable measured
+//! columns for all three backends.
+//!
+//! # Failure behavior
+//!
+//! Transport faults are unrecoverable mid-cycle: a malformed or short
+//! TCP frame, a closed peer, or an unmappable shared-memory file
+//! panics the worker, and the engine's worker loop converts any worker
+//! panic into a process abort (a hung barrier would deadlock the run).
+//! Frame decoding itself ([`tcp::decode_frame`]) is a total function
+//! returning `Result`, unit-tested on truncated and corrupted input.
+
+use crate::engine::Mailbox;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+pub(crate) mod inproc;
+pub(crate) mod shmem;
+pub(crate) mod tcp;
+
+/// Which backend carries the off-chip aggregate mailboxes.
+///
+/// Selected per simulator via `BspSimulator::with_transport` /
+/// `GangSimulator::with_transport`, or globally via the
+/// `PARENDI_TRANSPORT` environment variable (`inproc` | `shm` |
+/// `tcp`). All backends are bit-exact; they differ only in which
+/// memory-domain boundary the aggregates cross and in the measured
+/// cost that lands in `BspPhases::offchip_s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TransportChoice {
+    /// Direct writes into the consumer mailbox (one address space).
+    #[default]
+    InProcess,
+    /// Staged frames through a memory-mapped `/dev/shm` file.
+    SharedMem,
+    /// Length-prefixed frames over loopback TCP sockets.
+    Tcp,
+}
+
+impl TransportChoice {
+    /// Reads `PARENDI_TRANSPORT` (`inproc` | `shm` | `tcp`, with a few
+    /// aliases), defaulting to [`TransportChoice::InProcess`]. Unknown
+    /// values fall back to the default so a typo degrades to the
+    /// bit-exact path rather than aborting.
+    pub fn from_env() -> Self {
+        match std::env::var("PARENDI_TRANSPORT").as_deref() {
+            Ok("shm") | Ok("shmem") | Ok("shared") | Ok("shared-mem") => Self::SharedMem,
+            Ok("tcp") => Self::Tcp,
+            _ => Self::InProcess,
+        }
+    }
+
+    /// Short stable name (used in bench record tags and fig columns).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::InProcess => "inproc",
+            Self::SharedMem => "shm",
+            Self::Tcp => "tcp",
+        }
+    }
+}
+
+/// Everything a backend needs at build time, derived by
+/// `EngineCore::new` from the compiled partition.
+pub(crate) struct TransportInit<'a> {
+    /// `(from_chip, to_chip)` of each off-chip pair, in mailbox order
+    /// (`channels[onchip + i]` carries `pairs[i]`).
+    pub pairs: &'a [(u32, u32)],
+    /// The full mailbox fabric (on-chip boxes first); staged backends
+    /// mirror `channels[onchip..]` into their staging copies.
+    pub channels: &'a [Mailbox],
+    /// Number of leading on-chip mailboxes in `channels`.
+    pub onchip: usize,
+    /// Per tile: the pair indices the tile's off-chip sends feed.
+    pub produces: Vec<Vec<u32>>,
+    /// Per worker: the pair indices whose consumer chip the worker
+    /// owns (it performs those receives).
+    pub recv_of: Vec<Vec<u32>>,
+}
+
+/// A backend carrying the off-chip aggregate mailboxes (see the module
+/// docs for the cycle-level contract).
+pub(crate) trait ChipTransport: Send + Sync {
+    /// The mailbox slice producing tiles flush into: `None` means the
+    /// consumer-side fabric itself (the in-process direct path);
+    /// `Some` is a same-layout staging copy (on-chip entries are
+    /// zero-sized placeholders — only off-chip boxes are ever touched
+    /// through this slice).
+    fn staging(&self) -> Option<&[Mailbox]>;
+
+    /// Notes that `tile`'s off-chip segments for `parity` are written;
+    /// publishes every pair whose producers have all flushed for this
+    /// `cycle`.
+    fn tile_flushed(&self, tile: usize, parity: usize, cycle: u64);
+
+    /// Blocks until every pair in worker `who`'s receive set has this
+    /// `cycle`'s frame, copying each into the consumer mailbox
+    /// (`channels[onchip + pair]`) at `parity`. Must be called after
+    /// the worker's own flushes and before barrier 1.
+    fn complete_recvs(
+        &self,
+        who: usize,
+        parity: usize,
+        cycle: u64,
+        channels: &[Mailbox],
+        onchip: usize,
+    );
+
+    /// Total bytes that crossed the chip boundary so far (whole pair
+    /// aggregates, every backend — see the module docs).
+    fn bytes_sent(&self) -> u64;
+
+    /// Short stable backend name.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the chosen backend over the compiled fabric.
+pub(crate) fn build(choice: TransportChoice, init: TransportInit<'_>) -> Box<dyn ChipTransport> {
+    match choice {
+        TransportChoice::InProcess => Box::new(inproc::InProcess::new(init)),
+        TransportChoice::SharedMem => Box::new(shmem::SharedMem::new(init)),
+        TransportChoice::Tcp => Box::new(tcp::Tcp::new(init)),
+    }
+}
+
+/// The machinery every backend shares: the per-pair producer countdown
+/// and the staging fabric (empty for the in-process path). `on_ready`
+/// fires exactly once per pair per cycle, on the worker that flushed
+/// the pair's last producing tile, after an `AcqRel` edge that makes
+/// all producers' staging writes visible to it.
+pub(crate) struct Staging {
+    /// Same length/layout as the engine fabric; on-chip entries are
+    /// zero-sized. Empty (no staging) for the in-process path.
+    boxes: Vec<Mailbox>,
+    /// Per tile: pair indices it produces into.
+    produces: Vec<Vec<u32>>,
+    /// Per pair: producing tiles still unflushed this cycle.
+    counts: Vec<AtomicU32>,
+    /// Per pair: total producing tiles (the countdown reset value).
+    full: Vec<u32>,
+    /// Per pair: words in one parity buffer of the aggregate.
+    pair_words: Vec<usize>,
+    /// Number of leading on-chip mailboxes.
+    onchip: usize,
+    bytes: AtomicU64,
+}
+
+impl Staging {
+    /// Builds the countdown (and, with `staged`, the mirror staging
+    /// fabric) from the engine's init data.
+    pub(crate) fn new(init: &TransportInit<'_>, staged: bool) -> Self {
+        let npairs = init.pairs.len();
+        let mut full = vec![0u32; npairs];
+        for tile in &init.produces {
+            for &p in tile {
+                full[p as usize] += 1;
+            }
+        }
+        let pair_words: Vec<usize> = (0..npairs)
+            .map(|p| init.channels[init.onchip + p].words())
+            .collect();
+        let boxes = if staged {
+            let mut boxes: Vec<Mailbox> = (0..init.onchip).map(|_| Mailbox::new(0)).collect();
+            for (p, &words) in pair_words.iter().enumerate() {
+                let b = Mailbox::new(words);
+                // Mirror the consumer box, both parities: frames carry
+                // whole buffers, so unwritten words must hold exactly
+                // what the direct path would have left there
+                // (including the epoch-0 register preload in parity 0).
+                // SAFETY: single-threaded build — no concurrent access.
+                unsafe {
+                    for parity in 0..2 {
+                        let src = init.channels[init.onchip + p].read(parity);
+                        std::ptr::copy_nonoverlapping(src.as_ptr(), b.write_base(parity), words);
+                    }
+                }
+                boxes.push(b);
+            }
+            boxes
+        } else {
+            Vec::new()
+        };
+        Staging {
+            boxes,
+            produces: init.produces.clone(),
+            counts: full.iter().map(|&f| AtomicU32::new(f)).collect(),
+            full,
+            pair_words,
+            onchip: init.onchip,
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The staging fabric, or `None` for the in-process path.
+    pub(crate) fn boxes(&self) -> Option<&[Mailbox]> {
+        if self.boxes.is_empty() {
+            None
+        } else {
+            Some(&self.boxes)
+        }
+    }
+
+    /// One parity buffer of pair `p`'s staging box.
+    ///
+    /// SAFETY contract of the caller: all producers of `p` have
+    /// flushed (the countdown reached zero through this thread's
+    /// `AcqRel` decrement), so no writer of this parity remains.
+    pub(crate) unsafe fn frame(&self, p: usize, parity: usize) -> &[u64] {
+        unsafe { self.boxes[self.onchip + p].read(parity) }
+    }
+
+    /// Words in one parity buffer of pair `p`.
+    pub(crate) fn words(&self, p: usize) -> usize {
+        self.pair_words[p]
+    }
+
+    /// Registers `tile`'s flush; calls `on_ready(pair)` for each pair
+    /// whose countdown it completed (crediting the frame's bytes), and
+    /// re-arms that pair for the next cycle.
+    pub(crate) fn tile_flushed(&self, tile: usize, mut on_ready: impl FnMut(usize)) {
+        for &p in &self.produces[tile] {
+            let p = p as usize;
+            if self.counts[p].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.bytes
+                    .fetch_add(self.pair_words[p] as u64 * 8, Ordering::Relaxed);
+                on_ready(p);
+                // Safe to re-arm before barrier 1: next-cycle flushes
+                // only start after barrier 2.
+                self.counts[p].store(self.full[p], Ordering::Release);
+            }
+        }
+    }
+
+    /// Total bytes credited so far.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Pins the calling thread to `core` (best effort, Linux only) when
+/// `PARENDI_PIN=1` — the "pinned per-chip" half of the shared-memory
+/// story. Silently a no-op elsewhere or when the syscall fails.
+pub(crate) fn maybe_pin_to_core(core: usize) {
+    if std::env::var("PARENDI_PIN").as_deref() != Ok("1") {
+        return;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        // Hand-declared cpu_set_t (1024 bits) + sched_setaffinity: the
+        // container has no libc crate and the ABI is stable.
+        let mut mask = [0u64; 16];
+        mask[(core / 64) % 16] |= 1u64 << (core % 64);
+        unsafe extern "C" {
+            fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+        }
+        // SAFETY: mask outlives the call; pid 0 = calling thread.
+        unsafe {
+            sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = core;
+    }
+}

@@ -1,0 +1,286 @@
+//! TCP backend: completed pair aggregates travel as length-prefixed
+//! frames over loopback sockets, one stream per ordered chip pair.
+//!
+//! Frame wire format (little-endian):
+//!
+//! ```text
+//! magic  u32   0x50524e44 ("PRND")
+//! pair   u32   ordered-pair index
+//! cycle  u64   the BSP cycle the frame belongs to
+//! words  u32   payload length in u64 words
+//! data   words × u64
+//! ```
+//!
+//! Each pair gets a dedicated writer thread fed through an unbounded
+//! channel, so a publishing worker never blocks on a full socket
+//! buffer — the lockstep barriers bound in-flight traffic to one
+//! frame per pair, but a single frame can exceed the kernel's socket
+//! buffers and a synchronous `write_all` from the worker could then
+//! deadlock against its own pending receives. Receives are plain
+//! blocking reads on the consumer end of the pair's stream.
+//!
+//! Failure behavior: a short read, bad magic, wrong pair id, wrong
+//! cycle, or oversized payload panics the receiving worker (the
+//! engine aborts on worker panic); [`decode_frame`] itself is total
+//! and unit-tested on malformed input.
+
+use super::{ChipTransport, Staging, TransportInit};
+use crate::engine::Mailbox;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Frame magic ("PRND" little-endian).
+const MAGIC: u32 = 0x5052_4e44;
+/// Header bytes: magic + pair + cycle + words.
+pub(crate) const HEADER_BYTES: usize = 20;
+
+/// Encodes a frame header.
+pub(crate) fn encode_header(pair: u32, cycle: u64, words: u32) -> [u8; HEADER_BYTES] {
+    let mut h = [0u8; HEADER_BYTES];
+    h[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    h[4..8].copy_from_slice(&pair.to_le_bytes());
+    h[8..16].copy_from_slice(&cycle.to_le_bytes());
+    h[16..20].copy_from_slice(&words.to_le_bytes());
+    h
+}
+
+/// Decodes and validates a frame header against the receiver's
+/// expectations. Returns the payload word count or a description of
+/// the corruption. Total: never panics, any byte salad is an `Err`.
+pub(crate) fn decode_frame(
+    header: &[u8],
+    want_pair: u32,
+    want_cycle: u64,
+    max_words: u32,
+) -> Result<u32, String> {
+    if header.len() < HEADER_BYTES {
+        return Err(format!(
+            "short frame header: {} of {HEADER_BYTES} bytes",
+            header.len()
+        ));
+    }
+    let word = |r: std::ops::Range<usize>| -> u32 {
+        u32::from_le_bytes(header[r].try_into().expect("4-byte slice"))
+    };
+    let magic = word(0..4);
+    if magic != MAGIC {
+        return Err(format!("bad frame magic {magic:#010x}"));
+    }
+    let pair = word(4..8);
+    if pair != want_pair {
+        return Err(format!("frame for pair {pair}, expected {want_pair}"));
+    }
+    let cycle = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    if cycle != want_cycle {
+        return Err(format!("frame for cycle {cycle}, expected {want_cycle}"));
+    }
+    let words = word(16..20);
+    if words > max_words {
+        return Err(format!("oversized frame: {words} words > {max_words}"));
+    }
+    Ok(words)
+}
+
+/// The TCP backend (see the module docs for the wire format).
+pub(crate) struct Tcp {
+    staging: Staging,
+    /// Per pair: the sender half feeding the pair's writer thread.
+    /// Dropped on engine drop so the writers exit.
+    senders: Vec<Option<mpsc::Sender<Vec<u8>>>>,
+    /// Per pair: the consumer end of the pair's stream plus a reusable
+    /// receive scratch buffer (uncontended — one worker per pair).
+    recvs: Vec<Mutex<(TcpStream, Vec<u8>)>>,
+    /// Per worker: the pair indices it receives.
+    recv_of: Vec<Vec<u32>>,
+    writers: Vec<JoinHandle<()>>,
+}
+
+impl Tcp {
+    pub(crate) fn new(init: TransportInit<'_>) -> Self {
+        let staging = Staging::new(&init, true);
+        let npairs = init.pairs.len();
+        // One loopback stream per ordered pair: connect-then-accept
+        // with a pair-id handshake (accept order is not guaranteed to
+        // match connect order).
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind transport listener");
+        let addr = listener.local_addr().expect("transport listener addr");
+        let mut send_streams: Vec<Option<TcpStream>> = Vec::with_capacity(npairs);
+        for p in 0..npairs {
+            let mut s = TcpStream::connect(addr).expect("connect transport stream");
+            s.set_nodelay(true).expect("transport nodelay");
+            s.write_all(&(p as u32).to_le_bytes())
+                .expect("transport pair handshake");
+            send_streams.push(Some(s));
+        }
+        let mut recv_streams: Vec<Option<TcpStream>> = (0..npairs).map(|_| None).collect();
+        for _ in 0..npairs {
+            let (mut s, _) = listener.accept().expect("accept transport stream");
+            let mut id = [0u8; 4];
+            s.read_exact(&mut id)
+                .expect("read transport pair handshake");
+            let p = u32::from_le_bytes(id) as usize;
+            assert!(p < npairs && recv_streams[p].is_none(), "bad handshake");
+            recv_streams[p] = Some(s);
+        }
+        // A dedicated writer per pair: publishing must never block a
+        // worker on socket backpressure (see the module docs).
+        let mut senders = Vec::with_capacity(npairs);
+        let mut writers = Vec::with_capacity(npairs);
+        for (p, stream) in send_streams.iter_mut().enumerate() {
+            let mut stream = stream.take().expect("send stream");
+            let (tx, rx) = mpsc::channel::<Vec<u8>>();
+            senders.push(Some(tx));
+            writers.push(
+                std::thread::Builder::new()
+                    .name(format!("transport-tcp-{p}"))
+                    .spawn(move || {
+                        while let Ok(frame) = rx.recv() {
+                            if stream.write_all(&frame).is_err() {
+                                // Peer gone: the receiving worker will
+                                // panic on its short read and abort
+                                // the engine; just exit.
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn transport writer"),
+            );
+        }
+        let recvs = recv_streams
+            .into_iter()
+            .map(|s| Mutex::new((s.expect("recv stream"), Vec::new())))
+            .collect();
+        Tcp {
+            staging,
+            senders,
+            recvs,
+            recv_of: init.recv_of,
+            writers,
+        }
+    }
+}
+
+impl ChipTransport for Tcp {
+    fn staging(&self) -> Option<&[Mailbox]> {
+        self.staging.boxes()
+    }
+
+    fn tile_flushed(&self, tile: usize, parity: usize, cycle: u64) {
+        self.staging.tile_flushed(tile, |p| {
+            // SAFETY: the countdown completed through this thread's
+            // AcqRel decrement — every producer's staging write is
+            // visible and none remain.
+            let payload = unsafe { self.staging.frame(p, parity) };
+            let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len() * 8);
+            frame.extend_from_slice(&encode_header(p as u32, cycle, payload.len() as u32));
+            for &w in payload {
+                frame.extend_from_slice(&w.to_le_bytes());
+            }
+            self.senders[p]
+                .as_ref()
+                .expect("live sender")
+                .send(frame)
+                .expect("transport writer alive");
+        });
+    }
+
+    fn complete_recvs(
+        &self,
+        who: usize,
+        parity: usize,
+        cycle: u64,
+        channels: &[Mailbox],
+        onchip: usize,
+    ) {
+        for &p in &self.recv_of[who] {
+            let p = p as usize;
+            let words = self.staging.words(p);
+            let mut guard = self.recvs[p].lock().expect("uncontended recv stream");
+            let (stream, scratch) = &mut *guard;
+            let mut header = [0u8; HEADER_BYTES];
+            stream
+                .read_exact(&mut header)
+                .expect("transport frame header read");
+            let got = decode_frame(&header, p as u32, cycle, words as u32)
+                .unwrap_or_else(|e| panic!("transport pair {p}: {e}"));
+            scratch.resize(got as usize * 8, 0);
+            stream
+                .read_exact(scratch)
+                .expect("transport frame payload read");
+            // SAFETY: epoch discipline — nobody reads `parity` of this
+            // consumer box until after barrier 1, and this worker is
+            // the pair's sole receiver.
+            let dst = unsafe { channels[onchip + p].write_base(parity) };
+            for (k, chunk) in scratch.chunks_exact(8).enumerate() {
+                // SAFETY: k < got <= words <= the box allocation.
+                unsafe {
+                    *dst.add(k) = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                }
+            }
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.staging.bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl Drop for Tcp {
+    fn drop(&mut self) {
+        for tx in &mut self.senders {
+            tx.take();
+        }
+        for w in self.writers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Malformed and truncated frames must decode to errors, never
+    /// panic or sneak through — the receiving worker turns the error
+    /// into a controlled panic.
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let good = encode_header(3, 41, 16);
+        assert_eq!(decode_frame(&good, 3, 41, 64), Ok(16));
+
+        // Short header (truncated stream).
+        assert!(decode_frame(&good[..HEADER_BYTES - 1], 3, 41, 64)
+            .unwrap_err()
+            .contains("short frame"));
+        assert!(decode_frame(&[], 3, 41, 64).unwrap_err().contains("short"));
+
+        // Corrupted magic.
+        let mut bad = good;
+        bad[0] ^= 0xff;
+        assert!(decode_frame(&bad, 3, 41, 64)
+            .unwrap_err()
+            .contains("bad frame magic"));
+
+        // Cross-wired pair.
+        assert!(decode_frame(&good, 2, 41, 64)
+            .unwrap_err()
+            .contains("pair 3"));
+
+        // Stale cycle (a skipped or replayed epoch).
+        assert!(decode_frame(&good, 3, 40, 64)
+            .unwrap_err()
+            .contains("cycle 41"));
+
+        // Payload larger than the pair aggregate.
+        assert!(decode_frame(&good, 3, 41, 8)
+            .unwrap_err()
+            .contains("oversized"));
+    }
+}
