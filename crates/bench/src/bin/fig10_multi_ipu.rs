@@ -166,19 +166,22 @@ fn main() {
             }
             bytes = sim.offchip_bytes_sent();
             rates.push(cycles as f64 / p.total_s / 1e3);
-            records.push(BenchRecord::from_phases(
-                "fig10",
-                design.name(),
-                tag,
-                false,
-                comp.partition.chips,
-                comp.partition.tiles_used(),
-                1,
-                threads as u32,
-                cycles,
-                cycles as f64 / p.total_s,
-                &p,
-            ));
+            records.push(
+                BenchRecord::from_phases(
+                    "fig10",
+                    design.name(),
+                    tag,
+                    false,
+                    comp.partition.chips,
+                    comp.partition.tiles_used(),
+                    1,
+                    threads as u32,
+                    cycles,
+                    cycles as f64 / p.total_s,
+                    &p,
+                )
+                .with_metrics(sim.metrics_snapshot()),
+            );
             if ph.is_none() {
                 ph = Some(p);
             }
@@ -257,19 +260,22 @@ fn main() {
         phl.lane_cycles_per_s() / 1e3,
         phl.lane_cycles_per_s() / ph1.lane_cycles_per_s().max(1e-12),
     );
-    records.push(BenchRecord::from_phases(
-        "fig10",
-        design.name(),
-        "gang",
-        false,
-        chips,
-        comp.partition.tiles_used(),
-        lanes as u32,
-        threads as u32,
-        cycles,
-        cycles as f64 / phl.total_s,
-        &phl,
-    ));
+    records.push(
+        BenchRecord::from_phases(
+            "fig10",
+            design.name(),
+            "gang",
+            false,
+            chips,
+            comp.partition.tiles_used(),
+            lanes as u32,
+            threads as u32,
+            cycles,
+            cycles as f64 / phl.total_s,
+            &phl,
+        )
+        .with_metrics(gang.metrics_snapshot()),
+    );
     match write_bench_json("fig10", &records) {
         Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
         Err(e) => println!("\ncould not write BENCH_fig10.json: {e}"),

@@ -84,6 +84,11 @@ pub struct BenchRecord {
     pub overlap_s: f64,
     /// Wall seconds of the timed run.
     pub total_s: f64,
+    /// Engine metrics snapshot at record time, serialized as a nested
+    /// `"metrics":{...}` object. Absent in pre-PR8 baselines (parsed
+    /// as empty) and omitted from the JSON when empty, so old and new
+    /// records round-trip through either reader.
+    pub metrics: parendi_sim::MetricsSnapshot,
 }
 
 impl BenchRecord {
@@ -122,18 +127,32 @@ impl BenchRecord {
             exchange_s: ph.exchange_s,
             overlap_s: ph.overlap_s,
             total_s: ph.total_s,
+            metrics: parendi_sim::MetricsSnapshot::default(),
         }
     }
 
-    /// One flat JSON object (no nesting, no escapes — keys and the
-    /// string fields stay within `[A-Za-z0-9_ .-]`).
+    /// Attaches an engine metrics snapshot (chainable on
+    /// [`from_phases`](Self::from_phases)).
+    pub fn with_metrics(mut self, metrics: parendi_sim::MetricsSnapshot) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// One JSON object: flat scalar fields (no escapes — keys and the
+    /// string fields stay within `[A-Za-z0-9_ .-]`), plus one optional
+    /// nested `"metrics":{...}` object when a snapshot is attached.
     pub fn to_json(&self) -> String {
+        let metrics = if self.metrics.is_empty() {
+            String::new()
+        } else {
+            format!(",\"metrics\":{}", self.metrics.to_json())
+        };
         format!(
             "{{\"bin\":\"{}\",\"design\":\"{}\",\"engine\":\"{}\",\"packed\":{},\"simd\":\"{}\",\
              \"chips\":{},\"tiles\":{},\
              \"lanes\":{},\"threads\":{},\"cycles\":{},\"cycles_per_s\":{:.1},\
              \"lane_cycles_per_s\":{:.1},\"compute_s\":{:.9},\"offchip_s\":{:.9},\
-             \"exchange_s\":{:.9},\"overlap_s\":{:.9},\"total_s\":{:.9}}}",
+             \"exchange_s\":{:.9},\"overlap_s\":{:.9},\"total_s\":{:.9}{metrics}}}",
             self.bin,
             self.design,
             self.engine,
@@ -177,18 +196,48 @@ pub fn write_bench_json(bin: &str, records: &[BenchRecord]) -> std::io::Result<s
     Ok(path)
 }
 
-/// Parses the flat-object JSON produced by [`bench_records_json`] (and
-/// by the baseline capture). Tolerant of whitespace; not a general
-/// JSON parser — exactly the schema above.
+/// Byte offset of the `}` matching the `{` at `open` (depth-counted;
+/// the schema guarantees no braces inside strings). `None` on
+/// truncated input.
+fn matching_brace(s: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, b) in s.as_bytes().iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => match depth {
+                // A close before any open: malformed, bail.
+                0 => return None,
+                1 => return Some(i),
+                _ => depth -= 1,
+            },
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses the JSON produced by [`bench_records_json`] (and by the
+/// baseline capture): flat scalar fields plus the optional nested
+/// `"metrics":{...}` object, which is excised and parsed separately
+/// so records with and without it (pre-PR8 baselines) both round-trip.
+/// Tolerant of whitespace; not a general JSON parser — exactly the
+/// schema above.
 pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
     let mut out = Vec::new();
     let mut rest = text;
     while let Some(start) = rest.find('{') {
-        let Some(end) = rest[start..].find('}') else {
+        let Some(end) = matching_brace(rest, start) else {
             break;
         };
-        let obj = &rest[start + 1..start + end];
+        let mut obj = rest[start + 1..end].to_string();
         let mut r = BenchRecord::default();
+        if let Some(m) = obj.find("\"metrics\":") {
+            let vstart = m + "\"metrics\":".len();
+            if let Some(vend) = matching_brace(&obj, vstart) {
+                r.metrics = parendi_sim::MetricsSnapshot::parse_json(&obj[vstart..=vend]);
+                obj.replace_range(m..=vend, "");
+            }
+        }
         for field in obj.split(',') {
             let Some((k, v)) = field.split_once(':') else {
                 continue;
@@ -221,7 +270,7 @@ pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
             }
         }
         out.push(r);
-        rest = &rest[start + end + 1..];
+        rest = &rest[end + 1..];
     }
     out
 }
@@ -646,6 +695,45 @@ mod tests {
         let failures = check_regressions(std::slice::from_ref(&slow), &[simd_base], 0.25);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("simd avx2"), "{}", failures[0]);
+    }
+
+    /// Metrics snapshots round-trip through the nested `"metrics"`
+    /// object, records without one (pre-PR8 baselines) parse as
+    /// empty, and the flat fields still parse with the nested object
+    /// present — the depth-aware parser never mistakes a metric entry
+    /// for a record field.
+    #[test]
+    fn metrics_field_round_trips_and_defaults_empty() {
+        let mut r = rec("sr3", "gang", false, 8, 1.0e6);
+        r.metrics = parendi_sim::MetricsSnapshot::parse_json(
+            "{\"cycles_run\":300,\"offchip_bytes_sent\":4096}",
+        );
+        let parsed = parse_bench_json(&bench_records_json(std::slice::from_ref(&r)));
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].metrics.get("cycles_run"), Some(300));
+        assert_eq!(parsed[0].metrics.get("offchip_bytes_sent"), Some(4096));
+        assert_eq!(parsed[0].lanes, 8);
+        assert_eq!(parsed[0].lane_cycles_per_s, 1.0e6);
+        // A pre-PR8 row without the field parses as empty metrics.
+        let old = "[{\"bin\":\"gang_lanes\",\"design\":\"sr3\",\"engine\":\"gang\",\
+                    \"lanes\":8,\"threads\":1,\"lane_cycles_per_s\":4000.0}]";
+        assert!(parse_bench_json(old)[0].metrics.is_empty());
+        // An empty snapshot emits no metrics key (old-schema shape).
+        assert!(!rec("sr3", "gang", false, 8, 1.0)
+            .to_json()
+            .contains("metrics"));
+        // Mixed old/new records in one file both survive, and the gate
+        // keys (lanes/threads/rate) match across the schema change.
+        let mixed = format!(
+            "[{},\n{}]",
+            r.to_json(),
+            rec("sr3", "gang", false, 8, 900_000.0).to_json()
+        );
+        let both = parse_bench_json(&mixed);
+        assert_eq!(both.len(), 2);
+        assert!(!both[0].metrics.is_empty());
+        assert!(both[1].metrics.is_empty());
+        assert!(check_regressions(&both[1..], &both[..1], 0.25).is_empty());
     }
 
     #[test]

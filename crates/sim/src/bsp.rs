@@ -102,7 +102,12 @@ pub struct BspPhases {
     pub overlap_s: f64,
     /// Per-tile phase split, indexed by tile — the measured counterpart
     /// of the Fig. 6 straggler histograms, populated for single-lane
-    /// *and* gang runs. Empty for untimed runs.
+    /// *and* gang runs.
+    ///
+    /// **Invariant**: populated only by *timed* runs
+    /// ([`run_timed`](BspSimulator::run_timed)); untimed runs skip the
+    /// per-tile clock reads *and* the histogram allocation entirely,
+    /// so this is always empty after [`run`](BspSimulator::run).
     pub per_tile: Vec<TilePhases>,
     /// RTL cycles this run advanced.
     pub cycles: u64,
@@ -192,6 +197,33 @@ impl<'c> BspSimulator<'c> {
         }
     }
 
+    /// [`BspSimulator::with_transport`] with an explicit event-trace
+    /// configuration (the other constructors read `PARENDI_TRACE` —
+    /// see [`TraceConfig::from_env`](parendi_telemetry::TraceConfig)).
+    /// Tracing never changes functional results; with
+    /// [`TraceConfig::off`](parendi_telemetry::TraceConfig::off) the
+    /// hot loop's only residue is a branch on a `None`.
+    pub fn with_trace(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        transport: crate::transport::TransportChoice,
+        trace: parendi_telemetry::TraceConfig,
+    ) -> Self {
+        BspSimulator {
+            core: EngineCore::with_trace(
+                circuit,
+                partition,
+                threads,
+                1,
+                false,
+                crate::engine::LayoutChoice::LaneMajor,
+                transport,
+                trace,
+            ),
+        }
+    }
+
     /// Short name of the off-chip transport backend in use.
     pub fn transport_name(&self) -> &'static str {
         self.core.transport_name()
@@ -202,6 +234,44 @@ impl<'c> BspSimulator<'c> {
     /// across backends; see [`crate::transport`]).
     pub fn offchip_bytes_sent(&self) -> u64 {
         self.core.offchip_bytes_sent()
+    }
+
+    /// Point-in-time copy of every engine metric (cycles, op mix,
+    /// off-chip bytes/frames, barrier wait outcomes, lane occupancy —
+    /// see [`parendi_telemetry::MetricsSnapshot`]).
+    pub fn metrics_snapshot(&self) -> parendi_telemetry::MetricsSnapshot {
+        self.core.metrics_snapshot()
+    }
+
+    /// Per-track span-time summaries of the event trace; empty when
+    /// tracing is off.
+    pub fn trace_summaries(&self) -> Vec<parendi_telemetry::TrackSummary> {
+        self.core
+            .trace()
+            .map(|s| s.track_summaries())
+            .unwrap_or_default()
+    }
+
+    /// The accumulated event trace as Chrome trace-event JSON
+    /// (Perfetto-loadable), or `None` when tracing is off.
+    pub fn trace_json(&self) -> Option<String> {
+        self.core.trace().map(|s| s.chrome_json())
+    }
+
+    /// Writes the accumulated event trace to `path` as Chrome
+    /// trace-event JSON. No-op returning `Ok(false)` when tracing is
+    /// off.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<bool> {
+        match self.core.trace() {
+            Some(s) => s.write(path).map(|_| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Static opcode/width and adjacent-pair statistics of the
+    /// compiled bytecode (the `PARENDI_CODE_STATS` data, queryable).
+    pub fn code_stats(&self) -> parendi_telemetry::CodeStats {
+        self.core.code_stats()
     }
 
     /// Number of completed RTL cycles.

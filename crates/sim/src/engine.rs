@@ -20,6 +20,11 @@
 //!   the opcode/width and adjacent-pair histograms of a compile — the
 //!   data fusion and SIMD-coverage decisions are made from;
 //!
+//! Every `PARENDI_*` environment knob the engine (and the bench bins)
+//! reads — transport, SIMD, layout, spin budget, tracing, and the rest
+//! — is cataloged with defaults and interactions in `docs/ENVVARS.md`
+//! at the repository root.
+//!
 //! # Strided lane layouts
 //!
 //! Multi-bit state carries its `lanes` scenarios in one of **two
@@ -106,6 +111,7 @@ use parendi_core::routing::{ChannelClass, Routing, PORT_RECORD_HEADER_WORDS};
 use parendi_core::Partition;
 use parendi_rtl::bits::{top_word_mask, word, words_for};
 use parendi_rtl::{BinOp, Circuit, InputId, NodeKind, UnOp};
+use parendi_telemetry::Counter;
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -149,6 +155,10 @@ pub(crate) struct PhaseBarrier {
     n: usize,
     fanout: usize,
     spin_limit: u32,
+    /// Non-leader waits resolved inside the spin budget.
+    spin_waits: Counter,
+    /// Non-leader waits that gave up spinning and parked.
+    park_waits: Counter,
 }
 
 /// Workers per barrier tree group once the tree engages.
@@ -157,7 +167,15 @@ const BARRIER_FANOUT: usize = 8;
 const TREE_THRESHOLD: usize = 16;
 
 impl PhaseBarrier {
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn new(n: usize) -> Self {
+        Self::with_counters(n, Counter::new(), Counter::new())
+    }
+
+    /// Like [`new`](Self::new), but wait outcomes (spin-resolved vs
+    /// parked; the leader is uncounted) are credited to registered
+    /// metrics counters.
+    pub(crate) fn with_counters(n: usize, spin_waits: Counter, park_waits: Counter) -> Self {
         let cores = std::thread::available_parallelism()
             .map(|c| c.get())
             .unwrap_or(1);
@@ -187,6 +205,8 @@ impl PhaseBarrier {
             n,
             fanout,
             spin_limit,
+            spin_waits,
+            park_waits,
         }
     }
 
@@ -225,10 +245,12 @@ impl PhaseBarrier {
         } else {
             for _ in 0..self.spin_limit {
                 if self.generation.load(Ordering::SeqCst) != gen {
+                    self.spin_waits.inc();
                     return;
                 }
                 std::hint::spin_loop();
             }
+            self.park_waits.inc();
             self.parked.fetch_add(1, Ordering::SeqCst);
             let mut g = self.lock.lock().unwrap();
             while self.generation.load(Ordering::SeqCst) == gen {
@@ -1131,30 +1153,48 @@ fn dump_code_stats(
     word_major: bool,
     isa: VecIsa,
 ) {
-    let mut hist: BTreeMap<(&'static str, u32), u64> = BTreeMap::new();
-    let mut pairs: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
-    let mut ops = 0usize;
-    for prog in programs {
-        prog.code.histogram(&mut hist);
-        prog.code.pair_histogram(&mut pairs);
-        ops += prog.code.ops.len();
-    }
+    let stats = collect_code_stats(programs);
     eprintln!(
-        "[code-stats] {name}: tiles={} ops={ops} lanes={lanes} packed={packed} layout={} simd={}",
-        programs.len(),
+        "[code-stats] {name}: tiles={} ops={} lanes={lanes} packed={packed} layout={} simd={}",
+        stats.tiles,
+        stats.total_ops,
         if word_major { "word" } else { "lane" },
         isa.name(),
     );
-    let mut by_count: Vec<_> = hist.into_iter().collect();
-    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    for ((op, w), n) in by_count {
-        eprintln!("[code-stats]   {op:<10} w={w:<3} x{n}");
+    for o in &stats.opcodes {
+        eprintln!(
+            "[code-stats]   {:<10} w={:<3} x{}",
+            o.name, o.width, o.count
+        );
     }
-    let mut by_count: Vec<_> = pairs.into_iter().collect();
-    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    for ((x, y), n) in by_count.into_iter().take(16) {
-        eprintln!("[code-stats]   pair {x} -> {y} x{n}");
+    for p in stats.top_pairs(16) {
+        eprintln!(
+            "[code-stats]   pair {} -> {} x{}",
+            p.first, p.second, p.count
+        );
     }
+}
+
+/// Aggregates every tile program's opcode/width and adjacent-pair
+/// histograms into a queryable [`CodeStats`] — the same data the
+/// `PARENDI_CODE_STATS` stderr dump prints, exposed for `perf_report`.
+pub(crate) fn collect_code_stats(programs: &[Program]) -> parendi_telemetry::CodeStats {
+    let mut hist: BTreeMap<(&'static str, u32), u64> = BTreeMap::new();
+    let mut pairs: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
+    let mut ops = 0u64;
+    for prog in programs {
+        prog.code.histogram(&mut hist);
+        prog.code.pair_histogram(&mut pairs);
+        ops += prog.code.ops.len() as u64;
+    }
+    parendi_telemetry::CodeStats::from_histograms(
+        programs.len(),
+        ops,
+        hist.into_iter().map(|((n, w), c)| ((n.to_string(), w), c)),
+        pairs
+            .into_iter()
+            .map(|((a, b), c)| ((a.to_string(), b.to_string()), c)),
+    )
 }
 
 /// Everything [`build_program`] needs from the front-end: circuit,

@@ -127,6 +127,11 @@ use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
 use parendi_core::Partition;
 use parendi_rtl::bits::{top_word_mask, word, words_for, Bits};
 use parendi_rtl::{BinOp, Circuit, InputId, UnOp};
+use parendi_telemetry::{
+    Counter, MetricsRegistry, MetricsSnapshot, SpanKind, TraceBuf, TraceConfig, TraceEvent,
+    TraceLevel, TraceSink, NO_TILE,
+};
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -624,6 +629,24 @@ impl Code {
             let b = opcode_name((w[1] & 0xff) as u8);
             *h.entry((a, b)).or_insert(0) += 1;
         }
+    }
+
+    /// Static `(strided, packed)` instruction split: the packed-domain
+    /// opcodes are the contiguous `PACK..=PCOPY_MAIL` block (the later
+    /// fused opcodes are strided). Feeds the `ops_strided`/`ops_packed`
+    /// metrics.
+    pub(crate) fn op_mix(&self) -> (u64, u64) {
+        let mut strided = 0u64;
+        let mut packed = 0u64;
+        for &opw in &self.ops {
+            let opc = (opw & 0xff) as u8;
+            if (op::PACK..=op::PCOPY_MAIL).contains(&opc) {
+                packed += 1;
+            } else {
+                strided += 1;
+            }
+        }
+        (strided, packed)
     }
 }
 
@@ -2454,6 +2477,34 @@ struct CoreShared {
     phase_ns: Vec<Mutex<(u64, u64, u64, u64)>>,
     /// Per-tile (compute, offchip, exchange) ns of the last timed run.
     tile_ns: Vec<Mutex<(u64, u64, u64)>>,
+    /// The engine's metrics registry (one per compiled engine).
+    metrics: Arc<MetricsRegistry>,
+    /// Lock-free counter handles the run path credits, resolved once
+    /// at build.
+    ctrs: EngineCounters,
+    /// Static (strided, packed) instruction counts summed over every
+    /// tile's per-cycle bytecode / run prelude, so op-mix metrics cost
+    /// one multiply per run instead of anything per cycle.
+    ops_per_cycle: (u64, u64),
+    ops_prelude: (u64, u64),
+    /// Event-trace sink, or `None` when tracing is off — the `None`
+    /// the hot path branches on.
+    trace: Option<Arc<TraceSink>>,
+    /// One trace track per worker slot (slot 0 doubles as the inline
+    /// no-pool path's track). Empty when tracing is off.
+    trace_bufs: Vec<Arc<TraceBuf>>,
+}
+
+/// The metric handles the engine credits at run granularity (see
+/// [`EngineCore::metrics_snapshot`] for the full catalog).
+struct EngineCounters {
+    cycles: Counter,
+    ops_strided: Counter,
+    ops_packed: Counter,
+    simd_dispatches: Counter,
+    lanes_active: Counter,
+    lanes_retired: Counter,
+    trace_events_dropped: Counter,
 }
 
 /// Per-run accumulator of one worker's phase nanoseconds.
@@ -2463,6 +2514,64 @@ struct PhaseAcc {
     off: u64,
     exch: u64,
     overlap: u64,
+}
+
+/// One worker's per-run tracing state: its track buffer, the sink
+/// epoch, and (phase level) the open same-kind merge. The cycle loop
+/// holds an `Option<&Tracer>`; `None` is the whole disabled path.
+struct Tracer<'a> {
+    buf: &'a TraceBuf,
+    epoch: Instant,
+    tile_level: bool,
+    /// Phase level only: the open merged span as
+    /// `(kind, first cycle, start, end)`.
+    open: Cell<Option<(SpanKind, u64, Instant, Instant)>>,
+}
+
+impl<'a> Tracer<'a> {
+    fn new(buf: &'a TraceBuf, sink: &TraceSink) -> Self {
+        Tracer {
+            buf,
+            epoch: sink.epoch(),
+            tile_level: sink.level() == TraceLevel::Tile,
+            open: Cell::new(None),
+        }
+    }
+
+    fn emit(&self, kind: SpanKind, tile: u32, cycle: u64, start: Instant, end: Instant) {
+        self.buf.push(TraceEvent {
+            kind,
+            tile,
+            cycle,
+            start_ns: start.duration_since(self.epoch).as_nanos() as u64,
+            dur_ns: end.duration_since(start).as_nanos() as u64,
+        });
+    }
+
+    /// Records one sub-phase segment: directly at tile level, folded
+    /// into the open same-kind run at phase level (segments chain
+    /// timestamp-to-timestamp, so same-kind neighbors are contiguous).
+    fn seg(&self, kind: SpanKind, tile: u32, cycle: u64, start: Instant, end: Instant) {
+        if self.tile_level {
+            self.emit(kind, tile, cycle, start, end);
+            return;
+        }
+        match self.open.get() {
+            Some((k, cyc, s, _)) if k == kind => self.open.set(Some((k, cyc, s, end))),
+            Some((k, cyc, s, e)) => {
+                self.emit(k, NO_TILE, cyc, s, e);
+                self.open.set(Some((kind, cycle, start, end)));
+            }
+            None => self.open.set(Some((kind, cycle, start, end))),
+        }
+    }
+
+    /// Emits the open phase-level merge (end of run).
+    fn finish(&self) {
+        if let Some((k, cyc, s, e)) = self.open.take() {
+            self.emit(k, NO_TILE, cyc, s, e);
+        }
+    }
 }
 
 /// The unified lane-strided execution engine both public simulators
@@ -2489,6 +2598,26 @@ pub(crate) struct EngineCore<'c> {
     /// output peeks on a retired lane replay at its freeze parity.
     retired_at: Vec<Option<u64>>,
     pub cycle: u64,
+    /// Declared last: writes the configured trace file after `shared`
+    /// (and with it the transport and its writer threads) is gone, so
+    /// the drained JSON includes the final transport-send spans. Held
+    /// for its `Drop` only.
+    _trace_writer: TraceAutoWrite,
+}
+
+/// Drop sentinel that writes the trace to its configured path, if any.
+struct TraceAutoWrite(Option<Arc<TraceSink>>);
+
+impl Drop for TraceAutoWrite {
+    fn drop(&mut self) {
+        if let Some(sink) = self.0.take() {
+            match sink.write_configured() {
+                Ok(Some(p)) => eprintln!("[trace] wrote {}", p.display()),
+                Ok(None) => {}
+                Err(e) => eprintln!("[trace] write failed: {e}"),
+            }
+        }
+    }
 }
 
 impl<'c> EngineCore<'c> {
@@ -2516,7 +2645,8 @@ impl<'c> EngineCore<'c> {
     }
 
     /// [`EngineCore::new`] with an explicit off-chip transport backend
-    /// (the plain constructor reads `PARENDI_TRANSPORT`).
+    /// (the plain constructor reads `PARENDI_TRANSPORT`). Tracing
+    /// still follows `PARENDI_TRACE` (see [`TraceConfig::from_env`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_transport(
         circuit: &'c Circuit,
@@ -2526,6 +2656,35 @@ impl<'c> EngineCore<'c> {
         packed: bool,
         layout: LayoutChoice,
         transport: crate::transport::TransportChoice,
+    ) -> Self {
+        Self::with_trace(
+            circuit,
+            partition,
+            threads,
+            lanes,
+            packed,
+            layout,
+            transport,
+            TraceConfig::from_env(),
+        )
+    }
+
+    /// [`EngineCore::with_transport`] with an explicit [`TraceConfig`]
+    /// (the plain constructors read `PARENDI_TRACE`). With tracing on,
+    /// every worker (and every transport writer thread) registers a
+    /// track on the engine's [`TraceSink`]; the trace is written to the
+    /// configured path when the engine drops and can be drained at any
+    /// point in between.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_trace(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        lanes: usize,
+        packed: bool,
+        layout: LayoutChoice,
+        transport: crate::transport::TransportChoice,
+        trace_cfg: TraceConfig,
     ) -> Self {
         assert!(threads >= 1, "need at least one thread");
         assert!(lanes >= 1, "need at least one lane");
@@ -2684,6 +2843,39 @@ impl<'c> EngineCore<'c> {
             };
             recv_of[w].push(pi as u32);
         }
+        // Telemetry: the registry with its full key set (so every
+        // snapshot carries every metric, credited or not), the trace
+        // sink, and one pre-registered track per worker slot.
+        let metrics = Arc::new(MetricsRegistry::new());
+        let ctrs = EngineCounters {
+            cycles: metrics.counter("cycles_run"),
+            ops_strided: metrics.counter("ops_strided"),
+            ops_packed: metrics.counter("ops_packed"),
+            simd_dispatches: metrics.counter("simd_kernel_dispatches"),
+            lanes_active: metrics.counter("lanes_active"),
+            lanes_retired: metrics.counter("lanes_retired"),
+            trace_events_dropped: metrics.counter("trace_events_dropped"),
+        };
+        ctrs.lanes_active.set(lanes as u64);
+        metrics.counter("offchip_bytes_sent");
+        let mut ops_per_cycle = (0u64, 0u64);
+        let mut ops_prelude = (0u64, 0u64);
+        for prog in &programs {
+            let (s, p) = prog.code.op_mix();
+            ops_per_cycle = (ops_per_cycle.0 + s, ops_per_cycle.1 + p);
+            let (s, p) = prog.prelude.op_mix();
+            ops_prelude = (ops_prelude.0 + s, ops_prelude.1 + p);
+        }
+        let trace = TraceSink::new(&trace_cfg);
+        let trace_bufs: Vec<Arc<TraceBuf>> = trace
+            .as_ref()
+            .map(|sink| {
+                (0..worker_count.max(1))
+                    .map(|t| sink.register(&format!("engine-worker-{t}")))
+                    .collect()
+            })
+            .unwrap_or_default();
+
         let transport = crate::transport::build(
             transport,
             crate::transport::TransportInit {
@@ -2692,6 +2884,9 @@ impl<'c> EngineCore<'c> {
                 onchip: onchip_mailboxes,
                 produces,
                 recv_of,
+                frames_sent: metrics.counter("frames_sent"),
+                frames_received: metrics.counter("frames_received"),
+                trace: trace.clone(),
             },
         );
 
@@ -2710,7 +2905,11 @@ impl<'c> EngineCore<'c> {
             isa,
             active: RwLock::new((0..lanes as u32).collect()),
             retired: RwLock::new(vec![0u64; pw]),
-            phase_barrier: PhaseBarrier::new(pool_threads.max(1)),
+            phase_barrier: PhaseBarrier::with_counters(
+                pool_threads.max(1),
+                metrics.counter("barrier_spin_waits"),
+                metrics.counter("barrier_park_waits"),
+            ),
             gate: Barrier::new(worker_count + 1),
             done: Barrier::new(worker_count + 1),
             cmd_cycles: AtomicU64::new(0),
@@ -2722,6 +2921,12 @@ impl<'c> EngineCore<'c> {
                 .map(|_| Mutex::new((0, 0, 0, 0)))
                 .collect(),
             tile_ns: (0..tile_count).map(|_| Mutex::new((0, 0, 0))).collect(),
+            metrics,
+            ctrs,
+            ops_per_cycle,
+            ops_prelude,
+            trace,
+            trace_bufs,
         });
         let workers = groups
             .into_iter()
@@ -2745,6 +2950,7 @@ impl<'c> EngineCore<'c> {
         }
         let outputs_by_tile: Vec<(u32, Vec<u32>)> = grouped.into_iter().collect();
 
+        let _trace_writer = TraceAutoWrite(shared.trace.clone());
         EngineCore {
             circuit,
             shared,
@@ -2760,6 +2966,7 @@ impl<'c> EngineCore<'c> {
             onchip_mailboxes,
             retired_at: vec![None; lanes],
             cycle: 0,
+            _trace_writer,
         }
     }
 
@@ -2806,6 +3013,36 @@ impl<'c> EngineCore<'c> {
         self.shared.transport.name()
     }
 
+    /// Point-in-time copy of every engine metric. Gauges
+    /// (`offchip_bytes_sent`, `lanes_active`/`lanes_retired`,
+    /// `trace_events_dropped`) are refreshed here; counters
+    /// (`cycles_run`, `ops_strided`/`ops_packed`,
+    /// `simd_kernel_dispatches`, `frames_sent`/`frames_received`,
+    /// `barrier_spin_waits`/`barrier_park_waits`) accumulate as the
+    /// engine runs.
+    pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let sh = &self.shared;
+        sh.metrics
+            .set("offchip_bytes_sent", sh.transport.bytes_sent());
+        let active = self.active_lanes() as u64;
+        sh.ctrs.lanes_active.set(active);
+        sh.ctrs.lanes_retired.set(sh.lanes as u64 - active);
+        if let Some(sink) = &sh.trace {
+            sh.ctrs.trace_events_dropped.set(sink.total_dropped());
+        }
+        sh.metrics.snapshot()
+    }
+
+    /// The event-trace sink, when tracing is enabled.
+    pub(crate) fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.shared.trace.as_ref()
+    }
+
+    /// Static opcode/pair statistics of the compiled bytecode.
+    pub(crate) fn code_stats(&self) -> parendi_telemetry::CodeStats {
+        crate::engine::collect_code_stats(&self.shared.programs)
+    }
+
     /// Number of lanes still running (not early-exited).
     pub(crate) fn active_lanes(&self) -> usize {
         self.shared.active.read().unwrap().len()
@@ -2832,6 +3069,11 @@ impl<'c> EngineCore<'c> {
         if let Ok(i) = active.binary_search(&(lane as u32)) {
             active.remove(i);
             self.retired_at[lane] = Some(self.cycle);
+            self.shared.ctrs.lanes_active.set(active.len() as u64);
+            self.shared
+                .ctrs
+                .lanes_retired
+                .set((self.shared.lanes - active.len()) as u64);
             if self.shared.pw > 0 {
                 // Packed commits/sends blend through this mask so the
                 // retired lane's packed bits freeze.
@@ -3098,7 +3340,17 @@ impl<'c> EngineCore<'c> {
             let active = shared.active.read().unwrap();
             let mine: Vec<usize> = (0..shared.tiles.len()).collect();
             let mut guards: Vec<_> = shared.tiles.iter().map(|t| t.lock().unwrap()).collect();
-            let mut tile_ns = vec![(0u64, 0u64, 0u64); guards.len()];
+            // Untimed runs skip the per-tile histogram entirely: no
+            // allocation, and (tracing off) no clock reads either.
+            let mut tile_ns = if timed {
+                vec![(0u64, 0u64, 0u64); guards.len()]
+            } else {
+                Vec::new()
+            };
+            let tracer = shared
+                .trace
+                .as_ref()
+                .map(|sink| Tracer::new(&shared.trace_bufs[0], sink));
             dispatch_lanes(shared, &active, |lanes| {
                 run_cycles(
                     shared,
@@ -3113,6 +3365,7 @@ impl<'c> EngineCore<'c> {
                     0,
                     &mut tile_ns,
                     &mut acc,
+                    tracer.as_ref(),
                 )
             });
             if timed {
@@ -3163,6 +3416,19 @@ impl<'c> EngineCore<'c> {
             }
         }
         self.cycle += cycles;
+        // Run-level metric credits: static op mix × cycles (prelude
+        // once per run), all off the hot path.
+        let sh = &self.shared;
+        sh.ctrs.cycles.add(cycles);
+        let strided = sh.ops_per_cycle.0 * cycles + sh.ops_prelude.0;
+        let packed = sh.ops_per_cycle.1 * cycles + sh.ops_prelude.1;
+        sh.ctrs.ops_strided.add(strided);
+        sh.ctrs.ops_packed.add(packed);
+        if sh.word_major && sh.isa != VecIsa::Scalar {
+            // Fused strided opcodes dispatch one vector kernel each on
+            // the word-interleaved layout.
+            sh.ctrs.simd_dispatches.add(strided);
+        }
         BspPhases {
             total_s: start.elapsed().as_secs_f64(),
             compute_s: acc.comp as f64 * 1e-9,
@@ -3228,6 +3494,7 @@ trait DynLanes {
         who: usize,
         tile_ns: &mut [(u64, u64, u64)],
         acc: &mut PhaseAcc,
+        tracer: Option<&Tracer<'_>>,
     );
 }
 
@@ -3250,9 +3517,11 @@ impl<L: LaneSet, Y: Layout> DynLanes for Run<L, Y> {
         who: usize,
         tile_ns: &mut [(u64, u64, u64)],
         acc: &mut PhaseAcc,
+        tracer: Option<&Tracer<'_>>,
     ) {
         cycle_loop::<L, Y>(
             shared, mine, guards, inputs, start, cycles, timed, spin, self.0, who, tile_ns, acc,
+            tracer,
         );
     }
 }
@@ -3271,9 +3540,10 @@ fn run_cycles(
     who: usize,
     tile_ns: &mut [(u64, u64, u64)],
     acc: &mut PhaseAcc,
+    tracer: Option<&Tracer<'_>>,
 ) {
     lanes.run(
-        shared, mine, guards, inputs, start, cycles, timed, spin, who, tile_ns, acc,
+        shared, mine, guards, inputs, start, cycles, timed, spin, who, tile_ns, acc, tracer,
     );
 }
 
@@ -3297,7 +3567,12 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
     who: usize,
     tile_ns: &mut [(u64, u64, u64)],
     acc: &mut PhaseAcc,
+    tracer: Option<&Tracer<'_>>,
 ) {
+    // Timed runs and traced runs share the chained clock reads; the
+    // per-tile histogram (`tile_ns`, empty unless timed) and the trace
+    // spans are fed from the same timestamps.
+    let instr = timed || tracer.is_some();
     let any_off = mine.iter().any(|&pi| shared.programs[pi].has_offchip());
     // Where producing tiles flush off-chip segments: the consumer
     // fabric itself (in-process), or the transport's staging copy.
@@ -3344,7 +3619,7 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
         }
     }
     for c in start..start + cycles {
-        let mut mark = timed.then(Instant::now);
+        let mut mark = instr.then(Instant::now);
         // The modeled link-transfer deadline and the total occupancy
         // scheduled this cycle (for the overlap accounting).
         let mut link_due: Option<Instant> = None;
@@ -3369,8 +3644,14 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
                 // tile lands inside the phase windows, and per-tile
                 // times sum to the worker phase exactly.
                 let now = Instant::now();
-                tile_ns[k].0 += now.duration_since(m).as_nanos() as u64;
-                acc.comp += now.duration_since(m).as_nanos() as u64;
+                if timed {
+                    let d = now.duration_since(m).as_nanos() as u64;
+                    tile_ns[k].0 += d;
+                    acc.comp += d;
+                }
+                if let Some(tr) = tracer {
+                    tr.seg(SpanKind::Compute, pi as u32, c, m, now);
+                }
                 mark = Some(now);
             }
             if prog.has_offchip() {
@@ -3401,8 +3682,14 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
                 }
                 if let Some(m) = mark {
                     let now = Instant::now();
-                    tile_ns[k].1 += now.duration_since(m).as_nanos() as u64;
-                    acc.off += now.duration_since(m).as_nanos() as u64;
+                    if timed {
+                        let d = now.duration_since(m).as_nanos() as u64;
+                        tile_ns[k].1 += d;
+                        acc.off += d;
+                    }
+                    if let Some(tr) = tracer {
+                        tr.seg(SpanKind::OffchipFlush, pi as u32, c, m, now);
+                    }
                     mark = Some(now);
                 }
             }
@@ -3416,12 +3703,18 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
                 while Instant::now() < due {
                     std::hint::spin_loop();
                 }
-                acc.off += wait;
-                acc.overlap += link_total_ns.saturating_sub(wait);
-                if let Some(m) = mark {
-                    mark = Some(m + Duration::from_nanos(wait));
+                if timed {
+                    acc.off += wait;
+                    acc.overlap += link_total_ns.saturating_sub(wait);
                 }
-            } else {
+                if let Some(m) = mark {
+                    let end = m + Duration::from_nanos(wait);
+                    if let Some(tr) = tracer {
+                        tr.seg(SpanKind::OverlapResidual, NO_TILE, c, m, end);
+                    }
+                    mark = Some(end);
+                }
+            } else if timed {
                 acc.overlap += link_total_ns;
             }
         }
@@ -3439,7 +3732,12 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
             );
             if let Some(m) = mark {
                 let now = Instant::now();
-                acc.off += now.duration_since(m).as_nanos() as u64;
+                if timed {
+                    acc.off += now.duration_since(m).as_nanos() as u64;
+                }
+                if let Some(tr) = tracer {
+                    tr.seg(SpanKind::TransportRecv, NO_TILE, c, m, now);
+                }
                 mark = Some(now);
             }
         }
@@ -3449,7 +3747,10 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
         let exch_start = mark;
         // Barrier 1: all mailboxes for epoch c+1 are filled.
         shared.phase_barrier.wait(who);
-        let mut emark = timed.then(Instant::now);
+        let mut emark = instr.then(Instant::now);
+        if let (Some(tr), Some(s), Some(e)) = (tracer, exch_start, emark) {
+            tr.seg(SpanKind::BarrierWait, NO_TILE, c, s, e);
+        }
         for (k, (guard, &pi)) in guards.iter_mut().zip(mine).enumerate() {
             exchange_phase::<L, Y>(
                 &shared.programs[pi],
@@ -3461,15 +3762,29 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
             );
             if let Some(m) = emark {
                 let now = Instant::now();
-                tile_ns[k].2 += now.duration_since(m).as_nanos() as u64;
+                if timed {
+                    tile_ns[k].2 += now.duration_since(m).as_nanos() as u64;
+                }
+                if let Some(tr) = tracer {
+                    tr.seg(SpanKind::Exchange, pi as u32, c, m, now);
+                }
                 emark = Some(now);
             }
         }
         // Barrier 2: every array copy has applied the records.
         shared.phase_barrier.wait(who);
         if let Some(t) = exch_start {
-            acc.exch += t.elapsed().as_nanos() as u64;
+            let now = Instant::now();
+            if timed {
+                acc.exch += now.duration_since(t).as_nanos() as u64;
+            }
+            if let (Some(tr), Some(e)) = (tracer, emark) {
+                tr.seg(SpanKind::BarrierWait, NO_TILE, c, e, now);
+            }
         }
+    }
+    if let Some(tr) = tracer {
+        tr.finish();
     }
 }
 
@@ -3506,7 +3821,17 @@ fn worker_body(shared: &CoreShared, t: usize, mine: &[usize]) {
                 .map(|&pi| shared.tiles[pi].lock().unwrap())
                 .collect();
             let mut acc = PhaseAcc::default();
-            let mut tile_ns = vec![(0u64, 0u64, 0u64); mine.len()];
+            // Untimed runs skip the per-tile histogram allocation
+            // entirely; `tile_ns` is only indexed under `timed`.
+            let mut tile_ns = if timed {
+                vec![(0u64, 0u64, 0u64); mine.len()]
+            } else {
+                Vec::new()
+            };
+            let tracer = shared
+                .trace
+                .as_ref()
+                .map(|sink| Tracer::new(&shared.trace_bufs[t], sink));
             dispatch_lanes(shared, &active, |lanes| {
                 run_cycles(
                     shared,
@@ -3521,6 +3846,7 @@ fn worker_body(shared: &CoreShared, t: usize, mine: &[usize]) {
                     t,
                     &mut tile_ns,
                     &mut acc,
+                    tracer.as_ref(),
                 )
             });
             if timed {

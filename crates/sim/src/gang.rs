@@ -128,6 +128,38 @@ impl<'c> GangSimulator<'c> {
         }
     }
 
+    /// [`GangSimulator::with_transport`] with an explicit event-trace
+    /// configuration (the other constructors read `PARENDI_TRACE` —
+    /// see [`TraceConfig::from_env`](parendi_telemetry::TraceConfig)).
+    /// Tracing never changes functional results in any lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `lanes` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_trace(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        lanes: usize,
+        packed: bool,
+        transport: crate::transport::TransportChoice,
+        trace: parendi_telemetry::TraceConfig,
+    ) -> Self {
+        GangSimulator {
+            core: EngineCore::with_trace(
+                circuit,
+                partition,
+                threads,
+                lanes,
+                packed,
+                LayoutChoice::Auto,
+                transport,
+                trace,
+            ),
+        }
+    }
+
     /// Short name of the off-chip transport backend in use.
     pub fn transport_name(&self) -> &'static str {
         self.core.transport_name()
@@ -138,6 +170,44 @@ impl<'c> GangSimulator<'c> {
     /// backends; see [`crate::transport`]).
     pub fn offchip_bytes_sent(&self) -> u64 {
         self.core.offchip_bytes_sent()
+    }
+
+    /// Point-in-time copy of every engine metric (cycles, op mix, SIMD
+    /// dispatches, off-chip bytes/frames, barrier wait outcomes, lane
+    /// occupancy — see [`parendi_telemetry::MetricsSnapshot`]).
+    pub fn metrics_snapshot(&self) -> parendi_telemetry::MetricsSnapshot {
+        self.core.metrics_snapshot()
+    }
+
+    /// Per-track span-time summaries of the event trace; empty when
+    /// tracing is off.
+    pub fn trace_summaries(&self) -> Vec<parendi_telemetry::TrackSummary> {
+        self.core
+            .trace()
+            .map(|s| s.track_summaries())
+            .unwrap_or_default()
+    }
+
+    /// The accumulated event trace as Chrome trace-event JSON
+    /// (Perfetto-loadable), or `None` when tracing is off.
+    pub fn trace_json(&self) -> Option<String> {
+        self.core.trace().map(|s| s.chrome_json())
+    }
+
+    /// Writes the accumulated event trace to `path` as Chrome
+    /// trace-event JSON. No-op returning `Ok(false)` when tracing is
+    /// off.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<bool> {
+        match self.core.trace() {
+            Some(s) => s.write(path).map(|_| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Static opcode/width and adjacent-pair statistics of the
+    /// compiled bytecode (the `PARENDI_CODE_STATS` data, queryable).
+    pub fn code_stats(&self) -> parendi_telemetry::CodeStats {
+        self.core.code_stats()
     }
 
     /// Like [`new`](Self::new)/[`new_packed`](Self::new_packed), but

@@ -13,6 +13,13 @@
 //! * [`timing`] — the Eq. 1 cost breakdown
 //!   (`t_comp`/`t_comm`/`t_sync`) on the IPU machine model.
 //!
+//! Observability — per-worker event tracing (Perfetto-loadable Chrome
+//! trace JSON via `PARENDI_TRACE` or the `with_trace` constructors)
+//! and a typed metrics registry — lives in `parendi-telemetry`; the
+//! key types ([`TraceConfig`], [`MetricsSnapshot`], [`CodeStats`],
+//! [`TrackSummary`]) are re-exported here. Environment knobs are
+//! cataloged in `docs/ENVVARS.md` at the repository root.
+//!
 //! Both simulators are facades over one lane-strided execution core
 //! (`exec`, crate-private) that runs a fused, cache-compact bytecode —
 //! a single hot loop shared by every engine; the compile front-end and
@@ -59,6 +66,7 @@ pub mod vcd;
 pub use bsp::{BspPhases, BspSimulator};
 pub use gang::{GangSimulator, StimulusSet};
 pub use interp::Simulator;
+pub use parendi_telemetry::{CodeStats, MetricsSnapshot, TraceConfig, TraceLevel, TrackSummary};
 pub use timing::{ipu_rate_khz, ipu_timings};
 pub use transport::TransportChoice;
 pub use vcd::{dump_vcd, dump_vcd_lane, VcdWriter};

@@ -10,12 +10,17 @@ use crate::engine::Mailbox;
 /// The default zero-copy backend (see the module docs).
 pub(crate) struct InProcess {
     staging: Staging,
+    /// Per worker: the pair indices it (implicitly) receives — kept
+    /// only so frame accounting matches the staged backends.
+    recv_of: Vec<Vec<u32>>,
 }
 
 impl InProcess {
     pub(crate) fn new(init: TransportInit<'_>) -> Self {
+        let staging = Staging::new(&init, false);
         InProcess {
-            staging: Staging::new(&init, false),
+            staging,
+            recv_of: init.recv_of,
         }
     }
 }
@@ -33,12 +38,15 @@ impl ChipTransport for InProcess {
 
     fn complete_recvs(
         &self,
-        _who: usize,
+        who: usize,
         _parity: usize,
         _cycle: u64,
         _channels: &[Mailbox],
         _onchip: usize,
     ) {
+        // Frames arrive implicitly (producers wrote the consumer box
+        // directly); only the accounting column remains.
+        self.staging.credit_recvs(self.recv_of[who].len() as u64);
     }
 
     fn bytes_sent(&self) -> u64 {

@@ -74,7 +74,9 @@
 //! returning `Result`, unit-tested on truncated and corrupted input.
 
 use crate::engine::Mailbox;
+use parendi_telemetry::{Counter, TraceSink};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 pub(crate) mod inproc;
 pub(crate) mod shmem;
@@ -138,6 +140,14 @@ pub(crate) struct TransportInit<'a> {
     /// Per worker: the pair indices whose consumer chip the worker
     /// owns (it performs those receives).
     pub recv_of: Vec<Vec<u32>>,
+    /// Credited once per published pair frame (all backends).
+    pub frames_sent: Counter,
+    /// Credited once per received pair frame (all backends, including
+    /// the implicit in-process receives).
+    pub frames_received: Counter,
+    /// Event-trace sink; backends with their own threads (the TCP
+    /// writer threads) register tracks here.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 /// A backend carrying the off-chip aggregate mailboxes (see the module
@@ -205,6 +215,8 @@ pub(crate) struct Staging {
     /// Number of leading on-chip mailboxes.
     onchip: usize,
     bytes: AtomicU64,
+    frames_sent: Counter,
+    frames_received: Counter,
 }
 
 impl Staging {
@@ -250,6 +262,8 @@ impl Staging {
             pair_words,
             onchip: init.onchip,
             bytes: AtomicU64::new(0),
+            frames_sent: init.frames_sent.clone(),
+            frames_received: init.frames_received.clone(),
         }
     }
 
@@ -285,6 +299,7 @@ impl Staging {
             if self.counts[p].fetch_sub(1, Ordering::AcqRel) == 1 {
                 self.bytes
                     .fetch_add(self.pair_words[p] as u64 * 8, Ordering::Relaxed);
+                self.frames_sent.inc();
                 on_ready(p);
                 // Safe to re-arm before barrier 1: next-cycle flushes
                 // only start after barrier 2.
@@ -296,6 +311,11 @@ impl Staging {
     /// Total bytes credited so far.
     pub(crate) fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Credits `n` received pair frames.
+    pub(crate) fn credit_recvs(&self, n: u64) {
+        self.frames_received.add(n);
     }
 }
 

@@ -291,6 +291,7 @@ impl ChipTransport for SharedMem {
         channels: &[Mailbox],
         onchip: usize,
     ) {
+        self.staging.credit_recvs(self.recv_of[who].len() as u64);
         for &p in &self.recv_of[who] {
             let p = p as usize;
             spin_until(self.map.seq(self.seg_off[p] + parity * 8), cycle + 1);

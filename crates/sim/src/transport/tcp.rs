@@ -26,6 +26,7 @@
 
 use super::{ChipTransport, Staging, TransportInit};
 use crate::engine::Mailbox;
+use parendi_telemetry::{SpanKind, TraceEvent, NO_TILE};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc;
@@ -133,16 +134,37 @@ impl Tcp {
             let mut stream = stream.take().expect("send stream");
             let (tx, rx) = mpsc::channel::<Vec<u8>>();
             senders.push(Some(tx));
+            // When tracing, each writer gets its own track: the socket
+            // writes happen off the worker timeline, so their spans
+            // cannot live on a worker's track without overlapping it.
+            let track = init
+                .trace
+                .as_ref()
+                .map(|sink| (sink.register(&format!("transport-tcp-{p}")), sink.epoch()));
             writers.push(
                 std::thread::Builder::new()
                     .name(format!("transport-tcp-{p}"))
                     .spawn(move || {
                         while let Ok(frame) = rx.recv() {
+                            let start = track.as_ref().map(|_| std::time::Instant::now());
                             if stream.write_all(&frame).is_err() {
                                 // Peer gone: the receiving worker will
                                 // panic on its short read and abort
                                 // the engine; just exit.
                                 return;
+                            }
+                            if let (Some((buf, epoch)), Some(s)) = (&track, start) {
+                                // Frame header bytes 8..16 carry the
+                                // cycle (see `encode_header`).
+                                let cycle =
+                                    u64::from_le_bytes(frame[8..16].try_into().expect("header"));
+                                buf.push(TraceEvent {
+                                    kind: SpanKind::TransportSend,
+                                    tile: NO_TILE,
+                                    cycle,
+                                    start_ns: s.duration_since(*epoch).as_nanos() as u64,
+                                    dur_ns: s.elapsed().as_nanos() as u64,
+                                });
                             }
                         }
                     })
@@ -195,6 +217,7 @@ impl ChipTransport for Tcp {
         channels: &[Mailbox],
         onchip: usize,
     ) {
+        self.staging.credit_recvs(self.recv_of[who].len() as u64);
         for &p in &self.recv_of[who] {
             let p = p as usize;
             let words = self.staging.words(p);

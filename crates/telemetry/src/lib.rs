@@ -1,0 +1,22 @@
+//! Observability primitives for the Parendi engines: lock-free event
+//! tracing drained into Chrome trace-event JSON ([`trace`]), a typed
+//! counter/gauge registry exported as a serializable snapshot
+//! ([`metrics`]), and static bytecode statistics ([`stats`]).
+//!
+//! The crate is dependency-free and engine-agnostic: the simulator
+//! crates thread [`TraceSink`]/[`MetricsRegistry`] handles through
+//! their hot loops, and the bench harness embeds [`MetricsSnapshot`]
+//! into its `BENCH_*.json` records. Every knob that feeds these types
+//! (`PARENDI_TRACE`, `PARENDI_TRACE_LEVEL`) is cataloged in
+//! `docs/ENVVARS.md`.
+
+mod metrics;
+mod stats;
+mod trace;
+
+pub use metrics::{Counter, MetricsRegistry, MetricsSnapshot};
+pub use stats::{CodeStats, OpcodeCount, PairCount};
+pub use trace::{
+    SpanKind, TraceBuf, TraceConfig, TraceEvent, TraceLevel, TraceSink, TrackSummary, NO_TILE,
+    SPAN_KINDS,
+};
