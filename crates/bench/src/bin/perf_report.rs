@@ -151,8 +151,19 @@ fn main() {
         println!("  {:<10} -> {:<10} x{}", p.first, p.second, p.count);
     }
 
+    let metrics = sim.metrics_snapshot();
     println!("\nMetrics snapshot:");
-    print!("{}", sim.metrics_snapshot().to_text());
+    print!("{}", metrics.to_text());
+    // A saturated trace buffer silently truncates every table above —
+    // make it loud so a partial report is never read as a full one.
+    let dropped = metrics.get("trace_events_dropped").unwrap_or(0);
+    if dropped > 0 {
+        eprintln!(
+            "\nWARNING: {dropped} trace event(s) dropped — the per-worker \
+             shares above undercount; raise the trace capacity \
+             (TraceConfig::with_capacity) or use PARENDI_TRACE_LEVEL=phase"
+        );
+    }
     // The engine writes the PARENDI_TRACE file (if configured) when it
     // drops, after its transport threads drain.
 }

@@ -371,4 +371,39 @@ impl<'c> BspSimulator<'c> {
     pub fn run_timed(&mut self, cycles: u64) -> BspPhases {
         self.core.run_inner(cycles, true)
     }
+
+    /// Captures the complete engine state — registers, arrays, arenas,
+    /// inputs, both parities of every mailbox, and the cycle count — as
+    /// a restorable [`Snapshot`](crate::checkpoint::Snapshot). See
+    /// [`crate::checkpoint`] for the format and guarantees.
+    pub fn snapshot(&self) -> crate::checkpoint::Snapshot {
+        self.core.snapshot()
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) — on
+    /// this simulator or a freshly built one over the same circuit and
+    /// partition (any transport backend, any thread count). The next
+    /// run continues bit-identically to a run that was never
+    /// interrupted. Fails (leaving the engine untouched) when the
+    /// snapshot does not fit.
+    pub fn restore(
+        &mut self,
+        snap: &crate::checkpoint::Snapshot,
+    ) -> Result<(), crate::checkpoint::SnapshotError> {
+        self.core.restore(snap)
+    }
+
+    /// Periodic auto-checkpointing: every `every` absolute cycles,
+    /// [`run`](Self::run) writes a snapshot to `path` (atomic
+    /// tmp-and-rename). The programmatic twin of
+    /// `PARENDI_CHECKPOINT=path:every`; functional results are
+    /// unaffected — chunked runs are bit-identical to uninterrupted
+    /// ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_auto_checkpoint(&mut self, path: impl Into<std::path::PathBuf>, every: u64) {
+        self.core.set_auto_checkpoint(path.into(), every);
+    }
 }

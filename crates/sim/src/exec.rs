@@ -118,10 +118,13 @@
 //! The hidden portion is reported as [`BspPhases::overlap_s`].
 
 use crate::bsp::{BspPhases, TilePhases};
+use crate::checkpoint::{auto_checkpoint_from_env, Fingerprint, Snapshot, SnapshotError};
+use crate::checkpoint::{TileShape, TileState};
 use crate::engine::{
     bin1, eval_op, sext1, un1, worker_groups, ArrayHome, Compiled, LayoutChoice, Mailbox,
     OutputHome, PhaseBarrier, PortSend, Program, RecSrc, RegHome, RegSend, Step,
 };
+use crate::fault::{FaultKind, FaultPlan, TileFault};
 use crate::simd::{vbin, vconcat, vmux, vsext, vslice, vun, vzext, VecIsa};
 use parendi_core::routing::PORT_RECORD_HEADER_WORDS;
 use parendi_core::Partition;
@@ -134,6 +137,7 @@ use parendi_telemetry::{
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::marker::PhantomData;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard, OnceLock, RwLock};
 use std::thread::JoinHandle;
@@ -2113,6 +2117,9 @@ fn wide_ranges(step: &Step) -> ([(u32, u32); 3], usize, (u32, u32)) {
 /// lane early-exited; empty when every lane is live): packed commits
 /// and sends blend through it so retired lanes' packed state stays
 /// frozen, exactly as the strided lane sweeps skip retired lanes.
+/// `faults` (usually empty) are this tile's injected fault ops, applied
+/// between compute and latch so commits *and* sends both observe the
+/// faulted next-state bits.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn compute_phase<L: LaneSet, Y: Layout>(
     prog: &Program,
@@ -2125,6 +2132,7 @@ pub(crate) fn compute_phase<L: LaneSet, Y: Layout>(
     c: u64,
     pw: usize,
     mask: &[u64],
+    faults: &[TileFault],
     isa: VecIsa,
 ) {
     exec_code::<L, Y>(
@@ -2138,6 +2146,9 @@ pub(crate) fn compute_phase<L: LaneSet, Y: Layout>(
         lanes,
         isa,
     );
+    if !faults.is_empty() {
+        apply_faults::<Y>(faults, tile, c, pw);
+    }
     let write_parity = ((c & 1) ^ 1) as usize;
     let LaneTile {
         arena,
@@ -2194,6 +2205,53 @@ pub(crate) fn compute_phase<L: LaneSet, Y: Layout>(
     }
     for ps in &prog.port_sends {
         stage_port_record::<L, Y>(ps, arena, aw, nl, channels, mail_words, lanes, write_parity);
+    }
+}
+
+/// Applies one tile's injected fault ops to the freshly computed
+/// next-state words (strided arena words / packed scratch slots) —
+/// stuck-at masks every cycle, transient flips on their one cycle. A
+/// handful of AND/OR/XOR word ops per faulted net, no per-step
+/// branching: in packed mode one mask op covers 64 lanes at once.
+fn apply_faults<Y: Layout>(faults: &[TileFault], tile: &mut LaneTile, c: u64, pw: usize) {
+    let (aw, nl) = (tile.aw, tile.lanes);
+    for f in faults {
+        match f {
+            TileFault::Packed {
+                psrc,
+                and_mask,
+                or_mask,
+                flips,
+            } => {
+                let s = *psrc as usize;
+                let words = &mut tile.packed[s..s + pw];
+                for (w, (&a, &o)) in words.iter_mut().zip(and_mask.iter().zip(or_mask)) {
+                    *w = (*w & a) | o;
+                }
+                for (at, m) in flips {
+                    if *at == c {
+                        for (w, &f) in words.iter_mut().zip(m) {
+                            *w ^= f;
+                        }
+                    }
+                }
+            }
+            TileFault::Strided {
+                local,
+                lane,
+                and_mask,
+                or_mask,
+                flips,
+            } => {
+                let w = &mut tile.arena[Y::at(*local as usize, *lane as usize, aw, nl)];
+                *w = (*w & and_mask) | or_mask;
+                for &(at, m) in flips {
+                    if at == c {
+                        *w ^= m;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -2464,6 +2522,10 @@ struct CoreShared {
     active: RwLock<Vec<u32>>,
     /// Packed retire mask (`pw` words; bit set = lane early-exited).
     retired: RwLock<Vec<u64>>,
+    /// Per-tile compiled fault ops (see [`crate::fault`]): rewritten
+    /// between runs, read once per run like the retire mask. Empty
+    /// inner vecs everywhere when no campaign is active.
+    faults: RwLock<Vec<Vec<TileFault>>>,
     phase_barrier: PhaseBarrier,
     gate: Barrier,
     done: Barrier,
@@ -2598,6 +2660,11 @@ pub(crate) struct EngineCore<'c> {
     /// output peeks on a retired lane replay at its freeze parity.
     retired_at: Vec<Option<u64>>,
     pub cycle: u64,
+    /// Periodic auto-checkpointing (`PARENDI_CHECKPOINT=path:every_n`
+    /// or the facade setter): runs are chunked at absolute-cycle
+    /// multiples of `every_n` and a snapshot is written at each
+    /// boundary. `None` = off (the default).
+    auto_ckpt: Option<(PathBuf, u64)>,
     /// Declared last: writes the configured trace file after `shared`
     /// (and with it the transport and its writer threads) is gone, so
     /// the drained JSON includes the final transport-send spans. Held
@@ -2611,6 +2678,9 @@ struct TraceAutoWrite(Option<Arc<TraceSink>>);
 impl Drop for TraceAutoWrite {
     fn drop(&mut self) {
         if let Some(sink) = self.0.take() {
+            if let Some(warning) = sink.drop_warning() {
+                eprintln!("[trace] WARNING: {warning}");
+            }
             match sink.write_configured() {
                 Ok(Some(p)) => eprintln!("[trace] wrote {}", p.display()),
                 Ok(None) => {}
@@ -2905,6 +2975,7 @@ impl<'c> EngineCore<'c> {
             isa,
             active: RwLock::new((0..lanes as u32).collect()),
             retired: RwLock::new(vec![0u64; pw]),
+            faults: RwLock::new(vec![Vec::new(); tile_count]),
             phase_barrier: PhaseBarrier::with_counters(
                 pool_threads.max(1),
                 metrics.counter("barrier_spin_waits"),
@@ -2966,6 +3037,7 @@ impl<'c> EngineCore<'c> {
             onchip_mailboxes,
             retired_at: vec![None; lanes],
             cycle: 0,
+            auto_ckpt: auto_checkpoint_from_env(),
             _trace_writer,
         }
     }
@@ -3088,6 +3160,319 @@ impl<'c> EngineCore<'c> {
     /// would read the wrong buffer on odd distances past retirement).
     fn peek_cycle(&self, lane: usize) -> u64 {
         self.retired_at[lane].unwrap_or(self.cycle)
+    }
+
+    /// The engine shape a [`Snapshot`] must match to be restorable
+    /// here: circuit name, lane shape, layout, and the exact word
+    /// counts of every buffer.
+    fn fingerprint(&self) -> Fingerprint {
+        let sh = &self.shared;
+        Fingerprint {
+            circuit: self.circuit.name.clone(),
+            lanes: sh.lanes as u32,
+            pw: sh.pw as u32,
+            word_major: sh.word_major,
+            input_words: sh.inputs.read().unwrap().len() as u64,
+            onchip: sh.onchip as u32,
+            channel_words: sh.channels.iter().map(|m| m.words() as u64).collect(),
+            tiles: sh
+                .tiles
+                .iter()
+                .map(|t| {
+                    let t = t.lock().unwrap();
+                    TileShape {
+                        arena: t.arena.len() as u64,
+                        packed: t.packed.len() as u64,
+                        regs: t.reg_cur.len() as u64,
+                        arrays: t.arrays.iter().map(|a| a.len() as u64).collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Captures the complete engine state as a restorable [`Snapshot`]
+    /// (see [`crate::checkpoint`]). Legal between runs only, which the
+    /// facades guarantee by construction — the worker pool is parked at
+    /// its gate, so no thread touches any buffer.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let sh = &self.shared;
+        let tiles = sh
+            .tiles
+            .iter()
+            .map(|t| {
+                let t = t.lock().unwrap();
+                TileState {
+                    arena: t.arena.clone(),
+                    packed: t.packed.clone(),
+                    reg_cur: t.reg_cur.clone(),
+                    arrays: t.arrays.clone(),
+                }
+            })
+            .collect();
+        // SAFETY: between runs no reader or writer of either mailbox
+        // parity exists (the pool is parked at the gate barrier).
+        let channels = sh
+            .channels
+            .iter()
+            .map(|m| unsafe { [m.read(0).to_vec(), m.read(1).to_vec()] })
+            .collect();
+        Snapshot {
+            fingerprint: self.fingerprint(),
+            cycle: self.cycle,
+            tiles,
+            channels,
+            inputs: sh.inputs.read().unwrap().clone(),
+            active: sh.active.read().unwrap().clone(),
+            retired: sh.retired.read().unwrap().clone(),
+            retired_at: Snapshot::encode_retired_at(&self.retired_at),
+        }
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) — on
+    /// this engine or any engine compiled from the same circuit,
+    /// partition, and lane shape, on **any** transport backend and
+    /// thread count. The next run continues bit-identically to a run
+    /// that was never interrupted. Fails with
+    /// [`SnapshotError::ShapeMismatch`] (leaving the engine untouched)
+    /// when the snapshot does not fit.
+    pub(crate) fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        snap.fingerprint.matches(&self.fingerprint())?;
+        let sh = &self.shared;
+        for (tile, st) in sh.tiles.iter().zip(&snap.tiles) {
+            let mut t = tile.lock().unwrap();
+            t.arena.copy_from_slice(&st.arena);
+            t.packed.copy_from_slice(&st.packed);
+            t.reg_cur.copy_from_slice(&st.reg_cur);
+            for (a, sa) in t.arrays.iter_mut().zip(&st.arrays) {
+                a.copy_from_slice(sa);
+            }
+        }
+        for (m, bufs) in sh.channels.iter().zip(&snap.channels) {
+            for (parity, buf) in bufs.iter().enumerate() {
+                // SAFETY: between runs (pool parked at the gate) no
+                // other reader or writer of either parity exists.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(buf.as_ptr(), m.write_base(parity), buf.len());
+                }
+            }
+        }
+        sh.inputs.write().unwrap().copy_from_slice(&snap.inputs);
+        *sh.active.write().unwrap() = snap.active.clone();
+        sh.retired.write().unwrap().copy_from_slice(&snap.retired);
+        self.retired_at = snap.decode_retired_at();
+        self.cycle = snap.cycle;
+        sh.ctrs.lanes_active.set(snap.active.len() as u64);
+        sh.ctrs
+            .lanes_retired
+            .set(sh.lanes as u64 - snap.active.len() as u64);
+        // Staged transports mirror the consumer fabric: re-sync their
+        // staging copies (and any cross-process epoch sequencing) to
+        // the state just written.
+        sh.transport.resync(&sh.channels, sh.onchip, self.cycle);
+        Ok(())
+    }
+
+    /// Broadcasts lane `golden`'s complete state — strided and packed
+    /// arenas, register files, arrays, inputs, and both parities of
+    /// every mailbox — across **all** lanes, and reactivates every
+    /// retired lane: the inverse of [`finish_lane`](Self::finish_lane).
+    /// Run one lane through a common reset/boot prefix, fork, then
+    /// diverge per-lane stimulus from here — the boot cost is paid once
+    /// instead of once per scenario.
+    pub(crate) fn fork_lanes(&mut self, golden: usize) {
+        let sh = &self.shared;
+        let (lanes, pw) = (sh.lanes, sh.pw);
+        assert!(golden < lanes, "golden lane {golden} out of range");
+        assert!(
+            self.lane_is_active(golden),
+            "golden lane {golden} is retired"
+        );
+        // Broadcast one strided buffer (per-lane stride `stride`) under
+        // the gang's layout, and one packed block (`pw` words per slot:
+        // whole words from the golden bit).
+        let bcast = |buf: &mut [u64], stride: usize| {
+            for off in 0..stride {
+                let v = buf[self.sat(off, golden, stride)];
+                for l in 0..lanes {
+                    buf[self.sat(off, l, stride)] = v;
+                }
+            }
+        };
+        let bcast_packed = |buf: &mut [u64]| {
+            for slot in buf.chunks_exact_mut(pw.max(1)) {
+                let bit = (slot[golden / 64] >> (golden % 64)) & 1;
+                slot.fill(if bit == 1 { u64::MAX } else { 0 });
+            }
+        };
+        for tile in &sh.tiles {
+            let mut t = tile.lock().unwrap();
+            let (aw, rw) = (t.aw, t.rw);
+            bcast(&mut t.arena, aw);
+            if pw > 0 {
+                bcast_packed(&mut t.packed);
+            }
+            // Register file: strided head, packed tail.
+            let (head, tail) = t.reg_cur.split_at_mut(rw * lanes);
+            bcast(head, rw);
+            if pw > 0 {
+                bcast_packed(tail);
+            }
+            // Arrays are lane-major in every layout: block copies.
+            let strides = t.arr_words.clone();
+            for (a, stride) in t.arrays.iter_mut().zip(strides) {
+                for l in 0..lanes {
+                    a.copy_within(golden * stride..(golden + 1) * stride, l * stride);
+                }
+            }
+        }
+        // Mailboxes: strided region (per-lane stride `mail_words[ch]`)
+        // then the packed region in `pw`-word slots — both parities, so
+        // every epoch a resumed run can read carries golden's history.
+        for (ch, m) in sh.channels.iter().enumerate() {
+            let mw = sh.mail_words[ch] as usize;
+            for parity in 0..2 {
+                // SAFETY: between runs (pool parked at the gate) no
+                // other reader or writer of either parity exists.
+                let buf =
+                    unsafe { std::slice::from_raw_parts_mut(m.write_base(parity), m.words()) };
+                let (head, tail) = buf.split_at_mut(mw * lanes);
+                bcast(head, mw);
+                if pw > 0 {
+                    bcast_packed(tail);
+                }
+            }
+        }
+        // Inputs: strided region, then the packed tail.
+        {
+            let mut inputs = sh.inputs.write().unwrap();
+            let (head, tail) = inputs.split_at_mut(sh.input_stride * lanes);
+            bcast(head, sh.input_stride);
+            if pw > 0 {
+                bcast_packed(tail);
+            }
+        }
+        *sh.active.write().unwrap() = (0..lanes as u32).collect();
+        sh.retired.write().unwrap().fill(0);
+        self.retired_at = vec![None; lanes];
+        sh.ctrs.lanes_active.set(lanes as u64);
+        sh.ctrs.lanes_retired.set(0);
+        sh.transport.resync(&sh.channels, sh.onchip, self.cycle);
+    }
+
+    /// Periodic auto-checkpointing: write a snapshot to `path` every
+    /// `every` absolute cycles (the programmatic twin of
+    /// `PARENDI_CHECKPOINT=path:every`). Chunking a run at checkpoint
+    /// boundaries is semantics-preserving — runs stay bit-identical.
+    pub(crate) fn set_auto_checkpoint(&mut self, path: PathBuf, every: u64) {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.auto_ckpt = Some((path, every));
+    }
+
+    /// The engine's metrics registry (campaign counters register here).
+    pub(crate) fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// Installs compiled fault ops (replacing any previous set). Legal
+    /// between runs; the next run applies them every cycle.
+    pub(crate) fn set_faults(&mut self, faults: Vec<Vec<TileFault>>) {
+        assert_eq!(faults.len(), self.shared.programs.len());
+        *self.shared.faults.write().unwrap() = faults;
+    }
+
+    /// Removes every installed fault op.
+    pub(crate) fn clear_faults(&mut self) {
+        let n = self.shared.programs.len();
+        *self.shared.faults.write().unwrap() = vec![Vec::new(); n];
+    }
+
+    /// Compiles a [`FaultPlan`] into per-tile fault ops: each spec's
+    /// register resolves to the arena word (strided) or packed scratch
+    /// slot (packed) holding the register's *next* value, where the
+    /// cycle loop applies the mask after compute and before the latch —
+    /// so commits and mailbox sends both observe the faulted bit.
+    pub(crate) fn compile_fault_plan(
+        &self,
+        plan: &FaultPlan,
+    ) -> Result<Vec<Vec<TileFault>>, String> {
+        let sh = &self.shared;
+        let (lanes, pw) = (sh.lanes, sh.pw);
+        let mut out: Vec<Vec<TileFault>> = vec![Vec::new(); sh.programs.len()];
+        for spec in plan.specs() {
+            let lane = spec.lane as usize;
+            if lane >= lanes {
+                return Err(format!("fault lane {lane} out of range ({lanes} lanes)"));
+            }
+            let ri = self
+                .circuit
+                .regs
+                .iter()
+                .position(|r| r.name == spec.reg)
+                .ok_or_else(|| format!("no register named {:?}", spec.reg))?;
+            let r = &self.circuit.regs[ri];
+            if spec.bit >= r.width {
+                return Err(format!(
+                    "bit {} out of range for {} ({} bits)",
+                    spec.bit, r.name, r.width
+                ));
+            }
+            let home = self.reg_home[ri];
+            if home.tile == u32::MAX {
+                return Err(format!("register {} has no producing tile", r.name));
+            }
+            let prog = &sh.programs[home.tile as usize];
+            let fault = if home.packed {
+                let rw = sh.tiles[home.tile as usize].lock().unwrap().rw;
+                let dst = (rw * lanes + home.off as usize * pw) as u32;
+                let pc = prog
+                    .packed_commits
+                    .iter()
+                    .find(|pc| pc.dst == dst)
+                    .ok_or_else(|| format!("register {} is never committed", r.name))?;
+                let (mut and_mask, mut or_mask) = (vec![u64::MAX; pw], vec![0u64; pw]);
+                let mut flips = Vec::new();
+                let (w, b) = (lane / 64, 1u64 << (lane % 64));
+                match spec.kind {
+                    FaultKind::StuckAt0 => and_mask[w] &= !b,
+                    FaultKind::StuckAt1 => or_mask[w] |= b,
+                    FaultKind::FlipAt(at) => {
+                        let mut m = vec![0u64; pw];
+                        m[w] = b;
+                        flips.push((at, m));
+                    }
+                }
+                TileFault::Packed {
+                    psrc: pc.psrc,
+                    and_mask,
+                    or_mask,
+                    flips,
+                }
+            } else {
+                let rc = prog
+                    .commits
+                    .iter()
+                    .find(|rc| rc.dst == home.off && spec.bit / 64 < rc.nw)
+                    .ok_or_else(|| format!("register {} is never committed", r.name))?;
+                let b = 1u64 << (spec.bit % 64);
+                let (mut and_mask, mut or_mask) = (u64::MAX, 0u64);
+                let mut flips = Vec::new();
+                match spec.kind {
+                    FaultKind::StuckAt0 => and_mask &= !b,
+                    FaultKind::StuckAt1 => or_mask |= b,
+                    FaultKind::FlipAt(at) => flips.push((at, b)),
+                }
+                TileFault::Strided {
+                    local: rc.local + spec.bit / 64,
+                    lane: spec.lane,
+                    and_mask,
+                    or_mask,
+                    flips,
+                }
+            };
+            out[home.tile as usize].push(fault);
+        }
+        Ok(out)
     }
 
     /// Absolute word offset of packed input `i`'s block in the input
@@ -3321,8 +3706,36 @@ impl<'c> EngineCore<'c> {
     /// the *active* lanes (zero once every lane retired), so
     /// `lane_cycles_per_s` reports real aggregate scenario throughput
     /// under early exit — including an honest zero for an all-retired
-    /// gang.
+    /// gang. With auto-checkpointing configured the run is chunked at
+    /// interval boundaries (semantics-preserving — each chunk boundary
+    /// is an ordinary run boundary) and a snapshot is written at each;
+    /// a failed write warns and keeps running (checkpointing is crash
+    /// protection, not a correctness dependency).
     pub(crate) fn run_inner(&mut self, cycles: u64, timed: bool) -> BspPhases {
+        let Some((path, every)) = self.auto_ckpt.clone() else {
+            return self.run_chunk(cycles, timed);
+        };
+        let mut left = cycles;
+        let mut agg: Option<BspPhases> = None;
+        loop {
+            let chunk = (every - self.cycle % every).min(left);
+            let ph = self.run_chunk(chunk, timed);
+            merge_phases(&mut agg, ph);
+            left -= chunk;
+            if chunk > 0 && self.cycle.is_multiple_of(every) {
+                if let Err(e) = self.snapshot().write(&path) {
+                    eprintln!("[checkpoint] write {} failed: {e}", path.display());
+                }
+            }
+            if left == 0 {
+                return agg.expect("at least one chunk ran");
+            }
+        }
+    }
+
+    /// One uninterrupted dispatch into the cycle loop (the whole run
+    /// when auto-checkpointing is off).
+    fn run_chunk(&mut self, cycles: u64, timed: bool) -> BspPhases {
         let start = Instant::now();
         let active_count = self.active_lanes() as u32;
         if cycles == 0 {
@@ -3451,6 +3864,32 @@ impl Drop for EngineCore<'_> {
                 let _ = w.join();
             }
         }
+    }
+}
+
+/// Folds one chunk's phases into the checkpointed run's aggregate:
+/// scalars and cycles sum, per-tile histograms add element-wise, and
+/// the lane count reports the final chunk's active lanes.
+fn merge_phases(agg: &mut Option<BspPhases>, ph: BspPhases) {
+    let Some(acc) = agg else {
+        *agg = Some(ph);
+        return;
+    };
+    acc.total_s += ph.total_s;
+    acc.compute_s += ph.compute_s;
+    acc.offchip_s += ph.offchip_s;
+    acc.exchange_s += ph.exchange_s;
+    acc.overlap_s += ph.overlap_s;
+    acc.cycles += ph.cycles;
+    acc.lanes = ph.lanes;
+    if acc.per_tile.len() == ph.per_tile.len() {
+        for (a, p) in acc.per_tile.iter_mut().zip(&ph.per_tile) {
+            a.compute_s += p.compute_s;
+            a.offchip_s += p.offchip_s;
+            a.exchange_s += p.exchange_s;
+        }
+    } else if !ph.per_tile.is_empty() {
+        acc.per_tile = ph.per_tile;
     }
 }
 
@@ -3597,6 +4036,9 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
     } else {
         &[]
     };
+    // Injected fault ops, also stable for the whole run; fault-free
+    // tiles see an empty slice (one branch per tile per cycle).
+    let faults = shared.faults.read().unwrap();
     // Run-invariant prelude: inputs are frozen for the whole run (the
     // facades take `&mut self`), so each tile's input/constant cones
     // and their PACK/UNPACK transposes execute once per run here, not
@@ -3637,6 +4079,7 @@ fn cycle_loop<L: LaneSet, Y: Layout>(
                 c,
                 pw,
                 mask,
+                &faults[pi],
                 shared.isa,
             );
             if let Some(m) = mark {

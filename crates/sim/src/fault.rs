@@ -1,0 +1,402 @@
+//! Fault-injection campaigns over gang lanes: stuck-at and transient
+//! bit-flip faults on chosen registers, one faulty variant per lane,
+//! classified against a fault-free **golden** lane.
+//!
+//! The RIROS observation (see PAPERS.md) is that the highest-value
+//! scenario shape for lane-parallel RTL simulation is *many faulty
+//! variants of one design* — exactly the gang's packed/strided lane
+//! layout. A [`FaultPlan`] assigns each non-golden lane a fault
+//! ([`FaultSpec`]); the engine compiles each spec into a per-tile mask
+//! op applied at the latch boundary every cycle (after compute, before
+//! the register commit and mailbox sends, so both observe the faulted
+//! bit). The hot-loop cost is a handful of AND/OR/XOR word ops per
+//! faulted net with no per-step branching — in packed mode one mask op
+//! covers a whole 64-lane word at `PACK`-boundary granularity.
+//!
+//! [`run_campaign`] drives the whole flow and classifies every faulted
+//! lane with the standard taxonomy:
+//!
+//! * **detected** — the lane's primary outputs diverged from the golden
+//!   lane (observed at a chunk boundary; the reported cycle is the
+//!   first *checked* cycle at which the divergence was visible);
+//! * **latent** — outputs matched throughout, but architectural state
+//!   (a register or array element) differs at campaign end: the fault
+//!   is resident but has not propagated to an output yet;
+//! * **silent** — fully masked: outputs *and* architectural state match
+//!   the golden lane.
+//!
+//! The counts are published into the engine's metrics registry
+//! (`faults_injected` / `faults_detected` / `faults_latent` /
+//! `faults_silent`), so campaign coverage rides in the same
+//! `MetricsSnapshot` as every other engine metric.
+
+use crate::gang::GangSimulator;
+use parendi_rtl::{ArrayId, Circuit, RegId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// What a fault does to its target bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The register's next-state bit reads 0 every cycle (stuck-at-0 on
+    /// the D input).
+    StuckAt0,
+    /// The register's next-state bit reads 1 every cycle (stuck-at-1).
+    StuckAt1,
+    /// The bit inverts on exactly one (absolute) cycle — a transient
+    /// single-event upset.
+    FlipAt(u64),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StuckAt0 => write!(f, "stuck-at-0"),
+            FaultKind::StuckAt1 => write!(f, "stuck-at-1"),
+            FaultKind::FlipAt(c) => write!(f, "flip@{c}"),
+        }
+    }
+}
+
+/// One injected fault: `kind` applied to bit `bit` of register `reg` in
+/// lane `lane`.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Target lane (must not be the campaign's golden lane).
+    pub lane: u32,
+    /// Target register name.
+    pub reg: String,
+    /// Target bit within the register.
+    pub bit: u32,
+    /// The fault model applied.
+    pub kind: FaultKind,
+}
+
+/// A set of faults to inject across gang lanes, built by hand
+/// ([`add`](Self::add) and the [`stuck_at`](Self::stuck_at) /
+/// [`flip`](Self::flip) conveniences) or generated round-robin over a
+/// circuit's registers ([`round_robin`](Self::round_robin)). Installed
+/// with [`GangSimulator::apply_fault_plan`] or run end-to-end by
+/// [`run_campaign`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fault spec.
+    pub fn add(&mut self, spec: FaultSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds a stuck-at fault (`value` = the stuck level).
+    pub fn stuck_at(&mut self, lane: u32, reg: &str, bit: u32, value: bool) -> &mut Self {
+        self.add(FaultSpec {
+            lane,
+            reg: reg.to_string(),
+            bit,
+            kind: if value {
+                FaultKind::StuckAt1
+            } else {
+                FaultKind::StuckAt0
+            },
+        })
+    }
+
+    /// Adds a transient bit flip at absolute cycle `cycle`.
+    pub fn flip(&mut self, lane: u32, reg: &str, bit: u32, cycle: u64) -> &mut Self {
+        self.add(FaultSpec {
+            lane,
+            reg: reg.to_string(),
+            bit,
+            kind: FaultKind::FlipAt(cycle),
+        })
+    }
+
+    /// All specs in insertion order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Whether the plan has no faults.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// A deterministic single-stuck-at campaign plan: walk `circuit`'s
+    /// register bits in declaration order and assign one distinct
+    /// `(register, bit)` stuck-at fault to each lane except `golden`,
+    /// alternating polarity. Lanes beyond the available fault sites are
+    /// left fault-free (they behave as extra golden lanes).
+    pub fn round_robin(circuit: &Circuit, lanes: u32, golden: u32) -> Self {
+        let mut plan = FaultPlan::new();
+        let mut sites = circuit
+            .regs
+            .iter()
+            .flat_map(|r| (0..r.width).map(move |b| (r.name.as_str(), b)));
+        for lane in (0..lanes).filter(|&l| l != golden) {
+            let Some((reg, bit)) = sites.next() else {
+                break;
+            };
+            plan.stuck_at(lane, reg, bit, (lane ^ bit) & 1 == 1);
+        }
+        plan
+    }
+}
+
+/// Per-lane campaign classification (see the module docs for the
+/// taxonomy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Primary outputs diverged from the golden lane; `cycle` is the
+    /// first checked cycle at which the divergence was visible.
+    Detected {
+        /// First checked cycle showing the divergence.
+        cycle: u64,
+    },
+    /// Outputs matched throughout, but architectural state differs at
+    /// campaign end.
+    Latent,
+    /// Fully masked: outputs and architectural state match golden.
+    Silent,
+}
+
+/// The coverage report of one fault campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The golden (fault-free) reference lane.
+    pub golden: u32,
+    /// Campaign cycles simulated (after any boot prefix).
+    pub cycles: u64,
+    /// Wall-clock seconds of the campaign run (runs plus checks).
+    pub seconds: f64,
+    /// Per faulted lane, ascending: `(lane, outcome)`.
+    pub outcomes: Vec<(u32, FaultOutcome)>,
+}
+
+impl CampaignReport {
+    /// Number of detected faults (output divergence).
+    pub fn detected(&self) -> usize {
+        self.count(|o| matches!(o, FaultOutcome::Detected { .. }))
+    }
+
+    /// Number of latent faults (state corrupted, outputs clean).
+    pub fn latent(&self) -> usize {
+        self.count(|o| matches!(o, FaultOutcome::Latent))
+    }
+
+    /// Number of silent faults (fully masked).
+    pub fn silent(&self) -> usize {
+        self.count(|o| matches!(o, FaultOutcome::Silent))
+    }
+
+    /// Fault scenarios evaluated per wall-clock second.
+    pub fn faults_per_s(&self) -> f64 {
+        self.outcomes.len() as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Aggregate faulty-lane cycles per wall-clock second — the
+    /// throughput metric comparable to `lane_cycles_per_s`.
+    pub fn fault_lane_cycles_per_s(&self) -> f64 {
+        self.outcomes.len() as f64 * self.cycles as f64 / self.seconds.max(1e-12)
+    }
+
+    /// One-line coverage summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} faults over {} cycles: {} detected, {} latent, {} silent ({:.1} faults/s)",
+            self.outcomes.len(),
+            self.cycles,
+            self.detected(),
+            self.latent(),
+            self.silent(),
+            self.faults_per_s(),
+        )
+    }
+
+    fn count(&self, pred: impl Fn(&FaultOutcome) -> bool) -> usize {
+        self.outcomes.iter().filter(|(_, o)| pred(o)).count()
+    }
+}
+
+/// Runs a fault campaign end-to-end: installs `plan` on `gang`, runs
+/// `cycles` cycles in chunks of `check_every`, compares every faulted
+/// lane's primary outputs against the golden lane at each chunk
+/// boundary (first divergence ⇒ **detected**), then classifies the
+/// survivors by comparing registers and arrays (**latent** vs
+/// **silent**). Coverage counts are published into the gang's metrics
+/// registry. The plan stays installed afterwards (so a checkpointed
+/// campaign can resume); call [`GangSimulator::clear_faults`] to lift
+/// it.
+///
+/// Errors (leaving the gang unchanged) if a spec targets the golden
+/// lane, an unknown register, or an out-of-range bit or lane.
+pub fn run_campaign(
+    gang: &mut GangSimulator<'_>,
+    plan: &FaultPlan,
+    golden: u32,
+    cycles: u64,
+    check_every: u64,
+) -> Result<CampaignReport, String> {
+    if let Some(bad) = plan.specs().iter().find(|s| s.lane == golden) {
+        return Err(format!(
+            "fault {} {} bit {} targets the golden lane {golden}",
+            bad.kind, bad.reg, bad.bit
+        ));
+    }
+    let check_every = check_every.max(1);
+    gang.apply_fault_plan(plan)?;
+    let start = Instant::now();
+    let mut faulted: Vec<u32> = plan.specs().iter().map(|s| s.lane).collect();
+    faulted.sort_unstable();
+    faulted.dedup();
+    let mut detected: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut left = cycles;
+    while left > 0 {
+        let chunk = check_every.min(left);
+        gang.run(chunk);
+        left -= chunk;
+        let reference = gang.peek_outputs_lane(golden as usize);
+        for &lane in &faulted {
+            if detected.contains_key(&lane) {
+                continue;
+            }
+            if gang.peek_outputs_lane(lane as usize) != reference {
+                detected.insert(lane, gang.cycle());
+            }
+        }
+    }
+    let outcomes: Vec<(u32, FaultOutcome)> = faulted
+        .iter()
+        .map(|&lane| {
+            let outcome = match detected.get(&lane) {
+                Some(&cycle) => FaultOutcome::Detected { cycle },
+                None if state_differs(gang, lane as usize, golden as usize) => FaultOutcome::Latent,
+                None => FaultOutcome::Silent,
+            };
+            (lane, outcome)
+        })
+        .collect();
+    let report = CampaignReport {
+        golden,
+        cycles,
+        seconds: start.elapsed().as_secs_f64(),
+        outcomes,
+    };
+    let metrics = gang.core().metrics();
+    metrics.counter("faults_injected").add(plan.len() as u64);
+    metrics
+        .counter("faults_detected")
+        .add(report.detected() as u64);
+    metrics.counter("faults_latent").add(report.latent() as u64);
+    metrics.counter("faults_silent").add(report.silent() as u64);
+    Ok(report)
+}
+
+/// Whether any architectural state (register or array element) of
+/// `lane` differs from `golden`.
+fn state_differs(gang: &GangSimulator<'_>, lane: usize, golden: usize) -> bool {
+    let circuit = gang.circuit();
+    let homes = &gang.core().reg_home;
+    for (ri, home) in homes.iter().enumerate() {
+        // Registers nothing produces keep their init value in every
+        // lane — nothing to compare (and nothing a fault could touch).
+        if home.tile == u32::MAX {
+            continue;
+        }
+        let id = RegId(ri as u32);
+        if gang.reg_value_lane(id, lane) != gang.reg_value_lane(id, golden) {
+            return true;
+        }
+    }
+    for ai in 0..circuit.arrays.len() {
+        let id = ArrayId(ai as u32);
+        for idx in 0..circuit.arrays[ai].depth {
+            if gang.array_value_lane(id, idx, lane) != gang.array_value_lane(id, idx, golden) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One compiled fault op on one tile — the engine-facing form a
+/// [`FaultSpec`] lowers to (see `EngineCore::compile_fault_plan`).
+/// Strided faults mask one arena word of one lane; packed faults mask a
+/// whole `pw`-word packed scratch slot, the lane selected by its bit
+/// position in the masks.
+#[derive(Clone, Debug)]
+pub(crate) enum TileFault {
+    /// Mask the packed scratch slot at `psrc` (`pw` words).
+    Packed {
+        psrc: u32,
+        and_mask: Vec<u64>,
+        or_mask: Vec<u64>,
+        /// Transient flips: `(cycle, xor mask)`.
+        flips: Vec<(u64, Vec<u64>)>,
+    },
+    /// Mask one arena word (`local`) of one `lane`.
+    Strided {
+        local: u32,
+        lane: u32,
+        and_mask: u64,
+        or_mask: u64,
+        /// Transient flips: `(cycle, xor mask)`.
+        flips: Vec<(u64, u64)>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plan builders produce the specs they say they do.
+    #[test]
+    fn plan_builders() {
+        let mut plan = FaultPlan::new();
+        plan.stuck_at(1, "r0", 3, true)
+            .stuck_at(2, "r1", 0, false)
+            .flip(3, "r0", 7, 41);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.specs()[0].kind, FaultKind::StuckAt1);
+        assert_eq!(plan.specs()[1].kind, FaultKind::StuckAt0);
+        assert_eq!(plan.specs()[2].kind, FaultKind::FlipAt(41));
+        assert_eq!(format!("{}", plan.specs()[2].kind), "flip@41");
+    }
+
+    /// Report accounting: counts and rates derive from the outcomes.
+    #[test]
+    fn report_accounting() {
+        let report = CampaignReport {
+            golden: 0,
+            cycles: 100,
+            seconds: 2.0,
+            outcomes: vec![
+                (1, FaultOutcome::Detected { cycle: 17 }),
+                (2, FaultOutcome::Silent),
+                (3, FaultOutcome::Latent),
+                (4, FaultOutcome::Detected { cycle: 99 }),
+            ],
+        };
+        assert_eq!(report.detected(), 2);
+        assert_eq!(report.latent(), 1);
+        assert_eq!(report.silent(), 1);
+        assert!((report.faults_per_s() - 2.0).abs() < 1e-9);
+        assert!((report.fault_lane_cycles_per_s() - 200.0).abs() < 1e-9);
+        let s = report.summary();
+        assert!(s.contains("2 detected") && s.contains("1 latent") && s.contains("1 silent"));
+    }
+}

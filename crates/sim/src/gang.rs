@@ -503,6 +503,80 @@ impl<'c> GangSimulator<'c> {
         }
         start.elapsed().as_secs_f64()
     }
+
+    /// Captures the gang's complete state — every lane's registers,
+    /// arrays, arenas, inputs, both parities of every mailbox, and the
+    /// cycle/retire bookkeeping — as a restorable
+    /// [`Snapshot`](crate::checkpoint::Snapshot). See
+    /// [`crate::checkpoint`] for the format and guarantees.
+    pub fn snapshot(&self) -> crate::checkpoint::Snapshot {
+        self.core.snapshot()
+    }
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) — on
+    /// this gang or a freshly built one over the same circuit,
+    /// partition, and lane shape (any transport backend, any thread
+    /// count). The next run continues bit-identically to a run that was
+    /// never interrupted. Fails (leaving the gang untouched) when the
+    /// snapshot does not fit this engine.
+    pub fn restore(
+        &mut self,
+        snap: &crate::checkpoint::Snapshot,
+    ) -> Result<(), crate::checkpoint::SnapshotError> {
+        self.core.restore(snap)
+    }
+
+    /// Periodic auto-checkpointing: every `every` absolute cycles,
+    /// [`run`](Self::run) writes a snapshot to `path` (atomic
+    /// tmp-and-rename). The programmatic twin of
+    /// `PARENDI_CHECKPOINT=path:every`; functional results are
+    /// unaffected — chunked runs are bit-identical to uninterrupted
+    /// ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_auto_checkpoint(&mut self, path: impl Into<std::path::PathBuf>, every: u64) {
+        self.core.set_auto_checkpoint(path.into(), every);
+    }
+
+    /// Broadcasts lane `golden`'s complete state across **all** lanes
+    /// and reactivates any retired ones — the inverse of
+    /// [`finish_lane`](Self::finish_lane). Run one lane through a
+    /// common reset/boot prefix (retire the others), fork, then diverge
+    /// per-lane stimulus: the boot cost is paid once instead of once
+    /// per scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `golden` is out of range or retired.
+    pub fn fork_lanes(&mut self, golden: usize) {
+        self.core.fork_lanes(golden);
+    }
+
+    /// Compiles and installs `plan`'s fault ops (replacing any previous
+    /// plan): from the next [`run`](Self::run) on, each faulted lane's
+    /// chosen register bits are stuck or flipped at the latch boundary
+    /// every cycle (see [`crate::fault`]). Errors name the offending
+    /// spec (unknown register, bit or lane out of range) and leave the
+    /// gang unchanged.
+    pub fn apply_fault_plan(&mut self, plan: &crate::fault::FaultPlan) -> Result<(), String> {
+        let compiled = self.core.compile_fault_plan(plan)?;
+        self.core.set_faults(compiled);
+        Ok(())
+    }
+
+    /// Removes every injected fault (the lanes keep whatever corrupted
+    /// state they have accumulated).
+    pub fn clear_faults(&mut self) {
+        self.core.clear_faults();
+    }
+
+    /// The engine behind the facade — the fault-campaign runner reads
+    /// register homes and the metrics registry through it.
+    pub(crate) fn core(&self) -> &EngineCore<'c> {
+        &self.core
+    }
 }
 
 /// One per-lane input event of a [`StimulusSet`].

@@ -11,7 +11,13 @@
 //!   partition, with lane-strided state, per-lane I/O, and per-lane
 //!   early exit;
 //! * [`timing`] — the Eq. 1 cost breakdown
-//!   (`t_comp`/`t_comm`/`t_sync`) on the IPU machine model.
+//!   (`t_comp`/`t_comm`/`t_sync`) on the IPU machine model;
+//! * [`checkpoint`] — versioned, checksummed engine snapshots:
+//!   crash-safe checkpoint/restore and periodic auto-checkpointing
+//!   (`PARENDI_CHECKPOINT`), plus lane fork on the gang;
+//! * [`fault`] — fault-injection campaigns over gang lanes (stuck-at /
+//!   transient flips, detected/latent/silent coverage against a golden
+//!   lane).
 //!
 //! Observability — per-worker event tracing (Perfetto-loadable Chrome
 //! trace JSON via `PARENDI_TRACE` or the `with_trace` constructors)
@@ -54,8 +60,10 @@
 #![warn(missing_docs)]
 
 pub mod bsp;
+pub mod checkpoint;
 pub(crate) mod engine;
 pub(crate) mod exec;
+pub mod fault;
 pub mod gang;
 pub mod interp;
 pub(crate) mod simd;
@@ -64,9 +72,11 @@ pub mod transport;
 pub mod vcd;
 
 pub use bsp::{BspPhases, BspSimulator};
+pub use checkpoint::{Snapshot, SnapshotError};
+pub use fault::{run_campaign, CampaignReport, FaultKind, FaultOutcome, FaultPlan, FaultSpec};
 pub use gang::{GangSimulator, StimulusSet};
 pub use interp::Simulator;
 pub use parendi_telemetry::{CodeStats, MetricsSnapshot, TraceConfig, TraceLevel, TrackSummary};
 pub use timing::{ipu_rate_khz, ipu_timings};
-pub use transport::TransportChoice;
+pub use transport::{TransportChoice, TransportError};
 pub use vcd::{dump_vcd, dump_vcd_lane, VcdWriter};

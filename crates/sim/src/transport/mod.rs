@@ -77,6 +77,7 @@ use crate::engine::Mailbox;
 use parendi_telemetry::{Counter, TraceSink};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 pub(crate) mod inproc;
 pub(crate) mod shmem;
@@ -122,6 +123,84 @@ impl TransportChoice {
             Self::Tcp => "tcp",
         }
     }
+}
+
+/// A typed transport fault on the connection-setup or framing path.
+///
+/// Backends surface these instead of bare `unwrap` panics so a refused
+/// connection, a half-open peer, or a stalled handshake produces a
+/// message naming the failing operation (and, for timeouts, the
+/// configured budget) before the worker aborts. The budget comes from
+/// `PARENDI_TRANSPORT_TIMEOUT_MS` — see [`transport_timeout`].
+#[derive(Debug)]
+pub enum TransportError {
+    /// An OS-level I/O failure; `context` names the operation
+    /// (e.g. `"connect pair 3"`).
+    Io {
+        /// The operation that failed.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// An operation exceeded the `PARENDI_TRANSPORT_TIMEOUT_MS` budget.
+    Timeout {
+        /// The operation that timed out.
+        context: String,
+        /// The budget that was exceeded, in milliseconds.
+        ms: u64,
+    },
+    /// The peer spoke the wrong protocol during connection setup.
+    Handshake(String),
+    /// A received frame failed validation (bad magic, short payload…).
+    Frame(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { context, source } => write!(f, "transport i/o error: {context}: {source}"),
+            Self::Timeout { context, ms } => {
+                write!(
+                    f,
+                    "transport timeout: {context} exceeded {ms} ms \
+                     (PARENDI_TRANSPORT_TIMEOUT_MS)"
+                )
+            }
+            Self::Handshake(msg) => write!(f, "transport handshake error: {msg}"),
+            Self::Frame(msg) => write!(f, "transport frame error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl TransportError {
+    /// Wraps an [`std::io::Error`] with the operation it interrupted.
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Self::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+/// The connection-setup / blocking-read budget: `Some(duration)` from
+/// `PARENDI_TRANSPORT_TIMEOUT_MS` (default 30 000 ms), or `None` when
+/// the variable is set to `0` (wait forever). Malformed values fall
+/// back to the default.
+pub(crate) fn transport_timeout() -> Option<Duration> {
+    let ms = std::env::var("PARENDI_TRANSPORT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(30_000);
+    (ms != 0).then(|| Duration::from_millis(ms))
 }
 
 /// Everything a backend needs at build time, derived by
@@ -181,6 +260,15 @@ pub(crate) trait ChipTransport: Send + Sync {
     /// Total bytes that crossed the chip boundary so far (whole pair
     /// aggregates, every backend — see the module docs).
     fn bytes_sent(&self) -> u64;
+
+    /// Re-derives backend-side mirror state from the engine fabric
+    /// after the engine mutated it outside the cycle loop (checkpoint
+    /// restore, lane fork). Staged backends re-mirror the consumer
+    /// boxes into staging (both parities) so the next cycle's frames
+    /// carry the restored bytes; the shared-memory backend also rewinds
+    /// its sequence words to `cycle`. Called between runs only — no
+    /// worker is in flight. The default (in-process) is a no-op.
+    fn resync(&self, _channels: &[Mailbox], _onchip: usize, _cycle: u64) {}
 
     /// Short stable backend name.
     fn name(&self) -> &'static str;
@@ -304,6 +392,31 @@ impl Staging {
                 // Safe to re-arm before barrier 1: next-cycle flushes
                 // only start after barrier 2.
                 self.counts[p].store(self.full[p], Ordering::Release);
+            }
+        }
+    }
+
+    /// Re-mirrors the consumer boxes into the staging fabric, both
+    /// parities — the build-time mirror re-run after a restore or lane
+    /// fork rewrote the consumer-side mailboxes. No-op when unstaged.
+    ///
+    /// Caller contract: no worker is in flight (called between runs).
+    pub(crate) fn resync(&self, channels: &[Mailbox], onchip: usize) {
+        if self.boxes.is_empty() {
+            return;
+        }
+        for (p, &words) in self.pair_words.iter().enumerate() {
+            // SAFETY: between runs, nothing else reads or writes either
+            // fabric — same situation as the single-threaded build.
+            unsafe {
+                for parity in 0..2 {
+                    let src = channels[onchip + p].read(parity);
+                    std::ptr::copy_nonoverlapping(
+                        src.as_ptr(),
+                        self.boxes[self.onchip + p].write_base(parity),
+                        words,
+                    );
+                }
             }
         }
     }

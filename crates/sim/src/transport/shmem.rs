@@ -86,6 +86,48 @@ mod sys {
     }
 }
 
+/// Whether a process with this pid is still running: true when
+/// `/proc/<pid>` exists, and — safety first — also true when `/proc`
+/// itself is absent (non-Linux hosts), so a sweep never removes a
+/// live peer's segment just because liveness cannot be determined.
+fn pid_alive(pid: u32) -> bool {
+    if !std::path::Path::new("/proc").is_dir() {
+        return true;
+    }
+    std::path::Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Removes `parendi-shm-<pid>-<seq>` files in `dir` whose creating
+/// process is gone — the debris a killed run leaves behind (`ShmMap`
+/// unlinks on drop, but a `SIGKILL` or `process::exit` never runs the
+/// drop). Files of live processes (including our own) and unrelated
+/// names are left alone. Returns the number of segments removed.
+fn sweep_stale(dir: &std::path::Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix("parendi-shm-")) else {
+            continue;
+        };
+        let Some(pid) = rest
+            .split_once('-')
+            .and_then(|(pid, _seq)| pid.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if pid == std::process::id() || pid_alive(pid) {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
+
 impl ShmMap {
     /// The directory backing the mappings: `/dev/shm` when present
     /// (true shared memory), the temp dir otherwise.
@@ -103,6 +145,16 @@ impl ShmMap {
     #[cfg(unix)]
     pub(crate) fn create(words: usize) -> Self {
         static SEQ: AtomicU64 = AtomicU64::new(0);
+        static SWEEP: std::sync::Once = std::sync::Once::new();
+        // Once per process, clear segments orphaned by killed runs
+        // before adding our own (a kill-resume workflow would
+        // otherwise slowly fill /dev/shm).
+        SWEEP.call_once(|| {
+            let n = sweep_stale(&Self::dir());
+            if n > 0 {
+                eprintln!("[transport] swept {n} stale shared-memory segment(s)");
+            }
+        });
         let path = Self::dir().join(format!(
             "parendi-shm-{}-{}",
             std::process::id(),
@@ -207,11 +259,21 @@ impl Drop for ShmMap {
     }
 }
 
+/// The frame-wait deadline, read once per process (the same
+/// `PARENDI_TRANSPORT_TIMEOUT_MS` budget the TCP backend honors).
+fn spin_budget() -> Option<std::time::Duration> {
+    static BUDGET: std::sync::OnceLock<Option<std::time::Duration>> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(super::transport_timeout)
+}
+
 /// Spins until `seq` reaches `want` (Acquire), yielding periodically;
-/// panics after ~30 s — a missing frame means a peer died, and a
-/// worker panic aborts the run rather than hanging the barrier.
+/// panics once the `PARENDI_TRANSPORT_TIMEOUT_MS` budget (default
+/// 30 s, `0` waits forever) is exhausted — a missing frame means a
+/// peer died, and a worker panic aborts the run rather than hanging
+/// the barrier.
 fn spin_until(seq: &AtomicU64, want: u64) {
     let start = std::time::Instant::now();
+    let budget = spin_budget();
     let mut n = 0u32;
     loop {
         let got = seq.load(Ordering::Acquire);
@@ -223,10 +285,14 @@ fn spin_until(seq: &AtomicU64, want: u64) {
         n = n.wrapping_add(1);
         if n & 0x3fff == 0 {
             std::thread::yield_now();
-            assert!(
-                start.elapsed().as_secs() < 30,
-                "timed out waiting for shared-memory frame {want}"
-            );
+            if let Some(b) = budget {
+                assert!(
+                    start.elapsed() < b,
+                    "timed out waiting for shared-memory frame {want}: \
+                     exceeded {} ms (PARENDI_TRANSPORT_TIMEOUT_MS)",
+                    b.as_millis()
+                );
+            }
         }
     }
 }
@@ -308,6 +374,24 @@ impl ChipTransport for SharedMem {
         self.staging.bytes()
     }
 
+    fn resync(&self, channels: &[Mailbox], onchip: usize, cycle: u64) {
+        self.staging.resync(channels, onchip);
+        // Rewind every pair's sequence words to the restored cycle:
+        // `spin_until` asserts the *exact* expected sequence, so a
+        // restore to an earlier cycle would otherwise trip the
+        // "skipped ahead" check against the pre-restore value.
+        // (The buffers themselves need no rewrite: every pair frame is
+        // republished whole from the resynced staging before the next
+        // receive consults it.)
+        for &off in &self.seg_off {
+            for parity in 0..2 {
+                self.map
+                    .seq(off + parity * 8)
+                    .store(cycle, Ordering::Release);
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "shm"
     }
@@ -368,5 +452,44 @@ mod tests {
                 "word {i} corrupted crossing the process boundary"
             );
         }
+    }
+
+    /// The stale-segment sweep removes exactly the debris of dead
+    /// processes: segments named with a pid that no longer exists.
+    /// Live-pid segments, our own segments, and unrelated files must
+    /// survive — deleting a live peer's mapping would corrupt a
+    /// concurrent run on the same host.
+    #[test]
+    fn sweep_removes_only_dead_pid_segments() {
+        let dir = std::env::temp_dir().join(format!("parendi-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create sweep test dir");
+        // u32::MAX is far above any kernel pid_max, so this pid is
+        // guaranteed dead on any Linux host.
+        let dead = dir.join("parendi-shm-4294967295-0");
+        let own = dir.join(format!("parendi-shm-{}-7", std::process::id()));
+        let live = dir.join("parendi-shm-1-3"); // pid 1 is always alive
+        let other = dir.join("some-other-file");
+        let garbled = dir.join("parendi-shm-notapid-0");
+        for f in [&dead, &own, &live, &other, &garbled] {
+            std::fs::write(f, b"x").expect("seed sweep test file");
+        }
+
+        let swept = sweep_stale(&dir);
+
+        assert_eq!(swept, 1, "exactly the dead-pid segment is swept");
+        assert!(!dead.exists(), "dead-pid segment removed");
+        assert!(own.exists(), "our own segment survives");
+        assert!(live.exists(), "live peer's segment survives");
+        assert!(other.exists(), "unrelated file survives");
+        assert!(garbled.exists(), "unparseable name is left alone");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sweep over a directory that does not exist is a quiet no-op —
+    /// first run on a host with no `/dev/shm` debris must not fail.
+    #[test]
+    fn sweep_of_missing_dir_is_harmless() {
+        let dir = std::env::temp_dir().join("parendi-sweep-test-nonexistent");
+        assert_eq!(sweep_stale(&dir), 0);
     }
 }

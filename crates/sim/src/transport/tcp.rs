@@ -19,19 +19,23 @@
 //! deadlock against its own pending receives. Receives are plain
 //! blocking reads on the consumer end of the pair's stream.
 //!
-//! Failure behavior: a short read, bad magic, wrong pair id, wrong
-//! cycle, or oversized payload panics the receiving worker (the
-//! engine aborts on worker panic); [`decode_frame`] itself is total
+//! Failure behavior: connection setup and the frame path surface
+//! typed [`TransportError`]s — a refused connect, a stalled handshake,
+//! or a receive that exceeds the `PARENDI_TRANSPORT_TIMEOUT_MS` budget
+//! (default 30 s, `0` = wait forever) names the failing operation
+//! before the worker panics and the engine aborts (a hung barrier
+//! would otherwise deadlock the run). [`decode_frame`] itself is total
 //! and unit-tested on malformed input.
 
-use super::{ChipTransport, Staging, TransportInit};
+use super::{transport_timeout, ChipTransport, Staging, TransportError, TransportInit};
 use crate::engine::Mailbox;
 use parendi_telemetry::{SpanKind, TraceEvent, NO_TILE};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Frame magic ("PRND" little-endian).
 const MAGIC: u32 = 0x5052_4e44;
@@ -97,33 +101,112 @@ pub(crate) struct Tcp {
     /// Per worker: the pair indices it receives.
     recv_of: Vec<Vec<u32>>,
     writers: Vec<JoinHandle<()>>,
+    /// The armed read-timeout budget in ms (0 = unbounded), echoed in
+    /// timeout diagnostics.
+    budget_ms: u64,
 }
 
 impl Tcp {
+    /// Builds the backend, converting any setup fault into a panic
+    /// naming the failed operation (setup runs on the constructing
+    /// thread, before any worker exists — there is nobody to hand a
+    /// `Result` to once the engine is running).
     pub(crate) fn new(init: TransportInit<'_>) -> Self {
+        Self::try_new(init).unwrap_or_else(|e| panic!("tcp transport setup failed: {e}"))
+    }
+
+    /// Fallible setup path: bind/connect/handshake with the
+    /// `PARENDI_TRANSPORT_TIMEOUT_MS` budget applied to each connect
+    /// and to the accept + handshake loop.
+    fn try_new(init: TransportInit<'_>) -> Result<Self, TransportError> {
         let staging = Staging::new(&init, true);
         let npairs = init.pairs.len();
+        let timeout = transport_timeout();
+        let budget_ms = timeout.map_or(0, |d| d.as_millis() as u64);
         // One loopback stream per ordered pair: connect-then-accept
         // with a pair-id handshake (accept order is not guaranteed to
         // match connect order).
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind transport listener");
-        let addr = listener.local_addr().expect("transport listener addr");
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| TransportError::io("bind loopback listener", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| TransportError::io("query listener address", e))?;
         let mut send_streams: Vec<Option<TcpStream>> = Vec::with_capacity(npairs);
         for p in 0..npairs {
-            let mut s = TcpStream::connect(addr).expect("connect transport stream");
-            s.set_nodelay(true).expect("transport nodelay");
+            let mut s = match timeout {
+                Some(d) => TcpStream::connect_timeout(&addr, d).map_err(|e| {
+                    if e.kind() == ErrorKind::TimedOut {
+                        TransportError::Timeout {
+                            context: format!("connect stream for pair {p}"),
+                            ms: budget_ms,
+                        }
+                    } else {
+                        TransportError::io(format!("connect stream for pair {p}"), e)
+                    }
+                })?,
+                None => TcpStream::connect(addr)
+                    .map_err(|e| TransportError::io(format!("connect stream for pair {p}"), e))?,
+            };
+            s.set_nodelay(true)
+                .map_err(|e| TransportError::io(format!("set nodelay on pair {p}"), e))?;
             s.write_all(&(p as u32).to_le_bytes())
-                .expect("transport pair handshake");
+                .map_err(|e| TransportError::io(format!("send handshake for pair {p}"), e))?;
             send_streams.push(Some(s));
+        }
+        // Accept loop under the same budget: a nonblocking listener
+        // polled against a deadline, so a peer that connects but never
+        // completes the handshake cannot hang setup forever.
+        let deadline = timeout.map(|d| Instant::now() + d);
+        if deadline.is_some() {
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| TransportError::io("set listener nonblocking", e))?;
         }
         let mut recv_streams: Vec<Option<TcpStream>> = (0..npairs).map(|_| None).collect();
         for _ in 0..npairs {
-            let (mut s, _) = listener.accept().expect("accept transport stream");
+            let mut s = loop {
+                match listener.accept() {
+                    Ok((s, _)) => break s,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return Err(TransportError::Timeout {
+                                context: "accept pair streams".into(),
+                                ms: budget_ms,
+                            });
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => return Err(TransportError::io("accept pair stream", e)),
+                }
+            };
+            s.set_nonblocking(false)
+                .map_err(|e| TransportError::io("set accepted stream blocking", e))?;
+            // The read-timeout stays armed for the run: every frame
+            // receive inherits the same budget (see `recv_frame`).
+            s.set_read_timeout(timeout)
+                .map_err(|e| TransportError::io("set read timeout", e))?;
             let mut id = [0u8; 4];
-            s.read_exact(&mut id)
-                .expect("read transport pair handshake");
+            s.read_exact(&mut id).map_err(|e| {
+                if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+                    TransportError::Timeout {
+                        context: "read pair handshake".into(),
+                        ms: budget_ms,
+                    }
+                } else {
+                    TransportError::io("read pair handshake", e)
+                }
+            })?;
             let p = u32::from_le_bytes(id) as usize;
-            assert!(p < npairs && recv_streams[p].is_none(), "bad handshake");
+            if p >= npairs {
+                return Err(TransportError::Handshake(format!(
+                    "peer announced pair {p}, only {npairs} pairs exist"
+                )));
+            }
+            if recv_streams[p].is_some() {
+                return Err(TransportError::Handshake(format!(
+                    "duplicate handshake for pair {p}"
+                )));
+            }
             recv_streams[p] = Some(s);
         }
         // A dedicated writer per pair: publishing must never block a
@@ -131,7 +214,7 @@ impl Tcp {
         let mut senders = Vec::with_capacity(npairs);
         let mut writers = Vec::with_capacity(npairs);
         for (p, stream) in send_streams.iter_mut().enumerate() {
-            let mut stream = stream.take().expect("send stream");
+            let mut stream = stream.take().expect("send stream built above");
             let (tx, rx) = mpsc::channel::<Vec<u8>>();
             senders.push(Some(tx));
             // When tracing, each writer gets its own track: the socket
@@ -168,21 +251,61 @@ impl Tcp {
                             }
                         }
                     })
-                    .expect("spawn transport writer"),
+                    .map_err(|e| {
+                        TransportError::io(format!("spawn writer thread for pair {p}"), e)
+                    })?,
             );
         }
         let recvs = recv_streams
             .into_iter()
-            .map(|s| Mutex::new((s.expect("recv stream"), Vec::new())))
+            .map(|s| Mutex::new((s.expect("all pairs handshaken above"), Vec::new())))
             .collect();
-        Tcp {
+        Ok(Tcp {
             staging,
             senders,
             recvs,
             recv_of: init.recv_of,
             writers,
-        }
+            budget_ms,
+        })
     }
+}
+
+/// Receives one frame for `pair` at `cycle` from `stream` into
+/// `scratch` (resized to the payload), returning the payload word
+/// count. A read that trips the armed socket read-timeout becomes
+/// [`TransportError::Timeout`]; any other I/O fault becomes
+/// [`TransportError::Io`]; header corruption becomes
+/// [`TransportError::Frame`]. Generic over [`Read`] so the
+/// timeout/corruption paths are unit-testable without sockets.
+pub(crate) fn recv_frame(
+    stream: &mut impl Read,
+    scratch: &mut Vec<u8>,
+    pair: u32,
+    cycle: u64,
+    max_words: u32,
+    budget_ms: u64,
+) -> Result<u32, TransportError> {
+    let classify = |context: &str, e: std::io::Error| {
+        if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+            TransportError::Timeout {
+                context: format!("{context} for pair {pair}"),
+                ms: budget_ms,
+            }
+        } else {
+            TransportError::io(format!("{context} for pair {pair}"), e)
+        }
+    };
+    let mut header = [0u8; HEADER_BYTES];
+    stream
+        .read_exact(&mut header)
+        .map_err(|e| classify("read frame header", e))?;
+    let got = decode_frame(&header, pair, cycle, max_words).map_err(TransportError::Frame)?;
+    scratch.resize(got as usize * 8, 0);
+    stream
+        .read_exact(scratch)
+        .map_err(|e| classify("read frame payload", e))?;
+    Ok(got)
 }
 
 impl ChipTransport for Tcp {
@@ -201,11 +324,14 @@ impl ChipTransport for Tcp {
             for &w in payload {
                 frame.extend_from_slice(&w.to_le_bytes());
             }
-            self.senders[p]
+            let sent = self.senders[p]
                 .as_ref()
-                .expect("live sender")
-                .send(frame)
-                .expect("transport writer alive");
+                .expect("senders live until drop")
+                .send(frame);
+            if sent.is_err() {
+                // The writer exits only after a failed socket write.
+                panic!("transport pair {p}: writer thread gone (peer closed the stream)");
+            }
         });
     }
 
@@ -223,22 +349,21 @@ impl ChipTransport for Tcp {
             let words = self.staging.words(p);
             let mut guard = self.recvs[p].lock().expect("uncontended recv stream");
             let (stream, scratch) = &mut *guard;
-            let mut header = [0u8; HEADER_BYTES];
-            stream
-                .read_exact(&mut header)
-                .expect("transport frame header read");
-            let got = decode_frame(&header, p as u32, cycle, words as u32)
-                .unwrap_or_else(|e| panic!("transport pair {p}: {e}"));
-            scratch.resize(got as usize * 8, 0);
-            stream
-                .read_exact(scratch)
-                .expect("transport frame payload read");
+            recv_frame(
+                stream,
+                scratch,
+                p as u32,
+                cycle,
+                words as u32,
+                self.budget_ms,
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             // SAFETY: epoch discipline — nobody reads `parity` of this
             // consumer box until after barrier 1, and this worker is
             // the pair's sole receiver.
             let dst = unsafe { channels[onchip + p].write_base(parity) };
             for (k, chunk) in scratch.chunks_exact(8).enumerate() {
-                // SAFETY: k < got <= words <= the box allocation.
+                // SAFETY: k < scratch words <= words <= the box allocation.
                 unsafe {
                     *dst.add(k) = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
                 }
@@ -248,6 +373,14 @@ impl ChipTransport for Tcp {
 
     fn bytes_sent(&self) -> u64 {
         self.staging.bytes()
+    }
+
+    fn resync(&self, channels: &[Mailbox], onchip: usize, _cycle: u64) {
+        // The sockets are drained between runs (lockstep barriers
+        // bound in-flight traffic to one frame per pair, all consumed
+        // before a run returns), so only the staging mirror needs
+        // rebuilding from the restored consumer boxes.
+        self.staging.resync(channels, onchip);
     }
 
     fn name(&self) -> &'static str {
@@ -305,5 +438,78 @@ mod tests {
         assert!(decode_frame(&good, 3, 41, 8)
             .unwrap_err()
             .contains("oversized"));
+    }
+
+    /// A reader that yields `n` bytes and then reports the socket
+    /// read-timeout error a stalled `TcpStream` would.
+    struct Stall {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Stall {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "stalled"));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// A peer that stops sending mid-frame must surface as a typed
+    /// timeout naming the budget, not a hang or a bare unwrap panic.
+    #[test]
+    fn stalled_reads_become_typed_timeouts() {
+        let mut scratch = Vec::new();
+
+        // Stall before the header: timeout on the header read.
+        let mut s = Stall {
+            data: Vec::new(),
+            pos: 0,
+        };
+        match recv_frame(&mut s, &mut scratch, 7, 5, 64, 1234) {
+            Err(TransportError::Timeout { context, ms }) => {
+                assert!(context.contains("header"), "{context}");
+                assert!(context.contains("pair 7"), "{context}");
+                assert_eq!(ms, 1234);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+
+        // Stall after the header: timeout on the payload read.
+        let mut s = Stall {
+            data: encode_header(7, 5, 2).to_vec(),
+            pos: 0,
+        };
+        match recv_frame(&mut s, &mut scratch, 7, 5, 64, 50) {
+            Err(TransportError::Timeout { context, .. }) => {
+                assert!(context.contains("payload"), "{context}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+
+        // A corrupted header still classifies as a frame error.
+        let mut bad = encode_header(7, 5, 2).to_vec();
+        bad[0] ^= 0xff;
+        bad.extend_from_slice(&[0u8; 16]);
+        let mut s = Stall { data: bad, pos: 0 };
+        assert!(matches!(
+            recv_frame(&mut s, &mut scratch, 7, 5, 64, 50),
+            Err(TransportError::Frame(_))
+        ));
+
+        // A complete frame decodes and fills the scratch buffer.
+        let mut whole = encode_header(7, 5, 2).to_vec();
+        whole.extend_from_slice(&1u64.to_le_bytes());
+        whole.extend_from_slice(&2u64.to_le_bytes());
+        let mut s = Stall {
+            data: whole,
+            pos: 0,
+        };
+        assert_eq!(recv_frame(&mut s, &mut scratch, 7, 5, 64, 50).unwrap(), 2);
+        assert_eq!(scratch.len(), 16);
     }
 }

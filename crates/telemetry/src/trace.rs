@@ -423,6 +423,21 @@ impl TraceSink {
             .sum()
     }
 
+    /// A human-readable warning when any track dropped events (its
+    /// ring buffer saturated), or `None` when the trace is complete.
+    /// Callers surface this so a truncated trace is never mistaken
+    /// for a quiet run.
+    pub fn drop_warning(&self) -> Option<String> {
+        let dropped = self.total_dropped();
+        (dropped > 0).then(|| {
+            format!(
+                "{dropped} trace event(s) dropped (per-track buffer saturated) — \
+                 the trace is incomplete; raise TraceConfig::with_capacity, \
+                 or use PARENDI_TRACE_LEVEL=phase for fewer events"
+            )
+        })
+    }
+
     /// Serializes every track as Chrome trace-event JSON: one `M`
     /// thread-name metadata event per track, then one `X` complete
     /// event per span (`ts`/`dur` in microseconds), one event per
