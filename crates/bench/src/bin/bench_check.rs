@@ -11,9 +11,11 @@
 //! Baselines: every `*.json` in the crate's `baselines/` directory
 //! (currently `pre_pr4.json`, the pre-unification engine,
 //! `post_pr5.json`, the packed-lane engine, `post_pr6.json`, the
-//! SIMD/word-interleaved engine, and `post_pr7.json`, the pluggable
+//! SIMD/word-interleaved engine, `post_pr7.json`, the pluggable
 //! off-chip transport engine with its `bsp-shm`/`bsp-tcp`-tagged
-//! fig10/fig17 rows), or a single file named by
+//! fig10/fig17 rows, and `post_pr10.json`, the serve-daemon rows —
+//! `serve_load`'s cold/warm scenario throughput plus the traced
+//! `perf_report` point), or a single file named by
 //! `$PARENDI_BASELINE`. Rows match on `(bin, design, engine, packed,
 //! simd, lanes, threads)` — the `simd` tag is empty on strided rows
 //! and on pre-PR6 baselines, so old baselines keep gating the strided

@@ -219,7 +219,12 @@ fn main() {
 
     match write_bench_json("fault_campaign", &records) {
         Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("\ncould not write bench json: {e}"),
+        Err(e) => {
+            // A campaign whose evidence never lands on disk must not
+            // report success — CI greps the JSON, not the stdout.
+            eprintln!("\nfault_campaign: could not write bench json: {e}");
+            std::process::exit(1);
+        }
     }
     if any_dead {
         eprintln!("fault_campaign: at least one campaign detected nothing");

@@ -9,7 +9,7 @@
 //! Chrome trace the report was computed from (the report itself always
 //! traces in memory); `PARENDI_TRANSPORT` picks the off-chip backend.
 
-use parendi_bench::{parse_quick_flag, quick, rule};
+use parendi_bench::{parse_quick_flag, quick, rule, write_bench_json, BenchRecord};
 use parendi_core::{compile, PartitionConfig};
 use parendi_designs::Benchmark;
 use parendi_sim::{BspSimulator, TraceConfig, TransportChoice};
@@ -163,6 +163,35 @@ fn main() {
              shares above undercount; raise the trace capacity \
              (TraceConfig::with_capacity) or use PARENDI_TRACE_LEVEL=phase"
         );
+    }
+    // Persist the measured point so the report leaves a machine-readable
+    // trail next to the figure bins. An unwritable bench dir is a hard
+    // failure: CI reads the JSON, not the tables above.
+    let rec = BenchRecord {
+        bin: "perf_report".into(),
+        design: design.name(),
+        engine: "bsp-traced".into(),
+        chips,
+        tiles: comp.partition.tiles_used() as u32,
+        lanes: 1,
+        threads: threads as u32,
+        cycles,
+        cycles_per_s: cycles as f64 / ph.total_s.max(1e-12),
+        lane_cycles_per_s: cycles as f64 / ph.total_s.max(1e-12),
+        compute_s: ph.compute_s,
+        offchip_s: ph.offchip_s,
+        exchange_s: ph.exchange_s,
+        overlap_s: ph.overlap_s,
+        total_s: ph.total_s,
+        ..BenchRecord::default()
+    }
+    .with_metrics(metrics);
+    match write_bench_json("perf_report", &[rec]) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("\nperf_report: could not write bench json: {e}");
+            std::process::exit(1);
+        }
     }
     // The engine writes the PARENDI_TRACE file (if configured) when it
     // drops, after its transport threads drain.

@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod exchange;
+pub mod key;
 pub mod partition;
 pub mod process;
 pub mod repcut;
@@ -49,6 +50,7 @@ pub mod stages;
 
 pub use config::{CompileError, MultiChipStrategy, PartitionConfig, Strategy};
 pub use exchange::{plan, ExchangePlan};
+pub use key::{circuit_content_hash, CompileKey};
 pub use partition::Partition;
 pub use process::Process;
 pub use routing::{ChannelClass, ChannelSpec, Hop, PortRoute, RegRoute, Routing};

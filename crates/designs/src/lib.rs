@@ -73,6 +73,30 @@ impl Benchmark {
         }
     }
 
+    /// Parses a [`name`](Self::name) string back into its benchmark —
+    /// the inverse, so wire protocols and CLIs can identify designs by
+    /// key instead of serializing circuits. `None` for unknown names
+    /// (including parameterized families with a missing or zero
+    /// parameter: there is no `sr0` mesh).
+    pub fn parse(name: &str) -> Option<Benchmark> {
+        fn param(s: &str, prefix: &str) -> Option<u32> {
+            let n: u32 = s.strip_prefix(prefix)?.parse().ok()?;
+            (n >= 1).then_some(n)
+        }
+        match name {
+            "vta" => Some(Benchmark::Vta),
+            "mc" => Some(Benchmark::Mc),
+            "pico" => Some(Benchmark::Pico),
+            "rocket" => Some(Benchmark::Rocket),
+            "bitcoin" => Some(Benchmark::Bitcoin),
+            _ => param(name, "sr")
+                .map(Benchmark::Sr)
+                .or_else(|| param(name, "lr").map(Benchmark::Lr))
+                .or_else(|| param(name, "prng").map(Benchmark::Prng))
+                .or_else(|| param(name, "ca").map(Benchmark::Ca)),
+        }
+    }
+
     /// Builds the benchmark circuit at the reproduction's scale.
     pub fn build(&self) -> Circuit {
         match self {
@@ -140,6 +164,26 @@ mod registry_tests {
         assert_eq!(suite[0].name(), "vta");
         assert_eq!(suite.last().unwrap().name(), "lr10");
         assert_eq!(Benchmark::small_three().len(), 3);
+    }
+
+    #[test]
+    fn parse_inverts_name() {
+        for bench in [
+            Benchmark::Vta,
+            Benchmark::Mc,
+            Benchmark::Sr(3),
+            Benchmark::Lr(2),
+            Benchmark::Pico,
+            Benchmark::Rocket,
+            Benchmark::Bitcoin,
+            Benchmark::Prng(8),
+            Benchmark::Ca(64),
+        ] {
+            assert_eq!(Benchmark::parse(&bench.name()), Some(bench));
+        }
+        for junk in ["", "sr", "sr0", "srx", "vta2", "mesh", "ca-3"] {
+            assert_eq!(Benchmark::parse(junk), None, "{junk:?} must not parse");
+        }
     }
 
     #[test]

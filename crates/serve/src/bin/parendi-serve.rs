@@ -1,0 +1,64 @@
+//! The gang daemon binary.
+//!
+//! ```text
+//! parendi-serve           # serve on PARENDI_SERVE_SOCKET until SHUTDOWN
+//! parendi-serve --stop    # ask a running daemon to exit
+//! parendi-serve --stats   # print a running daemon's metrics
+//! ```
+//!
+//! Knobs (`PARENDI_SERVE_SOCKET`, `PARENDI_SERVE_CACHE_CAP`,
+//! `PARENDI_SERVE_WORKERS`, `PARENDI_SERVE_THREADS`) are documented in
+//! `docs/ENVVARS.md`.
+
+use parendi_serve::{Client, ServeConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cfg = ServeConfig::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            println!(
+                "[serve] listening on {} (cache {} entries, {} gangs x {} threads)",
+                cfg.socket.display(),
+                cfg.cache_cap,
+                cfg.workers,
+                cfg.threads
+            );
+            match parendi_serve::run(cfg) {
+                Ok(()) => {
+                    println!("[serve] stopped");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("[serve] ERROR: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--stop") => match Client::connect(&cfg.socket).and_then(Client::shutdown) {
+            Ok(()) => {
+                println!("[serve] daemon at {} stopping", cfg.socket.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("[serve] ERROR: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--stats") => match Client::connect(&cfg.socket).and_then(|mut c| c.stats()) {
+            Ok(snap) => {
+                print!("{}", snap.to_text());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("[serve] ERROR: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("usage: parendi-serve [--stop | --stats]   (got {other:?})");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The compile cache: content-hash-keyed LRU over compiled partitions.
+//!
+//! Compiling a partition (fiber extraction, load balancing, routing,
+//! bytecode lowering, state layout) dominates short scenario batches,
+//! so the daemon compiles **once per [`CompileKey`] digest** and hands
+//! every subsequent batch an `Arc` of the cached artifact. Three
+//! properties the tests pin:
+//!
+//! * **Single-flight**: two simultaneous requests for the same key
+//!   compile once — the second blocks on a condvar while the first
+//!   builds (a `Building` slot marks the in-flight compile), then
+//!   shares the finished entry.
+//! * **LRU at capacity**: beyond `cap` ready entries the
+//!   least-recently-used one is dropped. In-flight `Building` slots
+//!   are never evicted (a waiter is parked on them).
+//! * **Panic containment**: a compile that panics is caught, its slot
+//!   removed, and every waiter woken to an error — a poisoned design
+//!   must not wedge the daemon.
+
+use crate::proto::ProtoError;
+use parendi_core::{CompileKey, Partition};
+use parendi_rtl::Circuit;
+use parendi_sim::Precompiled;
+use parendi_telemetry::{Counter, MetricsRegistry};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One cached compile: everything an engine instantiation needs,
+/// owned (the daemon outlives any request).
+pub struct CacheEntry {
+    /// The key the entry is filed under.
+    pub key: CompileKey,
+    /// The built circuit (engines borrow it for their lifetime).
+    pub circuit: Circuit,
+    /// The partition the artifact was compiled for.
+    pub partition: Partition,
+    /// The compiled artifact; engines deep-copy it per instantiation.
+    pub pre: Precompiled,
+    /// Wall-clock seconds the original compile took — what every
+    /// subsequent hit saves.
+    pub compile_s: f64,
+}
+
+enum Slot {
+    /// A compile is in flight on some connection thread; wait on the
+    /// condvar.
+    Building,
+    /// A finished artifact.
+    Ready {
+        entry: Arc<CacheEntry>,
+        /// Logical LRU timestamp (a lock-protected counter, not wall
+        /// time).
+        last_used: u64,
+    },
+}
+
+struct CacheState {
+    slots: HashMap<u64, Slot>,
+    clock: u64,
+}
+
+/// The content-hash-keyed LRU compile cache (see the module docs).
+pub struct CompileCache {
+    state: Mutex<CacheState>,
+    cv: Condvar,
+    cap: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+impl CompileCache {
+    /// A cache holding at most `cap` ready entries, reporting
+    /// `serve_cache_hits` / `serve_cache_misses` /
+    /// `serve_cache_evictions` through `metrics`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (a zero-capacity cache would evict the
+    /// entry a waiter is about to share).
+    pub fn new(cap: usize, metrics: &MetricsRegistry) -> Self {
+        assert!(cap >= 1, "cache capacity must be at least 1");
+        CompileCache {
+            state: Mutex::new(CacheState {
+                slots: HashMap::new(),
+                clock: 0,
+            }),
+            cv: Condvar::new(),
+            cap,
+            hits: metrics.counter("serve_cache_hits"),
+            misses: metrics.counter("serve_cache_misses"),
+            evictions: metrics.counter("serve_cache_evictions"),
+        }
+    }
+
+    /// Returns the entry for `digest`, building it with `build` on a
+    /// miss. The second element is `true` on a cache hit (including a
+    /// wait on another thread's in-flight build — the compile was
+    /// shared either way). Only the thread that actually builds counts
+    /// a miss.
+    pub fn get_or_build<F>(
+        &self,
+        digest: u64,
+        build: F,
+    ) -> Result<(Arc<CacheEntry>, bool), ProtoError>
+    where
+        F: FnOnce() -> Result<CacheEntry, String>,
+    {
+        let mut st = self.state.lock().expect("compile cache");
+        loop {
+            match st.slots.get(&digest) {
+                Some(Slot::Ready { entry, .. }) => {
+                    let entry = entry.clone();
+                    st.clock += 1;
+                    let now = st.clock;
+                    if let Some(Slot::Ready { last_used, .. }) = st.slots.get_mut(&digest) {
+                        *last_used = now;
+                    }
+                    self.hits.inc();
+                    return Ok((entry, true));
+                }
+                // A thread that waits out another's in-flight build
+                // shares the compile exactly like a plain hit.
+                Some(Slot::Building) => {
+                    st = self.cv.wait(st).expect("compile cache");
+                }
+                None => {
+                    st.slots.insert(digest, Slot::Building);
+                    self.misses.inc();
+                    break;
+                }
+            }
+        }
+        drop(st);
+
+        // Build outside the lock (this is the expensive part —
+        // different keys compile concurrently). Catch panics so a
+        // poisoned design cannot strand waiters on the Building slot.
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build))
+            .unwrap_or_else(|p| Err(panic_message(p)));
+
+        let mut st = self.state.lock().expect("compile cache");
+        let result = match built {
+            Ok(entry) => {
+                let entry = Arc::new(entry);
+                st.clock += 1;
+                let now = st.clock;
+                st.slots.insert(
+                    digest,
+                    Slot::Ready {
+                        entry: entry.clone(),
+                        last_used: now,
+                    },
+                );
+                while self.ready_count(&st) > self.cap {
+                    let oldest = st
+                        .slots
+                        .iter()
+                        .filter_map(|(k, s)| match s {
+                            Slot::Ready { last_used, .. } => Some((*last_used, *k)),
+                            Slot::Building => None,
+                        })
+                        .min()
+                        .map(|(_, k)| k)
+                        .expect("over-capacity cache has a ready entry");
+                    st.slots.remove(&oldest);
+                    self.evictions.inc();
+                }
+                Ok((entry, false))
+            }
+            Err(e) => {
+                st.slots.remove(&digest);
+                Err(ProtoError::Remote(format!("compile failed: {e}")))
+            }
+        };
+        self.cv.notify_all();
+        result
+    }
+
+    fn ready_count(&self, st: &CacheState) -> usize {
+        st.slots
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// Ready (finished) entries currently cached.
+    pub fn len(&self) -> usize {
+        self.ready_count(&self.state.lock().expect("compile cache"))
+    }
+
+    /// Whether no finished entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a finished entry for `digest` is cached (test hook; a
+    /// racing eviction can invalidate the answer immediately).
+    pub fn contains(&self, digest: u64) -> bool {
+        matches!(
+            self.state.lock().expect("compile cache").slots.get(&digest),
+            Some(Slot::Ready { .. })
+        )
+    }
+
+    /// Drops every finished entry (in-flight builds survive — a
+    /// waiter is parked on them). The deterministic cold start the
+    /// load generator's cold/warm split relies on.
+    pub fn clear(&self) {
+        self.state
+            .lock()
+            .expect("compile cache")
+            .slots
+            .retain(|_, s| matches!(s, Slot::Building));
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "compile panicked".to_string()
+    }
+}

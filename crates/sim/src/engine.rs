@@ -432,7 +432,7 @@ pub(crate) struct Apply {
 /// A compiled per-tile program. Self-contained: executing it requires no
 /// access to the `Circuit`, and the *same* program drives both the
 /// single-scenario engine and every lane of the gang engine.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Program {
     /// The flat fused bytecode of the tile's step program (lowered once
     /// at compile time; see [`crate::exec::Code`]).
@@ -516,6 +516,27 @@ pub(crate) struct Mailbox {
 // SAFETY: access is partitioned by the epoch/barrier discipline above;
 // the type itself hands out raw access only through unsafe accessors.
 unsafe impl Sync for Mailbox {}
+
+impl Clone for Mailbox {
+    /// Deep-copies both parity buffers. Only correct on a **quiescent**
+    /// mailbox — one no engine is running (a freshly compiled artifact,
+    /// or an engine parked between `run` calls): with workers mid-cycle
+    /// the epoch discipline would make one parity a data race. The
+    /// compile cache clones quiescent [`Compiled`] artifacts, which is
+    /// the only caller.
+    fn clone(&self) -> Self {
+        // SAFETY: quiescence (documented above) means no concurrent
+        // writer exists for either parity.
+        unsafe {
+            Mailbox {
+                bufs: [
+                    UnsafeCell::new(self.read(0).to_vec().into_boxed_slice()),
+                    UnsafeCell::new(self.read(1).to_vec().into_boxed_slice()),
+                ],
+            }
+        }
+    }
+}
 
 impl Mailbox {
     pub(crate) fn new(words: usize) -> Self {
@@ -633,7 +654,16 @@ pub(crate) fn worker_groups(tile_chip: &[u32], workers: usize) -> Vec<Vec<usize>
 /// apply unchanged — or **word-interleaved** (`word_major`), where each
 /// word's lane row `[off × lanes, (off + 1) × lanes)` is contiguous so
 /// the vector kernels load dense lane chunks.
+///
+/// `Clone` deep-copies the whole artifact (including both mailbox
+/// parities — see [`Mailbox::clone`]'s quiescence requirement): a
+/// compile cache keeps one master copy and clones it per engine, so the
+/// expensive `new` runs once per content-hash key.
+#[derive(Clone)]
 pub(crate) struct Compiled {
+    /// Scenario lanes every buffer below is laid out for (recorded so a
+    /// cached artifact carries its own lane shape).
+    pub lanes: usize,
     pub programs: Vec<Program>,
     pub reg_home: Vec<RegHome>,
     pub array_home: Vec<ArrayHome>,
@@ -1117,6 +1147,7 @@ impl Compiled {
         }
 
         Compiled {
+            lanes,
             programs,
             reg_home,
             array_home,

@@ -283,7 +283,7 @@ fn bin1_opc(o: BinOp) -> u8 {
 /// A compiled tile program as a flat, cache-compact bytecode: packed
 /// opcode words plus a parallel operand stream (struct of arrays), with
 /// multi-word operations spilled to a cold side table.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct Code {
     /// `opcode | imm << 8`, one word per instruction.
     pub ops: Vec<u32>,
@@ -2756,9 +2756,35 @@ impl<'c> EngineCore<'c> {
         transport: crate::transport::TransportChoice,
         trace_cfg: TraceConfig,
     ) -> Self {
-        assert!(threads >= 1, "need at least one thread");
         assert!(lanes >= 1, "need at least one lane");
+        Self::from_compiled(
+            circuit,
+            partition,
+            threads,
+            Compiled::new(circuit, partition, lanes, packed, layout),
+            transport,
+            trace_cfg,
+        )
+    }
+
+    /// Builds an engine around an **already-compiled** artifact — the
+    /// compile-cache path: everything [`with_trace`](Self::with_trace)
+    /// does *after* `Compiled::new` (lane-strided state init, worker
+    /// pool, transport, telemetry), with the expensive compile skipped.
+    /// `compiled` must have been produced from this same `circuit` and
+    /// `partition` (the cache keys on a content hash of both); the lane
+    /// shape comes from the artifact itself.
+    pub(crate) fn from_compiled(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        threads: usize,
+        compiled: Compiled,
+        transport: crate::transport::TransportChoice,
+        trace_cfg: TraceConfig,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one thread");
         let Compiled {
+            lanes,
             programs,
             reg_home,
             array_home,
@@ -2780,7 +2806,7 @@ impl<'c> EngineCore<'c> {
             word_major,
             isa,
             offchip_pairs,
-        } = Compiled::new(circuit, partition, lanes, packed, layout);
+        } = compiled;
 
         // The one indexing rule every strided init below goes through:
         // word `off` of lane `l` in a buffer of per-lane stride

@@ -160,6 +160,41 @@ impl<'c> GangSimulator<'c> {
         }
     }
 
+    /// Instantiates an engine from an already-compiled artifact — the
+    /// compile-cache path. The expensive compile front-end is skipped
+    /// entirely; the artifact is deep-copied, so one [`Precompiled`]
+    /// can back any number of simultaneous engines. `circuit` and
+    /// `partition` must be the ones `pre` was built from (a serve
+    /// cache guarantees this by keying entries on a content hash of
+    /// both); the lane shape comes from the artifact. Results are
+    /// bit-identical to a direct [`new`](Self::new) /
+    /// [`new_packed`](Self::new_packed) at the same shape. The
+    /// off-chip transport follows `PARENDI_TRANSPORT` and tracing
+    /// follows `PARENDI_TRACE`, exactly like the plain constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    ///
+    /// [`Precompiled`]: crate::Precompiled
+    pub fn from_precompiled(
+        circuit: &'c Circuit,
+        partition: &Partition,
+        pre: &crate::Precompiled,
+        threads: usize,
+    ) -> Self {
+        GangSimulator {
+            core: EngineCore::from_compiled(
+                circuit,
+                partition,
+                threads,
+                pre.compiled.clone(),
+                crate::transport::TransportChoice::from_env(),
+                parendi_telemetry::TraceConfig::from_env(),
+            ),
+        }
+    }
+
     /// Short name of the off-chip transport backend in use.
     pub fn transport_name(&self) -> &'static str {
         self.core.transport_name()

@@ -66,6 +66,7 @@ pub(crate) mod exec;
 pub mod fault;
 pub mod gang;
 pub mod interp;
+pub mod precompiled;
 pub(crate) mod simd;
 pub mod timing;
 pub mod transport;
@@ -77,6 +78,7 @@ pub use fault::{run_campaign, CampaignReport, FaultKind, FaultOutcome, FaultPlan
 pub use gang::{GangSimulator, StimulusSet};
 pub use interp::Simulator;
 pub use parendi_telemetry::{CodeStats, MetricsSnapshot, TraceConfig, TraceLevel, TrackSummary};
+pub use precompiled::Precompiled;
 pub use timing::{ipu_rate_khz, ipu_timings};
 pub use transport::{TransportChoice, TransportError};
 pub use vcd::{dump_vcd, dump_vcd_lane, VcdWriter};

@@ -32,6 +32,19 @@ impl Counter {
         self.v.store(n, Ordering::Relaxed);
     }
 
+    /// Gauge-style decrement, saturating at zero (for depth/occupancy
+    /// gauges like a server's queue depth, where an increment on entry
+    /// is paired with a decrement on exit).
+    pub fn sub(&self, n: u64) {
+        // fetch_update over Relaxed: statistics, not synchronization —
+        // same discipline as every other access on this cell.
+        let _ = self
+            .v
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
     pub fn get(&self) -> u64 {
         self.v.load(Ordering::Relaxed)
     }
@@ -162,6 +175,17 @@ mod tests {
         assert_eq!(reg.counter("frames_sent").get(), 4);
         a.set(10);
         assert_eq!(b.get(), 10);
+    }
+
+    /// Depth gauges pair `add` with `sub` and never underflow.
+    #[test]
+    fn sub_saturates_at_zero() {
+        let c = Counter::new();
+        c.add(3);
+        c.sub(1);
+        assert_eq!(c.get(), 2);
+        c.sub(10);
+        assert_eq!(c.get(), 0, "saturating, not wrapping");
     }
 
     /// Snapshots are sorted and round-trip through the JSON shape.
